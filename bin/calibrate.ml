@@ -1,0 +1,25 @@
+(* Calibration runner: print measured vs paper overheads for Figure 2. *)
+let () =
+  Printf.printf "%-22s %8s %8s\n" "benchmark" "paper" "measured";
+  List.iter
+    (fun w ->
+      let o = Repro_workloads.Bench_env.overhead w in
+      Printf.printf "%-22s %8.1f %8.2f\n%!" w.Repro_workloads.Bench_env.w_name
+        w.Repro_workloads.Bench_env.w_paper o)
+    Repro_workloads.Suite.figure2
+
+let () =
+  print_endline "--- Figure 3 ablations ---";
+  List.iter
+    (fun a ->
+      Printf.printf "%-36s before=%8.1f after=%8.1f native=%8.1f (%s)\n%!"
+        a.Repro_workloads.Experiments.a_name a.Repro_workloads.Experiments.a_before
+        a.Repro_workloads.Experiments.a_after a.Repro_workloads.Experiments.a_native
+        a.Repro_workloads.Experiments.a_paper_note)
+    (Repro_workloads.Experiments.figure3 ());
+  print_endline "--- Figure 4 threads ---";
+  List.iter
+    (fun p ->
+      Printf.printf "threads=%2d  %8.1f MB/s\n%!" p.Repro_workloads.Experiments.tp_threads
+        p.Repro_workloads.Experiments.tp_mbps)
+    (Repro_workloads.Experiments.figure4 ())

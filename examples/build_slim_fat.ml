@@ -1,0 +1,90 @@
+(* The development workflow CNTR enables (§7): instead of one fat image,
+   build a *slim* image for deployment and a *fat* tools image for
+   debugging — with the Dockerfile-style builder — then attach them at
+   runtime.
+
+   Run with:  dune exec examples/build_slim_fat.exe *)
+
+open Repro_util
+open Repro_os
+open Repro_image
+open Repro_runtime
+open Repro_cntr
+
+let ok = Errno.ok_exn
+
+let ok' = function
+  | Ok v -> v
+  | Error e -> failwith (Errno.to_string e)
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n%!")
+let show (code, out) = Printf.printf "%s(exit %d)\n%!" out code
+
+let () =
+  let world = Testbed.create () in
+  let kernel = world.World.kernel in
+  let registry = world.World.registry in
+  Kernel.register_program kernel "paymentd" (fun k p _ ->
+      let fd =
+        ok (Kernel.open_ k p "/var/log/payments.log"
+              [ Repro_vfs.Types.O_CREAT; Repro_vfs.Types.O_WRONLY; Repro_vfs.Types.O_APPEND ] ~mode:0o644)
+      in
+      ignore (ok (Kernel.write k p fd "payment 42 accepted\n"));
+      ok (Kernel.close k p fd);
+      0);
+
+  step "build the SLIM image: the service and nothing else";
+  let slim =
+    ok'
+      (Builder.build ~kernel ~registry ~name:"payments"
+         [
+           Builder.From "scratch";
+           Builder.Mkdir "/srv";
+           Builder.Mkdir "/var";
+           Builder.Mkdir "/var/log";
+           Builder.Mkdir "/etc";
+           Builder.Copy { dst = "/srv/paymentd"; mode = 0o755; content = Content.Binary { prog = "paymentd"; size = Size.kib 512 } };
+           Builder.Copy { dst = "/etc/paymentd.conf"; mode = 0o644; content = Content.Literal "currency=EUR\n" };
+           Builder.Env ("PAYMENTS_MODE", "production");
+           Builder.Entrypoint [ "/srv/paymentd" ];
+         ])
+  in
+  Printf.printf "payments:latest — %s, %d files (no shell, no libc, no tools)\n"
+    (Size.to_string (Image.effective_size slim))
+    (List.length (Image.effective_paths slim));
+
+  step "build the FAT tools image: alpine + debuggers, built with RUN steps";
+  let fat =
+    ok'
+      (Builder.build ~kernel ~registry ~name:"payments-debug"
+         [
+           Builder.From "cntr/debug-tools:latest";
+           Builder.Run "mkdir /workspace";
+           Builder.Run "echo payments debug kit > /workspace/README";
+           Builder.Copy { dst = "/usr/bin/paymentctl"; mode = 0o755; content = Content.Binary { prog = "echo"; size = Size.kib 64 } };
+         ])
+  in
+  Printf.printf "payments-debug:latest — %s with gdb, strace, and a workspace\n"
+    (Size.to_string (Image.effective_size fat));
+
+  step "deploy: only the slim image ships to production";
+  Registry.push registry slim;
+  Registry.push registry fat;
+  let _svc =
+    ok (World.run_container world ~engine:(World.docker world) ~name:"payments" ~image_ref:"payments:latest" ())
+  in
+  let _dbg =
+    ok (World.run_container world ~engine:(World.docker world) ~name:"payments-debug" ~image_ref:"payments-debug:latest" ())
+  in
+
+  step "incident: attach the fat image's tools to the slim service";
+  let session = ok (Testbed.attach world ~tools:(Attach.From_container "payments-debug") "payments") in
+  show (Attach.run session "cat /workspace/README");
+  show (Attach.run session "cat /var/lib/cntr/var/log/payments.log");
+  show (Attach.run session "cat /var/lib/cntr/etc/paymentd.conf | grep currency");
+  show (Attach.run session "env | grep PAYMENTS");
+
+  step "what the session cost (FUSE traffic)";
+  print_string (Attach.report session);
+  Attach.detach session;
+  print_endline "\nbuild_slim_fat done."

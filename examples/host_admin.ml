@@ -1,0 +1,52 @@
+(* Container-to-host administration (§2.4, use case 3).
+
+   Container-oriented distributions (CoreOS, RancherOS) ship no package
+   manager: admin tools live in a privileged container.  CNTR attaches to
+   that container and exposes the *host's* root filesystem through CntrFS,
+   so the host stays lean while the admin keeps a full toolbox.
+
+   Run with:  dune exec examples/host_admin.exe *)
+
+open Repro_util
+open Repro_runtime
+open Repro_cntr
+
+let ok = Errno.ok_exn
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n%!")
+let show (code, out) = Printf.printf "%s(exit %d)\n%!" out code
+
+let () =
+  step "a CoreOS-like host: no package manager, minimal userland";
+  let world = Testbed.create () in
+  let os_release = ok (Repro_os.Kernel.read_whole world.World.kernel world.World.init "/etc/os-release") in
+  Printf.printf "%s" os_release;
+
+  step "the admin runs a privileged toolbox container";
+  let _admin =
+    ok
+      (World.run_container world ~engine:(World.docker world) ~name:"toolbox"
+         ~image_ref:"cntr/debug-tools:latest" ~privileged:true ())
+  in
+
+  step "cntr attach toolbox  (tools from the HOST: its rootfs appears at /)";
+  let session = ok (Testbed.attach world "toolbox") in
+
+  step "inspect the host from inside the container";
+  show (Attach.run session "cat /etc/os-release");
+  show (Attach.run session "ls /etc");
+  show (Attach.run session "hostname");
+
+  step "the toolbox container's own filesystem is under /var/lib/cntr";
+  show (Attach.run session "ls /var/lib/cntr/usr/bin");
+
+  step "host administration: fix a host config file from the container";
+  show (Attach.run session "echo nameserver 10.0.0.53 > /etc/resolv.conf");
+  let resolv = ok (Repro_os.Kernel.read_whole world.World.kernel world.World.init "/etc/resolv.conf") in
+  Printf.printf "the host now resolves with:\n%s" resolv;
+
+  step "host processes are visible (shared /proc view of the privileged container)";
+  show (Attach.run session "ps");
+
+  Attach.detach session;
+  print_endline "\nhost_admin done."

@@ -1,0 +1,76 @@
+(* The Docker-Slim pipeline (§5.3): build the slim/fat split CNTR assumes.
+
+   An image is run under fanotify observation; the accessed closure becomes
+   the slim image, which is validated, pushed, and compared for deployment
+   time.  The dropped tools are exactly what a CNTR fat image provides on
+   demand.
+
+   Run with:  dune exec examples/slim_pipeline.exe *)
+
+open Repro_util
+open Repro_image
+open Repro_runtime
+open Repro_cntr
+open Repro_slim
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n%!")
+
+let ok' = function
+  | Ok v -> v
+  | Error e -> failwith (Errno.to_string e)
+
+let () =
+  let world = Testbed.create () in
+  let reg = world.World.registry in
+
+  step "pick a popular image from the registry";
+  let image = Option.get (Registry.find reg "mysql:latest") in
+  Printf.printf "%s: %s in %d files\n" (Image.ref_ image)
+    (Size.to_string (Image.effective_size image))
+    (List.length (Image.effective_paths image));
+
+  step "run it under fanotify observation and record the working set";
+  let report, slim_image = ok' (Slimmer.slim ~world image) in
+  Printf.printf "accessed %d paths; slim image keeps %d of %d files\n"
+    (List.length report.Slimmer.r_kept_paths) report.Slimmer.r_slim_files
+    report.Slimmer.r_original_files;
+  Printf.printf "size: %s -> %s  (reduction %.1f%%)\n"
+    (Size.to_string report.Slimmer.r_original_bytes)
+    (Size.to_string report.Slimmer.r_slim_bytes)
+    (100. *. report.Slimmer.r_reduction);
+
+  step "what was kept (the application's true working set)";
+  List.iter
+    (fun p -> if not (String.length p >= 5 && String.sub p 0 5 = "/usr/") || String.length p < 30 then Printf.printf "  %s\n" p)
+    report.Slimmer.r_kept_paths;
+
+  step "validate: the slim container still runs its entrypoint";
+  Printf.printf "entrypoint healthy: %b\n" (ok' (Slimmer.validate ~world slim_image));
+
+  step "deployment time: pull fat vs slim from a cold registry cache";
+  Registry.push reg slim_image;
+  Registry.drop_cache reg;
+  let t0 = Clock.now_ns world.World.clock in
+  ignore (Result.get_ok (Registry.pull reg (Image.ref_ image)));
+  let fat_ns = Int64.sub (Clock.now_ns world.World.clock) t0 in
+  Registry.drop_cache reg;
+  let t1 = Clock.now_ns world.World.clock in
+  ignore (Result.get_ok (Registry.pull reg (Image.ref_ slim_image)));
+  let slim_ns = Int64.sub (Clock.now_ns world.World.clock) t1 in
+  Printf.printf "fat pull:  %6.1f ms\nslim pull: %6.1f ms  (%.1fx faster)\n"
+    (Int64.to_float fat_ns /. 1e6)
+    (Int64.to_float slim_ns /. 1e6)
+    (Int64.to_float fat_ns /. Int64.to_float slim_ns);
+
+  step "and the tools the slim image dropped? attach them on demand with cntr";
+  let slim_name = "mysql-slim" in
+  Registry.push reg slim_image;
+  let _c =
+    ok' (World.run_container world ~engine:(World.docker world) ~name:slim_name
+           ~image_ref:(Image.ref_ slim_image) ())
+  in
+  let session = ok' (Testbed.attach world slim_name) in
+  let code, out = Attach.run session "which gdb" in
+  Printf.printf "inside the slim container: which gdb -> %s(exit %d)\n" out code;
+  Attach.detach session;
+  print_endline "\nslim_pipeline done."

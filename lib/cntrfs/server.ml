@@ -1,0 +1,370 @@
+(* The CNTRFS userspace server: a FUSE passthrough filesystem.  It runs as a
+   process (usually root) inside the fat container or on the host and
+   translates FUSE requests into kernel syscalls against its own mount
+   namespace — this is how files of the fat container appear inside the
+   slim container's nested namespace.
+
+   Faithful cost/semantic details from the paper:
+   - every LOOKUP costs a server-side open()+stat() pair to detect
+     hardlinks (the compilebench/postmark bottleneck, §5.2.2);
+   - operations are replayed under the *server's* credential with only
+     fsuid/fsgid switched to the caller (setfsuid emulation) — so
+     RLIMIT_FSIZE (generic/228) and setgid-clearing (generic/375) behave
+     like the server, not the caller. *)
+
+open Repro_util
+open Repro_vfs
+open Repro_os
+open Repro_fuse
+
+type entry = {
+  mutable e_path : string; (* server-namespace path *)
+  e_backing_ino : int;
+  (* a kernel file handle captured at lookup time: CNTR holds an open
+     handle per inode so hardlinked/renamed-away inodes stay reachable
+     after their looked-up name disappears *)
+  e_handle : (int * string) option;
+  mutable e_nlookup : int;
+}
+
+type server_handle = { sh_fd : int; sh_ino : int }
+
+type t = {
+  kernel : Kernel.t;
+  proc : Proc.t;
+  inos : (int, entry) Hashtbl.t; (* driver ino -> entry *)
+  by_backing : (int, int) Hashtbl.t; (* backing st_ino -> driver ino *)
+  fhs : (int, server_handle) Hashtbl.t;
+  mutable next_ino : int;
+  mutable next_fh : int;
+  mutable lookups : int; (* stat counter: server-side lookups performed *)
+}
+
+let root_ino = 1
+
+let create ~kernel ~proc ~root_path =
+  let t =
+    {
+      kernel;
+      proc;
+      inos = Hashtbl.create 256;
+      by_backing = Hashtbl.create 256;
+      fhs = Hashtbl.create 32;
+      next_ino = 2;
+      next_fh = 1;
+      lookups = 0;
+    }
+  in
+  Hashtbl.replace t.inos root_ino
+    { e_path = root_path; e_backing_ino = 0; e_handle = None; e_nlookup = 1 };
+  t
+
+let ( let* ) = Result.bind
+
+let entry t ino =
+  match Hashtbl.find_opt t.inos ino with
+  | Some e -> Ok e
+  | None -> Error Errno.ENOENT
+
+let path_of t ino =
+  let* e = entry t ino in
+  Ok e.e_path
+
+(* setfsuid/setfsgid emulation: run [f] with the caller's uid/gid but the
+   server's capabilities and rlimits. *)
+let with_fsuid t (ctx : Protocol.ctx) f =
+  let cred = t.proc.Proc.cred in
+  let saved_uid = cred.Proc.uid and saved_gid = cred.Proc.gid in
+  cred.Proc.uid <- ctx.Protocol.c_uid;
+  cred.Proc.gid <- ctx.Protocol.c_gid;
+  let result = f () in
+  cred.Proc.uid <- saved_uid;
+  cred.Proc.gid <- saved_gid;
+  result
+
+(* Present a backing stat to the driver: the inode number must be the
+   driver-visible one. *)
+let xlate_stat st ~ino = { st with Types.st_ino = ino }
+
+(* Does the interned path still name the same backing inode?  After
+   "unlink + recreate under the same name" the path aliases a *different*
+   file; CNTR's per-inode handles keep serving the original.  Returns the
+   path when valid, None when stale. *)
+let checked_path t e =
+  match e.e_handle with
+  | None -> Some e.e_path (* directories/symlinks: path-identified *)
+  | Some _ -> (
+      match Kernel.lstat t.kernel t.proc e.e_path with
+      | Ok st when st.Types.st_ino = e.e_backing_ino -> Some e.e_path
+      | _ -> None)
+
+(* Run [f fd] on a transient fd for a stale-path entry (via its handle). *)
+let with_handle_fd t e ?(flags = [ Types.O_RDONLY ]) f =
+  match e.e_handle with
+  | None -> Error Errno.ENOENT
+  | Some handle -> (
+      match Kernel.open_by_handle_at t.kernel t.proc ~flags handle with
+      | Error _ -> Error Errno.ENOENT
+      | Ok fd ->
+          let r = f fd in
+          ignore (Kernel.close t.kernel t.proc fd);
+          r)
+
+(* Path-based op with handle fallback when the path went stale. *)
+let on_entry t ino ~via_path ~via_fd =
+  let* e = entry t ino in
+  match checked_path t e with
+  | Some path -> via_path path
+  | None -> with_handle_fd t e via_fd
+
+(* Allocate (or reuse, for hardlinks) a driver inode for [path]. *)
+let intern t ~path ~(st : Types.stat) =
+  let reuse =
+    match st.Types.st_kind with
+    | Types.Dir -> None (* directories are never hardlinked *)
+    | _ -> Hashtbl.find_opt t.by_backing st.Types.st_ino
+  in
+  match reuse with
+  | Some ino ->
+      let e = Hashtbl.find t.inos ino in
+      e.e_nlookup <- e.e_nlookup + 1;
+      ino
+  | None ->
+      let ino = t.next_ino in
+      t.next_ino <- ino + 1;
+      (* the open()-per-lookup also yields a persistent handle (files and
+         symlinks can be hardlinked away from their looked-up name) *)
+      let handle =
+        match st.Types.st_kind with
+        | Types.Reg | Types.Symlink | Types.Fifo | Types.Sock ->
+            Result.to_option (Kernel.name_to_handle_at t.kernel t.proc ~follow:false path)
+        | _ -> None
+      in
+      Hashtbl.replace t.inos ino
+        { e_path = path; e_backing_ino = st.Types.st_ino; e_handle = handle; e_nlookup = 1 };
+      Hashtbl.replace t.by_backing st.Types.st_ino ino;
+      ino
+
+let handle_lookup t ctx ~parent ~name =
+  let* dir = path_of t parent in
+  let path = Pathx.concat dir name in
+  (* The hardlink-detection tax: one open() for a handle plus one stat(),
+     per lookup (§5.2.2, Compilebench). *)
+  t.lookups <- t.lookups + 1;
+  Clock.consume_int t.kernel.Kernel.clock t.kernel.Kernel.cost.Cost.backing_lookup_ns;
+  let* st = with_fsuid t ctx (fun () -> Kernel.lstat t.kernel t.proc path) in
+  let ino = intern t ~path ~st in
+  Ok (Protocol.R_entry (ino, xlate_stat st ~ino))
+
+let handle_forget t pairs =
+  List.iter
+    (fun (ino, n) ->
+      match Hashtbl.find_opt t.inos ino with
+      | Some e when ino <> root_ino ->
+          e.e_nlookup <- e.e_nlookup - n;
+          if e.e_nlookup <= 0 then begin
+            Hashtbl.remove t.inos ino;
+            Hashtbl.remove t.by_backing e.e_backing_ino
+          end
+      | _ -> ())
+    pairs;
+  Protocol.R_ok
+
+(* After a successful rename, every interned path under the source moves. *)
+let remap_paths t ~src ~dst =
+  Hashtbl.iter
+    (fun _ e ->
+      if e.e_path = src then e.e_path <- dst
+      else
+        match Pathx.strip_prefix ~dir:src e.e_path with
+        | Some rest when rest <> "" -> e.e_path <- Pathx.concat dst rest
+        | _ -> ())
+    t.inos
+
+let open_flags_for_server flags =
+  (* The server opens with the caller's intent but never O_DIRECT (FUSE
+     already rejected it), never O_CREAT/O_EXCL (CREATE handles that), and
+     never O_APPEND — append offsets are resolved by the kernel driver, and
+     WRITE requests carry explicit offsets that must be honored.  Write-only
+     opens are widened to O_RDWR: the writeback cache needs to read partial
+     pages back for read-modify-write. *)
+  flags
+  |> List.filter (fun f ->
+         not (List.mem f [ Types.O_DIRECT; Types.O_CREAT; Types.O_EXCL; Types.O_APPEND ]))
+  |> List.map (function Types.O_WRONLY -> Types.O_RDWR | f -> f)
+
+let alloc_fh t ~fd ~ino =
+  let fh = t.next_fh in
+  t.next_fh <- fh + 1;
+  Hashtbl.replace t.fhs fh { sh_fd = fd; sh_ino = ino };
+  fh
+
+let fh t n =
+  match Hashtbl.find_opt t.fhs n with
+  | Some h -> Ok h
+  | None -> Error Errno.EBADF
+
+(* The main dispatch: one FUSE request in, one response out.  Runs in the
+   server process's namespace; all costs are charged through the kernel. *)
+let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
+  let k = t.kernel and p = t.proc in
+  let wrap r = match r with Ok resp -> resp | Error e -> Protocol.R_err e in
+  wrap
+    (match req with
+    | Protocol.Lookup { parent; name } -> handle_lookup t ctx ~parent ~name
+    | Protocol.Forget pairs -> Ok (handle_forget t pairs)
+    | Protocol.Getattr ino ->
+        let* st =
+          on_entry t ino
+            ~via_path:(fun path -> Kernel.lstat k p path)
+            ~via_fd:(fun fd -> Kernel.fstat k p fd)
+        in
+        Ok (Protocol.R_attr (xlate_stat st ~ino))
+    | Protocol.Setattr (ino, sa) ->
+        let* st =
+          on_entry t ino
+            ~via_path:(fun path ->
+              let* () = with_fsuid t ctx (fun () -> Kernel.setattr_path k p path sa) in
+              Kernel.lstat k p path)
+            ~via_fd:(fun fd -> with_fsuid t ctx (fun () -> Kernel.fsetattr k p fd sa))
+        in
+        Ok (Protocol.R_attr (xlate_stat st ~ino))
+    | Protocol.Readlink ino ->
+        let* target =
+          on_entry t ino
+            ~via_path:(fun path -> Kernel.readlink k p path)
+            ~via_fd:(fun fd -> Kernel.freadlink k p fd)
+        in
+        Ok (Protocol.R_readlink target)
+    | Protocol.Mknod { parent; name; kind; mode } ->
+        let* dir = path_of t parent in
+        let path = Pathx.concat dir name in
+        let* () = with_fsuid t ctx (fun () -> Kernel.mknod k p path ~kind ~mode) in
+        handle_lookup t ctx ~parent ~name
+    | Protocol.Mkdir { parent; name; mode } ->
+        let* dir = path_of t parent in
+        let path = Pathx.concat dir name in
+        let* () = with_fsuid t ctx (fun () -> Kernel.mkdir k p path ~mode) in
+        handle_lookup t ctx ~parent ~name
+    | Protocol.Unlink { parent; name } ->
+        let* dir = path_of t parent in
+        let* () = with_fsuid t ctx (fun () -> Kernel.unlink k p (Pathx.concat dir name)) in
+        Ok Protocol.R_ok
+    | Protocol.Rmdir { parent; name } ->
+        let* dir = path_of t parent in
+        let* () = with_fsuid t ctx (fun () -> Kernel.rmdir k p (Pathx.concat dir name)) in
+        Ok Protocol.R_ok
+    | Protocol.Symlink { parent; name; target } ->
+        let* dir = path_of t parent in
+        let path = Pathx.concat dir name in
+        let* () = with_fsuid t ctx (fun () -> Kernel.symlink k p ~target ~linkpath:path) in
+        handle_lookup t ctx ~parent ~name
+    | Protocol.Rename { src_parent; src_name; dst_parent; dst_name } ->
+        let* sdir = path_of t src_parent in
+        let* ddir = path_of t dst_parent in
+        let src = Pathx.concat sdir src_name and dst = Pathx.concat ddir dst_name in
+        let* () = with_fsuid t ctx (fun () -> Kernel.rename k p ~src ~dst) in
+        remap_paths t ~src ~dst;
+        Ok Protocol.R_ok
+    | Protocol.Link { src; parent; name } ->
+        let* dir = path_of t parent in
+        let path = Pathx.concat dir name in
+        let* () =
+          on_entry t src
+            ~via_path:(fun src_path ->
+              with_fsuid t ctx (fun () -> Kernel.link k p ~target:src_path ~linkpath:path))
+            ~via_fd:(fun fd -> with_fsuid t ctx (fun () -> Kernel.link_fd k p fd ~linkpath:path))
+        in
+        handle_lookup t ctx ~parent ~name
+    | Protocol.Open { ino; flags } ->
+        let* e = entry t ino in
+        let sflags = open_flags_for_server flags in
+        let* fd =
+          match checked_path t e with
+          | Some path -> with_fsuid t ctx (fun () -> Kernel.open_ k p path sflags ~mode:0)
+          | None -> (
+              match e.e_handle with
+              | None -> Error Errno.ENOENT
+              | Some handle -> (
+                  match Kernel.open_by_handle_at k p ~flags:sflags handle with
+                  | Ok fd -> Ok fd
+                  | Error _ -> Error Errno.ENOENT))
+        in
+        Ok (Protocol.R_open (alloc_fh t ~fd ~ino))
+    | Protocol.Create { parent; name; mode; flags } ->
+        let* dir = path_of t parent in
+        let path = Pathx.concat dir name in
+        let* fd =
+          with_fsuid t ctx (fun () ->
+              Kernel.open_ k p path (Types.O_CREAT :: open_flags_for_server flags) ~mode)
+        in
+        let* resp = handle_lookup t ctx ~parent ~name in
+        (match resp with
+        | Protocol.R_entry (ino, st) -> Ok (Protocol.R_create (ino, st, alloc_fh t ~fd ~ino))
+        | _ -> Error Errno.EIO)
+    | Protocol.Read { fh = n; off; len } ->
+        let* h = fh t n in
+        let* data = Kernel.pread k p h.sh_fd ~off ~len in
+        Ok (Protocol.R_data data)
+    | Protocol.Write { fh = n; off; data } ->
+        let* h = fh t n in
+        let* written = with_fsuid t ctx (fun () -> Kernel.pwrite k p h.sh_fd ~off data) in
+        Ok (Protocol.R_written written)
+    | Protocol.Flush _ -> Ok Protocol.R_ok
+    | Protocol.Release n ->
+        (match Hashtbl.find_opt t.fhs n with
+        | Some h ->
+            Hashtbl.remove t.fhs n;
+            ignore (Kernel.close k p h.sh_fd)
+        | None -> ());
+        Ok Protocol.R_ok
+    | Protocol.Fsync n ->
+        let* h = fh t n in
+        let* () = Kernel.fsync k p h.sh_fd in
+        Ok Protocol.R_ok
+    | Protocol.Fallocate { fh = n; off; len } ->
+        let* h = fh t n in
+        let* () = Kernel.fallocate k p h.sh_fd ~off ~len in
+        Ok Protocol.R_ok
+    | Protocol.Readdir ino ->
+        let* path = path_of t ino in
+        let* entries = Kernel.readdir k p path in
+        Ok (Protocol.R_dirents entries)
+    | Protocol.Getxattr (ino, name) ->
+        let* v =
+          on_entry t ino
+            ~via_path:(fun path -> Kernel.getxattr k p path name)
+            ~via_fd:(fun fd -> Kernel.fgetxattr k p fd name)
+        in
+        Ok (Protocol.R_xattr v)
+    | Protocol.Setxattr (ino, name, value) ->
+        let* () =
+          on_entry t ino
+            ~via_path:(fun path -> with_fsuid t ctx (fun () -> Kernel.setxattr k p path name value))
+            ~via_fd:(fun fd -> with_fsuid t ctx (fun () -> Kernel.fsetxattr k p fd name value))
+        in
+        Ok Protocol.R_ok
+    | Protocol.Listxattr ino ->
+        let* names =
+          on_entry t ino
+            ~via_path:(fun path -> Kernel.listxattr k p path)
+            ~via_fd:(fun fd -> Kernel.flistxattr k p fd)
+        in
+        Ok (Protocol.R_xattr_names names)
+    | Protocol.Removexattr (ino, name) ->
+        let* () =
+          on_entry t ino
+            ~via_path:(fun path -> with_fsuid t ctx (fun () -> Kernel.removexattr k p path name))
+            ~via_fd:(fun fd -> with_fsuid t ctx (fun () -> Kernel.fremovexattr k p fd name))
+        in
+        Ok Protocol.R_ok
+    | Protocol.Statfs ->
+        let* path = path_of t root_ino in
+        let* s = Kernel.statfs k p path in
+        Ok (Protocol.R_statfs s)
+    | Protocol.Destroy ->
+        Hashtbl.iter (fun _ h -> ignore (Kernel.close k p h.sh_fd)) t.fhs;
+        Hashtbl.reset t.fhs;
+        Ok Protocol.R_ok)
+
+let lookups_performed t = t.lookups

@@ -1,0 +1,27 @@
+(** The CNTRFS userspace server: a FUSE passthrough filesystem running as a
+    process (usually root) inside the fat container or on the host,
+    translating protocol requests into kernel syscalls against its own
+    mount namespace.
+
+    Faithful details from the paper: every LOOKUP costs a server-side
+    open()+stat() pair for hardlink detection (the compilebench/postmark
+    bottleneck, §5.2.2); operations are replayed with only fsuid/fsgid
+    switched to the caller (setfsuid emulation), which is why RLIMIT_FSIZE
+    (generic/228) and setgid-clearing (generic/375) behave like the server.
+    Per-inode file handles keep hardlinked or recreated-under-the-same-name
+    inodes reachable after their looked-up path goes stale. *)
+
+open Repro_os
+open Repro_fuse
+
+type t
+
+(** [create ~kernel ~proc ~root_path] serves [root_path] (resolved in
+    [proc]'s namespace — "/" of the fat container after setns). *)
+val create : kernel:Kernel.t -> proc:Proc.t -> root_path:string -> t
+
+(** The request handler to install with {!Conn.set_handler}. *)
+val handle : t -> Protocol.ctx -> Protocol.req -> Protocol.resp
+
+(** Server-side lookups performed so far (the open()+stat() tax). *)
+val lookups_performed : t -> int

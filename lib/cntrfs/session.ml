@@ -1,0 +1,30 @@
+(* Wiring: connection + driver + server = a mounted CntrFS.  Used directly
+   by the xfstests harness and the benchmarks; the full CNTR attach flow
+   (lib/core) builds the same session inside a nested namespace. *)
+
+open Repro_vfs
+open Repro_os
+open Repro_fuse
+
+type t = {
+  conn : Conn.t;
+  driver : Driver.t;
+  server : Server.t;
+  fs : Fsops.t;
+}
+
+(* Create a CntrFS session: the server process [server_proc] serves
+   [root_path] out of its own mount namespace.  The returned [fs] can be
+   mounted anywhere with [Kernel.mount_at]. *)
+let create ~kernel ~server_proc ~root_path ?(opts = Opts.cntr_default) ?(threads = 4) ~budget () =
+  let conn = Conn.create ~clock:kernel.Kernel.clock ~cost:kernel.Kernel.cost in
+  conn.Conn.threads <- threads;
+  let server = Server.create ~kernel ~proc:server_proc ~root_path in
+  Conn.set_handler conn (Server.handle server);
+  let driver = Driver.create ~conn ~opts ~budget in
+  Conn.start_serving conn;
+  { conn; driver; server; fs = Driver.ops driver }
+
+let fs t = t.fs
+let stats t = Conn.stats t.conn
+let set_client_concurrency t n = Driver.set_client_concurrency t.driver n

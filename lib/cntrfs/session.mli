@@ -1,0 +1,36 @@
+(** Wiring: FUSE connection + kernel-side driver + passthrough server = a
+    mountable CntrFS.  The xfstests harness and the benchmarks use this
+    directly; the full attach workflow builds the same session inside a
+    nested namespace. *)
+
+open Repro_os
+open Repro_vfs
+open Repro_fuse
+
+type t = {
+  conn : Conn.t;
+  driver : Driver.t;
+  server : Server.t;
+  fs : Fsops.t;  (** mount this with {!Kernel.mount_at} *)
+}
+
+(** Create a serving session: [server_proc] serves [root_path] out of its
+    own mount namespace.  [budget] is the page-cache budget the driver
+    shares with the backing filesystems (double-buffering pressure). *)
+val create :
+  kernel:Kernel.t ->
+  server_proc:Proc.t ->
+  root_path:string ->
+  ?opts:Opts.t ->
+  ?threads:int ->
+  budget:Mem_budget.t ->
+  unit ->
+  t
+
+val fs : t -> Fsops.t
+
+(** Protocol statistics: request counts by kind, bytes, splice usage. *)
+val stats : t -> Conn.stats
+
+(** Hint used by the serialized-dirops contention model (Figure 3c). *)
+val set_client_concurrency : t -> int -> unit

@@ -1,0 +1,222 @@
+(* `cntr attach`: the four-step workflow of §3.2.
+
+   #1 Resolve the container name to a PID and read its execution context
+      from /proc; open /dev/fuse while still outside the container.
+   #2 Launch the CntrFS server — on the host, or setns()'d into the "fat"
+      container that carries the tools.
+   #3 Fork into the application container, create a nested mount namespace,
+      privatize it, mount CntrFS as the new root, re-anchor the application
+      filesystem at /var/lib/cntr, bind /proc, /dev and config files from
+      the application, chroot, then apply the container's environment
+      (except PATH), capabilities and LSM profile.
+   #4 Start an interactive shell on a pseudo-TTY. *)
+
+open Repro_util
+open Repro_vfs
+open Repro_os
+open Repro_fuse
+open Repro_cntrfs
+open Repro_runtime
+
+type tools_location =
+  | From_host
+  | From_container of string (* the fat container's name *)
+
+type session = {
+  sn_kernel : Kernel.t;
+  sn_shell_proc : Proc.t; (* lives in the nested namespace *)
+  sn_server_proc : Proc.t;
+  sn_cntr_proc : Proc.t;
+  sn_tty : Tty.t;
+  sn_conn : Conn.t;
+  sn_driver : Driver.t;
+  sn_server : Server.t;
+  sn_ctx : Context.t;
+  sn_app_pid : int;
+}
+
+let ( let* ) = Result.bind
+
+let tmp_mountpoint = "/var/lib/.cntr-nested"
+
+let rec mkdir_p kernel proc path =
+  match Kernel.stat kernel proc path with
+  | Ok _ -> Ok ()
+  | Error Errno.ENOENT ->
+      let parent = Pathx.dirname path in
+      let* () = if parent = "/" || parent = "." then Ok () else mkdir_p kernel proc parent in
+      (match Kernel.mkdir kernel proc path ~mode:0o755 with
+      | Ok () | (Error Errno.EEXIST) -> Ok ()
+      | Error e -> Error e)
+  | Error e -> Error e
+
+(* The configuration files CNTR bind-mounts from the application container
+   over the tools filesystem (§3.2.3). *)
+let config_files = [ "/etc/passwd"; "/etc/group"; "/etc/hostname"; "/etc/resolv.conf"; "/etc/hosts" ]
+
+(* [from] is the process launching cntr — by default the host's init (the
+   admin's shell).  Passing a process that lives inside a (privileged)
+   container gives the paper's §7 "nested container" design: cntr runs in
+   one container and attaches to another, with the launching container's
+   filesystem serving as the tools side. *)
+let attach ~kernel ~engines ~budget ?from ?(tools = From_host) ?(opts = Opts.cntr_default)
+    ?(threads = 4) name =
+  let init = match from with Some p -> p | None -> Kernel.init_proc kernel in
+
+  (* ----- step #1: resolve the container, gather its context ----- *)
+  let* _engine, container = Engine.resolve_any engines name in
+  let app_pid = Container.pid container in
+  let cntr_proc = Kernel.fork kernel init in
+  cntr_proc.Proc.comm <- "cntr";
+  let* ctx = Context.inspect kernel cntr_proc ~pid:app_pid in
+  (* open /dev/fuse before entering the container; the fd survives setns *)
+  let* fuse_fd = Kernel.open_ kernel cntr_proc "/dev/fuse" [ Types.O_RDWR ] ~mode:0 in
+  let* conn = Dev_fuse.conn_of_fd cntr_proc fuse_fd in
+  conn.Conn.threads <- threads;
+
+  (* ----- step #2: launch the CntrFS server ----- *)
+  let server_proc = Kernel.fork kernel cntr_proc in
+  server_proc.Proc.comm <- "cntrfs";
+  let* () =
+    match tools with
+    | From_host -> Ok ()
+    | From_container fat_name ->
+        let* _e, fat = Engine.resolve_any engines fat_name in
+        Kernel.setns kernel server_proc ~target_pid:(Container.pid fat) [ Namespace.Mnt ]
+  in
+  let server = Server.create ~kernel ~proc:server_proc ~root_path:"/" in
+  Conn.set_handler conn (Server.handle server);
+  (* the server blocks until the child signals that CntrFS is mounted *)
+
+  (* ----- step #3: initialize the nested namespace ----- *)
+  let child = Kernel.fork kernel cntr_proc in
+  child.Proc.comm <- "cntr-shell";
+  let* () =
+    Kernel.setns kernel child ~target_pid:app_pid
+      [ Namespace.Mnt; Namespace.Pid; Namespace.Net; Namespace.Uts; Namespace.Ipc ]
+  in
+  Kernel.cgroup_attach kernel child ~cgroup:ctx.Context.cx_cgroup;
+  let* () = Kernel.unshare kernel child [ Namespace.Mnt ] in
+  (* mark everything private: nested mounts must not propagate back *)
+  let* () = Kernel.make_rprivate kernel child in
+  let driver = Driver.create ~conn ~opts ~budget in
+  let fs = Driver.ops driver in
+  let* () = mkdir_p kernel child tmp_mountpoint in
+  let* _m = Kernel.mount_at kernel child ~fs tmp_mountpoint in
+  (* signal the parent (over the shared Unix socketpair) to start serving *)
+  Conn.start_serving conn;
+  (* re-anchor the application filesystem under the tools root *)
+  let* () = mkdir_p kernel child (tmp_mountpoint ^ "/var/lib/cntr") in
+  let* _m = Kernel.bind_mount kernel child ~src:"/" ~dst:(tmp_mountpoint ^ "/var/lib/cntr") in
+  (* the tools must see the application's /proc and /dev *)
+  let* () =
+    List.fold_left
+      (fun acc special ->
+        let* () = acc in
+        match Kernel.stat kernel child special with
+        | Error _ -> Ok () (* the app container doesn't have it *)
+        | Ok _ ->
+            let dst = tmp_mountpoint ^ special in
+            let* () = mkdir_p kernel child dst in
+            let* _m = Kernel.bind_mount kernel child ~src:special ~dst in
+            Ok ())
+      (Ok ())
+      [ "/proc"; "/dev" ]
+  in
+  (* bind application config files over the tools filesystem *)
+  let* () =
+    List.fold_left
+      (fun acc file ->
+        let* () = acc in
+        match Kernel.stat kernel child file with
+        | Error _ -> Ok ()
+        | Ok _ -> (
+            let dst = tmp_mountpoint ^ file in
+            let* () = mkdir_p kernel child (Pathx.dirname dst) in
+            let* () =
+              match Kernel.stat kernel child dst with
+              | Ok _ -> Ok ()
+              | Error Errno.ENOENT ->
+                  let* fd = Kernel.open_ kernel child dst [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644 in
+                  Kernel.close kernel child fd
+              | Error e -> Error e
+            in
+            match Kernel.bind_mount kernel child ~src:file ~dst with
+            | Ok _ -> Ok ()
+            | Error e -> Error e))
+      (Ok ()) config_files
+  in
+  (* atomically swap the root: chroot into the assembled tree *)
+  let* () = Kernel.chroot kernel child tmp_mountpoint in
+  let* () = Kernel.chdir kernel child "/" in
+  (* environment: the container's, except PATH which comes from the tools
+     side since the tools live there (§3.2.3) *)
+  let tools_path = Option.value ~default:"/usr/local/bin:/usr/bin:/bin" (Proc.getenv cntr_proc "PATH") in
+  child.Proc.env <- ("PATH", tools_path) :: List.remove_assoc "PATH" ctx.Context.cx_env;
+  (* drop privileges to the container's *)
+  Kernel.apply_lsm_profile kernel child ctx.Context.cx_lsm_profile;
+  child.Proc.cred.Proc.caps <- ctx.Context.cx_caps;
+  child.Proc.cred.Proc.uid <- ctx.Context.cx_uid;
+  child.Proc.cred.Proc.gid <- ctx.Context.cx_gid;
+
+  (* ----- step #4: interactive shell on a pseudo-TTY ----- *)
+  let tty = Tty.attach kernel child in
+  Ok
+    {
+      sn_kernel = kernel;
+      sn_shell_proc = child;
+      sn_server_proc = server_proc;
+      sn_cntr_proc = cntr_proc;
+      sn_tty = tty;
+      sn_conn = conn;
+      sn_driver = driver;
+      sn_server = server;
+      sn_ctx = ctx;
+      sn_app_pid = app_pid;
+    }
+
+(* Run one shell command inside the session; returns (exit code, output). *)
+let run session cmd =
+  let code =
+    match Shell.eval session.sn_kernel session.sn_shell_proc cmd with
+    | Ok c -> c
+    | Error e ->
+        ignore (Kernel.write session.sn_kernel session.sn_shell_proc 1 ("cntr: " ^ Errno.message e ^ "\n"));
+        126
+  in
+  (code, Tty.read_output session.sn_tty)
+
+(* Tear the session down: shell and server exit; the nested namespace dies
+   with its last process, leaving the application container untouched. *)
+let detach session =
+  ignore (Server.handle session.sn_server Protocol.root_ctx Protocol.Destroy);
+  Kernel.exit session.sn_kernel session.sn_shell_proc 0;
+  Kernel.exit session.sn_kernel session.sn_server_proc 0;
+  Kernel.exit session.sn_kernel session.sn_cntr_proc 0
+
+let context session = session.sn_ctx
+
+(* A human-readable session report: the FUSE traffic the tools generated —
+   useful to understand what an attach session cost (the numbers behind
+   §5.2's analysis). *)
+let report session =
+  let stats = Conn.stats session.sn_conn in
+  let cache = Driver.cache_stats session.sn_driver in
+  let by_kind =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats.Conn.by_kind []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+    |> String.concat " "
+  in
+  let hit_rate =
+    let total = cache.Page_cache.hits + cache.Page_cache.misses in
+    if total = 0 then 0. else 100. *. float_of_int cache.Page_cache.hits /. float_of_int total
+  in
+  Printf.sprintf
+    "cntrfs session: %d requests (%s)\ntransfer: %s to server, %s from server, %s spliced\npage cache: %.0f%% hit rate (%d hits, %d misses, %d evictions)\nserver: %d lookups (open+stat each)\n"
+    stats.Conn.requests by_kind
+    (Size.to_string stats.Conn.bytes_to_server)
+    (Size.to_string stats.Conn.bytes_from_server)
+    (Size.to_string stats.Conn.spliced_bytes)
+    hit_rate cache.Page_cache.hits cache.Page_cache.misses cache.Page_cache.evictions
+    (Server.lookups_performed session.sn_server)

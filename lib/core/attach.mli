@@ -1,0 +1,73 @@
+(** [cntr attach]: the paper's four-step workflow (§3.2).
+
+    Attaching builds a nested mount namespace inside a running application
+    container: CntrFS (serving the tools side — host or fat container)
+    becomes the root filesystem, the application's filesystem is re-anchored
+    at [/var/lib/cntr], its [/proc], [/dev] and key [/etc] files are
+    bind-mounted over the tools view, and an interactive shell starts on a
+    pseudo-TTY with the container's environment, capabilities and LSM
+    profile applied. *)
+
+open Repro_os
+open Repro_vfs
+
+(** Where the auxiliary tools come from (§2.4). *)
+type tools_location =
+  | From_host  (** serve the launching namespace's filesystem (usually the host) *)
+  | From_container of string  (** serve a named "fat" container's filesystem *)
+
+(** A live attach session. *)
+type session = {
+  sn_kernel : Kernel.t;
+  sn_shell_proc : Proc.t;  (** the shell process, inside the nested namespace *)
+  sn_server_proc : Proc.t;  (** the CntrFS server process *)
+  sn_cntr_proc : Proc.t;  (** the cntr frontend process *)
+  sn_tty : Tty.t;  (** pseudo-TTY master side *)
+  sn_conn : Repro_fuse.Conn.t;  (** the FUSE connection (statistics live here) *)
+  sn_driver : Repro_fuse.Driver.t;
+  sn_server : Repro_cntrfs.Server.t;
+  sn_ctx : Context.t;  (** the container context captured in step #1 *)
+  sn_app_pid : int;  (** pid of the application container's main process *)
+}
+
+(** The mountpoint of the nested root inside the application container's
+    filesystem (created by step #3; invisible to the application itself). *)
+val tmp_mountpoint : string
+
+(** The application files bind-mounted over the tools filesystem. *)
+val config_files : string list
+
+(** [attach ~kernel ~engines ~budget name] performs steps #1–#4 against the
+    container named (or id-prefixed) [name].
+
+    @param from the process launching cntr; defaults to the host's init.
+      Passing a process inside a privileged container yields the paper's §7
+      nested-container design.
+    @param tools where the tool filesystem comes from (default {!From_host}).
+    @param opts FUSE mount options (default {!Repro_fuse.Opts.cntr_default}).
+    @param threads CntrFS server threads (default 4). *)
+val attach :
+  kernel:Kernel.t ->
+  engines:Repro_runtime.Engine.engines ->
+  budget:Mem_budget.t ->
+  ?from:Proc.t ->
+  ?tools:tools_location ->
+  ?opts:Repro_fuse.Opts.t ->
+  ?threads:int ->
+  string ->
+  (session, Repro_util.Errno.t) result
+
+(** Run one shell command line inside the session; returns the exit code and
+    everything written to the pseudo-TTY. *)
+val run : session -> string -> int * string
+
+(** Tear the session down: the shell and server exit and the nested
+    namespace disappears; the application container is untouched. *)
+val detach : session -> unit
+
+(** The container context captured during step #1. *)
+val context : session -> Context.t
+
+(** Human-readable FUSE traffic summary of the session: request counts by
+    kind, transfer volumes, page-cache hit rate, server-side lookups. *)
+val report : session -> string

@@ -1,0 +1,14 @@
+(** /dev/fuse: opening the device yields a fresh FUSE connection carried on
+    the fd.  CNTR opens the fd before entering the container (step #1) and
+    mounts it from inside the nested namespace (step #3). *)
+
+open Repro_os
+
+type Proc.custom_payload += Fuse_conn of Repro_fuse.Conn.t
+
+(** Register the /dev/fuse character device (major 10, minor 229) with the
+    kernel; each open creates a fresh {!Repro_fuse.Conn.t}. *)
+val install : Kernel.t -> unit
+
+(** Extract the connection carried by an open /dev/fuse fd. *)
+val conn_of_fd : Proc.t -> int -> (Repro_fuse.Conn.t, Repro_util.Errno.t) result

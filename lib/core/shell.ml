@@ -1,0 +1,261 @@
+(* A small POSIX-ish shell: tokenization with quoting, PATH resolution,
+   output redirection, builtins.  This is the interactive shell CNTR starts
+   inside the nested namespace (step #4); tools it launches resolve through
+   CntrFS while the application filesystem stays reachable under
+   /var/lib/cntr. *)
+
+open Repro_util
+open Repro_os
+
+let ( let* ) = Result.bind
+
+(* --- tokenizer: whitespace-separated, double quotes group ---------------- *)
+
+let tokenize line =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let in_quotes = ref false in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> in_quotes := not !in_quotes
+      | ' ' | '\t' when not !in_quotes -> flush ()
+      | c -> Buffer.add_char buf c)
+    line;
+  flush ();
+  List.rev !tokens
+
+(* $VAR / ${VAR} expansion against the process environment *)
+let expand_vars proc token =
+  let buf = Buffer.create (String.length token) in
+  let n = String.length token in
+  let is_var_char c = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' in
+  let rec go i =
+    if i >= n then ()
+    else if token.[i] = '$' && i + 1 < n then begin
+      if token.[i + 1] = '{' then begin
+        match String.index_from_opt token (i + 2) '}' with
+        | Some close ->
+            let name = String.sub token (i + 2) (close - i - 2) in
+            Buffer.add_string buf (Option.value ~default:"" (Repro_os.Proc.getenv proc name));
+            go (close + 1)
+        | None ->
+            Buffer.add_char buf '$';
+            go (i + 1)
+      end
+      else begin
+        let j = ref (i + 1) in
+        while !j < n && is_var_char token.[!j] do incr j done;
+        if !j = i + 1 then begin
+          Buffer.add_char buf '$';
+          go (i + 1)
+        end
+        else begin
+          let name = String.sub token (i + 1) (!j - i - 1) in
+          Buffer.add_string buf (Option.value ~default:"" (Repro_os.Proc.getenv proc name));
+          go !j
+        end
+      end
+    end
+    else begin
+      Buffer.add_char buf token.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* split a token list on "|" into pipeline stages *)
+let split_pipeline tokens =
+  let rec go cur acc = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | "|" :: rest -> go [] (List.rev cur :: acc) rest
+    | t :: rest -> go (t :: cur) acc rest
+  in
+  go [] [] tokens
+
+(* split off `> file` / `>> file` redirections *)
+type redirect = No_redirect | Truncate of string | Append of string
+
+let parse_redirect tokens =
+  let rec go acc = function
+    | [] -> (List.rev acc, No_redirect)
+    | ">" :: file :: rest -> (List.rev acc @ rest, Truncate file)
+    | ">>" :: file :: rest -> (List.rev acc @ rest, Append file)
+    | t :: rest -> go (t :: acc) rest
+  in
+  go [] tokens
+
+(* --- PATH resolution -------------------------------------------------------- *)
+
+let resolve_binary kernel proc name =
+  if String.contains name '/' then
+    match Kernel.access kernel proc name Repro_vfs.Types.x_ok with
+    | Ok () -> Ok name
+    | Error e -> Error e
+  else
+    let path = Option.value ~default:"/usr/bin:/bin" (Proc.getenv proc "PATH") in
+    let dirs = String.split_on_char ':' path in
+    let rec search = function
+      | [] -> Error Errno.ENOENT
+      | dir :: rest ->
+          let candidate = Pathx.concat dir name in
+          (match Kernel.access kernel proc candidate Repro_vfs.Types.x_ok with
+          | Ok () -> Ok candidate
+          | Error _ -> search rest)
+    in
+    search dirs
+
+(* --- evaluation -------------------------------------------------------------- *)
+
+(* Run one command line as [proc].  Supports `a | b | c` pipelines (each
+   stage's stdout feeds the next stage's stdin through a kernel pipe) and a
+   trailing `>`/`>>` redirect.  Output goes to the process's fd 1 (or the
+   redirect target).  Returns the exit code of the last stage. *)
+let rec eval kernel proc line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok 0
+  else begin
+    let tokens = List.map (expand_vars proc) (tokenize line) in
+    let tokens, redirect = parse_redirect tokens in
+    let stages = split_pipeline tokens in
+    match stages with
+    | [] | [ [] ] -> Ok 0
+    | _ ->
+        let saved_stdout = Proc.fd proc 1 in
+        let saved_stdin = Proc.fd proc 0 in
+        let restore_std () =
+          (match saved_stdout with
+          | Some e -> Hashtbl.replace proc.Proc.fds 1 e
+          | None -> Hashtbl.remove proc.Proc.fds 1);
+          match saved_stdin with
+          | Some e -> Hashtbl.replace proc.Proc.fds 0 e
+          | None -> Hashtbl.remove proc.Proc.fds 0
+        in
+        (* final-stage stdout: redirect target or the saved stdout *)
+        let* set_final_stdout =
+          match redirect with
+          | No_redirect -> Ok (fun () -> restore_out_only saved_stdout proc)
+          | Truncate file | Append file ->
+              let flags =
+                Repro_vfs.Types.O_CREAT :: Repro_vfs.Types.O_WRONLY
+                ::
+                (match redirect with
+                | Append _ -> [ Repro_vfs.Types.O_APPEND ]
+                | _ -> [ Repro_vfs.Types.O_TRUNC ])
+              in
+              let* fd = Kernel.open_ kernel proc file flags ~mode:0o644 in
+              let entry = Option.get (Proc.fd proc fd) in
+              Hashtbl.remove proc.Proc.fds fd;
+              Ok (fun () -> Hashtbl.replace proc.Proc.fds 1 entry)
+        in
+        let rec run_stages stages code =
+          match stages with
+          | [] -> Ok code
+          | stage :: rest -> (
+              let is_last = rest = [] in
+              (* stdout for this stage: a fresh pipe unless last *)
+              let next_stdin =
+                if is_last then begin
+                  set_final_stdout ();
+                  None
+                end
+                else begin
+                  let p = Pipe.create ~capacity:(1024 * 1024) () in
+                  Hashtbl.replace proc.Proc.fds 1 (Proc.Pipe_w p);
+                  Some p
+                end
+              in
+              let result =
+                match stage with
+                | [] -> Ok 0
+                | cmd :: args -> run_command kernel proc cmd args
+              in
+              (* wire this stage's output to the next stage's stdin *)
+              (match next_stdin with
+              | Some p ->
+                  Pipe.close_writer p;
+                  Hashtbl.replace proc.Proc.fds 0 (Proc.Pipe_r p)
+              | None -> ());
+              match result with
+              | Ok c -> run_stages rest c
+              | Error _ as e -> e)
+        in
+        let result = run_stages stages 0 in
+        (* drop a redirect target's description if we installed one *)
+        (match (redirect, Proc.fd proc 1) with
+        | (Truncate _ | Append _), Some (Proc.File f) -> Kernel.release_file f
+        | _ -> ());
+        restore_std ();
+        result
+  end
+
+and restore_out_only saved proc =
+  match saved with
+  | Some e -> Hashtbl.replace proc.Proc.fds 1 e
+  | None -> Hashtbl.remove proc.Proc.fds 1
+
+and print kernel proc s = ignore (Kernel.write kernel proc 1 s)
+
+and run_command kernel proc cmd args =
+  match cmd with
+  (* builtins *)
+  | "echo" ->
+      print kernel proc (String.concat " " args ^ "\n");
+      Ok 0
+  | "cd" -> (
+      let dir = match args with d :: _ -> d | [] -> "/" in
+      match Kernel.chdir kernel proc dir with
+      | Ok () -> Ok 0
+      | Error e ->
+          print kernel proc ("cd: " ^ Errno.message e ^ "\n");
+          Ok 1)
+  | "export" ->
+      List.iter
+        (fun a ->
+          match String.index_opt a '=' with
+          | Some i ->
+              Proc.setenv proc (String.sub a 0 i)
+                (String.sub a (i + 1) (String.length a - i - 1))
+          | None -> ())
+        args;
+      Ok 0
+  | "exit" -> Ok (match args with c :: _ -> int_of_string_opt c |> Option.value ~default:0 | [] -> 0)
+  | "true" -> Ok 0
+  | "false" -> Ok 1
+  | _ -> (
+      match
+        match resolve_binary kernel proc cmd with
+        | Ok path -> Ok path
+        | Error _ when not (String.contains cmd '/') -> (
+            (* busybox systems: fall back to the multiplexed binary *)
+            match Kernel.access kernel proc "/bin/busybox" Repro_vfs.Types.x_ok with
+            | Ok () -> Ok "/bin/busybox"
+            | Error _ -> Error Errno.ENOENT)
+        | Error e -> Error e
+      with
+      | Error e ->
+          print kernel proc (Printf.sprintf "sh: %s: command not found (%s)\n" cmd (Errno.to_string e));
+          Ok 127
+      | Ok path -> (
+          match Kernel.exec kernel proc path (cmd :: args) with
+          | Ok code -> Ok code
+          | Error e ->
+              print kernel proc
+                (Printf.sprintf "sh: %s: cannot execute (%s)\n" cmd (Errno.to_string e));
+              Ok 126))
+
+(* Run a script: evaluate line by line, stop on the first hard error. *)
+let eval_script kernel proc text =
+  let lines = String.split_on_char '\n' text in
+  List.fold_left
+    (fun acc line ->
+      let* _code = acc in
+      eval kernel proc line)
+    (Ok 0) lines

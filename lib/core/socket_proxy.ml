@@ -1,0 +1,134 @@
+(* Unix-socket forwarding (§3.2.4).  Sockets seen through CntrFS carry the
+   FUSE mount's inode identity, so the kernel cannot associate them with
+   the live socket on the other side — connections fail.  The proxy
+   listens at the requested path *inside* the nested namespace and relays
+   each accepted connection to the real socket in the tools namespace with
+   an epoll + splice(2) pump, moving bytes without userspace copies. *)
+
+open Repro_util
+open Repro_os
+
+type pair = {
+  p_client_fd : int; (* accepted fd, nested-namespace side *)
+  p_backend_fd : int; (* connected fd, tools side *)
+}
+
+type t = {
+  fw_kernel : Kernel.t;
+  fw_front_proc : Proc.t; (* in the nested namespace *)
+  fw_back_proc : Proc.t; (* in the tools namespace *)
+  fw_path : string; (* front path, inside the nested namespace *)
+  fw_backend_path : string; (* real socket, tools-namespace side *)
+  fw_listen_fd : int;
+  fw_epoll_fd : int;
+  mutable fw_pairs : pair list;
+  mutable fw_closed : bool;
+}
+
+let ( let* ) = Result.bind
+
+(* Start forwarding: a listener appears at [path] inside the nested
+   namespace, relaying to [backend_path] (default: the same path) in the
+   tools namespace.  A distinct front path mirrors how CNTR points clients
+   at the proxy (e.g. via DISPLAY) when the real path's socket file already
+   exists on the tools side. *)
+let forward ~kernel ~front_proc ~back_proc ?backend_path path =
+  let backend_path = Option.value ~default:path backend_path in
+  let* listen_fd = Kernel.socket_listen kernel front_proc path in
+  let epoll_fd = Kernel.epoll_create kernel front_proc in
+  let* () =
+    Kernel.epoll_add kernel front_proc ~epfd:epoll_fd ~fd:listen_fd
+      ~interest:{ Epoll.want_in = true; want_out = false }
+  in
+  Ok
+    {
+      fw_kernel = kernel;
+      fw_front_proc = front_proc;
+      fw_back_proc = back_proc;
+      fw_path = path;
+      fw_backend_path = backend_path;
+      fw_listen_fd = listen_fd;
+      fw_epoll_fd = epoll_fd;
+      fw_pairs = [];
+      fw_closed = false;
+    }
+
+let accept_new t =
+  let k = t.fw_kernel in
+  let rec go made =
+    match Kernel.socket_accept k t.fw_front_proc t.fw_listen_fd with
+    | Ok client_fd -> (
+        match Kernel.socket_connect k t.fw_back_proc t.fw_backend_path with
+        | Ok backend_fd ->
+            ignore
+              (Kernel.epoll_add k t.fw_front_proc ~epfd:t.fw_epoll_fd ~fd:client_fd
+                 ~interest:{ Epoll.want_in = true; want_out = false });
+            t.fw_pairs <- { p_client_fd = client_fd; p_backend_fd = backend_fd } :: t.fw_pairs;
+            go (made + 1)
+        | Error _ ->
+            (* no backend: drop the client *)
+            ignore (Kernel.close k t.fw_front_proc client_fd);
+            go made)
+    | Error _ -> made
+  in
+  go 0
+
+(* Move bytes in both directions for every pair; returns bytes moved. *)
+let relay t =
+  let k = t.fw_kernel in
+  let moved = ref 0 in
+  List.iter
+    (fun pair ->
+      (* client -> backend: splice from the front process's fd... both fds
+         live in different processes, so relay via explicit read/write on
+         each side's fd table, spliced through a kernel pipe. *)
+      let pump ~src_proc ~src_fd ~dst_proc ~dst_fd =
+        let rec go () =
+          match Kernel.read k src_proc src_fd ~len:65536 with
+          | Ok data when data <> "" -> (
+              Clock.consume_int k.Kernel.clock k.Kernel.cost.Cost.splice_setup_ns;
+              match Kernel.write k dst_proc dst_fd data with
+              | Ok n ->
+                  moved := !moved + n;
+                  go ()
+              | Error _ -> ())
+          | _ -> ()
+        in
+        go ()
+      in
+      pump ~src_proc:t.fw_front_proc ~src_fd:pair.p_client_fd ~dst_proc:t.fw_back_proc
+        ~dst_fd:pair.p_backend_fd;
+      pump ~src_proc:t.fw_back_proc ~src_fd:pair.p_backend_fd ~dst_proc:t.fw_front_proc
+        ~dst_fd:pair.p_client_fd)
+    t.fw_pairs;
+  !moved
+
+(* One event-loop turn: poll, accept, relay.  Returns true if any work was
+   done; callers pump until quiescent. *)
+let pump t =
+  if t.fw_closed then false
+  else begin
+    let _events = Result.value ~default:[] (Kernel.epoll_wait t.fw_kernel t.fw_front_proc t.fw_epoll_fd) in
+    let accepted = accept_new t in
+    let moved = relay t in
+    accepted > 0 || moved > 0
+  end
+
+let pump_until_quiet t =
+  let rec go n = if n > 0 && pump t then go (n - 1) in
+  go 64
+
+let connection_count t = List.length t.fw_pairs
+
+let close t =
+  if not t.fw_closed then begin
+    t.fw_closed <- true;
+    let k = t.fw_kernel in
+    List.iter
+      (fun pair ->
+        ignore (Kernel.close k t.fw_front_proc pair.p_client_fd);
+        ignore (Kernel.close k t.fw_back_proc pair.p_backend_fd))
+      t.fw_pairs;
+    t.fw_pairs <- [];
+    ignore (Kernel.close k t.fw_front_proc t.fw_listen_fd)
+  end

@@ -1,0 +1,36 @@
+(** Unix-socket forwarding (§3.2.4).
+
+    Socket files seen through CntrFS carry the FUSE mount's inode identity,
+    so the kernel cannot associate them with the live socket on the other
+    side and connections fail with [ECONNREFUSED].  The proxy listens at a
+    path inside the nested namespace and relays each accepted connection to
+    the real socket in the tools namespace with an epoll + splice pump. *)
+
+open Repro_os
+
+type t
+
+(** [forward ~kernel ~front_proc ~back_proc path] starts a listener at
+    [path] in [front_proc]'s namespace (the nested one), relaying to
+    [?backend_path] (default: the same path) resolved in [back_proc]'s
+    namespace (the tools side). *)
+val forward :
+  kernel:Kernel.t ->
+  front_proc:Proc.t ->
+  back_proc:Proc.t ->
+  ?backend_path:string ->
+  string ->
+  (t, Repro_util.Errno.t) result
+
+(** One event-loop turn: poll, accept new clients, relay bytes both ways.
+    Returns [true] if any work was done. *)
+val pump : t -> bool
+
+(** Pump until a turn does no work (bounded). *)
+val pump_until_quiet : t -> unit
+
+(** Number of currently bridged connections. *)
+val connection_count : t -> int
+
+(** Close the listener and all bridged connections. *)
+val close : t -> unit

@@ -1,0 +1,27 @@
+(** The fully-assembled simulated machine CNTR operates on: a
+    {!Repro_runtime.World} plus CNTR's own pieces — the toolbox programs,
+    the /dev/fuse device, and a published "fat" debug-tools image. *)
+
+type t = Repro_runtime.World.t
+
+(** Tools baked into the debug image (gdb, strace, ps, ...). *)
+val debug_tools : string list
+
+(** The "cntr/debug-tools" fat image: an Alpine base plus the toolbox. *)
+val debug_image : unit -> Repro_image.Image.t
+
+(** Build a world with programs registered, /dev/fuse installed and the
+    debug image published.  [memory_mb] bounds the shared page-cache
+    budget; [disk] selects an SSD-backed host filesystem. *)
+val create : ?memory_mb:int -> ?disk:bool -> unit -> t
+
+(** [attach world name] — {!Attach.attach} wired to the world's kernel,
+    engines and memory budget. *)
+val attach :
+  t ->
+  ?from:Repro_os.Proc.t ->
+  ?tools:Attach.tools_location ->
+  ?opts:Repro_fuse.Opts.t ->
+  ?threads:int ->
+  string ->
+  (Attach.session, Repro_util.Errno.t) result

@@ -1,0 +1,490 @@
+(* The programs behind the binaries in images and on the host: shell,
+   coreutils, and the debugging tools (gdb, strace, ps, top) whose
+   on-demand delivery is CNTR's purpose.  Each writes to the process's fd 1
+   and sees exactly the process's namespace view — a gdb launched inside
+   the nested namespace reads the *application container's* /proc. *)
+
+open Repro_util
+open Repro_os
+
+let out k p s = ignore (Kernel.write k p 1 s)
+let outf k p fmt = Printf.ksprintf (out k p) fmt
+
+(* drain standard input (for pipeline filter tools) *)
+let read_stdin k p =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match Kernel.read k p 0 ~len:65536 with
+    | Ok "" -> ()
+    | Ok s ->
+        Buffer.add_string buf s;
+        go ()
+    | Error _ -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lines_of text =
+  String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+
+let ( let* ) = Result.bind
+
+(* list the numeric entries of /proc with their comm *)
+let proc_entries k p =
+  let* entries = Kernel.readdir k p "/proc" in
+  let pids =
+    List.filter_map (fun e -> int_of_string_opt e.Repro_vfs.Types.d_name) entries
+    |> List.sort compare
+  in
+  Ok
+    (List.filter_map
+       (fun pid ->
+         match Kernel.read_whole k p (Printf.sprintf "/proc/%d/status" pid) with
+         | Ok status ->
+             let name =
+               String.split_on_char '\n' status
+               |> List.find_map (fun l ->
+                      match String.index_opt l '\t' with
+                      | Some i when String.length l > 5 && String.sub l 0 5 = "Name:" ->
+                          Some (String.sub l (i + 1) (String.length l - i - 1))
+                      | _ -> None)
+             in
+             Some (pid, Option.value ~default:"?" name)
+         | Error _ -> None)
+       pids)
+
+let register_all kernel =
+  let reg name f = Kernel.register_program kernel name f in
+
+  (* busybox: one binary, many applets, dispatched on argv[0] (or on the
+     first argument when invoked as "busybox <applet> ...") *)
+  reg "busybox" (fun k p args ->
+      let applet, rest =
+        match args with
+        | argv0 :: rest when Repro_util.Pathx.basename argv0 <> "busybox" ->
+            (Repro_util.Pathx.basename argv0, rest)
+        | _ :: applet :: rest -> (applet, rest)
+        | _ -> ("sh", [])
+      in
+      match Hashtbl.find_opt k.Kernel.programs applet with
+      | Some prog when applet <> "busybox" -> prog k p (applet :: rest)
+      | _ ->
+          outf k p "busybox: applet not found: %s\n" applet;
+          127);
+
+  reg "sh" (fun k p args ->
+      (* invoked as a shebang interpreter: sh <script>; or `sh -c "cmd"` *)
+      match args with
+      | _ :: "-c" :: cmd :: _ ->
+          (match Shell.eval k p cmd with Ok c -> c | Error _ -> 1)
+      | _ :: script :: _ -> (
+          match Kernel.read_whole k p script with
+          | Ok text -> (
+              match Shell.eval_script k p text with Ok c -> c | Error _ -> 1)
+          | Error _ -> 127)
+      | _ -> 0);
+
+  reg "echo" (fun k p args ->
+      out k p (String.concat " " (List.tl args) ^ "\n");
+      0);
+
+  reg "cat" (fun k p args ->
+      List.fold_left
+        (fun code file ->
+          match Kernel.read_whole k p file with
+          | Ok content ->
+              out k p content;
+              code
+          | Error e ->
+              outf k p "cat: %s: %s\n" file (Errno.message e);
+              1)
+        0 (List.tl args));
+
+  reg "ls" (fun k p args ->
+      let dirs = match List.tl args with [] -> [ "." ] | l -> l in
+      List.fold_left
+        (fun code dir ->
+          match Kernel.readdir k p dir with
+          | Ok entries ->
+              entries
+              |> List.filter (fun e -> e.Repro_vfs.Types.d_name <> "." && e.Repro_vfs.Types.d_name <> "..")
+              |> List.iter (fun e -> out k p (e.Repro_vfs.Types.d_name ^ "\n"));
+              code
+          | Error Errno.ENOTDIR ->
+              out k p (dir ^ "\n");
+              code
+          | Error e ->
+              outf k p "ls: %s: %s\n" dir (Errno.message e);
+              1)
+        0 dirs);
+
+  reg "env" (fun k p _args ->
+      List.iter (fun (key, v) -> outf k p "%s=%s\n" key v) p.Proc.env;
+      0);
+
+  reg "which" (fun k p args ->
+      List.fold_left
+        (fun code name ->
+          match Shell.resolve_binary k p name with
+          | Ok path ->
+              out k p (path ^ "\n");
+              code
+          | Error _ ->
+              outf k p "which: no %s in PATH\n" name;
+              1)
+        0 (List.tl args));
+
+  reg "id" (fun k p _args ->
+      outf k p "uid=%d gid=%d groups=%s\n" p.Proc.cred.Proc.uid p.Proc.cred.Proc.gid
+        (String.concat "," (List.map string_of_int p.Proc.cred.Proc.groups));
+      0);
+
+  reg "hostname" (fun k p _args ->
+      out k p (Kernel.gethostname k p ^ "\n");
+      0);
+
+  reg "ps" (fun k p _args ->
+      match proc_entries k p with
+      | Ok entries ->
+          out k p "  PID COMMAND\n";
+          List.iter (fun (pid, name) -> outf k p "%5d %s\n" pid name) entries;
+          0
+      | Error e ->
+          outf k p "ps: cannot read /proc: %s\n" (Errno.message e);
+          1);
+
+  reg "top" (fun k p _args ->
+      match proc_entries k p with
+      | Ok entries ->
+          outf k p "Tasks: %d total\n" (List.length entries);
+          0
+      | Error _ -> 1);
+
+  (* gdb -p <pid>: attach to a process.  Works only if the target is
+     visible in this namespace's /proc and we hold CAP_SYS_PTRACE — the
+     "tools have the same view on system resources as the application"
+     property of §3.1. *)
+  reg "gdb" (fun k p args ->
+      match args with
+      | _ :: "-p" :: pid :: _ -> (
+          if not (Caps.Set.mem Caps.CAP_SYS_PTRACE p.Proc.cred.Proc.caps)
+             && p.Proc.cred.Proc.uid <> 0
+          then begin
+            out k p "gdb: ptrace: Operation not permitted\n";
+            1
+          end
+          else
+            match Kernel.read_whole k p (Printf.sprintf "/proc/%s/status" pid) with
+            | Ok status ->
+                let name =
+                  match String.index_opt status '\t' with
+                  | Some i ->
+                      let rest = String.sub status (i + 1) (String.length status - i - 1) in
+                      List.hd (String.split_on_char '\n' rest)
+                  | None -> "?"
+                in
+                outf k p "Attaching to process %s\nReading symbols from %s...\n(gdb) attached\n" pid name;
+                0
+            | Error _ ->
+                outf k p "gdb: cannot attach to %s: no such process in this namespace\n" pid;
+                1)
+      | _ ->
+          out k p "GNU gdb (sim) 8.1\n(gdb) no target\n";
+          0);
+
+  reg "strace" (fun k p args ->
+      match args with
+      | _ :: "-p" :: pid :: _ -> (
+          match Kernel.stat k p (Printf.sprintf "/proc/%s" pid) with
+          | Ok _ ->
+              outf k p "strace: Process %s attached\nread(3, ...) = 42\n" pid;
+              0
+          | Error _ ->
+              outf k p "strace: attach: %s: No such process\n" pid;
+              1)
+      | _ -> 0);
+
+  reg "mount" (fun k p _args ->
+      Kernel.mounts_of_ns p.Proc.ns.Proc.mnt
+      |> List.iter (fun m ->
+             outf k p "%s on mount-%d type %s\n" m.Mount.m_fs.Repro_vfs.Fsops.fs_name
+               m.Mount.m_id m.Mount.m_fs.Repro_vfs.Fsops.fs_name);
+      0);
+
+  reg "grep" (fun k p args ->
+      match List.tl args with
+      | pattern :: files ->
+          let matched = ref false in
+          let scan content =
+            String.split_on_char '\n' content
+            |> List.iter (fun line ->
+                   let contains =
+                     let pl = String.length pattern and ll = String.length line in
+                     let rec go i = i + pl <= ll && (String.sub line i pl = pattern || go (i + 1)) in
+                     pl > 0 && go 0
+                   in
+                   if contains then begin
+                     matched := true;
+                     out k p (line ^ "\n")
+                   end)
+          in
+          (match files with
+          | [] -> scan (read_stdin k p) (* filter mode in a pipeline *)
+          | _ ->
+              List.iter
+                (fun file ->
+                  match Kernel.read_whole k p file with
+                  | Ok content -> scan content
+                  | Error e -> outf k p "grep: %s: %s\n" file (Errno.message e))
+                files);
+          if !matched then 0 else 1
+      | [] -> 2);
+
+  reg "find" (fun k p args ->
+      let start = match List.tl args with d :: _ -> d | [] -> "." in
+      let rec walk path =
+        out k p (path ^ "\n");
+        match Kernel.readdir k p path with
+        | Ok entries ->
+            List.iter
+              (fun e ->
+                let n = e.Repro_vfs.Types.d_name in
+                if n <> "." && n <> ".." then
+                  let child = Pathx.concat path n in
+                  match e.Repro_vfs.Types.d_kind with
+                  | Repro_vfs.Types.Dir -> walk child
+                  | _ -> out k p (child ^ "\n"))
+              entries
+        | Error _ -> ()
+      in
+      walk start;
+      0);
+
+  reg "stat" (fun k p args ->
+      List.fold_left
+        (fun code file ->
+          match Kernel.stat k p file with
+          | Ok st ->
+              outf k p "  File: %s\n  Size: %d\n  Inode: %d  Links: %d\n  Uid: %d Gid: %d Mode: %o\n"
+                file st.Repro_vfs.Types.st_size st.Repro_vfs.Types.st_ino
+                st.Repro_vfs.Types.st_nlink st.Repro_vfs.Types.st_uid st.Repro_vfs.Types.st_gid
+                st.Repro_vfs.Types.st_mode;
+              code
+          | Error e ->
+              outf k p "stat: %s: %s\n" file (Errno.message e);
+              1)
+        0 (List.tl args));
+
+  reg "du" (fun k p args ->
+      let rec du path =
+        match Kernel.stat k p path with
+        | Error _ -> 0
+        | Ok st -> (
+            match st.Repro_vfs.Types.st_kind with
+            | Repro_vfs.Types.Dir -> (
+                match Kernel.readdir k p path with
+                | Ok entries ->
+                    List.fold_left
+                      (fun acc e ->
+                        let n = e.Repro_vfs.Types.d_name in
+                        if n = "." || n = ".." then acc else acc + du (Pathx.concat path n))
+                      0 entries
+                | Error _ -> 0)
+            | _ -> st.Repro_vfs.Types.st_size)
+      in
+      let path = match List.tl args with d :: _ -> d | [] -> "." in
+      let total = du path in
+      outf k p "%d\t%s\n" total path;
+      0);
+
+  reg "vi" (fun k p args ->
+      (* headless "editor": append an edit marker, proving in-place config
+         editing through /var/lib/cntr works (§7 workflow) *)
+      match List.tl args with
+      | file :: _ -> (
+          match
+            let* fd =
+              Kernel.open_ k p file [ Repro_vfs.Types.O_CREAT; Repro_vfs.Types.O_WRONLY; Repro_vfs.Types.O_APPEND ] ~mode:0o644
+            in
+            let* _ = Kernel.write k p fd "# edited with vi via cntr\n" in
+            Kernel.close k p fd
+          with
+          | Ok () -> 0
+          | Error e ->
+              outf k p "vi: %s: %s\n" file (Errno.message e);
+              1)
+      | [] -> 0);
+
+  reg "less" (fun k p args ->
+      match List.tl args with
+      | file :: _ -> (
+          match Kernel.read_whole k p file with
+          | Ok c ->
+              out k p c;
+              0
+          | Error e ->
+              outf k p "less: %s: %s\n" file (Errno.message e);
+              1)
+      | [] -> 0);
+
+  reg "pkg" (fun k p args ->
+      outf k p "pkg: simulated package manager (%s)\n" (String.concat " " (List.tl args));
+      0);
+
+  (* pipeline filter tools: read stdin (or files), write stdout *)
+  let input k p files =
+    match files with
+    | [] -> read_stdin k p
+    | _ ->
+        String.concat ""
+          (List.map (fun f -> Result.value ~default:"" (Kernel.read_whole k p f)) files)
+  in
+  reg "wc" (fun k p args ->
+      let flags, files = List.partition (fun a -> String.length a > 0 && a.[0] = '-') (List.tl args) in
+      let text = input k p files in
+      let l = List.length (lines_of text) in
+      if List.mem "-l" flags then outf k p "%d\n" l
+      else outf k p "%d %d\n" l (String.length text);
+      0);
+  reg "head" (fun k p args ->
+      let n, files =
+        match List.tl args with
+        | "-n" :: count :: rest -> (Option.value ~default:10 (int_of_string_opt count), rest)
+        | rest -> (10, rest)
+      in
+      let ls = lines_of (input k p files) in
+      List.iteri (fun i l -> if i < n then out k p (l ^ "\n")) ls;
+      0);
+  reg "tail" (fun k p args ->
+      let n, files =
+        match List.tl args with
+        | "-n" :: count :: rest -> (Option.value ~default:10 (int_of_string_opt count), rest)
+        | rest -> (10, rest)
+      in
+      let ls = lines_of (input k p files) in
+      let total = List.length ls in
+      List.iteri (fun i l -> if i >= total - n then out k p (l ^ "\n")) ls;
+      0);
+  reg "sort" (fun k p args ->
+      let ls = lines_of (input k p (List.tl args)) in
+      List.iter (fun l -> out k p (l ^ "\n")) (List.sort compare ls);
+      0);
+  reg "uniq" (fun k p args ->
+      let ls = lines_of (input k p (List.tl args)) in
+      let rec go prev = function
+        | [] -> ()
+        | l :: rest ->
+            if Some l <> prev then out k p (l ^ "\n");
+            go (Some l) rest
+      in
+      go None ls;
+      0);
+
+  (* real file-management tools *)
+  reg "rm" (fun k p args ->
+      List.fold_left
+        (fun code f ->
+          match Kernel.unlink k p f with
+          | Ok () -> code
+          | Error e ->
+              outf k p "rm: %s: %s\n" f (Errno.message e);
+              1)
+        0
+        (List.filter (fun a -> a <> "-f" && a <> "-r") (List.tl args)));
+  reg "mkdir" (fun k p args ->
+      List.fold_left
+        (fun code d ->
+          match Kernel.mkdir k p d ~mode:0o755 with
+          | Ok () -> code
+          | Error e ->
+              outf k p "mkdir: %s: %s\n" d (Errno.message e);
+              1)
+        0
+        (List.filter (fun a -> a <> "-p") (List.tl args)));
+  reg "rmdir" (fun k p args ->
+      List.fold_left
+        (fun code d ->
+          match Kernel.rmdir k p d with
+          | Ok () -> code
+          | Error e ->
+              outf k p "rmdir: %s: %s\n" d (Errno.message e);
+              1)
+        0 (List.tl args));
+  reg "touch" (fun k p args ->
+      List.fold_left
+        (fun code f ->
+          match Kernel.open_ k p f [ Repro_vfs.Types.O_CREAT; Repro_vfs.Types.O_WRONLY ] ~mode:0o644 with
+          | Ok fd ->
+              ignore (Kernel.close k p fd);
+              code
+          | Error e ->
+              outf k p "touch: %s: %s\n" f (Errno.message e);
+              1)
+        0 (List.tl args));
+  reg "cp" (fun k p args ->
+      match List.tl args with
+      | [ src; dst ] -> (
+          match Kernel.read_whole k p src with
+          | Error e ->
+              outf k p "cp: %s: %s\n" src (Errno.message e);
+              1
+          | Ok data -> (
+              match
+                let* fd =
+                  Kernel.open_ k p dst
+                    [ Repro_vfs.Types.O_CREAT; Repro_vfs.Types.O_WRONLY; Repro_vfs.Types.O_TRUNC ]
+                    ~mode:0o644
+                in
+                let* _ = Kernel.write k p fd data in
+                Kernel.close k p fd
+              with
+              | Ok () -> 0
+              | Error e ->
+                  outf k p "cp: %s: %s\n" dst (Errno.message e);
+                  1))
+      | _ -> 2);
+  reg "mv" (fun k p args ->
+      match List.tl args with
+      | [ src; dst ] -> (
+          match Kernel.rename k p ~src ~dst with
+          | Ok () -> 0
+          | Error e ->
+              outf k p "mv: %s\n" (Errno.message e);
+              1)
+      | _ -> 2);
+  reg "ln" (fun k p args ->
+      match List.tl args with
+      | [ "-s"; target; linkpath ] -> (
+          match Kernel.symlink k p ~target ~linkpath with
+          | Ok () -> 0
+          | Error e ->
+              outf k p "ln: %s\n" (Errno.message e);
+              1)
+      | [ target; linkpath ] -> (
+          match Kernel.link k p ~target ~linkpath with
+          | Ok () -> 0
+          | Error e ->
+              outf k p "ln: %s\n" (Errno.message e);
+              1)
+      | _ -> 2);
+  reg "chmod" (fun k p args ->
+      match List.tl args with
+      | [ mode; f ] -> (
+          match int_of_string_opt ("0o" ^ mode) with
+          | None -> 2
+          | Some m -> (
+              match Kernel.chmod k p f m with
+              | Ok () -> 0
+              | Error e ->
+                  outf k p "chmod: %s\n" (Errno.message e);
+                  1))
+      | _ -> 2);
+
+  (* remaining fillers used only as catalogue ballast *)
+  List.iter
+    (fun name ->
+      if not (Kernel.program_exists kernel name) then
+        reg name (fun k p args ->
+            outf k p "%s: ok\n" (String.concat " " args);
+            0))
+    [ "chown"; "cut"; "tr"; "date"; "df"; "sed"; "awk"; "tar" ]

@@ -1,0 +1,7 @@
+(** The programs behind the binaries in images and on the host: the shell,
+    coreutils, and the debugging tools (gdb, strace, ps, top, vi, ...) whose
+    on-demand delivery is CNTR's purpose.  Programs write to the calling
+    process's fd 1 and observe exactly that process's namespace view. *)
+
+(** Register every toolbox program with the kernel's program registry. *)
+val register_all : Repro_os.Kernel.t -> unit

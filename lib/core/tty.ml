@@ -1,0 +1,44 @@
+(* Pseudo-TTY plumbing (§3.2.4).  The shell inside the nested namespace
+   must not hold the user's real terminal fds — a pseudo-TTY pair proxies
+   its standard streams, and the master side is what `cntr` forwards to the
+   user's terminal. *)
+
+open Repro_os
+
+type t = {
+  (* master side: what the cntr process on the host reads/writes *)
+  m_out : Pipe.t; (* shell stdout/stderr -> user *)
+  m_in : Pipe.t; (* user keystrokes -> shell stdin *)
+}
+
+(* Allocate the pair and install the slave ends as fds 0/1/2 of [proc]. *)
+let attach _kernel proc =
+  let m_out = Pipe.create ~capacity:(1024 * 1024) () in
+  let m_in = Pipe.create ~capacity:(64 * 1024) () in
+  Hashtbl.replace proc.Proc.fds 0 (Proc.Pipe_r m_in);
+  Hashtbl.replace proc.Proc.fds 1 (Proc.Pipe_w m_out);
+  Hashtbl.replace proc.Proc.fds 2 (Proc.Pipe_w m_out);
+  { m_out; m_in }
+
+(* Drain everything the shell has written. *)
+let read_output t =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match Pipe.read t.m_out ~len:65536 with
+    | Ok "" -> ()
+    | Ok s ->
+        Buffer.add_string buf s;
+        go ()
+    | Error _ -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let send_input t s =
+  match Pipe.write t.m_in s with Ok n -> n | Error _ -> 0
+
+let input_line t =
+  (* read one line the user typed, if any *)
+  match Pipe.read t.m_in ~len:4096 with
+  | Ok s when s <> "" -> Some s
+  | _ -> None

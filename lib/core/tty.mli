@@ -1,0 +1,20 @@
+(** Pseudo-TTY plumbing (§3.2.4): the shell's standard streams are proxied
+    through a pty pair so the container never holds the user's real
+    terminal file descriptors. *)
+
+open Repro_os
+
+type t
+
+(** Allocate a pty pair and install the slave ends as fds 0/1/2 of [proc].
+    The returned value is the master side. *)
+val attach : Kernel.t -> Proc.t -> t
+
+(** Drain everything the shell has written to stdout/stderr. *)
+val read_output : t -> string
+
+(** Queue keyboard input for the shell's stdin; returns bytes accepted. *)
+val send_input : t -> string -> int
+
+(** Read one chunk of queued input (the shell side's view), if any. *)
+val input_line : t -> string option

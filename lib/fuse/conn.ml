@@ -1,0 +1,102 @@
+(* A FUSE connection (/dev/fuse): the transport between the kernel driver
+   and the userspace server.  This is where the FUSE tax is charged: two
+   context switches per round trip, payload copies (or splice), and the
+   server's multi-thread coordination overhead.  Batched requests amortize
+   the context switches — the paper's batching optimization (§3.3). *)
+
+open Repro_util
+
+type stats = {
+  mutable requests : int;
+  mutable round_trips : int; (* context-switch pairs actually paid *)
+  mutable bytes_to_server : int;
+  mutable bytes_from_server : int;
+  mutable spliced_bytes : int;
+  by_kind : (string, int) Hashtbl.t;
+}
+
+type t = {
+  clock : Clock.t;
+  cost : Cost.t;
+  mutable handler : (Protocol.ctx -> Protocol.req -> Protocol.resp) option;
+  (* Number of server worker threads reading /dev/fuse. *)
+  mutable threads : int;
+  (* Per-request thread coordination penalty per extra thread, ns. *)
+  mutable thread_coord_ns : int;
+  stats : stats;
+  mutable serving : bool;
+  (* while true, calls charge no virtual time (background writeback) *)
+  mutable background : bool;
+}
+
+let create ~clock ~cost = {
+  clock;
+  cost;
+  handler = None;
+  threads = 4;
+  thread_coord_ns = cost.Cost.thread_coord_ns;
+  stats =
+    {
+      requests = 0;
+      round_trips = 0;
+      bytes_to_server = 0;
+      bytes_from_server = 0;
+      spliced_bytes = 0;
+      by_kind = Hashtbl.create 16;
+    };
+  serving = false;
+  background = false;
+}
+
+let stats t = t.stats
+
+let set_handler t h = t.handler <- Some h
+
+(* The CNTR handshake: the child signals the server (over a Unix socket)
+   once CntrFS is mounted inside the nested namespace; only then does the
+   server start reading /dev/fuse (§3.2.2). *)
+let start_serving t = t.serving <- true
+
+let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+(* Issue one request.
+
+   [batch] — how many requests this round trip is amortized over (async
+   reads, batched forgets): the two context switches are divided by it.
+   [splice] — payload moved by splice instead of copied. *)
+let call t ?(batch = 1) ?(splice = false) ctx req =
+  match t.handler with
+  | None -> Protocol.R_err Errno.ENOTCONN
+  | Some handler ->
+      if not t.serving then Protocol.R_err Errno.ENOTCONN
+      else begin
+        let s = t.stats in
+        let charge ns = if not t.background then Clock.consume_int t.clock ns in
+        s.requests <- s.requests + 1;
+        bump s.by_kind (Protocol.req_kind req);
+        (* Two context switches per round trip, amortized over the batch. *)
+        charge (2 * t.cost.Cost.context_switch_ns / max 1 batch);
+        s.round_trips <- s.round_trips + 1;
+        (* Server-side dispatch: one read(2) on /dev/fuse. *)
+        charge t.cost.Cost.syscall_ns;
+        (* Multithreaded servers pay coordination per request (Figure 4). *)
+        if t.threads > 1 then charge (t.thread_coord_ns * (t.threads - 1));
+        (* Request payload transfer. *)
+        let out_bytes = Protocol.req_payload_bytes req in
+        s.bytes_to_server <- s.bytes_to_server + out_bytes;
+        if splice then begin
+          charge t.cost.Cost.splice_setup_ns;
+          s.spliced_bytes <- s.spliced_bytes + out_bytes
+        end
+        else charge (Cost.copy_cost t.cost out_bytes);
+        let resp = handler ctx req in
+        (* Response payload transfer. *)
+        let in_bytes = Protocol.resp_payload_bytes resp in
+        s.bytes_from_server <- s.bytes_from_server + in_bytes;
+        if splice then begin
+          charge t.cost.Cost.splice_setup_ns;
+          s.spliced_bytes <- s.spliced_bytes + in_bytes
+        end
+        else charge (Cost.copy_cost t.cost in_bytes);
+        resp
+      end

@@ -1,0 +1,44 @@
+(** A FUSE connection (/dev/fuse): the transport between the kernel driver
+    and the userspace server, where the FUSE tax is charged — two context
+    switches per round trip, payload copies (or splice), and the server's
+    multi-thread coordination.  Batched requests amortize the context
+    switches (§3.3). *)
+
+open Repro_util
+
+type stats = {
+  mutable requests : int;
+  mutable round_trips : int;
+  mutable bytes_to_server : int;
+  mutable bytes_from_server : int;
+  mutable spliced_bytes : int;
+  by_kind : (string, int) Hashtbl.t;  (** request counts per opcode name *)
+}
+
+type t = {
+  clock : Clock.t;
+  cost : Cost.t;
+  mutable handler : (Protocol.ctx -> Protocol.req -> Protocol.resp) option;
+  mutable threads : int;  (** server worker threads (Figure 4) *)
+  mutable thread_coord_ns : int;
+  stats : stats;
+  mutable serving : bool;
+  mutable background : bool;
+      (** while true, calls charge no virtual time (background writeback) *)
+}
+
+val create : clock:Clock.t -> cost:Cost.t -> t
+val stats : t -> stats
+
+(** Install the server's request handler. *)
+val set_handler : t -> (Protocol.ctx -> Protocol.req -> Protocol.resp) -> unit
+
+(** The CNTR handshake: the child signals once CntrFS is mounted inside the
+    nested namespace; only then does the server read /dev/fuse (§3.2.2).
+    Calls before this return [ENOTCONN]. *)
+val start_serving : t -> unit
+
+(** Issue one request.  [batch] divides the context-switch cost (async
+    reads, coalesced forgets); [splice] moves payloads by page remapping
+    instead of copying. *)
+val call : t -> ?batch:int -> ?splice:bool -> Protocol.ctx -> Protocol.req -> Protocol.resp

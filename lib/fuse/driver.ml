@@ -1,0 +1,888 @@
+(* The kernel-side FUSE driver: an [Fsops.t] whose operations become
+   protocol requests on a [Conn.t].  It owns the caches that make FUSE
+   bearable — the dentry/attr caches, and a data-bearing page cache with
+   FOPEN_KEEP_CACHE and writeback semantics — and implements the request
+   batching and splice transports of §3.3.
+
+   Deliberate limitations that reproduce the paper's xfstests failures:
+   - O_DIRECT opens fail (mmap and direct I/O are mutually exclusive and
+     CNTR needs mmap to exec binaries) — generic/391;
+   - inodes are not exportable (no name_to_handle_at) — generic/426;
+   - RLIMIT_FSIZE and setgid-clearing are lost because the server replays
+     operations under its own credential — generic/228 and generic/375. *)
+
+open Repro_util
+open Repro_vfs
+
+type handle = {
+  dh_ino : Types.ino;
+  dh_server_fh : int;
+  dh_readable : bool;
+  dh_writable : bool;
+  dh_append : bool;
+  dh_sync : bool; (* O_SYNC: bypass the writeback cache *)
+  mutable dh_open : bool;
+}
+
+type t = {
+  conn : Conn.t;
+  opts : Opts.t;
+  clock : Clock.t;
+  cost : Cost.t;
+  fs_id : int;
+  (* page cache: presence/LRU/dirty in [pcache], bytes in [pdata] *)
+  pcache : Page_cache.t;
+  pdata : (int * int, Bytes.t) Hashtbl.t;
+  sizes : (Types.ino, int) Hashtbl.t;
+  entries : (Types.ino * string, Types.ino) Hashtbl.t;
+  attrs : (Types.ino, Types.stat) Hashtbl.t;
+  nlookup : (Types.ino, int) Hashtbl.t;
+  handles : (int, handle) Hashtbl.t;
+  wb_fhs : (Types.ino, int) Hashtbl.t; (* a writable server fh per ino, for writeback *)
+  mutable next_fh : int;
+  mutable forget_q : (Types.ino * int) list;
+  mutable last_wb_flush_ns : int64;
+  (* Number of concurrently-operating client threads; drives the
+     serialized-dirops contention model when parallel_dirops is off. *)
+  mutable client_concurrency : int;
+}
+
+let ( let* ) = Result.bind
+
+let page_size t = t.cost.Cost.page_size
+
+let ctx_of (cred : Types.cred) =
+  { Protocol.c_uid = cred.Types.uid; c_gid = cred.Types.gid; c_pid = 0 }
+
+(* One request round trip.  Splice write mode costs an extra context switch
+   on *every* request (the header must be examined in a pipe first). *)
+let rt t ?(batch = 1) ?(splice = false) ctx req =
+  if t.opts.Opts.splice_write then
+    Clock.consume_int t.clock t.cost.Cost.context_switch_ns;
+  Protocol.err_of_resp (Conn.call t.conn ~batch ~splice ctx req)
+
+(* Serialized directory operations: without FUSE_PARALLEL_DIROPS concurrent
+   lookups queue behind a per-directory lock; each client thread waits for
+   the others' round trips. *)
+let dirop_penalty t =
+  if (not t.opts.Opts.parallel_dirops) && t.client_concurrency > 1 then
+    Clock.consume_int t.clock
+      ((t.client_concurrency - 1) * (t.cost.Cost.context_switch_ns + 600))
+
+let cache_attr t st =
+  if t.opts.Opts.attr_cache then Hashtbl.replace t.attrs st.Types.st_ino st;
+  (match st.Types.st_kind with
+  | Types.Reg -> Hashtbl.replace t.sizes st.Types.st_ino st.Types.st_size
+  | _ -> ())
+
+let bump_nlookup t ino =
+  Hashtbl.replace t.nlookup ino (1 + Option.value ~default:0 (Hashtbl.find_opt t.nlookup ino))
+
+let getattr t ino =
+  match Hashtbl.find_opt t.attrs ino with
+  | Some st -> Ok st
+  | None -> (
+      match rt t Protocol.root_ctx (Protocol.Getattr ino) with
+      | Ok (Protocol.R_attr st) ->
+          cache_attr t st;
+          Ok st
+      | Ok _ -> Error Errno.EIO
+      | Error e -> Error e)
+
+(* default_permissions: the driver checks mode bits itself from cached
+   attributes (it cannot interpret server-side ACLs). *)
+let check_perm t cred ino want =
+  let* st = getattr t ino in
+  if
+    Perm.check cred ~uid:st.Types.st_uid ~gid:st.Types.st_gid
+      ~mode:st.Types.st_mode want
+  then Ok ()
+  else Error Errno.EACCES
+
+let check_delete t cred dir_ino child_ino =
+  let* () = check_perm t cred dir_ino (Types.w_ok lor Types.x_ok) in
+  let* dir_st = getattr t dir_ino in
+  if dir_st.Types.st_mode land Types.s_isvtx = 0 then Ok ()
+  else
+    let* child_st = getattr t child_ino in
+    if
+      cred.Types.cap_fowner
+      || cred.Types.uid = child_st.Types.st_uid
+      || cred.Types.uid = dir_st.Types.st_uid
+    then Ok ()
+    else Error Errno.EPERM
+
+let size_of t ino = Option.value ~default:0 (Hashtbl.find_opt t.sizes ino)
+
+let invalidate_attr t ino =
+  Hashtbl.remove t.attrs ino
+
+let drop_entry t parent name = Hashtbl.remove t.entries (parent, name)
+
+(* --- forgets ------------------------------------------------------------ *)
+
+(* Is any cached dentry still referencing this inode?  (A second hardlink
+   keeps the inode alive after one name is unlinked.) *)
+let ino_referenced t ino =
+  Hashtbl.fold (fun _ v acc -> acc || v = ino) t.entries false
+
+let queue_forget t ino =
+  match Hashtbl.find_opt t.nlookup ino with
+  | None -> ()
+  | Some n ->
+      Hashtbl.remove t.nlookup ino;
+      t.forget_q <- (ino, n) :: t.forget_q;
+      if List.length t.forget_q >= t.opts.Opts.forget_batch then begin
+        let batch = List.length t.forget_q in
+        ignore (rt t ~batch Protocol.root_ctx (Protocol.Forget t.forget_q));
+        t.forget_q <- []
+      end
+
+(* --- page data helpers --------------------------------------------------- *)
+
+let get_page_bytes t ino page =
+  match Hashtbl.find_opt t.pdata (ino, page) with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make (page_size t) '\000' in
+      Hashtbl.replace t.pdata (ino, page) b;
+      b
+
+(* Fetch pages [first..last] of [ino] from the server via READ requests
+   (splice / async batching applied) and install them in the cache. *)
+let fetch_pages t ctx ~server_fh ~ino ~first ~last =
+  let ps = page_size t in
+  let pages_per_req = max 1 (t.opts.Opts.max_read / ps) in
+  let rec fetch_chunk page remaining_reqs =
+    if page > last then Ok ()
+    else begin
+      let chunk_pages = min pages_per_req (last - page + 1) in
+      let off = page * ps in
+      let len = chunk_pages * ps in
+      let batch =
+        if t.opts.Opts.async_read then min t.opts.Opts.read_batch remaining_reqs else 1
+      in
+      let* resp =
+        rt t ~batch ~splice:t.opts.Opts.splice_read ctx
+          (Protocol.Read { fh = server_fh; off; len })
+      in
+      let* data = match resp with Protocol.R_data d -> Ok d | _ -> Error Errno.EIO in
+      (* install page data — but never clobber pages already cached (they
+         may hold dirty data newer than the server's copy) *)
+      for p = 0 to chunk_pages - 1 do
+        if not (Page_cache.mem t.pcache ~ino ~page:(page + p)) then begin
+          let b = Bytes.make ps '\000' in
+          let src_off = p * ps in
+          if src_off < String.length data then begin
+            let n = min ps (String.length data - src_off) in
+            Bytes.blit_string data src_off b 0 n
+          end;
+          Hashtbl.replace t.pdata (ino, page + p) b;
+          ignore (Page_cache.touch t.pcache ~ino ~page:(page + p) ~dirty:false)
+        end
+      done;
+      fetch_chunk (page + chunk_pages) (max 1 (remaining_reqs - 1))
+    end
+  in
+  let total_reqs = ((last - first) / pages_per_req) + 1 in
+  fetch_chunk first total_reqs
+
+(* --- writeback ----------------------------------------------------------- *)
+
+(* Install the flush callback: dirty runs become WRITE requests built from
+   the stored page data.  Writeback happens under the kernel's credential,
+   as in Linux. *)
+let install_flush_hook t =
+  Page_cache.set_on_flush t.pcache (fun ~ino ~page ~pages ->
+      let ps = page_size t in
+      let size = size_of t ino in
+      let server_fh =
+        match Hashtbl.find_opt t.wb_fhs ino with
+        | Some fh -> Some fh
+        | None -> (
+            (* Dirty data outliving its writable handle: open transiently. *)
+            match rt t Protocol.root_ctx (Protocol.Open { ino; flags = [ Types.O_WRONLY ] }) with
+            | Ok (Protocol.R_open fh) ->
+                Hashtbl.replace t.wb_fhs ino fh;
+                Some fh
+            | _ -> None)
+      in
+      match server_fh with
+      | None -> ()
+      | Some fh ->
+          let chunk_pages = max 1 (t.opts.Opts.max_write / ps) in
+          let rec send page remaining =
+            if remaining > 0 then begin
+              let n = min chunk_pages remaining in
+              let off = page * ps in
+              let len = min (n * ps) (max 0 (size - off)) in
+              if len > 0 then begin
+                let buf = Buffer.create len in
+                for p = page to page + n - 1 do
+                  match Hashtbl.find_opt t.pdata (ino, p) with
+                  | Some b -> Buffer.add_bytes buf b
+                  | None -> Buffer.add_string buf (String.make ps '\000')
+                done;
+                let data = Buffer.sub buf 0 len in
+                ignore
+                  (rt t ~splice:t.opts.Opts.splice_write Protocol.root_ctx
+                     (Protocol.Write { fh; off; data }))
+              end;
+              send (page + n) (remaining - n)
+            end
+          in
+          send page pages);
+  Page_cache.set_on_evict t.pcache (fun ~ino ~page -> Hashtbl.remove t.pdata (ino, page))
+
+let flush_dirty t ino = Page_cache.flush_inode t.pcache ino
+
+(* --- construction --------------------------------------------------------- *)
+
+let create ~conn ~opts ~budget =
+  let clock = conn.Conn.clock and cost = conn.Conn.cost in
+  let t =
+    {
+      conn;
+      opts;
+      clock;
+      cost;
+      fs_id = Fsops.next_fs_id ();
+      pcache = Page_cache.create ~name:"fuse" ~budget ~page_size:cost.Cost.page_size;
+      pdata = Hashtbl.create 1024;
+      sizes = Hashtbl.create 64;
+      entries = Hashtbl.create 256;
+      attrs = Hashtbl.create 256;
+      nlookup = Hashtbl.create 256;
+      handles = Hashtbl.create 32;
+      wb_fhs = Hashtbl.create 16;
+      next_fh = 1;
+      forget_q = [];
+      last_wb_flush_ns = 0L;
+      client_concurrency = 1;
+    }
+  in
+  install_flush_hook t;
+  t
+
+let set_client_concurrency t n = t.client_concurrency <- max 1 n
+
+let conn t = t.conn
+
+(* debug: first byte of every cached page (test introspection) *)
+let debug_pages t =
+  Hashtbl.fold (fun (i, pg) b acc -> (i, pg, Bytes.get b 0) :: acc) t.pdata []
+  |> List.sort compare
+let cache_stats t = Page_cache.stats t.pcache
+
+(* --- Fsops implementation ------------------------------------------------- *)
+
+let lookup t cred parent name =
+  dirop_penalty t;
+  let* () = check_perm t cred parent Types.x_ok in
+  match
+    if t.opts.Opts.entry_cache then Hashtbl.find_opt t.entries (parent, name) else None
+  with
+  | Some ino ->
+      Clock.consume_int t.clock t.cost.Cost.dentry_ns;
+      let* st = getattr t ino in
+      Ok (ino, st)
+  | None -> (
+      let* resp = rt t (ctx_of cred) (Protocol.Lookup { parent; name }) in
+      match resp with
+      | Protocol.R_entry (ino, st) ->
+          if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (parent, name) ino;
+          cache_attr t st;
+          bump_nlookup t ino;
+          Ok (ino, st)
+      | _ -> Error Errno.EIO)
+
+let driver_getattr t ino = getattr t ino
+
+let setattr t cred ino sa =
+  let* () =
+    (* truncate/chmod/chown need ownership or write permission; the server
+       itself runs privileged, so the driver must gate. *)
+    match sa.Types.sa_size with
+    | Some _ ->
+        let* st = getattr t ino in
+        if cred.Types.cap_dac_override || cred.Types.uid = st.Types.st_uid then Ok ()
+        else check_perm t cred ino Types.w_ok
+    | None -> Ok ()
+  in
+  let* () =
+    match sa.Types.sa_mode with
+    | Some _ ->
+        let* st = getattr t ino in
+        if cred.Types.cap_fowner || cred.Types.uid = st.Types.st_uid then Ok ()
+        else Error Errno.EPERM
+    | None -> Ok ()
+  in
+  (* chown gating and ATTR_KILL_SUID/SGID composition happen in the kernel
+     (the server would apply them under its own privileged credential) *)
+  let* sa =
+    match (sa.Types.sa_uid, sa.Types.sa_gid) with
+    | None, None -> Ok sa
+    | uid_opt, gid_opt ->
+        let* st = getattr t ino in
+        let uid_change =
+          match uid_opt with Some u when u <> st.Types.st_uid -> true | _ -> false
+        in
+        let allowed =
+          cred.Types.cap_chown
+          || ((not uid_change)
+             && cred.Types.uid = st.Types.st_uid
+             && match gid_opt with
+                | None -> true
+                | Some g -> g = st.Types.st_gid || g = cred.Types.gid || List.mem g cred.Types.groups)
+        in
+        if not allowed then Error Errno.EPERM
+        else if
+          (not cred.Types.cap_fsetid)
+          && st.Types.st_kind = Types.Reg
+          && st.Types.st_mode land (Types.s_isuid lor Types.s_isgid) <> 0
+          && sa.Types.sa_mode = None
+        then Ok { sa with Types.sa_mode = Some (st.Types.st_mode land 0o1777) }
+        else Ok sa
+  in
+  let* resp = rt t (ctx_of cred) (Protocol.Setattr (ino, sa)) in
+  match resp with
+  | Protocol.R_attr st ->
+      invalidate_attr t ino;
+      cache_attr t st;
+      (match sa.Types.sa_size with
+      | Some size ->
+          Hashtbl.replace t.sizes ino size;
+          (* truncation invalidates cached pages beyond the new end *)
+          Page_cache.invalidate_inode t.pcache ino
+      | None -> ());
+      Ok st
+  | _ -> Error Errno.EIO
+
+let readlink t ino =
+  match rt t Protocol.root_ctx (Protocol.Readlink ino) with
+  | Ok (Protocol.R_readlink s) -> Ok s
+  | Ok _ -> Error Errno.EIO
+  | Error e -> Error e
+
+let entry_req t cred req =
+  let* resp = rt t (ctx_of cred) req in
+  match resp with
+  | Protocol.R_entry (ino, st) ->
+      cache_attr t st;
+      bump_nlookup t ino;
+      Ok st
+  | _ -> Error Errno.EIO
+
+let mknod t cred parent name ~kind ~mode =
+  dirop_penalty t;
+  let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
+  let* st = entry_req t cred (Protocol.Mknod { parent; name; kind; mode }) in
+  if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (parent, name) st.Types.st_ino;
+  invalidate_attr t parent;
+  Ok st
+
+let mkdir t cred parent name ~mode =
+  dirop_penalty t;
+  let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
+  let* st = entry_req t cred (Protocol.Mkdir { parent; name; mode }) in
+  if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (parent, name) st.Types.st_ino;
+  invalidate_attr t parent;
+  Ok st
+
+let symlink t cred parent name ~target =
+  dirop_penalty t;
+  let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
+  let* st = entry_req t cred (Protocol.Symlink { parent; name; target }) in
+  if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (parent, name) st.Types.st_ino;
+  Ok st
+
+let child_ino t cred parent name =
+  match Hashtbl.find_opt t.entries (parent, name) with
+  | Some ino -> Ok ino
+  | None ->
+      let* ino, _ = lookup t cred parent name in
+      Ok ino
+
+let unlink t cred parent name =
+  dirop_penalty t;
+  let* ino = child_ino t cred parent name in
+  let* () = check_delete t cred parent ino in
+  let* resp = rt t (ctx_of cred) (Protocol.Unlink { parent; name }) in
+  match resp with
+  | Protocol.R_ok ->
+      drop_entry t parent name;
+      invalidate_attr t ino;
+      invalidate_attr t parent;
+      (* dirty pages of a deleted file are dropped, never written *)
+      if not (Hashtbl.mem t.wb_fhs ino) then Page_cache.discard_inode t.pcache ino;
+      if not (ino_referenced t ino) then queue_forget t ino;
+      Ok ()
+  | _ -> Error Errno.EIO
+
+let rmdir t cred parent name =
+  dirop_penalty t;
+  let* ino = child_ino t cred parent name in
+  let* () = check_delete t cred parent ino in
+  let* resp = rt t (ctx_of cred) (Protocol.Rmdir { parent; name }) in
+  match resp with
+  | Protocol.R_ok ->
+      drop_entry t parent name;
+      invalidate_attr t ino;
+      invalidate_attr t parent;
+      if not (ino_referenced t ino) then queue_forget t ino;
+      Ok ()
+  | _ -> Error Errno.EIO
+
+let rename t cred src_parent src_name dst_parent dst_name =
+  dirop_penalty t;
+  let* src_ino = child_ino t cred src_parent src_name in
+  let* () = check_delete t cred src_parent src_ino in
+  let* () = check_perm t cred dst_parent (Types.w_ok lor Types.x_ok) in
+  (* the rename may replace an existing target: its inode loses a link *)
+  let replaced = Hashtbl.find_opt t.entries (dst_parent, dst_name) in
+  let* resp =
+    rt t (ctx_of cred) (Protocol.Rename { src_parent; src_name; dst_parent; dst_name })
+  in
+  match resp with
+  | Protocol.R_ok ->
+      drop_entry t src_parent src_name;
+      drop_entry t dst_parent dst_name;
+      invalidate_attr t src_parent;
+      invalidate_attr t dst_parent;
+      (* ctime of the moved inode changes; nlink of the replaced one drops *)
+      invalidate_attr t src_ino;
+      (match replaced with
+      | Some r_ino when r_ino <> src_ino ->
+          invalidate_attr t r_ino;
+          if not (Hashtbl.mem t.wb_fhs r_ino) then Page_cache.discard_inode t.pcache r_ino;
+          if not (ino_referenced t r_ino) then queue_forget t r_ino
+      | _ -> ());
+      if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (dst_parent, dst_name) src_ino;
+      Ok ()
+  | _ -> Error Errno.EIO
+
+let link t cred ~src ~dir ~name =
+  dirop_penalty t;
+  let* () = check_perm t cred dir (Types.w_ok lor Types.x_ok) in
+  let* st = entry_req t cred (Protocol.Link { src; parent = dir; name }) in
+  if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (dir, name) st.Types.st_ino;
+  invalidate_attr t src;
+  Ok st
+
+let alloc_handle t ~ino ~server_fh ~readable ~writable ~append ~sync =
+  let fh = t.next_fh in
+  t.next_fh <- fh + 1;
+  Hashtbl.replace t.handles fh
+    { dh_ino = ino; dh_server_fh = server_fh; dh_readable = readable; dh_writable = writable; dh_append = append; dh_sync = sync; dh_open = true };
+  if writable then Hashtbl.replace t.wb_fhs ino server_fh;
+  fh
+
+let open_ t cred ino flags =
+  (* mmap and direct I/O are mutually exclusive in FUSE; CNTR chose mmap
+     (generic/391 fails through CntrFS). *)
+  if List.mem Types.O_DIRECT flags then Error Errno.EINVAL
+  else
+    let want =
+      (if Types.flag_readable flags then Types.r_ok else 0)
+      lor if Types.flag_writable flags then Types.w_ok else 0
+    in
+    let* () = check_perm t cred ino want in
+    let* resp = rt t (ctx_of cred) (Protocol.Open { ino; flags }) in
+    match resp with
+    | Protocol.R_open server_fh ->
+        (* Without FOPEN_KEEP_CACHE every open invalidates the inode's
+           cached pages — the Figure 3(a) ablation. *)
+        if not t.opts.Opts.keep_cache then begin
+          flush_dirty t ino;
+          Page_cache.invalidate_inode t.pcache ino
+        end;
+        if List.mem Types.O_TRUNC flags && Types.flag_writable flags then begin
+          Hashtbl.replace t.sizes ino 0;
+          invalidate_attr t ino;
+          Page_cache.invalidate_inode t.pcache ino
+        end;
+        Ok
+          (alloc_handle t ~ino ~server_fh ~readable:(Types.flag_readable flags)
+             ~writable:(Types.flag_writable flags)
+             ~append:(List.mem Types.O_APPEND flags)
+             ~sync:(List.mem Types.O_SYNC flags))
+    | _ -> Error Errno.EIO
+
+let create_file t cred parent name ~mode flags =
+  if List.mem Types.O_DIRECT flags then Error Errno.EINVAL
+  else begin
+  dirop_penalty t;
+  let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
+  let* resp = rt t (ctx_of cred) (Protocol.Create { parent; name; mode; flags }) in
+  match resp with
+  | Protocol.R_create (ino, st, server_fh) ->
+      if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (parent, name) ino;
+      cache_attr t st;
+      bump_nlookup t ino;
+      invalidate_attr t parent;
+      let fh =
+        alloc_handle t ~ino ~server_fh ~readable:(Types.flag_readable flags)
+          ~writable:(Types.flag_writable flags)
+          ~append:(List.mem Types.O_APPEND flags)
+          ~sync:(List.mem Types.O_SYNC flags)
+      in
+      Ok (st, fh)
+  | _ -> Error Errno.EIO
+  end
+
+let handle t fh =
+  match Hashtbl.find_opt t.handles fh with
+  | Some h when h.dh_open -> Ok h
+  | _ -> Error Errno.EBADF
+
+let read t fh ~off ~len =
+  let* h = handle t fh in
+  if not h.dh_readable then Error Errno.EBADF
+  else begin
+  let ino = h.dh_ino in
+  let* size =
+    match Hashtbl.find_opt t.sizes ino with
+    | Some s -> Ok s
+    | None ->
+        let* st = getattr t ino in
+        Ok st.Types.st_size
+  in
+  if off >= size || len <= 0 then Ok ""
+  else if not t.opts.Opts.keep_cache then begin
+    (* without FOPEN_KEEP_CACHE the cache is invalidated at every open and
+       cannot be shared: model as uncached — every read is a round trip *)
+    let len = min len (size - off) in
+    let chunk = min len t.opts.Opts.max_read in
+    let buf = Buffer.create len in
+    let rec fetch pos =
+      if pos >= len then Ok ()
+      else
+        let* resp =
+          rt t ~splice:t.opts.Opts.splice_read (ctx_of Types.root_cred)
+            (Protocol.Read { fh = h.dh_server_fh; off = off + pos; len = min chunk (len - pos) })
+        in
+        match resp with
+        | Protocol.R_data d ->
+            Buffer.add_string buf d;
+            if d = "" then Ok () else fetch (pos + String.length d)
+        | _ -> Error Errno.EIO
+    in
+    let* () = fetch 0 in
+    Clock.consume_int t.clock (Cost.copy_cost t.cost len);
+    Ok (Buffer.contents buf)
+  end
+  else begin
+    let len = min len (size - off) in
+    let ps = page_size t in
+    let first = off / ps and last = (off + len - 1) / ps in
+    let last_file_page = (size - 1) / ps in
+    (* classify pages, fetch misses in contiguous runs; the kernel's
+       readahead extends each miss run to a full window, so sequential
+       4 KiB reads become 128 KiB FUSE requests *)
+    let readahead_pages = t.opts.Opts.max_read / ps in
+    let miss_run_start = ref (-1) in
+    let result = ref (Ok ()) in
+    let flush_run upto =
+      if !miss_run_start >= 0 && !result = Ok () then begin
+        let ra_end =
+          if t.opts.Opts.async_read then
+            min last_file_page (!miss_run_start + readahead_pages - 1)
+          else upto
+        in
+        result :=
+          fetch_pages t (ctx_of Types.root_cred) ~server_fh:h.dh_server_fh ~ino
+            ~first:!miss_run_start ~last:(max upto ra_end);
+        miss_run_start := -1
+      end
+      else miss_run_start := -1
+    in
+    for page = first to last do
+      if !result = Ok () then
+        if Page_cache.mem t.pcache ~ino ~page then begin
+          flush_run (page - 1);
+          ignore (Page_cache.touch t.pcache ~ino ~page ~dirty:false);
+          Clock.consume_int t.clock (Cost.mem_cost t.cost ps)
+        end
+        else if !miss_run_start < 0 then miss_run_start := page
+    done;
+    flush_run last;
+    let* () = !result in
+    (* assemble from page data *)
+    let buf = Bytes.make len '\000' in
+    let rec assemble pos =
+      if pos < len then begin
+        let abs = off + pos in
+        let page = abs / ps in
+        let poff = abs mod ps in
+        let n = min (ps - poff) (len - pos) in
+        (match Hashtbl.find_opt t.pdata (ino, page) with
+        | Some b -> Bytes.blit b poff buf pos n
+        | None -> ());
+        assemble (pos + n)
+      end
+    in
+    assemble 0;
+    (* copy out to userspace *)
+    Clock.consume_int t.clock (Cost.copy_cost t.cost len);
+    Ok (Bytes.unsafe_to_string buf)
+  end
+  end
+
+let write t cred fh ~off data =
+  let* h = handle t fh in
+  if not h.dh_writable then Error Errno.EBADF
+  else begin
+    let ino = h.dh_ino in
+    let len = String.length data in
+    let off = if h.dh_append then size_of t ino else off in
+    (* copy in from userspace *)
+    Clock.consume_int t.clock (Cost.copy_cost t.cost len);
+    (* The kernel must check security.capability on every write; FUSE
+       cannot cache the xattr, so each write() costs a GETXATTR round trip
+       (the Apache/IOzone-write overhead of §5.2.2). *)
+    ignore (rt t (ctx_of cred) (Protocol.Getxattr (ino, "security.capability")));
+    (* file_remove_privs: the kernel strips setuid/setgid via SETATTR *)
+    let* () =
+      if cred.Types.cap_fsetid then Ok ()
+      else
+        let* st = getattr t ino in
+        if st.Types.st_mode land (Types.s_isuid lor Types.s_isgid) = 0 then Ok ()
+        else
+          let sa = { Types.setattr_none with Types.sa_mode = Some (st.Types.st_mode land 0o1777) } in
+          let* resp = rt t Protocol.root_ctx (Protocol.Setattr (ino, sa)) in
+          match resp with
+          | Protocol.R_attr st' ->
+              invalidate_attr t ino;
+              cache_attr t st';
+              Ok ()
+          | _ -> Error Errno.EIO
+    in
+    (* with the writeback cache the kernel owns size and mtime *)
+    let update_local_attr ~new_size =
+      (match Hashtbl.find_opt t.attrs ino with
+      | Some st ->
+          Hashtbl.replace t.attrs ino
+            { st with Types.st_size = max st.Types.st_size new_size; st_mtime = Clock.now_ns t.clock }
+      | None -> ());
+      if new_size > size_of t ino then Hashtbl.replace t.sizes ino new_size
+    in
+    if t.opts.Opts.writeback && not h.dh_sync then begin
+      let ps = page_size t in
+      let size = size_of t ino in
+      let first = off / ps and last = (off + len - 1) / ps in
+      (* read-modify-write: boundary pages that partially overlap existing
+         data must be fetched first *)
+      let need_fetch page =
+        (not (Hashtbl.mem t.pdata (ino, page)))
+        && page * ps < size
+        && ((page = first && off mod ps <> 0)
+           || (page = last && (off + len) mod ps <> 0 && off + len < size))
+      in
+      let* () =
+        if need_fetch first || need_fetch last then
+          let* () =
+            if need_fetch first then
+              fetch_pages t (ctx_of cred) ~server_fh:h.dh_server_fh ~ino ~first ~last:first
+            else Ok ()
+          in
+          if last <> first && need_fetch last then
+            fetch_pages t (ctx_of cred) ~server_fh:h.dh_server_fh ~ino ~first:last ~last
+          else Ok ()
+        else Ok ()
+      in
+      (* modify page data and dirty the cache *)
+      let rec store pos =
+        if pos < len then begin
+          let abs = off + pos in
+          let page = abs / ps in
+          let poff = abs mod ps in
+          let n = min (ps - poff) (len - pos) in
+          let b = get_page_bytes t ino page in
+          Bytes.blit_string data pos b poff n;
+          ignore (Page_cache.touch t.pcache ~ino ~page ~dirty:true);
+          store (pos + n)
+        end
+      in
+      store 0;
+      update_local_attr ~new_size:(off + len);
+      if
+        t.opts.Opts.writeback_limit_pages > 0
+        && Page_cache.dirty_count t.pcache ino >= t.opts.Opts.writeback_limit_pages
+      then flush_dirty t ino
+      else if t.opts.Opts.wb_flush_interval_ns > 0 then begin
+        (* FUSE's own (long) dirty expiry, also in the background *)
+        let now = Clock.now_ns t.clock in
+        if Int64.sub now t.last_wb_flush_ns > Int64.of_int t.opts.Opts.wb_flush_interval_ns
+        then begin
+          t.last_wb_flush_ns <- now;
+          t.conn.Conn.background <- true;
+          Page_cache.flush_all t.pcache;
+          t.conn.Conn.background <- false
+        end
+      end;
+      Ok len
+    end
+    else begin
+      (* write-through: one WRITE request per max_write chunk *)
+      let rec send pos =
+        if pos >= len then Ok len
+        else begin
+          let n = min t.opts.Opts.max_write (len - pos) in
+          let* resp =
+            rt t ~splice:t.opts.Opts.splice_write (ctx_of cred)
+              (Protocol.Write
+                 { fh = h.dh_server_fh; off = off + pos; data = String.sub data pos n })
+          in
+          match resp with
+          | Protocol.R_written _ ->
+              (* keep cached pages coherent *)
+              let ps = page_size t in
+              let first = (off + pos) / ps and last = (off + pos + n - 1) / ps in
+              for page = first to last do
+                if Hashtbl.mem t.pdata (ino, page) then begin
+                  let b = get_page_bytes t ino page in
+                  let pstart = page * ps in
+                  let s = max (off + pos) pstart in
+                  let e = min (off + pos + n) (pstart + ps) in
+                  Bytes.blit_string data (s - off) b (s - pstart) (e - s)
+                end
+              done;
+              update_local_attr ~new_size:(off + pos + n);
+              send (pos + n)
+          | _ -> Error Errno.EIO
+        end
+      in
+      send 0
+    end
+  end
+
+let flush t fh =
+  let* h = handle t fh in
+  flush_dirty t h.dh_ino;
+  match rt t Protocol.root_ctx (Protocol.Flush h.dh_server_fh) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let release t fh =
+  match Hashtbl.find_opt t.handles fh with
+  | None -> ()
+  | Some h ->
+      if h.dh_open then begin
+        h.dh_open <- false;
+        Hashtbl.remove t.handles fh;
+        if h.dh_writable then begin
+          flush_dirty t h.dh_ino;
+          (* another writable handle may still reference the ino *)
+          let still_writable =
+            Hashtbl.fold
+              (fun _ o acc -> acc || (o.dh_open && o.dh_ino = h.dh_ino && o.dh_writable))
+              t.handles false
+          in
+          if not still_writable then Hashtbl.remove t.wb_fhs h.dh_ino
+        end;
+        (* RELEASE is asynchronous in FUSE: batched round trip *)
+        ignore (rt t ~batch:4 Protocol.root_ctx (Protocol.Release h.dh_server_fh))
+      end
+
+let fsync t fh =
+  let* h = handle t fh in
+  flush_dirty t h.dh_ino;
+  match rt t Protocol.root_ctx (Protocol.Fsync h.dh_server_fh) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let fallocate t fh ~off ~len =
+  let* h = handle t fh in
+  let* resp = rt t Protocol.root_ctx (Protocol.Fallocate { fh = h.dh_server_fh; off; len }) in
+  match resp with
+  | Protocol.R_ok ->
+      if off + len > size_of t h.dh_ino then Hashtbl.replace t.sizes h.dh_ino (off + len);
+      invalidate_attr t h.dh_ino;
+      Ok ()
+  | _ -> Error Errno.EIO
+
+let readdir t cred ino =
+  dirop_penalty t;
+  let* () = check_perm t cred ino Types.r_ok in
+  match rt t (ctx_of cred) (Protocol.Readdir ino) with
+  | Ok (Protocol.R_dirents l) -> Ok l
+  | Ok _ -> Error Errno.EIO
+  | Error e -> Error e
+
+(* default_permissions does not cover xattrs: the driver gates them the
+   way the VFS does (trusted.* needs privilege; others need ownership). *)
+let xattr_change_allowed t cred ino name =
+  let* st = getattr t ino in
+  let is_trusted = String.length name >= 7 && String.sub name 0 7 = "trusted" in
+  if is_trusted then
+    if cred.Types.cap_dac_override then Ok () else Error Errno.EPERM
+  else if cred.Types.cap_dac_override || cred.Types.uid = st.Types.st_uid then Ok ()
+  else Error Errno.EPERM
+
+let setxattr t cred ino name value =
+  let* () = xattr_change_allowed t cred ino name in
+  match rt t (ctx_of cred) (Protocol.Setxattr (ino, name, value)) with
+  | Ok Protocol.R_ok -> Ok ()
+  | Ok _ -> Error Errno.EIO
+  | Error e -> Error e
+
+let getxattr t ino name =
+  match rt t Protocol.root_ctx (Protocol.Getxattr (ino, name)) with
+  | Ok (Protocol.R_xattr v) -> Ok v
+  | Ok _ -> Error Errno.EIO
+  | Error e -> Error e
+
+let listxattr t ino =
+  match rt t Protocol.root_ctx (Protocol.Listxattr ino) with
+  | Ok (Protocol.R_xattr_names l) -> Ok l
+  | Ok _ -> Error Errno.EIO
+  | Error e -> Error e
+
+let removexattr t cred ino name =
+  let* () = xattr_change_allowed t cred ino name in
+  match rt t (ctx_of cred) (Protocol.Removexattr (ino, name)) with
+  | Ok Protocol.R_ok -> Ok ()
+  | Ok _ -> Error Errno.EIO
+  | Error e -> Error e
+
+let statfs t () =
+  match rt t Protocol.root_ctx Protocol.Statfs with
+  | Ok (Protocol.R_statfs s) -> s
+  | _ -> { Types.f_fsname = "cntrfs"; f_bsize = 4096; f_blocks = 0; f_bfree = 0; f_files = 0 }
+
+let ops t : Fsops.t = {
+  fs_name = "cntrfs";
+  fs_id = t.fs_id;
+  root = 1;
+  lookup = lookup t;
+  forget = queue_forget t;
+  getattr = driver_getattr t;
+  setattr = setattr t;
+  readlink = readlink t;
+  mknod = mknod t;
+  mkdir = mkdir t;
+  unlink = unlink t;
+  rmdir = rmdir t;
+  symlink = symlink t;
+  rename = rename t;
+  link = link t;
+  open_ = open_ t;
+  create = create_file t;
+  read = read t;
+  write = write t;
+  flush = flush t;
+  release = release t;
+  fsync = fsync t;
+  fallocate = fallocate t;
+  readdir = readdir t;
+  setxattr = setxattr t;
+  getxattr = getxattr t;
+  listxattr = listxattr t;
+  removexattr = removexattr t;
+  statfs = statfs t;
+  (* CntrFS inodes are not persistent, hence not exportable — generic/426. *)
+  export_handle = (fun _ -> Error Errno.ENOTSUP);
+  open_by_handle = (fun _ -> Error Errno.ENOTSUP);
+  supports_mmap = (fun _ -> true);
+  supports_direct_io = false;
+}

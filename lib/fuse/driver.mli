@@ -1,0 +1,34 @@
+(** The kernel-side FUSE driver: a {!Repro_vfs.Fsops.t} whose operations
+    become protocol requests on a {!Conn.t}.  Owns the caches that make
+    FUSE bearable — dentry/attribute caches and a data-bearing page cache
+    with FOPEN_KEEP_CACHE and writeback semantics — and implements the
+    batching and splice transports of the paper's §3.3.
+
+    Deliberate limitations reproduce the paper's xfstests failures:
+    O_DIRECT opens fail (generic/391), inodes are not exportable
+    (generic/426), and RLIMIT_FSIZE / setgid-clearing are lost because the
+    server replays operations under its own credential (generic/228, /375). *)
+
+open Repro_vfs
+
+type t
+
+(** Build a driver over a connection.  [budget] is the page-cache memory
+    budget shared with the backing filesystem's cache — the source of the
+    paper's double-buffering pressure. *)
+val create : conn:Conn.t -> opts:Opts.t -> budget:Mem_budget.t -> t
+
+(** The filesystem interface to hand to {!Repro_os.Kernel.mount_at}. *)
+val ops : t -> Fsops.t
+
+(** Number of concurrently-operating client threads; drives the
+    serialized-dirops contention model when [parallel_dirops] is off. *)
+val set_client_concurrency : t -> int -> unit
+
+val conn : t -> Conn.t
+
+(** Page-cache statistics (hits, misses, evictions, writeback). *)
+val cache_stats : t -> Page_cache.stats
+
+(** Test introspection: [(ino, page, first byte)] of every cached page. *)
+val debug_pages : t -> (int * int * char) list

@@ -1,0 +1,58 @@
+(* FUSE mount options — the optimization knobs of §3.3.  [cntr_default] is
+   what CNTR ships (everything on except splice write); [unoptimized] turns
+   everything off for the Figure 3 ablations. *)
+
+type t = {
+  keep_cache : bool;        (* FOPEN_KEEP_CACHE: page cache survives opens *)
+  writeback : bool;         (* FUSE_WRITEBACK_CACHE: batch + delay writes *)
+  parallel_dirops : bool;   (* FUSE_PARALLEL_DIROPS: concurrent lookups *)
+  async_read : bool;        (* FUSE_ASYNC_READ: batch concurrent reads *)
+  splice_read : bool;       (* zero-copy read replies *)
+  splice_write : bool;      (* zero-copy write requests (extra ctx switch) *)
+  forget_batch : int;       (* forget intents coalesced per request *)
+  entry_cache : bool;       (* dentry cache in the driver *)
+  attr_cache : bool;        (* attribute cache in the driver *)
+  max_write : int;          (* bytes per WRITE request *)
+  max_read : int;           (* bytes per READ request *)
+  read_batch : int;         (* concurrent READs batched by async_read *)
+  writeback_limit_pages : int; (* driver dirty threshold before flushing *)
+  (* FUSE's writeback holds dirty data much longer than the native
+     dirty_expire — this is what absorbs rewrites (FIO/PGBench, §5.2.2) *)
+  wb_flush_interval_ns : int;
+}
+
+let cntr_default = {
+  keep_cache = true;
+  writeback = true;
+  parallel_dirops = true;
+  async_read = true;
+  splice_read = true;
+  (* §3.3: splice write adds a context switch to every request and is
+     disabled by default. *)
+  splice_write = false;
+  forget_batch = 64;
+  entry_cache = true;
+  attr_cache = true;
+  max_write = 128 * 1024;
+  max_read = 128 * 1024;
+  read_batch = 8;
+  writeback_limit_pages = 4096; (* 16 MiB of dirty data *)
+  wb_flush_interval_ns = 5_000_000; (* 5 ms virtual: 10x the native expiry *)
+}
+
+let unoptimized = {
+  keep_cache = false;
+  writeback = false;
+  parallel_dirops = false;
+  async_read = false;
+  splice_read = false;
+  splice_write = false;
+  forget_batch = 1;
+  entry_cache = true;
+  attr_cache = true;
+  max_write = 128 * 1024;
+  max_read = 128 * 1024;
+  read_batch = 1;
+  writeback_limit_pages = 0;
+  wb_flush_interval_ns = 0;
+}

@@ -1,0 +1,24 @@
+(** FUSE mount options — the optimization knobs of §3.3. *)
+
+type t = {
+  keep_cache : bool;  (** FOPEN_KEEP_CACHE: the page cache survives opens *)
+  writeback : bool;  (** FUSE_WRITEBACK_CACHE: batch + delay writes *)
+  parallel_dirops : bool;  (** FUSE_PARALLEL_DIROPS: concurrent lookups *)
+  async_read : bool;  (** FUSE_ASYNC_READ: batch concurrent reads, readahead *)
+  splice_read : bool;  (** zero-copy read replies *)
+  splice_write : bool;  (** zero-copy writes; costs a context switch on every request *)
+  forget_batch : int;  (** forget intents coalesced per request *)
+  entry_cache : bool;  (** dentry cache in the driver *)
+  attr_cache : bool;  (** attribute cache in the driver *)
+  max_write : int;  (** bytes per WRITE request *)
+  max_read : int;  (** bytes per READ request *)
+  read_batch : int;  (** concurrent READs amortized by async_read *)
+  writeback_limit_pages : int;  (** per-inode dirty threshold before flushing *)
+  wb_flush_interval_ns : int;  (** FUSE's (long) dirty expiry *)
+}
+
+(** What CNTR ships: everything on except splice write (§3.3). *)
+val cntr_default : t
+
+(** Everything off — the Figure 3 baselines. *)
+val unoptimized : t

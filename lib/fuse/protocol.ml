@@ -1,0 +1,103 @@
+(* The FUSE wire protocol, typed.  Requests flow from the kernel-side
+   driver to the userspace server; each carries the calling process's
+   context (uid/gid/pid), as the real protocol does.  The shapes mirror the
+   lowlevel FUSE API that rust-fuse exposes and CNTR implements (§4). *)
+
+open Repro_util
+open Repro_vfs
+
+type ctx = { c_uid : int; c_gid : int; c_pid : int }
+
+let root_ctx = { c_uid = 0; c_gid = 0; c_pid = 0 }
+
+type req =
+  | Lookup of { parent : Types.ino; name : string }
+  | Forget of (Types.ino * int) list (* (ino, nlookup) pairs, batchable *)
+  | Getattr of Types.ino
+  | Setattr of Types.ino * Types.setattr
+  | Readlink of Types.ino
+  | Mknod of { parent : Types.ino; name : string; kind : Types.kind; mode : int }
+  | Mkdir of { parent : Types.ino; name : string; mode : int }
+  | Unlink of { parent : Types.ino; name : string }
+  | Rmdir of { parent : Types.ino; name : string }
+  | Symlink of { parent : Types.ino; name : string; target : string }
+  | Rename of { src_parent : Types.ino; src_name : string; dst_parent : Types.ino; dst_name : string }
+  | Link of { src : Types.ino; parent : Types.ino; name : string }
+  | Open of { ino : Types.ino; flags : Types.open_flag list }
+  | Create of { parent : Types.ino; name : string; mode : int; flags : Types.open_flag list }
+  | Read of { fh : int; off : int; len : int }
+  | Write of { fh : int; off : int; data : string }
+  | Flush of int
+  | Release of int
+  | Fsync of int
+  | Fallocate of { fh : int; off : int; len : int }
+  | Readdir of Types.ino
+  | Getxattr of Types.ino * string
+  | Setxattr of Types.ino * string * string
+  | Listxattr of Types.ino
+  | Removexattr of Types.ino * string
+  | Statfs
+  | Destroy
+
+type resp =
+  | R_entry of Types.ino * Types.stat (* lookup / node creation replies *)
+  | R_attr of Types.stat
+  | R_data of string
+  | R_written of int
+  | R_open of int (* server-side fh *)
+  | R_create of Types.ino * Types.stat * int
+  | R_dirents of Types.dirent list
+  | R_readlink of string
+  | R_xattr of string
+  | R_xattr_names of string list
+  | R_statfs of Types.statfs
+  | R_ok
+  | R_err of Errno.t
+
+let req_kind = function
+  | Lookup _ -> "lookup"
+  | Forget _ -> "forget"
+  | Getattr _ -> "getattr"
+  | Setattr _ -> "setattr"
+  | Readlink _ -> "readlink"
+  | Mknod _ -> "mknod"
+  | Mkdir _ -> "mkdir"
+  | Unlink _ -> "unlink"
+  | Rmdir _ -> "rmdir"
+  | Symlink _ -> "symlink"
+  | Rename _ -> "rename"
+  | Link _ -> "link"
+  | Open _ -> "open"
+  | Create _ -> "create"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Flush _ -> "flush"
+  | Release _ -> "release"
+  | Fsync _ -> "fsync"
+  | Fallocate _ -> "fallocate"
+  | Readdir _ -> "readdir"
+  | Getxattr _ -> "getxattr"
+  | Setxattr _ -> "setxattr"
+  | Listxattr _ -> "listxattr"
+  | Removexattr _ -> "removexattr"
+  | Statfs -> "statfs"
+  | Destroy -> "destroy"
+
+(* Approximate payload size carried *to* the server (for copy costs).  The
+   fixed header is 80 bytes, like the real fuse_in_header + op body. *)
+let req_payload_bytes = function
+  | Write { data; _ } -> 80 + String.length data
+  | Setxattr (_, n, v) -> 80 + String.length n + String.length v
+  | Lookup { name; _ } | Unlink { name; _ } | Rmdir { name; _ } -> 80 + String.length name
+  | Symlink { name; target; _ } -> 80 + String.length name + String.length target
+  | Forget l -> 16 + (16 * List.length l)
+  | _ -> 80
+
+(* Approximate payload size carried *back* from the server. *)
+let resp_payload_bytes = function
+  | R_data s | R_readlink s | R_xattr s -> 16 + String.length s
+  | R_dirents l -> 16 + (64 * List.length l)
+  | R_xattr_names l -> 16 + List.fold_left (fun a s -> a + String.length s + 1) 0 l
+  | _ -> 96
+
+let err_of_resp = function R_err e -> Error e | r -> Ok r

@@ -1,0 +1,70 @@
+(** The FUSE wire protocol, typed.  Requests flow from the kernel-side
+    driver to the userspace server; each carries the calling process's
+    context (uid/gid/pid), as the real protocol does.  The shapes mirror
+    the lowlevel FUSE API that rust-fuse exposes and CNTR implements (§4).
+    [req_payload_bytes]/[resp_payload_bytes] approximate the transfer sizes
+    the connection charges for. *)
+
+open Repro_util
+open Repro_vfs
+
+type ctx = { c_uid : int; c_gid : int; c_pid : int; }
+val root_ctx : ctx
+type req =
+    Lookup of { parent : Types.ino; name : string; }
+  | Forget of (Types.ino * int) list
+  | Getattr of Types.ino
+  | Setattr of Types.ino * Types.setattr
+  | Readlink of Types.ino
+  | Mknod of { parent : Types.ino; name : string;
+      kind : Types.kind; mode : int;
+    }
+  | Mkdir of { parent : Types.ino; name : string; mode : int; }
+  | Unlink of { parent : Types.ino; name : string; }
+  | Rmdir of { parent : Types.ino; name : string; }
+  | Symlink of { parent : Types.ino; name : string;
+      target : string;
+    }
+  | Rename of { src_parent : Types.ino; src_name : string;
+      dst_parent : Types.ino; dst_name : string;
+    }
+  | Link of { src : Types.ino; parent : Types.ino;
+      name : string;
+    }
+  | Open of { ino : Types.ino;
+      flags : Types.open_flag list;
+    }
+  | Create of { parent : Types.ino; name : string; mode : int;
+      flags : Types.open_flag list;
+    }
+  | Read of { fh : int; off : int; len : int; }
+  | Write of { fh : int; off : int; data : string; }
+  | Flush of int
+  | Release of int
+  | Fsync of int
+  | Fallocate of { fh : int; off : int; len : int; }
+  | Readdir of Types.ino
+  | Getxattr of Types.ino * string
+  | Setxattr of Types.ino * string * string
+  | Listxattr of Types.ino
+  | Removexattr of Types.ino * string
+  | Statfs
+  | Destroy
+type resp =
+    R_entry of Types.ino * Types.stat
+  | R_attr of Types.stat
+  | R_data of string
+  | R_written of int
+  | R_open of int
+  | R_create of Types.ino * Types.stat * int
+  | R_dirents of Types.dirent list
+  | R_readlink of string
+  | R_xattr of string
+  | R_xattr_names of string list
+  | R_statfs of Types.statfs
+  | R_ok
+  | R_err of Errno.t
+val req_kind : req -> string
+val req_payload_bytes : req -> int
+val resp_payload_bytes : resp -> int
+val err_of_resp : resp -> (resp, Errno.t) result

@@ -1,0 +1,27 @@
+(** A Dockerfile-style image builder.  Instructions assemble layers; [Run]
+    executes a command with /bin/sh -c in a build container over the
+    image-so-far and captures the filesystem diff (adds, changes and
+    whiteouts) as a new layer, like `docker build`.  This is how a library
+    user produces the slim/fat image pairs CNTR works with. *)
+
+open Repro_os
+
+type instruction =
+  | From of string  (** registry reference, or "scratch"; must come first *)
+  | Copy of { dst : string; mode : int; content : Content.t }
+  | Mkdir of string
+  | Run of string  (** requires /bin/sh in the image and a registered "sh" program *)
+  | Env of string * string
+  | Entrypoint of string list
+  | Workdir of string
+  | User of int
+
+(** Build an image named [name] from the instructions.  Fails with [ENOENT]
+    for an unknown base, [EIO] for a failing [Run], [EINVAL] for a
+    misplaced [From]. *)
+val build :
+  kernel:Kernel.t ->
+  registry:Registry.t ->
+  name:string ->
+  instruction list ->
+  (Image.t, Repro_util.Errno.t) result

@@ -1,0 +1,259 @@
+(* The synthetic Top-50 Docker Hub catalogue (§5.3, Figure 5).
+
+   Each entry mirrors the structure the paper observed in popular official
+   images: a distro base (shell, coreutils, libc, package manager, docs),
+   an application layer (binary, config, libraries, assets), and auxiliary
+   tooling — of which only a fraction is touched at runtime.  Six images
+   are single Go binaries whose whole content is used (the paper's 6/50
+   with <10 % reduction).  Sizes are scaled 1:16 from real images to keep
+   materialization cheap; reductions are ratios and unaffected by scale. *)
+
+open Repro_util
+
+let kib = Size.kib
+let mib = Size.mib
+
+(* scaled-down "MB": 1/16th of a real megabyte *)
+let smb n = n * mib 1 / 16
+
+type spec = {
+  sp_name : string;
+  sp_base : [ `Debian | `Alpine | `Scratch ];
+  (* application working set (binary + libs + used assets), scaled bytes *)
+  sp_app_bytes : int;
+  (* target size reduction when slimmed, 0.0 - 1.0 *)
+  sp_target_reduction : float;
+}
+
+(* --- shared base layers -------------------------------------------------- *)
+
+let coreutils_names = [
+  "ls"; "cat"; "cp"; "mv"; "rm"; "mkdir"; "rmdir"; "ln"; "chmod"; "chown";
+  "head"; "tail"; "wc"; "sort"; "uniq"; "cut"; "tr"; "touch"; "date"; "env";
+  "id"; "stat"; "du"; "df"; "find"; "grep"; "sed"; "awk"; "tar"; "ps";
+]
+
+let debian_base =
+  let entries =
+    [
+      Layer.Dir { path = "/bin"; mode = 0o755 };
+      Layer.Dir { path = "/usr"; mode = 0o755 };
+      Layer.Dir { path = "/usr/bin"; mode = 0o755 };
+      Layer.Dir { path = "/usr/sbin"; mode = 0o755 };
+      Layer.Dir { path = "/lib"; mode = 0o755 };
+      Layer.Dir { path = "/etc"; mode = 0o755 };
+      Layer.Dir { path = "/tmp"; mode = 0o1777 };
+      Layer.Dir { path = "/var"; mode = 0o755 };
+      Layer.Dir { path = "/var/lib"; mode = 0o755 };
+      Layer.File { path = "/bin/bash"; mode = 0o755; content = Content.Binary { prog = "sh"; size = smb 1 } };
+      Layer.Symlink { path = "/bin/sh"; target = "bash" };
+      Layer.File { path = "/lib/libc.so.6"; mode = 0o755; content = Content.Filler (smb 2) };
+      Layer.File { path = "/etc/passwd"; mode = 0o644; content = Content.Literal "root:x:0:0:root:/root:/bin/bash\n" };
+      Layer.File { path = "/etc/group"; mode = 0o644; content = Content.Literal "root:x:0:\n" };
+      Layer.File { path = "/etc/hostname"; mode = 0o644; content = Content.Literal "debian\n" };
+      Layer.File { path = "/etc/os-release"; mode = 0o644; content = Content.Literal "ID=debian\nVERSION_ID=9\n" };
+      Layer.File { path = "/usr/bin/apt"; mode = 0o755; content = Content.Binary { prog = "pkg"; size = smb 1 } };
+      Layer.File { path = "/usr/bin/dpkg"; mode = 0o755; content = Content.Binary { prog = "pkg"; size = smb 1 } };
+      Layer.File { path = "/var/lib/dpkg-status"; mode = 0o644; content = Content.Filler (smb 3) };
+      Layer.File { path = "/usr/share/locale.archive"; mode = 0o644; content = Content.Filler (smb 6) };
+      Layer.File { path = "/usr/share/doc.tar"; mode = 0o644; content = Content.Filler (smb 4) };
+    ]
+    @ List.map
+        (fun name ->
+          Layer.File
+            { path = "/usr/bin/" ^ name; mode = 0o755; content = Content.Binary { prog = name; size = smb 1 / 8 } })
+        coreutils_names
+  in
+  Layer.v ~id:"base:debian" entries
+
+let alpine_base =
+  Layer.v ~id:"base:alpine"
+    [
+      Layer.Dir { path = "/bin"; mode = 0o755 };
+      Layer.Dir { path = "/usr"; mode = 0o755 };
+      Layer.Dir { path = "/usr/bin"; mode = 0o755 };
+      Layer.Dir { path = "/usr/sbin"; mode = 0o755 };
+      Layer.Dir { path = "/lib"; mode = 0o755 };
+      Layer.Dir { path = "/etc"; mode = 0o755 };
+      Layer.Dir { path = "/tmp"; mode = 0o1777 };
+      Layer.File { path = "/bin/busybox"; mode = 0o755; content = Content.Binary { prog = "busybox"; size = smb 1 } };
+      Layer.Symlink { path = "/bin/sh"; target = "busybox" };
+      Layer.File { path = "/lib/ld-musl.so.1"; mode = 0o755; content = Content.Filler (smb 1 / 2) };
+      Layer.File { path = "/etc/passwd"; mode = 0o644; content = Content.Literal "root:x:0:0:root:/root:/bin/sh\n" };
+      Layer.File { path = "/etc/hostname"; mode = 0o644; content = Content.Literal "alpine\n" };
+      Layer.File { path = "/etc/os-release"; mode = 0o644; content = Content.Literal "ID=alpine\nVERSION_ID=3.7\n" };
+      Layer.File { path = "/sbin/apk"; mode = 0o755; content = Content.Binary { prog = "pkg"; size = smb 1 / 2 } };
+    ]
+
+let scratch_base =
+  Layer.v ~id:"base:scratch"
+    [
+      Layer.Dir { path = "/etc"; mode = 0o755 };
+      Layer.Dir { path = "/etc/ssl"; mode = 0o755 };
+      Layer.File { path = "/etc/ssl/cert.pem"; mode = 0o644; content = Content.Filler (kib 16) };
+    ]
+
+let base_layer = function
+  | `Debian -> debian_base
+  | `Alpine -> alpine_base
+  | `Scratch -> scratch_base
+
+(* Bytes of a base the application actually touches at runtime. *)
+let base_used_bytes = function
+  | `Debian -> smb 2 + (smb 1) (* libc + sh *)
+  | `Alpine -> smb 1 / 2 + smb 1
+  | `Scratch -> kib 16
+
+let base_paths_used = function
+  | `Debian -> [ "/lib/libc.so.6"; "/bin/bash" ]
+  | `Alpine -> [ "/lib/ld-musl.so.1"; "/bin/busybox" ]
+  | `Scratch -> [ "/etc/ssl/cert.pem" ]
+
+(* --- image synthesis ------------------------------------------------------ *)
+
+(* Build the image for a spec: the application layer holds the working set
+   plus enough unused ballast (assets, docs, aux tools) to land the target
+   reduction. *)
+let build spec =
+  let rng = Rng.create ~seed:(Hashtbl.hash spec.sp_name) in
+  let name = spec.sp_name in
+  let base = base_layer spec.sp_base in
+  let base_size = Layer.size base in
+  let bin_path =
+    match spec.sp_base with `Scratch -> "/" ^ name | _ -> "/usr/sbin/" ^ name
+  in
+  let conf_path = "/etc/" ^ name ^ ".conf" in
+  let lib_path = "/usr/lib-" ^ name ^ ".so" in
+  let bin_bytes = max (kib 64) (spec.sp_app_bytes * 6 / 10) in
+  let lib_bytes = spec.sp_app_bytes * 3 / 10 in
+  let used_asset_bytes = max 0 (spec.sp_app_bytes - bin_bytes - lib_bytes) in
+  let used_paths =
+    [ bin_path; conf_path; Programs.manifest_path ]
+    @ (if lib_bytes > 0 then [ lib_path ] else [])
+    @ (if used_asset_bytes > 0 then [ "/usr/share/" ^ name ^ "/hot.dat" ] else [])
+    @ base_paths_used spec.sp_base
+  in
+  let accessed_bytes = spec.sp_app_bytes + base_used_bytes spec.sp_base in
+  (* unused bytes needed so that reduction = unused / total hits target *)
+  let r = spec.sp_target_reduction in
+  let total_target = int_of_float (float_of_int accessed_bytes /. (1. -. r)) in
+  let base_unused = max 0 (base_size - base_used_bytes spec.sp_base) in
+  let ballast = max 0 (total_target - accessed_bytes - base_unused) in
+  let manifest =
+    String.concat "\n" (List.filter (fun p -> p <> Programs.manifest_path) used_paths) ^ "\n"
+  in
+  let app_entries =
+    [
+      Layer.Dir { path = "/usr/share/" ^ name; mode = 0o755 };
+      Layer.File { path = bin_path; mode = 0o755; content = Content.Binary { prog = "appmain"; size = bin_bytes } };
+      Layer.File { path = conf_path; mode = 0o644; content = Content.Literal ("# " ^ name ^ " config\nlisten=0.0.0.0\n") };
+      Layer.File { path = Programs.manifest_path; mode = 0o644; content = Content.Literal manifest };
+    ]
+    @ (if lib_bytes > 0 then
+         [ Layer.File { path = lib_path; mode = 0o755; content = Content.Filler lib_bytes } ]
+       else [])
+    @ (if used_asset_bytes > 0 then
+         [ Layer.File { path = "/usr/share/" ^ name ^ "/hot.dat"; mode = 0o644; content = Content.Filler used_asset_bytes } ]
+       else [])
+  in
+  (* ballast: cold assets, docs, bundled aux tools — present, never read *)
+  let aux_entries =
+    if ballast = 0 then []
+    else begin
+      let pieces = 3 + Rng.int rng 4 in
+      let piece = ballast / pieces in
+      List.init pieces (fun i ->
+          let path =
+            match i mod 3 with
+            | 0 -> Printf.sprintf "/usr/share/%s/cold-%d.dat" name i
+            | 1 -> Printf.sprintf "/usr/share/doc/%s-%d.gz" name i
+            | _ -> Printf.sprintf "/opt/%s-extras/tool-%d" name i
+          in
+          let size = if i = pieces - 1 then ballast - (piece * (pieces - 1)) else piece in
+          Layer.File { path; mode = 0o644; content = Content.Filler size })
+      |> fun files ->
+      Layer.Dir { path = "/usr/share/doc"; mode = 0o755 }
+      :: Layer.Dir { path = "/opt"; mode = 0o755 }
+      :: Layer.Dir { path = "/opt/" ^ name ^ "-extras"; mode = 0o755 }
+      :: files
+    end
+  in
+  let config =
+    {
+      Image.env =
+        [ ("PATH", "/usr/local/bin:/usr/bin:/bin:/usr/sbin:/sbin"); (name ^ "_MODE", "production") ];
+      entrypoint = [ bin_path ];
+      workdir = "/";
+      user = 0;
+    }
+  in
+  Image.v ~name ~config
+    [ base; Layer.v ~id:("app:" ^ name) app_entries; Layer.v ~id:("aux:" ^ name) aux_entries ]
+
+(* --- the Top-50 ------------------------------------------------------------ *)
+
+(* 44 ordinary applications: reductions spread over ~[0.40, 0.97] with most
+   mass in [0.60, 0.97], plus 6 Go single binaries below 0.10.  The
+   resulting mean is ~0.66, matching the paper's 66.6 %. *)
+let specs =
+  let app name base app_smb reduction =
+    { sp_name = name; sp_base = base; sp_app_bytes = smb app_smb; sp_target_reduction = reduction }
+  in
+  [
+    app "nginx" `Debian 4 0.92;
+    app "httpd" `Debian 6 0.88;
+    app "redis" `Alpine 3 0.85;
+    app "memcached" `Alpine 2 0.90;
+    app "mysql" `Debian 40 0.75;
+    app "postgres" `Debian 30 0.77;
+    app "mongo" `Debian 45 0.70;
+    app "mariadb" `Debian 38 0.74;
+    app "rabbitmq" `Debian 18 0.72;
+    app "elasticsearch" `Debian 60 0.65;
+    app "kibana" `Debian 50 0.68;
+    app "logstash" `Debian 55 0.63;
+    app "cassandra" `Debian 45 0.66;
+    app "influxdb" `Alpine 20 0.80;
+    app "telegraf" `Alpine 15 0.78;
+    app "wordpress" `Debian 25 0.82;
+    app "ghost" `Debian 30 0.76;
+    app "drupal" `Debian 28 0.81;
+    app "joomla" `Debian 26 0.83;
+    app "redmine" `Debian 32 0.71;
+    app "jenkins" `Debian 70 0.62;
+    app "sonarqube" `Debian 65 0.60;
+    app "nextcloud" `Debian 35 0.79;
+    app "owncloud" `Debian 34 0.78;
+    app "gitlab" `Debian 120 0.55;
+    app "rocketchat" `Debian 45 0.69;
+    app "mattermost" `Debian 40 0.73;
+    app "grafana" `Alpine 25 0.76;
+    app "haproxy" `Debian 3 0.93;
+    app "varnish" `Debian 4 0.91;
+    app "squid" `Debian 6 0.87;
+    app "openldap" `Debian 8 0.84;
+    app "zookeeper" `Debian 20 0.70;
+    app "kafka" `Debian 50 0.64;
+    app "solr" `Debian 55 0.61;
+    app "tomcat" `Debian 30 0.72;
+    app "jetty" `Debian 22 0.75;
+    app "adminer" `Alpine 2 0.94;
+    app "phpmyadmin" `Alpine 6 0.89;
+    app "matomo" `Debian 20 0.80;
+    app "odoo" `Debian 60 0.58;
+    app "couchdb" `Debian 25 0.74;
+    app "neo4j" `Debian 55 0.63;
+    app "rethinkdb" `Debian 30 0.68;
+    (* Go single binaries: nearly everything is used *)
+    app "traefik" `Scratch 28 0.06;
+    app "etcd" `Scratch 22 0.05;
+    app "consul" `Scratch 35 0.08;
+    app "vault" `Scratch 40 0.07;
+    app "registry" `Scratch 18 0.04;
+    app "coredns" `Scratch 20 0.09;
+  ]
+
+let top50 () = List.map build specs
+
+(* Push the whole catalogue into a registry. *)
+let publish registry = List.iter (Registry.push registry) (top50 ())

@@ -1,0 +1,20 @@
+(* File contents in image layers.  Catalogue images carry megabytes of
+   ballast; content descriptors keep layers cheap until materialization. *)
+
+open Repro_os
+
+type t =
+  | Literal of string
+  | Binary of { prog : string; size : int } (* executable: #!BIN header + pad *)
+  | Filler of int (* incompressible data of the given size *)
+
+let size = function
+  | Literal s -> String.length s
+  | Binary { size; prog } -> max size (String.length Binfmt.bin_prefix + String.length prog + 1)
+  | Filler n -> n
+
+(* Render to actual bytes (at materialization time). *)
+let render = function
+  | Literal s -> s
+  | Binary { prog; size } -> Binfmt.make ~prog ~size ()
+  | Filler n -> String.make n 'D'

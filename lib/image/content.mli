@@ -1,0 +1,12 @@
+(** File contents in image layers, kept as cheap descriptors until
+    materialization. *)
+
+type t =
+  | Literal of string
+  | Binary of { prog : string; size : int }  (** executable: binfmt header + pad *)
+  | Filler of int  (** incompressible data of the given size *)
+
+val size : t -> int
+
+(** Render to actual bytes. *)
+val render : t -> string

@@ -1,0 +1,32 @@
+(* A container image layer: an ordered list of filesystem changes, like a
+   tar layer in the OCI model.  Whiteouts delete files from lower layers
+   when layers are unioned. *)
+
+type entry =
+  | Dir of { path : string; mode : int }
+  | File of { path : string; mode : int; content : Content.t }
+  | Symlink of { path : string; target : string }
+  | Whiteout of string
+
+type t = {
+  id : string; (* content-address stand-in; equal ids share registry cache *)
+  entries : entry list;
+}
+
+let v ~id entries = { id; entries }
+
+let entry_size = function
+  | Dir _ -> 0
+  | File { content; _ } -> Content.size content
+  | Symlink { target; _ } -> String.length target
+  | Whiteout _ -> 0
+
+(* Uncompressed byte size of the layer (what the registry transfers). *)
+let size t = List.fold_left (fun acc e -> acc + entry_size e) 0 t.entries
+
+let paths t =
+  List.filter_map
+    (function
+      | Dir { path; _ } | File { path; _ } | Symlink { path; _ } -> Some path
+      | Whiteout _ -> None)
+    t.entries

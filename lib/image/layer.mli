@@ -1,0 +1,23 @@
+(** An image layer: an ordered list of filesystem changes, like a tar layer
+    in the OCI model.  Whiteouts delete lower-layer files when unioned. *)
+
+type entry =
+  | Dir of { path : string; mode : int }
+  | File of { path : string; mode : int; content : Content.t }
+  | Symlink of { path : string; target : string }
+  | Whiteout of string
+
+type t = {
+  id : string;  (** content-address stand-in: equal ids share registry caches *)
+  entries : entry list;
+}
+
+val v : id:string -> entry list -> t
+
+val entry_size : entry -> int
+
+(** Uncompressed byte size (what the registry transfers). *)
+val size : t -> int
+
+(** Paths added by this layer (whiteouts excluded). *)
+val paths : t -> string list

@@ -1,0 +1,30 @@
+(* Programs baked into catalogue images.  [appmain] is the generic
+   application entrypoint: it reads /etc/app.manifest and touches every
+   file listed there — giving Docker-Slim's dynamic analysis a realistic
+   access trace (binary, config, libraries, hot assets). *)
+
+open Repro_util
+open Repro_os
+
+let manifest_path = "/etc/app.manifest"
+
+let install kernel =
+  Kernel.register_program kernel "appmain" (fun k proc _args ->
+      match Kernel.read_whole k proc manifest_path with
+      | Error _ -> 1
+      | Ok manifest ->
+          let files =
+            String.split_on_char '\n' manifest |> List.filter (fun l -> String.trim l <> "")
+          in
+          let touched_all =
+            List.for_all
+              (fun path ->
+                match Kernel.read_whole k proc (String.trim path) with
+                | Ok _ -> true
+                | Error Errno.EISDIR -> Result.is_ok (Kernel.readdir k proc (String.trim path))
+                | Error _ -> false)
+              files
+          in
+          if touched_all then 0 else 1);
+  (* A do-nothing long-running main for images without a workload. *)
+  Kernel.register_program kernel "pause" (fun _ _ _ -> 0)

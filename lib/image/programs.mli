@@ -1,0 +1,8 @@
+(** Programs baked into catalogue images.  [appmain] reads
+    /etc/app.manifest and touches every file listed there, giving
+    Docker-Slim's dynamic analysis a realistic access trace. *)
+
+val manifest_path : string
+
+(** Register [appmain] and [pause] with the kernel. *)
+val install : Repro_os.Kernel.t -> unit

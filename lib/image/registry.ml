@@ -1,0 +1,61 @@
+(* An image registry with a network cost model.  Pulling transfers each
+   layer not already in the host's layer cache — this is how shared base
+   images make deployments cheaper, and how slim images cut the deployment
+   time the paper's introduction measures (download = 92 % of deployment
+   [52]). *)
+
+open Repro_util
+
+type t = {
+  clock : Clock.t;
+  images : (string, Image.t) Hashtbl.t; (* "name:tag" *)
+  (* network model *)
+  bandwidth_bytes_per_s : float;
+  latency_ns_per_layer : int;
+  (* the pulling host's layer cache *)
+  layer_cache : (string, unit) Hashtbl.t;
+  mutable bytes_transferred : int;
+}
+
+let create ~clock ?(bandwidth_mb_per_s = 125.0) ?(latency_ms_per_layer = 20) () = {
+  clock;
+  images = Hashtbl.create 64;
+  bandwidth_bytes_per_s = bandwidth_mb_per_s *. 1024. *. 1024.;
+  latency_ns_per_layer = latency_ms_per_layer * 1_000_000;
+  layer_cache = Hashtbl.create 64;
+  bytes_transferred = 0;
+}
+
+let push t image = Hashtbl.replace t.images (Image.ref_ image) image
+
+let find t ref_ = Hashtbl.find_opt t.images ref_
+
+let images t =
+  Hashtbl.fold (fun _ i acc -> i :: acc) t.images []
+  |> List.sort (fun a b -> compare (Image.ref_ a) (Image.ref_ b))
+
+(* Pull an image: transfer every layer missing from the host cache,
+   charging network time on the virtual clock.  Returns the image and the
+   bytes actually transferred. *)
+let pull t ref_ =
+  match find t ref_ with
+  | None -> Error `Not_found
+  | Some image ->
+      let transferred = ref 0 in
+      List.iter
+        (fun layer ->
+          if not (Hashtbl.mem t.layer_cache layer.Layer.id) then begin
+            let bytes = Layer.size layer in
+            transferred := !transferred + bytes;
+            Hashtbl.replace t.layer_cache layer.Layer.id ();
+            let ns =
+              t.latency_ns_per_layer
+              + int_of_float (float_of_int bytes /. t.bandwidth_bytes_per_s *. 1e9)
+            in
+            Clock.consume_int t.clock ns
+          end)
+        image.Image.layers;
+      t.bytes_transferred <- t.bytes_transferred + !transferred;
+      Ok (image, !transferred)
+
+let drop_cache t = Hashtbl.reset t.layer_cache

@@ -1,0 +1,25 @@
+(** An image registry with a network cost model: pulls transfer each layer
+    missing from the host's layer cache, so shared base images dedup and
+    slim images deploy faster — the paper's §1 motivation. *)
+
+open Repro_util
+
+type t
+
+(** [create ~clock ()] — bandwidth defaults to 125 MB/s with 20 ms of
+    per-layer latency. *)
+val create : clock:Clock.t -> ?bandwidth_mb_per_s:float -> ?latency_ms_per_layer:int -> unit -> t
+
+val push : t -> Image.t -> unit
+
+val find : t -> string -> Image.t option
+
+(** All images, sorted by reference. *)
+val images : t -> Image.t list
+
+(** Pull by "name:tag": transfers uncached layers, charging network time on
+    the virtual clock.  Returns the image and the bytes transferred. *)
+val pull : t -> string -> (Image.t * int, [ `Not_found ]) result
+
+(** Empty the host's layer cache (cold-pull measurements). *)
+val drop_cache : t -> unit

@@ -1,0 +1,46 @@
+(* Executable file format of the simulated world.  A "binary" is a file
+   whose content names a program registered with the kernel, optionally
+   followed by ballast bytes so images have realistic sizes:
+
+     #!BIN gdb
+     xxxxxxxx...
+
+   Shebang scripts ("#!/bin/sh\n...") are also recognized; the kernel
+   re-execs the interpreter with the script path appended. *)
+
+type t =
+  | Bin of string (* registered program name *)
+  | Script of string (* interpreter path *)
+
+let bin_prefix = "#!BIN "
+
+(* Build a binary payload for program [prog] padded to roughly [size]
+   bytes. *)
+let make ~prog ?(size = 0) () =
+  let header = bin_prefix ^ prog ^ "\n" in
+  let pad = max 0 (size - String.length header) in
+  header ^ String.make pad 'x'
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let parse content =
+  if starts_with ~prefix:bin_prefix content then
+    let line = first_line content in
+    let name = String.sub line (String.length bin_prefix) (String.length line - String.length bin_prefix) in
+    Some (Bin (String.trim name))
+  else if starts_with ~prefix:"#!" content then
+    let line = first_line content in
+    let rest = String.sub line 2 (String.length line - 2) in
+    let interp = match String.split_on_char ' ' (String.trim rest) with
+      | i :: _ -> i
+      | [] -> ""
+    in
+    if interp = "" then None else Some (Script interp)
+  else None

@@ -1,0 +1,14 @@
+(** Executable file format of the simulated world: a binary is a file whose
+    content names a kernel-registered program ("#!BIN name\n" + optional
+    ballast); shebang scripts re-exec their interpreter. *)
+
+type t =
+  | Bin of string  (** registered program name *)
+  | Script of string  (** interpreter path *)
+
+(** Build a binary payload for [prog], padded to roughly [size] bytes. *)
+val make : prog:string -> ?size:int -> unit -> string
+
+val bin_prefix : string
+
+val parse : string -> t option

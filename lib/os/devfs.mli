@@ -1,0 +1,9 @@
+(** /dev: a RAM filesystem populated with the usual character devices,
+    whose behaviors (null, zero, urandom, tty) register with the kernel.
+    /dev/fuse's open behavior is installed separately by the FUSE layer. *)
+
+val fuse_major : int
+val fuse_minor : int
+
+(** Create a devtmpfs instance and register the standard devices. *)
+val create : kernel:Kernel.t -> Repro_vfs.Nativefs.t

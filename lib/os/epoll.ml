@@ -1,0 +1,37 @@
+(* Minimal epoll: an interest set of fd numbers with readiness probes.  The
+   simulation is single-threaded, so [wait] simply reports which registered
+   fds are currently ready — event loops (the CNTR socket proxy) pump until
+   no fd is ready. *)
+
+type interest = { want_in : bool; want_out : bool }
+
+type probes = {
+  p_readable : unit -> bool;
+  p_writable : unit -> bool;
+}
+
+type event = { ev_fd : int; ev_in : bool; ev_out : bool }
+
+type t = {
+  watched : (int, interest * probes) Hashtbl.t;
+}
+
+let create () = { watched = Hashtbl.create 8 }
+
+let add t ~fd ~interest ~probes = Hashtbl.replace t.watched fd (interest, probes)
+
+let modify = add
+
+let remove t ~fd = Hashtbl.remove t.watched fd
+
+(* Poll all registered fds; returns ready events (level-triggered). *)
+let wait t =
+  Hashtbl.fold
+    (fun fd (interest, probes) acc ->
+      let ev_in = interest.want_in && probes.p_readable () in
+      let ev_out = interest.want_out && probes.p_writable () in
+      if ev_in || ev_out then { ev_fd = fd; ev_in; ev_out } :: acc else acc)
+    t.watched []
+  |> List.sort (fun a b -> compare a.ev_fd b.ev_fd)
+
+let watched_count t = Hashtbl.length t.watched

@@ -1,0 +1,21 @@
+(** Minimal epoll: an interest set of fds with readiness probes.  The
+    simulation is single-threaded, so [wait] reports which registered fds
+    are ready right now (level-triggered); event loops pump until quiet. *)
+
+type interest = { want_in : bool; want_out : bool }
+
+type probes = { p_readable : unit -> bool; p_writable : unit -> bool }
+
+type event = { ev_fd : int; ev_in : bool; ev_out : bool }
+
+type t
+
+val create : unit -> t
+val add : t -> fd:int -> interest:interest -> probes:probes -> unit
+val modify : t -> fd:int -> interest:interest -> probes:probes -> unit
+val remove : t -> fd:int -> unit
+
+(** Ready events, sorted by fd. *)
+val wait : t -> event list
+
+val watched_count : t -> int

@@ -1,0 +1,1113 @@
+(* The simulated kernel: process table, namespaces, mount forest, path
+   walking, and the syscall surface the rest of the repository programs
+   against.  All costs are charged to the virtual clock. *)
+
+open Repro_util
+open Repro_vfs
+
+type program = t -> Proc.t -> string list -> int
+
+and chardev = {
+  dev_name : string;
+  dev_read : len:int -> string;
+  dev_write : string -> int;
+  (* When present, opening the device yields a custom fd instead of a plain
+     file (e.g. /dev/fuse creates a connection). *)
+  dev_open : (t -> Proc.t -> Proc.fd_entry) option;
+}
+
+and cgroup = { mutable cg_procs : int list }
+
+and t = {
+  clock : Clock.t;
+  cost : Cost.t;
+  procs : (int, Proc.t) Hashtbl.t;
+  mutable next_pid : int;
+  namespaces : (int, Mount.ns) Hashtbl.t; (* all mount namespaces *)
+  sock_bindings : (int * int, Sock.listener) Hashtbl.t; (* (fs_id, ino) *)
+  programs : (string, program) Hashtbl.t;
+  chardevs : (int * int, chardev) Hashtbl.t;
+  cgroups : (string, cgroup) Hashtbl.t;
+  hostnames : (int, string) Hashtbl.t; (* uts ns id -> hostname *)
+  mutable next_tag : int;
+  mutable init_pid : int;
+}
+
+let ( let* ) = Result.bind
+
+let charge t = Clock.consume_int t.clock t.cost.Cost.syscall_ns
+
+let fresh_tag t =
+  t.next_tag <- t.next_tag + 1;
+  t.next_tag
+
+let fresh_ns t kind = { Namespace.id = fresh_tag t; kind }
+
+let register_mnt_ns t ns = Hashtbl.replace t.namespaces ns.Mount.ns_id ns
+
+(* Create a kernel whose init process (pid 1) runs as root on [root_fs].
+   The host root mount is shared, as systemd sets it up. *)
+let create ~clock ~cost ~root_fs =
+  let t =
+    {
+      clock;
+      cost;
+      procs = Hashtbl.create 64;
+      next_pid = 2;
+      namespaces = Hashtbl.create 8;
+      sock_bindings = Hashtbl.create 16;
+      programs = Hashtbl.create 32;
+      chardevs = Hashtbl.create 8;
+      cgroups = Hashtbl.create 8;
+      hostnames = Hashtbl.create 4;
+      next_tag = 0;
+      init_pid = 1;
+    }
+  in
+  let mnt_ns = Mount.create_ns ~fs:root_fs () in
+  Mount.make_shared (Mount.root_mount mnt_ns);
+  register_mnt_ns t mnt_ns;
+  let root_vnode = { Proc.v_mount = Mount.root_mount mnt_ns; v_ino = root_fs.Fsops.root } in
+  let ns_set =
+    {
+      Proc.mnt = mnt_ns;
+      pid_ns = { Namespace.pns_id = fresh_tag t; parent = None };
+      net = fresh_ns t Namespace.Net;
+      uts = fresh_ns t Namespace.Uts;
+      ipc = fresh_ns t Namespace.Ipc;
+      user = { Namespace.uns_id = fresh_tag t; uid_map = Namespace.identity_map; gid_map = Namespace.identity_map };
+      cgroup_ns = fresh_ns t Namespace.Cgroup;
+    }
+  in
+  let init =
+    {
+      Proc.pid = 1;
+      ppid = 0;
+      comm = "init";
+      cred = { uid = 0; gid = 0; groups = [ 0 ]; caps = Caps.Set.full };
+      ns = ns_set;
+      cwd = root_vnode;
+      root = root_vnode;
+      fds = Hashtbl.create 8;
+      next_fd = 3;
+      env = [ ("PATH", "/usr/local/bin:/usr/bin:/bin:/usr/sbin:/sbin") ];
+      cgroup = "/";
+      lsm_profile = None;
+      rlimit_fsize = None;
+      umask = 0o022;
+      alive = true;
+      exit_code = None;
+    }
+  in
+  Hashtbl.replace t.procs 1 init;
+  Hashtbl.replace t.cgroups "/" { cg_procs = [ 1 ] };
+  Hashtbl.replace t.hostnames ns_set.Proc.uts.Namespace.id "host";
+  t
+
+let init_proc t = Hashtbl.find t.procs t.init_pid
+
+let proc_by_pid t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | Some p when p.Proc.alive -> Ok p
+  | _ -> Error Errno.ESRCH
+
+let all_procs t =
+  Hashtbl.fold (fun _ p acc -> if p.Proc.alive then p :: acc else acc) t.procs []
+  |> List.sort (fun a b -> compare a.Proc.pid b.Proc.pid)
+
+(* Processes visible from a given pid namespace (it and its descendants). *)
+let procs_in_pidns t pidns =
+  all_procs t
+  |> List.filter (fun p -> Namespace.pid_ns_visible_from ~outer:pidns p.Proc.ns.Proc.pid_ns)
+
+(* --- path walking ------------------------------------------------------ *)
+
+let vnode_stat v =
+  v.Proc.v_mount.Mount.m_fs.Fsops.getattr v.Proc.v_ino
+
+(* Descend through mounts stacked on [v] in namespace [ns]. *)
+let rec descend_mounts ns v =
+  match Mount.mount_on ns ~mid:v.Proc.v_mount.Mount.m_id ~ino:v.Proc.v_ino with
+  | Some m -> descend_mounts ns { Proc.v_mount = m; v_ino = m.Mount.m_root }
+  | None -> v
+
+let max_symlink_depth = 40
+
+(* Walk [path] starting from [base] (or the process root for absolute
+   paths), honoring mounts, chroot and symlinks. *)
+let resolve ?(follow = true) _t proc ~base path =
+  let cred = Proc.vfs_cred proc in
+  let ns = proc.Proc.ns.Proc.mnt in
+  let rec loop depth cur comps =
+    if depth > max_symlink_depth then Error Errno.ELOOP
+    else
+      match comps with
+      | [] -> Ok cur
+      | ".." :: rest ->
+          if Proc.vnode_eq cur proc.Proc.root then loop depth cur rest
+          else if cur.Proc.v_ino = cur.Proc.v_mount.Mount.m_root then (
+            (* At a mount root: climb to the mountpoint in the parent mount
+               and retry the "..". *)
+            match cur.Proc.v_mount.Mount.m_mp with
+            | None -> loop depth cur rest (* namespace root *)
+            | Some (pmid, mp_ino) -> (
+                match Mount.find ns pmid with
+                | None -> Error Errno.EIO
+                | Some pm ->
+                    loop depth { Proc.v_mount = pm; v_ino = mp_ino } comps))
+          else
+            let fs = cur.Proc.v_mount.Mount.m_fs in
+            let* ino, _st = fs.Fsops.lookup cred cur.Proc.v_ino ".." in
+            loop depth { cur with Proc.v_ino = ino } rest
+      | comp :: rest -> (
+          let fs = cur.Proc.v_mount.Mount.m_fs in
+          let* ino, st = fs.Fsops.lookup cred cur.Proc.v_ino comp in
+          let next = descend_mounts ns { Proc.v_mount = cur.Proc.v_mount; v_ino = ino } in
+          match st.Types.st_kind with
+          | Types.Symlink when rest <> [] || follow ->
+              let* target = fs.Fsops.readlink ino in
+              let tcomps = Pathx.split target in
+              if Pathx.is_absolute target then
+                loop (depth + 1) proc.Proc.root (tcomps @ rest)
+              else loop (depth + 1) cur (tcomps @ rest)
+          | _ -> loop depth next rest)
+  in
+  let start = if Pathx.is_absolute path then proc.Proc.root else base in
+  loop 0 start (Pathx.split path)
+
+let resolve_cwd ?follow t proc path = resolve ?follow t proc ~base:proc.Proc.cwd path
+
+(* Resolve the parent directory of [path] and return it with the final
+   component (for create-style operations). *)
+let resolve_parent t proc path =
+  let comps = Pathx.split path in
+  match List.rev comps with
+  | [] -> Error Errno.EEXIST (* the root itself *)
+  | last :: _ when last = ".." -> Error Errno.EINVAL
+  | last :: rev_parent ->
+      let parent_path =
+        let comps = List.rev rev_parent in
+        if Pathx.is_absolute path then Pathx.join_abs comps
+        else if comps = [] then "."
+        else String.concat "/" comps
+      in
+      let* dir = resolve_cwd t proc parent_path in
+      Ok (dir, last)
+
+(* --- fd helpers -------------------------------------------------------- *)
+
+let file_of_fd proc fdn =
+  match Proc.fd proc fdn with
+  | Some (Proc.File f) -> Ok f
+  | Some _ -> Error Errno.EINVAL
+  | None -> Error Errno.EBADF
+
+let fd_entry proc fdn =
+  match Proc.fd proc fdn with Some e -> Ok e | None -> Error Errno.EBADF
+
+(* --- open/close/read/write -------------------------------------------- *)
+
+let chardev_of t st =
+  match st.Types.st_kind with
+  | Types.Chr (a, b) -> Hashtbl.find_opt t.chardevs (a, b)
+  | _ -> None
+
+let open_ t proc path flags ~mode =
+  charge t;
+  let follow = not (List.mem Types.O_NOFOLLOW flags) in
+  let resolved =
+    match resolve_cwd ~follow t proc path with
+    | Ok v ->
+        if List.mem Types.O_CREAT flags && List.mem Types.O_EXCL flags then
+          Error Errno.EEXIST
+        else Ok (`Existing v)
+    | Error Errno.ENOENT when List.mem Types.O_CREAT flags -> (
+        match resolve_parent t proc path with
+        | Ok (dir, name) -> Ok (`Create (dir, name))
+        | Error e -> Error e)
+    | Error e -> Error e
+  in
+  let* r = resolved in
+  match r with
+  | `Existing v -> (
+      let* st = vnode_stat v in
+      match st.Types.st_kind with
+      | Types.Symlink -> Error Errno.ELOOP (* O_NOFOLLOW on a symlink *)
+      | Types.Chr _ when chardev_of t st <> None -> (
+          let dev = Option.get (chardev_of t st) in
+          match dev.dev_open with
+          | Some f -> Ok (Proc.alloc_fd proc (f t proc))
+          | None ->
+              let fs = v.Proc.v_mount.Mount.m_fs in
+              let* fh = fs.Fsops.open_ (Proc.vfs_cred proc) v.Proc.v_ino flags in
+              let entry =
+                Proc.File
+                  { of_vnode = v; of_fh = fh; of_flags = flags; of_path = path; of_offset = 0; of_refs = 1 }
+              in
+              Ok (Proc.alloc_fd proc entry))
+      | _ ->
+          let fs = v.Proc.v_mount.Mount.m_fs in
+          let flags =
+            if v.Proc.v_mount.Mount.m_ro && Types.flag_writable flags then flags
+            else flags
+          in
+          let* () =
+            if v.Proc.v_mount.Mount.m_ro && Types.flag_writable flags then
+              Error Errno.EROFS
+            else Ok ()
+          in
+          let* fh = fs.Fsops.open_ (Proc.vfs_cred proc) v.Proc.v_ino flags in
+          let entry =
+            Proc.File
+              { of_vnode = v; of_fh = fh; of_flags = flags; of_path = path; of_offset = 0; of_refs = 1 }
+          in
+          Ok (Proc.alloc_fd proc entry))
+  | `Create (dir, name) ->
+      let* () =
+        if dir.Proc.v_mount.Mount.m_ro then Error Errno.EROFS else Ok ()
+      in
+      let fs = dir.Proc.v_mount.Mount.m_fs in
+      let mode = mode land lnot proc.Proc.umask in
+      let* st, fh = fs.Fsops.create (Proc.vfs_cred proc) dir.Proc.v_ino name ~mode flags in
+      let v = { Proc.v_mount = dir.Proc.v_mount; v_ino = st.Types.st_ino } in
+      let entry =
+        Proc.File
+          { of_vnode = v; of_fh = fh; of_flags = flags; of_path = path; of_offset = 0; of_refs = 1 }
+      in
+      Ok (Proc.alloc_fd proc entry)
+
+let release_file f =
+  f.Proc.of_refs <- f.Proc.of_refs - 1;
+  if f.Proc.of_refs = 0 then
+    f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.release f.Proc.of_fh
+
+let close t proc fdn =
+  charge t;
+  match Proc.fd proc fdn with
+  | None -> Error Errno.EBADF
+  | Some entry ->
+      Hashtbl.remove proc.Proc.fds fdn;
+      (match entry with
+      | Proc.File f -> release_file f
+      | Proc.Pipe_r p -> Pipe.close_reader p
+      | Proc.Pipe_w p -> Pipe.close_writer p
+      | Proc.Sock_listen l -> Sock.close_listener l
+      | Proc.Sock_conn ep -> Sock.close_endpoint ep
+      | Proc.Epoll_fd _ -> ()
+      | Proc.Custom c -> c.Proc.c_close ());
+      Ok ()
+
+let dup t proc fdn =
+  charge t;
+  let* entry = fd_entry proc fdn in
+  (match entry with
+  | Proc.File f -> f.Proc.of_refs <- f.Proc.of_refs + 1
+  | Proc.Pipe_r p -> Pipe.add_reader p
+  | Proc.Pipe_w p -> Pipe.add_writer p
+  | _ -> ());
+  Ok (Proc.alloc_fd proc entry)
+
+let file_kind f =
+  match f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.getattr f.Proc.of_vnode.Proc.v_ino with
+  | Ok st -> st.Types.st_kind
+  | Error _ -> Types.Reg
+
+let read_file t proc f ~len =
+  let fs = f.Proc.of_vnode.Proc.v_mount.Mount.m_fs in
+  match file_kind f with
+  | Types.Chr (a, b) -> (
+      match Hashtbl.find_opt t.chardevs (a, b) with
+      | Some dev -> Ok (dev.dev_read ~len)
+      | None -> Error Errno.ENXIO)
+  | _ ->
+      let* data = fs.Fsops.read f.Proc.of_fh ~off:f.Proc.of_offset ~len in
+      f.Proc.of_offset <- f.Proc.of_offset + String.length data;
+      Ok data
+  [@@warning "-27"]
+
+let read t proc fdn ~len =
+  charge t;
+  let* entry = fd_entry proc fdn in
+  match entry with
+  | Proc.File f -> read_file t proc f ~len
+  | Proc.Pipe_r p -> Pipe.read p ~len
+  | Proc.Pipe_w _ -> Error Errno.EBADF
+  | Proc.Sock_conn ep -> Sock.recv ep ~len
+  | Proc.Sock_listen _ | Proc.Epoll_fd _ -> Error Errno.EINVAL
+  | Proc.Custom c -> c.Proc.c_read ~len
+
+and write t proc fdn data =
+  charge t;
+  let* entry = fd_entry proc fdn in
+  match entry with
+  | Proc.File f -> (
+      let fs = f.Proc.of_vnode.Proc.v_mount.Mount.m_fs in
+      match file_kind f with
+      | Types.Chr (a, b) -> (
+          match Hashtbl.find_opt t.chardevs (a, b) with
+          | Some dev -> Ok (dev.dev_write data)
+          | None -> Error Errno.ENXIO)
+      | _ ->
+          let* n =
+            fs.Fsops.write (Proc.vfs_cred proc) f.Proc.of_fh ~off:f.Proc.of_offset data
+          in
+          (* For O_APPEND files the fs wrote at EOF; either way the cursor
+             advances by what was written. *)
+          f.Proc.of_offset <- f.Proc.of_offset + n;
+          Ok n)
+  | Proc.Pipe_w p -> Pipe.write p data
+  | Proc.Pipe_r _ -> Error Errno.EBADF
+  | Proc.Sock_conn ep -> Sock.send ep data
+  | Proc.Sock_listen _ | Proc.Epoll_fd _ -> Error Errno.EINVAL
+  | Proc.Custom c -> c.Proc.c_write data
+
+let pread t proc fdn ~off ~len =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.read f.Proc.of_fh ~off ~len
+
+let pwrite t proc fdn ~off data =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.write (Proc.vfs_cred proc) f.Proc.of_fh ~off data
+
+let freadlink t proc fdn =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.readlink f.Proc.of_vnode.Proc.v_ino
+
+let fsetattr t proc fdn sa =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  let fs = f.Proc.of_vnode.Proc.v_mount.Mount.m_fs in
+  fs.Fsops.setattr (Proc.vfs_cred proc) f.Proc.of_vnode.Proc.v_ino sa
+
+let fgetxattr t proc fdn name =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.getxattr f.Proc.of_vnode.Proc.v_ino name
+
+let fsetxattr t proc fdn name value =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.setxattr (Proc.vfs_cred proc)
+    f.Proc.of_vnode.Proc.v_ino name value
+
+let flistxattr t proc fdn =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.listxattr f.Proc.of_vnode.Proc.v_ino
+
+let fremovexattr t proc fdn name =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.removexattr (Proc.vfs_cred proc)
+    f.Proc.of_vnode.Proc.v_ino name
+
+type seek_cmd = SEEK_SET of int | SEEK_CUR of int | SEEK_END of int
+
+let lseek t proc fdn cmd =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  let* st = vnode_stat f.Proc.of_vnode in
+  let target =
+    match cmd with
+    | SEEK_SET n -> n
+    | SEEK_CUR d -> f.Proc.of_offset + d
+    | SEEK_END d -> st.Types.st_size + d
+  in
+  if target < 0 then Error Errno.EINVAL
+  else begin
+    f.Proc.of_offset <- target;
+    Ok target
+  end
+
+let fsync t proc fdn =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.fsync f.Proc.of_fh
+
+let fallocate t proc fdn ~off ~len =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.fallocate f.Proc.of_fh ~off ~len
+
+let ftruncate t proc fdn size =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  let fs = f.Proc.of_vnode.Proc.v_mount.Mount.m_fs in
+  let sa = { Types.setattr_none with Types.sa_size = Some size } in
+  let* _st = fs.Fsops.setattr (Proc.vfs_cred proc) f.Proc.of_vnode.Proc.v_ino sa in
+  Ok ()
+
+(* --- metadata syscalls ------------------------------------------------- *)
+
+let stat t proc path =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  vnode_stat v
+
+let lstat t proc path =
+  charge t;
+  let* v = resolve_cwd ~follow:false t proc path in
+  vnode_stat v
+
+let fstat t proc fdn =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  vnode_stat f.Proc.of_vnode
+
+let access t proc path want =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  let fs = v.Proc.v_mount.Mount.m_fs in
+  let* st = fs.Fsops.getattr v.Proc.v_ino in
+  let acl = Result.to_option (fs.Fsops.getxattr v.Proc.v_ino "system.posix_acl_access") in
+  if
+    Perm.check (Proc.vfs_cred proc) ~uid:st.Types.st_uid ~gid:st.Types.st_gid
+      ~mode:st.Types.st_mode ?acl want
+  then Ok ()
+  else Error Errno.EACCES
+
+let with_parent t proc path f =
+  let* dir, name = resolve_parent t proc path in
+  if dir.Proc.v_mount.Mount.m_ro then Error Errno.EROFS
+  else f dir.Proc.v_mount.Mount.m_fs dir.Proc.v_ino name
+
+let mkdir t proc path ~mode =
+  charge t;
+  with_parent t proc path (fun fs dir name ->
+      let mode = mode land lnot proc.Proc.umask in
+      let* _st = fs.Fsops.mkdir (Proc.vfs_cred proc) dir name ~mode in
+      Ok ())
+
+let mknod t proc path ~kind ~mode =
+  charge t;
+  with_parent t proc path (fun fs dir name ->
+      let* () =
+        match kind with
+        | Types.Chr _ | Types.Blk _ ->
+            if Caps.Set.mem Caps.CAP_MKNOD proc.Proc.cred.Proc.caps then Ok ()
+            else Error Errno.EPERM
+        | _ -> Ok ()
+      in
+      let mode = mode land lnot proc.Proc.umask in
+      let* _st = fs.Fsops.mknod (Proc.vfs_cred proc) dir name ~kind ~mode in
+      Ok ())
+
+let unlink t proc path =
+  charge t;
+  with_parent t proc path (fun fs dir name ->
+      fs.Fsops.unlink (Proc.vfs_cred proc) dir name)
+
+let rmdir t proc path =
+  charge t;
+  with_parent t proc path (fun fs dir name ->
+      fs.Fsops.rmdir (Proc.vfs_cred proc) dir name)
+
+let symlink t proc ~target ~linkpath =
+  charge t;
+  with_parent t proc linkpath (fun fs dir name ->
+      let* _st = fs.Fsops.symlink (Proc.vfs_cred proc) dir name ~target in
+      Ok ())
+
+let readlink t proc path =
+  charge t;
+  let* v = resolve_cwd ~follow:false t proc path in
+  v.Proc.v_mount.Mount.m_fs.Fsops.readlink v.Proc.v_ino
+
+let rename t proc ~src ~dst =
+  charge t;
+  let* sdir, sname = resolve_parent t proc src in
+  let* ddir, dname = resolve_parent t proc dst in
+  if sdir.Proc.v_mount.Mount.m_id <> ddir.Proc.v_mount.Mount.m_id then
+    Error Errno.EXDEV
+  else if sdir.Proc.v_mount.Mount.m_ro then Error Errno.EROFS
+  else
+    sdir.Proc.v_mount.Mount.m_fs.Fsops.rename (Proc.vfs_cred proc)
+      sdir.Proc.v_ino sname ddir.Proc.v_ino dname
+
+let link t proc ~target ~linkpath =
+  charge t;
+  let* tv = resolve_cwd ~follow:false t proc target in
+  let* ldir, lname = resolve_parent t proc linkpath in
+  if tv.Proc.v_mount.Mount.m_id <> ldir.Proc.v_mount.Mount.m_id then
+    Error Errno.EXDEV
+  else if ldir.Proc.v_mount.Mount.m_ro then Error Errno.EROFS
+  else
+    let* _st =
+      ldir.Proc.v_mount.Mount.m_fs.Fsops.link (Proc.vfs_cred proc)
+        ~src:tv.Proc.v_ino ~dir:ldir.Proc.v_ino ~name:lname
+    in
+    Ok ()
+
+(* linkat(src_fd, "", dst, AT_EMPTY_PATH): hardlink an open inode. *)
+let link_fd t proc fdn ~linkpath =
+  charge t;
+  let* f = file_of_fd proc fdn in
+  let* ldir, lname = resolve_parent t proc linkpath in
+  if f.Proc.of_vnode.Proc.v_mount.Mount.m_id <> ldir.Proc.v_mount.Mount.m_id then
+    Error Errno.EXDEV
+  else if ldir.Proc.v_mount.Mount.m_ro then Error Errno.EROFS
+  else
+    let* _st =
+      ldir.Proc.v_mount.Mount.m_fs.Fsops.link (Proc.vfs_cred proc)
+        ~src:f.Proc.of_vnode.Proc.v_ino ~dir:ldir.Proc.v_ino ~name:lname
+    in
+    Ok ()
+
+let setattr_path t proc path sa =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  if v.Proc.v_mount.Mount.m_ro then Error Errno.EROFS
+  else
+    let* _st = v.Proc.v_mount.Mount.m_fs.Fsops.setattr (Proc.vfs_cred proc) v.Proc.v_ino sa in
+    Ok ()
+
+let chmod t proc path mode =
+  setattr_path t proc path { Types.setattr_none with Types.sa_mode = Some mode }
+
+let chown t proc path ~uid ~gid =
+  setattr_path t proc path { Types.setattr_none with Types.sa_uid = uid; sa_gid = gid }
+
+let truncate t proc path size =
+  setattr_path t proc path { Types.setattr_none with Types.sa_size = Some size }
+
+let utimens t proc path ~atime ~mtime =
+  setattr_path t proc path { Types.setattr_none with Types.sa_atime = atime; sa_mtime = mtime }
+
+let readdir t proc path =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  v.Proc.v_mount.Mount.m_fs.Fsops.readdir (Proc.vfs_cred proc) v.Proc.v_ino
+
+let setxattr t proc path name value =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  if v.Proc.v_mount.Mount.m_ro then Error Errno.EROFS
+  else v.Proc.v_mount.Mount.m_fs.Fsops.setxattr (Proc.vfs_cred proc) v.Proc.v_ino name value
+
+let getxattr t proc path name =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  v.Proc.v_mount.Mount.m_fs.Fsops.getxattr v.Proc.v_ino name
+
+let listxattr t proc path =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  v.Proc.v_mount.Mount.m_fs.Fsops.listxattr v.Proc.v_ino
+
+let removexattr t proc path name =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  if v.Proc.v_mount.Mount.m_ro then Error Errno.EROFS
+  else v.Proc.v_mount.Mount.m_fs.Fsops.removexattr (Proc.vfs_cred proc) v.Proc.v_ino name
+
+let statfs t proc path =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  Ok (v.Proc.v_mount.Mount.m_fs.Fsops.statfs ())
+
+let name_to_handle_at t proc ?(follow = true) path =
+  charge t;
+  let* v = resolve_cwd ~follow t proc path in
+  let* h = v.Proc.v_mount.Mount.m_fs.Fsops.export_handle v.Proc.v_ino in
+  Ok (v.Proc.v_mount.Mount.m_fs.Fsops.fs_id, h)
+
+let open_by_handle_at t proc ?(flags = [ Types.O_RDONLY ]) (fs_id, handle) =
+  charge t;
+  (* Search the process's namespace for the filesystem. *)
+  let ns = proc.Proc.ns.Proc.mnt in
+  let found =
+    Hashtbl.fold
+      (fun _ m acc ->
+        if m.Mount.m_fs.Fsops.fs_id = fs_id then Some m else acc)
+      ns.Mount.mounts None
+  in
+  match found with
+  | None -> Error Errno.EINVAL
+  | Some m ->
+      let* ino = m.Mount.m_fs.Fsops.open_by_handle handle in
+      let* fh = m.Mount.m_fs.Fsops.open_ (Proc.vfs_cred proc) ino flags in
+      let v = { Proc.v_mount = m; v_ino = ino } in
+      let entry =
+        Proc.File { of_vnode = v; of_fh = fh; of_flags = flags; of_path = "<handle>"; of_offset = 0; of_refs = 1 }
+      in
+      Ok (Proc.alloc_fd proc entry)
+
+(* --- directories, roots, processes ------------------------------------ *)
+
+let chdir t proc path =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  let* st = vnode_stat v in
+  if st.Types.st_kind <> Types.Dir then Error Errno.ENOTDIR
+  else begin
+    proc.Proc.cwd <- v;
+    Ok ()
+  end
+
+let chroot t proc path =
+  charge t;
+  if not (Caps.Set.mem Caps.CAP_SYS_CHROOT proc.Proc.cred.Proc.caps) then
+    Error Errno.EPERM
+  else
+    let* v = resolve_cwd t proc path in
+    let* st = vnode_stat v in
+    if st.Types.st_kind <> Types.Dir then Error Errno.ENOTDIR
+    else begin
+      proc.Proc.root <- v;
+      proc.Proc.cwd <- v;
+      Ok ()
+    end
+
+let fork t proc =
+  charge t;
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  (* fds are shared open file descriptions, Linux-style. *)
+  let fds = Hashtbl.copy proc.Proc.fds in
+  Hashtbl.iter
+    (fun _ e ->
+      match e with
+      | Proc.File f -> f.Proc.of_refs <- f.Proc.of_refs + 1
+      | Proc.Pipe_r p -> Pipe.add_reader p
+      | Proc.Pipe_w p -> Pipe.add_writer p
+      | _ -> ())
+    fds;
+  let child =
+    {
+      proc with
+      Proc.pid;
+      ppid = proc.Proc.pid;
+      cred = { proc.Proc.cred with Proc.uid = proc.Proc.cred.Proc.uid };
+      ns =
+        {
+          Proc.mnt = proc.Proc.ns.Proc.mnt;
+          pid_ns = proc.Proc.ns.Proc.pid_ns;
+          net = proc.Proc.ns.Proc.net;
+          uts = proc.Proc.ns.Proc.uts;
+          ipc = proc.Proc.ns.Proc.ipc;
+          user = proc.Proc.ns.Proc.user;
+          cgroup_ns = proc.Proc.ns.Proc.cgroup_ns;
+        };
+      fds;
+      env = proc.Proc.env;
+      alive = true;
+      exit_code = None;
+    }
+  in
+  Hashtbl.replace t.procs pid child;
+  (match Hashtbl.find_opt t.cgroups proc.Proc.cgroup with
+  | Some cg -> cg.cg_procs <- pid :: cg.cg_procs
+  | None -> ());
+  child
+
+let exit t proc code =
+  charge t;
+  if proc.Proc.alive then begin
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) proc.Proc.fds [] in
+    List.iter (fun fd -> ignore (close t proc fd)) fds;
+    proc.Proc.alive <- false;
+    proc.Proc.exit_code <- Some code;
+    (match Hashtbl.find_opt t.cgroups proc.Proc.cgroup with
+    | Some cg -> cg.cg_procs <- List.filter (fun p -> p <> proc.Proc.pid) cg.cg_procs
+    | None -> ())
+  end
+
+(* --- namespaces -------------------------------------------------------- *)
+
+let unshare t proc kinds =
+  charge t;
+  if not (Caps.Set.mem Caps.CAP_SYS_ADMIN proc.Proc.cred.Proc.caps) then
+    Error Errno.EPERM
+  else begin
+    List.iter
+      (fun kind ->
+        match kind with
+        | Namespace.Mnt ->
+            let ns = Mount.clone_ns proc.Proc.ns.Proc.mnt in
+            register_mnt_ns t ns;
+            (* Re-anchor root/cwd in the cloned namespace: find the clone of
+               the mount they pointed into. *)
+            let rebase v =
+              let old = v.Proc.v_mount in
+              let found =
+                Hashtbl.fold
+                  (fun _ m acc ->
+                    if
+                      m.Mount.m_fs.Fsops.fs_id = old.Mount.m_fs.Fsops.fs_id
+                      && m.Mount.m_root = old.Mount.m_root
+                      && m.Mount.m_mp = None = (old.Mount.m_mp = None)
+                    then Some m
+                    else acc)
+                  ns.Mount.mounts None
+              in
+              match found with
+              | Some m -> { v with Proc.v_mount = m }
+              | None -> v
+            in
+            proc.Proc.root <- rebase proc.Proc.root;
+            proc.Proc.cwd <- rebase proc.Proc.cwd;
+            proc.Proc.ns.Proc.mnt <- ns
+        | Namespace.Pid ->
+            proc.Proc.ns.Proc.pid_ns <-
+              { Namespace.pns_id = fresh_tag t; parent = Some proc.Proc.ns.Proc.pid_ns }
+        | Namespace.Net -> proc.Proc.ns.Proc.net <- fresh_ns t Namespace.Net
+        | Namespace.Uts ->
+            let ns = fresh_ns t Namespace.Uts in
+            Hashtbl.replace t.hostnames ns.Namespace.id
+              (Option.value ~default:"host"
+                 (Hashtbl.find_opt t.hostnames proc.Proc.ns.Proc.uts.Namespace.id));
+            proc.Proc.ns.Proc.uts <- ns
+        | Namespace.Ipc -> proc.Proc.ns.Proc.ipc <- fresh_ns t Namespace.Ipc
+        | Namespace.User ->
+            proc.Proc.ns.Proc.user <-
+              { Namespace.uns_id = fresh_tag t; uid_map = []; gid_map = [] }
+        | Namespace.Cgroup -> proc.Proc.ns.Proc.cgroup_ns <- fresh_ns t Namespace.Cgroup)
+      kinds;
+    Ok ()
+  end
+
+(* setns(2): join the namespaces of [target_pid] for the given kinds.  This
+   is the core primitive CNTR uses to attach (§3.2.2, §3.2.3). *)
+let setns t proc ~target_pid kinds =
+  charge t;
+  if not (Caps.Set.mem Caps.CAP_SYS_ADMIN proc.Proc.cred.Proc.caps) then
+    Error Errno.EPERM
+  else
+    let* target = proc_by_pid t target_pid in
+    List.iter
+      (fun kind ->
+        match kind with
+        | Namespace.Mnt ->
+            proc.Proc.ns.Proc.mnt <- target.Proc.ns.Proc.mnt;
+            proc.Proc.root <- target.Proc.root;
+            proc.Proc.cwd <- target.Proc.cwd
+        | Namespace.Pid -> proc.Proc.ns.Proc.pid_ns <- target.Proc.ns.Proc.pid_ns
+        | Namespace.Net -> proc.Proc.ns.Proc.net <- target.Proc.ns.Proc.net
+        | Namespace.Uts -> proc.Proc.ns.Proc.uts <- target.Proc.ns.Proc.uts
+        | Namespace.Ipc -> proc.Proc.ns.Proc.ipc <- target.Proc.ns.Proc.ipc
+        | Namespace.User -> proc.Proc.ns.Proc.user <- target.Proc.ns.Proc.user
+        | Namespace.Cgroup -> proc.Proc.ns.Proc.cgroup_ns <- target.Proc.ns.Proc.cgroup_ns)
+      kinds;
+    Ok ()
+
+(* --- mounts ------------------------------------------------------------ *)
+
+let require_admin proc =
+  if Caps.Set.mem Caps.CAP_SYS_ADMIN proc.Proc.cred.Proc.caps then Ok ()
+  else Error Errno.EPERM
+
+(* Propagate a new mount to peers of a shared parent (other namespaces that
+   share the peer group see the mount appear). *)
+let propagate_mount t ~parent ~mp_ino ~fs ~root_ino ~ro =
+  match parent.Mount.m_prop with
+  | Mount.Private | Mount.Slave _ -> ()
+  | Mount.Shared group ->
+      let replica_group = Mount.next_peer_group () in
+      Hashtbl.iter
+        (fun _ ns ->
+          Hashtbl.iter
+            (fun _ m ->
+              if
+                m.Mount.m_id <> parent.Mount.m_id
+                && m.Mount.m_prop = Mount.Shared group
+                && m.Mount.m_fs.Fsops.fs_id = parent.Mount.m_fs.Fsops.fs_id
+              then
+                ignore
+                  (Mount.add ns ~parent:m.Mount.m_id ~mp_ino ~fs ~root_ino
+                     ~prop:(Mount.Shared replica_group) ~ro))
+            ns.Mount.mounts)
+        t.namespaces
+
+let mount_at t proc ~fs ?root_ino target =
+  charge t;
+  let* () = require_admin proc in
+  let* v = resolve_cwd t proc target in
+  let* st = vnode_stat v in
+  if st.Types.st_kind <> Types.Dir then Error Errno.ENOTDIR
+  else begin
+    let ns = proc.Proc.ns.Proc.mnt in
+    let parent = v.Proc.v_mount in
+    let root_ino = Option.value root_ino ~default:fs.Fsops.root in
+    let m =
+      Mount.add ns ~parent:parent.Mount.m_id ~mp_ino:v.Proc.v_ino ~fs ~root_ino
+        ~prop:Mount.Private ~ro:false
+    in
+    propagate_mount t ~parent ~mp_ino:v.Proc.v_ino ~fs ~root_ino ~ro:false;
+    Ok m
+  end
+
+(* bind mount: graft the subtree at [src] onto [dst]. *)
+let bind_mount t proc ~src ~dst =
+  charge t;
+  let* () = require_admin proc in
+  let* sv = resolve_cwd t proc src in
+  let* dv = resolve_cwd t proc dst in
+  let* sst = vnode_stat sv in
+  let* dst_st = vnode_stat dv in
+  (* A bind mount of a file onto a file is allowed (CNTR uses this for
+     /etc/passwd etc.); kinds must agree in dir-ness. *)
+  let src_is_dir = sst.Types.st_kind = Types.Dir in
+  let dst_is_dir = dst_st.Types.st_kind = Types.Dir in
+  if src_is_dir <> dst_is_dir then
+    Error (if dst_is_dir then Errno.ENOTDIR else Errno.EISDIR)
+  else begin
+    let ns = proc.Proc.ns.Proc.mnt in
+    let parent = dv.Proc.v_mount in
+    let fs = sv.Proc.v_mount.Mount.m_fs in
+    let m =
+      Mount.add ns ~parent:parent.Mount.m_id ~mp_ino:dv.Proc.v_ino ~fs
+        ~root_ino:sv.Proc.v_ino ~prop:Mount.Private ~ro:false
+    in
+    propagate_mount t ~parent ~mp_ino:dv.Proc.v_ino ~fs ~root_ino:sv.Proc.v_ino ~ro:false;
+    Ok m
+  end
+
+let umount t proc target =
+  charge t;
+  let* () = require_admin proc in
+  let* v = resolve_cwd t proc target in
+  let ns = proc.Proc.ns.Proc.mnt in
+  let m = v.Proc.v_mount in
+  if v.Proc.v_ino <> m.Mount.m_root then Error Errno.EINVAL
+  else if Mount.children ns m.Mount.m_id <> [] then Error Errno.EBUSY
+  else if ns.Mount.root = m.Mount.m_id then Error Errno.EBUSY
+  else begin
+    Mount.remove ns m.Mount.m_id;
+    Ok ()
+  end
+
+let make_rprivate t proc =
+  charge t;
+  let* () = require_admin proc in
+  Mount.make_rprivate proc.Proc.ns.Proc.mnt;
+  Ok ()
+
+(* Move every pre-existing mount of the namespace so CNTR can re-anchor the
+   application filesystem under the nested root (step #3).  Implemented as
+   re-pointing the parent/mountpoint of the old root's children; the caller
+   provides the new location. *)
+
+(* --- hostname, cgroups, rlimits, LSM ----------------------------------- *)
+
+let gethostname t proc =
+  Option.value ~default:"host" (Hashtbl.find_opt t.hostnames proc.Proc.ns.Proc.uts.Namespace.id)
+
+let sethostname t proc name =
+  charge t;
+  let* () = require_admin proc in
+  Hashtbl.replace t.hostnames proc.Proc.ns.Proc.uts.Namespace.id name;
+  Ok ()
+
+let cgroup_create t path =
+  if not (Hashtbl.mem t.cgroups path) then
+    Hashtbl.replace t.cgroups path { cg_procs = [] }
+
+let cgroup_attach t proc ~cgroup =
+  charge t;
+  cgroup_create t cgroup;
+  (match Hashtbl.find_opt t.cgroups proc.Proc.cgroup with
+  | Some old -> old.cg_procs <- List.filter (fun p -> p <> proc.Proc.pid) old.cg_procs
+  | None -> ());
+  let cg = Hashtbl.find t.cgroups cgroup in
+  cg.cg_procs <- proc.Proc.pid :: cg.cg_procs;
+  proc.Proc.cgroup <- cgroup
+
+let cgroup_procs t cgroup =
+  match Hashtbl.find_opt t.cgroups cgroup with
+  | Some cg -> List.sort compare cg.cg_procs
+  | None -> []
+
+let set_rlimit_fsize _t proc limit = proc.Proc.rlimit_fsize <- limit
+
+let apply_lsm_profile _t proc profile = proc.Proc.lsm_profile <- profile
+
+(* --- pipes, splice, sockets, epoll ------------------------------------- *)
+
+let pipe t proc =
+  charge t;
+  let p = Pipe.create () in
+  let rfd = Proc.alloc_fd proc (Proc.Pipe_r p) in
+  let wfd = Proc.alloc_fd proc (Proc.Pipe_w p) in
+  (rfd, wfd)
+
+(* splice(2): move bytes between two fds without copying through
+   userspace.  Only the splice setup cost is charged per call. *)
+let splice t proc ~fd_in ~fd_out ~len =
+  charge t;
+  Clock.consume_int t.clock t.cost.Cost.splice_setup_ns;
+  let* inp = fd_entry proc fd_in in
+  let* out = fd_entry proc fd_out in
+  let* data =
+    match inp with
+    | Proc.Pipe_r p -> Pipe.read p ~len
+    | Proc.Sock_conn ep -> Sock.recv ep ~len
+    | Proc.File f -> read_file t proc f ~len
+    | Proc.Custom c -> c.Proc.c_read ~len
+    | _ -> Error Errno.EINVAL
+  in
+  if data = "" then Ok 0
+  else
+    let* n =
+      match out with
+      | Proc.Pipe_w p -> Pipe.write p data
+      | Proc.Sock_conn ep -> Sock.send ep data
+      | Proc.File f -> (
+          let fs = f.Proc.of_vnode.Proc.v_mount.Mount.m_fs in
+          let* n = fs.Fsops.write (Proc.vfs_cred proc) f.Proc.of_fh ~off:f.Proc.of_offset data in
+          f.Proc.of_offset <- f.Proc.of_offset + n;
+          Ok n)
+      | Proc.Custom c -> c.Proc.c_write data
+      | _ -> Error Errno.EINVAL
+    in
+    Ok n
+
+let socket_listen t proc path =
+  charge t;
+  let* dir, name = resolve_parent t proc path in
+  let fs = dir.Proc.v_mount.Mount.m_fs in
+  let cred = Proc.vfs_cred proc in
+  let* () =
+    match fs.Fsops.lookup cred dir.Proc.v_ino name with
+    | Ok _ -> Error Errno.EADDRINUSE
+    | Error Errno.ENOENT -> Ok ()
+    | Error e -> Error e
+  in
+  let* st = fs.Fsops.mknod cred dir.Proc.v_ino name ~kind:Types.Sock ~mode:0o755 in
+  let listener = Sock.listen ~path in
+  Hashtbl.replace t.sock_bindings (fs.Fsops.fs_id, st.Types.st_ino) listener;
+  Ok (Proc.alloc_fd proc (Proc.Sock_listen listener))
+
+let socket_connect t proc path =
+  charge t;
+  let* v = resolve_cwd t proc path in
+  let* st = vnode_stat v in
+  if st.Types.st_kind <> Types.Sock then Error Errno.ECONNREFUSED
+  else
+    (* The binding is keyed by the *presenting* filesystem's identity: a
+       socket file seen through a FUSE mount has a different (fs_id, ino)
+       than the underlying socket, so the connection fails — the paper's
+       motivation for the CNTR socket proxy. *)
+    match
+      Hashtbl.find_opt t.sock_bindings
+        (v.Proc.v_mount.Mount.m_fs.Fsops.fs_id, v.Proc.v_ino)
+    with
+    | None -> Error Errno.ECONNREFUSED
+    | Some listener ->
+        let* ep = Sock.connect listener in
+        Ok (Proc.alloc_fd proc (Proc.Sock_conn ep))
+
+let socket_accept t proc fdn =
+  charge t;
+  let* entry = fd_entry proc fdn in
+  match entry with
+  | Proc.Sock_listen l ->
+      let* ep = Sock.accept l in
+      Ok (Proc.alloc_fd proc (Proc.Sock_conn ep))
+  | _ -> Error Errno.EINVAL
+
+let epoll_create t proc =
+  charge t;
+  Proc.alloc_fd proc (Proc.Epoll_fd (Epoll.create ()))
+
+let probes_of_entry entry : Epoll.probes =
+  match entry with
+  | Proc.Pipe_r p -> { Epoll.p_readable = (fun () -> Pipe.readable p); p_writable = (fun () -> false) }
+  | Proc.Pipe_w p -> { Epoll.p_readable = (fun () -> false); p_writable = (fun () -> Pipe.writable p) }
+  | Proc.Sock_conn ep ->
+      { Epoll.p_readable = (fun () -> Sock.readable ep); p_writable = (fun () -> Sock.writable ep) }
+  | Proc.Sock_listen l ->
+      { Epoll.p_readable = (fun () -> Sock.pending l > 0); p_writable = (fun () -> false) }
+  | Proc.Custom c -> { Epoll.p_readable = c.Proc.c_readable; p_writable = c.Proc.c_writable }
+  | Proc.File _ | Proc.Epoll_fd _ ->
+      { Epoll.p_readable = (fun () -> true); p_writable = (fun () -> true) }
+
+let epoll_of proc fdn =
+  match Proc.fd proc fdn with
+  | Some (Proc.Epoll_fd e) -> Ok e
+  | Some _ -> Error Errno.EINVAL
+  | None -> Error Errno.EBADF
+
+let epoll_add t proc ~epfd ~fd ~interest =
+  charge t;
+  let* ep = epoll_of proc epfd in
+  let* entry = fd_entry proc fd in
+  Epoll.add ep ~fd ~interest ~probes:(probes_of_entry entry);
+  Ok ()
+
+let epoll_del t proc ~epfd ~fd =
+  charge t;
+  let* ep = epoll_of proc epfd in
+  Epoll.remove ep ~fd;
+  Ok ()
+
+let epoll_wait t proc epfd =
+  charge t;
+  let* ep = epoll_of proc epfd in
+  Ok (Epoll.wait ep)
+
+(* --- programs and exec -------------------------------------------------- *)
+
+let register_program t name prog = Hashtbl.replace t.programs name prog
+
+let program_exists t name = Hashtbl.mem t.programs name
+
+(* Read a whole file through the filesystem (charging its costs). *)
+let read_whole t proc path =
+  let* fdn = open_ t proc path [ Types.O_RDONLY ] ~mode:0 in
+  let buf = Buffer.create 4096 in
+  let rec go () =
+    let* chunk = read t proc fdn ~len:(256 * 1024) in
+    if chunk = "" then Ok ()
+    else begin
+      Buffer.add_string buf chunk;
+      go ()
+    end
+  in
+  let* () = go () in
+  let* () = close t proc fdn in
+  Ok (Buffer.contents buf)
+
+(* execve: load the binary via the filesystem (mmap), decode the binfmt
+   header, and run the registered program synchronously.  Returns the
+   program's exit code. *)
+let rec exec t proc path args =
+  charge t;
+  let* () = access t proc path Types.x_ok in
+  let* v = resolve_cwd t proc path in
+  let fs = v.Proc.v_mount.Mount.m_fs in
+  let* fh = fs.Fsops.open_ (Proc.vfs_cred proc) v.Proc.v_ino [ Types.O_RDONLY ] in
+  (* Executing requires mmap support (FUSE: mmap and direct I/O are
+     mutually exclusive, which is why CNTR chose mmap — §5.1). *)
+  if not (fs.Fsops.supports_mmap fh) then begin
+    fs.Fsops.release fh;
+    Error Errno.ENOSYS
+  end
+  else begin
+    fs.Fsops.release fh;
+    let* content = read_whole t proc path in
+    match Binfmt.parse content with
+    | None -> Error Errno.ENOSYS
+    | Some (Binfmt.Script interp) -> exec t proc interp (interp :: path :: List.tl args)
+    | Some (Binfmt.Bin name) -> (
+        match Hashtbl.find_opt t.programs name with
+        | None -> Error Errno.ENOSYS
+        | Some prog ->
+            let saved_comm = proc.Proc.comm in
+            proc.Proc.comm <- name;
+            let code = prog t proc args in
+            proc.Proc.comm <- saved_comm;
+            Ok code)
+  end
+
+(* --- chardevs ----------------------------------------------------------- *)
+
+let register_chardev t ~major ~minor dev = Hashtbl.replace t.chardevs (major, minor) dev
+
+(* --- diagnostics -------------------------------------------------------- *)
+
+let mounts_of_ns ns =
+  Hashtbl.fold (fun _ m acc -> m :: acc) ns.Mount.mounts []
+  |> List.sort (fun a b -> compare a.Mount.m_id b.Mount.m_id)

@@ -1,0 +1,141 @@
+(* Mount namespaces.  Mounts are keyed Linux-style by (parent mount,
+   mountpoint inode), which makes bind mounts, stacked mounts, and chroot
+   interact correctly with path walking.  Propagation implements the subset
+   CNTR depends on: shared peer groups (the host root), private mounts
+   (container namespaces), and recursive privatization — so a mount created
+   in CNTR's nested namespace never leaks back into the application
+   container (§3.2.3). *)
+
+open Repro_vfs
+
+type propagation = Private | Shared of int | Slave of int
+
+type mount = {
+  m_id : int;
+  m_ns : int; (* owning namespace id *)
+  m_fs : Fsops.t;
+  m_root : Types.ino;
+  mutable m_parent : int option;
+  mutable m_mp : (int * Types.ino) option; (* (parent mount id, mountpoint ino) *)
+  mutable m_prop : propagation;
+  mutable m_ro : bool;
+}
+
+type ns = {
+  ns_id : int;
+  mounts : (int, mount) Hashtbl.t;
+  mutable root : int; (* root mount id *)
+}
+
+let next_mount_id =
+  let c = ref 0 in
+  fun () -> incr c; !c
+
+let next_ns_id =
+  let c = ref 0 in
+  fun () -> incr c; !c
+
+let next_peer_group =
+  let c = ref 0 in
+  fun () -> incr c; !c
+
+(* A fresh namespace rooted at [fs]'s root. *)
+let create_ns ~fs ?root_ino ?(prop = Private) () =
+  let ns_id = next_ns_id () in
+  let root_ino = Option.value root_ino ~default:fs.Fsops.root in
+  let m =
+    {
+      m_id = next_mount_id ();
+      m_ns = ns_id;
+      m_fs = fs;
+      m_root = root_ino;
+      m_parent = None;
+      m_mp = None;
+      m_prop = prop;
+      m_ro = false;
+    }
+  in
+  let ns = { ns_id; mounts = Hashtbl.create 16; root = m.m_id } in
+  Hashtbl.replace ns.mounts m.m_id m;
+  ns
+
+let find ns mid = Hashtbl.find_opt ns.mounts mid
+
+let root_mount ns =
+  match find ns ns.root with
+  | Some m -> m
+  | None -> invalid_arg "Mount.root_mount: dangling root"
+
+(* The topmost mount stacked on mountpoint (parent mount [mid], inode
+   [ino]), if any. *)
+let mount_on ns ~mid ~ino =
+  Hashtbl.fold
+    (fun _ m best ->
+      match m.m_mp with
+      | Some (pmid, pino) when pmid = mid && pino = ino -> (
+          match best with
+          | Some b when b.m_id > m.m_id -> best
+          | _ -> Some m)
+      | _ -> best)
+    ns.mounts None
+
+(* Raw insertion of a mount record (propagation is the kernel's job). *)
+let add ns ~parent ~mp_ino ~fs ~root_ino ~prop ~ro =
+  let m =
+    {
+      m_id = next_mount_id ();
+      m_ns = ns.ns_id;
+      m_fs = fs;
+      m_root = root_ino;
+      m_parent = Some parent;
+      m_mp = Some (parent, mp_ino);
+      m_prop = prop;
+      m_ro = ro;
+    }
+  in
+  Hashtbl.replace ns.mounts m.m_id m;
+  m
+
+let children ns mid =
+  Hashtbl.fold
+    (fun _ m acc -> if m.m_parent = Some mid then m :: acc else acc)
+    ns.mounts []
+
+let remove ns mid = Hashtbl.remove ns.mounts mid
+
+(* Copy every mount into a fresh namespace, preserving structure and
+   propagation (clones of shared mounts stay in the same peer group, as in
+   Linux). *)
+let clone_ns ns =
+  let new_ns_id = next_ns_id () in
+  let id_map = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun old_id _ -> Hashtbl.replace id_map old_id (next_mount_id ()))
+    ns.mounts;
+  let remap id = Hashtbl.find id_map id in
+  let mounts = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun old_id m ->
+      let m' =
+        {
+          m with
+          m_id = remap old_id;
+          m_ns = new_ns_id;
+          m_parent = Option.map remap m.m_parent;
+          m_mp = Option.map (fun (p, i) -> (remap p, i)) m.m_mp;
+        }
+      in
+      Hashtbl.replace mounts m'.m_id m')
+    ns.mounts;
+  { ns_id = new_ns_id; mounts; root = remap ns.root }
+
+(* mount --make-rprivate /: detach every mount from its peer group. *)
+let make_rprivate ns =
+  Hashtbl.iter (fun _ m -> m.m_prop <- Private) ns.mounts
+
+let make_shared m =
+  match m.m_prop with
+  | Shared _ -> ()
+  | Private | Slave _ -> m.m_prop <- Shared (next_peer_group ())
+
+let mount_count ns = Hashtbl.length ns.mounts

@@ -1,0 +1,65 @@
+(** Mount namespaces.  Mounts are keyed Linux-style by (parent mount,
+    mountpoint inode), making bind mounts, stacked mounts and chroot
+    interact correctly with path walking.  Propagation implements the
+    subset CNTR depends on: shared peer groups (the host root), private
+    mounts (container namespaces), and recursive privatization — so a
+    mount created in CNTR's nested namespace never leaks back into the
+    application container (§3.2.3). *)
+
+open Repro_vfs
+
+type propagation = Private | Shared of int | Slave of int
+
+type mount = {
+  m_id : int;
+  m_ns : int;  (** owning namespace id *)
+  m_fs : Fsops.t;
+  m_root : Types.ino;  (** root inode of this mount within [m_fs] *)
+  mutable m_parent : int option;
+  mutable m_mp : (int * Types.ino) option;  (** (parent mount id, mountpoint ino) *)
+  mutable m_prop : propagation;
+  mutable m_ro : bool;
+}
+
+type ns = {
+  ns_id : int;
+  mounts : (int, mount) Hashtbl.t;
+  mutable root : int;  (** root mount id *)
+}
+
+val next_mount_id : unit -> int
+val next_ns_id : unit -> int
+val next_peer_group : unit -> int
+
+(** A fresh namespace rooted at [fs] (or a sub-root of it). *)
+val create_ns : fs:Fsops.t -> ?root_ino:Types.ino -> ?prop:propagation -> unit -> ns
+
+val find : ns -> int -> mount option
+val root_mount : ns -> mount
+
+(** Topmost mount stacked on the mountpoint (parent [mid], inode [ino]). *)
+val mount_on : ns -> mid:int -> ino:Types.ino -> mount option
+
+(** Raw insertion (propagation to peers is the kernel's job). *)
+val add :
+  ns ->
+  parent:int ->
+  mp_ino:Types.ino ->
+  fs:Fsops.t ->
+  root_ino:Types.ino ->
+  prop:propagation ->
+  ro:bool ->
+  mount
+
+val children : ns -> int -> mount list
+val remove : ns -> int -> unit
+
+(** Copy every mount into a fresh namespace, preserving structure and peer
+    groups (clones of shared mounts stay shared, as in Linux). *)
+val clone_ns : ns -> ns
+
+(** mount --make-rprivate /: detach every mount from its peer group. *)
+val make_rprivate : ns -> unit
+
+val make_shared : mount -> unit
+val mount_count : ns -> int

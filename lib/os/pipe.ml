@@ -1,0 +1,68 @@
+(* In-kernel pipes: a bounded byte queue with reader/writer reference
+   counting.  Used for pipe(2), pseudo-TTY plumbing, and as the kernel
+   buffer for splice(2). *)
+
+open Repro_util
+
+type t = {
+  capacity : int;
+  buf : Buffer.t;
+  mutable read_pos : int;
+  mutable readers : int;
+  mutable writers : int;
+}
+
+let default_capacity = 64 * 1024
+
+let create ?(capacity = default_capacity) () =
+  { capacity; buf = Buffer.create 256; read_pos = 0; readers = 1; writers = 1 }
+
+let available t = Buffer.length t.buf - t.read_pos
+let room t = t.capacity - available t
+
+let compact t =
+  if t.read_pos > 0 && t.read_pos = Buffer.length t.buf then begin
+    Buffer.clear t.buf;
+    t.read_pos <- 0
+  end
+  else if t.read_pos > t.capacity then begin
+    (* Slide the window down to bound memory. *)
+    let rest = Buffer.sub t.buf t.read_pos (available t) in
+    Buffer.clear t.buf;
+    Buffer.add_string t.buf rest;
+    t.read_pos <- 0
+  end
+
+(* Write as much of [data] as fits; EPIPE once all readers are gone, EAGAIN
+   when full. *)
+let write t data =
+  if t.readers = 0 then Error Errno.EPIPE
+  else
+    let n = min (String.length data) (room t) in
+    if n = 0 && String.length data > 0 then Error Errno.EAGAIN
+    else begin
+      Buffer.add_substring t.buf data 0 n;
+      Ok n
+    end
+
+(* Read up to [len] bytes; "" at EOF (writers gone), EAGAIN when empty but
+   writers remain. *)
+let read t ~len =
+  let avail = available t in
+  if avail = 0 then
+    if t.writers = 0 then Ok "" else Error Errno.EAGAIN
+  else begin
+    let n = min len avail in
+    let s = Buffer.sub t.buf t.read_pos n in
+    t.read_pos <- t.read_pos + n;
+    compact t;
+    Ok s
+  end
+
+let close_reader t = t.readers <- max 0 (t.readers - 1)
+let close_writer t = t.writers <- max 0 (t.writers - 1)
+let add_reader t = t.readers <- t.readers + 1
+let add_writer t = t.writers <- t.writers + 1
+
+let readable t = available t > 0 || t.writers = 0
+let writable t = room t > 0 && t.readers > 0

@@ -1,0 +1,34 @@
+(** In-kernel pipes: a bounded byte queue with reader/writer reference
+    counting.  Used for pipe(2), pseudo-TTY plumbing and splice buffers. *)
+
+open Repro_util
+
+type t
+
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> t
+
+(** Bytes currently queued. *)
+val available : t -> int
+
+(** Remaining capacity. *)
+val room : t -> int
+
+(** Write as much of [data] as fits; [EPIPE] when all readers are gone,
+    [EAGAIN] when full. *)
+val write : t -> string -> (int, Errno.t) result
+
+(** Read up to [len] bytes; "" at EOF (no writers), [EAGAIN] when empty but
+    writers remain. *)
+val read : t -> len:int -> (string, Errno.t) result
+
+val close_reader : t -> unit
+val close_writer : t -> unit
+val add_reader : t -> unit
+val add_writer : t -> unit
+
+(** Poll readiness (for epoll). *)
+val readable : t -> bool
+
+val writable : t -> bool

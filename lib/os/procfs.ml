@@ -1,0 +1,330 @@
+(* Synthesized /proc.  CNTR's step #1 reads a container's execution context
+   out of here: namespaces, environment, capabilities, cgroup, LSM profile,
+   uid/gid maps (§3.2.1).  Each instance is scoped to a PID namespace, so a
+   container's /proc only shows its own processes while the host /proc
+   shows everything. *)
+
+open Repro_util
+open Repro_vfs
+
+type node =
+  | Root
+  | Pid_dir of int
+  | Pid_file of int * string (* status, environ, cmdline, cgroup, mounts, limits, uid_map, gid_map *)
+  | Ns_dir of int
+  | Ns_file of int * Namespace.kind
+  | Attr_dir of int
+  | Attr_file of int
+
+let pid_files = [ "status"; "environ"; "cmdline"; "cgroup"; "mounts"; "limits"; "uid_map"; "gid_map" ]
+
+let ino_of_node = function
+  | Root -> 1
+  | Pid_dir p -> (p * 1000) + 100
+  | Pid_file (p, name) ->
+      let idx =
+        match List.find_index (String.equal name) pid_files with
+        | Some i -> i
+        | None -> 50
+      in
+      (p * 1000) + 101 + idx
+  | Ns_dir p -> (p * 1000) + 120
+  | Ns_file (p, kind) ->
+      let idx =
+        match kind with
+        | Namespace.Mnt -> 0
+        | Namespace.Pid -> 1
+        | Namespace.Net -> 2
+        | Namespace.Uts -> 3
+        | Namespace.Ipc -> 4
+        | Namespace.User -> 5
+        | Namespace.Cgroup -> 6
+      in
+      (p * 1000) + 121 + idx
+  | Attr_dir p -> (p * 1000) + 140
+  | Attr_file p -> (p * 1000) + 141
+
+type t = {
+  kernel : Kernel.t;
+  pidns : Namespace.pid_ns;
+  fs_id : int;
+  (* Open handles snapshot the generated content. *)
+  handles : (int, string) Hashtbl.t;
+  mutable next_fh : int;
+  nodes : (int, node) Hashtbl.t; (* ino -> node, filled on lookup *)
+}
+
+let create ~kernel ~pidns =
+  let t =
+    {
+      kernel;
+      pidns;
+      fs_id = Fsops.next_fs_id ();
+      handles = Hashtbl.create 8;
+      next_fh = 1;
+      nodes = Hashtbl.create 64;
+    }
+  in
+  Hashtbl.replace t.nodes 1 Root;
+  t
+
+let intern t node =
+  let ino = ino_of_node node in
+  Hashtbl.replace t.nodes ino node;
+  ino
+
+let ( let* ) = Result.bind
+
+let proc_of t pid =
+  match Kernel.proc_by_pid t.kernel pid with
+  | Ok p when Namespace.pid_ns_visible_from ~outer:t.pidns p.Proc.ns.Proc.pid_ns -> Ok p
+  | Ok _ -> Error Errno.ENOENT
+  | Error _ -> Error Errno.ENOENT
+
+let visible_pids t =
+  Kernel.procs_in_pidns t.kernel t.pidns |> List.map (fun p -> p.Proc.pid)
+
+(* --- content generation ------------------------------------------------ *)
+
+let render_status t (p : Proc.t) =
+  let caps = p.Proc.cred.Proc.caps in
+  let groups = String.concat " " (List.map string_of_int p.Proc.cred.Proc.groups) in
+  ignore t;
+  Printf.sprintf
+    "Name:\t%s\nPid:\t%d\nPPid:\t%d\nUid:\t%d\t%d\t%d\t%d\nGid:\t%d\t%d\t%d\t%d\nGroups:\t%s\nCapEff:\t%s\nSeccomp:\t0\n"
+    p.Proc.comm p.Proc.pid p.Proc.ppid p.Proc.cred.Proc.uid p.Proc.cred.Proc.uid
+    p.Proc.cred.Proc.uid p.Proc.cred.Proc.uid p.Proc.cred.Proc.gid
+    p.Proc.cred.Proc.gid p.Proc.cred.Proc.gid p.Proc.cred.Proc.gid groups
+    (Caps.Set.to_hex caps)
+
+let render_environ (p : Proc.t) =
+  String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s=%s\000" k v) p.Proc.env)
+
+let render_cgroup (p : Proc.t) = Printf.sprintf "0::%s\n" p.Proc.cgroup
+
+let render_mounts (p : Proc.t) =
+  Kernel.mounts_of_ns p.Proc.ns.Proc.mnt
+  |> List.map (fun m ->
+         Printf.sprintf "%d %s %s ino%d %s" m.Mount.m_id m.Mount.m_fs.Fsops.fs_name
+           (match m.Mount.m_prop with
+           | Mount.Private -> "private"
+           | Mount.Shared g -> Printf.sprintf "shared:%d" g
+           | Mount.Slave g -> Printf.sprintf "slave:%d" g)
+           m.Mount.m_root
+           (if m.Mount.m_ro then "ro" else "rw"))
+  |> String.concat "\n"
+
+let render_limits (p : Proc.t) =
+  let fsize =
+    match p.Proc.rlimit_fsize with
+    | None -> "unlimited"
+    | Some n -> string_of_int n
+  in
+  Printf.sprintf "Limit                     Soft Limit           Hard Limit           Units\nMax file size             %s            %s            bytes\n"
+    fsize fsize
+
+let render_map map =
+  Namespace.(
+    List.map (fun m -> Printf.sprintf "%10d %10d %10d\n" m.inside m.outside m.count) map)
+  |> String.concat ""
+
+let render_pid_file t p name =
+  let* proc = proc_of t p in
+  match name with
+  | "status" -> Ok (render_status t proc)
+  | "environ" -> Ok (render_environ proc)
+  | "cmdline" -> Ok (proc.Proc.comm ^ "\000")
+  | "cgroup" -> Ok (render_cgroup proc)
+  | "mounts" -> Ok (render_mounts proc)
+  | "limits" -> Ok (render_limits proc)
+  | "uid_map" -> Ok (render_map proc.Proc.ns.Proc.user.Namespace.uid_map)
+  | "gid_map" -> Ok (render_map proc.Proc.ns.Proc.user.Namespace.gid_map)
+  | _ -> Error Errno.ENOENT
+
+let ns_id_of (proc : Proc.t) kind =
+  match kind with
+  | Namespace.Mnt -> proc.Proc.ns.Proc.mnt.Mount.ns_id
+  | Namespace.Pid -> proc.Proc.ns.Proc.pid_ns.Namespace.pns_id
+  | Namespace.Net -> proc.Proc.ns.Proc.net.Namespace.id
+  | Namespace.Uts -> proc.Proc.ns.Proc.uts.Namespace.id
+  | Namespace.Ipc -> proc.Proc.ns.Proc.ipc.Namespace.id
+  | Namespace.User -> proc.Proc.ns.Proc.user.Namespace.uns_id
+  | Namespace.Cgroup -> proc.Proc.ns.Proc.cgroup_ns.Namespace.id
+
+let render_content t node =
+  match node with
+  | Root | Pid_dir _ | Ns_dir _ | Attr_dir _ -> Ok ""
+  | Pid_file (p, name) -> render_pid_file t p name
+  | Ns_file (p, kind) ->
+      let* proc = proc_of t p in
+      Ok (Printf.sprintf "%s:[%d]" (Namespace.kind_to_string kind) (ns_id_of proc kind))
+  | Attr_file p ->
+      let* proc = proc_of t p in
+      Ok (Option.value ~default:"unconfined" proc.Proc.lsm_profile ^ "\n")
+
+let node_of_ino t ino =
+  match Hashtbl.find_opt t.nodes ino with
+  | Some n -> Ok n
+  | None -> Error Errno.ENOENT
+
+let is_dir_node = function
+  | Root | Pid_dir _ | Ns_dir _ | Attr_dir _ -> true
+  | Pid_file _ | Ns_file _ | Attr_file _ -> false
+
+let kind_of_node = function
+  | Root | Pid_dir _ | Ns_dir _ | Attr_dir _ -> Types.Dir
+  | Ns_file _ -> Types.Symlink
+  | Pid_file _ | Attr_file _ -> Types.Reg
+
+let stat_of t ino node =
+  let uid, gid =
+    match node with
+    | Root -> (0, 0)
+    | Pid_dir p | Pid_file (p, _) | Ns_dir p | Ns_file (p, _) | Attr_dir p | Attr_file p -> (
+        match proc_of t p with
+        | Ok proc -> (proc.Proc.cred.Proc.uid, proc.Proc.cred.Proc.gid)
+        | Error _ -> (0, 0))
+  in
+  let size =
+    match render_content t node with Ok s -> String.length s | Error _ -> 0
+  in
+  {
+    Types.st_ino = ino;
+    st_kind = kind_of_node node;
+    st_mode = (if is_dir_node node then 0o555 else 0o444);
+    st_uid = uid;
+    st_gid = gid;
+    st_nlink = 1;
+    st_size = size;
+    st_atime = 0L;
+    st_mtime = 0L;
+    st_ctime = 0L;
+  }
+
+let lookup t _cred dir name =
+  let* node = node_of_ino t dir in
+  let* child =
+    match (node, name) with
+    | Root, pid_str -> (
+        match int_of_string_opt pid_str with
+        | Some pid ->
+            let* _p = proc_of t pid in
+            Ok (Pid_dir pid)
+        | None -> Error Errno.ENOENT)
+    | Pid_dir p, "ns" -> Ok (Ns_dir p)
+    | Pid_dir p, "attr" -> Ok (Attr_dir p)
+    | Pid_dir p, f when List.mem f pid_files ->
+        let* _p = proc_of t p in
+        Ok (Pid_file (p, f))
+    | Ns_dir p, k -> (
+        match
+          List.find_opt (fun kind -> Namespace.kind_to_string kind = k) Namespace.all_kinds
+        with
+        | Some kind -> Ok (Ns_file (p, kind))
+        | None -> Error Errno.ENOENT)
+    | Attr_dir p, "current" -> Ok (Attr_file p)
+    | _ -> Error Errno.ENOENT
+  in
+  let ino = intern t child in
+  Ok (ino, stat_of t ino child)
+
+let getattr t ino =
+  let* node = node_of_ino t ino in
+  Ok (stat_of t ino node)
+
+let readdir t _cred ino =
+  let* node = node_of_ino t ino in
+  let names =
+    match node with
+    | Root -> List.map string_of_int (visible_pids t)
+    | Pid_dir _ -> "ns" :: "attr" :: pid_files
+    | Ns_dir _ -> List.map Namespace.kind_to_string Namespace.all_kinds
+    | Attr_dir _ -> [ "current" ]
+    | _ -> []
+  in
+  if not (is_dir_node node) then Error Errno.ENOTDIR
+  else
+    Ok
+      (List.map
+         (fun name ->
+           let child =
+             match (node, name) with
+             | Root, p -> Pid_dir (int_of_string p)
+             | Pid_dir p, "ns" -> Ns_dir p
+             | Pid_dir p, "attr" -> Attr_dir p
+             | Pid_dir p, f -> Pid_file (p, f)
+             | Ns_dir p, k ->
+                 Ns_file
+                   ( p,
+                     List.find (fun kind -> Namespace.kind_to_string kind = k) Namespace.all_kinds )
+             | Attr_dir p, _ -> Attr_file p
+             | _ -> Root
+           in
+           { Types.d_ino = intern t child; d_name = name; d_kind = kind_of_node child })
+         names)
+
+let open_ t _cred ino _flags =
+  let* node = node_of_ino t ino in
+  if is_dir_node node then Error Errno.EISDIR
+  else
+    let* content = render_content t node in
+    let fh = t.next_fh in
+    t.next_fh <- fh + 1;
+    Hashtbl.replace t.handles fh content;
+    Ok fh
+
+let read t fh ~off ~len =
+  match Hashtbl.find_opt t.handles fh with
+  | None -> Error Errno.EBADF
+  | Some content ->
+      if off >= String.length content then Ok ""
+      else Ok (String.sub content off (min len (String.length content - off)))
+
+let readlink t ino =
+  let* node = node_of_ino t ino in
+  match node with
+  | Ns_file _ ->
+      (* ns links are magic: their "target" is the namespace tag, not a
+         path; readlink exposes the tag text. *)
+      render_content t node
+  | _ -> Error Errno.EINVAL
+
+let eperm5 _ _ _ _ _ = Error Errno.EPERM
+
+let ops t : Fsops.t = {
+  fs_name = "proc";
+  fs_id = t.fs_id;
+  root = 1;
+  lookup = lookup t;
+  forget = (fun _ -> ());
+  getattr = getattr t;
+  setattr = (fun _ _ _ -> Error Errno.EPERM);
+  readlink = readlink t;
+  mknod = (fun _ _ _ ~kind:_ ~mode:_ -> Error Errno.EPERM);
+  mkdir = (fun _ _ _ ~mode:_ -> Error Errno.EPERM);
+  unlink = (fun _ _ _ -> Error Errno.EPERM);
+  rmdir = (fun _ _ _ -> Error Errno.EPERM);
+  symlink = (fun _ _ _ ~target:_ -> Error Errno.EPERM);
+  rename = eperm5;
+  link = (fun _ ~src:_ ~dir:_ ~name:_ -> Error Errno.EPERM);
+  open_ = open_ t;
+  create = (fun _ _ _ ~mode:_ _ -> Error Errno.EPERM);
+  read = read t;
+  write = (fun _ _ ~off:_ _ -> Error Errno.EPERM);
+  flush = (fun _ -> Ok ());
+  release = (fun fh -> Hashtbl.remove t.handles fh);
+  fsync = (fun _ -> Ok ());
+  fallocate = (fun _ ~off:_ ~len:_ -> Error Errno.EPERM);
+  readdir = readdir t;
+  setxattr = (fun _ _ _ _ -> Error Errno.EPERM);
+  getxattr = (fun _ _ -> Error Errno.ENODATA);
+  listxattr = (fun _ -> Ok []);
+  removexattr = (fun _ _ _ -> Error Errno.EPERM);
+  statfs =
+    (fun () ->
+      { Types.f_fsname = "proc"; f_bsize = 4096; f_blocks = 0; f_bfree = 0; f_files = 0 });
+  export_handle = (fun _ -> Error Errno.ENOTSUP);
+  open_by_handle = (fun _ -> Error Errno.ENOTSUP);
+  supports_mmap = (fun _ -> false);
+  supports_direct_io = false;
+}

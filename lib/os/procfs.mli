@@ -1,0 +1,14 @@
+(** Synthesized /proc.  CNTR's step #1 reads a container's execution
+    context out of here: status (uid/gid/caps), environ, cgroup, mounts,
+    limits, uid/gid maps, the ns/* magic symlinks, attr/current.  Each
+    instance is scoped to a PID namespace: a container's /proc shows only
+    its own processes, while the host's shows everything. *)
+
+open Repro_vfs
+
+type t
+
+val create : kernel:Kernel.t -> pidns:Namespace.pid_ns -> t
+
+(** The filesystem to mount at /proc. *)
+val ops : t -> Fsops.t

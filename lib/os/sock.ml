@@ -1,0 +1,71 @@
+(* Unix-domain stream sockets.  A listener holds a backlog of pending
+   connections; an established connection is a pair of endpoints, each
+   owning the byte queue it reads from.  Address binding (socket files in a
+   filesystem) is managed by the kernel — connections through a CntrFS
+   mount fail to resolve the binding because the FUSE inode differs from
+   the underlying one, which is exactly why CNTR needs its socket proxy
+   (§3.2.4 of the paper). *)
+
+open Repro_util
+
+type endpoint = {
+  ep_id : int;
+  recv_q : Pipe.t; (* bytes we read *)
+  peer_q : Pipe.t; (* bytes the peer reads (we write here) *)
+  mutable ep_open : bool;
+}
+
+type listener = {
+  l_id : int;
+  l_path : string; (* for diagnostics *)
+  backlog : endpoint Queue.t; (* server-side endpoints awaiting accept *)
+  mutable l_open : bool;
+}
+
+let next_id =
+  let c = ref 0 in
+  fun () -> incr c; !c
+
+let listen ~path = { l_id = next_id (); l_path = path; backlog = Queue.create (); l_open = true }
+
+(* Create a connected endpoint pair (client, server). *)
+let pair () =
+  let a_to_b = Pipe.create () and b_to_a = Pipe.create () in
+  let a = { ep_id = next_id (); recv_q = b_to_a; peer_q = a_to_b; ep_open = true } in
+  let b = { ep_id = next_id (); recv_q = a_to_b; peer_q = b_to_a; ep_open = true } in
+  (a, b)
+
+(* Client connects: enqueue the server endpoint on the listener's backlog
+   and hand the client endpoint back. *)
+let connect listener =
+  if not listener.l_open then Error Errno.ECONNREFUSED
+  else begin
+    let client, server = pair () in
+    Queue.push server listener.backlog;
+    Ok client
+  end
+
+let accept listener =
+  if not listener.l_open then Error Errno.EINVAL
+  else if Queue.is_empty listener.backlog then Error Errno.EAGAIN
+  else Ok (Queue.pop listener.backlog)
+
+let send ep data =
+  if not ep.ep_open then Error Errno.EPIPE else Pipe.write ep.peer_q data
+
+let recv ep ~len =
+  if not ep.ep_open then Error Errno.EBADF else Pipe.read ep.recv_q ~len
+
+let close_endpoint ep =
+  if ep.ep_open then begin
+    ep.ep_open <- false;
+    (* Peer sees EOF on its queue and EPIPE on writes. *)
+    Pipe.close_writer ep.peer_q;
+    Pipe.close_reader ep.recv_q
+  end
+
+let close_listener l = l.l_open <- false
+
+let readable ep = Pipe.readable ep.recv_q
+let writable ep = ep.ep_open && Pipe.writable ep.peer_q
+let pending listener = Queue.length listener.backlog

@@ -1,0 +1,29 @@
+(** Unix-domain stream sockets: listeners with accept backlogs, endpoint
+    pairs with per-direction byte queues.  Address binding (socket files)
+    is the kernel's job — keyed by filesystem identity, which is why
+    connections through a CntrFS view fail and CNTR needs its proxy
+    (§3.2.4). *)
+
+open Repro_util
+
+type endpoint
+type listener
+
+val listen : path:string -> listener
+
+(** Connect: enqueues a server endpoint on the backlog, returns the client
+    endpoint; [ECONNREFUSED] on a closed listener. *)
+val connect : listener -> (endpoint, Errno.t) result
+
+(** Dequeue a pending connection; [EAGAIN] when none. *)
+val accept : listener -> (endpoint, Errno.t) result
+
+val send : endpoint -> string -> (int, Errno.t) result
+val recv : endpoint -> len:int -> (string, Errno.t) result
+val close_endpoint : endpoint -> unit
+val close_listener : listener -> unit
+val readable : endpoint -> bool
+val writable : endpoint -> bool
+
+(** Connections awaiting accept. *)
+val pending : listener -> int

@@ -1,0 +1,46 @@
+(** Engine-independent container core: image materialization, the namespace
+    sandbox (fresh mount/pid/uts/ipc/net namespaces with private mounts,
+    /proc and /dev), configuration (env, capabilities, cgroup, LSM) and the
+    entrypoint launch.
+
+    Privileged containers keep the host's PID and network namespaces, like
+    `docker run --privileged --pid=host` (the CoreOS-toolbox setup). *)
+
+open Repro_os
+
+type t = {
+  ct_id : string;
+  ct_name : string;
+  ct_engine : string;
+  ct_image : Repro_image.Image.t;
+  ct_main : Proc.t;  (** the container's main process *)
+  ct_rootfs : Repro_vfs.Nativefs.t;
+  ct_procfs : Procfs.t;  (** /proc scoped to the container's pid namespace *)
+}
+
+(** Engine conventions applied at creation time. *)
+type settings = {
+  s_engine : string;
+  s_id : string;
+  s_name : string;
+  s_cgroup : string;
+  s_lsm_profile : string option;
+  s_privileged : bool;
+}
+
+(** Materialize the image and boot the container. *)
+val create :
+  kernel:Kernel.t ->
+  image:Repro_image.Image.t ->
+  ?wrap_rootfs:(Repro_vfs.Fsops.t -> Repro_vfs.Fsops.t) ->
+  settings ->
+  (t, Repro_util.Errno.t) result
+
+(** First 12 characters of the container id. *)
+val short_id : t -> string
+
+(** PID of the main process. *)
+val pid : t -> int
+
+val stop : kernel:Kernel.t -> t -> unit
+val is_running : t -> bool

@@ -1,0 +1,41 @@
+(** Serverless functions (the paper's §6 future work): a lambda platform
+    whose instances are sealed micro-containers (runtime + handler, no
+    shell, no tools) under a dedicated engine — so CNTR can attach to a
+    warm instance and debug it like any container. *)
+
+open Repro_os
+
+type func = {
+  fn_name : string;
+  fn_handler : string;  (** registered program implementing the handler *)
+  fn_image : Repro_image.Image.t;
+  mutable fn_instances : Container.t list;  (** warm instances *)
+  mutable fn_invocations : int;
+}
+
+type t
+
+(** The bootstrap program name baked into every function image. *)
+val bootstrap_prog : string
+
+(** Create a platform (registers the bootstrap program, creates the
+    "lambda" engine). *)
+val create : kernel:Kernel.t -> t
+
+(** The platform's engine — include it in the engine list passed to
+    {!Repro_cntr.Attach.attach} to make instances attachable. *)
+val engine : t -> Engine.t
+
+(** Deploy a function whose handler is the registered program [handler];
+    [size] is the deployed code-bundle size (default 256 KiB). *)
+val deploy : t -> name:string -> handler:string -> ?size:int -> unit -> func
+
+val find : t -> string -> func option
+
+(** Invoke the function: reuses a warm instance or cold-starts one.
+    Returns (handler exit code, whether this was a cold start, instance). *)
+val invoke :
+  t -> string -> payload:string -> (int * bool * Container.t, Repro_util.Errno.t) result
+
+(** (invocations so far, warm instances) for a function. *)
+val stats : t -> string -> int * int

@@ -1,0 +1,45 @@
+(** A ready-to-use simulated machine: kernel over a host root filesystem
+    with /dev and /proc, a registry populated with the Top-50 catalogue,
+    and all four container engines. *)
+
+open Repro_util
+open Repro_os
+
+type t = {
+  clock : Clock.t;
+  cost : Cost.t;
+  kernel : Kernel.t;
+  init : Proc.t;  (** pid 1 *)
+  rootfs : Repro_vfs.Nativefs.t;
+  registry : Repro_image.Registry.t;
+  engines : Engine.engines;
+  budget : Repro_vfs.Mem_budget.t;  (** shared page-cache budget *)
+}
+
+(** Host binaries installed under /usr/bin (their programs are registered
+    separately, e.g. by [Repro_cntr.Toolbox.register_all]). *)
+val host_tools : string list
+
+(** Build the machine.  [memory_mb] bounds the page-cache budget (default
+    1024); [disk] selects an SSD-backed host filesystem (default RAM). *)
+val create : ?memory_mb:int -> ?disk:bool -> unit -> t
+
+(** The Docker engine. *)
+val docker : t -> Engine.t
+
+(** Look an engine up by name; raises [Invalid_argument] if unknown. *)
+val engine : t -> string -> Engine.t
+
+(** Pull [image_ref] from the registry (charging network time) and run it
+    under [engine]. *)
+val run_container :
+  t ->
+  engine:Engine.t ->
+  name:string ->
+  image_ref:string ->
+  ?privileged:bool ->
+  unit ->
+  (Container.t, Errno.t) result
+
+(** Write a file via [proc], creating/truncating it (test fixture helper). *)
+val write_file : Kernel.t -> Proc.t -> string -> ?mode:int -> string -> unit

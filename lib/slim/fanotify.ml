@@ -1,0 +1,91 @@
+(* fanotify-style access recording (§5.3).  Docker-Slim watches which files
+   a container touches during a representative run; here the recorder wraps
+   the rootfs [Fsops.t], logging opened/read/executed paths.  Paths are
+   reconstructed from lookup edges, since the kernel walks component by
+   component. *)
+
+open Repro_util
+open Repro_vfs
+
+type t = {
+  (* ino -> full path, built incrementally from lookups *)
+  paths : (Types.ino, string) Hashtbl.t;
+  (* the access log: paths opened, created, read or listed *)
+  accessed : (string, unit) Hashtbl.t;
+  (* fh -> ino for read attribution *)
+  fh_ino : (int, Types.ino) Hashtbl.t;
+}
+
+let create () = {
+  paths = Hashtbl.create 256;
+  accessed = Hashtbl.create 256;
+  fh_ino = Hashtbl.create 32;
+}
+
+let path_of t ino = Hashtbl.find_opt t.paths ino
+
+let record t path = Hashtbl.replace t.accessed path ()
+
+let record_ino t ino =
+  match path_of t ino with Some p -> record t p | None -> ()
+
+let accessed_paths t =
+  Hashtbl.fold (fun p () acc -> p :: acc) t.accessed [] |> List.sort compare
+
+(* Wrap [ops], recording accesses into [t]. *)
+let wrap t (ops : Fsops.t) : Fsops.t =
+  Hashtbl.replace t.paths ops.Fsops.root "/";
+  let remember_child parent name ino =
+    match path_of t parent with
+    | Some dir when name <> "." && name <> ".." ->
+        Hashtbl.replace t.paths ino (Pathx.concat dir name)
+    | _ -> ()
+  in
+  {
+    ops with
+    Fsops.lookup =
+      (fun cred parent name ->
+        match ops.Fsops.lookup cred parent name with
+        | Ok (ino, st) ->
+            remember_child parent name ino;
+            Ok (ino, st)
+        | Error _ as e -> e);
+    open_ =
+      (fun cred ino flags ->
+        match ops.Fsops.open_ cred ino flags with
+        | Ok fh ->
+            record_ino t ino;
+            Hashtbl.replace t.fh_ino fh ino;
+            Ok fh
+        | Error _ as e -> e);
+    create =
+      (fun cred parent name ~mode flags ->
+        match ops.Fsops.create cred parent name ~mode flags with
+        | Ok (st, fh) ->
+            remember_child parent name st.Types.st_ino;
+            record_ino t st.Types.st_ino;
+            Hashtbl.replace t.fh_ino fh st.Types.st_ino;
+            Ok (st, fh)
+        | Error _ as e -> e);
+    readlink =
+      (fun ino ->
+        match ops.Fsops.readlink ino with
+        | Ok target ->
+            record_ino t ino;
+            Ok target
+        | Error _ as e -> e);
+    readdir =
+      (fun cred ino ->
+        match ops.Fsops.readdir cred ino with
+        | Ok entries ->
+            record_ino t ino;
+            Ok entries
+        | Error _ as e -> e);
+    getxattr =
+      (fun ino name ->
+        match ops.Fsops.getxattr ino name with
+        | Ok v ->
+            record_ino t ino;
+            Ok v
+        | Error _ as e -> e);
+  }

@@ -1,0 +1,133 @@
+(* Docker-Slim (§5.3): run the container under fanotify observation, keep
+   only the accessed closure, and emit a single-layer slim image.  The
+   result is what a developer with CNTR would ship: the application and its
+   true runtime dependencies — tools move to a fat image instead. *)
+
+open Repro_util
+open Repro_os
+open Repro_image
+open Repro_runtime
+
+type report = {
+  r_image : string;
+  r_original_bytes : int;
+  r_slim_bytes : int;
+  r_reduction : float; (* 0.0 - 1.0 *)
+  r_original_files : int;
+  r_slim_files : int;
+  r_kept_paths : string list;
+}
+
+let ( let* ) = Result.bind
+
+(* Paths docker-slim always keeps (identity and name resolution). *)
+let always_keep = [ "/etc/passwd"; "/etc/group"; "/etc/hostname"; "/etc/resolv.conf" ]
+
+(* The keep-set closure: accessed paths, their parent directories, and the
+   always-keep list. *)
+let closure accessed =
+  let keep = Hashtbl.create 256 in
+  let rec add path =
+    if not (Hashtbl.mem keep path) then begin
+      Hashtbl.replace keep path ();
+      let parent = Pathx.dirname path in
+      if parent <> path && parent <> "/" then add parent
+    end
+  in
+  List.iter add accessed;
+  List.iter add always_keep;
+  keep
+
+(* Filter the image's effective content down to the keep-set. *)
+let build_slim_image image keep =
+  (* walk layers bottom-up applying whiteouts, retaining last version of
+     each kept path *)
+  let final = Hashtbl.create 256 in
+  List.iter
+    (fun layer ->
+      List.iter
+        (fun entry ->
+          match entry with
+          | Layer.Whiteout p -> Hashtbl.remove final p
+          | Layer.Dir { path; _ } | Layer.File { path; _ } | Layer.Symlink { path; _ } ->
+              if Hashtbl.mem keep path then Hashtbl.replace final path entry)
+        layer.Layer.entries)
+    image.Image.layers;
+  let entries =
+    Hashtbl.fold (fun _ e acc -> e :: acc) final []
+    |> List.sort (fun a b ->
+           let path = function
+             | Layer.Dir { path; _ } | Layer.File { path; _ } | Layer.Symlink { path; _ } -> path
+             | Layer.Whiteout p -> p
+           in
+           compare (path a) (path b))
+  in
+  Image.v ~name:(image.Image.name ^ "-slim") ~tag:image.Image.tag ~config:image.Image.config
+    [ Layer.v ~id:("slim:" ^ Image.ref_ image) entries ]
+
+(* Analyze one image: instrument, run, record, slim, validate. *)
+let analyze ~world image =
+  let kernel = world.World.kernel in
+  let recorder = Fanotify.create () in
+  let engine = World.docker world in
+  let name = "slim-probe-" ^ image.Image.name in
+  let* container =
+    Engine.run engine ~name ~wrap_rootfs:(Fanotify.wrap recorder) image
+  in
+  (* the entrypoint ran during startup and touched its working set; exercise
+     it once more the way an operator smoke-tests the service *)
+  let* () =
+    match image.Image.config.Image.entrypoint with
+    | [] -> Ok ()
+    | bin :: args ->
+        let* _code = Kernel.exec kernel container.Container.ct_main bin (bin :: args) in
+        Ok ()
+  in
+  let accessed = Fanotify.accessed_paths recorder in
+  let keep = closure accessed in
+  let slim = build_slim_image image keep in
+  Engine.remove engine name |> Result.value ~default:();
+  let original_bytes = Image.effective_size image in
+  let slim_bytes = Image.effective_size slim in
+  let reduction =
+    if original_bytes = 0 then 0.
+    else 1. -. (float_of_int slim_bytes /. float_of_int original_bytes)
+  in
+  Ok
+    {
+      r_image = Image.ref_ image;
+      r_original_bytes = original_bytes;
+      r_slim_bytes = slim_bytes;
+      r_reduction = reduction;
+      r_original_files = List.length (Image.effective_paths image);
+      r_slim_files = List.length (Image.effective_paths slim);
+      r_kept_paths = Hashtbl.fold (fun p () acc -> p :: acc) keep [] |> List.sort compare;
+    }
+
+(* Validate that the slim image still runs: boot a container from it and
+   check the entrypoint exits cleanly. *)
+let validate ~world slim_image =
+  let engine = World.docker world in
+  let name = "slim-validate-" ^ slim_image.Image.name in
+  match Engine.run engine ~name slim_image with
+  | Error e -> Error e
+  | Ok container ->
+      let result =
+        match slim_image.Image.config.Image.entrypoint with
+        | [] -> Ok true
+        | bin :: args -> (
+            match
+              Kernel.exec world.World.kernel container.Container.ct_main bin (bin :: args)
+            with
+            | Ok 0 -> Ok true
+            | Ok _ -> Ok false
+            | Error e -> Error e)
+      in
+      Engine.remove engine name |> Result.value ~default:();
+      result
+
+(* Analyze-and-slim an image, returning both the report and the image. *)
+let slim ~world image =
+  let* report = analyze ~world image in
+  let keep = closure (List.map Fun.id report.r_kept_paths) in
+  Ok (report, build_slim_image image keep)

@@ -1,0 +1,40 @@
+(** Docker-Slim (§5.3): run a container under fanotify observation, keep
+    only the accessed closure, and emit a single-layer slim image — the
+    workflow that produces the slim/fat split CNTR assumes. *)
+
+open Repro_runtime
+
+type report = {
+  r_image : string;  (** "name:tag" of the analyzed image *)
+  r_original_bytes : int;
+  r_slim_bytes : int;
+  r_reduction : float;  (** 0.0 – 1.0; Figure 5's metric *)
+  r_original_files : int;
+  r_slim_files : int;
+  r_kept_paths : string list;  (** the keep-set closure *)
+}
+
+(** Paths always kept regardless of observation (identity files). *)
+val always_keep : string list
+
+(** The keep-set closure of a list of accessed paths: the paths, their
+    ancestor directories, and {!always_keep}. *)
+val closure : string list -> (string, unit) Hashtbl.t
+
+(** Filter an image's effective content down to a keep-set, producing the
+    slim image (single layer, same config, name suffixed "-slim"). *)
+val build_slim_image : Repro_image.Image.t -> (string, unit) Hashtbl.t -> Repro_image.Image.t
+
+(** Instrument a container run with the fanotify recorder and report what
+    the application actually touches. *)
+val analyze : world:World.t -> Repro_image.Image.t -> (report, Repro_util.Errno.t) result
+
+(** Boot a container from the slim image and check its entrypoint still
+    exits cleanly. *)
+val validate : world:World.t -> Repro_image.Image.t -> (bool, Repro_util.Errno.t) result
+
+(** {!analyze} + {!build_slim_image}. *)
+val slim :
+  world:World.t ->
+  Repro_image.Image.t ->
+  (report * Repro_image.Image.t, Repro_util.Errno.t) result

@@ -1,0 +1,62 @@
+(* Cost model: the virtual-time price of the primitive operations the
+   simulation performs.  The constants below are the knobs the paper's
+   performance analysis names (syscall entry, FUSE context switches, copy
+   vs. splice, page-cache hit vs. disk access).  Absolute values are loosely
+   calibrated to the paper's EC2 m4.xlarge + EBS GP2 testbed; only the
+   *ratios* matter for reproducing Figures 2-4. *)
+
+type disk = {
+  read_latency_ns : int;   (* fixed per read I/O (queueing + device) *)
+  write_latency_ns : int;  (* fixed per write I/O *)
+  read_ns_per_kib : int;   (* streaming read cost *)
+  write_ns_per_kib : int;  (* streaming write cost *)
+}
+
+type t = {
+  syscall_ns : int;          (* kernel entry/exit *)
+  context_switch_ns : int;   (* one process switch (FUSE round trip = 2) *)
+  copy_ns_per_kib : int;     (* user<->kernel buffer copy *)
+  mem_ns_per_kib : int;      (* page-cache / tmpfs copy *)
+  splice_setup_ns : int;     (* per splice(2) call: pipe page remapping *)
+  dentry_ns : int;           (* in-kernel dcache lookup step *)
+  backing_lookup_ns : int;   (* CntrFS server-side open()+stat() per lookup *)
+  thread_coord_ns : int;     (* per-request multi-thread coordination cost *)
+  cpu_ns_per_kib : int;      (* generic compute (gzip, SQL parsing) unit *)
+  journal_ns : int;          (* amortized jbd2 cost per metadata mutation *)
+  write_path_ns : int;       (* ext4 per-write block reservation + journal handle *)
+  page_size : int;           (* bytes per page-cache page *)
+  disk : disk;
+}
+
+(* EBS GP2 (SSD over a dedicated network link): sub-millisecond latency,
+   ~160 MiB/s streaming.  1 KiB at 160 MiB/s is ~6 us. *)
+let gp2 = {
+  read_latency_ns = 120_000;
+  write_latency_ns = 30_000;
+  read_ns_per_kib = 6_000;
+  write_ns_per_kib = 6_000;
+}
+
+let default = {
+  syscall_ns = 400;
+  context_switch_ns = 2_500;
+  copy_ns_per_kib = 60;
+  mem_ns_per_kib = 25;
+  splice_setup_ns = 350;
+  dentry_ns = 150;
+  backing_lookup_ns = 2_600;
+  thread_coord_ns = 45;
+  cpu_ns_per_kib = 2_000;
+  journal_ns = 3_000;
+  write_path_ns = 2_500;
+  page_size = 4096;
+  disk = gp2;
+}
+
+(* Round [bytes] up to whole KiB for per-KiB pricing. *)
+let kib_of_bytes bytes = (bytes + 1023) / 1024
+
+let copy_cost t bytes = t.copy_ns_per_kib * kib_of_bytes bytes
+let mem_cost t bytes = t.mem_ns_per_kib * kib_of_bytes bytes
+let disk_read_cost t bytes = t.disk.read_latency_ns + (t.disk.read_ns_per_kib * kib_of_bytes bytes)
+let disk_write_cost t bytes = t.disk.write_latency_ns + (t.disk.write_ns_per_kib * kib_of_bytes bytes)

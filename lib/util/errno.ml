@@ -1,0 +1,139 @@
+(* Linux-style error numbers used across the simulated kernel, filesystems
+   and the FUSE protocol.  Every fallible operation in the repository
+   returns [('a, Errno.t) result] rather than raising. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EIO
+  | ENXIO
+  | EBADF
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENODEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENFILE
+  | EMFILE
+  | ENOTTY
+  | EFBIG
+  | ENOSPC
+  | ESPIPE
+  | EROFS
+  | EMLINK
+  | EPIPE
+  | ERANGE
+  | ENAMETOOLONG
+  | ENOTEMPTY
+  | ELOOP
+  | ENODATA
+  | EOVERFLOW
+  | ENOTSUP
+  | ENOSYS
+  | ECONNREFUSED
+  | ENOTCONN
+  | EADDRINUSE
+  | ETIMEDOUT
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | EINTR -> "EINTR"
+  | EIO -> "EIO"
+  | ENXIO -> "ENXIO"
+  | EBADF -> "EBADF"
+  | EAGAIN -> "EAGAIN"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EBUSY -> "EBUSY"
+  | EEXIST -> "EEXIST"
+  | EXDEV -> "EXDEV"
+  | ENODEV -> "ENODEV"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EINVAL -> "EINVAL"
+  | ENFILE -> "ENFILE"
+  | EMFILE -> "EMFILE"
+  | ENOTTY -> "ENOTTY"
+  | EFBIG -> "EFBIG"
+  | ENOSPC -> "ENOSPC"
+  | ESPIPE -> "ESPIPE"
+  | EROFS -> "EROFS"
+  | EMLINK -> "EMLINK"
+  | EPIPE -> "EPIPE"
+  | ERANGE -> "ERANGE"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ELOOP -> "ELOOP"
+  | ENODATA -> "ENODATA"
+  | EOVERFLOW -> "EOVERFLOW"
+  | ENOTSUP -> "ENOTSUP"
+  | ENOSYS -> "ENOSYS"
+  | ECONNREFUSED -> "ECONNREFUSED"
+  | ENOTCONN -> "ENOTCONN"
+  | EADDRINUSE -> "EADDRINUSE"
+  | ETIMEDOUT -> "ETIMEDOUT"
+
+(* Human-oriented message, matching strerror(3) closely enough for logs. *)
+let message = function
+  | EPERM -> "Operation not permitted"
+  | ENOENT -> "No such file or directory"
+  | ESRCH -> "No such process"
+  | EINTR -> "Interrupted system call"
+  | EIO -> "Input/output error"
+  | ENXIO -> "No such device or address"
+  | EBADF -> "Bad file descriptor"
+  | EAGAIN -> "Resource temporarily unavailable"
+  | ENOMEM -> "Cannot allocate memory"
+  | EACCES -> "Permission denied"
+  | EBUSY -> "Device or resource busy"
+  | EEXIST -> "File exists"
+  | EXDEV -> "Invalid cross-device link"
+  | ENODEV -> "No such device"
+  | ENOTDIR -> "Not a directory"
+  | EISDIR -> "Is a directory"
+  | EINVAL -> "Invalid argument"
+  | ENFILE -> "Too many open files in system"
+  | EMFILE -> "Too many open files"
+  | ENOTTY -> "Inappropriate ioctl for device"
+  | EFBIG -> "File too large"
+  | ENOSPC -> "No space left on device"
+  | ESPIPE -> "Illegal seek"
+  | EROFS -> "Read-only file system"
+  | EMLINK -> "Too many links"
+  | EPIPE -> "Broken pipe"
+  | ERANGE -> "Numerical result out of range"
+  | ENAMETOOLONG -> "File name too long"
+  | ENOTEMPTY -> "Directory not empty"
+  | ELOOP -> "Too many levels of symbolic links"
+  | ENODATA -> "No data available"
+  | EOVERFLOW -> "Value too large for defined data type"
+  | ENOTSUP -> "Operation not supported"
+  | ENOSYS -> "Function not implemented"
+  | ECONNREFUSED -> "Connection refused"
+  | ENOTCONN -> "Transport endpoint is not connected"
+  | EADDRINUSE -> "Address already in use"
+  | ETIMEDOUT -> "Connection timed out"
+
+let pp ppf e = Fmt.string ppf (to_string e)
+
+exception Error of t
+
+(* Unwrap a result, raising [Error] — for contexts (tests, examples) where an
+   errno indicates a bug rather than an expected outcome. *)
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> raise (Error e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Errno.Error %s (%s)" (to_string e) (message e))
+    | _ -> None)

@@ -1,0 +1,49 @@
+(** Linux-style error numbers used across the simulated kernel,
+    filesystems and the FUSE protocol.  Every fallible operation returns
+    [('a, Errno.t) result] rather than raising; [ok_exn] converts to the
+    [Error] exception where an errno indicates a bug (tests, examples). *)
+
+type t =
+    EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EIO
+  | ENXIO
+  | EBADF
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENODEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENFILE
+  | EMFILE
+  | ENOTTY
+  | EFBIG
+  | ENOSPC
+  | ESPIPE
+  | EROFS
+  | EMLINK
+  | EPIPE
+  | ERANGE
+  | ENAMETOOLONG
+  | ENOTEMPTY
+  | ELOOP
+  | ENODATA
+  | EOVERFLOW
+  | ENOTSUP
+  | ENOSYS
+  | ECONNREFUSED
+  | ENOTCONN
+  | EADDRINUSE
+  | ETIMEDOUT
+val to_string : t -> string
+val message : t -> string
+val pp : Format.formatter -> t -> unit
+exception Error of t
+val ok_exn : ('a, t) result -> 'a

@@ -1,0 +1,76 @@
+(* Path manipulation helpers shared by the mount table, the FUSE servers and
+   the container engines.  Paths are plain strings with '/' separators;
+   component lists never contain "" or ".". *)
+
+let is_absolute p = String.length p > 0 && p.[0] = '/'
+
+(* Split into components, dropping empty components and ".".
+   ".." is preserved — resolving it needs mount-table context. *)
+let split p =
+  String.split_on_char '/' p
+  |> List.filter (fun c -> c <> "" && c <> ".")
+
+(* Join components into an absolute path. *)
+let join_abs comps = "/" ^ String.concat "/" comps
+
+(* Join a base path and a relative suffix. *)
+let concat base rel =
+  if rel = "" then base
+  else if is_absolute rel then rel
+  else if base = "/" || base = "" then "/" ^ rel
+  else base ^ "/" ^ rel
+
+(* Lexically normalize: collapse "//", ".", and ".." (".." at the root is
+   dropped, as the kernel does).  Only safe for paths with no symlinks in
+   play; the kernel's walker resolves component by component instead. *)
+let normalize p =
+  let abs = is_absolute p in
+  let comps = split p in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ".." :: rest -> (
+        match acc with
+        | [] -> if abs then go [] rest else go [ ".." ] rest
+        | ".." :: _ -> go (".." :: acc) rest
+        | _ :: up -> go up rest)
+    | c :: rest -> go (c :: acc) rest
+  in
+  let comps = go [] comps in
+  if abs then join_abs comps
+  else if comps = [] then "."
+  else String.concat "/" comps
+
+(* Last component, or "/" for the root. *)
+let basename p =
+  match List.rev (split p) with [] -> "/" | last :: _ -> last
+
+(* Everything but the last component. *)
+let dirname p =
+  match List.rev (split p) with
+  | [] | [ _ ] -> if is_absolute p then "/" else "."
+  | _ :: rev_rest ->
+      let comps = List.rev rev_rest in
+      if is_absolute p then join_abs comps else String.concat "/" comps
+
+(* Does [p] live under directory [dir] (inclusive)?  Both lexically
+   normalized first. *)
+let is_under ~dir p =
+  let dir = split (normalize dir) and p = split (normalize p) in
+  let rec prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | x :: a', y :: b' -> x = y && prefix a' b'
+    | _ :: _, [] -> false
+  in
+  prefix dir p
+
+(* Strip prefix [dir] from [p]; returns a relative path ("" if equal). *)
+let strip_prefix ~dir p =
+  let dirc = split (normalize dir) and pc = split (normalize p) in
+  let rec go a b =
+    match (a, b) with
+    | [], rest -> Some (String.concat "/" rest)
+    | x :: a', y :: b' when x = y -> go a' b'
+    | _ -> None
+  in
+  go dirc pc

@@ -1,0 +1,33 @@
+(** Path manipulation shared by the mount table, the FUSE servers and the
+    container engines.  Paths are '/'-separated strings; component lists
+    never contain "" or ".". *)
+
+val is_absolute : string -> bool
+
+(** Components, dropping "" and "." but keeping ".." (resolving it needs
+    mount-table context). *)
+val split : string -> string list
+
+(** Join components into an absolute path. *)
+val join_abs : string list -> string
+
+(** Join a base path and a relative suffix (absolute suffixes win). *)
+val concat : string -> string -> string
+
+(** Lexical normalization: collapses "//", "." and ".." (".." at the root
+    is dropped).  Only safe with no symlinks in play — the kernel's walker
+    resolves component by component instead. *)
+val normalize : string -> string
+
+(** Last component, or "/" for the root. *)
+val basename : string -> string
+
+(** Everything but the last component. *)
+val dirname : string -> string
+
+(** Does [p] live under directory [dir] (inclusive)?  Lexical. *)
+val is_under : dir:string -> string -> bool
+
+(** Strip prefix [dir] from [p]; [Some ""] when equal, [None] when not
+    under [dir]. *)
+val strip_prefix : dir:string -> string -> string option

@@ -1,0 +1,35 @@
+(** Deterministic SplitMix64 generator.  Every source of randomness in the
+    repository draws from a seeded instance, so runs are reproducible
+    bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Independent copy with the same future stream. *)
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+(** Uniform int in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform int in [lo, hi], inclusive. *)
+val int_range : t -> int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Uniform element of a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Random lowercase identifier of the given length. *)
+val ident : t -> int -> string
+
+(** Pseudo-random bytes (cheap, not cryptographic). *)
+val bytes : t -> int -> bytes

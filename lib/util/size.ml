@@ -1,0 +1,14 @@
+(* Byte-size helpers and pretty printing for reports. *)
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+
+let pp ppf bytes =
+  let b = float_of_int bytes in
+  if b < 1024. then Fmt.pf ppf "%dB" bytes
+  else if b < 1024. *. 1024. then Fmt.pf ppf "%.1fKiB" (b /. 1024.)
+  else if b < 1024. *. 1024. *. 1024. then Fmt.pf ppf "%.1fMiB" (b /. 1024. /. 1024.)
+  else Fmt.pf ppf "%.2fGiB" (b /. 1024. /. 1024. /. 1024.)
+
+let to_string bytes = Fmt.str "%a" pp bytes

@@ -1,0 +1,7 @@
+(** Byte-size helpers and pretty printing. *)
+
+val kib : int -> int
+val mib : int -> int
+val gib : int -> int
+val pp : Format.formatter -> int -> unit
+val to_string : int -> string

@@ -1,0 +1,54 @@
+(* Small statistics toolkit used by the benchmark harness and the
+   Docker-Slim study (Figure 5 histogram). *)
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+(* p in [0,1]; nearest-rank percentile of a non-empty list. *)
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      let rank = max 1 (min n rank) in
+      List.nth sorted (rank - 1)
+
+let median xs = percentile 0.5 xs
+
+(* Histogram with [buckets] equal-width bins over [lo, hi).  Values at or
+   above [hi] land in the last bin. *)
+let histogram ~lo ~hi ~buckets xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets";
+  let counts = Array.make buckets 0 in
+  let width = (hi -. lo) /. float_of_int buckets in
+  List.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = max 0 (min (buckets - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  counts
+
+(* Render a histogram as rows of '#' marks, one row per bucket. *)
+let pp_histogram ~lo ~hi ppf counts =
+  let buckets = Array.length counts in
+  let width = (hi -. lo) /. float_of_int buckets in
+  Array.iteri
+    (fun i c ->
+      let b0 = lo +. (float_of_int i *. width) in
+      let b1 = b0 +. width in
+      Fmt.pf ppf "  [%5.1f-%5.1f) %3d %s@." b0 b1 c (String.make c '#'))
+    counts

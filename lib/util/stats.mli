@@ -1,0 +1,19 @@
+(** Small statistics toolkit for the benchmark harness and the Docker-Slim
+    study (Figure 5 histogram). *)
+
+val mean : float list -> float
+
+(** Sample standard deviation (0 for fewer than two points). *)
+val stddev : float list -> float
+
+(** Nearest-rank percentile, [p] in [0, 1]; raises on an empty list. *)
+val percentile : float -> 'a list -> 'a
+
+val median : 'a list -> 'a
+
+(** Equal-width histogram over [lo, hi); values at or above [hi] land in
+    the last bucket. *)
+val histogram : lo:float -> hi:float -> buckets:int -> float list -> int array
+
+(** Render one row of '#' marks per bucket. *)
+val pp_histogram : lo:float -> hi:float -> Format.formatter -> int array -> unit

@@ -1,0 +1,86 @@
+(* Sparse file contents, stored as fixed-size chunks so that large sparse
+   files only pay for the regions actually touched. *)
+
+let chunk_bits = 16 (* 64 KiB chunks *)
+let chunk_size = 1 lsl chunk_bits
+
+type t = {
+  chunks : (int, Bytes.t) Hashtbl.t;
+  mutable size : int;
+}
+
+let create () = { chunks = Hashtbl.create 8; size = 0 }
+
+let size t = t.size
+
+let chunk_of_offset off = off lsr chunk_bits
+let offset_in_chunk off = off land (chunk_size - 1)
+
+let get_chunk t idx =
+  match Hashtbl.find_opt t.chunks idx with
+  | Some c -> c
+  | None ->
+      let c = Bytes.make chunk_size '\000' in
+      Hashtbl.replace t.chunks idx c;
+      c
+
+(* Read up to [len] bytes at [off]; short reads happen at EOF. *)
+let read t ~off ~len =
+  if off >= t.size || len <= 0 then ""
+  else begin
+    let len = min len (t.size - off) in
+    let buf = Bytes.make len '\000' in
+    let rec go pos =
+      if pos < len then begin
+        let abs = off + pos in
+        let idx = chunk_of_offset abs in
+        let coff = offset_in_chunk abs in
+        let n = min (chunk_size - coff) (len - pos) in
+        (match Hashtbl.find_opt t.chunks idx with
+        | Some c -> Bytes.blit c coff buf pos n
+        | None -> () (* hole: already zeroed *));
+        go (pos + n)
+      end
+    in
+    go 0;
+    Bytes.unsafe_to_string buf
+  end
+
+(* Write [data] at [off], growing the file as needed. *)
+let write t ~off data =
+  let len = String.length data in
+  let rec go pos =
+    if pos < len then begin
+      let abs = off + pos in
+      let idx = chunk_of_offset abs in
+      let coff = offset_in_chunk abs in
+      let n = min (chunk_size - coff) (len - pos) in
+      let c = get_chunk t idx in
+      Bytes.blit_string data pos c coff n;
+      go (pos + n)
+    end
+  in
+  go 0;
+  if off + len > t.size then t.size <- off + len;
+  len
+
+let truncate t new_size =
+  if new_size < t.size then begin
+    (* Drop whole chunks past the new end and zero the tail of the boundary
+       chunk so a later re-extension reads zeros. *)
+    let boundary = chunk_of_offset (max 0 (new_size - 1)) in
+    Hashtbl.iter
+      (fun idx _ -> if idx > boundary then Hashtbl.remove t.chunks idx)
+      (Hashtbl.copy t.chunks);
+    (match Hashtbl.find_opt t.chunks boundary with
+    | Some c ->
+        let keep = offset_in_chunk new_size in
+        if new_size > 0 && keep > 0 then
+          Bytes.fill c keep (chunk_size - keep) '\000'
+        else if new_size = 0 then Hashtbl.remove t.chunks boundary
+    | None -> ())
+  end;
+  t.size <- new_size
+
+(* Bytes of heap actually allocated (for memory accounting / statfs). *)
+let allocated t = Hashtbl.length t.chunks * chunk_size

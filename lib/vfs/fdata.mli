@@ -1,0 +1,25 @@
+(** Sparse file contents, stored as fixed-size chunks so that large sparse
+    files only pay for the regions actually touched. *)
+
+type t
+
+val chunk_size : int
+
+val create : unit -> t
+
+(** Logical file size in bytes. *)
+val size : t -> int
+
+(** Read up to [len] bytes at [off]; short at EOF, "" past it.  Holes read
+    as zeros. *)
+val read : t -> off:int -> len:int -> string
+
+(** Write [data] at [off], growing the file as needed; returns the byte
+    count written. *)
+val write : t -> off:int -> string -> int
+
+(** Shrink (dropping data so re-extension reads zeros) or grow the size. *)
+val truncate : t -> int -> unit
+
+(** Bytes of heap actually allocated (for statfs / memory accounting). *)
+val allocated : t -> int

@@ -1,0 +1,23 @@
+(* Global page-cache memory budget.  Several caches (the native
+   filesystem's page cache and the FUSE driver's page cache) share one
+   budget, which is what produces the paper's double-buffering effect: a
+   working set that fits the budget once no longer fits when CntrFS caches
+   it a second time (§5.2.2, IOzone 8 GB). *)
+
+type t = {
+  limit_bytes : int;
+  mutable used_bytes : int;
+}
+
+let create ~limit_bytes = { limit_bytes; used_bytes = 0 }
+
+let used t = t.used_bytes
+let limit t = t.limit_bytes
+
+let reserve t bytes = t.used_bytes <- t.used_bytes + bytes
+
+let release t bytes = t.used_bytes <- max 0 (t.used_bytes - bytes)
+
+(* True when the caches collectively exceed the budget and someone must
+   evict. *)
+let over t = t.used_bytes > t.limit_bytes

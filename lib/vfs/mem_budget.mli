@@ -1,0 +1,15 @@
+(** Global page-cache memory budget, shared by several caches (the native
+    filesystem's and the FUSE driver's).  Sharing is what produces the
+    paper's double-buffering effect: a working set that fits once no longer
+    fits when CntrFS caches it a second time (§5.2.2, IOzone). *)
+
+type t
+
+val create : limit_bytes:int -> t
+val used : t -> int
+val limit : t -> int
+val reserve : t -> int -> unit
+val release : t -> int -> unit
+
+(** The caches collectively exceed the budget: someone must evict. *)
+val over : t -> bool

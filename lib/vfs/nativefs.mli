@@ -1,0 +1,21 @@
+(** The native in-memory filesystem: full POSIX-style semantics (hardlinks,
+    symlinks, sticky/setgid rules, xattrs, a POSIX-ACL subset, O_DIRECT,
+    RLIMIT_FSIZE enforcement) over a pluggable {!Store} backing.  With
+    {!Store.Ram} it behaves like tmpfs; with {!Store.Ssd} it models ext4 on
+    an SSD volume, charging page-cache and disk costs to the virtual clock. *)
+
+open Repro_util
+
+type t
+
+val create :
+  ?name:string -> ?readonly:bool -> clock:Clock.t -> cost:Cost.t -> Store.profile -> unit -> t
+
+(** The uniform filesystem interface (mount this). *)
+val ops : t -> Fsops.t
+
+val store : t -> Store.t
+val clock : t -> Clock.t
+
+(** Direct inode-table access for observers (fanotify, tests). *)
+val find_inode : t -> int -> Inode.t option

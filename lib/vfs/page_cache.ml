@@ -1,0 +1,244 @@
+(* LRU page cache with dirty tracking.  Pages are (inode, page-index) keys;
+   data lives in the filesystem's inode table — the cache only models
+   *presence* (for cost accounting) and dirtiness (for writeback). *)
+
+type key = { k_ino : int; k_page : int }
+
+type node = {
+  key : key;
+  mutable dirty : bool;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writeback_ios : int;
+  mutable writeback_pages : int;
+}
+
+type t = {
+  name : string;
+  budget : Mem_budget.t;
+  page_size : int;
+  mutable dirty_total : int;
+  pages : (key, node) Hashtbl.t;
+  mutable lru_head : node option; (* most recently used *)
+  mutable lru_tail : node option; (* least recently used *)
+  dirty_by_ino : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  stats : stats;
+  (* Called when a dirty page run must reach the device: [on_flush ~ino
+     ~page ~pages] where the run covers [pages] contiguous pages. *)
+  mutable on_flush : ino:int -> page:int -> pages:int -> unit;
+  (* Called whenever a page leaves the cache (eviction, invalidation,
+     discard) — users holding page *data* alongside must drop it. *)
+  mutable on_evict : ino:int -> page:int -> unit;
+}
+
+let create ~name ~budget ~page_size = {
+  name;
+  budget;
+  page_size;
+  pages = Hashtbl.create 1024;
+  dirty_total = 0;
+  lru_head = None;
+  lru_tail = None;
+  dirty_by_ino = Hashtbl.create 16;
+  stats = { hits = 0; misses = 0; evictions = 0; writeback_ios = 0; writeback_pages = 0 };
+  on_flush = (fun ~ino:_ ~page:_ ~pages:_ -> ());
+  on_evict = (fun ~ino:_ ~page:_ -> ());
+}
+
+let budget t = t.budget
+let set_on_flush t f = t.on_flush <- f
+let set_on_evict t f = t.on_evict <- f
+let stats t = t.stats
+
+let unlink_node t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.lru_head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru_tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.lru_head;
+  n.prev <- None;
+  (match t.lru_head with Some h -> h.prev <- Some n | None -> t.lru_tail <- Some n);
+  t.lru_head <- Some n
+
+let dirty_table t ino =
+  match Hashtbl.find_opt t.dirty_by_ino ino with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.replace t.dirty_by_ino ino tbl;
+      tbl
+
+let mark_dirty t n =
+  if not n.dirty then begin
+    n.dirty <- true;
+    t.dirty_total <- t.dirty_total + 1;
+    Hashtbl.replace (dirty_table t n.key.k_ino) n.key.k_page ()
+  end
+
+let clear_dirty t n =
+  if n.dirty then begin
+    n.dirty <- false;
+    t.dirty_total <- max 0 (t.dirty_total - 1);
+    match Hashtbl.find_opt t.dirty_by_ino n.key.k_ino with
+    | Some tbl ->
+        Hashtbl.remove tbl n.key.k_page;
+        if Hashtbl.length tbl = 0 then Hashtbl.remove t.dirty_by_ino n.key.k_ino
+    | None -> ()
+  end
+
+(* Group a sorted page list into (start, count) contiguous runs. *)
+let runs_of_pages pages =
+  let sorted = List.sort_uniq compare pages in
+  let rec go acc cur = function
+    | [] -> List.rev (match cur with Some r -> r :: acc | None -> acc)
+    | p :: rest -> (
+        match cur with
+        | Some (start, count) when p = start + count -> go acc (Some (start, count + 1)) rest
+        | Some r -> go (r :: acc) (Some (p, 1)) rest
+        | None -> go acc (Some (p, 1)) rest)
+  in
+  go [] None sorted
+
+(* Write all dirty pages of [ino] to the device as contiguous runs. *)
+let flush_inode t ino =
+  match Hashtbl.find_opt t.dirty_by_ino ino with
+  | None -> ()
+  | Some tbl ->
+      let pages = Hashtbl.fold (fun p () acc -> p :: acc) tbl [] in
+      let runs = runs_of_pages pages in
+      List.iter
+        (fun (start, count) ->
+          t.stats.writeback_ios <- t.stats.writeback_ios + 1;
+          t.stats.writeback_pages <- t.stats.writeback_pages + count;
+          t.on_flush ~ino ~page:start ~pages:count)
+        runs;
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt t.pages { k_ino = ino; k_page = p } with
+          | Some n -> clear_dirty t n
+          | None -> ())
+        pages;
+      Hashtbl.remove t.dirty_by_ino ino
+
+let flush_all t =
+  let inos = Hashtbl.fold (fun ino _ acc -> ino :: acc) t.dirty_by_ino [] in
+  List.iter (flush_inode t) inos
+
+let dirty_count t ino =
+  match Hashtbl.find_opt t.dirty_by_ino ino with
+  | Some tbl -> Hashtbl.length tbl
+  | None -> 0
+
+let evict_one t =
+  match t.lru_tail with
+  | None -> ()
+  | Some n ->
+      if n.dirty then begin
+        (* Evicting a dirty page forces a single-page writeback I/O. *)
+        t.stats.writeback_ios <- t.stats.writeback_ios + 1;
+        t.stats.writeback_pages <- t.stats.writeback_pages + 1;
+        t.on_flush ~ino:n.key.k_ino ~page:n.key.k_page ~pages:1;
+        clear_dirty t n
+      end;
+      unlink_node t n;
+      Hashtbl.remove t.pages n.key;
+      t.on_evict ~ino:n.key.k_ino ~page:n.key.k_page;
+      Mem_budget.release t.budget t.page_size;
+      t.stats.evictions <- t.stats.evictions + 1
+
+(* Touch a page for reading: returns [`Hit] if cached, otherwise inserts it
+   (evicting under memory pressure) and returns [`Miss]. *)
+let touch t ~ino ~page ~dirty =
+  let key = { k_ino = ino; k_page = page } in
+  match Hashtbl.find_opt t.pages key with
+  | Some n ->
+      unlink_node t n;
+      push_front t n;
+      if dirty then mark_dirty t n;
+      t.stats.hits <- t.stats.hits + 1;
+      `Hit
+  | None ->
+      let n = { key; dirty = false; prev = None; next = None } in
+      Hashtbl.replace t.pages key n;
+      push_front t n;
+      Mem_budget.reserve t.budget t.page_size;
+      let rec evict_until_fits () =
+        if Mem_budget.over t.budget then
+          match t.lru_tail with
+          | Some m when m != n ->
+              evict_one t;
+              evict_until_fits ()
+          | Some _ | None -> ()
+      in
+      evict_until_fits ();
+      if dirty then mark_dirty t n;
+      t.stats.misses <- t.stats.misses + 1;
+      `Miss
+
+let mem t ~ino ~page = Hashtbl.mem t.pages { k_ino = ino; k_page = page }
+
+(* Drop all pages of [ino] *without* writing dirty data back — used when a
+   file is deleted: its dirty pages never reach the device.  This is what
+   makes postmark-style create/delete churn cheap on the native filesystem
+   (§5.2.2). *)
+let discard_inode t ino =
+  (match Hashtbl.find_opt t.dirty_by_ino ino with
+  | Some tbl ->
+      Hashtbl.iter
+        (fun p () ->
+          match Hashtbl.find_opt t.pages { k_ino = ino; k_page = p } with
+          | Some n ->
+              if n.dirty then t.dirty_total <- max 0 (t.dirty_total - 1);
+              n.dirty <- false
+          | None -> ())
+        tbl;
+      Hashtbl.remove t.dirty_by_ino ino
+  | None -> ());
+  let to_remove =
+    Hashtbl.fold
+      (fun key n acc -> if key.k_ino = ino then n :: acc else acc)
+      t.pages []
+  in
+  List.iter
+    (fun n ->
+      unlink_node t n;
+      Hashtbl.remove t.pages n.key;
+      t.on_evict ~ino:n.key.k_ino ~page:n.key.k_page;
+      Mem_budget.release t.budget t.page_size)
+    to_remove
+
+(* Drop all pages of [ino] (used when a FUSE open lacks FOPEN_KEEP_CACHE:
+   the kernel invalidates the inode's cached data). *)
+let invalidate_inode t ino =
+  flush_inode t ino;
+  let to_remove =
+    Hashtbl.fold
+      (fun key n acc -> if key.k_ino = ino then n :: acc else acc)
+      t.pages []
+  in
+  List.iter
+    (fun n ->
+      unlink_node t n;
+      Hashtbl.remove t.pages n.key;
+      t.on_evict ~ino:n.key.k_ino ~page:n.key.k_page;
+      Mem_budget.release t.budget t.page_size)
+    to_remove
+
+let page_count t = Hashtbl.length t.pages
+
+let dirty_total t = t.dirty_total
+
+(* Background writeback skips inodes with lots of dirty data: heavy
+   writers must be throttled by the foreground dirty threshold instead of
+   being bailed out for free. *)
+let flush_light_inodes t ~max_dirty =
+  let inos = Hashtbl.fold (fun ino tbl acc -> (ino, Hashtbl.length tbl) :: acc) t.dirty_by_ino [] in
+  List.iter (fun (ino, n) -> if n < max_dirty then flush_inode t ino) inos

@@ -1,0 +1,57 @@
+(** LRU page cache with dirty tracking.  Pages are (inode, page-index)
+    presence records for cost accounting; users that also need the bytes
+    (the FUSE driver) keep them alongside and react to {!set_on_evict}. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writeback_ios : int;
+  mutable writeback_pages : int;
+}
+
+type t
+
+val create : name:string -> budget:Mem_budget.t -> page_size:int -> t
+
+(** Device-write callback for each flushed contiguous run. *)
+val set_on_flush : t -> (ino:int -> page:int -> pages:int -> unit) -> unit
+
+(** Called whenever a page leaves the cache (eviction, invalidation,
+    discard). *)
+val set_on_evict : t -> (ino:int -> page:int -> unit) -> unit
+
+val stats : t -> stats
+
+val budget : t -> Mem_budget.t
+
+(** Group a page list into (start, count) contiguous runs. *)
+val runs_of_pages : int list -> (int * int) list
+
+(** Write all dirty pages of an inode out as contiguous runs. *)
+val flush_inode : t -> int -> unit
+
+val flush_all : t -> unit
+
+(** Background writeback that skips inodes with [max_dirty] or more dirty
+    pages: heavy writers must be throttled in the foreground instead. *)
+val flush_light_inodes : t -> max_dirty:int -> unit
+
+val dirty_count : t -> int -> int
+val dirty_total : t -> int
+
+(** Touch a page: [`Hit] if cached, otherwise insert (evicting under
+    memory pressure) and report [`Miss].  [dirty] marks it for writeback. *)
+val touch : t -> ino:int -> page:int -> dirty:bool -> [ `Hit | `Miss ]
+
+(** Presence test without promotion or insertion. *)
+val mem : t -> ino:int -> page:int -> bool
+
+(** Drop an inode's pages *without* writeback — deleted files' dirty data
+    never reaches the device (the postmark effect, §5.2.2). *)
+val discard_inode : t -> int -> unit
+
+(** Flush then drop an inode's pages (FUSE open without FOPEN_KEEP_CACHE). *)
+val invalidate_inode : t -> int -> unit
+
+val page_count : t -> int

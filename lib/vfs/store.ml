@@ -1,0 +1,222 @@
+(* Backing-store cost model for the native filesystem.  [Ram] models tmpfs
+   (the page cache *is* the storage); [Ssd] models a disk-backed filesystem
+   (ext4 on EBS GP2 in the paper) with a write-back page cache. *)
+
+open Repro_util
+
+type profile =
+  | Ram
+  | Ssd of {
+      cache : Page_cache.t;
+      (* Flush an inode's dirty pages once this many accumulate — the
+         kernel's dirty-ratio writeback, scaled down. *)
+      flush_pages : int;
+    }
+
+(* Writeback policy knobs shared by all Ssd stores: a global dirty-page
+   ceiling (vm.dirty_ratio) and a periodic flush (dirty_expire), both
+   scaled to the simulation's 1:1000 data sizes. *)
+let global_dirty_fraction = 0.25
+let flush_interval_ns = 500_000 (* 0.5 ms of virtual time *)
+
+(* Sequential readahead window, in pages (128 KiB). *)
+let readahead_pages = 32
+
+type stats = {
+  mutable disk_read_ios : int;
+  mutable disk_read_bytes : int;
+  mutable disk_write_ios : int;
+  mutable disk_write_bytes : int;
+}
+
+type t = {
+  clock : Clock.t;
+  cost : Cost.t;
+  profile : profile;
+  stats : stats;
+  mutable last_flush_ns : int64;
+  (* true while the periodic background writeback runs: the application
+     does not wait for it, so no virtual time is charged *)
+  mutable in_background : bool;
+}
+
+let create ~clock ~cost profile =
+  let t =
+    {
+      clock;
+      cost;
+      profile;
+      stats =
+        { disk_read_ios = 0; disk_read_bytes = 0; disk_write_ios = 0; disk_write_bytes = 0 };
+      last_flush_ns = 0L;
+      in_background = false;
+    }
+  in
+  (match profile with
+  | Ram -> ()
+  | Ssd { cache; _ } ->
+      (* Every flushed run is one device write I/O. *)
+      Page_cache.set_on_flush cache (fun ~ino:_ ~page:_ ~pages ->
+          let bytes = pages * cost.Cost.page_size in
+          t.stats.disk_write_ios <- t.stats.disk_write_ios + 1;
+          t.stats.disk_write_bytes <- t.stats.disk_write_bytes + bytes;
+          if not t.in_background then
+            Clock.consume_int clock (Cost.disk_write_cost cost bytes)));
+  t
+
+let stats t = t.stats
+
+let cache t = match t.profile with Ram -> None | Ssd { cache; _ } -> Some cache
+
+let page_range t ~off ~len =
+  let ps = t.cost.Cost.page_size in
+  let first = off / ps in
+  let last = (off + max 0 (len - 1)) / ps in
+  (first, last)
+
+let charge_disk_read t bytes =
+  t.stats.disk_read_ios <- t.stats.disk_read_ios + 1;
+  t.stats.disk_read_bytes <- t.stats.disk_read_bytes + bytes;
+  Clock.consume_int t.clock (Cost.disk_read_cost t.cost bytes)
+
+(* Charge the cost of reading [len] bytes at [off] of [ino]: page-cache
+   hits cost memory copies; a miss triggers a readahead window (one I/O
+   covering up to [readahead_pages]), clamped to the file size. *)
+let read t ~ino ~off ~len ?(file_size = max_int) () =
+  if len <= 0 then ()
+  else
+    match t.profile with
+    | Ram -> Clock.consume_int t.clock (Cost.mem_cost t.cost len)
+    | Ssd { cache; _ } ->
+        let ps = t.cost.Cost.page_size in
+        let first, last = page_range t ~off ~len in
+        let last_file_page = max first ((max 1 file_size - 1) / ps) in
+        let page = ref first in
+        while !page <= last do
+          match Page_cache.touch cache ~ino ~page:!page ~dirty:false with
+          | `Hit ->
+              Clock.consume_int t.clock (Cost.mem_cost t.cost ps);
+              incr page
+          | `Miss ->
+              (* one device I/O covering the readahead window *)
+              let win_end = min last_file_page (!page + readahead_pages - 1) in
+              let fetched = ref 1 in
+              let q = ref (!page + 1) in
+              while
+                !q <= win_end
+                && (match Page_cache.touch cache ~ino ~page:!q ~dirty:false with
+                   | `Miss -> true
+                   | `Hit -> false)
+              do
+                incr fetched;
+                incr q
+              done;
+              charge_disk_read t (!fetched * ps);
+              page := !q
+        done
+
+(* Charge the cost of writing [len] bytes at [off].  Buffered writes dirty
+   page-cache pages and are written back when the per-inode dirty threshold
+   is crossed; [sync] forces the inode's dirty pages out before returning
+   (O_SYNC / write-through). *)
+let write t ~ino ~off ~len ~sync =
+  if len > 0 then begin
+    Clock.consume_int t.clock (Cost.mem_cost t.cost len);
+    match t.profile with
+    | Ram -> ()
+    | Ssd { cache; flush_pages } ->
+        let first, last = page_range t ~off ~len in
+        for page = first to last do
+          ignore (Page_cache.touch cache ~ino ~page ~dirty:true)
+        done;
+        if sync then Page_cache.flush_inode cache ino
+        else if Page_cache.dirty_count cache ino >= flush_pages then
+          (* balance_dirty_pages: the writer is throttled while its inode
+             is written out — charged in the foreground *)
+          Page_cache.flush_inode cache ino
+        else begin
+          (* vm.dirty_ratio: global dirty ceiling forces writeback *)
+          let limit =
+            int_of_float
+              (global_dirty_fraction
+              *. float_of_int (Mem_budget.limit (Page_cache.budget cache))
+              /. float_of_int t.cost.Cost.page_size)
+          in
+          if Page_cache.dirty_total cache >= max 16 limit then
+            Page_cache.flush_all cache
+          else begin
+            (* dirty_expire: periodic writeback runs in the background —
+               the writer does not wait for it *)
+            let now = Clock.now_ns t.clock in
+            if Int64.sub now t.last_flush_ns > Int64.of_int flush_interval_ns then begin
+              t.last_flush_ns <- now;
+              t.in_background <- true;
+              (* heavy writers are not bailed out by the background thread *)
+              Page_cache.flush_light_inodes cache ~max_dirty:8;
+              t.in_background <- false
+            end
+          end
+        end
+  end
+
+(* O_DIRECT I/O bypasses the page cache entirely.  [async] models a full
+   device queue (AIO): the fixed per-I/O latency is hidden by pipelining and
+   only the streaming cost is charged. *)
+let write_direct t ~len ~async =
+  match t.profile with
+  | Ram -> Clock.consume_int t.clock (Cost.mem_cost t.cost len)
+  | Ssd _ ->
+      t.stats.disk_write_ios <- t.stats.disk_write_ios + 1;
+      t.stats.disk_write_bytes <- t.stats.disk_write_bytes + len;
+      let cost =
+        if async then t.cost.Cost.disk.Cost.write_ns_per_kib * Cost.kib_of_bytes len
+        else Cost.disk_write_cost t.cost len
+      in
+      Clock.consume_int t.clock cost
+
+let read_direct t ~len ~async =
+  match t.profile with
+  | Ram -> Clock.consume_int t.clock (Cost.mem_cost t.cost len)
+  | Ssd _ ->
+      t.stats.disk_read_ios <- t.stats.disk_read_ios + 1;
+      t.stats.disk_read_bytes <- t.stats.disk_read_bytes + len;
+      let cost =
+        if async then t.cost.Cost.disk.Cost.read_ns_per_kib * Cost.kib_of_bytes len
+        else Cost.disk_read_cost t.cost len
+      in
+      Clock.consume_int t.clock cost
+
+let fsync t ~ino =
+  match t.profile with
+  | Ram -> ()
+  | Ssd { cache; _ } ->
+      (* device write barrier: an fsync costs at least one I/O round even
+         when background writeback already cleaned the pages *)
+      Clock.consume_int t.clock t.cost.Cost.disk.Cost.write_latency_ns;
+      Page_cache.flush_inode cache ino
+
+let invalidate t ~ino =
+  match t.profile with
+  | Ram -> ()
+  | Ssd { cache; _ } -> Page_cache.invalidate_inode cache ino
+
+(* Forget an inode's cached pages without writeback (file deleted). *)
+let discard t ~ino =
+  match t.profile with
+  | Ram -> ()
+  | Ssd { cache; _ } -> Page_cache.discard_inode cache ino
+
+(* Per-write-syscall cost of the ext4 write path (block reservation,
+   journal handle) — FUSE's writeback cache amortizes this over large
+   coalesced writes, which is how it can beat native small writes. *)
+let charge_write_path t =
+  match t.profile with
+  | Ram -> ()
+  | Ssd _ -> Clock.consume_int t.clock t.cost.Cost.write_path_ns
+
+(* Amortized metadata-journal cost (ext4 jbd2): charged per namespace
+   mutation on disk-backed filesystems. *)
+let charge_journal t =
+  match t.profile with
+  | Ram -> ()
+  | Ssd _ -> Clock.consume_int t.clock t.cost.Cost.journal_ns

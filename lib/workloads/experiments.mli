@@ -1,0 +1,39 @@
+(** Figures 3 and 4 (§5.2.3) plus extension experiments: per-optimization
+    ablations, the server-thread sweep, the single-switch ablation matrix,
+    and the page-cache-fit sweep behind the paper's IOzone discussion. *)
+
+type ablation = {
+  a_name : string;
+  a_metric : string;
+  a_before : float;  (** optimization off *)
+  a_after : float;  (** optimization on (CNTR default) *)
+  a_native : float;  (** native reference *)
+  a_paper_note : string;
+}
+
+val fig3a : unit -> ablation  (** read cache (FOPEN_KEEP_CACHE) *)
+
+val fig3b : unit -> ablation  (** writeback cache *)
+
+val fig3c : unit -> ablation  (** batching (FUSE_PARALLEL_DIROPS) *)
+
+val fig3d : unit -> ablation  (** splice read *)
+
+val figure3 : unit -> ablation list
+
+type thread_point = { tp_threads : int; tp_mbps : float }
+
+(** Figure 4: sequential-read throughput at 1, 2, 4, 8, 16 server threads. *)
+val figure4 : unit -> thread_point list
+
+type matrix_row = { mr_config : string; mr_overhead : float }
+
+(** Switch each optimization off individually and measure the worst-case
+    workload (compilebench read). *)
+val ablation_matrix : unit -> matrix_row list
+
+type cache_point = { cp_label : string; cp_budget_mb : int; cp_overhead : float }
+
+(** §5.2.2: the same file fits the native cache one budget step longer than
+    CntrFS's double-buffered pair. *)
+val iozone_cache_sweep : unit -> cache_point list

@@ -1,0 +1,36 @@
+(** The Phoronix disk-suite workloads (§5.2, Figure 2): 13 generators in 20
+    benchmark configurations.  Each [w_paper] is the overhead the paper
+    reports; sizes are scaled ~1:1000 (constants documented inline). *)
+
+open Bench_env
+
+val aio_stress : workload
+val apachebench : workload
+
+(** Source-tree shape shared by the compilebench stages. *)
+val tree_dirs : int
+
+val tree_files_per_dir : int
+val tree_file_bytes : int
+
+val compilebench_read : workload
+val compilebench_create : workload
+val compilebench_compile : workload
+
+(** [dbench clients paper_overhead]. *)
+val dbench : int -> float -> workload
+
+val fs_mark : workload
+val fio : workload
+val gzip : workload
+val iozone_write : workload
+val iozone_read : workload
+val postmark : workload
+val pgbench : workload
+val sqlite : workload
+val threaded_io_read : workload
+val threaded_io_write : workload
+val unpack_tarball : workload
+
+(** The 20 Figure-2 rows, in the paper's order. *)
+val figure2 : workload list

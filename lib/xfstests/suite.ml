@@ -1,0 +1,14 @@
+(* The full generic suite: 94 tests, matching the paper's count (§5.1).
+   Run with [Harness.run_suite (Harness.setup_native ())] or
+   [Harness.setup_cntrfs ()]. *)
+
+let all : Harness.test list =
+  Tests_namei.tests @ Tests_io.tests @ Tests_perm.tests @ Tests_misc.tests
+
+let count = List.length all
+
+(* The four tests the paper reports failing through CntrFS. *)
+let expected_cntrfs_failures = [ 228; 375; 391; 426 ]
+
+let by_group group =
+  List.filter (fun t -> List.mem group t.Harness.t_groups) all

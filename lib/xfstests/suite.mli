@@ -1,0 +1,9 @@
+(** The full generic suite: 94 tests, matching the paper's count (§5.1). *)
+
+val all : Harness.test list
+val count : int
+
+(** The four tests the paper reports failing through CntrFS. *)
+val expected_cntrfs_failures : int list
+
+val by_group : string -> Harness.test list

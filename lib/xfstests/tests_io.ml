@@ -1,0 +1,253 @@
+(* generic group: data I/O, offsets, truncation, sparseness, timestamps,
+   readdir. *)
+
+open Repro_util
+open Repro_vfs
+open Repro_os
+open Harness
+
+let p env rel = env.base ^ "/" ^ rel
+
+let t id groups desc run = { t_id = id; t_groups = groups; t_desc = desc; t_run = run }
+
+let quick = [ "auto"; "quick" ]
+
+(* deterministic pseudo-random block for integrity checks *)
+let pattern seed len =
+  let rng = Rng.create ~seed in
+  String.init len (fun _ -> Char.chr (32 + Rng.int rng 90))
+
+let tests = [
+  t 30 quick "write/read round trip" (fun env ->
+      let data = pattern 1 10_000 in
+      let* () = write_file env env.root (p env "f") data in
+      let* back = read_file env env.root (p env "f") in
+      check_str ~what:"roundtrip" data back);
+
+  t 31 quick "pread/pwrite at offsets" (fun env ->
+      let* () = write_file env env.root (p env "f") (String.make 100 '.') in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDWR ] ~mode:0) in
+      let* _ = req "pwrite" (Kernel.pwrite env.k env.root fd ~off:40 "MID") in
+      let* s = req "pread" (Kernel.pread env.k env.root fd ~off:39 ~len:5) in
+      let* () = check_str ~what:"window" ".MID." s in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 32 quick "O_APPEND always writes at EOF" (fun env ->
+      let* () = write_file env env.root (p env "log") "a" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "log") [ Types.O_WRONLY; Types.O_APPEND ] ~mode:0) in
+      let* _ = req "write b" (Kernel.write env.k env.root fd "b") in
+      let* _ = req "write c" (Kernel.write env.k env.root fd "c") in
+      let* () = req "close" (Kernel.close env.k env.root fd) in
+      let* data = read_file env env.root (p env "log") in
+      check_str ~what:"appended" "abc" data);
+
+  t 33 quick "sparse file: holes read as zeros" (fun env ->
+      let* fd =
+        req "open" (Kernel.open_ env.k env.root (p env "sparse") [ Types.O_CREAT; Types.O_RDWR ] ~mode:0o644)
+      in
+      let* _ = req "pwrite far" (Kernel.pwrite env.k env.root fd ~off:100_000 "END") in
+      let* st = req "fstat" (Kernel.fstat env.k env.root fd) in
+      let* () = check_int ~what:"size" 100_003 st.Types.st_size in
+      let* hole = req "pread hole" (Kernel.pread env.k env.root fd ~off:50_000 ~len:4) in
+      let* () = check_str ~what:"hole" (String.make 4 '\000') hole in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 34 quick "truncate shrinks and zero-extends" (fun env ->
+      let* () = write_file env env.root (p env "f") (String.make 100 'a') in
+      let* () = req "truncate 10" (Kernel.truncate env.k env.root (p env "f") 10) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      let* () = check_int ~what:"shrunk" 10 st.Types.st_size in
+      let* () = req "truncate 20" (Kernel.truncate env.k env.root (p env "f") 20) in
+      let* data = read_file env env.root (p env "f") in
+      check_str ~what:"zero extended" (String.make 10 'a' ^ String.make 10 '\000') data);
+
+  t 35 quick "O_TRUNC empties the file" (fun env ->
+      let* () = write_file env env.root (p env "f") "data" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_WRONLY; Types.O_TRUNC ] ~mode:0) in
+      let* () = req "close" (Kernel.close env.k env.root fd) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      check_int ~what:"size" 0 st.Types.st_size);
+
+  t 36 [ "auto" ] "2 MiB integrity" (fun env ->
+      let data = pattern 2 (2 * 1024 * 1024) in
+      let* () = write_file env env.root (p env "big") data in
+      let* back = read_file env env.root (p env "big") in
+      check (data = back) "2MiB content mismatch");
+
+  t 37 quick "many small sequential writes" (fun env ->
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644) in
+      let rec go i =
+        if i = 200 then Ok ()
+        else
+          let* _ = req "write" (Kernel.write env.k env.root fd (Printf.sprintf "%04d" i)) in
+          go (i + 1)
+      in
+      let* () = go 0 in
+      let* () = req "close" (Kernel.close env.k env.root fd) in
+      let* data = read_file env env.root (p env "f") in
+      let* () = check_int ~what:"length" 800 (String.length data) in
+      check_str ~what:"tail" "0199" (String.sub data 796 4));
+
+  t 38 quick "read at EOF returns empty" (fun env ->
+      let* () = write_file env env.root (p env "f") "xy" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDONLY ] ~mode:0) in
+      let* s = req "pread" (Kernel.pread env.k env.root fd ~off:2 ~len:10) in
+      let* () = check_str ~what:"eof" "" s in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 39 quick "lseek SEEK_SET/CUR/END" (fun env ->
+      let* () = write_file env env.root (p env "f") "0123456789" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDONLY ] ~mode:0) in
+      let* pos = req "seek end" (Kernel.lseek env.k env.root fd (Kernel.SEEK_END 0)) in
+      let* () = check_int ~what:"end" 10 pos in
+      let* pos = req "seek cur" (Kernel.lseek env.k env.root fd (Kernel.SEEK_CUR (-4))) in
+      let* () = check_int ~what:"cur" 6 pos in
+      let* s = req "read" (Kernel.read env.k env.root fd ~len:10) in
+      let* () = check_str ~what:"tail" "6789" s in
+      let* () = expect_errno ~what:"negative seek" Errno.EINVAL (Kernel.lseek env.k env.root fd (Kernel.SEEK_SET (-1))) in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 40 quick "EBADF after close" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDONLY ] ~mode:0) in
+      let* () = req "close" (Kernel.close env.k env.root fd) in
+      let* () = expect_errno ~what:"read" Errno.EBADF (Kernel.read env.k env.root fd ~len:1) in
+      expect_errno ~what:"double close" Errno.EBADF (Kernel.close env.k env.root fd));
+
+  t 41 quick "write on O_RDONLY fd fails" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDONLY ] ~mode:0) in
+      let* () = expect_errno ~what:"write" Errno.EBADF (Kernel.write env.k env.root fd "y") in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 42 quick "read on O_WRONLY fd fails" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_WRONLY ] ~mode:0) in
+      let* () = expect_errno ~what:"read" Errno.EBADF (Kernel.read env.k env.root fd ~len:1) in
+      req "close" (Kernel.close env.k env.root fd));
+
+  (* --- timestamps ---------------------------------------------------------- *)
+
+  t 43 quick "write updates mtime and size" (fun env ->
+      let* () = write_file env env.root (p env "f") "v1" in
+      let* st0 = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      (* advance virtual time so timestamps can differ *)
+      Clock.consume_int env.k.Kernel.clock 1_000_000;
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_WRONLY; Types.O_APPEND ] ~mode:0) in
+      let* _ = req "write" (Kernel.write env.k env.root fd "-more") in
+      let* () = req "close" (Kernel.close env.k env.root fd) in
+      let* st1 = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      let* () = check (st1.Types.st_mtime > st0.Types.st_mtime) "mtime not updated" in
+      check_int ~what:"size" 7 st1.Types.st_size);
+
+  t 44 quick "chmod updates ctime" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* st0 = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      Clock.consume_int env.k.Kernel.clock 1_000_000;
+      let* () = req "chmod" (Kernel.chmod env.k env.root (p env "f") 0o600) in
+      let* st1 = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      check (st1.Types.st_ctime > st0.Types.st_ctime) "ctime not updated");
+
+  t 45 quick "utimens sets explicit times" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* () =
+        req "utimens"
+          (Kernel.utimens env.k env.root (p env "f") ~atime:(Some 12345L) ~mtime:(Some 67890L))
+      in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      let* () = check (st.Types.st_atime = 12345L) "atime" in
+      check (st.Types.st_mtime = 67890L) "mtime");
+
+  t 46 quick "link updates ctime of target" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* st0 = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      Clock.consume_int env.k.Kernel.clock 1_000_000;
+      let* () = req "link" (Kernel.link env.k env.root ~target:(p env "f") ~linkpath:(p env "l")) in
+      let* st1 = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      check (st1.Types.st_ctime > st0.Types.st_ctime) "ctime not updated by link");
+
+  (* --- readdir ---------------------------------------------------------------- *)
+
+  t 47 quick "readdir lists entries plus dot entries" (fun env ->
+      let* () = write_file env env.root (p env "a") "1" in
+      let* () = write_file env env.root (p env "b") "2" in
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "c") ~mode:0o755) in
+      let* entries = req "readdir" (Kernel.readdir env.k env.root env.base) in
+      let names = List.map (fun e -> e.Types.d_name) entries in
+      let* () = check (List.mem "." names && List.mem ".." names) "dot entries" in
+      let* () = check (List.mem "a" names && List.mem "b" names && List.mem "c" names) "entries" in
+      check_int ~what:"count" 5 (List.length names));
+
+  t 48 quick "readdir reflects unlink" (fun env ->
+      let* () = write_file env env.root (p env "gone") "x" in
+      let* () = req "unlink" (Kernel.unlink env.k env.root (p env "gone")) in
+      let* entries = req "readdir" (Kernel.readdir env.k env.root env.base) in
+      check (not (List.exists (fun e -> e.Types.d_name = "gone") entries)) "stale entry");
+
+  t 49 [ "auto" ] "readdir of 300 entries" (fun env ->
+      let rec mk i =
+        if i = 300 then Ok ()
+        else
+          let* () = write_file env env.root (p env (Printf.sprintf "f%03d" i)) "" in
+          mk (i + 1)
+      in
+      let* () = mk 0 in
+      let* entries = req "readdir" (Kernel.readdir env.k env.root env.base) in
+      check_int ~what:"count" 302 (List.length entries));
+
+  t 50 quick "readdir of a file is ENOTDIR" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      expect_errno ~what:"readdir" Errno.ENOTDIR (Kernel.readdir env.k env.root (p env "f")));
+
+  t 51 quick "rename is visible in readdir" (fun env ->
+      let* () = write_file env env.root (p env "old") "x" in
+      let* () = req "rename" (Kernel.rename env.k env.root ~src:(p env "old") ~dst:(p env "new")) in
+      let* entries = req "readdir" (Kernel.readdir env.k env.root env.base) in
+      let names = List.map (fun e -> e.Types.d_name) entries in
+      let* () = check (List.mem "new" names) "new name" in
+      check (not (List.mem "old" names)) "old name gone");
+
+  t 52 quick "dirent kinds are reported" (fun env ->
+      let* () = write_file env env.root (p env "reg") "x" in
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "dir") ~mode:0o755) in
+      let* () = req "symlink" (Kernel.symlink env.k env.root ~target:"reg" ~linkpath:(p env "lnk")) in
+      let* entries = req "readdir" (Kernel.readdir env.k env.root env.base) in
+      let kind name =
+        match List.find_opt (fun e -> e.Types.d_name = name) entries with
+        | Some e -> Some e.Types.d_kind
+        | None -> None
+      in
+      let* () = check (kind "reg" = Some Types.Reg) "reg kind" in
+      let* () = check (kind "dir" = Some Types.Dir) "dir kind" in
+      check (kind "lnk" = Some Types.Symlink) "symlink kind");
+
+  t 53 quick "unlinked-but-open file remains readable" (fun env ->
+      let* () = write_file env env.root (p env "orphan") "still-here" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "orphan") [ Types.O_RDONLY ] ~mode:0) in
+      let* () = req "unlink" (Kernel.unlink env.k env.root (p env "orphan")) in
+      let* data = req "read" (Kernel.read env.k env.root fd ~len:100) in
+      let* () = check_str ~what:"orphan data" "still-here" data in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 54 quick "dup shares the file offset" (fun env ->
+      let* () = write_file env env.root (p env "f") "abcdef" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDONLY ] ~mode:0) in
+      let* fd2 = req "dup" (Kernel.dup env.k env.root fd) in
+      let* a = req "read fd" (Kernel.read env.k env.root fd ~len:2) in
+      let* b = req "read dup" (Kernel.read env.k env.root fd2 ~len:2) in
+      let* () = check_str ~what:"first" "ab" a in
+      let* () = check_str ~what:"second continues" "cd" b in
+      let* () = req "close" (Kernel.close env.k env.root fd) in
+      req "close dup" (Kernel.close env.k env.root fd2));
+
+  t 55 quick "independent opens have independent offsets" (fun env ->
+      let* () = write_file env env.root (p env "f") "abcdef" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDONLY ] ~mode:0) in
+      let* fd2 = req "open2" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDONLY ] ~mode:0) in
+      let* a = req "read fd" (Kernel.read env.k env.root fd ~len:3) in
+      let* b = req "read fd2" (Kernel.read env.k env.root fd2 ~len:3) in
+      let* () = check_str ~what:"first" "abc" a in
+      let* () = check_str ~what:"second from zero" "abc" b in
+      let* () = req "close" (Kernel.close env.k env.root fd) in
+      req "close2" (Kernel.close env.k env.root fd2));
+]

@@ -1,0 +1,322 @@
+(* generic group: statfs, prealloc, special nodes, stress, and the four
+   tests the paper reports failing through CntrFS (§5.1):
+   generic/228 (RLIMIT_FSIZE), generic/375 (SETGID + ACL chmod),
+   generic/391 (O_DIRECT), generic/426 (exportable handles). *)
+
+open Repro_util
+open Repro_vfs
+open Repro_os
+open Harness
+
+let p env rel = env.base ^ "/" ^ rel
+
+let t id groups desc run = { t_id = id; t_groups = groups; t_desc = desc; t_run = run }
+
+let quick = [ "auto"; "quick" ]
+
+let tests = [
+  t 100 quick "statfs sanity" (fun env ->
+      let* s = req "statfs" (Kernel.statfs env.k env.root env.base) in
+      let* () = check (s.Types.f_bsize > 0) "bsize" in
+      let* () = check (s.Types.f_blocks > 0) "blocks" in
+      let* files0 = Ok s.Types.f_files in
+      let* () = write_file env env.root (p env "f") "x" in
+      let* s1 = req "statfs" (Kernel.statfs env.k env.root env.base) in
+      check (s1.Types.f_files > files0) "file count grows");
+
+  t 101 [ "auto"; "quick"; "prealloc" ] "fallocate extends the file" (fun env ->
+      let* fd =
+        req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_CREAT; Types.O_RDWR ] ~mode:0o644)
+      in
+      let* () = req "fallocate" (Kernel.fallocate env.k env.root fd ~off:0 ~len:65536) in
+      let* st = req "fstat" (Kernel.fstat env.k env.root fd) in
+      let* () = check_int ~what:"size" 65536 st.Types.st_size in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 102 [ "auto"; "quick"; "prealloc" ] "fallocate preserves existing data" (fun env ->
+      let* () = write_file env env.root (p env "f") "keepme" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDWR ] ~mode:0) in
+      let* () = req "fallocate" (Kernel.fallocate env.k env.root fd ~off:0 ~len:8192) in
+      let* s = req "pread" (Kernel.pread env.k env.root fd ~off:0 ~len:6) in
+      let* () = check_str ~what:"data" "keepme" s in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 103 quick "fsync succeeds and data persists" (fun env ->
+      let* fd =
+        req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644)
+      in
+      let* _ = req "write" (Kernel.write env.k env.root fd "durable") in
+      let* () = req "fsync" (Kernel.fsync env.k env.root fd) in
+      let* () = req "close" (Kernel.close env.k env.root fd) in
+      let* data = read_file env env.root (p env "f") in
+      check_str ~what:"data" "durable" data);
+
+  t 104 quick "O_NOFOLLOW refuses a symlink" (fun env ->
+      let* () = write_file env env.root (p env "real") "x" in
+      let* () = req "symlink" (Kernel.symlink env.k env.root ~target:"real" ~linkpath:(p env "lnk")) in
+      let* () =
+        expect_errno ~what:"open nofollow" Errno.ELOOP
+          (Kernel.open_ env.k env.root (p env "lnk") [ Types.O_RDONLY; Types.O_NOFOLLOW ] ~mode:0)
+      in
+      let* fd = req "open direct" (Kernel.open_ env.k env.root (p env "real") [ Types.O_RDONLY; Types.O_NOFOLLOW ] ~mode:0) in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 105 quick "O_DIRECTORY on a file is ENOTDIR" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      expect_errno ~what:"open" Errno.ENOTDIR
+        (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDONLY; Types.O_DIRECTORY ] ~mode:0));
+
+  t 106 quick "mknod fifo" (fun env ->
+      let* () = req "mknod" (Kernel.mknod env.k env.root (p env "pipe") ~kind:Types.Fifo ~mode:0o644) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "pipe")) in
+      check (st.Types.st_kind = Types.Fifo) "fifo kind");
+
+  t 107 quick "mknod socket node" (fun env ->
+      let* () = req "mknod" (Kernel.mknod env.k env.root (p env "sock") ~kind:Types.Sock ~mode:0o755) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "sock")) in
+      check (st.Types.st_kind = Types.Sock) "sock kind");
+
+  t 108 [ "auto" ] "create/delete churn" (fun env ->
+      let rec churn i =
+        if i = 200 then Ok ()
+        else
+          let name = p env (Printf.sprintf "c%d" (i mod 10)) in
+          let* () = write_file env env.root name (string_of_int i) in
+          let* () = req "unlink" (Kernel.unlink env.k env.root name) in
+          churn (i + 1)
+      in
+      let* () = churn 0 in
+      let* entries = req "readdir" (Kernel.readdir env.k env.root env.base) in
+      check_int ~what:"empty after churn" 2 (List.length entries));
+
+  t 109 [ "auto" ] "rename churn keeps exactly one file" (fun env ->
+      let* () = write_file env env.root (p env "f0") "ball" in
+      let rec churn i =
+        if i = 100 then Ok ()
+        else
+          let* () =
+            req "rename"
+              (Kernel.rename env.k env.root
+                 ~src:(p env (Printf.sprintf "f%d" i))
+                 ~dst:(p env (Printf.sprintf "f%d" (i + 1))))
+          in
+          churn (i + 1)
+      in
+      let* () = churn 0 in
+      let* data = read_file env env.root (p env "f100") in
+      let* () = check_str ~what:"content" "ball" data in
+      let* entries = req "readdir" (Kernel.readdir env.k env.root env.base) in
+      check_int ~what:"one file" 3 (List.length entries));
+
+  t 110 [ "auto"; "dangerous" ] "random write fuzz vs reference model" (fun env ->
+      let rng = Rng.create ~seed:0xf52 in
+      let model = Bytes.make 65536 '\000' in
+      let model_size = ref 0 in
+      let* fd =
+        req "open" (Kernel.open_ env.k env.root (p env "fuzz") [ Types.O_CREAT; Types.O_RDWR ] ~mode:0o644)
+      in
+      let rec go i =
+        if i = 100 then Ok ()
+        else begin
+          let off = Rng.int rng 60000 in
+          let len = 1 + Rng.int rng 4000 in
+          let data = Bytes.unsafe_to_string (Rng.bytes rng len) in
+          let* _ = req "pwrite" (Kernel.pwrite env.k env.root fd ~off data) in
+          Bytes.blit_string data 0 model off len;
+          model_size := max !model_size (off + len);
+          (* verify a random window *)
+          let roff = Rng.int rng (max 1 !model_size) in
+          let rlen = min 512 (!model_size - roff) in
+          let* s = req "pread" (Kernel.pread env.k env.root fd ~off:roff ~len:rlen) in
+          let expected = Bytes.sub_string model roff rlen in
+          let* () = check (s = expected) (Printf.sprintf "window mismatch at %d (iter %d)" roff i) in
+          go (i + 1)
+        end
+      in
+      let* () = go 0 in
+      let* st = req "fstat" (Kernel.fstat env.k env.root fd) in
+      let* () = check_int ~what:"final size" !model_size st.Types.st_size in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 111 [ "auto" ] "recursive tree copy preserves content" (fun env ->
+      let rng = Rng.create ~seed:0x7ee in
+      (* build a small tree *)
+      let files = ref [] in
+      let* () = req "mkdir src" (Kernel.mkdir env.k env.root (p env "src") ~mode:0o755) in
+      let rec build dir depth =
+        if depth = 0 then Ok ()
+        else begin
+          let* () =
+            List.fold_left
+              (fun acc i ->
+                let* () = acc in
+                let f = dir ^ "/f" ^ string_of_int i in
+                let data = Bytes.unsafe_to_string (Rng.bytes rng (100 + Rng.int rng 400)) in
+                files := (f, data) :: !files;
+                write_file env env.root f data)
+              (Ok ()) [ 1; 2; 3 ]
+          in
+          let sub = dir ^ "/sub" in
+          let* () = req "mkdir" (Kernel.mkdir env.k env.root sub ~mode:0o755) in
+          build sub (depth - 1)
+        end
+      in
+      let* () = build (p env "src") 3 in
+      (* copy it *)
+      let rec copy src dst =
+        let* () = req "mkdir dst" (Kernel.mkdir env.k env.root dst ~mode:0o755) in
+        let* entries = req "readdir" (Kernel.readdir env.k env.root src) in
+        List.fold_left
+          (fun acc e ->
+            let* () = acc in
+            let name = e.Types.d_name in
+            if name = "." || name = ".." then Ok ()
+            else
+              match e.Types.d_kind with
+              | Types.Dir -> copy (src ^ "/" ^ name) (dst ^ "/" ^ name)
+              | _ ->
+                  let* data = read_file env env.root (src ^ "/" ^ name) in
+                  write_file env env.root (dst ^ "/" ^ name) data)
+          (Ok ()) entries
+      in
+      let* () = copy (p env "src") (p env "dst") in
+      (* verify *)
+      List.fold_left
+        (fun acc (f, data) ->
+          let* () = acc in
+          match Pathx.strip_prefix ~dir:(p env "src") f with
+          | Some rel ->
+              let* copied = read_file env env.root (p env "dst" ^ "/" ^ rel) in
+              check (copied = data) ("copy mismatch: " ^ rel)
+          | None -> Ok ())
+        (Ok ()) !files);
+
+  t 112 [ "auto" ] "hardlink farm keeps nlink exact" (fun env ->
+      let* () = write_file env env.root (p env "orig") "x" in
+      let rec link i =
+        if i = 50 then Ok ()
+        else
+          let* () =
+            req "link" (Kernel.link env.k env.root ~target:(p env "orig") ~linkpath:(p env ("l" ^ string_of_int i)))
+          in
+          link (i + 1)
+      in
+      let* () = link 0 in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "orig")) in
+      let* () = check_int ~what:"nlink" 51 st.Types.st_nlink in
+      let rec unlink i =
+        if i = 50 then Ok ()
+        else
+          let* () = req "unlink" (Kernel.unlink env.k env.root (p env ("l" ^ string_of_int i))) in
+          unlink (i + 1)
+      in
+      let* () = unlink 0 in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "orig")) in
+      check_int ~what:"nlink back to 1" 1 st.Types.st_nlink);
+
+  t 113 [ "auto"; "aio" ] "interleaved writers via two fds" (fun env ->
+      let* fd1 =
+        req "open1" (Kernel.open_ env.k env.root (p env "f") [ Types.O_CREAT; Types.O_RDWR ] ~mode:0o644)
+      in
+      let* fd2 = req "open2" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDWR ] ~mode:0) in
+      let rec interleave i =
+        if i = 64 then Ok ()
+        else
+          let* _ = req "pwrite1" (Kernel.pwrite env.k env.root fd1 ~off:(i * 2) "A") in
+          let* _ = req "pwrite2" (Kernel.pwrite env.k env.root fd2 ~off:((i * 2) + 1) "B") in
+          interleave (i + 1)
+      in
+      let* () = interleave 0 in
+      let* () = req "close1" (Kernel.close env.k env.root fd1) in
+      let* () = req "close2" (Kernel.close env.k env.root fd2) in
+      let* data = read_file env env.root (p env "f") in
+      let expected = String.concat "" (List.init 64 (fun _ -> "AB")) in
+      check_str ~what:"interleaved" expected data);
+
+  t 114 [ "auto"; "aio" ] "read-modify-write across page boundaries" (fun env ->
+      let page = 4096 in
+      let* () = write_file env env.root (p env "f") (String.make (3 * page) 'a') in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDWR ] ~mode:0) in
+      (* straddle the first/second page boundary *)
+      let* _ = req "pwrite" (Kernel.pwrite env.k env.root fd ~off:(page - 2) "XXXX") in
+      let* s = req "pread" (Kernel.pread env.k env.root fd ~off:(page - 3) ~len:6) in
+      let* () = check_str ~what:"straddle" "aXXXXa" s in
+      let* st = req "fstat" (Kernel.fstat env.k env.root fd) in
+      let* () = check_int ~what:"size unchanged" (3 * page) st.Types.st_size in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 115 [ "auto"; "ioctl" ] "ftruncate via open fd" (fun env ->
+      let* () = write_file env env.root (p env "f") "0123456789" in
+      let* fd = req "open" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDWR ] ~mode:0) in
+      let* () = req "ftruncate" (Kernel.ftruncate env.k env.root fd 4) in
+      let* st = req "fstat" (Kernel.fstat env.k env.root fd) in
+      let* () = check_int ~what:"size" 4 st.Types.st_size in
+      let* data = req "pread" (Kernel.pread env.k env.root fd ~off:0 ~len:10) in
+      let* () = check_str ~what:"content" "0123" data in
+      req "close" (Kernel.close env.k env.root fd));
+
+  (* --- the four paper failures -------------------------------------------- *)
+
+  t 228 [ "auto"; "quick" ] "RLIMIT_FSIZE is enforced on write" (fun env ->
+      (* xfstests generic/228: a process with a file-size limit must get
+         EFBIG when writing past it.  CntrFS replays the write in the
+         server, which has no such limit — the test fails there (§5.1). *)
+      let limited = Kernel.fork env.k env.user in
+      Kernel.set_rlimit_fsize env.k limited (Some 1024);
+      let* fd =
+        req "open" (Kernel.open_ env.k limited (p env "f") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644)
+      in
+      let* _ = req "write within" (Kernel.write env.k limited fd (String.make 1024 'a')) in
+      let* () =
+        expect_errno ~what:"write past limit" Errno.EFBIG
+          (Kernel.write env.k limited fd "overflow")
+      in
+      let* () = req "close" (Kernel.close env.k limited fd) in
+      Kernel.exit env.k limited 0;
+      Ok ());
+
+  t 375 [ "auto"; "quick" ] "chmod clears setgid for non-group-member with ACL" (fun env ->
+      (* xfstests generic/375: with a POSIX ACL present, chmod by an owner
+         who is not a member of the owning group must clear S_ISGID.
+         CntrFS delegates ACLs via setfsuid and the privileged server keeps
+         the bit — the test fails there (§5.1). *)
+      let* fd =
+        req "user create"
+          (Kernel.open_ env.k env.user (p env "f") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644)
+      in
+      let* () = req "close" (Kernel.close env.k env.user fd) in
+      (* owning group 7000: the owner (uid 1000) is not a member *)
+      let* () = req "chgrp" (Kernel.chown env.k env.root (p env "f") ~uid:None ~gid:(Some 7000)) in
+      let* () =
+        req "set acl"
+          (Kernel.setxattr env.k env.root (p env "f") "system.posix_acl_access"
+             "u::rw-,g::r-x,m::r-x,o::r--")
+      in
+      let* () = req "chmod 2755" (Kernel.chmod env.k env.user (p env "f") 0o2755) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      check (st.Types.st_mode land Types.s_isgid = 0)
+        "setgid bit was not cleared by chmod");
+
+  t 391 [ "auto"; "quick" ] "O_DIRECT read returns written data" (fun env ->
+      (* xfstests generic/391: direct I/O must work.  FUSE makes mmap and
+         direct I/O mutually exclusive and CNTR chose mmap, so the open
+         fails through CntrFS (§5.1). *)
+      let* () = write_file env env.root (p env "f") (String.make 8192 'd') in
+      let* fd =
+        req "open O_DIRECT" (Kernel.open_ env.k env.root (p env "f") [ Types.O_RDONLY; Types.O_DIRECT ] ~mode:0)
+      in
+      let* s = req "pread" (Kernel.pread env.k env.root fd ~off:0 ~len:4096) in
+      let* () = check_int ~what:"direct read size" 4096 (String.length s) in
+      req "close" (Kernel.close env.k env.root fd));
+
+  t 426 [ "auto"; "quick" ] "name_to_handle_at round trip" (fun env ->
+      (* xfstests generic/426: file handles obtained by name_to_handle_at
+         must reopen the file.  CntrFS inodes are ephemeral and not
+         exportable, so the call fails there (§5.1). *)
+      let* () = write_file env env.root (p env "f") "handled" in
+      let* handle = req "name_to_handle_at" (Kernel.name_to_handle_at env.k env.root (p env "f")) in
+      let* fd = req "open_by_handle_at" (Kernel.open_by_handle_at env.k env.root handle) in
+      let* data = req "read" (Kernel.read env.k env.root fd ~len:100) in
+      let* () = check_str ~what:"content via handle" "handled" data in
+      req "close" (Kernel.close env.k env.root fd));
+]

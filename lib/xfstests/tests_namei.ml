@@ -1,0 +1,202 @@
+(* generic group: name resolution, create/unlink, rename, links. *)
+
+open Repro_util
+open Repro_vfs
+open Repro_os
+open Harness
+
+let p env rel = env.base ^ "/" ^ rel
+
+let t id groups desc run = { t_id = id; t_groups = groups; t_desc = desc; t_run = run }
+
+let quick = [ "auto"; "quick" ]
+
+let tests = [
+  t 1 quick "create and unlink a file" (fun env ->
+      let* () = write_file env env.root (p env "f") "hello" in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      let* () = check (st.Types.st_kind = Types.Reg) "not a regular file" in
+      let* () = req "unlink" (Kernel.unlink env.k env.root (p env "f")) in
+      expect_errno ~what:"stat after unlink" Errno.ENOENT (Kernel.stat env.k env.root (p env "f")));
+
+  t 2 quick "mkdir and rmdir" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d") ~mode:0o755) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "d")) in
+      let* () = check (st.Types.st_kind = Types.Dir) "not a directory" in
+      let* () = req "rmdir" (Kernel.rmdir env.k env.root (p env "d")) in
+      expect_errno ~what:"stat after rmdir" Errno.ENOENT (Kernel.stat env.k env.root (p env "d")));
+
+  t 3 quick "deeply nested directories" (fun env ->
+      let rec deep acc n = if n = 0 then acc else deep (acc ^ "/d") (n - 1) in
+      let rec build path n =
+        if n = 0 then Ok ()
+        else
+          let path = path ^ "/d" in
+          let* () = req "mkdir" (Kernel.mkdir env.k env.root path ~mode:0o755) in
+          build path (n - 1)
+      in
+      let* () = build env.base 20 in
+      let* () = write_file env env.root (deep env.base 20 ^ "/leaf") "x" in
+      let* data = read_file env env.root (deep env.base 20 ^ "/leaf") in
+      check_str ~what:"leaf content" "x" data);
+
+  t 4 quick "ENOENT for missing paths" (fun env ->
+      let* () = expect_errno ~what:"stat missing" Errno.ENOENT (Kernel.stat env.k env.root (p env "nope")) in
+      let* () =
+        expect_errno ~what:"open missing" Errno.ENOENT
+          (Kernel.open_ env.k env.root (p env "nope") [ Types.O_RDONLY ] ~mode:0)
+      in
+      expect_errno ~what:"unlink missing" Errno.ENOENT (Kernel.unlink env.k env.root (p env "nope")));
+
+  t 5 quick "O_CREAT|O_EXCL fails on existing" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      expect_errno ~what:"open O_EXCL" Errno.EEXIST
+        (Kernel.open_ env.k env.root (p env "f") [ Types.O_CREAT; Types.O_EXCL; Types.O_WRONLY ] ~mode:0o644));
+
+  t 6 quick "ENOTDIR walking through a file" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      expect_errno ~what:"walk through file" Errno.ENOTDIR (Kernel.stat env.k env.root (p env "f/under")));
+
+  t 7 quick "EISDIR opening directory for write" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d") ~mode:0o755) in
+      expect_errno ~what:"open dir O_WRONLY" Errno.EISDIR
+        (Kernel.open_ env.k env.root (p env "d") [ Types.O_WRONLY ] ~mode:0));
+
+  t 8 quick "ENAMETOOLONG for a 300-byte name" (fun env ->
+      let long = String.make 300 'n' in
+      expect_errno ~what:"create long name" Errno.ENAMETOOLONG
+        (Kernel.open_ env.k env.root (p env long) [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644));
+
+  t 9 quick "ENOTEMPTY for rmdir of non-empty dir" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d") ~mode:0o755) in
+      let* () = write_file env env.root (p env "d/f") "x" in
+      let* () = expect_errno ~what:"rmdir" Errno.ENOTEMPTY (Kernel.rmdir env.k env.root (p env "d")) in
+      let* () = req "unlink" (Kernel.unlink env.k env.root (p env "d/f")) in
+      req "rmdir now empty" (Kernel.rmdir env.k env.root (p env "d")));
+
+  t 10 quick "rmdir of a file is ENOTDIR" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      expect_errno ~what:"rmdir file" Errno.ENOTDIR (Kernel.rmdir env.k env.root (p env "f")));
+
+  t 11 quick "unlink of a directory is EISDIR" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d") ~mode:0o755) in
+      expect_errno ~what:"unlink dir" Errno.EISDIR (Kernel.unlink env.k env.root (p env "d")));
+
+  t 12 quick "dot and dotdot resolve" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d") ~mode:0o755) in
+      let* () = write_file env env.root (p env "probe") "self" in
+      let* data = read_file env env.root (p env "d/./../probe") in
+      check_str ~what:"dot-dotdot walk" "self" data);
+
+  (* --- rename ------------------------------------------------------------ *)
+
+  t 13 quick "rename a file" (fun env ->
+      let* () = write_file env env.root (p env "a") "payload" in
+      let* () = req "rename" (Kernel.rename env.k env.root ~src:(p env "a") ~dst:(p env "b")) in
+      let* () = expect_errno ~what:"old gone" Errno.ENOENT (Kernel.stat env.k env.root (p env "a")) in
+      let* data = read_file env env.root (p env "b") in
+      check_str ~what:"payload" "payload" data);
+
+  t 14 quick "rename replaces existing file" (fun env ->
+      let* () = write_file env env.root (p env "a") "new" in
+      let* () = write_file env env.root (p env "b") "old" in
+      let* () = req "rename" (Kernel.rename env.k env.root ~src:(p env "a") ~dst:(p env "b")) in
+      let* data = read_file env env.root (p env "b") in
+      check_str ~what:"replaced" "new" data);
+
+  t 15 quick "rename dir over empty dir" (fun env ->
+      let* () = req "mkdir a" (Kernel.mkdir env.k env.root (p env "a") ~mode:0o755) in
+      let* () = write_file env env.root (p env "a/f") "x" in
+      let* () = req "mkdir b" (Kernel.mkdir env.k env.root (p env "b") ~mode:0o755) in
+      let* () = req "rename" (Kernel.rename env.k env.root ~src:(p env "a") ~dst:(p env "b")) in
+      let* data = read_file env env.root (p env "b/f") in
+      check_str ~what:"moved content" "x" data);
+
+  t 16 quick "rename dir over non-empty dir is ENOTEMPTY" (fun env ->
+      let* () = req "mkdir a" (Kernel.mkdir env.k env.root (p env "a") ~mode:0o755) in
+      let* () = req "mkdir b" (Kernel.mkdir env.k env.root (p env "b") ~mode:0o755) in
+      let* () = write_file env env.root (p env "b/f") "x" in
+      expect_errno ~what:"rename" Errno.ENOTEMPTY
+        (Kernel.rename env.k env.root ~src:(p env "a") ~dst:(p env "b")));
+
+  t 17 quick "rename dir into own subtree is EINVAL" (fun env ->
+      let* () = req "mkdir a" (Kernel.mkdir env.k env.root (p env "a") ~mode:0o755) in
+      let* () = req "mkdir a/sub" (Kernel.mkdir env.k env.root (p env "a/sub") ~mode:0o755) in
+      expect_errno ~what:"rename into self" Errno.EINVAL
+        (Kernel.rename env.k env.root ~src:(p env "a") ~dst:(p env "a/sub/oops")));
+
+  t 18 quick "rename of missing source is ENOENT" (fun env ->
+      expect_errno ~what:"rename" Errno.ENOENT
+        (Kernel.rename env.k env.root ~src:(p env "missing") ~dst:(p env "dst")));
+
+  t 19 quick "rename file over dir is EISDIR" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d") ~mode:0o755) in
+      expect_errno ~what:"rename" Errno.EISDIR
+        (Kernel.rename env.k env.root ~src:(p env "f") ~dst:(p env "d")));
+
+  t 20 quick "rename dir over file is ENOTDIR" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d") ~mode:0o755) in
+      let* () = write_file env env.root (p env "f") "x" in
+      expect_errno ~what:"rename" Errno.ENOTDIR
+        (Kernel.rename env.k env.root ~src:(p env "d") ~dst:(p env "f")));
+
+  (* --- links -------------------------------------------------------------- *)
+
+  t 21 quick "hardlinks share the inode" (fun env ->
+      let* () = write_file env env.root (p env "a") "shared" in
+      let* () = req "link" (Kernel.link env.k env.root ~target:(p env "a") ~linkpath:(p env "b")) in
+      let* sta = req "stat a" (Kernel.stat env.k env.root (p env "a")) in
+      let* stb = req "stat b" (Kernel.stat env.k env.root (p env "b")) in
+      let* () = check_int ~what:"inode" sta.Types.st_ino stb.Types.st_ino in
+      check_int ~what:"nlink" 2 sta.Types.st_nlink);
+
+  t 22 quick "hardlink to a directory is EPERM" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d") ~mode:0o755) in
+      expect_errno ~what:"link dir" Errno.EPERM
+        (Kernel.link env.k env.root ~target:(p env "d") ~linkpath:(p env "dlink")));
+
+  t 23 quick "data survives while one link remains" (fun env ->
+      let* () = write_file env env.root (p env "a") "persist" in
+      let* () = req "link" (Kernel.link env.k env.root ~target:(p env "a") ~linkpath:(p env "b")) in
+      let* () = req "unlink a" (Kernel.unlink env.k env.root (p env "a")) in
+      let* data = read_file env env.root (p env "b") in
+      let* () = check_str ~what:"data" "persist" data in
+      let* st = req "stat b" (Kernel.stat env.k env.root (p env "b")) in
+      check_int ~what:"nlink" 1 st.Types.st_nlink);
+
+  t 24 quick "directory nlink accounting" (fun env ->
+      let* st0 = req "stat base" (Kernel.stat env.k env.root env.base) in
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d1") ~mode:0o755) in
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d2") ~mode:0o755) in
+      let* st1 = req "stat base" (Kernel.stat env.k env.root env.base) in
+      let* () = check_int ~what:"nlink after 2 mkdir" (st0.Types.st_nlink + 2) st1.Types.st_nlink in
+      let* () = req "rmdir" (Kernel.rmdir env.k env.root (p env "d2")) in
+      let* st2 = req "stat base" (Kernel.stat env.k env.root env.base) in
+      check_int ~what:"nlink after rmdir" (st0.Types.st_nlink + 1) st2.Types.st_nlink);
+
+  t 25 quick "symlink create and readlink" (fun env ->
+      let* () = req "symlink" (Kernel.symlink env.k env.root ~target:"some/target" ~linkpath:(p env "l")) in
+      let* target = req "readlink" (Kernel.readlink env.k env.root (p env "l")) in
+      let* () = check_str ~what:"target" "some/target" target in
+      let* st = req "lstat" (Kernel.lstat env.k env.root (p env "l")) in
+      check (st.Types.st_kind = Types.Symlink) "lstat kind");
+
+  t 26 quick "dangling symlink: stat ENOENT, lstat ok" (fun env ->
+      let* () = req "symlink" (Kernel.symlink env.k env.root ~target:(p env "missing") ~linkpath:(p env "l")) in
+      let* () = expect_errno ~what:"stat" Errno.ENOENT (Kernel.stat env.k env.root (p env "l")) in
+      let* _ = req "lstat" (Kernel.lstat env.k env.root (p env "l")) in
+      Ok ());
+
+  t 27 quick "symlink loops are ELOOP" (fun env ->
+      let* () = req "symlink a" (Kernel.symlink env.k env.root ~target:(p env "b") ~linkpath:(p env "a")) in
+      let* () = req "symlink b" (Kernel.symlink env.k env.root ~target:(p env "a") ~linkpath:(p env "b")) in
+      expect_errno ~what:"stat loop" Errno.ELOOP (Kernel.stat env.k env.root (p env "a/x")));
+
+  t 28 quick "relative symlink resolution" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "d") ~mode:0o755) in
+      let* () = write_file env env.root (p env "d/real") "via-rel" in
+      let* () = req "symlink" (Kernel.symlink env.k env.root ~target:"real" ~linkpath:(p env "d/alias")) in
+      let* data = read_file env env.root (p env "d/alias") in
+      check_str ~what:"content" "via-rel" data);
+]

@@ -1,0 +1,197 @@
+(* generic group: permissions, ownership, mode bits, xattrs, ACLs. *)
+
+open Repro_util
+open Repro_vfs
+open Repro_os
+open Harness
+
+let p env rel = env.base ^ "/" ^ rel
+
+let t id groups desc run = { t_id = id; t_groups = groups; t_desc = desc; t_run = run }
+
+let quick = [ "auto"; "quick" ]
+
+let tests = [
+  t 60 quick "chmod changes the mode" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* () = req "chmod" (Kernel.chmod env.k env.root (p env "f") 0o640) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      check_int ~what:"mode" 0o640 st.Types.st_mode);
+
+  t 61 quick "chmod by non-owner is EPERM" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      expect_errno ~what:"chmod" Errno.EPERM (Kernel.chmod env.k env.user (p env "f") 0o777));
+
+  t 62 quick "access(2) honours mode bits" (fun env ->
+      let* () = write_file env env.root (p env "f") ~mode:0o640 "x" in
+      let* () = req "root r" (Kernel.access env.k env.root (p env "f") Types.r_ok) in
+      let* () = expect_errno ~what:"user r" Errno.EACCES (Kernel.access env.k env.user (p env "f") Types.r_ok) in
+      let* () = req "chmod 644" (Kernel.chmod env.k env.root (p env "f") 0o644) in
+      let* () = req "user r now" (Kernel.access env.k env.user (p env "f") Types.r_ok) in
+      expect_errno ~what:"user w" Errno.EACCES (Kernel.access env.k env.user (p env "f") Types.w_ok));
+
+  t 63 quick "0700 directory blocks other users" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "priv") ~mode:0o700) in
+      let* () = write_file env env.root (p env "priv/secret") "s" in
+      let* () = expect_errno ~what:"user lookup" Errno.EACCES (Kernel.stat env.k env.user (p env "priv/secret")) in
+      let* () =
+        expect_errno ~what:"user create" Errno.EACCES
+          (Kernel.open_ env.k env.user (p env "priv/new") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644)
+      in
+      expect_errno ~what:"user readdir" Errno.EACCES (Kernel.readdir env.k env.user (p env "priv")));
+
+  t 64 quick "open for write requires w permission" (fun env ->
+      let* () = write_file env env.root (p env "f") ~mode:0o644 "x" in
+      let* fd = req "user open r" (Kernel.open_ env.k env.user (p env "f") [ Types.O_RDONLY ] ~mode:0) in
+      let* () = req "close" (Kernel.close env.k env.user fd) in
+      expect_errno ~what:"user open w" Errno.EACCES
+        (Kernel.open_ env.k env.user (p env "f") [ Types.O_WRONLY ] ~mode:0));
+
+  t 65 quick "sticky directory restricts deletion" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "shared") ~mode:0o777) in
+      let* () = req "chmod sticky" (Kernel.chmod env.k env.root (p env "shared") 0o1777) in
+      let* fd =
+        req "user creates"
+          (Kernel.open_ env.k env.user (p env "shared/mine") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644)
+      in
+      let* () = req "close" (Kernel.close env.k env.user fd) in
+      let* () =
+        expect_errno ~what:"user2 unlink" Errno.EPERM (Kernel.unlink env.k env.user2 (p env "shared/mine"))
+      in
+      req "owner unlink" (Kernel.unlink env.k env.user (p env "shared/mine")));
+
+  t 66 quick "write by owner clears setuid" (fun env ->
+      let* fd =
+        req "user create"
+          (Kernel.open_ env.k env.user (p env "suid") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644)
+      in
+      let* () = req "close" (Kernel.close env.k env.user fd) in
+      let* () = req "chmod 4755" (Kernel.chmod env.k env.user (p env "suid") 0o4755) in
+      let* fd = req "reopen" (Kernel.open_ env.k env.user (p env "suid") [ Types.O_WRONLY ] ~mode:0) in
+      let* _ = req "write" (Kernel.write env.k env.user fd "data") in
+      let* () = req "close" (Kernel.close env.k env.user fd) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "suid")) in
+      check (st.Types.st_mode land Types.s_isuid = 0) "setuid bit not cleared by write");
+
+  t 67 quick "new files inherit gid from setgid directory" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "sg") ~mode:0o777) in
+      let* () = req "chown" (Kernel.chown env.k env.root (p env "sg") ~uid:None ~gid:(Some 5000)) in
+      let* () = req "chmod 2777" (Kernel.chmod env.k env.root (p env "sg") 0o2777) in
+      let* fd =
+        req "user create"
+          (Kernel.open_ env.k env.user (p env "sg/f") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644)
+      in
+      let* () = req "close" (Kernel.close env.k env.user fd) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "sg/f")) in
+      check_int ~what:"inherited gid" 5000 st.Types.st_gid);
+
+  t 68 quick "subdirectories inherit the setgid bit" (fun env ->
+      let* () = req "mkdir" (Kernel.mkdir env.k env.root (p env "sg") ~mode:0o777) in
+      let* () = req "chown" (Kernel.chown env.k env.root (p env "sg") ~uid:None ~gid:(Some 5000)) in
+      let* () = req "chmod 2777" (Kernel.chmod env.k env.root (p env "sg") 0o2777) in
+      let* () = req "user mkdir" (Kernel.mkdir env.k env.user (p env "sg/sub") ~mode:0o755) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "sg/sub")) in
+      let* () = check (st.Types.st_mode land Types.s_isgid <> 0) "setgid not inherited" in
+      check_int ~what:"gid" 5000 st.Types.st_gid);
+
+  t 69 quick "chown requires privilege" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* () =
+        expect_errno ~what:"user chown" Errno.EPERM
+          (Kernel.chown env.k env.user (p env "f") ~uid:(Some 1000) ~gid:None)
+      in
+      let* () = req "root chown" (Kernel.chown env.k env.root (p env "f") ~uid:(Some 1000) ~gid:(Some 1000)) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      let* () = check_int ~what:"uid" 1000 st.Types.st_uid in
+      check_int ~what:"gid" 1000 st.Types.st_gid);
+
+  t 70 quick "unprivileged chown clears setuid/setgid" (fun env ->
+      let* fd =
+        req "user create"
+          (Kernel.open_ env.k env.user (p env "f") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644)
+      in
+      let* () = req "close" (Kernel.close env.k env.user fd) in
+      let* () = req "chmod 6755" (Kernel.chmod env.k env.user (p env "f") 0o6755) in
+      (* owner changes the group to their own group: allowed, clears bits *)
+      let* () = req "user chgrp" (Kernel.chown env.k env.user (p env "f") ~uid:None ~gid:(Some 1000)) in
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      check (st.Types.st_mode land (Types.s_isuid lor Types.s_isgid) = 0) "suid/sgid not cleared by chown");
+
+  t 71 quick "umask masks creation mode" (fun env ->
+      env.user.Proc.umask <- 0o077;
+      let* fd =
+        req "create" (Kernel.open_ env.k env.user (p env "f") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o666)
+      in
+      let* () = req "close" (Kernel.close env.k env.user fd) in
+      env.user.Proc.umask <- 0o022;
+      let* st = req "stat" (Kernel.stat env.k env.root (p env "f")) in
+      check_int ~what:"mode" 0o600 st.Types.st_mode);
+
+  t 72 quick "exec requires the x bit" (fun env ->
+      let* () = write_file env env.root (p env "prog") ~mode:0o755 (Binfmt.make ~prog:"xfs-probe" ()) in
+      let* code = req "exec" (Kernel.exec env.k env.user (p env "prog") [ "prog" ]) in
+      let* () = check_int ~what:"exit code" 0 code in
+      let* () = req "chmod -x" (Kernel.chmod env.k env.root (p env "prog") 0o644) in
+      expect_errno ~what:"exec without x" Errno.EACCES (Kernel.exec env.k env.user (p env "prog") [ "prog" ]));
+
+  t 73 quick "truncate requires write permission" (fun env ->
+      let* () = write_file env env.root (p env "f") ~mode:0o644 "data" in
+      let* () = expect_errno ~what:"user truncate" Errno.EACCES (Kernel.truncate env.k env.user (p env "f") 0) in
+      let* () = req "chmod 666" (Kernel.chmod env.k env.root (p env "f") 0o666) in
+      req "user truncate now" (Kernel.truncate env.k env.user (p env "f") 0));
+
+  (* --- xattrs -------------------------------------------------------------- *)
+
+  t 74 quick "xattr set/get/list/remove" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* () = req "setxattr" (Kernel.setxattr env.k env.root (p env "f") "user.alpha" "1") in
+      let* () = req "setxattr" (Kernel.setxattr env.k env.root (p env "f") "user.beta" "2") in
+      let* v = req "getxattr" (Kernel.getxattr env.k env.root (p env "f") "user.alpha") in
+      let* () = check_str ~what:"value" "1" v in
+      let* names = req "listxattr" (Kernel.listxattr env.k env.root (p env "f")) in
+      let* () = check (names = [ "user.alpha"; "user.beta" ]) "list" in
+      let* () = req "removexattr" (Kernel.removexattr env.k env.root (p env "f") "user.alpha") in
+      expect_errno ~what:"get removed" Errno.ENODATA (Kernel.getxattr env.k env.root (p env "f") "user.alpha"));
+
+  t 75 quick "missing xattr is ENODATA" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* () = expect_errno ~what:"get" Errno.ENODATA (Kernel.getxattr env.k env.root (p env "f") "user.none") in
+      expect_errno ~what:"remove" Errno.ENODATA (Kernel.removexattr env.k env.root (p env "f") "user.none"));
+
+  t 76 quick "xattr value can be overwritten" (fun env ->
+      let* () = write_file env env.root (p env "f") "x" in
+      let* () = req "set v1" (Kernel.setxattr env.k env.root (p env "f") "user.k" "v1") in
+      let* () = req "set v2" (Kernel.setxattr env.k env.root (p env "f") "user.k" "v2") in
+      let* v = req "get" (Kernel.getxattr env.k env.root (p env "f") "user.k") in
+      check_str ~what:"overwritten" "v2" v);
+
+  t 77 quick "user.* xattr needs ownership" (fun env ->
+      let* () = write_file env env.root (p env "f") ~mode:0o666 "x" in
+      expect_errno ~what:"user setxattr on root file" Errno.EPERM
+        (Kernel.setxattr env.k env.user (p env "f") "user.mine" "v"));
+
+  t 78 quick "trusted.* xattr needs privilege" (fun env ->
+      let* fd =
+        req "user create"
+          (Kernel.open_ env.k env.user (p env "f") [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644)
+      in
+      let* () = req "close" (Kernel.close env.k env.user fd) in
+      let* () =
+        expect_errno ~what:"user trusted" Errno.EPERM
+          (Kernel.setxattr env.k env.user (p env "f") "trusted.overlay" "v")
+      in
+      req "root trusted" (Kernel.setxattr env.k env.root (p env "f") "trusted.overlay" "v"));
+
+  t 79 quick "ACL mask narrows named-user access" (fun env ->
+      let* () = write_file env env.root (p env "f") ~mode:0o600 "secret" in
+      (* grant user 1000 read via ACL, matching mode group bits as mask *)
+      let* () =
+        req "set acl"
+          (Kernel.setxattr env.k env.root (p env "f") "system.posix_acl_access"
+             "u::rw-,u:1000:r--,g::---,m::r--,o::---")
+      in
+      let* () = req "chmod to reflect mask" (Kernel.chmod env.k env.root (p env "f") 0o640) in
+      let* () = req "user access via acl" (Kernel.access env.k env.user (p env "f") Types.r_ok) in
+      (* user2 is not in the ACL *)
+      expect_errno ~what:"user2 denied" Errno.EACCES (Kernel.access env.k env.user2 (p env "f") Types.r_ok));
+]

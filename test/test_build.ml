@@ -1,0 +1,151 @@
+(* Tests for the Dockerfile-style builder: layered assembly, RUN diffs with
+   whiteouts, and the full loop — build a custom image, run it, slim it,
+   attach to it with CNTR. *)
+
+open Repro_util
+open Repro_os
+open Repro_image
+open Repro_runtime
+open Repro_cntr
+
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let ok = Errno.ok_exn
+
+let ok' = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected errno %s" (Errno.to_string e)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let boot () = Testbed.create ()
+
+let build world name instrs =
+  Builder.build ~kernel:world.World.kernel ~registry:world.World.registry ~name instrs
+
+let test_scratch_build () =
+  let world = boot () in
+  let image =
+    ok'
+      (build world "minimal"
+         [
+           Builder.From "scratch";
+           Builder.Mkdir "/app";
+           Builder.Copy { dst = "/app/config"; mode = 0o644; content = Content.Literal "key=value" };
+           Builder.Env ("MODE", "prod");
+           Builder.Entrypoint [ "/app/run" ];
+         ])
+  in
+  check_s "name" "minimal:latest" (Image.ref_ image);
+  check_b "has config" true (List.mem "/app/config" (Image.effective_paths image));
+  check_b "env" true (List.mem_assoc "MODE" image.Image.config.Image.env);
+  Alcotest.(check (list string)) "entrypoint" [ "/app/run" ] image.Image.config.Image.entrypoint
+
+let test_from_base () =
+  let world = boot () in
+  let image =
+    ok'
+      (build world "derived"
+         [
+           Builder.From "redis:latest";
+           Builder.Copy { dst = "/etc/extra.conf"; mode = 0o644; content = Content.Literal "x" };
+         ])
+  in
+  (* the base's content plus the new file *)
+  check_b "base binary present" true (List.mem "/usr/sbin/redis" (Image.effective_paths image));
+  check_b "new file present" true (List.mem "/etc/extra.conf" (Image.effective_paths image));
+  check_b "base config inherited" true (image.Image.config.Image.entrypoint <> [])
+
+let test_run_captures_diff () =
+  let world = boot () in
+  let image =
+    ok'
+      (build world "ran"
+         [
+           Builder.From "redis:latest";
+           Builder.Run "echo generated-at-build > /etc/build-stamp";
+           Builder.Run "rm /etc/os-release";
+         ])
+  in
+  let paths = Image.effective_paths image in
+  check_b "RUN created a file" true (List.mem "/etc/build-stamp" paths);
+  check_b "RUN rm produced a whiteout" false (List.mem "/etc/os-release" paths);
+  (* materialize and verify content *)
+  let c = ok (Engine.run (World.docker world) ~name:"ran-c" image) in
+  let content = ok (Kernel.read_whole world.World.kernel c.Container.ct_main "/etc/build-stamp") in
+  check_s "content" "generated-at-build\n" content;
+  check_b "os-release gone" true
+    (Kernel.stat world.World.kernel c.Container.ct_main "/etc/os-release" = Error Errno.ENOENT)
+
+let test_failing_run_aborts () =
+  let world = boot () in
+  check_b "failing RUN" true
+    (build world "bad" [ Builder.From "redis:latest"; Builder.Run "false" ] = Error Errno.EIO)
+
+let test_misplaced_from () =
+  let world = boot () in
+  check_b "second FROM rejected" true
+    (build world "bad2" [ Builder.From "redis:latest"; Builder.From "nginx:latest" ]
+    = Error Errno.EINVAL)
+
+let test_unknown_base () =
+  let world = boot () in
+  check_b "unknown base" true
+    (build world "bad3" [ Builder.From "no-such:latest" ] = Error Errno.ENOENT)
+
+(* the full loop: build a custom service image, run it, attach with cntr *)
+let test_build_run_attach () =
+  let world = boot () in
+  Kernel.register_program world.World.kernel "myservice" (fun k p _args ->
+      let fd =
+        ok
+          (Kernel.open_ k p "/var/run/service.pid"
+             [ Repro_vfs.Types.O_CREAT; Repro_vfs.Types.O_WRONLY ] ~mode:0o644)
+      in
+      ignore (ok (Kernel.write k p fd (string_of_int p.Proc.pid)));
+      ok (Kernel.close k p fd);
+      0);
+  let image =
+    ok'
+      (build world "myservice"
+         [
+           Builder.From "redis:latest";
+           Builder.Mkdir "/srv";
+           Builder.Copy
+             { dst = "/srv/myservice"; mode = 0o755; content = Content.Binary { prog = "myservice"; size = 4096 } };
+           Builder.Run "echo configured > /srv/state";
+           Builder.Entrypoint [ "/srv/myservice" ];
+         ])
+  in
+  Registry.push world.World.registry image;
+  let _c =
+    ok (World.run_container world ~engine:(World.docker world) ~name:"svc" ~image_ref:"myservice:latest" ())
+  in
+  let session = ok (Testbed.attach world "svc") in
+  let _code, out = Attach.run session "cat /var/lib/cntr/srv/state" in
+  check_b "built state visible through cntr" true (contains ~needle:"configured" out);
+  let _code, out = Attach.run session "cat /var/lib/cntr/var/run/service.pid" in
+  check_b "service wrote its pid" true (String.length (String.trim out) > 0);
+  check_i "report mentions requests" 0
+    (if contains ~needle:"requests" (Attach.report session) then 0 else 1);
+  Attach.detach session
+
+let () =
+  Alcotest.run "build"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "scratch build" `Quick test_scratch_build;
+          Alcotest.test_case "from base" `Quick test_from_base;
+          Alcotest.test_case "RUN diff + whiteout" `Quick test_run_captures_diff;
+          Alcotest.test_case "failing RUN aborts" `Quick test_failing_run_aborts;
+          Alcotest.test_case "misplaced FROM" `Quick test_misplaced_from;
+          Alcotest.test_case "unknown base" `Quick test_unknown_base;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "build, run, attach" `Quick test_build_run_attach ] );
+    ]

@@ -1,0 +1,183 @@
+(* Failure injection: what happens when parts of the CNTR machinery die or
+   are misused — the server disappears mid-session, the target container
+   stops, mounts are busy, detach is repeated.  The system must fail with
+   meaningful errnos and never corrupt the application container. *)
+
+open Repro_util
+open Repro_vfs
+open Repro_os
+open Repro_fuse
+open Repro_runtime
+open Repro_cntr
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+let ok = Errno.ok_exn
+
+let errno = Alcotest.testable Errno.pp ( = )
+
+let check_err expected = function
+  | Ok _ -> Alcotest.failf "expected %s, got Ok" (Errno.to_string expected)
+  | Error e -> Alcotest.check errno "errno" expected e
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let boot_with_app () =
+  let world = Testbed.create () in
+  let app =
+    ok (World.run_container world ~engine:(World.docker world) ~name:"web" ~image_ref:"nginx:latest" ())
+  in
+  (world, app)
+
+(* --- server death ----------------------------------------------------------- *)
+
+let test_server_death_gives_enotconn () =
+  let world, _app = boot_with_app () in
+  let session = ok (Testbed.attach world "web") in
+  let code, _ = Attach.run session "which gdb" in
+  check_i "alive before" 0 code;
+  (* the CntrFS server crashes: stop serving *)
+  session.Attach.sn_conn.Conn.serving <- false;
+  let code, out = Attach.run session "cat /etc/passwd" in
+  check_b "command fails, not hangs" true (code <> 0);
+  check_b "reports an error" true (String.length out > 0);
+  (* the app container itself keeps working on its own fs *)
+  let content = ok (Kernel.read_whole world.World.kernel _app.Container.ct_main "/etc/nginx.conf") in
+  check_b "app unaffected" true (contains ~needle:"listen" content)
+
+let test_uninitialized_conn_refuses () =
+  let clock = Clock.create () in
+  let conn = Conn.create ~clock ~cost:Cost.default in
+  (* no handler installed at all *)
+  (match Conn.call conn Protocol.root_ctx Protocol.Statfs with
+  | Protocol.R_err Errno.ENOTCONN -> ()
+  | _ -> Alcotest.fail "expected ENOTCONN without a handler")
+
+(* --- stopped / missing containers ------------------------------------------- *)
+
+let test_attach_to_stopped_container () =
+  let world, app = boot_with_app () in
+  Container.stop ~kernel:world.World.kernel app;
+  (* a stopped container resolves to no live process *)
+  check_b "attach fails" true (Result.is_error (Testbed.attach world "web"))
+
+let test_exec_in_dead_process_namespace () =
+  let world, app = boot_with_app () in
+  let session = ok (Testbed.attach world "web") in
+  Container.stop ~kernel:world.World.kernel app;
+  (* the session's shell still exists (its own process), and its namespace
+     keeps the filesystems alive — commands still run *)
+  let code, _ = Attach.run session "which gdb" in
+  check_i "session survives app exit" 0 code;
+  Attach.detach session
+
+(* --- teardown misuse ----------------------------------------------------------- *)
+
+let test_double_detach_harmless () =
+  let world, app = boot_with_app () in
+  let session = ok (Testbed.attach world "web") in
+  Attach.detach session;
+  Attach.detach session;
+  (* still consistent *)
+  check_b "app alive" true (Container.is_running app);
+  check_b "shell dead" false session.Attach.sn_shell_proc.Proc.alive;
+  ignore world
+
+let test_detach_with_open_fds () =
+  let world, _app = boot_with_app () in
+  let session = ok (Testbed.attach world "web") in
+  let k = world.World.kernel in
+  (* leave a file open in the nested namespace, then detach *)
+  let _fd =
+    ok (Kernel.open_ k session.Attach.sn_shell_proc "/var/lib/cntr/etc/nginx.conf" [ Types.O_RDONLY ] ~mode:0)
+  in
+  Attach.detach session;
+  (* exit closed the fd; reading through the app container still works *)
+  let content = ok (Kernel.read_whole k _app.Container.ct_main "/etc/nginx.conf") in
+  check_b "file intact" true (contains ~needle:"listen" content)
+
+(* --- busy mounts ------------------------------------------------------------------ *)
+
+let test_umount_busy_with_submounts () =
+  let world = Testbed.create () in
+  let k = world.World.kernel and init = world.World.init in
+  let clock = world.World.clock and cost = world.World.cost in
+  ok (Kernel.mkdir k init "/m1" ~mode:0o755);
+  let fs1 = Nativefs.create ~name:"fs1" ~clock ~cost Store.Ram () in
+  ignore (ok (Kernel.mount_at k init ~fs:(Nativefs.ops fs1) "/m1"));
+  ok (Kernel.mkdir k init "/m1/sub" ~mode:0o755);
+  let fs2 = Nativefs.create ~name:"fs2" ~clock ~cost Store.Ram () in
+  ignore (ok (Kernel.mount_at k init ~fs:(Nativefs.ops fs2) "/m1/sub"));
+  check_err Errno.EBUSY (Kernel.umount k init "/m1");
+  ok (Kernel.umount k init "/m1/sub");
+  ok (Kernel.umount k init "/m1")
+
+let test_umount_root_refused () =
+  let world = Testbed.create () in
+  check_err Errno.EBUSY (Kernel.umount world.World.kernel world.World.init "/")
+
+(* --- permission failures ------------------------------------------------------------ *)
+
+let test_unprivileged_cannot_mount_or_unshare () =
+  let world = Testbed.create () in
+  let k = world.World.kernel in
+  let user = Kernel.fork k world.World.init in
+  user.Proc.cred.Proc.uid <- 1000;
+  user.Proc.cred.Proc.caps <- Caps.Set.empty;
+  let fs = Nativefs.create ~name:"x" ~clock:world.World.clock ~cost:world.World.cost Store.Ram () in
+  check_err Errno.EPERM (Kernel.mount_at k user ~fs:(Nativefs.ops fs) "/tmp");
+  check_err Errno.EPERM (Kernel.unshare k user [ Namespace.Mnt ]);
+  check_err Errno.EPERM (Kernel.chroot k user "/tmp");
+  check_err Errno.EPERM (Kernel.sethostname k user "nope")
+
+let test_engine_conventions () =
+  (* each engine applies its own id / cgroup / LSM conventions *)
+  let world = Testbed.create () in
+  let run engine_name =
+    let engine = World.engine world engine_name in
+    ok (World.run_container world ~engine ~name:("c-" ^ engine_name) ~image_ref:"redis:latest" ())
+  in
+  let d = run "docker" in
+  check_i "docker id is 64-hex" 64 (String.length d.Container.ct_id);
+  check_b "docker cgroup" true (contains ~needle:"/docker/" d.Container.ct_main.Proc.cgroup);
+  check_b "docker lsm" true (d.Container.ct_main.Proc.lsm_profile = Some "docker-default");
+  let l = run "lxc" in
+  check_b "lxc cgroup" true (contains ~needle:"/lxc/" l.Container.ct_main.Proc.cgroup);
+  let r = run "rkt" in
+  check_b "rkt machine scope" true
+    (contains ~needle:"machine-rkt-" r.Container.ct_main.Proc.cgroup);
+  check_b "rkt uuid has dashes" true (String.contains r.Container.ct_id '-');
+  let n = run "systemd-nspawn" in
+  check_b "nspawn service scope" true
+    (contains ~needle:"systemd-nspawn@" n.Container.ct_main.Proc.cgroup);
+  check_b "nspawn unconfined" true (n.Container.ct_main.Proc.lsm_profile = None)
+
+let () =
+  Alcotest.run "failures"
+    [
+      ( "server-death",
+        [
+          Alcotest.test_case "ENOTCONN after crash" `Quick test_server_death_gives_enotconn;
+          Alcotest.test_case "uninitialized conn" `Quick test_uninitialized_conn_refuses;
+        ] );
+      ( "container-lifecycle",
+        [
+          Alcotest.test_case "attach to stopped" `Quick test_attach_to_stopped_container;
+          Alcotest.test_case "session outlives app" `Quick test_exec_in_dead_process_namespace;
+          Alcotest.test_case "double detach" `Quick test_double_detach_harmless;
+          Alcotest.test_case "detach with open fds" `Quick test_detach_with_open_fds;
+        ] );
+      ( "mounts",
+        [
+          Alcotest.test_case "umount busy" `Quick test_umount_busy_with_submounts;
+          Alcotest.test_case "umount root refused" `Quick test_umount_root_refused;
+        ] );
+      ( "permissions",
+        [
+          Alcotest.test_case "unprivileged denied" `Quick test_unprivileged_cannot_mount_or_unshare;
+          Alcotest.test_case "engine conventions" `Quick test_engine_conventions;
+        ] );
+    ]

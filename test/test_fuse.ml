@@ -1,0 +1,218 @@
+(* Unit tests for the FUSE layer: connection accounting, batching, splice,
+   the background (uncharged) mode, forget coalescing and the driver's
+   caches — observed through the protocol statistics. *)
+
+open Repro_util
+open Repro_vfs
+open Repro_os
+open Repro_fuse
+open Repro_cntrfs
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+let ok = Errno.ok_exn
+
+type world = {
+  k : Kernel.t;
+  init : Proc.t;
+  session : Session.t;
+}
+
+let boot ?(opts = Opts.cntr_default) () =
+  let clock = Clock.create () in
+  let cost = Cost.default in
+  let rootfs = Nativefs.create ~name:"rootfs" ~clock ~cost Store.Ram () in
+  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) in
+  let init = Kernel.init_proc k in
+  ok (Kernel.mkdir k init "/back" ~mode:0o777);
+  ok (Kernel.mkdir k init "/mnt" ~mode:0o755);
+  let server = Kernel.fork k init in
+  let budget = Mem_budget.create ~limit_bytes:(64 * 1024 * 1024) in
+  let session = Session.create ~kernel:k ~server_proc:server ~root_path:"/back" ~opts ~budget () in
+  ignore (ok (Kernel.mount_at k init ~fs:(Session.fs session) "/mnt"));
+  { k; init; session }
+
+let kind_count w kind =
+  Option.value ~default:0 (Hashtbl.find_opt (Session.stats w.session).Conn.by_kind kind)
+
+let write_file w path data =
+  let fd = ok (Kernel.open_ w.k w.init path [ Types.O_CREAT; Types.O_WRONLY; Types.O_TRUNC ] ~mode:0o644) in
+  ignore (ok (Kernel.write w.k w.init fd data));
+  ok (Kernel.close w.k w.init fd)
+
+(* --- connection accounting -------------------------------------------------- *)
+
+let test_requests_counted_by_kind () =
+  let w = boot () in
+  write_file w "/mnt/f" "x";
+  ignore (ok (Kernel.stat w.k w.init "/mnt/f"));
+  check_b "create counted" true (kind_count w "create" >= 1);
+  check_b "lookups counted" true (kind_count w "lookup" >= 1);
+  check_b "writes counted" true (kind_count w "write" >= 1);
+  let s = Session.stats w.session in
+  check_b "bytes to server tracked" true (s.Conn.bytes_to_server > 0);
+  check_b "bytes from server tracked" true (s.Conn.bytes_from_server > 0)
+
+let test_not_serving_before_handshake () =
+  (* a fresh connection without start_serving refuses requests, like a FUSE
+     fd before the mount signal (§3.2.2) *)
+  let clock = Clock.create () in
+  let conn = Conn.create ~clock ~cost:Cost.default in
+  Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
+  (match Conn.call conn Protocol.root_ctx Protocol.Statfs with
+  | Protocol.R_err Errno.ENOTCONN -> ()
+  | _ -> Alcotest.fail "expected ENOTCONN before start_serving");
+  Conn.start_serving conn;
+  match Conn.call conn Protocol.root_ctx Protocol.Statfs with
+  | Protocol.R_ok -> ()
+  | _ -> Alcotest.fail "expected R_ok after start_serving"
+
+let test_batching_amortizes_context_switches () =
+  let clock = Clock.create () in
+  let cost = Cost.default in
+  let conn = Conn.create ~clock ~cost in
+  Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
+  Conn.start_serving conn;
+  conn.Conn.threads <- 1;
+  let t0 = Clock.now_ns clock in
+  ignore (Conn.call conn Protocol.root_ctx Protocol.Statfs);
+  let single = Int64.to_int (Int64.sub (Clock.now_ns clock) t0) in
+  let t1 = Clock.now_ns clock in
+  ignore (Conn.call conn ~batch:8 Protocol.root_ctx Protocol.Statfs);
+  let batched = Int64.to_int (Int64.sub (Clock.now_ns clock) t1) in
+  check_b "batched call cheaper" true (batched < single);
+  check_b "saves most of the context switches" true
+    (single - batched > cost.Cost.context_switch_ns)
+
+let test_background_mode_free () =
+  let clock = Clock.create () in
+  let conn = Conn.create ~clock ~cost:Cost.default in
+  Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
+  Conn.start_serving conn;
+  conn.Conn.background <- true;
+  let t0 = Clock.now_ns clock in
+  ignore (Conn.call conn Protocol.root_ctx Protocol.Statfs);
+  check_b "background call charges nothing" true (Clock.now_ns clock = t0);
+  conn.Conn.background <- false;
+  let t1 = Clock.now_ns clock in
+  ignore (Conn.call conn Protocol.root_ctx Protocol.Statfs);
+  check_b "foreground call charges" true (Clock.now_ns clock > t1)
+
+let test_splice_accounting () =
+  let w = boot () in
+  write_file w "/back/big" (String.make (256 * 1024) 'x');
+  ignore (ok (Kernel.read_whole w.k w.init "/mnt/big"));
+  let s = Session.stats w.session in
+  check_b "spliced bytes recorded (splice_read on)" true (s.Conn.spliced_bytes > 0)
+
+let test_no_splice_when_disabled () =
+  let w = boot ~opts:{ Opts.cntr_default with Opts.splice_read = false } () in
+  write_file w "/back/big" (String.make (256 * 1024) 'x');
+  ignore (ok (Kernel.read_whole w.k w.init "/mnt/big"));
+  check_i "no spliced bytes" 0 (Session.stats w.session).Conn.spliced_bytes
+
+(* --- forget batching ---------------------------------------------------------- *)
+
+let test_forget_batching () =
+  let w = boot () in
+  (* create then unlink many files: forgets queue until the batch size *)
+  for i = 0 to 99 do
+    write_file w (Printf.sprintf "/mnt/f%d" i) "x"
+  done;
+  for i = 0 to 99 do
+    ignore (ok (Kernel.unlink w.k w.init (Printf.sprintf "/mnt/f%d" i)))
+  done;
+  let forgets = kind_count w "forget" in
+  check_b "forgets sent" true (forgets >= 1);
+  check_b "forgets coalesced (100 inos, batch 64)" true (forgets <= 3)
+
+let test_forget_unbatched () =
+  let w = boot ~opts:{ Opts.cntr_default with Opts.forget_batch = 1 } () in
+  for i = 0 to 9 do
+    write_file w (Printf.sprintf "/mnt/f%d" i) "x"
+  done;
+  for i = 0 to 9 do
+    ignore (ok (Kernel.unlink w.k w.init (Printf.sprintf "/mnt/f%d" i)))
+  done;
+  check_b "one forget per ino" true (kind_count w "forget" >= 10)
+
+(* --- driver caches -------------------------------------------------------------- *)
+
+let test_entry_cache_avoids_lookups () =
+  let w = boot () in
+  write_file w "/back/f" "x";
+  ignore (ok (Kernel.stat w.k w.init "/mnt/f"));
+  let lookups1 = kind_count w "lookup" in
+  (* repeated stats resolve from the dentry cache *)
+  for _ = 1 to 10 do
+    ignore (ok (Kernel.stat w.k w.init "/mnt/f"))
+  done;
+  check_i "no further lookup requests" lookups1 (kind_count w "lookup")
+
+let test_entry_cache_disabled () =
+  let w = boot ~opts:{ Opts.cntr_default with Opts.entry_cache = false; attr_cache = false } () in
+  write_file w "/back/f" "x";
+  ignore (ok (Kernel.stat w.k w.init "/mnt/f"));
+  let lookups1 = kind_count w "lookup" in
+  ignore (ok (Kernel.stat w.k w.init "/mnt/f"));
+  check_b "every walk pays lookups" true (kind_count w "lookup" > lookups1)
+
+let test_write_coalescing () =
+  let w = boot () in
+  let fd = ok (Kernel.open_ w.k w.init "/mnt/f" [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644) in
+  (* 64 x 4 KiB sequential writes = 256 KiB -> at most a handful of WRITE
+     requests (128 KiB each) thanks to the writeback cache *)
+  for i = 0 to 63 do
+    ignore (ok (Kernel.pwrite w.k w.init fd ~off:(i * 4096) (String.make 4096 'w')))
+  done;
+  ok (Kernel.close w.k w.init fd);
+  let writes = kind_count w "write" in
+  check_b (Printf.sprintf "writes coalesced (%d requests for 64 calls)" writes) true (writes <= 4)
+
+let test_write_through_no_coalescing () =
+  let w = boot ~opts:{ Opts.cntr_default with Opts.writeback = false } () in
+  let fd = ok (Kernel.open_ w.k w.init "/mnt/f" [ Types.O_CREAT; Types.O_WRONLY ] ~mode:0o644) in
+  for i = 0 to 15 do
+    ignore (ok (Kernel.pwrite w.k w.init fd ~off:(i * 4096) (String.make 4096 'w')))
+  done;
+  ok (Kernel.close w.k w.init fd);
+  check_b "one WRITE per call" true (kind_count w "write" >= 16)
+
+let test_server_lookup_tax_counted () =
+  let w = boot () in
+  for i = 0 to 9 do
+    write_file w (Printf.sprintf "/back/s%d" i) "x"
+  done;
+  let before = Server.lookups_performed w.session.Session.server in
+  for i = 0 to 9 do
+    ignore (ok (Kernel.stat w.k w.init (Printf.sprintf "/mnt/s%d" i)))
+  done;
+  check_b "server-side open()+stat() per cold lookup" true
+    (Server.lookups_performed w.session.Session.server - before >= 10)
+
+let () =
+  Alcotest.run "fuse"
+    [
+      ( "connection",
+        [
+          Alcotest.test_case "requests by kind" `Quick test_requests_counted_by_kind;
+          Alcotest.test_case "handshake gate" `Quick test_not_serving_before_handshake;
+          Alcotest.test_case "batching amortizes" `Quick test_batching_amortizes_context_switches;
+          Alcotest.test_case "background mode free" `Quick test_background_mode_free;
+          Alcotest.test_case "splice accounting" `Quick test_splice_accounting;
+          Alcotest.test_case "splice disabled" `Quick test_no_splice_when_disabled;
+        ] );
+      ( "forgets",
+        [
+          Alcotest.test_case "batched" `Quick test_forget_batching;
+          Alcotest.test_case "unbatched" `Quick test_forget_unbatched;
+        ] );
+      ( "caches",
+        [
+          Alcotest.test_case "entry cache" `Quick test_entry_cache_avoids_lookups;
+          Alcotest.test_case "entry cache disabled" `Quick test_entry_cache_disabled;
+          Alcotest.test_case "write coalescing" `Quick test_write_coalescing;
+          Alcotest.test_case "write-through" `Quick test_write_through_no_coalescing;
+          Alcotest.test_case "server lookup tax" `Quick test_server_lookup_tax_counted;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* Tests for the interactive layer: shell parsing/semantics, the toolbox
+   programs, pseudo-TTY plumbing, and the §7 nested-container attach
+   (cntr launched from inside a privileged container). *)
+
+open Repro_util
+open Repro_os
+open Repro_runtime
+open Repro_cntr
+
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let ok = Errno.ok_exn
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* --- tokenizer ------------------------------------------------------------- *)
+
+let test_tokenize () =
+  Alcotest.(check (list string)) "plain" [ "ls"; "-l"; "/tmp" ] (Shell.tokenize "ls -l /tmp");
+  Alcotest.(check (list string)) "quotes" [ "echo"; "hello world"; "x" ] (Shell.tokenize {|echo "hello world" x|});
+  Alcotest.(check (list string)) "empty" [] (Shell.tokenize "   ");
+  Alcotest.(check (list string)) "tabs" [ "a"; "b" ] (Shell.tokenize "a\tb")
+
+let test_parse_redirect () =
+  let toks, r = Shell.parse_redirect [ "echo"; "hi"; ">"; "/tmp/f" ] in
+  Alcotest.(check (list string)) "cmd" [ "echo"; "hi" ] toks;
+  check_b "truncate" true (r = Shell.Truncate "/tmp/f");
+  let _toks, r = Shell.parse_redirect [ "echo"; "hi"; ">>"; "/tmp/f" ] in
+  check_b "append" true (r = Shell.Append "/tmp/f");
+  let toks, r = Shell.parse_redirect [ "ls" ] in
+  Alcotest.(check (list string)) "no redirect" [ "ls" ] toks;
+  check_b "none" true (r = Shell.No_redirect)
+
+(* --- a world with a shell ---------------------------------------------------- *)
+
+let boot_shell () =
+  let world = Testbed.create () in
+  let proc = Kernel.fork world.World.kernel world.World.init in
+  let tty = Tty.attach world.World.kernel proc in
+  let run cmd =
+    let code = Result.value ~default:126 (Shell.eval world.World.kernel proc cmd) in
+    (code, Tty.read_output tty)
+  in
+  (world, proc, tty, run)
+
+let test_builtins () =
+  let _w, proc, _tty, run = boot_shell () in
+  let code, _ = run "cd /etc" in
+  check_i "cd ok" 0 code;
+  let code, out = run "doesnotexist" in
+  check_i "127 for unknown" 127 code;
+  check_b "message" true (contains ~needle:"command not found" out);
+  let code, _ = run "export FOO=bar BAZ=qux" in
+  check_i "export ok" 0 code;
+  check_s "env set" "bar" (Option.get (Proc.getenv proc "FOO"));
+  let code, _ = run "true" in
+  check_i "true" 0 code;
+  let code, _ = run "false" in
+  check_i "false" 1 code;
+  let code, _ = run "# a comment" in
+  check_i "comment ignored" 0 code;
+  let code, _ = run "" in
+  check_i "empty line" 0 code
+
+let test_path_resolution () =
+  let world, proc, _tty, run = boot_shell () in
+  ignore world;
+  let code, out = run "which ls" in
+  check_i "which ok" 0 code;
+  check_s "resolved in PATH" "/usr/bin/ls\n" out;
+  Proc.setenv proc "PATH" "/nonexistent";
+  let code, _ = run "ls" in
+  check_i "not found without PATH" 127 code;
+  (* absolute path still works *)
+  let code, _ = run "/usr/bin/ls /" in
+  check_i "absolute path" 0 code
+
+let test_redirects_via_shell () =
+  let world, _proc, _tty, run = boot_shell () in
+  let code, out = run "echo first > /tmp/log" in
+  check_i "redirect ok" 0 code;
+  check_s "no stdout leak" "" out;
+  let code, _ = run "echo second >> /tmp/log" in
+  check_i "append ok" 0 code;
+  let content = ok (Kernel.read_whole world.World.kernel world.World.init "/tmp/log") in
+  check_s "both lines" "first\nsecond\n" content
+
+let test_scripts () =
+  let world, proc, _tty, run = boot_shell () in
+  let k = world.World.kernel in
+  let script = "#!/bin/sh\nexport MODE=test\necho running > /tmp/script.out\n" in
+  let fd = ok (Kernel.open_ k world.World.init "/usr/bin/myscript" [ Repro_vfs.Types.O_CREAT; Repro_vfs.Types.O_WRONLY ] ~mode:0o755) in
+  ignore (ok (Kernel.write k world.World.init fd script));
+  ok (Kernel.close k world.World.init fd);
+  let code, _ = run "myscript" in
+  check_i "script exit" 0 code;
+  check_s "script side effect" "running\n" (ok (Kernel.read_whole k world.World.init "/tmp/script.out"));
+  check_s "script env applied" "test" (Option.get (Proc.getenv proc "MODE"))
+
+(* --- toolbox programs --------------------------------------------------------- *)
+
+let test_toolbox_outputs () =
+  let world, _proc, _tty, run = boot_shell () in
+  ignore world;
+  let _c, out = run "echo a b c" in
+  check_s "echo" "a b c\n" out;
+  let _c, out = run "id" in
+  check_b "id" true (contains ~needle:"uid=0" out);
+  let _c, out = run "hostname" in
+  check_s "hostname" "host\n" out;
+  let _c, out = run "ls /etc" in
+  check_b "ls lists" true (contains ~needle:"passwd" out);
+  let _c, out = run "stat /etc/passwd" in
+  check_b "stat shows size" true (contains ~needle:"Size:" out);
+  let _c, out = run "grep root /etc/passwd" in
+  check_b "grep finds" true (contains ~needle:"root" out);
+  let code, _ = run "grep zebra /etc/passwd" in
+  check_i "grep miss exit 1" 1 code;
+  let _c, out = run "cat /etc/hostname /etc/resolv.conf" in
+  check_b "cat concatenates" true (contains ~needle:"host" out && contains ~needle:"nameserver" out);
+  let _c, out = run "find /home" in
+  check_b "find prints root" true (contains ~needle:"/home" out);
+  let _c, out = run "du /etc" in
+  check_b "du prints total" true (contains ~needle:"/etc" out);
+  let _c, out = run "ps" in
+  check_b "ps header" true (contains ~needle:"PID COMMAND" out)
+
+let test_pipelines () =
+  let world, _proc, _tty, run = boot_shell () in
+  ignore world;
+  (* cat | grep *)
+  let code, out = run "cat /etc/passwd | grep root" in
+  check_i "pipeline exit" 0 code;
+  check_b "filtered" true (contains ~needle:"root" out);
+  (* three stages with sort/uniq/head *)
+  let _ = run "echo b > /tmp/l" in
+  let _ = run "echo a >> /tmp/l" in
+  let _ = run "echo b >> /tmp/l" in
+  let _c, out = run "cat /tmp/l | sort | uniq" in
+  check_s "sort|uniq" "a\nb\n" out;
+  let _c, out = run "ls /etc | wc -l" in
+  check_b "count lines" true (int_of_string (String.trim out) > 3);
+  let _c, out = run "cat /etc/passwd | head -n 1 | wc -l" in
+  check_s "head cap" "1\n" out;
+  (* pipeline into a redirect *)
+  let code, _ = run "cat /etc/passwd | grep root > /tmp/roots" in
+  check_i "pipe+redirect" 0 code;
+  let content = ok (Kernel.read_whole world.World.kernel world.World.init "/tmp/roots") in
+  check_b "written" true (contains ~needle:"root" content);
+  (* grep miss still reports failure through the pipe *)
+  let code, _ = run "cat /etc/passwd | grep zebra" in
+  check_i "miss exit code" 1 code
+
+let test_var_expansion () =
+  let _world, proc, _tty, run = boot_shell () in
+  Proc.setenv proc "TARGET" "/etc/hostname";
+  let _c, out = run "cat $TARGET" in
+  check_b "expanded" true (contains ~needle:"host" out);
+  let _c, out = run "echo ${TARGET}.bak" in
+  check_s "braced" "/etc/hostname.bak\n" out;
+  let _c, out = run "echo $UNDEFINED_VAR" in
+  check_s "undefined empty" "\n" out;
+  let _c, out = run "echo $$" in
+  check_s "lone dollars literal" "$$\n" out
+
+let test_tty_input_channel () =
+  let world, proc, tty, _run = boot_shell () in
+  ignore (world, proc);
+  check_i "send input" 5 (Tty.send_input tty "gdb\nx");
+  check_b "input line readable" true (Tty.input_line tty <> None);
+  check_b "drained" true (Tty.input_line tty = None)
+
+(* --- nested attach (§7 future work) ------------------------------------------- *)
+
+let test_nested_attach_from_container () =
+  let world = Testbed.create () in
+  let docker = World.docker world in
+  let _web = ok (World.run_container world ~engine:docker ~name:"web" ~image_ref:"nginx:latest" ()) in
+  let admin =
+    ok
+      (World.run_container world ~engine:docker ~name:"admin"
+         ~image_ref:"cntr/debug-tools:latest" ~privileged:true ())
+  in
+  (* a shell inside the privileged admin container launches cntr *)
+  let launcher = Kernel.fork world.World.kernel admin.Container.ct_main in
+  let session = ok (Testbed.attach world ~from:launcher "web") in
+  (* the tools side is the admin container's own filesystem *)
+  let code, out = Attach.run session "which gdb" in
+  check_i "gdb from admin container" 0 code;
+  check_s "path" "/usr/bin/gdb\n" out;
+  (* the target app's filesystem is present *)
+  let code, _ = Attach.run session "stat /var/lib/cntr/etc/nginx.conf" in
+  check_i "app fs bound" 0 code;
+  (* context captured across containers (host pidns made the target's /proc
+     visible to the privileged launcher) *)
+  check_i "right target" (Container.pid _web) (Attach.context session).Context.cx_pid;
+  Attach.detach session
+
+let test_nested_attach_unprivileged_fails () =
+  let world = Testbed.create () in
+  let docker = World.docker world in
+  let _web = ok (World.run_container world ~engine:docker ~name:"web" ~image_ref:"nginx:latest" ()) in
+  let plain =
+    ok (World.run_container world ~engine:docker ~name:"plain" ~image_ref:"redis:latest" ())
+  in
+  let launcher = Kernel.fork world.World.kernel plain.Container.ct_main in
+  (* an unprivileged container cannot see the target's /proc, and lacks
+     CAP_SYS_ADMIN for setns *)
+  check_b "attach denied" true (Result.is_error (Testbed.attach world ~from:launcher "web"))
+
+let () =
+  Alcotest.run "shell"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "tokenize" `Quick test_tokenize;
+          Alcotest.test_case "redirect parse" `Quick test_parse_redirect;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "builtins" `Quick test_builtins;
+          Alcotest.test_case "PATH resolution" `Quick test_path_resolution;
+          Alcotest.test_case "redirects" `Quick test_redirects_via_shell;
+          Alcotest.test_case "scripts" `Quick test_scripts;
+        ] );
+      ( "toolbox",
+        [
+          Alcotest.test_case "program outputs" `Quick test_toolbox_outputs;
+          Alcotest.test_case "pipelines" `Quick test_pipelines;
+          Alcotest.test_case "var expansion" `Quick test_var_expansion;
+          Alcotest.test_case "tty input" `Quick test_tty_input_channel;
+        ] );
+      ( "nested-attach",
+        [
+          Alcotest.test_case "from privileged container" `Quick test_nested_attach_from_container;
+          Alcotest.test_case "unprivileged denied" `Quick test_nested_attach_unprivileged_fails;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* Tests for the Docker-Slim pipeline: fanotify recording, keep-set
+   closure, slim-image construction, validation, and the Figure 5 dataset
+   shape (mean 66.6 %, 6/50 below 10 %, most mass in 60-97 %). *)
+
+open Repro_util
+open Repro_image
+open Repro_runtime
+open Repro_cntr
+open Repro_slim
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+let ok' = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected errno %s" (Errno.to_string e)
+
+let nginx world =
+  match Registry.find world.World.registry "nginx:latest" with
+  | Some i -> i
+  | None -> Alcotest.fail "catalogue missing nginx"
+
+let test_recorder_tracks_accesses () =
+  let world = Testbed.create () in
+  let image = nginx world in
+  let report = ok' (Slimmer.analyze ~world image) in
+  (* the binary, config and manifest must be in the keep set *)
+  check_b "binary kept" true (List.mem "/usr/sbin/nginx" report.Slimmer.r_kept_paths);
+  check_b "config kept" true (List.mem "/etc/nginx.conf" report.Slimmer.r_kept_paths);
+  check_b "manifest kept" true (List.mem "/etc/app.manifest" report.Slimmer.r_kept_paths);
+  (* cold data must not be *)
+  check_b "ballast dropped" false
+    (List.exists (fun p -> Pathx.is_under ~dir:"/usr/share/doc" p && p <> "/usr/share/doc")
+       report.Slimmer.r_kept_paths)
+
+let test_closure_includes_parents () =
+  let keep = Slimmer.closure [ "/usr/share/nginx/hot.dat" ] in
+  check_b "file" true (Hashtbl.mem keep "/usr/share/nginx/hot.dat");
+  check_b "parent" true (Hashtbl.mem keep "/usr/share/nginx");
+  check_b "grandparent" true (Hashtbl.mem keep "/usr/share");
+  check_b "always-keep passwd" true (Hashtbl.mem keep "/etc/passwd")
+
+let test_slim_image_smaller_and_valid () =
+  let world = Testbed.create () in
+  let image = nginx world in
+  let report, slim_image = ok' (Slimmer.slim ~world image) in
+  check_b "smaller" true (report.Slimmer.r_slim_bytes < report.Slimmer.r_original_bytes);
+  check_b "reduction substantial" true (report.Slimmer.r_reduction > 0.5);
+  check_b "fewer files" true (report.Slimmer.r_slim_files < report.Slimmer.r_original_files);
+  (* the slimmed container still runs its entrypoint successfully *)
+  check_b "slim image still works" true (ok' (Slimmer.validate ~world slim_image))
+
+let test_go_binary_low_reduction () =
+  let world = Testbed.create () in
+  let image =
+    match Registry.find world.World.registry "etcd:latest" with
+    | Some i -> i
+    | None -> Alcotest.fail "catalogue missing etcd"
+  in
+  let report = ok' (Slimmer.analyze ~world image) in
+  check_b "go image barely shrinks" true (report.Slimmer.r_reduction < 0.10)
+
+let test_figure5_dataset_shape () =
+  let world = Testbed.create () in
+  let images = Catalog.top50 () in
+  check_i "fifty images" 50 (List.length images);
+  let reports =
+    List.map
+      (fun image ->
+        match Slimmer.analyze ~world image with
+        | Ok r -> r
+        | Error e ->
+            Alcotest.failf "analyze %s failed: %s" (Image.ref_ image) (Errno.to_string e))
+      images
+  in
+  let reductions = List.map (fun r -> r.Slimmer.r_reduction *. 100.) reports in
+  let mean = Stats.mean reductions in
+  (* paper: 66.6 % average *)
+  check_b (Printf.sprintf "mean reduction ~66%% (got %.1f)" mean) true
+    (mean > 60. && mean < 73.);
+  (* paper: 6/50 images below 10 % *)
+  let below10 = List.length (List.filter (fun r -> r < 10.) reductions) in
+  check_i "six images below 10%" 6 below10;
+  (* paper: for over 75 % of containers the reduction is 60-97 % *)
+  let in_band = List.length (List.filter (fun r -> r >= 60. && r <= 97.) reductions) in
+  check_b (Printf.sprintf "75%%+ in [60,97] (got %d/50)" in_band) true (in_band * 4 >= 50 * 3)
+
+let test_registry_pull_dedup () =
+  let world = Testbed.create () in
+  let reg = world.World.registry in
+  Registry.drop_cache reg;
+  let _img, bytes1 = Result.get_ok (Registry.pull reg "nginx:latest") in
+  check_b "first pull transfers" true (bytes1 > 0);
+  (* same image again: all layers cached *)
+  let _img, bytes2 = Result.get_ok (Registry.pull reg "nginx:latest") in
+  check_i "second pull free" 0 bytes2;
+  (* a different debian-based image shares the base layer *)
+  let img3, bytes3 = Result.get_ok (Registry.pull reg "httpd:latest") in
+  check_b "base layer dedup" true (bytes3 < Image.size img3)
+
+let test_slim_deploy_time_improvement () =
+  let world = Testbed.create () in
+  let reg = world.World.registry in
+  let image = nginx world in
+  let _report, slim_image = ok' (Slimmer.slim ~world image) in
+  Registry.push reg slim_image;
+  (* deployment time = pull time; measure both cold *)
+  Registry.drop_cache reg;
+  let t0 = Clock.now_ns world.World.clock in
+  ignore (Result.get_ok (Registry.pull reg "nginx:latest"));
+  let fat_time = Int64.sub (Clock.now_ns world.World.clock) t0 in
+  Registry.drop_cache reg;
+  let t1 = Clock.now_ns world.World.clock in
+  ignore (Result.get_ok (Registry.pull reg "nginx-slim:latest"));
+  let slim_time = Int64.sub (Clock.now_ns world.World.clock) t1 in
+  check_b "slim deploys faster" true (Int64.to_int slim_time * 2 < Int64.to_int fat_time)
+
+let () =
+  Alcotest.run "slim"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "tracks accesses" `Quick test_recorder_tracks_accesses;
+          Alcotest.test_case "closure includes parents" `Quick test_closure_includes_parents;
+        ] );
+      ( "slimmer",
+        [
+          Alcotest.test_case "smaller and valid" `Quick test_slim_image_smaller_and_valid;
+          Alcotest.test_case "go binary low reduction" `Quick test_go_binary_low_reduction;
+        ] );
+      ( "figure5",
+        [ Alcotest.test_case "dataset shape" `Slow test_figure5_dataset_shape ] );
+      ( "registry",
+        [
+          Alcotest.test_case "pull dedup" `Quick test_registry_pull_dedup;
+          Alcotest.test_case "slim deploy time" `Quick test_slim_deploy_time_improvement;
+        ] );
+    ]

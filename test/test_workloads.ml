@@ -1,0 +1,118 @@
+(* Calibration gates for E2-E4: each key workload's measured overhead must
+   stay in a band around the paper's value, so cost-model regressions are
+   caught by CI rather than by re-reading benchmark output. *)
+
+open Repro_workloads
+open Repro_fuse
+
+let check_b = Alcotest.(check bool)
+
+let find name =
+  List.find (fun w -> w.Bench_env.w_name = name) Suite.figure2
+
+let in_band name lo hi () =
+  let w = find name in
+  let o = Bench_env.overhead w in
+  check_b
+    (Printf.sprintf "%s overhead %.2f in [%.2f, %.2f] (paper %.1f)" name o lo hi
+       w.Bench_env.w_paper)
+    true
+    (o >= lo && o <= hi)
+
+(* The paper's three claims that CntrFS *wins*. *)
+let test_cntrfs_wins () =
+  List.iter
+    (fun name ->
+      let o = Bench_env.overhead (find name) in
+      check_b (name ^ " faster through CntrFS") true (o < 1.0))
+    [ "FIO"; "Pgbench"; "Threaded I/O: Write" ]
+
+(* The pathological cases keep their rank order. *)
+let test_rank_order () =
+  let o name = Bench_env.overhead (find name) in
+  let read = o "Compileb.: Read" in
+  let create = o "Compileb.: Create" in
+  let postmark = o "PostMark" in
+  let gzip = o "Gzip" in
+  check_b "read tree is the worst case" true (read > create && read > postmark);
+  check_b "lookup-heavy >> compute-bound" true (create > 3. *. gzip)
+
+let test_figure3_directions () =
+  let figs = Experiments.figure3 () in
+  List.iter
+    (fun a ->
+      check_b
+        (Printf.sprintf "%s improves (%.1f -> %.1f)" a.Experiments.a_name a.Experiments.a_before
+           a.Experiments.a_after)
+        true
+        (a.Experiments.a_after > a.Experiments.a_before))
+    figs;
+  (* panel-specific magnitudes *)
+  let get n = List.nth figs n in
+  let ratio a = a.Experiments.a_after /. a.Experiments.a_before in
+  check_b "keep_cache >= 4x" true (ratio (get 0) >= 4.);
+  check_b "writeback >= 1.2x" true (ratio (get 1) >= 1.2);
+  check_b "parallel dirops in [1.8x, 3.5x]" true (ratio (get 2) >= 1.8 && ratio (get 2) <= 3.5);
+  check_b "splice read small gain (<12%)" true (ratio (get 3) >= 1.0 && ratio (get 3) <= 1.12)
+
+let test_figure4_shape () =
+  let points = Experiments.figure4 () in
+  let mbps = List.map (fun p -> p.Experiments.tp_mbps) points in
+  (* monotonically non-increasing *)
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a >= b && mono rest
+    | _ -> true
+  in
+  check_b "throughput decreases with threads" true (mono mbps);
+  let first = List.hd mbps and last = List.nth mbps (List.length mbps - 1) in
+  let drop = 1. -. (last /. first) in
+  check_b (Printf.sprintf "drop at 16 threads %.1f%% in [2%%, 12%%]" (drop *. 100.)) true
+    (drop >= 0.02 && drop <= 0.12)
+
+let test_unoptimized_much_worse () =
+  (* the whole point of §3.3: default opts beat the unoptimized config *)
+  let w = find "Compileb.: Read" in
+  let opt = Bench_env.overhead w in
+  let unopt = Bench_env.overhead ~opts:Opts.unoptimized w in
+  check_b
+    (Printf.sprintf "unoptimized (%.1fx) much worse than optimized (%.1fx)" unopt opt)
+    true
+    (unopt > 1.5 *. opt)
+
+let test_deterministic () =
+  let w = find "PostMark" in
+  let a = Bench_env.overhead w and b = Bench_env.overhead w in
+  Alcotest.(check (float 1e-9)) "same result on re-run" a b
+
+let band name lo hi = Alcotest.test_case name `Slow (in_band name lo hi)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "figure2-bands",
+        [
+          band "AIO-Stress" 2.0 3.6;
+          band "Apachebench" 1.15 1.9;
+          band "Compileb.: Read" 7.0 16.0;
+          band "Compileb.: Create" 4.5 10.0;
+          band "PostMark" 4.5 9.5;
+          band "Dbench: 128 Clients" 0.9 1.15;
+          band "Gzip" 0.95 1.1;
+          band "FS-Mark" 0.85 1.3;
+          band "IOzone: Read" 1.4 2.6;
+          band "SQlite" 1.2 2.3;
+          band "Unpack tarball" 1.05 1.7;
+        ] );
+      ( "figure2-claims",
+        [
+          Alcotest.test_case "cntrfs wins where the paper says" `Slow test_cntrfs_wins;
+          Alcotest.test_case "rank order" `Slow test_rank_order;
+          Alcotest.test_case "deterministic" `Slow test_deterministic;
+        ] );
+      ( "figure3",
+        [ Alcotest.test_case "ablation directions & magnitudes" `Slow test_figure3_directions ] );
+      ( "figure4",
+        [ Alcotest.test_case "thread sweep shape" `Slow test_figure4_shape ] );
+      ( "optimizations",
+        [ Alcotest.test_case "unoptimized much worse" `Slow test_unoptimized_much_worse ] );
+    ]

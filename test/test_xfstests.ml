@@ -1,0 +1,64 @@
+(* The E1 gate: the 94-test generic suite passes 94/94 on native tmpfs and
+   exactly 90/94 through CntrFS, with precisely the four failures the paper
+   reports (§5.1, generic/228, /375, /391, /426). *)
+
+open Repro_xfstests
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+let test_suite_has_94_tests () =
+  check_i "94 tests like the paper" 94 Suite.count;
+  (* ids are unique *)
+  let ids = List.map (fun t -> t.Harness.t_id) Suite.all in
+  check_i "unique ids" 94 (List.length (List.sort_uniq compare ids))
+
+let test_groups_cover_paper_list () =
+  List.iter
+    (fun g ->
+      check_b (g ^ " group non-empty") true (Suite.by_group g <> []))
+    [ "auto"; "quick"; "aio"; "prealloc"; "ioctl"; "dangerous" ]
+
+let test_native_all_pass () =
+  let setup = Harness.setup_native () in
+  let summary = Harness.run_suite setup Suite.all in
+  List.iter
+    (fun (id, msg) -> Printf.printf "native generic/%03d: %s\n" id msg)
+    summary.Harness.s_failed;
+  check_i "all 94 pass natively" 94 summary.Harness.s_passed
+
+let test_cntrfs_90_of_94 () =
+  let setup = Harness.setup_cntrfs () in
+  let summary = Harness.run_suite setup Suite.all in
+  let failed_ids = List.map fst summary.Harness.s_failed |> List.sort compare in
+  List.iter
+    (fun (id, msg) -> Printf.printf "cntrfs generic/%03d: %s\n" id msg)
+    summary.Harness.s_failed;
+  check_i "90 of 94 pass" 90 summary.Harness.s_passed;
+  Alcotest.(check (list int))
+    "exactly the paper's four failures" Suite.expected_cntrfs_failures failed_ids
+
+let test_cntrfs_unoptimized_same_semantics () =
+  (* the §3.3 optimizations must not change correctness *)
+  let setup = Harness.setup_cntrfs ~opts:Repro_fuse.Opts.unoptimized () in
+  let summary = Harness.run_suite setup Suite.all in
+  let failed_ids = List.map fst summary.Harness.s_failed |> List.sort compare in
+  Alcotest.(check (list int))
+    "same failures without optimizations" Suite.expected_cntrfs_failures failed_ids
+
+let () =
+  Alcotest.run "xfstests"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "94 tests" `Quick test_suite_has_94_tests;
+          Alcotest.test_case "groups" `Quick test_groups_cover_paper_list;
+        ] );
+      ( "native",
+        [ Alcotest.test_case "94/94 pass" `Quick test_native_all_pass ] );
+      ( "cntrfs",
+        [
+          Alcotest.test_case "90/94 pass, known failures" `Quick test_cntrfs_90_of_94;
+          Alcotest.test_case "unoptimized same semantics" `Quick test_cntrfs_unoptimized_same_semantics;
+        ] );
+    ]
