@@ -65,6 +65,46 @@ let e2 () =
     Repro_workloads.Suite.figure2;
   Printf.printf "\n%d out of 20 benchmarks at or below 1.5x (paper: 13/20 below 1.5x)\n%!" !within
 
+(* E2 smoke mode: one workload per family through the CntrFS backend, all
+   feeding one shared registry, dumped as BENCH_smoke.json.  Runs under
+   `dune runtest` as a fast end-to-end check that the observability layer
+   sees real traffic from every subsystem. *)
+
+let e2_smoke () =
+  section "E2 (smoke) one workload per family -> BENCH_smoke.json";
+  let wanted =
+    [ "IOzone: Read"; "IOzone: Write"; "PostMark"; "Compileb.: Read"; "Gzip" ]
+  in
+  let smoke =
+    List.filter
+      (fun w -> List.mem w.Repro_workloads.Bench_env.w_name wanted)
+      Repro_workloads.Suite.figure2
+  in
+  let obs = Repro_obs.Obs.create () in
+  List.iter
+    (fun w ->
+      let ns =
+        Repro_workloads.Bench_env.run_workload ~obs
+          ~backend:(Repro_workloads.Bench_env.Cntrfs Repro_fuse.Opts.cntr_default) w
+      in
+      Printf.printf "  %-22s %12d virtual ns\n%!" w.Repro_workloads.Bench_env.w_name ns)
+    smoke;
+  let json = Repro_obs.Obs.to_json obs in
+  let oc = open_out "BENCH_smoke.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  let metrics = Repro_obs.Obs.metrics obs in
+  let c name = Repro_obs.Metrics.counter_value metrics name in
+  Printf.printf
+    "wrote BENCH_smoke.json: %d workloads, %d fuse requests, %d syscalls, %d lookups\n%!"
+    (List.length smoke) (c "fuse.req.count") (c "os.syscall.count")
+    (c "cntrfs.lookup.count");
+  if c "fuse.req.count" = 0 || c "os.syscall.count" = 0 then begin
+    Printf.eprintf "smoke: registry saw no traffic\n";
+    exit 1
+  end
+
 (* --- E3: Figure 3 ------------------------------------------------------------ *)
 
 let e3 () =
@@ -289,6 +329,13 @@ let all =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let smoke, args = List.partition (( = ) "--smoke") args in
+  if smoke <> [] then begin
+    (* `main.exe e2 --smoke` (the e2 is informative; --smoke selects) *)
+    Printf.printf "CNTR reproduction — evaluation harness (virtual-time simulation)\n";
+    e2_smoke ();
+    exit 0
+  end;
   let to_run =
     match args with
     | [] -> [ e1; e2; e3; e4; e5; e6; e7; ablate; cache_sweep; micro ]

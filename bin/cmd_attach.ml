@@ -1,0 +1,69 @@
+(* `cntr attach <container>`: nested namespace, tools, scripted shell,
+   then the session's traffic summary. *)
+
+open Repro_util
+open Repro_runtime
+open Repro_cntr
+open Cmdliner
+
+let run common name fat command =
+  let world = Cmd_common.demo_world () in
+  match Cmd_common.resolve world common name with
+  | Error e ->
+      Printf.eprintf "cntr: cannot resolve %s: %s\n" name (Errno.message e);
+      1
+  | Ok (_engine, container) -> (
+      let tools =
+        match fat with None -> Attach.From_host | Some f -> Attach.From_container f
+      in
+      match Testbed.attach world ~tools container.Container.ct_name with
+      | Error e ->
+          Printf.eprintf "cntr: cannot attach to %s: %s\n" name (Errno.message e);
+          1
+      | Ok session ->
+          let ctx = Attach.context session in
+          Printf.printf "attached to %s (pid %d, cgroup %s)\n" name ctx.Context.cx_pid
+            ctx.Context.cx_cgroup;
+          let commands =
+            match command with
+            | Some c -> [ c ]
+            | None ->
+                (* scripted interactive session *)
+                [
+                  "hostname";
+                  "which gdb";
+                  "ls /var/lib/cntr";
+                  "ls /var/lib/cntr/etc";
+                  "ps";
+                  "mount";
+                ]
+          in
+          let code =
+            List.fold_left
+              (fun _ cmd ->
+                Printf.printf "[cntr] $ %s\n" cmd;
+                let code, out = Attach.run session cmd in
+                print_string out;
+                code)
+              0 commands
+          in
+          Printf.printf "%s" (Attach.report session);
+          Attach.detach session;
+          Printf.printf "[cntr] detached; container left running\n";
+          code)
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CONTAINER" ~doc:"Container name or id prefix.")
+
+let fat_arg =
+  Arg.(value & opt (some string) None & info [ "fat-container"; "f" ] ~docv:"NAME"
+         ~doc:"Serve the tools from this fat container instead of the host.")
+
+let command_arg =
+  Arg.(value & opt (some string) None & info [ "command"; "c" ] ~docv:"CMD"
+         ~doc:"Run a single command instead of the scripted shell.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "attach" ~doc:"Attach to a container: nested namespace, tools, shell.")
+    Term.(const run $ Cmd_common.common_term $ name_arg $ fat_arg $ command_arg)

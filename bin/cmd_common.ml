@@ -1,0 +1,59 @@
+(* Shared plumbing for the cntr subcommands: the demo world every
+   invocation boots, container resolution honoring --engine, and the
+   --engine/--seed flags themselves. *)
+
+open Repro_util
+open Repro_runtime
+open Repro_cntr
+open Cmdliner
+
+let ok = Errno.ok_exn
+
+(* Flags shared by every subcommand that touches the fleet. *)
+type common = { engine : string option; seed : int }
+
+(* Boot the demo machine: one app container per engine + the fat image. *)
+let demo_world () =
+  let world = Testbed.create () in
+  let containers =
+    [
+      ("docker", "web", "nginx:latest");
+      ("docker", "cache", "redis:latest");
+      ("lxc", "db", "postgres:latest");
+      ("rkt", "queue", "rabbitmq:latest");
+      ("systemd-nspawn", "search", "elasticsearch:latest");
+    ]
+  in
+  List.iter
+    (fun (engine, name, image) ->
+      ignore (ok (World.run_container world ~engine:(World.engine world engine) ~name ~image_ref:image ())))
+    containers;
+  ignore
+    (ok
+       (World.run_container world ~engine:(World.docker world) ~name:"debug"
+          ~image_ref:"cntr/debug-tools:latest" ()));
+  world
+
+(* Resolve a container name, restricted to --engine when given. *)
+let resolve world common name =
+  let engines =
+    match common.engine with
+    | None -> world.World.engines
+    | Some e -> (
+        match Engine.by_name world.World.engines e with
+        | Some engine -> [ engine ]
+        | None -> [])
+  in
+  Engine.resolve_any engines name
+
+let engine_arg =
+  Arg.(value & opt (some string) None
+       & info [ "engine"; "e" ] ~docv:"ENGINE"
+           ~doc:"Operate on this container engine only (docker, lxc, rkt, systemd-nspawn).")
+
+let seed_arg =
+  Arg.(value & opt int 0xc47
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for the scripted deterministic workloads; identical seeds give bit-identical runs.")
+
+let common_term = Term.(const (fun engine seed -> { engine; seed }) $ engine_arg $ seed_arg)

@@ -1,0 +1,24 @@
+(* `cntr demo`: container-to-container debugging — tools served from the
+   fat "debug" container into the slim "web" container (§7). *)
+
+open Repro_util
+open Repro_cntr
+open Cmdliner
+
+let ok = Errno.ok_exn
+
+let run () =
+  let world = Cmd_common.demo_world () in
+  let session = ok (Testbed.attach world ~tools:(Attach.From_container "debug") "web") in
+  Printf.printf "attach web with tools from the 'debug' container:\n";
+  List.iter
+    (fun cmd ->
+      Printf.printf "[cntr] $ %s\n" cmd;
+      let _c, out = Attach.run session cmd in
+      print_string out)
+    [ "which gdb"; "stat /var/lib/cntr/etc/nginx.conf"; "id" ];
+  Attach.detach session;
+  0
+
+let cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Container-to-container debugging demo.") Term.(const run $ const ())

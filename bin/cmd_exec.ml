@@ -1,0 +1,43 @@
+(* `cntr exec <container> <cmd>`: one-shot command in the attach
+   environment — attach, run, print, detach.  Exits with the command's
+   code. *)
+
+open Repro_util
+open Repro_runtime
+open Repro_cntr
+open Cmdliner
+
+let run common name fat command =
+  let world = Cmd_common.demo_world () in
+  match Cmd_common.resolve world common name with
+  | Error e ->
+      Printf.eprintf "cntr: cannot resolve %s: %s\n" name (Errno.message e);
+      1
+  | Ok (_engine, container) -> (
+      let tools =
+        match fat with None -> Attach.From_host | Some f -> Attach.From_container f
+      in
+      match Testbed.attach world ~tools container.Container.ct_name with
+      | Error e ->
+          Printf.eprintf "cntr: cannot attach to %s: %s\n" name (Errno.message e);
+          1
+      | Ok session ->
+          let code, out = Attach.run session command in
+          print_string out;
+          Attach.detach session;
+          code)
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CONTAINER" ~doc:"Container name or id prefix.")
+
+let command_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"CMD" ~doc:"Command line to run inside the container.")
+
+let fat_arg =
+  Arg.(value & opt (some string) None & info [ "fat-container"; "f" ] ~docv:"NAME"
+         ~doc:"Serve the tools from this fat container instead of the host.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Run a single command inside a container's attach environment.")
+    Term.(const run $ Cmd_common.common_term $ name_arg $ fat_arg $ command_arg)

@@ -1,139 +1,23 @@
 (* cntr — the command-line front end, mirroring the real tool's interface:
 
      cntr attach <container> [--fat-container NAME] [--command CMD] [--engine E]
-     cntr list
+     cntr exec <container> <cmd> [--fat-container NAME]
+     cntr ls-containers [--engine E]        (alias: list)
+     cntr stats [CONTAINER] [--json] [--trace FILE]
      cntr demo
 
    The simulation is self-contained: each invocation boots a world with a
    demo fleet (one slim container per engine plus a fat debug container)
-   and operates on it.  `attach` drops into a scripted shell unless
-   --command is given. *)
+   and operates on it.  Subcommands live in their own modules (Cmd_attach,
+   Cmd_exec, Cmd_ls, Cmd_stats, Cmd_demo) over the shared Cmd_common
+   flags. *)
 
-open Repro_util
-open Repro_runtime
-open Repro_cntr
 open Cmdliner
-
-let ok = Errno.ok_exn
-
-(* Boot the demo machine: one app container per engine + the fat image. *)
-let demo_world () =
-  let world = Testbed.create () in
-  let containers =
-    [
-      ("docker", "web", "nginx:latest");
-      ("docker", "cache", "redis:latest");
-      ("lxc", "db", "postgres:latest");
-      ("rkt", "queue", "rabbitmq:latest");
-      ("systemd-nspawn", "search", "elasticsearch:latest");
-    ]
-  in
-  List.iter
-    (fun (engine, name, image) ->
-      ignore (ok (World.run_container world ~engine:(World.engine world engine) ~name ~image_ref:image ())))
-    containers;
-  ignore
-    (ok
-       (World.run_container world ~engine:(World.docker world) ~name:"debug"
-          ~image_ref:"cntr/debug-tools:latest" ()));
-  world
-
-let list_cmd () =
-  let world = demo_world () in
-  Printf.printf "%-16s %-8s %-14s %-24s %s\n" "ENGINE" "PID" "ID" "IMAGE" "NAME";
-  List.iter
-    (fun engine ->
-      List.iter
-        (fun c ->
-          Printf.printf "%-16s %-8d %-14s %-24s %s\n" engine.Engine.e_name (Container.pid c)
-            (Container.short_id c)
-            (Repro_image.Image.ref_ c.Container.ct_image)
-            c.Container.ct_name)
-        (Engine.list engine))
-    world.World.engines;
-  0
-
-let attach_cmd name fat command =
-  let world = demo_world () in
-  let tools =
-    match fat with None -> Attach.From_host | Some f -> Attach.From_container f
-  in
-  match Testbed.attach world ~tools name with
-  | Error e ->
-      Printf.eprintf "cntr: cannot attach to %s: %s\n" name (Errno.message e);
-      1
-  | Ok session ->
-      let ctx = Attach.context session in
-      Printf.printf "attached to %s (pid %d, cgroup %s)\n" name ctx.Context.cx_pid
-        ctx.Context.cx_cgroup;
-      let commands =
-        match command with
-        | Some c -> [ c ]
-        | None ->
-            (* scripted interactive session *)
-            [
-              "hostname";
-              "which gdb";
-              "ls /var/lib/cntr";
-              "ls /var/lib/cntr/etc";
-              "ps";
-              "mount";
-            ]
-      in
-      let code =
-        List.fold_left
-          (fun _ cmd ->
-            Printf.printf "[cntr] $ %s\n" cmd;
-            let code, out = Attach.run session cmd in
-            print_string out;
-            code)
-          0 commands
-      in
-      Printf.printf "%s" (Attach.report session);
-      Attach.detach session;
-      Printf.printf "[cntr] detached; container left running\n";
-      code
-
-let demo_cmd () =
-  let world = demo_world () in
-  let session = ok (Testbed.attach world ~tools:(Attach.From_container "debug") "web") in
-  Printf.printf "attach web with tools from the 'debug' container:\n";
-  List.iter
-    (fun cmd ->
-      Printf.printf "[cntr] $ %s\n" cmd;
-      let _c, out = Attach.run session cmd in
-      print_string out)
-    [ "which gdb"; "stat /var/lib/cntr/etc/nginx.conf"; "id" ];
-  Attach.detach session;
-  0
-
-(* --- cmdliner plumbing ------------------------------------------------------ *)
-
-let name_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"CONTAINER" ~doc:"Container name or id prefix.")
-
-let fat_arg =
-  Arg.(value & opt (some string) None & info [ "fat-container"; "f" ] ~docv:"NAME"
-         ~doc:"Serve the tools from this fat container instead of the host.")
-
-let command_arg =
-  Arg.(value & opt (some string) None & info [ "command"; "c" ] ~docv:"CMD"
-         ~doc:"Run a single command instead of the scripted shell.")
-
-let attach_t =
-  Cmd.v
-    (Cmd.info "attach" ~doc:"Attach to a container: nested namespace, tools, shell.")
-    Term.(const attach_cmd $ name_arg $ fat_arg $ command_arg)
-
-let list_t = Cmd.v (Cmd.info "list" ~doc:"List the demo fleet's containers.") Term.(const list_cmd $ const ())
-
-let demo_t =
-  Cmd.v (Cmd.info "demo" ~doc:"Container-to-container debugging demo.") Term.(const demo_cmd $ const ())
 
 let main =
   Cmd.group
     (Cmd.info "cntr" ~version:"1.0.0"
        ~doc:"Lightweight OS containers: attach fat tool images to slim application containers (simulated reproduction of USENIX ATC'18).")
-    [ attach_t; list_t; demo_t ]
+    [ Cmd_attach.cmd; Cmd_exec.cmd; Cmd_ls.cmd; Cmd_ls.alias; Cmd_stats.cmd; Cmd_demo.cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -29,6 +29,8 @@ type entry = {
 
 type server_handle = { sh_fd : int; sh_ino : int }
 
+module Metrics = Repro_obs.Metrics
+
 type t = {
   kernel : Kernel.t;
   proc : Proc.t;
@@ -37,12 +39,25 @@ type t = {
   fhs : (int, server_handle) Hashtbl.t;
   mutable next_ino : int;
   mutable next_fh : int;
-  mutable lookups : int; (* stat counter: server-side lookups performed *)
+  (* "cntrfs.*" counters on the kernel's registry: lookups, the backing
+     syscalls they cost (the open()+stat() tax), and payload bytes *)
+  m_lookups : Metrics.counter;
+  m_backing_ops : Metrics.counter;
+  m_read_bytes : Metrics.counter;
+  m_write_bytes : Metrics.counter;
 }
 
 let root_ino = 1
 
 let create ~kernel ~proc ~root_path =
+  let metrics = Repro_obs.Obs.metrics kernel.Kernel.obs in
+  let m_lookups = Metrics.counter metrics "cntrfs.lookup.count" in
+  let m_backing_ops = Metrics.counter metrics "cntrfs.lookup.backing_ops" in
+  (* Lookup amplification: backing syscalls per driver-visible lookup
+     (2.0 = the plain open+stat pair; higher when handles are captured). *)
+  Metrics.register_derived metrics "cntrfs.lookup.amplification" (fun () ->
+      let l = Metrics.value m_lookups in
+      if l = 0 then 0. else float_of_int (Metrics.value m_backing_ops) /. float_of_int l);
   let t =
     {
       kernel;
@@ -52,7 +67,10 @@ let create ~kernel ~proc ~root_path =
       fhs = Hashtbl.create 32;
       next_ino = 2;
       next_fh = 1;
-      lookups = 0;
+      m_lookups;
+      m_backing_ops;
+      m_read_bytes = Metrics.counter metrics "cntrfs.read.bytes";
+      m_write_bytes = Metrics.counter metrics "cntrfs.write.bytes";
     }
   in
   Hashtbl.replace t.inos root_ino
@@ -137,6 +155,7 @@ let intern t ~path ~(st : Types.stat) =
       let handle =
         match st.Types.st_kind with
         | Types.Reg | Types.Symlink | Types.Fifo | Types.Sock ->
+            Metrics.incr t.m_backing_ops;
             Result.to_option (Kernel.name_to_handle_at t.kernel t.proc ~follow:false path)
         | _ -> None
       in
@@ -150,7 +169,8 @@ let handle_lookup t ctx ~parent ~name =
   let path = Pathx.concat dir name in
   (* The hardlink-detection tax: one open() for a handle plus one stat(),
      per lookup (§5.2.2, Compilebench). *)
-  t.lookups <- t.lookups + 1;
+  Metrics.incr t.m_lookups;
+  Metrics.add t.m_backing_ops 2;
   Clock.consume_int t.kernel.Kernel.clock t.kernel.Kernel.cost.Cost.backing_lookup_ns;
   let* st = with_fsuid t ctx (fun () -> Kernel.lstat t.kernel t.proc path) in
   let ino = intern t ~path ~st in
@@ -305,10 +325,12 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
     | Protocol.Read { fh = n; off; len } ->
         let* h = fh t n in
         let* data = Kernel.pread k p h.sh_fd ~off ~len in
+        Metrics.add t.m_read_bytes (String.length data);
         Ok (Protocol.R_data data)
     | Protocol.Write { fh = n; off; data } ->
         let* h = fh t n in
         let* written = with_fsuid t ctx (fun () -> Kernel.pwrite k p h.sh_fd ~off data) in
+        Metrics.add t.m_write_bytes written;
         Ok (Protocol.R_written written)
     | Protocol.Flush _ -> Ok Protocol.R_ok
     | Protocol.Release n ->
@@ -367,4 +389,5 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         Hashtbl.reset t.fhs;
         Ok Protocol.R_ok)
 
-let lookups_performed t = t.lookups
+(* View over the registry counter ("cntrfs.lookup.count"). *)
+let lookups_performed t = Metrics.value t.m_lookups

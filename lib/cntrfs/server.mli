@@ -23,5 +23,10 @@ val create : kernel:Kernel.t -> proc:Proc.t -> root_path:string -> t
 (** The request handler to install with {!Conn.set_handler}. *)
 val handle : t -> Protocol.ctx -> Protocol.req -> Protocol.resp
 
-(** Server-side lookups performed so far (the open()+stat() tax). *)
+(** Server-side lookups performed so far (the open()+stat() tax).
+
+    Deprecated: thin wrapper over the kernel registry's
+    [cntrfs.lookup.count] counter; kept for one release — new code should
+    read the registry (which also exposes [cntrfs.lookup.backing_ops] and
+    the derived [cntrfs.lookup.amplification]). *)
 val lookups_performed : t -> int

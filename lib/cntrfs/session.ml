@@ -17,8 +17,18 @@ type t = {
    [root_path] out of its own mount namespace.  The returned [fs] can be
    mounted anywhere with [Kernel.mount_at]. *)
 let create ~kernel ~server_proc ~root_path ?(opts = Opts.cntr_default) ?(threads = 4) ~budget () =
-  let conn = Conn.create ~clock:kernel.Kernel.clock ~cost:kernel.Kernel.cost in
+  let obs = kernel.Kernel.obs in
+  let conn = Conn.create ~obs ~clock:kernel.Kernel.clock ~cost:kernel.Kernel.cost () in
   conn.Conn.threads <- threads;
+  let metrics = Repro_obs.Obs.metrics obs in
+  Repro_obs.Metrics.set
+    (Repro_obs.Metrics.gauge metrics "cntrfs.server.threads")
+    (float_of_int threads);
+  (* Cumulative per-worker request load: how deep each /dev/fuse reader's
+     queue has run over the session. *)
+  Repro_obs.Metrics.register_derived metrics "cntrfs.server.queue_depth" (fun () ->
+      float_of_int (Repro_obs.Metrics.counter_value metrics "fuse.req.count")
+      /. float_of_int (max 1 threads));
   let server = Server.create ~kernel ~proc:server_proc ~root_path in
   Conn.set_handler conn (Server.handle server);
   let driver = Driver.create ~conn ~opts ~budget in
@@ -26,5 +36,6 @@ let create ~kernel ~server_proc ~root_path ?(opts = Opts.cntr_default) ?(threads
   { conn; driver; server; fs = Driver.ops driver }
 
 let fs t = t.fs
+let obs t = Conn.obs t.conn
 let stats t = Conn.stats t.conn
 let set_client_concurrency t n = Driver.set_client_concurrency t.driver n

@@ -29,7 +29,14 @@ val create :
 
 val fs : t -> Fsops.t
 
-(** Protocol statistics: request counts by kind, bytes, splice usage. *)
+(** The session's observability handle (the kernel's): all [fuse.*],
+    [cntrfs.*] and [vfs.page_cache.fuse.*] metrics for this mount land
+    here, plus the [cntrfs.server.threads] / [cntrfs.server.queue_depth]
+    gauges. *)
+val obs : t -> Repro_obs.Obs.t
+
+(** Protocol statistics: request counts by kind, bytes, splice usage.
+    A snapshot view over the registry on {!obs}. *)
 val stats : t -> Conn.stats
 
 (** Hint used by the serialized-dirops contention model (Figure 3c). *)

@@ -196,27 +196,39 @@ let detach session =
 
 let context session = session.sn_ctx
 
+let obs session = Conn.obs session.sn_conn
+
 (* A human-readable session report: the FUSE traffic the tools generated —
    useful to understand what an attach session cost (the numbers behind
-   §5.2's analysis). *)
+   §5.2's analysis).  Every figure is a view over the session's metrics
+   registry. *)
 let report session =
+  let metrics = Repro_obs.Obs.metrics (obs session) in
+  let c name = Repro_obs.Metrics.counter_value metrics name in
+  let g name = Repro_obs.Metrics.gauge_value metrics name in
   let stats = Conn.stats session.sn_conn in
-  let cache = Driver.cache_stats session.sn_driver in
   let by_kind =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats.Conn.by_kind []
     |> List.sort (fun (_, a) (_, b) -> compare b a)
     |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
     |> String.concat " "
   in
-  let hit_rate =
-    let total = cache.Page_cache.hits + cache.Page_cache.misses in
-    if total = 0 then 0. else 100. *. float_of_int cache.Page_cache.hits /. float_of_int total
-  in
+  let hit_rate = 100. *. g "vfs.page_cache.fuse.hit_ratio" in
   Printf.sprintf
-    "cntrfs session: %d requests (%s)\ntransfer: %s to server, %s from server, %s spliced\npage cache: %.0f%% hit rate (%d hits, %d misses, %d evictions)\nserver: %d lookups (open+stat each)\n"
+    "cntrfs session: %d requests (%s)\n\
+     transfer: %s to server, %s from server, %s spliced\n\
+     page cache: %.0f%% hit rate (%d hits, %d misses, %d evictions)\n\
+     server: %d lookups (open+stat each), %.1fx backing amplification\n\
+     kernel: %d syscalls, %d context switches\n"
     stats.Conn.requests by_kind
     (Size.to_string stats.Conn.bytes_to_server)
     (Size.to_string stats.Conn.bytes_from_server)
     (Size.to_string stats.Conn.spliced_bytes)
-    hit_rate cache.Page_cache.hits cache.Page_cache.misses cache.Page_cache.evictions
+    hit_rate
+    (c "vfs.page_cache.fuse.hits")
+    (c "vfs.page_cache.fuse.misses")
+    (c "vfs.page_cache.fuse.evictions")
     (Server.lookups_performed session.sn_server)
+    (g "cntrfs.lookup.amplification")
+    (c "os.syscall.count")
+    (c "os.context_switches")

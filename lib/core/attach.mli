@@ -68,6 +68,12 @@ val detach : session -> unit
 (** The container context captured during step #1. *)
 val context : session -> Context.t
 
+(** The session's observability handle (shared with the kernel): all
+    [fuse.*], [cntrfs.*], [vfs.*] and [os.*] metrics of the attach. *)
+val obs : session -> Repro_obs.Obs.t
+
 (** Human-readable FUSE traffic summary of the session: request counts by
-    kind, transfer volumes, page-cache hit rate, server-side lookups. *)
+    kind, transfer volumes, page-cache hit rate, server-side lookups,
+    lookup amplification, syscall and context-switch totals — all views
+    over the registry on {!obs}. *)
 val report : session -> string

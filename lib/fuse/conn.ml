@@ -2,53 +2,113 @@
    and the userspace server.  This is where the FUSE tax is charged: two
    context switches per round trip, payload copies (or splice), and the
    server's multi-thread coordination overhead.  Batched requests amortize
-   the context switches — the paper's batching optimization (§3.3). *)
+   the context switches — the paper's batching optimization (§3.3).
+
+   Accounting lives in the connection's observability handle: aggregate
+   and per-opcode counters under "fuse.req.*", virtual-time latency
+   histograms, context-switch counts under "os.context_switches", and one
+   trace span per request. *)
 
 open Repro_util
+module Metrics = Repro_obs.Metrics
 
 type stats = {
-  mutable requests : int;
-  mutable round_trips : int; (* context-switch pairs actually paid *)
-  mutable bytes_to_server : int;
-  mutable bytes_from_server : int;
-  mutable spliced_bytes : int;
+  requests : int;
+  round_trips : int; (* context-switch pairs actually paid *)
+  bytes_to_server : int;
+  bytes_from_server : int;
+  spliced_bytes : int;
   by_kind : (string, int) Hashtbl.t;
+}
+
+(* Per-opcode counter handles, cached so the request path never does a
+   name lookup: count, bytes each way, and the latency histogram. *)
+type kind_metrics = {
+  km_count : Metrics.counter;
+  km_to : Metrics.counter;
+  km_from : Metrics.counter;
+  km_latency : Metrics.histogram;
 }
 
 type t = {
   clock : Clock.t;
   cost : Cost.t;
+  obs : Repro_obs.Obs.t;
   mutable handler : (Protocol.ctx -> Protocol.req -> Protocol.resp) option;
   (* Number of server worker threads reading /dev/fuse. *)
   mutable threads : int;
   (* Per-request thread coordination penalty per extra thread, ns. *)
   mutable thread_coord_ns : int;
-  stats : stats;
   mutable serving : bool;
   (* while true, calls charge no virtual time (background writeback) *)
   mutable background : bool;
+  m_requests : Metrics.counter;
+  m_round_trips : Metrics.counter;
+  m_bytes_to : Metrics.counter;
+  m_bytes_from : Metrics.counter;
+  m_spliced : Metrics.counter;
+  m_copied : Metrics.counter;
+  m_ctx_switches : Metrics.counter;
+  by_kind : (string, kind_metrics) Hashtbl.t;
 }
 
-let create ~clock ~cost = {
-  clock;
-  cost;
-  handler = None;
-  threads = 4;
-  thread_coord_ns = cost.Cost.thread_coord_ns;
-  stats =
-    {
-      requests = 0;
-      round_trips = 0;
-      bytes_to_server = 0;
-      bytes_from_server = 0;
-      spliced_bytes = 0;
-      by_kind = Hashtbl.create 16;
-    };
-  serving = false;
-  background = false;
-}
+let create ?obs ~clock ~cost () =
+  let obs = match obs with Some o -> o | None -> Repro_obs.Obs.create () in
+  let m = Repro_obs.Obs.metrics obs in
+  {
+    clock;
+    cost;
+    obs;
+    handler = None;
+    threads = 4;
+    thread_coord_ns = cost.Cost.thread_coord_ns;
+    serving = false;
+    background = false;
+    m_requests = Metrics.counter m "fuse.req.count";
+    m_round_trips = Metrics.counter m "fuse.round_trips";
+    m_bytes_to = Metrics.counter m "fuse.bytes.to_server";
+    m_bytes_from = Metrics.counter m "fuse.bytes.from_server";
+    m_spliced = Metrics.counter m "fuse.bytes.spliced";
+    m_copied = Metrics.counter m "fuse.bytes.copied";
+    m_ctx_switches = Metrics.counter m "os.context_switches";
+    by_kind = Hashtbl.create 16;
+  }
 
-let stats t = t.stats
+let obs t = t.obs
+
+let kind_metrics t kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some km -> km
+  | None ->
+      let m = Repro_obs.Obs.metrics t.obs in
+      let key suffix = Printf.sprintf "fuse.req.%s.%s" kind suffix in
+      let km =
+        {
+          km_count = Metrics.counter m (key "count");
+          km_to = Metrics.counter m (key "bytes_to_server");
+          km_from = Metrics.counter m (key "bytes_from_server");
+          km_latency = Metrics.histogram m (key "latency_us");
+        }
+      in
+      Hashtbl.replace t.by_kind kind km;
+      km
+
+(* Snapshot view over the registry counters.  [by_kind] covers the opcodes
+   this connection has issued (connections sharing one registry also share
+   the underlying counters). *)
+let stats t =
+  let by_kind = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun kind km -> Hashtbl.replace by_kind kind (Metrics.value km.km_count))
+    t.by_kind;
+  {
+    requests = Metrics.value t.m_requests;
+    round_trips = Metrics.value t.m_round_trips;
+    bytes_to_server = Metrics.value t.m_bytes_to;
+    bytes_from_server = Metrics.value t.m_bytes_from;
+    spliced_bytes = Metrics.value t.m_spliced;
+    by_kind;
+  }
 
 let set_handler t h = t.handler <- Some h
 
@@ -56,8 +116,6 @@ let set_handler t h = t.handler <- Some h
    once CntrFS is mounted inside the nested namespace; only then does the
    server start reading /dev/fuse (§3.2.2). *)
 let start_serving t = t.serving <- true
-
-let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
 
 (* Issue one request.
 
@@ -70,33 +128,54 @@ let call t ?(batch = 1) ?(splice = false) ctx req =
   | Some handler ->
       if not t.serving then Protocol.R_err Errno.ENOTCONN
       else begin
-        let s = t.stats in
         let charge ns = if not t.background then Clock.consume_int t.clock ns in
-        s.requests <- s.requests + 1;
-        bump s.by_kind (Protocol.req_kind req);
+        let kind = Protocol.req_kind req in
+        let km = kind_metrics t kind in
+        let begin_ns = Clock.now_ns t.clock in
+        Metrics.incr t.m_requests;
+        Metrics.incr km.km_count;
         (* Two context switches per round trip, amortized over the batch. *)
         charge (2 * t.cost.Cost.context_switch_ns / max 1 batch);
-        s.round_trips <- s.round_trips + 1;
+        Metrics.incr t.m_round_trips;
+        Metrics.add t.m_ctx_switches 2;
         (* Server-side dispatch: one read(2) on /dev/fuse. *)
         charge t.cost.Cost.syscall_ns;
         (* Multithreaded servers pay coordination per request (Figure 4). *)
         if t.threads > 1 then charge (t.thread_coord_ns * (t.threads - 1));
         (* Request payload transfer. *)
         let out_bytes = Protocol.req_payload_bytes req in
-        s.bytes_to_server <- s.bytes_to_server + out_bytes;
+        Metrics.add t.m_bytes_to out_bytes;
+        Metrics.add km.km_to out_bytes;
         if splice then begin
           charge t.cost.Cost.splice_setup_ns;
-          s.spliced_bytes <- s.spliced_bytes + out_bytes
+          Metrics.add t.m_spliced out_bytes
         end
-        else charge (Cost.copy_cost t.cost out_bytes);
+        else begin
+          Metrics.add t.m_copied out_bytes;
+          charge (Cost.copy_cost t.cost out_bytes)
+        end;
         let resp = handler ctx req in
         (* Response payload transfer. *)
         let in_bytes = Protocol.resp_payload_bytes resp in
-        s.bytes_from_server <- s.bytes_from_server + in_bytes;
+        Metrics.add t.m_bytes_from in_bytes;
+        Metrics.add km.km_from in_bytes;
         if splice then begin
           charge t.cost.Cost.splice_setup_ns;
-          s.spliced_bytes <- s.spliced_bytes + in_bytes
+          Metrics.add t.m_spliced in_bytes
         end
-        else charge (Cost.copy_cost t.cost in_bytes);
+        else begin
+          Metrics.add t.m_copied in_bytes;
+          charge (Cost.copy_cost t.cost in_bytes)
+        end;
+        let end_ns = Clock.now_ns t.clock in
+        (* Background requests consume no virtual time, so their zero
+           latencies would only distort the histograms. *)
+        if not t.background then begin
+          Metrics.observe_ns km.km_latency
+            (Int64.to_int (Int64.sub end_ns begin_ns));
+          Repro_obs.Trace.record
+            (Repro_obs.Obs.tracer t.obs)
+            ~name:("fuse.req." ^ kind) ~begin_ns ~end_ns ()
+        end;
         resp
       end

@@ -2,32 +2,58 @@
     and the userspace server, where the FUSE tax is charged — two context
     switches per round trip, payload copies (or splice), and the server's
     multi-thread coordination.  Batched requests amortize the context
-    switches (§3.3). *)
+    switches (§3.3).
+
+    Accounting lands in the connection's {!Repro_obs.Obs.t}: aggregate
+    counters ([fuse.req.count], [fuse.round_trips], [fuse.bytes.*]),
+    per-opcode counters and latency histograms
+    ([fuse.req.<kind>.count|bytes_to_server|bytes_from_server|latency_us]),
+    context switches ([os.context_switches]) and one trace span per
+    foreground request. *)
 
 open Repro_util
 
+(** Immutable snapshot of the connection's registry counters, built by
+    {!stats}; [by_kind] is a fresh table of per-opcode request counts. *)
 type stats = {
-  mutable requests : int;
-  mutable round_trips : int;
-  mutable bytes_to_server : int;
-  mutable bytes_from_server : int;
-  mutable spliced_bytes : int;
-  by_kind : (string, int) Hashtbl.t;  (** request counts per opcode name *)
+  requests : int;
+  round_trips : int;
+  bytes_to_server : int;
+  bytes_from_server : int;
+  spliced_bytes : int;
+  by_kind : (string, int) Hashtbl.t;
 }
+
+(** Per-opcode counter handles cached on the connection. *)
+type kind_metrics
 
 type t = {
   clock : Clock.t;
   cost : Cost.t;
+  obs : Repro_obs.Obs.t;
   mutable handler : (Protocol.ctx -> Protocol.req -> Protocol.resp) option;
   mutable threads : int;  (** server worker threads (Figure 4) *)
   mutable thread_coord_ns : int;
-  stats : stats;
   mutable serving : bool;
   mutable background : bool;
       (** while true, calls charge no virtual time (background writeback) *)
+  m_requests : Repro_obs.Metrics.counter;
+  m_round_trips : Repro_obs.Metrics.counter;
+  m_bytes_to : Repro_obs.Metrics.counter;
+  m_bytes_from : Repro_obs.Metrics.counter;
+  m_spliced : Repro_obs.Metrics.counter;
+  m_copied : Repro_obs.Metrics.counter;
+  m_ctx_switches : Repro_obs.Metrics.counter;
+  by_kind : (string, kind_metrics) Hashtbl.t;
 }
 
-val create : clock:Clock.t -> cost:Cost.t -> t
+(** [obs] defaults to a private handle; pass the kernel's to aggregate
+    FUSE traffic with the rest of the world's metrics. *)
+val create : ?obs:Repro_obs.Obs.t -> clock:Clock.t -> cost:Cost.t -> unit -> t
+
+val obs : t -> Repro_obs.Obs.t
+
+(** Fresh snapshot of the registry counters. *)
 val stats : t -> stats
 
 (** Install the server's request handler. *)

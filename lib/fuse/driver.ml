@@ -45,6 +45,9 @@ type t = {
   (* Number of concurrently-operating client threads; drives the
      serialized-dirops contention model when parallel_dirops is off. *)
   mutable client_concurrency : int;
+  (* dentry-cache accounting on the connection's registry *)
+  m_dentry_hits : Repro_obs.Metrics.counter;
+  m_dentry_misses : Repro_obs.Metrics.counter;
 }
 
 let ( let* ) = Result.bind
@@ -57,17 +60,21 @@ let ctx_of (cred : Types.cred) =
 (* One request round trip.  Splice write mode costs an extra context switch
    on *every* request (the header must be examined in a pipe first). *)
 let rt t ?(batch = 1) ?(splice = false) ctx req =
-  if t.opts.Opts.splice_write then
-    Clock.consume_int t.clock t.cost.Cost.context_switch_ns;
+  if t.opts.Opts.splice_write then begin
+    Repro_obs.Metrics.incr t.conn.Conn.m_ctx_switches;
+    Clock.consume_int t.clock t.cost.Cost.context_switch_ns
+  end;
   Protocol.err_of_resp (Conn.call t.conn ~batch ~splice ctx req)
 
 (* Serialized directory operations: without FUSE_PARALLEL_DIROPS concurrent
    lookups queue behind a per-directory lock; each client thread waits for
    the others' round trips. *)
 let dirop_penalty t =
-  if (not t.opts.Opts.parallel_dirops) && t.client_concurrency > 1 then
+  if (not t.opts.Opts.parallel_dirops) && t.client_concurrency > 1 then begin
+    Repro_obs.Metrics.add t.conn.Conn.m_ctx_switches (t.client_concurrency - 1);
     Clock.consume_int t.clock
       ((t.client_concurrency - 1) * (t.cost.Cost.context_switch_ns + 600))
+  end
 
 let cache_attr t st =
   if t.opts.Opts.attr_cache then Hashtbl.replace t.attrs st.Types.st_ino st;
@@ -240,6 +247,7 @@ let flush_dirty t ino = Page_cache.flush_inode t.pcache ino
 
 let create ~conn ~opts ~budget =
   let clock = conn.Conn.clock and cost = conn.Conn.cost in
+  let metrics = Repro_obs.Obs.metrics (Conn.obs conn) in
   let t =
     {
       conn;
@@ -247,7 +255,9 @@ let create ~conn ~opts ~budget =
       clock;
       cost;
       fs_id = Fsops.next_fs_id ();
-      pcache = Page_cache.create ~name:"fuse" ~budget ~page_size:cost.Cost.page_size;
+      pcache =
+        Page_cache.create ~metrics ~name:"fuse" ~budget
+          ~page_size:cost.Cost.page_size ();
       pdata = Hashtbl.create 1024;
       sizes = Hashtbl.create 64;
       entries = Hashtbl.create 256;
@@ -259,6 +269,8 @@ let create ~conn ~opts ~budget =
       forget_q = [];
       last_wb_flush_ns = 0L;
       client_concurrency = 1;
+      m_dentry_hits = Repro_obs.Metrics.counter metrics "fuse.dentry.hits";
+      m_dentry_misses = Repro_obs.Metrics.counter metrics "fuse.dentry.misses";
     }
   in
   install_flush_hook t;
@@ -267,6 +279,7 @@ let create ~conn ~opts ~budget =
 let set_client_concurrency t n = t.client_concurrency <- max 1 n
 
 let conn t = t.conn
+let obs t = Conn.obs t.conn
 
 (* debug: first byte of every cached page (test introspection) *)
 let debug_pages t =
@@ -283,10 +296,12 @@ let lookup t cred parent name =
     if t.opts.Opts.entry_cache then Hashtbl.find_opt t.entries (parent, name) else None
   with
   | Some ino ->
+      Repro_obs.Metrics.incr t.m_dentry_hits;
       Clock.consume_int t.clock t.cost.Cost.dentry_ns;
       let* st = getattr t ino in
       Ok (ino, st)
   | None -> (
+      Repro_obs.Metrics.incr t.m_dentry_misses;
       let* resp = rt t (ctx_of cred) (Protocol.Lookup { parent; name }) in
       match resp with
       | Protocol.R_entry (ino, st) ->

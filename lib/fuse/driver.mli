@@ -27,8 +27,21 @@ val set_client_concurrency : t -> int -> unit
 
 val conn : t -> Conn.t
 
-(** Page-cache statistics (hits, misses, evictions, writeback). *)
+(** The connection's observability handle; the driver's page cache and
+    dentry counters ([vfs.page_cache.fuse.*], [fuse.dentry.*]) register
+    here. *)
+val obs : t -> Repro_obs.Obs.t
+
+(** Page-cache statistics (hits, misses, evictions, writeback).
+
+    Deprecated: thin wrapper over the metrics registry (the
+    [vfs.page_cache.fuse.*] counters on {!obs}); kept for one release —
+    new code should read the registry directly. *)
 val cache_stats : t -> Page_cache.stats
 
-(** Test introspection: [(ino, page, first byte)] of every cached page. *)
+(** Test introspection: [(ino, page, first byte)] of every cached page.
+
+    Deprecated: prefer the [vfs.page_cache.fuse.*] counters on {!obs} for
+    cache behaviour assertions; this remains only for tests that must see
+    page *contents*. *)
 val debug_pages : t -> (int * int * char) list

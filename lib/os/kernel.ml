@@ -21,6 +21,10 @@ and cgroup = { mutable cg_procs : int list }
 and t = {
   clock : Clock.t;
   cost : Cost.t;
+  obs : Repro_obs.Obs.t;
+  (* Hot handle for the per-syscall counter; rare ops (fork, exec,
+     namespace changes) look their counters up by name at call time. *)
+  k_syscalls : Repro_obs.Metrics.counter;
   procs : (int, Proc.t) Hashtbl.t;
   mutable next_pid : int;
   namespaces : (int, Mount.ns) Hashtbl.t; (* all mount namespaces *)
@@ -35,7 +39,14 @@ and t = {
 
 let ( let* ) = Result.bind
 
-let charge t = Clock.consume_int t.clock t.cost.Cost.syscall_ns
+let charge t =
+  Repro_obs.Metrics.incr t.k_syscalls;
+  Clock.consume_int t.clock t.cost.Cost.syscall_ns
+
+(* Get-or-create a named counter on the kernel's registry — for cold
+   paths where holding a handle isn't worth a record field. *)
+let count t name n =
+  Repro_obs.Metrics.add (Repro_obs.Metrics.counter (Repro_obs.Obs.metrics t.obs) name) n
 
 let fresh_tag t =
   t.next_tag <- t.next_tag + 1;
@@ -47,11 +58,14 @@ let register_mnt_ns t ns = Hashtbl.replace t.namespaces ns.Mount.ns_id ns
 
 (* Create a kernel whose init process (pid 1) runs as root on [root_fs].
    The host root mount is shared, as systemd sets it up. *)
-let create ~clock ~cost ~root_fs =
+let create ?obs ~clock ~cost ~root_fs () =
+  let obs = match obs with Some o -> o | None -> Repro_obs.Obs.create () in
   let t =
     {
       clock;
       cost;
+      obs;
+      k_syscalls = Repro_obs.Metrics.counter (Repro_obs.Obs.metrics obs) "os.syscall.count";
       procs = Hashtbl.create 64;
       next_pid = 2;
       namespaces = Hashtbl.create 8;
@@ -663,6 +677,7 @@ let chroot t proc path =
 
 let fork t proc =
   charge t;
+  count t "os.proc.forks" 1;
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
   (* fds are shared open file descriptions, Linux-style. *)
@@ -722,6 +737,7 @@ let unshare t proc kinds =
   if not (Caps.Set.mem Caps.CAP_SYS_ADMIN proc.Proc.cred.Proc.caps) then
     Error Errno.EPERM
   else begin
+    count t "os.ns.unshare" (List.length kinds);
     List.iter
       (fun kind ->
         match kind with
@@ -777,6 +793,7 @@ let setns t proc ~target_pid kinds =
     Error Errno.EPERM
   else
     let* target = proc_by_pid t target_pid in
+    count t "os.ns.setns" (List.length kinds);
     List.iter
       (fun kind ->
         match kind with
@@ -1075,6 +1092,7 @@ let read_whole t proc path =
    program's exit code. *)
 let rec exec t proc path args =
   charge t;
+  count t "os.proc.execs" 1;
   let* () = access t proc path Types.x_ok in
   let* v = resolve_cwd t proc path in
   let fs = v.Proc.v_mount.Mount.m_fs in

@@ -28,6 +28,10 @@ and cgroup = { mutable cg_procs : int list }
 and t = {
   clock : Clock.t;
   cost : Cost.t;
+  obs : Repro_obs.Obs.t;
+      (** the kernel's observability handle — shared with the FUSE/CntrFS
+          layers so [os.*], [fuse.*] and [vfs.*] counters land together *)
+  k_syscalls : Repro_obs.Metrics.counter;  (** hot handle for [os.syscall.count] *)
   procs : (int, Proc.t) Hashtbl.t;
   mutable next_pid : int;
   namespaces : (int, Mount.ns) Hashtbl.t;  (** every mount namespace, for propagation *)
@@ -43,8 +47,11 @@ and t = {
 }
 
 (** Boot a kernel whose init process (pid 1) runs as root on [root_fs];
-    the root mount starts shared, as systemd configures it. *)
-val create : clock:Clock.t -> cost:Cost.t -> root_fs:Fsops.t -> t
+    the root mount starts shared, as systemd configures it.  Syscalls,
+    fork/exec and namespace transitions are counted on [obs] (a private
+    handle when omitted) under [os.syscall.count], [os.proc.forks],
+    [os.proc.execs], [os.ns.unshare] and [os.ns.setns]. *)
+val create : ?obs:Repro_obs.Obs.t -> clock:Clock.t -> cost:Cost.t -> root_fs:Fsops.t -> unit -> t
 
 val init_proc : t -> Proc.t
 val proc_by_pid : t -> int -> (Proc.t, Errno.t) result

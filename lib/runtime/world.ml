@@ -10,6 +10,7 @@ open Repro_image
 type t = {
   clock : Clock.t;
   cost : Cost.t;
+  obs : Repro_obs.Obs.t;
   kernel : Kernel.t;
   init : Proc.t;
   rootfs : Nativefs.t;
@@ -64,15 +65,22 @@ let install_host_binaries kernel init =
 let create ?(memory_mb = 1024) ?(disk = false) () =
   let clock = Clock.create () in
   let cost = Cost.default in
+  (* One observability handle for the whole machine: every layer below
+     (kernel, page caches, FUSE connections) registers its metrics here. *)
+  let obs = Repro_obs.Obs.create () in
+  let metrics = Repro_obs.Obs.metrics obs in
   let budget = Mem_budget.create ~limit_bytes:(memory_mb * 1024 * 1024) in
   let store =
     if disk then
-      let cache = Page_cache.create ~name:"host-ext4" ~budget ~page_size:cost.Cost.page_size in
+      let cache =
+        Page_cache.create ~metrics ~name:"host-ext4" ~budget
+          ~page_size:cost.Cost.page_size ()
+      in
       Store.Ssd { cache; flush_pages = 64 }
     else Store.Ram
   in
-  let rootfs = Nativefs.create ~name:"host-root" ~clock ~cost store () in
-  let kernel = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) in
+  let rootfs = Nativefs.create ~metrics ~name:"host-root" ~clock ~cost store () in
+  let kernel = Kernel.create ~obs ~clock ~cost ~root_fs:(Nativefs.ops rootfs) () in
   let init = Kernel.init_proc kernel in
   populate_host kernel init;
   install_host_binaries kernel init;
@@ -84,7 +92,7 @@ let create ?(memory_mb = 1024) ?(disk = false) () =
   let registry = Registry.create ~clock () in
   Catalog.publish registry;
   let engines = Engine.all ~kernel in
-  { clock; cost; kernel; init; rootfs; registry; engines; budget }
+  { clock; cost; obs; kernel; init; rootfs; registry; engines; budget }
 
 let docker t = List.nth t.engines 0
 

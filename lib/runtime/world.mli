@@ -8,6 +8,9 @@ open Repro_os
 type t = {
   clock : Clock.t;
   cost : Cost.t;
+  obs : Repro_obs.Obs.t;
+      (** the machine-wide observability handle: every layer's metrics
+          ([os.*], [fuse.*], [cntrfs.*], [vfs.*]) land in this registry *)
   kernel : Kernel.t;
   init : Proc.t;  (** pid 1 *)
   rootfs : Repro_vfs.Nativefs.t;

@@ -16,8 +16,11 @@ let stddev xs =
       in
       sqrt var
 
-(* p in [0,1]; nearest-rank percentile of a non-empty list. *)
+(* p in [0,1]; nearest-rank percentile of a non-empty list.  p = 0 is the
+   minimum, p = 1 the maximum; a single-element list returns that element
+   for every p. *)
 let percentile p xs =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Stats.percentile: p not in [0, 1]";
   match List.sort compare xs with
   | [] -> invalid_arg "Stats.percentile: empty"
   | sorted ->
@@ -29,16 +32,24 @@ let percentile p xs =
 let median xs = percentile 0.5 xs
 
 (* Histogram with [buckets] equal-width bins over [lo, hi).  Values at or
-   above [hi] land in the last bin. *)
+   above [hi] land in the last bin; NaN values are skipped (int_of_float
+   on NaN is undefined, so they must never reach the index computation). *)
 let histogram ~lo ~hi ~buckets xs =
   if buckets <= 0 then invalid_arg "Stats.histogram: buckets";
+  if not (hi > lo) then invalid_arg "Stats.histogram: hi must exceed lo";
   let counts = Array.make buckets 0 in
   let width = (hi -. lo) /. float_of_int buckets in
   List.iter
     (fun x ->
-      let i = int_of_float ((x -. lo) /. width) in
-      let i = max 0 (min (buckets - 1) i) in
-      counts.(i) <- counts.(i) + 1)
+      if not (Float.is_nan x) then begin
+        let scaled = (x -. lo) /. width in
+        let i =
+          if scaled <= 0. then 0
+          else if scaled >= float_of_int buckets then buckets - 1
+          else int_of_float scaled
+        in
+        counts.(i) <- counts.(i) + 1
+      end)
     xs;
   counts
 

@@ -6,13 +6,18 @@ val mean : float list -> float
 (** Sample standard deviation (0 for fewer than two points). *)
 val stddev : float list -> float
 
-(** Nearest-rank percentile, [p] in [0, 1]; raises on an empty list. *)
+(** Nearest-rank percentile.  Raises [Invalid_argument] on an empty list
+    or when [p] is outside [0, 1] (including NaN).  [p = 0.] is the
+    minimum, [p = 1.] the maximum; a single-element list returns that
+    element for any valid [p]. *)
 val percentile : float -> 'a list -> 'a
 
 val median : 'a list -> 'a
 
 (** Equal-width histogram over [lo, hi); values at or above [hi] land in
-    the last bucket. *)
+    the last bucket, values below [lo] in the first.  NaN values are
+    skipped.  Raises [Invalid_argument] unless [buckets > 0] and
+    [hi > lo]. *)
 val histogram : lo:float -> hi:float -> buckets:int -> float list -> int array
 
 (** Render one row of '#' marks per bucket. *)

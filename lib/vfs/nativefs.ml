@@ -39,8 +39,8 @@ type t = {
 
 let acl_xattr = "system.posix_acl_access"
 
-let create ?(name = "nativefs") ?(readonly = false) ~clock ~cost store_profile () =
-  let store = Store.create ~clock ~cost store_profile in
+let create ?metrics ?(name = "nativefs") ?(readonly = false) ~clock ~cost store_profile () =
+  let store = Store.create ?metrics ~clock ~cost store_profile in
   let t =
     {
       name;

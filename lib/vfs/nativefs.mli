@@ -8,7 +8,11 @@ open Repro_util
 
 type t
 
+(** [metrics] is handed to the backing {!Store} so device I/O lands in a
+    shared registry ([vfs.disk.*]); a private registry is used when
+    omitted. *)
 val create :
+  ?metrics:Repro_obs.Metrics.t ->
   ?name:string -> ?readonly:bool -> clock:Clock.t -> cost:Cost.t -> Store.profile -> unit -> t
 
 (** The uniform filesystem interface (mount this). *)

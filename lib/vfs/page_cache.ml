@@ -12,12 +12,14 @@ type node = {
 }
 
 type stats = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable writeback_ios : int;
-  mutable writeback_pages : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  writeback_ios : int;
+  writeback_pages : int;
 }
+
+module Metrics = Repro_obs.Metrics
 
 type t = {
   name : string;
@@ -28,7 +30,13 @@ type t = {
   mutable lru_head : node option; (* most recently used *)
   mutable lru_tail : node option; (* least recently used *)
   dirty_by_ino : (int, (int, unit) Hashtbl.t) Hashtbl.t;
-  stats : stats;
+  (* Counters live in the metrics registry ("vfs.page_cache.<name>.*");
+     two caches created with the same name on one registry share them. *)
+  m_hits : Metrics.counter;
+  m_misses : Metrics.counter;
+  m_evictions : Metrics.counter;
+  m_writeback_ios : Metrics.counter;
+  m_writeback_pages : Metrics.counter;
   (* Called when a dirty page run must reach the device: [on_flush ~ino
      ~page ~pages] where the run covers [pages] contiguous pages. *)
   mutable on_flush : ino:int -> page:int -> pages:int -> unit;
@@ -37,24 +45,68 @@ type t = {
   mutable on_evict : ino:int -> page:int -> unit;
 }
 
-let create ~name ~budget ~page_size = {
-  name;
-  budget;
-  page_size;
-  pages = Hashtbl.create 1024;
-  dirty_total = 0;
-  lru_head = None;
-  lru_tail = None;
-  dirty_by_ino = Hashtbl.create 16;
-  stats = { hits = 0; misses = 0; evictions = 0; writeback_ios = 0; writeback_pages = 0 };
-  on_flush = (fun ~ino:_ ~page:_ ~pages:_ -> ());
-  on_evict = (fun ~ino:_ ~page:_ -> ());
-}
+let ratio hits misses =
+  let total = hits + misses in
+  if total = 0 then 0. else float_of_int hits /. float_of_int total
+
+(* Hit ratio over every page cache registered on [metrics], whatever their
+   names: sums the per-cache hit/miss counters at snapshot time. *)
+let aggregate_hit_ratio metrics () =
+  let suffixed suffix =
+    Metrics.counters_with_prefix metrics ~prefix:"vfs.page_cache."
+    |> List.fold_left
+         (fun acc (name, v) ->
+           if String.length name >= String.length suffix
+              && String.sub name
+                   (String.length name - String.length suffix)
+                   (String.length suffix)
+                 = suffix
+           then acc + v
+           else acc)
+         0
+  in
+  ratio (suffixed ".hits") (suffixed ".misses")
+
+let create ?metrics ~name ~budget ~page_size () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let key suffix = Printf.sprintf "vfs.page_cache.%s.%s" name suffix in
+  let m_hits = Metrics.counter metrics (key "hits") in
+  let m_misses = Metrics.counter metrics (key "misses") in
+  Metrics.register_derived metrics (key "hit_ratio") (fun () ->
+      ratio (Metrics.value m_hits) (Metrics.value m_misses));
+  Metrics.register_derived metrics "vfs.page_cache.hit_ratio"
+    (aggregate_hit_ratio metrics);
+  {
+    name;
+    budget;
+    page_size;
+    pages = Hashtbl.create 1024;
+    dirty_total = 0;
+    lru_head = None;
+    lru_tail = None;
+    dirty_by_ino = Hashtbl.create 16;
+    m_hits;
+    m_misses;
+    m_evictions = Metrics.counter metrics (key "evictions");
+    m_writeback_ios = Metrics.counter metrics (key "writeback_ios");
+    m_writeback_pages = Metrics.counter metrics (key "writeback_pages");
+    on_flush = (fun ~ino:_ ~page:_ ~pages:_ -> ());
+    on_evict = (fun ~ino:_ ~page:_ -> ());
+  }
 
 let budget t = t.budget
 let set_on_flush t f = t.on_flush <- f
 let set_on_evict t f = t.on_evict <- f
-let stats t = t.stats
+
+(* Snapshot view over the registry counters. *)
+let stats t =
+  {
+    hits = Metrics.value t.m_hits;
+    misses = Metrics.value t.m_misses;
+    evictions = Metrics.value t.m_evictions;
+    writeback_ios = Metrics.value t.m_writeback_ios;
+    writeback_pages = Metrics.value t.m_writeback_pages;
+  }
 
 let unlink_node t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.lru_head <- n.next);
@@ -116,8 +168,8 @@ let flush_inode t ino =
       let runs = runs_of_pages pages in
       List.iter
         (fun (start, count) ->
-          t.stats.writeback_ios <- t.stats.writeback_ios + 1;
-          t.stats.writeback_pages <- t.stats.writeback_pages + count;
+          Metrics.incr t.m_writeback_ios;
+          Metrics.add t.m_writeback_pages count;
           t.on_flush ~ino ~page:start ~pages:count)
         runs;
       List.iter
@@ -143,8 +195,8 @@ let evict_one t =
   | Some n ->
       if n.dirty then begin
         (* Evicting a dirty page forces a single-page writeback I/O. *)
-        t.stats.writeback_ios <- t.stats.writeback_ios + 1;
-        t.stats.writeback_pages <- t.stats.writeback_pages + 1;
+        Metrics.incr t.m_writeback_ios;
+        Metrics.incr t.m_writeback_pages;
         t.on_flush ~ino:n.key.k_ino ~page:n.key.k_page ~pages:1;
         clear_dirty t n
       end;
@@ -152,7 +204,7 @@ let evict_one t =
       Hashtbl.remove t.pages n.key;
       t.on_evict ~ino:n.key.k_ino ~page:n.key.k_page;
       Mem_budget.release t.budget t.page_size;
-      t.stats.evictions <- t.stats.evictions + 1
+      Metrics.incr t.m_evictions
 
 (* Touch a page for reading: returns [`Hit] if cached, otherwise inserts it
    (evicting under memory pressure) and returns [`Miss]. *)
@@ -163,7 +215,7 @@ let touch t ~ino ~page ~dirty =
       unlink_node t n;
       push_front t n;
       if dirty then mark_dirty t n;
-      t.stats.hits <- t.stats.hits + 1;
+      Metrics.incr t.m_hits;
       `Hit
   | None ->
       let n = { key; dirty = false; prev = None; next = None } in
@@ -180,7 +232,7 @@ let touch t ~ino ~page ~dirty =
       in
       evict_until_fits ();
       if dirty then mark_dirty t n;
-      t.stats.misses <- t.stats.misses + 1;
+      Metrics.incr t.m_misses;
       `Miss
 
 let mem t ~ino ~page = Hashtbl.mem t.pages { k_ino = ino; k_page = page }

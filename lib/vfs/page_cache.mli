@@ -2,17 +2,26 @@
     presence records for cost accounting; users that also need the bytes
     (the FUSE driver) keep them alongside and react to {!set_on_evict}. *)
 
+(** Immutable snapshot of the cache's registry counters, taken by
+    {!stats}. *)
 type stats = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable writeback_ios : int;
-  mutable writeback_pages : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  writeback_ios : int;
+  writeback_pages : int;
 }
 
 type t
 
-val create : name:string -> budget:Mem_budget.t -> page_size:int -> t
+(** Counters are registered on [metrics] (a private registry when omitted)
+    as [vfs.page_cache.<name>.hits|misses|evictions|writeback_ios|
+    writeback_pages], plus derived gauges [vfs.page_cache.<name>.hit_ratio]
+    and the cross-cache aggregate [vfs.page_cache.hit_ratio].  Two caches
+    created with the same name on one registry share counters. *)
+val create :
+  ?metrics:Repro_obs.Metrics.t ->
+  name:string -> budget:Mem_budget.t -> page_size:int -> unit -> t
 
 (** Device-write callback for each flushed contiguous run. *)
 val set_on_flush : t -> (ino:int -> page:int -> pages:int -> unit) -> unit
@@ -21,6 +30,7 @@ val set_on_flush : t -> (ino:int -> page:int -> pages:int -> unit) -> unit
     discard). *)
 val set_on_evict : t -> (ino:int -> page:int -> unit) -> unit
 
+(** Fresh snapshot of the registry counters. *)
 val stats : t -> stats
 
 val budget : t -> Mem_budget.t

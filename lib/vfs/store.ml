@@ -23,31 +23,41 @@ let flush_interval_ns = 500_000 (* 0.5 ms of virtual time *)
 let readahead_pages = 32
 
 type stats = {
-  mutable disk_read_ios : int;
-  mutable disk_read_bytes : int;
-  mutable disk_write_ios : int;
-  mutable disk_write_bytes : int;
+  disk_read_ios : int;
+  disk_read_bytes : int;
+  disk_write_ios : int;
+  disk_write_bytes : int;
 }
+
+module Metrics = Repro_obs.Metrics
 
 type t = {
   clock : Clock.t;
   cost : Cost.t;
   profile : profile;
-  stats : stats;
+  (* "vfs.disk.*" registry counters — only Ssd profiles ever increment
+     them, so tmpfs-backed stores report zeros. *)
+  m_read_ios : Metrics.counter;
+  m_read_bytes : Metrics.counter;
+  m_write_ios : Metrics.counter;
+  m_write_bytes : Metrics.counter;
   mutable last_flush_ns : int64;
   (* true while the periodic background writeback runs: the application
      does not wait for it, so no virtual time is charged *)
   mutable in_background : bool;
 }
 
-let create ~clock ~cost profile =
+let create ?metrics ~clock ~cost profile =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let t =
     {
       clock;
       cost;
       profile;
-      stats =
-        { disk_read_ios = 0; disk_read_bytes = 0; disk_write_ios = 0; disk_write_bytes = 0 };
+      m_read_ios = Metrics.counter metrics "vfs.disk.read_ios";
+      m_read_bytes = Metrics.counter metrics "vfs.disk.read_bytes";
+      m_write_ios = Metrics.counter metrics "vfs.disk.write_ios";
+      m_write_bytes = Metrics.counter metrics "vfs.disk.write_bytes";
       last_flush_ns = 0L;
       in_background = false;
     }
@@ -58,13 +68,20 @@ let create ~clock ~cost profile =
       (* Every flushed run is one device write I/O. *)
       Page_cache.set_on_flush cache (fun ~ino:_ ~page:_ ~pages ->
           let bytes = pages * cost.Cost.page_size in
-          t.stats.disk_write_ios <- t.stats.disk_write_ios + 1;
-          t.stats.disk_write_bytes <- t.stats.disk_write_bytes + bytes;
+          Metrics.incr t.m_write_ios;
+          Metrics.add t.m_write_bytes bytes;
           if not t.in_background then
             Clock.consume_int clock (Cost.disk_write_cost cost bytes)));
   t
 
-let stats t = t.stats
+(* Snapshot view over the registry counters. *)
+let stats t =
+  {
+    disk_read_ios = Metrics.value t.m_read_ios;
+    disk_read_bytes = Metrics.value t.m_read_bytes;
+    disk_write_ios = Metrics.value t.m_write_ios;
+    disk_write_bytes = Metrics.value t.m_write_bytes;
+  }
 
 let cache t = match t.profile with Ram -> None | Ssd { cache; _ } -> Some cache
 
@@ -75,8 +92,8 @@ let page_range t ~off ~len =
   (first, last)
 
 let charge_disk_read t bytes =
-  t.stats.disk_read_ios <- t.stats.disk_read_ios + 1;
-  t.stats.disk_read_bytes <- t.stats.disk_read_bytes + bytes;
+  Metrics.incr t.m_read_ios;
+  Metrics.add t.m_read_bytes bytes;
   Clock.consume_int t.clock (Cost.disk_read_cost t.cost bytes)
 
 (* Charge the cost of reading [len] bytes at [off] of [ino]: page-cache
@@ -166,8 +183,8 @@ let write_direct t ~len ~async =
   match t.profile with
   | Ram -> Clock.consume_int t.clock (Cost.mem_cost t.cost len)
   | Ssd _ ->
-      t.stats.disk_write_ios <- t.stats.disk_write_ios + 1;
-      t.stats.disk_write_bytes <- t.stats.disk_write_bytes + len;
+      Metrics.incr t.m_write_ios;
+      Metrics.add t.m_write_bytes len;
       let cost =
         if async then t.cost.Cost.disk.Cost.write_ns_per_kib * Cost.kib_of_bytes len
         else Cost.disk_write_cost t.cost len
@@ -178,8 +195,8 @@ let read_direct t ~len ~async =
   match t.profile with
   | Ram -> Clock.consume_int t.clock (Cost.mem_cost t.cost len)
   | Ssd _ ->
-      t.stats.disk_read_ios <- t.stats.disk_read_ios + 1;
-      t.stats.disk_read_bytes <- t.stats.disk_read_bytes + len;
+      Metrics.incr t.m_read_ios;
+      Metrics.add t.m_read_bytes len;
       let cost =
         if async then t.cost.Cost.disk.Cost.read_ns_per_kib * Cost.kib_of_bytes len
         else Cost.disk_read_cost t.cost len

@@ -11,16 +11,23 @@ type profile =
   | Ram
   | Ssd of { cache : Page_cache.t; flush_pages : int }
 
+(** Immutable snapshot of the store's registry counters, taken by
+    {!stats}. *)
 type stats = {
-  mutable disk_read_ios : int;
-  mutable disk_read_bytes : int;
-  mutable disk_write_ios : int;
-  mutable disk_write_bytes : int;
+  disk_read_ios : int;
+  disk_read_bytes : int;
+  disk_write_ios : int;
+  disk_write_bytes : int;
 }
 
 type t
 
-val create : clock:Clock.t -> cost:Cost.t -> profile -> t
+(** Device I/O lands in [metrics] (a private registry when omitted) under
+    [vfs.disk.read_ios|read_bytes|write_ios|write_bytes]; only [Ssd]
+    profiles ever increment them. *)
+val create : ?metrics:Repro_obs.Metrics.t -> clock:Clock.t -> cost:Cost.t -> profile -> t
+
+(** Fresh snapshot of the registry counters. *)
 val stats : t -> stats
 val cache : t -> Page_cache.t option
 

@@ -40,18 +40,23 @@ type workload = {
 
 let ok = Errno.ok_exn
 
-let make_env ~backend ~budget_mb ?(threads = 4) () =
+let make_env ?obs ~backend ~budget_mb ?(threads = 4) () =
   let clock = Clock.create () in
   let cost = Cost.default in
+  let obs = match obs with Some o -> o | None -> Repro_obs.Obs.create () in
+  let metrics = Repro_obs.Obs.metrics obs in
   let budget = Mem_budget.create ~limit_bytes:(budget_mb * 1024 * 1024) in
   let rootfs = Nativefs.create ~name:"host-root" ~clock ~cost Store.Ram () in
-  let kernel = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) in
+  let kernel = Kernel.create ~obs ~clock ~cost ~root_fs:(Nativefs.ops rootfs) () in
   let init = Kernel.init_proc kernel in
   List.iter (fun d -> ok (Kernel.mkdir kernel init d ~mode:0o755)) [ "/data"; "/cntr" ];
   (* the ext4-on-EBS data volume *)
-  let cache = Page_cache.create ~name:"ext4" ~budget ~page_size:cost.Cost.page_size in
+  let cache =
+    Page_cache.create ~metrics ~name:"ext4" ~budget ~page_size:cost.Cost.page_size ()
+  in
   let data_fs =
-    Nativefs.create ~name:"ext4-data" ~clock ~cost (Store.Ssd { cache; flush_pages = 64 }) ()
+    Nativefs.create ~metrics ~name:"ext4-data" ~clock ~cost
+      (Store.Ssd { cache; flush_pages = 64 }) ()
   in
   ignore (ok (Kernel.mount_at kernel init ~fs:(Nativefs.ops data_fs) "/data"));
   ok (Kernel.mkdir kernel init "/data/bench" ~mode:0o777);
@@ -83,9 +88,10 @@ let settle env =
   | None -> ()
 
 (* Run [w] on [backend]; returns virtual nanoseconds of the measured
-   phase. *)
-let run_workload ~backend w =
-  let env = make_env ~backend ~budget_mb:w.w_budget_mb () in
+   phase.  [obs] collects the run's metrics (a fresh private handle when
+   omitted, since each run builds a fresh env). *)
+let run_workload ?obs ~backend w =
+  let env = make_env ?obs ~backend ~budget_mb:w.w_budget_mb () in
   (match env.session with
   | Some session -> Session.set_client_concurrency session w.w_concurrency
   | None -> ());

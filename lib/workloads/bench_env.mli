@@ -34,13 +34,17 @@ type workload = {
   w_run : env -> unit;  (** measured; runs via [dir] *)
 }
 
-val make_env : backend:backend -> budget_mb:int -> ?threads:int -> unit -> env
+(** [obs] is shared by the env's kernel, page caches and FUSE session, so
+    one registry sees the whole run; omitted = a fresh private handle. *)
+val make_env :
+  ?obs:Repro_obs.Obs.t -> backend:backend -> budget_mb:int -> ?threads:int -> unit -> env
 
 (** Flush the backing cache's dirty pages so measurement starts settled. *)
 val settle : env -> unit
 
-(** Run the workload; returns measured virtual nanoseconds. *)
-val run_workload : backend:backend -> workload -> int
+(** Run the workload; returns measured virtual nanoseconds.  [obs]
+    collects the run's counters for inspection after the run. *)
+val run_workload : ?obs:Repro_obs.Obs.t -> backend:backend -> workload -> int
 
 (** Figure 2's metric: time(CntrFS) / time(native); >1 = CntrFS slower. *)
 val overhead : ?opts:Opts.t -> workload -> float

@@ -92,7 +92,7 @@ let make_world () =
   let clock = Clock.create () in
   let cost = Cost.default in
   let rootfs = Nativefs.create ~name:"tmpfs" ~clock ~cost Store.Ram () in
-  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) in
+  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) () in
   let init = Kernel.init_proc k in
   List.iter (fun d -> ok (Kernel.mkdir k init d ~mode:0o755)) [ "/back"; "/mnt" ];
   ok (Kernel.chmod k init "/back" 0o777);

@@ -50,7 +50,7 @@ let test_server_death_gives_enotconn () =
 
 let test_uninitialized_conn_refuses () =
   let clock = Clock.create () in
-  let conn = Conn.create ~clock ~cost:Cost.default in
+  let conn = Conn.create ~clock ~cost:Cost.default () in
   (* no handler installed at all *)
   (match Conn.call conn Protocol.root_ctx Protocol.Statfs with
   | Protocol.R_err Errno.ENOTCONN -> ()

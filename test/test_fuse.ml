@@ -22,7 +22,7 @@ let boot ?(opts = Opts.cntr_default) () =
   let clock = Clock.create () in
   let cost = Cost.default in
   let rootfs = Nativefs.create ~name:"rootfs" ~clock ~cost Store.Ram () in
-  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) in
+  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) () in
   let init = Kernel.init_proc k in
   ok (Kernel.mkdir k init "/back" ~mode:0o777);
   ok (Kernel.mkdir k init "/mnt" ~mode:0o755);
@@ -57,7 +57,7 @@ let test_not_serving_before_handshake () =
   (* a fresh connection without start_serving refuses requests, like a FUSE
      fd before the mount signal (§3.2.2) *)
   let clock = Clock.create () in
-  let conn = Conn.create ~clock ~cost:Cost.default in
+  let conn = Conn.create ~clock ~cost:Cost.default () in
   Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
   (match Conn.call conn Protocol.root_ctx Protocol.Statfs with
   | Protocol.R_err Errno.ENOTCONN -> ()
@@ -70,7 +70,7 @@ let test_not_serving_before_handshake () =
 let test_batching_amortizes_context_switches () =
   let clock = Clock.create () in
   let cost = Cost.default in
-  let conn = Conn.create ~clock ~cost in
+  let conn = Conn.create ~clock ~cost () in
   Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
   Conn.start_serving conn;
   conn.Conn.threads <- 1;
@@ -86,7 +86,7 @@ let test_batching_amortizes_context_switches () =
 
 let test_background_mode_free () =
   let clock = Clock.create () in
-  let conn = Conn.create ~clock ~cost:Cost.default in
+  let conn = Conn.create ~clock ~cost:Cost.default () in
   Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
   Conn.start_serving conn;
   conn.Conn.background <- true;

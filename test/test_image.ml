@@ -16,7 +16,7 @@ let boot () =
   let clock = Clock.create () in
   let cost = Cost.default in
   let rootfs = Nativefs.create ~name:"root" ~clock ~cost Store.Ram () in
-  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) in
+  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) () in
   (k, Kernel.init_proc k)
 
 let file path content = Layer.File { path; mode = 0o644; content = Content.Literal content }

@@ -12,7 +12,7 @@ let boot () =
   let clock = Clock.create () in
   let cost = Cost.default in
   let rootfs = Nativefs.create ~name:"root" ~clock ~cost Store.Ram () in
-  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) in
+  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) () in
   (k, Kernel.init_proc k)
 
 (* --- walk vs normalize --------------------------------------------------------- *)

@@ -113,6 +113,46 @@ let test_stats () =
   check_i "bucket1" 1 h.(1);
   check_i "last bucket catches overflow" 2 h.(4)
 
+let test_percentile_edges () =
+  (* single element: any valid p returns it *)
+  check_i "single p=0" 7 (Stats.percentile 0. [ 7 ]);
+  check_i "single p=0.5" 7 (Stats.percentile 0.5 [ 7 ]);
+  check_i "single p=1" 7 (Stats.percentile 1. [ 7 ]);
+  (* boundaries select min and max *)
+  check_i "p=0 is min" 1 (Stats.percentile 0. [ 3; 1; 2 ]);
+  check_i "p=1 is max" 3 (Stats.percentile 1. [ 3; 1; 2 ]);
+  check_i "median of evens" 2 (Stats.percentile 0.5 [ 4; 2; 3; 1 ]);
+  (* invalid inputs raise instead of indexing out of bounds *)
+  let raises name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  raises "empty list" (fun () -> Stats.percentile 0.5 []);
+  raises "p negative" (fun () -> Stats.percentile (-0.1) [ 1 ]);
+  raises "p above 1" (fun () -> Stats.percentile 1.1 [ 1 ]);
+  raises "p nan" (fun () -> Stats.percentile Float.nan [ 1 ])
+
+let test_histogram_edges () =
+  let raises name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  raises "no buckets" (fun () -> Stats.histogram ~lo:0. ~hi:1. ~buckets:0 [ 0.5 ]);
+  raises "hi = lo" (fun () -> Stats.histogram ~lo:1. ~hi:1. ~buckets:4 [ 1. ]);
+  raises "hi < lo" (fun () -> Stats.histogram ~lo:2. ~hi:1. ~buckets:4 [ 1. ]);
+  (* empty input is fine: all buckets zero *)
+  let h = Stats.histogram ~lo:0. ~hi:10. ~buckets:3 [] in
+  check_i "empty total" 0 (Array.fold_left ( + ) 0 h);
+  (* below-lo clamps to first bucket, at/above-hi to last; NaN skipped *)
+  let h = Stats.histogram ~lo:0. ~hi:10. ~buckets:2 [ -5.; 0.; 10.; 99.; Float.nan ] in
+  check_i "underflow+lo in first" 2 h.(0);
+  check_i "hi+overflow in last" 2 h.(1);
+  (* one value, one bucket *)
+  let h = Stats.histogram ~lo:0. ~hi:1. ~buckets:1 [ 0.5 ] in
+  check_i "single bucket" 1 h.(0)
+
 let test_size () =
   check_s "b" "512B" (Size.to_string 512);
   check_s "kib" "2.0KiB" (Size.to_string 2048);
@@ -155,6 +195,8 @@ let () =
       ( "stats-size-errno",
         [
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+          Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
           Alcotest.test_case "size" `Quick test_size;
           Alcotest.test_case "errno" `Quick test_errno;
         ] );

@@ -75,7 +75,7 @@ let prop_fdata_model =
 
 let mk_cache ?(limit = 16 * 4096) () =
   let budget = Mem_budget.create ~limit_bytes:limit in
-  (Page_cache.create ~name:"test" ~budget ~page_size:4096, budget)
+  (Page_cache.create ~name:"test" ~budget ~page_size:4096 (), budget)
 
 let test_cache_hit_miss () =
   let c, _ = mk_cache () in
@@ -398,7 +398,7 @@ let test_fs_readonly () =
 let mk_ssd_fs ?(limit = 64 * 4096) ?(flush_pages = 16) () =
   let clock = Clock.create () in
   let budget = Mem_budget.create ~limit_bytes:limit in
-  let cache = Page_cache.create ~name:"ext4" ~budget ~page_size:4096 in
+  let cache = Page_cache.create ~name:"ext4" ~budget ~page_size:4096 () in
   let fs =
     Nativefs.create ~name:"ext4" ~clock ~cost:Cost.default
       (Store.Ssd { cache; flush_pages })
