@@ -48,6 +48,20 @@ let e1 () =
 
 (* --- E2: Figure 2 ------------------------------------------------------------ *)
 
+(* `--json`: experiments that have a JSON form additionally write a
+   BENCH_<exp>.json file into the current directory (the repo root, when
+   run via `dune exec` from there).  Everything in those files derives from
+   the virtual clock and the fixed workload seeds, so two runs produce
+   byte-identical bytes. *)
+let json_mode = ref false
+
+let write_json_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let e2 () =
   section "E2 (Figure 2) Phoronix suite: relative overhead of CntrFS (lower is better)";
   Printf.printf "%-22s %8s %10s   %s\n" "benchmark" "paper" "measured" "";
@@ -56,14 +70,30 @@ let e2 () =
     String.make (min 60 (max 1 n)) '#'
   in
   let within = ref 0 in
-  List.iter
-    (fun w ->
-      let o = Repro_workloads.Bench_env.overhead w in
-      if o <= 1.5 then incr within;
-      Printf.printf "%-22s %7.1fx %9.2fx   %s\n%!" w.Repro_workloads.Bench_env.w_name
-        w.Repro_workloads.Bench_env.w_paper o (bars o))
-    Repro_workloads.Suite.figure2;
-  Printf.printf "\n%d out of 20 benchmarks at or below 1.5x (paper: 13/20 below 1.5x)\n%!" !within
+  let rows =
+    List.map
+      (fun w ->
+        let o = Repro_workloads.Bench_env.overhead w in
+        if o <= 1.5 then incr within;
+        Printf.printf "%-22s %7.1fx %9.2fx   %s\n%!" w.Repro_workloads.Bench_env.w_name
+          w.Repro_workloads.Bench_env.w_paper o (bars o);
+        (w.Repro_workloads.Bench_env.w_name, w.Repro_workloads.Bench_env.w_paper, o))
+      Repro_workloads.Suite.figure2
+  in
+  Printf.printf "\n%d out of 20 benchmarks at or below 1.5x (paper: 13/20 below 1.5x)\n%!" !within;
+  if !json_mode then begin
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n  \"experiment\": \"e2\",\n  \"metric\": \"relative overhead (cntrfs/native)\",\n  \"workloads\": [\n";
+    List.iteri
+      (fun i (name, paper, measured) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    {\"name\": \"%s\", \"paper\": %.1f, \"measured\": %.4f}%s\n"
+             (Repro_obs.Metrics.json_escape name) paper measured
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}";
+    write_json_file "BENCH_e2.json" (Buffer.contents buf)
+  end
 
 (* E2 smoke mode: one workload per family through the CntrFS backend, all
    feeding one shared registry, dumped as BENCH_smoke.json.  Runs under
@@ -276,6 +306,43 @@ let cache_sweep () =
   Printf.printf
     "the same file degrades through CntrFS one budget step earlier than\nnatively — the driver and the backing filesystem each cache a copy\n%!"
 
+(* --- e3e: metadata fast path (extension) ----------------------------------------- *)
+
+let e3e () =
+  section "E3e (extension) Metadata fast path: the LOOKUP tax, off vs on";
+  let rows = Repro_workloads.Experiments.fig3e () in
+  Printf.printf "%-22s %9s %9s %8s   %s\n" "workload" "off" "on" "improv" "";
+  List.iter
+    (fun r ->
+      let open Repro_workloads.Experiments in
+      let improv = 100. *. (r.er_off -. r.er_on) /. r.er_off in
+      Printf.printf
+        "%-22s %8.2fx %8.2fx %7.1f%%   amp %.2f->%.2f backing %d->%d neg=%d rdp=%d hc=%d\n%!"
+        r.er_workload r.er_off r.er_on improv r.er_amp_off r.er_amp_on r.er_backing_off
+        r.er_backing_on r.er_neg_hits r.er_rdp_entries r.er_hc_hits)
+    rows;
+  Printf.printf
+    "off = the paper's configuration (leaves Figure 2 untouched); on = Opts.fastpath:\n\
+     READDIRPLUS + TTL dentry/attr + negative dentries + server handle cache\n%!";
+  if !json_mode then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      "{\n  \"experiment\": \"e3e\",\n  \"metric\": \"relative overhead (cntrfs/native), metadata fast path off vs on\",\n  \"workloads\": [\n";
+    List.iteri
+      (fun i r ->
+        let open Repro_workloads.Experiments in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"name\": \"%s\", \"off\": %.4f, \"on\": %.4f, \"amp_off\": %.4f, \"amp_on\": %.4f, \"backing_off\": %d, \"backing_on\": %d, \"negative_hits\": %d, \"readdirplus_entries\": %d, \"handle_cache_hits\": %d}%s\n"
+             (Repro_obs.Metrics.json_escape r.er_workload)
+             r.er_off r.er_on r.er_amp_off r.er_amp_on r.er_backing_off r.er_backing_on
+             r.er_neg_hits r.er_rdp_entries r.er_hc_hits
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}";
+    write_json_file "BENCH_e3e.json" (Buffer.contents buf)
+  end
+
 (* --- bechamel micro-benchmarks -------------------------------------------------- *)
 
 let micro () =
@@ -324,12 +391,14 @@ let micro () =
 (* --- driver ---------------------------------------------------------------------- *)
 
 let all =
-  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("loc", e7); ("ablate", ablate); ("cache", cache_sweep); ("micro", micro) ]
+  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e3e", e3e); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("loc", e7); ("ablate", ablate); ("cache", cache_sweep); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke, args = List.partition (( = ) "--smoke") args in
+  let json, args = List.partition (( = ) "--json") args in
+  if json <> [] then json_mode := true;
   if smoke <> [] then begin
     (* `main.exe e2 --smoke` (the e2 is informative; --smoke selects) *)
     Printf.printf "CNTR reproduction — evaluation harness (virtual-time simulation)\n";
@@ -338,14 +407,14 @@ let () =
   end;
   let to_run =
     match args with
-    | [] -> [ e1; e2; e3; e4; e5; e6; e7; ablate; cache_sweep; micro ]
+    | [] -> [ e1; e2; e3; e3e; e4; e5; e6; e7; ablate; cache_sweep; micro ]
     | names ->
         List.filter_map
           (fun n ->
             match List.assoc_opt (String.lowercase_ascii n) all with
             | Some f -> Some f
             | None ->
-                Printf.eprintf "unknown experiment %s (known: e1-e7, loc, ablate, micro)\n" n;
+                Printf.eprintf "unknown experiment %s (known: e1-e7, e3e, loc, ablate, micro)\n" n;
                 None)
           names
   in

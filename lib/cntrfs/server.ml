@@ -29,6 +29,17 @@ type entry = {
 
 type server_handle = { sh_fd : int; sh_ino : int }
 
+(* One slot of the bounded-LRU handle cache: a lookup result (driver ino +
+   backing stat) the server may re-serve without the open()+stat() pair,
+   keyed by backing (dev, ino) — the single backing filesystem stands in
+   for the dev.  Invalidated by every mutating op that touches the inode or
+   its name. *)
+type hc_slot = {
+  hc_ino : int; (* driver ino *)
+  hc_stat : Types.stat; (* backing stat (st_ino = backing ino) *)
+  mutable hc_tick : int; (* LRU stamp *)
+}
+
 module Metrics = Repro_obs.Metrics
 
 type t = {
@@ -39,25 +50,43 @@ type t = {
   fhs : (int, server_handle) Hashtbl.t;
   mutable next_ino : int;
   mutable next_fh : int;
+  (* metadata fast path: the handle cache (capacity 0 = disabled) and the
+     validity windows stamped into READDIRPLUS replies *)
+  hc_cap : int;
+  hc : (int, hc_slot) Hashtbl.t; (* backing ino -> slot *)
+  hc_paths : (string, int) Hashtbl.t; (* path -> backing ino *)
+  mutable hc_tick : int;
+  rdp_entry_valid_ns : int;
+  rdp_attr_valid_ns : int;
   (* "cntrfs.*" counters on the kernel's registry: lookups, the backing
      syscalls they cost (the open()+stat() tax), and payload bytes *)
   m_lookups : Metrics.counter;
   m_backing_ops : Metrics.counter;
   m_read_bytes : Metrics.counter;
   m_write_bytes : Metrics.counter;
+  m_hc_hits : Metrics.counter;
+  m_hc_misses : Metrics.counter;
+  m_hc_evictions : Metrics.counter;
 }
 
 let root_ino = 1
 
-let create ~kernel ~proc ~root_path =
+let create ~kernel ~proc ~root_path ?(handle_cache = 0) ?(valid_ns = (0, 0)) () =
   let metrics = Repro_obs.Obs.metrics kernel.Kernel.obs in
   let m_lookups = Metrics.counter metrics "cntrfs.lookup.count" in
   let m_backing_ops = Metrics.counter metrics "cntrfs.lookup.backing_ops" in
   (* Lookup amplification: backing syscalls per driver-visible lookup
-     (2.0 = the plain open+stat pair; higher when handles are captured). *)
+     (2.0 = the plain open+stat pair; higher when handles are captured;
+     handle-cache hits and READDIRPLUS entries pull it down — the metric to
+     watch in the e3e ablation). *)
   Metrics.register_derived metrics "cntrfs.lookup.amplification" (fun () ->
       let l = Metrics.value m_lookups in
       if l = 0 then 0. else float_of_int (Metrics.value m_backing_ops) /. float_of_int l);
+  let m_hc_hits = Metrics.counter metrics "cntrfs.handle_cache.hits" in
+  let m_hc_misses = Metrics.counter metrics "cntrfs.handle_cache.misses" in
+  Metrics.register_derived metrics "cntrfs.handle_cache.hit_ratio" (fun () ->
+      let h = Metrics.value m_hc_hits and m = Metrics.value m_hc_misses in
+      if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m));
   let t =
     {
       kernel;
@@ -67,10 +96,19 @@ let create ~kernel ~proc ~root_path =
       fhs = Hashtbl.create 32;
       next_ino = 2;
       next_fh = 1;
+      hc_cap = max 0 handle_cache;
+      hc = Hashtbl.create 256;
+      hc_paths = Hashtbl.create 256;
+      hc_tick = 0;
+      rdp_entry_valid_ns = fst valid_ns;
+      rdp_attr_valid_ns = snd valid_ns;
       m_lookups;
       m_backing_ops;
       m_read_bytes = Metrics.counter metrics "cntrfs.read.bytes";
       m_write_bytes = Metrics.counter metrics "cntrfs.write.bytes";
+      m_hc_hits;
+      m_hc_misses;
+      m_hc_evictions = Metrics.counter metrics "cntrfs.handle_cache.evictions";
     }
   in
   Hashtbl.replace t.inos root_ino
@@ -103,6 +141,91 @@ let with_fsuid t (ctx : Protocol.ctx) f =
 (* Present a backing stat to the driver: the inode number must be the
    driver-visible one. *)
 let xlate_stat st ~ino = { st with Types.st_ino = ino }
+
+(* --- handle cache -------------------------------------------------------- *)
+
+let hc_touch t (slot : hc_slot) =
+  t.hc_tick <- t.hc_tick + 1;
+  slot.hc_tick <- t.hc_tick
+
+(* Eviction is O(capacity); capacities are small (the cache is bounded by
+   construction) and eviction only happens on insert past the cap. *)
+let hc_evict_if_full t =
+  if Hashtbl.length t.hc > t.hc_cap then begin
+    let victim =
+      Hashtbl.fold
+        (fun bino (slot : hc_slot) acc ->
+          match acc with
+          | Some (_, (best : hc_slot)) when best.hc_tick <= slot.hc_tick -> acc
+          | _ -> Some (bino, slot))
+        t.hc None
+    in
+    match victim with
+    | Some (bino, _) ->
+        Hashtbl.remove t.hc bino;
+        (* the path -> backing mapping may dangle; hits re-check [t.hc] *)
+        Metrics.incr t.m_hc_evictions
+    | None -> ()
+  end
+
+let hc_insert t ~path ~(st : Types.stat) ~ino =
+  if t.hc_cap > 0 then begin
+    let slot = { hc_ino = ino; hc_stat = st; hc_tick = 0 } in
+    Hashtbl.replace t.hc st.Types.st_ino slot;
+    hc_touch t slot;
+    Hashtbl.replace t.hc_paths path st.Types.st_ino;
+    hc_evict_if_full t
+  end
+
+(* A known-valid slot for [path], or None.  Validity requires the slot to
+   still be resident *and* its driver ino still interned (monotonic ino
+   allocation makes a forgotten ino detectable). *)
+let hc_find t path =
+  if t.hc_cap = 0 then None
+  else
+    match Hashtbl.find_opt t.hc_paths path with
+    | None -> None
+    | Some bino -> (
+        match Hashtbl.find_opt t.hc bino with
+        | Some slot
+          when slot.hc_stat.Types.st_ino = bino && Hashtbl.mem t.inos slot.hc_ino
+          ->
+            Some slot
+        | _ -> None)
+
+let hc_invalidate_backing t bino = if t.hc_cap > 0 then Hashtbl.remove t.hc bino
+
+let hc_invalidate_ino t ino =
+  if t.hc_cap > 0 then
+    match Hashtbl.find_opt t.inos ino with
+    | Some e -> Hashtbl.remove t.hc e.e_backing_ino
+    | None -> ()
+
+let hc_invalidate_path t path =
+  if t.hc_cap > 0 then
+    match Hashtbl.find_opt t.hc_paths path with
+    | Some bino ->
+        Hashtbl.remove t.hc_paths path;
+        Hashtbl.remove t.hc bino
+    | None -> ()
+
+(* Rename moves a whole subtree: drop everything at or under [dir]. *)
+let hc_invalidate_subtree t dir =
+  if t.hc_cap > 0 then begin
+    let doomed =
+      Hashtbl.fold
+        (fun p bino acc ->
+          if p = dir || Option.is_some (Pathx.strip_prefix ~dir p) then
+            (p, bino) :: acc
+          else acc)
+        t.hc_paths []
+    in
+    List.iter
+      (fun (p, bino) ->
+        Hashtbl.remove t.hc_paths p;
+        Hashtbl.remove t.hc bino)
+      doomed
+  end
 
 (* Does the interned path still name the same backing inode?  After
    "unlink + recreate under the same name" the path aliases a *different*
@@ -167,14 +290,30 @@ let intern t ~path ~(st : Types.stat) =
 let handle_lookup t ctx ~parent ~name =
   let* dir = path_of t parent in
   let path = Pathx.concat dir name in
-  (* The hardlink-detection tax: one open() for a handle plus one stat(),
-     per lookup (§5.2.2, Compilebench). *)
-  Metrics.incr t.m_lookups;
-  Metrics.add t.m_backing_ops 2;
-  Clock.consume_int t.kernel.Kernel.clock t.kernel.Kernel.cost.Cost.backing_lookup_ns;
-  let* st = with_fsuid t ctx (fun () -> Kernel.lstat t.kernel t.proc path) in
-  let ino = intern t ~path ~st in
-  Ok (Protocol.R_entry (ino, xlate_stat st ~ino))
+  match hc_find t path with
+  | Some slot ->
+      (* Handle-cache hit: the entry is known valid (every mutating op
+         invalidates), so the open()+stat() pair is skipped entirely — an
+         in-memory map probe, like a dcache hit. *)
+      Metrics.incr t.m_lookups;
+      Metrics.incr t.m_hc_hits;
+      hc_touch t slot;
+      Clock.consume_int t.kernel.Kernel.clock t.kernel.Kernel.cost.Cost.dentry_ns;
+      let ino = slot.hc_ino in
+      let e = Hashtbl.find t.inos ino in
+      e.e_nlookup <- e.e_nlookup + 1;
+      Ok (Protocol.R_entry (ino, xlate_stat slot.hc_stat ~ino))
+  | None ->
+      if t.hc_cap > 0 then Metrics.incr t.m_hc_misses;
+      (* The hardlink-detection tax: one open() for a handle plus one stat(),
+         per lookup (§5.2.2, Compilebench). *)
+      Metrics.incr t.m_lookups;
+      Metrics.add t.m_backing_ops 2;
+      Clock.consume_int t.kernel.Kernel.clock t.kernel.Kernel.cost.Cost.backing_lookup_ns;
+      let* st = with_fsuid t ctx (fun () -> Kernel.lstat t.kernel t.proc path) in
+      let ino = intern t ~path ~st in
+      hc_insert t ~path ~st ~ino;
+      Ok (Protocol.R_entry (ino, xlate_stat st ~ino))
 
 let handle_forget t pairs =
   List.iter
@@ -184,7 +323,8 @@ let handle_forget t pairs =
           e.e_nlookup <- e.e_nlookup - n;
           if e.e_nlookup <= 0 then begin
             Hashtbl.remove t.inos ino;
-            Hashtbl.remove t.by_backing e.e_backing_ino
+            Hashtbl.remove t.by_backing e.e_backing_ino;
+            hc_invalidate_backing t e.e_backing_ino
           end
       | _ -> ())
     pairs;
@@ -241,6 +381,7 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         in
         Ok (Protocol.R_attr (xlate_stat st ~ino))
     | Protocol.Setattr (ino, sa) ->
+        hc_invalidate_ino t ino;
         let* st =
           on_entry t ino
             ~via_path:(fun path ->
@@ -260,24 +401,34 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         let* dir = path_of t parent in
         let path = Pathx.concat dir name in
         let* () = with_fsuid t ctx (fun () -> Kernel.mknod k p path ~kind ~mode) in
+        hc_invalidate_path t path;
+        hc_invalidate_path t dir;
         handle_lookup t ctx ~parent ~name
     | Protocol.Mkdir { parent; name; mode } ->
         let* dir = path_of t parent in
         let path = Pathx.concat dir name in
         let* () = with_fsuid t ctx (fun () -> Kernel.mkdir k p path ~mode) in
+        hc_invalidate_path t path;
+        hc_invalidate_path t dir;
         handle_lookup t ctx ~parent ~name
     | Protocol.Unlink { parent; name } ->
         let* dir = path_of t parent in
         let* () = with_fsuid t ctx (fun () -> Kernel.unlink k p (Pathx.concat dir name)) in
+        hc_invalidate_path t (Pathx.concat dir name);
+        hc_invalidate_path t dir;
         Ok Protocol.R_ok
     | Protocol.Rmdir { parent; name } ->
         let* dir = path_of t parent in
         let* () = with_fsuid t ctx (fun () -> Kernel.rmdir k p (Pathx.concat dir name)) in
+        hc_invalidate_path t (Pathx.concat dir name);
+        hc_invalidate_path t dir;
         Ok Protocol.R_ok
     | Protocol.Symlink { parent; name; target } ->
         let* dir = path_of t parent in
         let path = Pathx.concat dir name in
         let* () = with_fsuid t ctx (fun () -> Kernel.symlink k p ~target ~linkpath:path) in
+        hc_invalidate_path t path;
+        hc_invalidate_path t dir;
         handle_lookup t ctx ~parent ~name
     | Protocol.Rename { src_parent; src_name; dst_parent; dst_name } ->
         let* sdir = path_of t src_parent in
@@ -285,10 +436,19 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         let src = Pathx.concat sdir src_name and dst = Pathx.concat ddir dst_name in
         let* () = with_fsuid t ctx (fun () -> Kernel.rename k p ~src ~dst) in
         remap_paths t ~src ~dst;
+        (* the moved subtree's cached paths are all stale, the replaced
+           target (if any) lost a link, and both parents' mtimes changed *)
+        hc_invalidate_subtree t src;
+        hc_invalidate_subtree t dst;
+        hc_invalidate_path t sdir;
+        hc_invalidate_path t ddir;
         Ok Protocol.R_ok
     | Protocol.Link { src; parent; name } ->
         let* dir = path_of t parent in
         let path = Pathx.concat dir name in
+        hc_invalidate_ino t src;
+        hc_invalidate_path t path;
+        hc_invalidate_path t dir;
         let* () =
           on_entry t src
             ~via_path:(fun src_path ->
@@ -314,6 +474,8 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
     | Protocol.Create { parent; name; mode; flags } ->
         let* dir = path_of t parent in
         let path = Pathx.concat dir name in
+        hc_invalidate_path t path;
+        hc_invalidate_path t dir;
         let* fd =
           with_fsuid t ctx (fun () ->
               Kernel.open_ k p path (Types.O_CREAT :: open_flags_for_server flags) ~mode)
@@ -329,6 +491,7 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         Ok (Protocol.R_data data)
     | Protocol.Write { fh = n; off; data } ->
         let* h = fh t n in
+        hc_invalidate_ino t h.sh_ino;
         let* written = with_fsuid t ctx (fun () -> Kernel.pwrite k p h.sh_fd ~off data) in
         Metrics.add t.m_write_bytes written;
         Ok (Protocol.R_written written)
@@ -346,12 +509,42 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         Ok Protocol.R_ok
     | Protocol.Fallocate { fh = n; off; len } ->
         let* h = fh t n in
+        hc_invalidate_ino t h.sh_ino;
         let* () = Kernel.fallocate k p h.sh_fd ~off ~len in
         Ok Protocol.R_ok
     | Protocol.Readdir ino ->
         let* path = path_of t ino in
         let* entries = Kernel.readdir k p path in
         Ok (Protocol.R_dirents entries)
+    | Protocol.Readdirplus ino ->
+        let* path = path_of t ino in
+        let* entries = Kernel.readdir k p path in
+        (* Each entry is stat()ed alongside the getdents — a batched
+           lookup with amplification 1 instead of the open()+stat() pair a
+           per-name LOOKUP would pay.  "." and ".." carry no attr. *)
+        let plus =
+          List.map
+            (fun (de : Types.dirent) ->
+              if de.Types.d_name = "." || de.Types.d_name = ".." then
+                (de, None, 0, 0)
+              else
+                let cpath = Pathx.concat path de.Types.d_name in
+                match
+                  with_fsuid t ctx (fun () -> Kernel.lstat k p cpath)
+                with
+                | Error _ -> (de, None, 0, 0)
+                | Ok st ->
+                    Metrics.incr t.m_lookups;
+                    Metrics.incr t.m_backing_ops;
+                    let cino = intern t ~path:cpath ~st in
+                    hc_insert t ~path:cpath ~st ~ino:cino;
+                    ( de,
+                      Some (xlate_stat st ~ino:cino),
+                      t.rdp_entry_valid_ns,
+                      t.rdp_attr_valid_ns ))
+            entries
+        in
+        Ok (Protocol.R_direntplus plus)
     | Protocol.Getxattr (ino, name) ->
         let* v =
           on_entry t ino
@@ -360,6 +553,7 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         in
         Ok (Protocol.R_xattr v)
     | Protocol.Setxattr (ino, name, value) ->
+        hc_invalidate_ino t ino;
         let* () =
           on_entry t ino
             ~via_path:(fun path -> with_fsuid t ctx (fun () -> Kernel.setxattr k p path name value))
@@ -374,6 +568,7 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         in
         Ok (Protocol.R_xattr_names names)
     | Protocol.Removexattr (ino, name) ->
+        hc_invalidate_ino t ino;
         let* () =
           on_entry t ino
             ~via_path:(fun path -> with_fsuid t ctx (fun () -> Kernel.removexattr k p path name))

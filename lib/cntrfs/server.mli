@@ -16,9 +16,23 @@ open Repro_fuse
 
 type t
 
-(** [create ~kernel ~proc ~root_path] serves [root_path] (resolved in
-    [proc]'s namespace — "/" of the fat container after setns). *)
-val create : kernel:Kernel.t -> proc:Proc.t -> root_path:string -> t
+(** [create ~kernel ~proc ~root_path ()] serves [root_path] (resolved in
+    [proc]'s namespace — "/" of the fat container after setns).
+
+    [handle_cache] bounds the LRU handle cache keyed by backing (dev, ino):
+    a hit re-serves a known-valid LOOKUP without the open()+stat() pair
+    (counters [cntrfs.handle_cache.hits|misses|evictions], derived
+    [cntrfs.handle_cache.hit_ratio]).  0 (the default, the paper's
+    behaviour) disables it.  [valid_ns] = (entry, attr) validity windows
+    stamped into READDIRPLUS replies. *)
+val create :
+  kernel:Kernel.t ->
+  proc:Proc.t ->
+  root_path:string ->
+  ?handle_cache:int ->
+  ?valid_ns:int * int ->
+  unit ->
+  t
 
 (** The request handler to install with {!Conn.set_handler}. *)
 val handle : t -> Protocol.ctx -> Protocol.req -> Protocol.resp

@@ -29,7 +29,11 @@ let create ~kernel ~server_proc ~root_path ?(opts = Opts.cntr_default) ?(threads
   Repro_obs.Metrics.register_derived metrics "cntrfs.server.queue_depth" (fun () ->
       float_of_int (Repro_obs.Metrics.counter_value metrics "fuse.req.count")
       /. float_of_int (max 1 threads));
-  let server = Server.create ~kernel ~proc:server_proc ~root_path in
+  let server =
+    Server.create ~kernel ~proc:server_proc ~root_path
+      ~handle_cache:opts.Opts.handle_cache
+      ~valid_ns:(opts.Opts.entry_timeout_ns, opts.Opts.attr_timeout_ns) ()
+  in
   Conn.set_handler conn (Server.handle server);
   let driver = Driver.create ~conn ~opts ~budget in
   Conn.start_serving conn;

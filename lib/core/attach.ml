@@ -84,7 +84,11 @@ let attach ~kernel ~engines ~budget ?from ?(tools = From_host) ?(opts = Opts.cnt
         let* _e, fat = Engine.resolve_any engines fat_name in
         Kernel.setns kernel server_proc ~target_pid:(Container.pid fat) [ Namespace.Mnt ]
   in
-  let server = Server.create ~kernel ~proc:server_proc ~root_path:"/" in
+  let server =
+    Server.create ~kernel ~proc:server_proc ~root_path:"/"
+      ~handle_cache:opts.Opts.handle_cache
+      ~valid_ns:(opts.Opts.entry_timeout_ns, opts.Opts.attr_timeout_ns) ()
+  in
   Conn.set_handler conn (Server.handle server);
   (* the server blocks until the child signals that CntrFS is mounted *)
 

@@ -42,6 +42,10 @@ type t = {
   mutable serving : bool;
   (* while true, calls charge no virtual time (background writeback) *)
   mutable background : bool;
+  (* fractional round trips accumulated by batched calls: a call amortized
+     over a batch of n contributes 1/n of a round trip to the counters,
+     matching the 1/n context-switch charge *)
+  mutable rt_carry : float;
   m_requests : Metrics.counter;
   m_round_trips : Metrics.counter;
   m_bytes_to : Metrics.counter;
@@ -64,6 +68,7 @@ let create ?obs ~clock ~cost () =
     thread_coord_ns = cost.Cost.thread_coord_ns;
     serving = false;
     background = false;
+    rt_carry = 0.;
     m_requests = Metrics.counter m "fuse.req.count";
     m_round_trips = Metrics.counter m "fuse.round_trips";
     m_bytes_to = Metrics.counter m "fuse.bytes.to_server";
@@ -134,10 +139,17 @@ let call t ?(batch = 1) ?(splice = false) ctx req =
         let begin_ns = Clock.now_ns t.clock in
         Metrics.incr t.m_requests;
         Metrics.incr km.km_count;
-        (* Two context switches per round trip, amortized over the batch. *)
+        (* Two context switches per round trip, amortized over the batch —
+           and so are the counters: n calls at batch n report one round
+           trip (two switches), exactly what was charged. *)
         charge (2 * t.cost.Cost.context_switch_ns / max 1 batch);
-        Metrics.incr t.m_round_trips;
-        Metrics.add t.m_ctx_switches 2;
+        t.rt_carry <- t.rt_carry +. (1. /. float_of_int (max 1 batch));
+        if t.rt_carry >= 1. then begin
+          let whole = int_of_float t.rt_carry in
+          Metrics.add t.m_round_trips whole;
+          Metrics.add t.m_ctx_switches (2 * whole);
+          t.rt_carry <- t.rt_carry -. float_of_int whole
+        end;
         (* Server-side dispatch: one read(2) on /dev/fuse. *)
         charge t.cost.Cost.syscall_ns;
         (* Multithreaded servers pay coordination per request (Figure 4). *)

@@ -37,6 +37,10 @@ type t = {
   mutable serving : bool;
   mutable background : bool;
       (** while true, calls charge no virtual time (background writeback) *)
+  mutable rt_carry : float;
+      (** fractional round trips accumulated by batched calls, so
+          [fuse.round_trips] / [os.context_switches] report what was
+          actually charged *)
   m_requests : Repro_obs.Metrics.counter;
   m_round_trips : Repro_obs.Metrics.counter;
   m_bytes_to : Repro_obs.Metrics.counter;

@@ -34,8 +34,14 @@ type t = {
   pcache : Page_cache.t;
   pdata : (int * int, Bytes.t) Hashtbl.t;
   sizes : (Types.ino, int) Hashtbl.t;
-  entries : (Types.ino * string, Types.ino) Hashtbl.t;
-  attrs : (Types.ino, Types.stat) Hashtbl.t;
+  (* dentry/attr caches carry a virtual-clock expiry; 0L = valid forever
+     (the paper's behaviour, when the *_timeout_ns knobs are zero) *)
+  entries : (Types.ino * string, Types.ino * int64) Hashtbl.t;
+  attrs : (Types.ino, Types.stat * int64) Hashtbl.t;
+  (* negative dentries: names known absent, until the stored expiry *)
+  neg : (Types.ino * string, int64) Hashtbl.t;
+  (* inos known to carry no security.capability xattr (write fast path) *)
+  capneg : (Types.ino, int64) Hashtbl.t;
   nlookup : (Types.ino, int) Hashtbl.t;
   handles : (int, handle) Hashtbl.t;
   wb_fhs : (Types.ino, int) Hashtbl.t; (* a writable server fh per ino, for writeback *)
@@ -48,6 +54,9 @@ type t = {
   (* dentry-cache accounting on the connection's registry *)
   m_dentry_hits : Repro_obs.Metrics.counter;
   m_dentry_misses : Repro_obs.Metrics.counter;
+  m_neg_hits : Repro_obs.Metrics.counter;
+  m_rdp_entries : Repro_obs.Metrics.counter;
+  m_xattr_neg_hits : Repro_obs.Metrics.counter;
 }
 
 let ( let* ) = Result.bind
@@ -76,17 +85,69 @@ let dirop_penalty t =
       ((t.client_concurrency - 1) * (t.cost.Cost.context_switch_ns + 600))
   end
 
-let cache_attr t st =
-  if t.opts.Opts.attr_cache then Hashtbl.replace t.attrs st.Types.st_ino st;
+(* Expiry stamp for a validity window: 0 = forever (stored as 0L). *)
+let expiry_of t valid_ns =
+  if valid_ns <= 0 then 0L
+  else Int64.add (Clock.now_ns t.clock) (Int64.of_int valid_ns)
+
+let expired t exp = exp <> 0L && Clock.now_ns t.clock >= exp
+
+let cache_attr ?valid_ns t st =
+  if t.opts.Opts.attr_cache then begin
+    let v = Option.value ~default:t.opts.Opts.attr_timeout_ns valid_ns in
+    Hashtbl.replace t.attrs st.Types.st_ino (st, expiry_of t v)
+  end;
   (match st.Types.st_kind with
   | Types.Reg -> Hashtbl.replace t.sizes st.Types.st_ino st.Types.st_size
   | _ -> ())
+
+let cached_attr t ino =
+  match Hashtbl.find_opt t.attrs ino with
+  | Some (st, exp) when not (expired t exp) -> Some st
+  | Some _ ->
+      Hashtbl.remove t.attrs ino;
+      None
+  | None -> None
+
+let put_entry ?valid_ns t parent name ino =
+  if t.opts.Opts.entry_cache then begin
+    let v = Option.value ~default:t.opts.Opts.entry_timeout_ns valid_ns in
+    Hashtbl.replace t.entries (parent, name) (ino, expiry_of t v)
+  end
+
+let cached_entry t parent name =
+  if not t.opts.Opts.entry_cache then None
+  else
+    match Hashtbl.find_opt t.entries (parent, name) with
+    | Some (ino, exp) when not (expired t exp) -> Some ino
+    | Some _ ->
+        Hashtbl.remove t.entries (parent, name);
+        None
+    | None -> None
+
+(* Negative dentries: only meaningful with [negative_timeout_ns] > 0.
+   Installed on ENOENT lookups and on unlink/rmdir/rename-away (the name is
+   then *known* absent); dropped by every name-creating operation. *)
+let put_neg t parent name =
+  if t.opts.Opts.negative_timeout_ns > 0 then
+    Hashtbl.replace t.neg (parent, name)
+      (expiry_of t t.opts.Opts.negative_timeout_ns)
+
+let drop_neg t parent name = Hashtbl.remove t.neg (parent, name)
+
+let neg_valid t parent name =
+  match Hashtbl.find_opt t.neg (parent, name) with
+  | Some exp when not (expired t exp) -> true
+  | Some _ ->
+      Hashtbl.remove t.neg (parent, name);
+      false
+  | None -> false
 
 let bump_nlookup t ino =
   Hashtbl.replace t.nlookup ino (1 + Option.value ~default:0 (Hashtbl.find_opt t.nlookup ino))
 
 let getattr t ino =
-  match Hashtbl.find_opt t.attrs ino with
+  match cached_attr t ino with
   | Some st -> Ok st
   | None -> (
       match rt t Protocol.root_ctx (Protocol.Getattr ino) with
@@ -131,7 +192,7 @@ let drop_entry t parent name = Hashtbl.remove t.entries (parent, name)
 (* Is any cached dentry still referencing this inode?  (A second hardlink
    keeps the inode alive after one name is unlinked.) *)
 let ino_referenced t ino =
-  Hashtbl.fold (fun _ v acc -> acc || v = ino) t.entries false
+  Hashtbl.fold (fun _ (v, _) acc -> acc || v = ino) t.entries false
 
 let queue_forget t ino =
   match Hashtbl.find_opt t.nlookup ino with
@@ -262,6 +323,8 @@ let create ~conn ~opts ~budget =
       sizes = Hashtbl.create 64;
       entries = Hashtbl.create 256;
       attrs = Hashtbl.create 256;
+      neg = Hashtbl.create 64;
+      capneg = Hashtbl.create 64;
       nlookup = Hashtbl.create 256;
       handles = Hashtbl.create 32;
       wb_fhs = Hashtbl.create 16;
@@ -271,6 +334,9 @@ let create ~conn ~opts ~budget =
       client_concurrency = 1;
       m_dentry_hits = Repro_obs.Metrics.counter metrics "fuse.dentry.hits";
       m_dentry_misses = Repro_obs.Metrics.counter metrics "fuse.dentry.misses";
+      m_neg_hits = Repro_obs.Metrics.counter metrics "fuse.dentry.negative_hits";
+      m_rdp_entries = Repro_obs.Metrics.counter metrics "fuse.readdirplus.entries";
+      m_xattr_neg_hits = Repro_obs.Metrics.counter metrics "fuse.xattr.negative_hits";
     }
   in
   install_flush_hook t;
@@ -292,24 +358,33 @@ let cache_stats t = Page_cache.stats t.pcache
 let lookup t cred parent name =
   dirop_penalty t;
   let* () = check_perm t cred parent Types.x_ok in
-  match
-    if t.opts.Opts.entry_cache then Hashtbl.find_opt t.entries (parent, name) else None
-  with
+  match cached_entry t parent name with
   | Some ino ->
       Repro_obs.Metrics.incr t.m_dentry_hits;
       Clock.consume_int t.clock t.cost.Cost.dentry_ns;
       let* st = getattr t ino in
       Ok (ino, st)
-  | None -> (
-      Repro_obs.Metrics.incr t.m_dentry_misses;
-      let* resp = rt t (ctx_of cred) (Protocol.Lookup { parent; name }) in
-      match resp with
-      | Protocol.R_entry (ino, st) ->
-          if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (parent, name) ino;
-          cache_attr t st;
-          bump_nlookup t ino;
-          Ok (ino, st)
-      | _ -> Error Errno.EIO)
+  | None ->
+      if neg_valid t parent name then begin
+        (* a cached ENOENT: answered like a dentry hit, no round trip *)
+        Repro_obs.Metrics.incr t.m_neg_hits;
+        Clock.consume_int t.clock t.cost.Cost.dentry_ns;
+        Error Errno.ENOENT
+      end
+      else begin
+        Repro_obs.Metrics.incr t.m_dentry_misses;
+        match rt t (ctx_of cred) (Protocol.Lookup { parent; name }) with
+        | Ok (Protocol.R_entry (ino, st)) ->
+            put_entry t parent name ino;
+            drop_neg t parent name;
+            cache_attr t st;
+            bump_nlookup t ino;
+            Ok (ino, st)
+        | Ok _ -> Error Errno.EIO
+        | Error e ->
+            if e = Errno.ENOENT then put_neg t parent name;
+            Error e
+      end
 
 let driver_getattr t ino = getattr t ino
 
@@ -379,6 +454,31 @@ let readlink t ino =
   | Ok _ -> Error Errno.EIO
   | Error e -> Error e
 
+(* NFS-style post-op parent attributes: the driver is the backing tree's
+   sole mutator, so after a name-changing operation it knows the parent's
+   new attributes without asking — update the cached copy in place and the
+   next permission check needs no GETATTR round trip.  Fast path only: with
+   [attr_timeout_ns = 0] (the paper's configuration) the cached attr is
+   dropped and re-fetched, exactly as before.  [dentries] is the change in
+   the parent's entry count (a directory's size is [(entries + 2) * 32],
+   see [Inode.size]; the aggressive differential property stats directories
+   to keep this in sync), [dnlink] the change in its link count. *)
+let touch_parent_attr t parent ~dentries ~dnlink =
+  if t.opts.Opts.attr_timeout_ns <= 0 then invalidate_attr t parent
+  else
+    match Hashtbl.find_opt t.attrs parent with
+    | None -> ()
+    | Some (st, exp) ->
+        let now = Clock.now_ns t.clock in
+        Hashtbl.replace t.attrs parent
+          ( { st with
+              Types.st_size = st.Types.st_size + (32 * dentries);
+              st_nlink = st.Types.st_nlink + dnlink;
+              st_mtime = now;
+              st_ctime = now;
+            },
+            exp )
+
 let entry_req t cred req =
   let* resp = rt t (ctx_of cred) req in
   match resp with
@@ -392,27 +492,31 @@ let mknod t cred parent name ~kind ~mode =
   dirop_penalty t;
   let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
   let* st = entry_req t cred (Protocol.Mknod { parent; name; kind; mode }) in
-  if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (parent, name) st.Types.st_ino;
-  invalidate_attr t parent;
+  put_entry t parent name st.Types.st_ino;
+  drop_neg t parent name;
+  touch_parent_attr t parent ~dentries:1 ~dnlink:0;
   Ok st
 
 let mkdir t cred parent name ~mode =
   dirop_penalty t;
   let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
   let* st = entry_req t cred (Protocol.Mkdir { parent; name; mode }) in
-  if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (parent, name) st.Types.st_ino;
-  invalidate_attr t parent;
+  put_entry t parent name st.Types.st_ino;
+  drop_neg t parent name;
+  touch_parent_attr t parent ~dentries:1 ~dnlink:1;
   Ok st
 
 let symlink t cred parent name ~target =
   dirop_penalty t;
   let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
   let* st = entry_req t cred (Protocol.Symlink { parent; name; target }) in
-  if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (parent, name) st.Types.st_ino;
+  put_entry t parent name st.Types.st_ino;
+  drop_neg t parent name;
+  touch_parent_attr t parent ~dentries:1 ~dnlink:0;
   Ok st
 
 let child_ino t cred parent name =
-  match Hashtbl.find_opt t.entries (parent, name) with
+  match cached_entry t parent name with
   | Some ino -> Ok ino
   | None ->
       let* ino, _ = lookup t cred parent name in
@@ -426,8 +530,11 @@ let unlink t cred parent name =
   match resp with
   | Protocol.R_ok ->
       drop_entry t parent name;
+      (* the name is now known absent: a create-after-unlink (postmark's
+         churn) need not pay a failed LOOKUP first *)
+      put_neg t parent name;
       invalidate_attr t ino;
-      invalidate_attr t parent;
+      touch_parent_attr t parent ~dentries:(-1) ~dnlink:0;
       (* dirty pages of a deleted file are dropped, never written *)
       if not (Hashtbl.mem t.wb_fhs ino) then Page_cache.discard_inode t.pcache ino;
       if not (ino_referenced t ino) then queue_forget t ino;
@@ -442,8 +549,9 @@ let rmdir t cred parent name =
   match resp with
   | Protocol.R_ok ->
       drop_entry t parent name;
+      put_neg t parent name;
       invalidate_attr t ino;
-      invalidate_attr t parent;
+      touch_parent_attr t parent ~dentries:(-1) ~dnlink:(-1);
       if not (ino_referenced t ino) then queue_forget t ino;
       Ok ()
   | _ -> Error Errno.EIO
@@ -454,7 +562,7 @@ let rename t cred src_parent src_name dst_parent dst_name =
   let* () = check_delete t cred src_parent src_ino in
   let* () = check_perm t cred dst_parent (Types.w_ok lor Types.x_ok) in
   (* the rename may replace an existing target: its inode loses a link *)
-  let replaced = Hashtbl.find_opt t.entries (dst_parent, dst_name) in
+  let replaced = cached_entry t dst_parent dst_name in
   let* resp =
     rt t (ctx_of cred) (Protocol.Rename { src_parent; src_name; dst_parent; dst_name })
   in
@@ -462,6 +570,8 @@ let rename t cred src_parent src_name dst_parent dst_name =
   | Protocol.R_ok ->
       drop_entry t src_parent src_name;
       drop_entry t dst_parent dst_name;
+      put_neg t src_parent src_name;
+      drop_neg t dst_parent dst_name;
       invalidate_attr t src_parent;
       invalidate_attr t dst_parent;
       (* ctime of the moved inode changes; nlink of the replaced one drops *)
@@ -472,7 +582,7 @@ let rename t cred src_parent src_name dst_parent dst_name =
           if not (Hashtbl.mem t.wb_fhs r_ino) then Page_cache.discard_inode t.pcache r_ino;
           if not (ino_referenced t r_ino) then queue_forget t r_ino
       | _ -> ());
-      if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (dst_parent, dst_name) src_ino;
+      put_entry t dst_parent dst_name src_ino;
       Ok ()
   | _ -> Error Errno.EIO
 
@@ -480,7 +590,9 @@ let link t cred ~src ~dir ~name =
   dirop_penalty t;
   let* () = check_perm t cred dir (Types.w_ok lor Types.x_ok) in
   let* st = entry_req t cred (Protocol.Link { src; parent = dir; name }) in
-  if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (dir, name) st.Types.st_ino;
+  put_entry t dir name st.Types.st_ino;
+  drop_neg t dir name;
+  touch_parent_attr t dir ~dentries:1 ~dnlink:0;
   invalidate_attr t src;
   Ok st
 
@@ -531,10 +643,16 @@ let create_file t cred parent name ~mode flags =
   let* resp = rt t (ctx_of cred) (Protocol.Create { parent; name; mode; flags }) in
   match resp with
   | Protocol.R_create (ino, st, server_fh) ->
-      if t.opts.Opts.entry_cache then Hashtbl.replace t.entries (parent, name) ino;
+      put_entry t parent name ino;
+      drop_neg t parent name;
       cache_attr t st;
       bump_nlookup t ino;
-      invalidate_attr t parent;
+      touch_parent_attr t parent ~dentries:1 ~dnlink:0;
+      (* a file the driver itself just created cannot carry
+         security.capability: seed the known-absent cache so the first
+         write skips its GETXATTR round trip *)
+      if t.opts.Opts.attr_timeout_ns > 0 then
+        Hashtbl.replace t.capneg ino (expiry_of t t.opts.Opts.attr_timeout_ns);
       let fh =
         alloc_handle t ~ino ~server_fh ~readable:(Types.flag_readable flags)
           ~writable:(Types.flag_writable flags)
@@ -654,8 +772,21 @@ let write t cred fh ~off data =
     Clock.consume_int t.clock (Cost.copy_cost t.cost len);
     (* The kernel must check security.capability on every write; FUSE
        cannot cache the xattr, so each write() costs a GETXATTR round trip
-       (the Apache/IOzone-write overhead of §5.2.2). *)
-    ignore (rt t (ctx_of cred) (Protocol.Getxattr (ino, "security.capability")));
+       (the Apache/IOzone-write overhead of §5.2.2).  With the metadata
+       fast path on, a known-absent capability is cached for the attr TTL
+       (as the real kernel does with an inode flag), invalidated by any
+       SETXATTR/REMOVEXATTR on the inode. *)
+    (match Hashtbl.find_opt t.capneg ino with
+    | Some exp when not (expired t exp) ->
+        Repro_obs.Metrics.incr t.m_xattr_neg_hits
+    | _ -> (
+        Hashtbl.remove t.capneg ino;
+        match rt t (ctx_of cred) (Protocol.Getxattr (ino, "security.capability")) with
+        | Error e
+          when t.opts.Opts.attr_timeout_ns > 0
+               && (e = Errno.ENODATA || e = Errno.ENOTSUP) ->
+            Hashtbl.replace t.capneg ino (expiry_of t t.opts.Opts.attr_timeout_ns)
+        | _ -> ()));
     (* file_remove_privs: the kernel strips setuid/setgid via SETATTR *)
     let* () =
       if cred.Types.cap_fsetid then Ok ()
@@ -675,9 +806,10 @@ let write t cred fh ~off data =
     (* with the writeback cache the kernel owns size and mtime *)
     let update_local_attr ~new_size =
       (match Hashtbl.find_opt t.attrs ino with
-      | Some st ->
+      | Some (st, exp) ->
           Hashtbl.replace t.attrs ino
-            { st with Types.st_size = max st.Types.st_size new_size; st_mtime = Clock.now_ns t.clock }
+            ( { st with Types.st_size = max st.Types.st_size new_size; st_mtime = Clock.now_ns t.clock },
+              exp )
       | None -> ());
       if new_size > size_of t ino then Hashtbl.replace t.sizes ino new_size
     in
@@ -819,10 +951,39 @@ let fallocate t fh ~off ~len =
 let readdir t cred ino =
   dirop_penalty t;
   let* () = check_perm t cred ino Types.r_ok in
-  match rt t (ctx_of cred) (Protocol.Readdir ino) with
-  | Ok (Protocol.R_dirents l) -> Ok l
-  | Ok _ -> Error Errno.EIO
-  | Error e -> Error e
+  if t.opts.Opts.readdirplus then
+    (* READDIRPLUS: one batched round trip returns every entry *with* its
+       attr, prefilling the dentry/attr caches so the per-entry LOOKUPs a
+       directory walk would otherwise issue (§5.2.2's compilebench tax)
+       never hit the wire. *)
+    match rt t (ctx_of cred) (Protocol.Readdirplus ino) with
+    | Ok (Protocol.R_direntplus l) ->
+        List.iter
+          (fun ((de : Types.dirent), st_opt, entry_valid, attr_valid) ->
+            match st_opt with
+            | Some st when de.Types.d_name <> "." && de.Types.d_name <> ".." ->
+                Repro_obs.Metrics.incr t.m_rdp_entries;
+                let child = st.Types.st_ino in
+                put_entry t ino de.Types.d_name child
+                  ~valid_ns:
+                    (if entry_valid > 0 then entry_valid
+                     else t.opts.Opts.entry_timeout_ns);
+                drop_neg t ino de.Types.d_name;
+                cache_attr t st
+                  ~valid_ns:
+                    (if attr_valid > 0 then attr_valid
+                     else t.opts.Opts.attr_timeout_ns);
+                bump_nlookup t child
+            | _ -> ())
+          l;
+        Ok (List.map (fun (de, _, _, _) -> de) l)
+    | Ok _ -> Error Errno.EIO
+    | Error e -> Error e
+  else
+    match rt t (ctx_of cred) (Protocol.Readdir ino) with
+    | Ok (Protocol.R_dirents l) -> Ok l
+    | Ok _ -> Error Errno.EIO
+    | Error e -> Error e
 
 (* default_permissions does not cover xattrs: the driver gates them the
    way the VFS does (trusted.* needs privilege; others need ownership). *)
@@ -836,6 +997,7 @@ let xattr_change_allowed t cred ino name =
 
 let setxattr t cred ino name value =
   let* () = xattr_change_allowed t cred ino name in
+  Hashtbl.remove t.capneg ino;
   match rt t (ctx_of cred) (Protocol.Setxattr (ino, name, value)) with
   | Ok Protocol.R_ok -> Ok ()
   | Ok _ -> Error Errno.EIO
@@ -855,6 +1017,7 @@ let listxattr t ino =
 
 let removexattr t cred ino name =
   let* () = xattr_change_allowed t cred ino name in
+  Hashtbl.remove t.capneg ino;
   match rt t (ctx_of cred) (Protocol.Removexattr (ino, name)) with
   | Ok Protocol.R_ok -> Ok ()
   | Ok _ -> Error Errno.EIO

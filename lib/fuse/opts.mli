@@ -15,10 +15,30 @@ type t = {
   read_batch : int;  (** concurrent READs amortized by async_read *)
   writeback_limit_pages : int;  (** per-inode dirty threshold before flushing *)
   wb_flush_interval_ns : int;  (** FUSE's (long) dirty expiry *)
+  readdirplus : bool;
+      (** READDIRPLUS: readdir replies carry (entry, attr, validity) tuples
+          that prefill the dentry/attr caches in one round trip *)
+  entry_timeout_ns : int;
+      (** virtual-clock TTL on cached dentries; 0 = unbounded (the paper's
+          behaviour) *)
+  attr_timeout_ns : int;  (** virtual-clock TTL on cached attrs; 0 = unbounded *)
+  negative_timeout_ns : int;
+      (** ENOENT lookup results are cached this long; 0 = never (the paper) *)
+  handle_cache : int;
+      (** capacity of the server's LRU handle cache keyed by backing
+          (dev, ino); a hit skips the per-LOOKUP open()+stat() pair.
+          0 = disabled *)
 }
 
-(** What CNTR ships: everything on except splice write (§3.3). *)
+(** What CNTR ships: everything on except splice write (§3.3).  The
+    metadata fast-path knobs are all off/zero here — the paper's numbers. *)
 val cntr_default : t
 
 (** Everything off — the Figure 3 baselines. *)
 val unoptimized : t
+
+(** [cntr_default] plus the metadata fast path (READDIRPLUS, TTL'd
+    dentry/attr caches, negative dentries, server handle cache) — the ON
+    leg of the e3e ablation.  An extension; not a configuration the paper
+    measures. *)
+val fastpath : t

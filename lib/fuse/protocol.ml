@@ -32,6 +32,7 @@ type req =
   | Fsync of int
   | Fallocate of { fh : int; off : int; len : int }
   | Readdir of Types.ino
+  | Readdirplus of Types.ino
   | Getxattr of Types.ino * string
   | Setxattr of Types.ino * string * string
   | Listxattr of Types.ino
@@ -47,6 +48,11 @@ type resp =
   | R_open of int (* server-side fh *)
   | R_create of Types.ino * Types.stat * int
   | R_dirents of Types.dirent list
+  (* READDIRPLUS reply: each entry also carries the attr the driver would
+     have fetched with a LOOKUP, plus how long the dentry and the attr may
+     be cached ([entry_valid_ns], [attr_valid_ns]).  "." and ".." (and
+     entries the server could not stat) carry no attr. *)
+  | R_direntplus of (Types.dirent * Types.stat option * int * int) list
   | R_readlink of string
   | R_xattr of string
   | R_xattr_names of string list
@@ -76,6 +82,7 @@ let req_kind = function
   | Fsync _ -> "fsync"
   | Fallocate _ -> "fallocate"
   | Readdir _ -> "readdir"
+  | Readdirplus _ -> "readdirplus"
   | Getxattr _ -> "getxattr"
   | Setxattr _ -> "setxattr"
   | Listxattr _ -> "listxattr"
@@ -97,6 +104,8 @@ let req_payload_bytes = function
 let resp_payload_bytes = function
   | R_data s | R_readlink s | R_xattr s -> 16 + String.length s
   | R_dirents l -> 16 + (64 * List.length l)
+  (* fuse_direntplus: a dirent plus a full fuse_entry_out per entry *)
+  | R_direntplus l -> 16 + (192 * List.length l)
   | R_xattr_names l -> 16 + List.fold_left (fun a s -> a + String.length s + 1) 0 l
   | _ -> 96
 

@@ -44,6 +44,7 @@ type req =
   | Fsync of int
   | Fallocate of { fh : int; off : int; len : int; }
   | Readdir of Types.ino
+  | Readdirplus of Types.ino
   | Getxattr of Types.ino * string
   | Setxattr of Types.ino * string * string
   | Listxattr of Types.ino
@@ -58,6 +59,7 @@ type resp =
   | R_open of int
   | R_create of Types.ino * Types.stat * int
   | R_dirents of Types.dirent list
+  | R_direntplus of (Types.dirent * Types.stat option * int * int) list
   | R_readlink of string
   | R_xattr of string
   | R_xattr_names of string list

@@ -154,6 +154,50 @@ let fig3d () =
 
 let figure3 () = [ fig3a (); fig3b (); fig3c (); fig3d () ]
 
+(* --- e3e: the metadata fast path (extension; no paper figure) --------------- *)
+(* The §5.2.2 lookup tax, attacked: READDIRPLUS + TTL'd dentry/attr caches +
+   negative dentries + the server handle cache (Opts.fastpath), measured on
+   the two workloads the paper names as lookup-bound.  OFF = the paper's
+   configuration, so its Figure 2 numbers are untouched. *)
+
+type e3e_row = {
+  er_workload : string;
+  er_off : float; (* relative overhead with Opts.cntr_default *)
+  er_on : float; (* relative overhead with Opts.fastpath *)
+  er_amp_off : float; (* cntrfs.lookup.amplification *)
+  er_amp_on : float;
+  er_backing_off : int; (* cntrfs.lookup.backing_ops: the absolute tax *)
+  er_backing_on : int;
+  er_neg_hits : int; (* fuse.dentry.negative_hits, ON leg *)
+  er_rdp_entries : int; (* fuse.readdirplus.entries, ON leg *)
+  er_hc_hits : int; (* cntrfs.handle_cache.hits, ON leg *)
+}
+
+let fig3e () =
+  let measure opts w =
+    let obs = Repro_obs.Obs.create () in
+    let cntr = run_workload ~obs ~backend:(Cntrfs opts) w in
+    let native = run_workload ~backend:Native w in
+    (float_of_int cntr /. float_of_int (max 1 native), Repro_obs.Obs.metrics obs)
+  in
+  List.map
+    (fun w ->
+      let off, m_off = measure Opts.cntr_default w in
+      let on, m_on = measure Opts.fastpath w in
+      {
+        er_workload = w.w_name;
+        er_off = off;
+        er_on = on;
+        er_amp_off = Repro_obs.Metrics.gauge_value m_off "cntrfs.lookup.amplification";
+        er_amp_on = Repro_obs.Metrics.gauge_value m_on "cntrfs.lookup.amplification";
+        er_backing_off = Repro_obs.Metrics.counter_value m_off "cntrfs.lookup.backing_ops";
+        er_backing_on = Repro_obs.Metrics.counter_value m_on "cntrfs.lookup.backing_ops";
+        er_neg_hits = Repro_obs.Metrics.counter_value m_on "fuse.dentry.negative_hits";
+        er_rdp_entries = Repro_obs.Metrics.counter_value m_on "fuse.readdirplus.entries";
+        er_hc_hits = Repro_obs.Metrics.counter_value m_on "cntrfs.handle_cache.hits";
+      })
+    [ Suite.compilebench_read; Suite.postmark ]
+
 (* --- Figure 4: multithreading -------------------------------------------------- *)
 (* IOzone sequential read, 500 MB / 4 KiB records (scaled), with 1-16
    CntrFS server threads.  More threads improve responsiveness under

@@ -21,6 +21,25 @@ val fig3d : unit -> ablation  (** splice read *)
 
 val figure3 : unit -> ablation list
 
+type e3e_row = {
+  er_workload : string;
+  er_off : float;  (** relative overhead, fast path off (the paper's config) *)
+  er_on : float;  (** relative overhead with {!Repro_fuse.Opts.fastpath} *)
+  er_amp_off : float;  (** [cntrfs.lookup.amplification], off leg *)
+  er_amp_on : float;  (** [cntrfs.lookup.amplification], on leg *)
+  er_backing_off : int;  (** [cntrfs.lookup.backing_ops], off leg *)
+  er_backing_on : int;  (** [cntrfs.lookup.backing_ops], on leg *)
+  er_neg_hits : int;  (** [fuse.dentry.negative_hits], on leg *)
+  er_rdp_entries : int;  (** [fuse.readdirplus.entries], on leg *)
+  er_hc_hits : int;  (** [cntrfs.handle_cache.hits], on leg *)
+}
+
+(** e3e (extension; no paper figure): the metadata fast path
+    (READDIRPLUS + TTL dentry/attr + negative dentries + server handle
+    cache) off vs. on, on the two lookup-bound workloads of §5.2.2
+    (compilebench read, postmark). *)
+val fig3e : unit -> e3e_row list
+
 type thread_point = { tp_threads : int; tp_mbps : float }
 
 (** Figure 4: sequential-read throughput at 1, 2, 4, 8, 16 server threads. *)

@@ -163,6 +163,12 @@ let execute sys op =
 let fingerprint sys =
   let k = sys.k and p = sys.proc in
   let buf = Buffer.create 256 in
+  (* the base directory's own attributes: size tracks the entry count and
+     nlink the subdirectory count, so this catches a drifting post-op
+     parent-attribute update (Driver.touch_parent_attr) red-handed *)
+  (match Kernel.stat k p sys.base with
+  | Ok st -> Buffer.add_string buf (Printf.sprintf "[dir:%d,%d]" st.Types.st_size st.Types.st_nlink)
+  | Error e -> Buffer.add_string buf ("[dir:" ^ Errno.to_string e ^ "]"));
   (match Kernel.readdir k p sys.base with
   | Error e -> Buffer.add_string buf ("readdir-err:" ^ Errno.to_string e)
   | Ok entries ->
@@ -201,8 +207,8 @@ let run_trace ~opts ops =
       if fa <> fb then Some (Printf.sprintf "final state diverged:\n  cntrfs=%s\n  native=%s" fa fb)
       else None
 
-let prop_differential ~name ~opts =
-  QCheck.Test.make ~name ~count:60
+let prop_differential ?(count = 60) ~name ~opts () =
+  QCheck.Test.make ~name ~count
     (QCheck.make ~print:(fun ops -> Printf.sprintf "<%d ops>" (List.length ops))
        QCheck.Gen.(list_size (int_range 10 80) gen_op))
     (fun ops ->
@@ -335,14 +341,37 @@ let () =
       ( "cntrfs-vs-native",
         [
           QCheck_alcotest.to_alcotest
-            (prop_differential ~name:"default options" ~opts:Opts.cntr_default);
+            (prop_differential ~name:"default options" ~opts:Opts.cntr_default ());
           QCheck_alcotest.to_alcotest
-            (prop_differential ~name:"unoptimized options" ~opts:Opts.unoptimized);
+            (prop_differential ~name:"unoptimized options" ~opts:Opts.unoptimized ());
           QCheck_alcotest.to_alcotest
             (prop_differential ~name:"no writeback"
-               ~opts:{ Opts.cntr_default with Opts.writeback = false });
+               ~opts:{ Opts.cntr_default with Opts.writeback = false } ());
           QCheck_alcotest.to_alcotest
             (prop_differential ~name:"tiny request sizes"
-               ~opts:{ Opts.cntr_default with Opts.max_read = 4096; max_write = 4096; read_batch = 1 });
+               ~opts:{ Opts.cntr_default with Opts.max_read = 4096; max_write = 4096; read_batch = 1 } ());
+        ] );
+      ( "metadata-fast-path",
+        [
+          (* the PR 2 coherence property: READDIRPLUS + TTL dentry/attr +
+             negative dentries + the server handle cache must stay
+             observationally equal to nativefs.  1-second TTLs never expire
+             within a trace, so every answer the caches give is tested. *)
+          QCheck_alcotest.to_alcotest
+            (prop_differential ~count:500 ~name:"fastpath (1s TTLs)" ~opts:Opts.fastpath ());
+          (* tiny TTLs + a 4-slot handle cache: entries expire mid-trace
+             (every op consumes virtual time) and the LRU churns, so the
+             expiry and eviction paths are the ones under test *)
+          QCheck_alcotest.to_alcotest
+            (prop_differential ~count:200 ~name:"fastpath (aggressive expiry + tiny LRU)"
+               ~opts:
+                 {
+                   Opts.fastpath with
+                   Opts.entry_timeout_ns = 50_000;
+                   attr_timeout_ns = 30_000;
+                   negative_timeout_ns = 20_000;
+                   handle_cache = 4;
+                 }
+               ());
         ] );
     ]

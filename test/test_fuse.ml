@@ -178,6 +178,158 @@ let test_write_through_no_coalescing () =
   ok (Kernel.close w.k w.init fd);
   check_b "one WRITE per call" true (kind_count w "write" >= 16)
 
+(* --- connection counter amortization (regression) ----------------------------- *)
+(* fuse.round_trips / os.context_switches must report what was *charged*:
+   a call with [batch:n] pays 1/n of a round trip, so n batched calls
+   account exactly one round trip and two context switches — previously
+   every batched call counted a full round trip. *)
+
+let test_batched_counters_amortized () =
+  let clock = Clock.create () in
+  let conn = Conn.create ~clock ~cost:Cost.default () in
+  Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
+  Conn.start_serving conn;
+  let m = Repro_obs.Obs.metrics (Conn.obs conn) in
+  let rt0 = (Conn.stats conn).Conn.round_trips in
+  let cs0 = Repro_obs.Metrics.counter_value m "os.context_switches" in
+  for _ = 1 to 8 do
+    ignore (Conn.call conn ~batch:8 Protocol.root_ctx Protocol.Statfs)
+  done;
+  check_i "8 calls at batch:8 = one round trip" (rt0 + 1) (Conn.stats conn).Conn.round_trips;
+  check_i "and two context switches" (cs0 + 2)
+    (Repro_obs.Metrics.counter_value m "os.context_switches")
+
+let test_unbatched_counters_exact () =
+  let clock = Clock.create () in
+  let conn = Conn.create ~clock ~cost:Cost.default () in
+  Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
+  Conn.start_serving conn;
+  let m = Repro_obs.Obs.metrics (Conn.obs conn) in
+  for _ = 1 to 5 do
+    ignore (Conn.call conn Protocol.root_ctx Protocol.Statfs)
+  done;
+  check_i "one round trip per unbatched call" 5 (Conn.stats conn).Conn.round_trips;
+  check_i "two context switches each" 10
+    (Repro_obs.Metrics.counter_value m "os.context_switches")
+
+(* --- metadata fast path --------------------------------------------------------- *)
+
+let metric w name =
+  Repro_obs.Metrics.counter_value (Repro_obs.Obs.metrics (Session.obs w.session)) name
+
+let test_readdirplus_populates_caches () =
+  let w = boot ~opts:Opts.fastpath () in
+  ok (Kernel.mkdir w.k w.init "/back/d" ~mode:0o755);
+  for i = 0 to 9 do
+    write_file w (Printf.sprintf "/back/d/f%d" i) "x"
+  done;
+  ignore (ok (Kernel.readdir w.k w.init "/mnt/d"));
+  check_b "readdirplus returned entries" true (metric w "fuse.readdirplus.entries" >= 10);
+  let lookups = kind_count w "lookup" in
+  let getattrs = kind_count w "getattr" in
+  (* every child is already in the dentry+attr caches: stats are free *)
+  for i = 0 to 9 do
+    ignore (ok (Kernel.stat w.k w.init (Printf.sprintf "/mnt/d/f%d" i)))
+  done;
+  check_i "no LOOKUP after readdirplus" lookups (kind_count w "lookup");
+  check_i "no GETATTR after readdirplus" getattrs (kind_count w "getattr")
+
+let test_readdir_plain_when_disabled () =
+  let w = boot () in
+  (* paper profile: READDIRPLUS off, stats after readdir still pay lookups *)
+  ok (Kernel.mkdir w.k w.init "/back/d" ~mode:0o755);
+  write_file w "/back/d/f" "x";
+  ignore (ok (Kernel.readdir w.k w.init "/mnt/d"));
+  check_i "no readdirplus entries in paper profile" 0 (metric w "fuse.readdirplus.entries");
+  let lookups = kind_count w "lookup" in
+  ignore (ok (Kernel.stat w.k w.init "/mnt/d/f"));
+  check_b "stat still pays a LOOKUP" true (kind_count w "lookup" > lookups)
+
+let test_negative_dentries () =
+  let w = boot ~opts:Opts.fastpath () in
+  (match Kernel.stat w.k w.init "/mnt/ghost" with
+  | Error Errno.ENOENT -> ()
+  | _ -> Alcotest.fail "expected ENOENT");
+  let lookups = kind_count w "lookup" in
+  for _ = 1 to 5 do
+    match Kernel.stat w.k w.init "/mnt/ghost" with
+    | Error Errno.ENOENT -> ()
+    | _ -> Alcotest.fail "expected cached ENOENT"
+  done;
+  check_i "repeat misses served from the negative cache" lookups (kind_count w "lookup");
+  check_b "negative hits counted" true (metric w "fuse.dentry.negative_hits" >= 5);
+  (* coherence: creating the name must drop the negative entry *)
+  write_file w "/mnt/ghost" "now";
+  (match Kernel.stat w.k w.init "/mnt/ghost" with
+  | Ok st -> check_i "created file visible" 3 st.Types.st_size
+  | Error _ -> Alcotest.fail "negative dentry survived create")
+
+let test_unlink_installs_negative_entry () =
+  let w = boot ~opts:Opts.fastpath () in
+  write_file w "/mnt/churn" "x";
+  ignore (ok (Kernel.unlink w.k w.init "/mnt/churn"));
+  let lookups = kind_count w "lookup" in
+  (* postmark's create-after-unlink: the failed LOOKUP is skipped *)
+  write_file w "/mnt/churn" "y";
+  check_i "create-after-unlink pays no failed LOOKUP" lookups (kind_count w "lookup");
+  (match Kernel.stat w.k w.init "/mnt/churn" with
+  | Ok st -> check_i "recreated file visible" 1 st.Types.st_size
+  | Error _ -> Alcotest.fail "recreated file invisible")
+
+let test_ttl_expiry_re_lookups () =
+  (* tiny TTLs: entries expire between operations (every op consumes
+     virtual time), so walks go back to the wire *)
+  let w =
+    boot
+      ~opts:
+        { Opts.fastpath with Opts.entry_timeout_ns = 1; attr_timeout_ns = 1; negative_timeout_ns = 1 }
+      ()
+  in
+  write_file w "/back/f" "x";
+  ignore (ok (Kernel.stat w.k w.init "/mnt/f"));
+  let lookups = kind_count w "lookup" in
+  ignore (ok (Kernel.stat w.k w.init "/mnt/f"));
+  check_b "expired entry pays a fresh LOOKUP" true (kind_count w "lookup" > lookups)
+
+let test_handle_cache_hits () =
+  (* expired dentries force re-LOOKUPs; the server-side handle cache then
+     answers them without re-paying open()+stat() *)
+  let w =
+    boot
+      ~opts:
+        { Opts.fastpath with Opts.entry_timeout_ns = 1; attr_timeout_ns = 1; negative_timeout_ns = 1 }
+      ()
+  in
+  write_file w "/back/f" "x";
+  for _ = 1 to 10 do
+    ignore (ok (Kernel.stat w.k w.init "/mnt/f"))
+  done;
+  check_b "handle cache hit on re-LOOKUP" true (metric w "cntrfs.handle_cache.hits" >= 1);
+  check_b "misses counted too" true (metric w "cntrfs.handle_cache.misses" >= 1)
+
+let test_handle_cache_coherent_after_write () =
+  let w =
+    boot ~opts:{ Opts.fastpath with Opts.entry_timeout_ns = 1; attr_timeout_ns = 1 } ()
+  in
+  write_file w "/mnt/f" "old";
+  write_file w "/mnt/f" "older!";
+  (* the cached handle's stat must not serve the pre-write size *)
+  match Kernel.stat w.k w.init "/mnt/f" with
+  | Ok st -> check_i "size after rewrite" 6 st.Types.st_size
+  | Error _ -> Alcotest.fail "stat failed"
+
+let test_fastpath_off_is_inert () =
+  (* the paper profile must not touch any fast-path machinery *)
+  let w = boot () in
+  write_file w "/mnt/f" "x";
+  ignore (Kernel.stat w.k w.init "/mnt/ghost");
+  ignore (Kernel.stat w.k w.init "/mnt/ghost");
+  ignore (ok (Kernel.readdir w.k w.init "/mnt"));
+  check_i "no negative hits" 0 (metric w "fuse.dentry.negative_hits");
+  check_i "no readdirplus entries" 0 (metric w "fuse.readdirplus.entries");
+  check_i "no handle-cache traffic" 0
+    (metric w "cntrfs.handle_cache.hits" + metric w "cntrfs.handle_cache.misses")
+
 let test_server_lookup_tax_counted () =
   let w = boot () in
   for i = 0 to 9 do
@@ -201,6 +353,19 @@ let () =
           Alcotest.test_case "background mode free" `Quick test_background_mode_free;
           Alcotest.test_case "splice accounting" `Quick test_splice_accounting;
           Alcotest.test_case "splice disabled" `Quick test_no_splice_when_disabled;
+          Alcotest.test_case "batched counters amortized" `Quick test_batched_counters_amortized;
+          Alcotest.test_case "unbatched counters exact" `Quick test_unbatched_counters_exact;
+        ] );
+      ( "fastpath",
+        [
+          Alcotest.test_case "readdirplus populates caches" `Quick test_readdirplus_populates_caches;
+          Alcotest.test_case "plain readdir when disabled" `Quick test_readdir_plain_when_disabled;
+          Alcotest.test_case "negative dentries" `Quick test_negative_dentries;
+          Alcotest.test_case "unlink installs negative entry" `Quick test_unlink_installs_negative_entry;
+          Alcotest.test_case "ttl expiry re-lookups" `Quick test_ttl_expiry_re_lookups;
+          Alcotest.test_case "handle cache hits" `Quick test_handle_cache_hits;
+          Alcotest.test_case "handle cache coherent" `Quick test_handle_cache_coherent_after_write;
+          Alcotest.test_case "fast path off is inert" `Quick test_fastpath_off_is_inert;
         ] );
       ( "forgets",
         [

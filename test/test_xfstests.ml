@@ -27,6 +27,11 @@ let test_native_all_pass () =
     summary.Harness.s_failed;
   check_i "all 94 pass natively" 94 summary.Harness.s_passed
 
+(* The CI gate pins the literal failure list, not just the Suite constant:
+   a drive-by edit of [Suite.expected_cntrfs_failures] cannot silently
+   relax it. *)
+let paper_failures = [ 228; 375; 391; 426 ]
+
 let test_cntrfs_90_of_94 () =
   let setup = Harness.setup_cntrfs () in
   let summary = Harness.run_suite setup Suite.all in
@@ -36,7 +41,9 @@ let test_cntrfs_90_of_94 () =
     summary.Harness.s_failed;
   check_i "90 of 94 pass" 90 summary.Harness.s_passed;
   Alcotest.(check (list int))
-    "exactly the paper's four failures" Suite.expected_cntrfs_failures failed_ids
+    "exactly the paper's four failures" Suite.expected_cntrfs_failures failed_ids;
+  Alcotest.(check (list int))
+    "generic/228, /375, /391, /426" paper_failures failed_ids
 
 let test_cntrfs_unoptimized_same_semantics () =
   (* the §3.3 optimizations must not change correctness *)
@@ -45,6 +52,15 @@ let test_cntrfs_unoptimized_same_semantics () =
   let failed_ids = List.map fst summary.Harness.s_failed |> List.sort compare in
   Alcotest.(check (list int))
     "same failures without optimizations" Suite.expected_cntrfs_failures failed_ids
+
+let test_cntrfs_fastpath_same_semantics () =
+  (* the PR 2 metadata fast path must not change correctness either:
+     same 90/94, same four failures *)
+  let setup = Harness.setup_cntrfs ~opts:Repro_fuse.Opts.fastpath () in
+  let summary = Harness.run_suite setup Suite.all in
+  let failed_ids = List.map fst summary.Harness.s_failed |> List.sort compare in
+  check_i "still 90 of 94" 90 summary.Harness.s_passed;
+  Alcotest.(check (list int)) "same failures with the fast path" paper_failures failed_ids
 
 let () =
   Alcotest.run "xfstests"
@@ -60,5 +76,6 @@ let () =
         [
           Alcotest.test_case "90/94 pass, known failures" `Quick test_cntrfs_90_of_94;
           Alcotest.test_case "unoptimized same semantics" `Quick test_cntrfs_unoptimized_same_semantics;
+          Alcotest.test_case "fast path same semantics" `Quick test_cntrfs_fastpath_same_semantics;
         ] );
     ]
