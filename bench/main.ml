@@ -162,8 +162,29 @@ let e4 () =
         (String.make (int_of_float (p.tp_mbps /. base *. 40.)) '#'))
     points;
   let last = List.nth points (List.length points - 1) in
-  Printf.printf "\ndrop at 16 threads: %.1f%% (paper: up to 8%%)\n%!"
-    (100. *. (1. -. last.Repro_workloads.Experiments.tp_mbps /. base))
+  let drop = 100. *. (1. -. last.Repro_workloads.Experiments.tp_mbps /. base) in
+  Printf.printf "\ndrop at 16 threads: %.1f%% (paper: up to 8%%)\n%!" drop;
+  if !json_mode then begin
+    (* Everything below derives from the virtual clock and the fixed
+       workload, so two runs write byte-identical files (the determinism
+       test in test/test_workloads.ml relies on it). *)
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      "{\n  \"experiment\": \"e4\",\n  \"metric\": \"sequential read throughput \
+       [MB/s] vs CntrFS server threads\",\n  \"points\": [\n";
+    List.iteri
+      (fun i p ->
+        let open Repro_workloads.Experiments in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"threads\": %d, \"mbps\": %.4f, \"relative\": %.6f}%s\n"
+             p.tp_threads p.tp_mbps (p.tp_mbps /. base)
+             (if i = List.length points - 1 then "" else ",")))
+      points;
+    Buffer.add_string buf
+      (Printf.sprintf "  ],\n  \"drop_at_16_threads_pct\": %.4f\n}" drop);
+    write_json_file "BENCH_e4.json" (Buffer.contents buf)
+  end
 
 (* --- E5: Figure 5 ------------------------------------------------------------ *)
 

@@ -15,20 +15,22 @@ type t = {
 
 (* Create a CntrFS session: the server process [server_proc] serves
    [root_path] out of its own mount namespace.  The returned [fs] can be
-   mounted anywhere with [Kernel.mount_at]. *)
-let create ~kernel ~server_proc ~root_path ?(opts = Opts.cntr_default) ?(threads = 4) ~budget () =
+   mounted anywhere with [Kernel.mount_at].  [sched] is the discrete-event
+   scheduler the server's worker fibers run on; benchmarks pass the
+   workload's so client tasks and workers interleave, and it defaults to a
+   private one over the kernel's clock. *)
+let create ~kernel ~server_proc ~root_path ?(opts = Opts.cntr_default) ?(threads = 4) ?sched
+    ~budget () =
   let obs = kernel.Kernel.obs in
-  let conn = Conn.create ~obs ~clock:kernel.Kernel.clock ~cost:kernel.Kernel.cost () in
+  let conn =
+    Conn.create ~obs ?sched ~clock:kernel.Kernel.clock ~cost:kernel.Kernel.cost ()
+  in
   conn.Conn.threads <- threads;
+  conn.Conn.max_background <- opts.Opts.max_background;
   let metrics = Repro_obs.Obs.metrics obs in
   Repro_obs.Metrics.set
     (Repro_obs.Metrics.gauge metrics "cntrfs.server.threads")
     (float_of_int threads);
-  (* Cumulative per-worker request load: how deep each /dev/fuse reader's
-     queue has run over the session. *)
-  Repro_obs.Metrics.register_derived metrics "cntrfs.server.queue_depth" (fun () ->
-      float_of_int (Repro_obs.Metrics.counter_value metrics "fuse.req.count")
-      /. float_of_int (max 1 threads));
   let server =
     Server.create ~kernel ~proc:server_proc ~root_path
       ~handle_cache:opts.Opts.handle_cache
@@ -42,4 +44,7 @@ let create ~kernel ~server_proc ~root_path ?(opts = Opts.cntr_default) ?(threads
 let fs t = t.fs
 let obs t = Conn.obs t.conn
 let stats t = Conn.stats t.conn
-let set_client_concurrency t n = Driver.set_client_concurrency t.driver n
+
+(* Teardown barrier: wait out the background class (pending forgets,
+   releases) so metrics snapshots are quiescent. *)
+let quiesce t = Conn.quiesce t.conn

@@ -23,6 +23,7 @@ val create :
   root_path:string ->
   ?opts:Opts.t ->
   ?threads:int ->
+  ?sched:Repro_sched.Sched.t ->
   budget:Mem_budget.t ->
   unit ->
   t
@@ -31,13 +32,14 @@ val fs : t -> Fsops.t
 
 (** The session's observability handle (the kernel's): all [fuse.*],
     [cntrfs.*] and [vfs.page_cache.fuse.*] metrics for this mount land
-    here, plus the [cntrfs.server.threads] / [cntrfs.server.queue_depth]
-    gauges. *)
+    here, plus the [cntrfs.server.threads] gauge and the queue metrics
+    ([fuse.queue.depth.*], [fuse.inflight*], [cntrfs.worker.<i>.busy_ns]). *)
 val obs : t -> Repro_obs.Obs.t
 
 (** Protocol statistics: request counts by kind, bytes, splice usage.
     A snapshot view over the registry on {!obs}. *)
 val stats : t -> Conn.stats
 
-(** Hint used by the serialized-dirops contention model (Figure 3c). *)
-val set_client_concurrency : t -> int -> unit
+(** Teardown barrier: wait until every queued request (including one-way
+    forgets/releases) has been served. *)
+val quiesce : t -> unit

@@ -218,11 +218,26 @@ let report session =
     |> String.concat " "
   in
   let hit_rate = 100. *. g "vfs.page_cache.fuse.hit_ratio" in
+  let busy =
+    Repro_obs.Metrics.counters_with_prefix metrics ~prefix:"cntrfs.worker."
+    |> List.map (fun (name, v) ->
+           (* cntrfs.worker.<i>.busy_ns *)
+           let i =
+             Scanf.sscanf_opt name "cntrfs.worker.%d.busy_ns" Fun.id
+             |> Option.value ~default:(-1)
+           in
+           (i, v))
+    |> List.sort compare
+    |> List.map (fun (i, v) -> Printf.sprintf "w%d=%dns" i v)
+    |> String.concat " "
+  in
   Printf.sprintf
     "cntrfs session: %d requests (%s)\n\
      transfer: %s to server, %s from server, %s spliced\n\
      page cache: %.0f%% hit rate (%d hits, %d misses, %d evictions)\n\
      server: %d lookups (open+stat each), %.1fx backing amplification\n\
+     queue: depth max %.0f mean %.2f, inflight %.0f (max %.0f), %d spurious wakeups\n\
+     workers: %s\n\
      kernel: %d syscalls, %d context switches\n"
     stats.Conn.requests by_kind
     (Size.to_string stats.Conn.bytes_to_server)
@@ -234,5 +249,11 @@ let report session =
     (c "vfs.page_cache.fuse.evictions")
     (Server.lookups_performed session.sn_server)
     (g "cntrfs.lookup.amplification")
+    (g "fuse.queue.depth.max")
+    (g "fuse.queue.depth.mean")
+    (g "fuse.inflight")
+    (g "fuse.inflight.max")
+    (c "fuse.wakeups.spurious")
+    (if busy = "" then "(none spawned)" else busy)
     (c "os.syscall.count")
     (c "os.context_switches")

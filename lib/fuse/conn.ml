@@ -1,20 +1,36 @@
 (* A FUSE connection (/dev/fuse): the transport between the kernel driver
-   and the userspace server.  This is where the FUSE tax is charged: two
-   context switches per round trip, payload copies (or splice), and the
-   server's multi-thread coordination overhead.  Batched requests amortize
-   the context switches — the paper's batching optimization (§3.3).
+   and the userspace server, modeled as a discrete-event request queue
+   (mirroring the kernel's fuse_conn).  Submitters append typed in-flight
+   request objects to the pending queue and wake the server's worker pool;
+   N worker fibers contend for the queue lock, dequeue, charge the server
+   side of the FUSE tax (read(2) dispatch, payload copy or splice, handler
+   service time) on their own timelines, and fill the caller's reply ivar.
 
-   Accounting lives in the connection's observability handle: aggregate
-   and per-opcode counters under "fuse.req.*", virtual-time latency
-   histograms, context-switch counts under "os.context_switches", and one
-   trace span per request. *)
+   Concurrency costs are emergent rather than formulaic: waking the worker
+   herd charges the submitter per extra thread woken (the Figure 4
+   coordination penalty), spuriously woken workers burn context switches on
+   their own timelines, and back-to-back queued requests let a worker
+   pipeline without re-parking — which is how batching and multi-client
+   overlap amortize context switches.
+
+   One-way messages (FORGET, RELEASE) form the background request class:
+   they return to the submitter immediately but count toward
+   [max_background]; past the threshold submitters block until the pool
+   drains below it (the kernel's congestion threshold).
+
+   Accounting lives in the connection's observability handle: aggregate and
+   per-opcode counters under "fuse.req.*", queue-depth and in-flight
+   gauges, per-worker busy time, virtual-time latency histograms,
+   context-switch counts under "os.context_switches", and one trace span
+   per request. *)
 
 open Repro_util
 module Metrics = Repro_obs.Metrics
+module Sched = Repro_sched.Sched
 
 type stats = {
   requests : int;
-  round_trips : int; (* context-switch pairs actually paid *)
+  round_trips : int;
   bytes_to_server : int;
   bytes_from_server : int;
   spliced_bytes : int;
@@ -30,22 +46,44 @@ type kind_metrics = {
   km_latency : Metrics.histogram;
 }
 
+(* An in-flight request: what the kernel queued for the server, plus the
+   reply ivar ([None] for one-way background messages). *)
+type item = {
+  it_ctx : Protocol.ctx;
+  it_req : Protocol.req;
+  it_splice : bool;
+  mutable it_submit_ns : int64;
+  it_reply : Protocol.resp Sched.ivar option;
+  it_kind : string;
+  it_km : kind_metrics;
+}
+
+type worker = { w_busy : Metrics.counter }
+
 type t = {
   clock : Clock.t;
   cost : Cost.t;
   obs : Repro_obs.Obs.t;
+  sched : Sched.t;
   mutable handler : (Protocol.ctx -> Protocol.req -> Protocol.resp) option;
   (* Number of server worker threads reading /dev/fuse. *)
   mutable threads : int;
-  (* Per-request thread coordination penalty per extra thread, ns. *)
-  mutable thread_coord_ns : int;
+  (* Congestion threshold for the background class (kernel default spirit:
+     small); one-way submitters block while at or above it. *)
+  mutable max_background : int;
   mutable serving : bool;
   (* while true, calls charge no virtual time (background writeback) *)
   mutable background : bool;
-  (* fractional round trips accumulated by batched calls: a call amortized
-     over a batch of n contributes 1/n of a round trip to the counters,
-     matching the 1/n context-switch charge *)
-  mutable rt_carry : float;
+  pending : item Queue.t;
+  qlock : Sched.mutex;
+  qcond : Sched.cond; (* workers park here; submit broadcasts (herd wake) *)
+  bg_cond : Sched.cond; (* throttled one-way submitters park here *)
+  mutable bg_inflight : int;
+  mutable inflight : int;
+  mutable inflight_max : int;
+  mutable qdepth_max : int;
+  mutable workers : worker list;
+  mutable worker_exn : exn option;
   m_requests : Metrics.counter;
   m_round_trips : Metrics.counter;
   m_bytes_to : Metrics.counter;
@@ -53,22 +91,45 @@ type t = {
   m_spliced : Metrics.counter;
   m_copied : Metrics.counter;
   m_ctx_switches : Metrics.counter;
+  m_qdepth_max : Metrics.gauge;
+  m_qdepth_sum : Metrics.counter;
+  m_qdepth_samples : Metrics.counter;
+  m_inflight : Metrics.gauge;
+  m_inflight_max : Metrics.gauge;
+  m_spurious : Metrics.counter;
+  m_qwait : Metrics.histogram;
   by_kind : (string, kind_metrics) Hashtbl.t;
 }
 
-let create ?obs ~clock ~cost () =
+let create ?obs ?sched ~clock ~cost () =
   let obs = match obs with Some o -> o | None -> Repro_obs.Obs.create () in
+  let sched = match sched with Some s -> s | None -> Sched.create ~clock in
   let m = Repro_obs.Obs.metrics obs in
+  let qdepth_sum = Metrics.counter m "fuse.queue.depth.sum" in
+  let qdepth_samples = Metrics.counter m "fuse.queue.depth.samples" in
+  Metrics.register_derived m "fuse.queue.depth.mean" (fun () ->
+      let n = Metrics.value qdepth_samples in
+      if n = 0 then 0. else float_of_int (Metrics.value qdepth_sum) /. float_of_int n);
   {
     clock;
     cost;
     obs;
+    sched;
     handler = None;
     threads = 4;
-    thread_coord_ns = cost.Cost.thread_coord_ns;
+    max_background = 12;
     serving = false;
     background = false;
-    rt_carry = 0.;
+    pending = Queue.create ();
+    qlock = Sched.mutex ();
+    qcond = Sched.cond ();
+    bg_cond = Sched.cond ();
+    bg_inflight = 0;
+    inflight = 0;
+    inflight_max = 0;
+    qdepth_max = 0;
+    workers = [];
+    worker_exn = None;
     m_requests = Metrics.counter m "fuse.req.count";
     m_round_trips = Metrics.counter m "fuse.round_trips";
     m_bytes_to = Metrics.counter m "fuse.bytes.to_server";
@@ -76,10 +137,18 @@ let create ?obs ~clock ~cost () =
     m_spliced = Metrics.counter m "fuse.bytes.spliced";
     m_copied = Metrics.counter m "fuse.bytes.copied";
     m_ctx_switches = Metrics.counter m "os.context_switches";
+    m_qdepth_max = Metrics.gauge m "fuse.queue.depth.max";
+    m_qdepth_sum = qdepth_sum;
+    m_qdepth_samples = qdepth_samples;
+    m_inflight = Metrics.gauge m "fuse.inflight";
+    m_inflight_max = Metrics.gauge m "fuse.inflight.max";
+    m_spurious = Metrics.counter m "fuse.wakeups.spurious";
+    m_qwait = Metrics.histogram m "fuse.queue.wait_us";
     by_kind = Hashtbl.create 16;
   }
 
 let obs t = t.obs
+let sched t = t.sched
 
 let kind_metrics t kind =
   match Hashtbl.find_opt t.by_kind kind with
@@ -117,77 +186,321 @@ let stats t =
 
 let set_handler t h = t.handler <- Some h
 
+(* --- server worker pool ----------------------------------------------------- *)
+
+(* Transfer one payload leg between kernel and server. *)
+let transfer t km ~splice ~to_server bytes =
+  if to_server then begin
+    Metrics.add t.m_bytes_to bytes;
+    Metrics.add km.km_to bytes
+  end
+  else begin
+    Metrics.add t.m_bytes_from bytes;
+    Metrics.add km.km_from bytes
+  end;
+  if splice then begin
+    Clock.consume_int t.clock t.cost.Cost.splice_setup_ns;
+    Metrics.add t.m_spliced bytes
+  end
+  else begin
+    Metrics.add t.m_copied bytes;
+    Clock.consume_int t.clock (Cost.copy_cost t.cost bytes)
+  end
+
+(* Serve one dequeued request on the worker's timeline. *)
+let process t w item =
+  let start = Clock.now_ns t.clock in
+  Metrics.observe_ns t.m_qwait (Int64.to_int (Int64.sub start item.it_submit_ns));
+  (* the read(2) on /dev/fuse that returns this request to the server *)
+  Clock.consume_int t.clock t.cost.Cost.syscall_ns;
+  transfer t item.it_km ~splice:item.it_splice ~to_server:true
+    (Protocol.req_payload_bytes item.it_req);
+  let handler = Option.get t.handler in
+  let resp = handler item.it_ctx item.it_req in
+  transfer t item.it_km ~splice:item.it_splice ~to_server:false
+    (Protocol.resp_payload_bytes resp);
+  let fin = Clock.now_ns t.clock in
+  Metrics.add w.w_busy (Int64.to_int (Int64.sub fin start));
+  t.inflight <- t.inflight - 1;
+  Metrics.set t.m_inflight (float_of_int t.inflight);
+  (* completion may unblock a throttled one-way submitter or a quiesce *)
+  ignore (Sched.broadcast t.sched t.bg_cond);
+  match item.it_reply with
+  | Some iv -> Sched.fill t.sched iv resp
+  | None ->
+      (* the span is closed here since nobody awaits the reply *)
+      t.bg_inflight <- t.bg_inflight - 1;
+      Metrics.observe_ns item.it_km.km_latency
+        (Int64.to_int (Int64.sub fin item.it_submit_ns));
+      Repro_obs.Trace.record
+        (Repro_obs.Obs.tracer t.obs)
+        ~name:("fuse.req." ^ item.it_kind)
+        ~begin_ns:item.it_submit_ns ~end_ns:fin ()
+
+let rec worker_loop t w =
+  Sched.lock t.sched t.qlock;
+  Clock.consume_int t.clock t.cost.Cost.queue_lock_ns;
+  worker_serve t w
+
+(* Holds the queue lock on entry. *)
+and worker_serve t w =
+  match Queue.peek_opt t.pending with
+  | Some item
+    when Int64.compare item.it_submit_ns (Clock.now_ns t.clock) <= 0 ->
+      ignore (Queue.take_opt t.pending);
+      Sched.unlock t.sched t.qlock;
+      process t w item;
+      (* between requests the server re-enters read(2) on /dev/fuse — a
+         real preemption point.  Yielding keeps event order aligned with
+         virtual-time order, so same-time peers (woken workers, submitters)
+         interleave instead of queueing behind this worker's lock holds. *)
+      Sched.yield t.sched;
+      worker_loop t w
+  | Some item ->
+      (* the head request is in this worker's virtual future: the worker
+         was blocked in read(2) when it arrived, and its wake is still in
+         flight — sleep to the submit time and serve with the same wake
+         accounting as a parked worker *)
+      let dt = Int64.to_int (Int64.sub item.it_submit_ns (Clock.now_ns t.clock)) in
+      Sched.unlock t.sched t.qlock;
+      Sched.sleep_ns t.sched dt;
+      Clock.consume_int t.clock t.cost.Cost.context_switch_ns;
+      Metrics.incr t.m_ctx_switches;
+      worker_loop t w
+  | None ->
+      (* park off the lock: the wake's context switch happens before the
+         worker re-contends for the queue lock, not while holding it *)
+      Sched.unlock t.sched t.qlock;
+      Sched.park t.sched t.qcond;
+      Clock.consume_int t.clock t.cost.Cost.context_switch_ns;
+      Metrics.incr t.m_ctx_switches;
+      Sched.lock t.sched t.qlock;
+      Clock.consume_int t.clock t.cost.Cost.queue_lock_ns;
+      if Queue.is_empty t.pending then Metrics.incr t.m_spurious;
+      worker_serve t w
+
+let spawn_worker t i =
+  let m = Repro_obs.Obs.metrics t.obs in
+  let w = { w_busy = Metrics.counter m (Printf.sprintf "cntrfs.worker.%d.busy_ns" i) } in
+  t.workers <- t.workers @ [ w ];
+  ignore
+    (Sched.spawn t.sched (fun () ->
+         try worker_loop t w
+         with e -> (match t.worker_exn with None -> t.worker_exn <- Some e | Some _ -> ())))
+
+(* Top up the pool to [t.threads] workers (threads may be retuned between
+   benchmark runs on a live connection). *)
+let ensure_workers t =
+  (match t.worker_exn with Some e -> raise e | None -> ());
+  let have = List.length t.workers in
+  for i = have to t.threads - 1 do
+    spawn_worker t i
+  done
+
 (* The CNTR handshake: the child signals the server (over a Unix socket)
    once CntrFS is mounted inside the nested namespace; only then does the
-   server start reading /dev/fuse (§3.2.2). *)
-let start_serving t = t.serving <- true
+   server start reading /dev/fuse (§3.2.2).  The worker pool parks on the
+   request waitqueue from this point on. *)
+let start_serving t =
+  t.serving <- true;
+  ensure_workers t;
+  (* run the freshly spawned workers to their park point, so the first
+     request's wake accounting matches every later one *)
+  if not (Sched.in_task ()) then
+    Sched.drive_main t.sched (fun () -> Sched.pending_events t.sched = 0)
 
-(* Issue one request.
+(* --- submission ------------------------------------------------------------- *)
 
-   [batch] — how many requests this round trip is amortized over (async
-   reads, batched forgets): the two context switches are divided by it.
-   [splice] — payload moved by splice instead of copied. *)
-let call t ?(batch = 1) ?(splice = false) ctx req =
+(* Append items to the pending queue and wake the worker herd.  The /dev/fuse
+   waitqueue wake is non-exclusive: every parked worker is woken, and the
+   submitter walks the wait list — each entry beyond the first is pure
+   coordination tax, which is where the Figure 4 penalty comes from.  Under
+   load fewer workers are parked, so the tax shrinks: it is a property of the
+   queue state, not of the thread count. *)
+let enqueue t items =
+  Sched.lock t.sched t.qlock;
+  Clock.consume_int t.clock t.cost.Cost.queue_lock_ns;
+  List.iter
+    (fun item ->
+      Queue.push item t.pending;
+      t.inflight <- t.inflight + 1)
+    items;
+  let depth = Queue.length t.pending in
+  if depth > t.qdepth_max then begin
+    t.qdepth_max <- depth;
+    Metrics.set t.m_qdepth_max (float_of_int depth)
+  end;
+  Metrics.add t.m_qdepth_sum depth;
+  Metrics.incr t.m_qdepth_samples;
+  if t.inflight > t.inflight_max then begin
+    t.inflight_max <- t.inflight;
+    Metrics.set t.m_inflight_max (float_of_int t.inflight)
+  end;
+  Metrics.set t.m_inflight (float_of_int t.inflight);
+  (* The submitter walks the waitqueue serially (try_to_wake_up per entry)
+     *before* any wakee can run: every parked worker beyond the first delays
+     the handoff by one wakeup.  Charging ahead of the broadcast puts the
+     walk on the request's critical path — the wakees resume after it. *)
+  for _ = 2 to Sched.waiters t.qcond do
+    Clock.consume_int t.clock t.cost.Cost.wakeup_ns
+  done;
+  (* the request becomes visible to the server once queueing and the wake
+     walk are done — a worker blocked in read(2) sees it no earlier *)
+  let visible = Clock.now_ns t.clock in
+  List.iter (fun item -> item.it_submit_ns <- visible) items;
+  ignore (Sched.broadcast t.sched t.qcond);
+  Sched.unlock t.sched t.qlock
+
+let item t ?reply ~splice ctx req =
+  let kind = Protocol.req_kind req in
+  let km = kind_metrics t kind in
+  Metrics.incr t.m_requests;
+  Metrics.incr km.km_count;
+  {
+    it_ctx = ctx;
+    it_req = req;
+    it_splice = splice;
+    it_submit_ns = Clock.now_ns t.clock;
+    it_reply = reply;
+    it_kind = kind;
+    it_km = km;
+  }
+
+(* Inline bypass while the driver flushes its writeback cache "for free":
+   background dirty-page flushing happens on kernel threads whose time the
+   foreground workload never observes.  Counters still record the traffic. *)
+let call_background t ~splice ctx req =
+  let handler = Option.get t.handler in
+  let kind = Protocol.req_kind req in
+  let km = kind_metrics t kind in
+  Metrics.incr t.m_requests;
+  Metrics.incr km.km_count;
+  Metrics.incr t.m_round_trips;
+  Metrics.add t.m_ctx_switches 2;
+  let out_bytes = Protocol.req_payload_bytes req in
+  Metrics.add t.m_bytes_to out_bytes;
+  Metrics.add km.km_to out_bytes;
+  let in_bytes, resp =
+    let resp = handler ctx req in
+    (Protocol.resp_payload_bytes resp, resp)
+  in
+  Metrics.add t.m_bytes_from in_bytes;
+  Metrics.add km.km_from in_bytes;
+  if splice then Metrics.add t.m_spliced (out_bytes + in_bytes)
+  else Metrics.add t.m_copied (out_bytes + in_bytes);
+  resp
+
+(* Issue one request and wait for the reply: one round trip.  The submitter
+   pays the queue append and the herd wake; the worker pays dispatch,
+   transfer and service on its own timeline; resuming the submitter costs
+   one context switch.  (The wake-side switch is charged by the worker when
+   it actually parks — pipelined workers skip it.) *)
+let call t ?(splice = false) ctx req =
   match t.handler with
   | None -> Protocol.R_err Errno.ENOTCONN
-  | Some handler ->
+  | Some _ ->
       if not t.serving then Protocol.R_err Errno.ENOTCONN
+      else if t.background then call_background t ~splice ctx req
       else begin
-        let charge ns = if not t.background then Clock.consume_int t.clock ns in
-        let kind = Protocol.req_kind req in
-        let km = kind_metrics t kind in
+        ensure_workers t;
         let begin_ns = Clock.now_ns t.clock in
-        Metrics.incr t.m_requests;
-        Metrics.incr km.km_count;
-        (* Two context switches per round trip, amortized over the batch —
-           and so are the counters: n calls at batch n report one round
-           trip (two switches), exactly what was charged. *)
-        charge (2 * t.cost.Cost.context_switch_ns / max 1 batch);
-        t.rt_carry <- t.rt_carry +. (1. /. float_of_int (max 1 batch));
-        if t.rt_carry >= 1. then begin
-          let whole = int_of_float t.rt_carry in
-          Metrics.add t.m_round_trips whole;
-          Metrics.add t.m_ctx_switches (2 * whole);
-          t.rt_carry <- t.rt_carry -. float_of_int whole
-        end;
-        (* Server-side dispatch: one read(2) on /dev/fuse. *)
-        charge t.cost.Cost.syscall_ns;
-        (* Multithreaded servers pay coordination per request (Figure 4). *)
-        if t.threads > 1 then charge (t.thread_coord_ns * (t.threads - 1));
-        (* Request payload transfer. *)
-        let out_bytes = Protocol.req_payload_bytes req in
-        Metrics.add t.m_bytes_to out_bytes;
-        Metrics.add km.km_to out_bytes;
-        if splice then begin
-          charge t.cost.Cost.splice_setup_ns;
-          Metrics.add t.m_spliced out_bytes
-        end
-        else begin
-          Metrics.add t.m_copied out_bytes;
-          charge (Cost.copy_cost t.cost out_bytes)
-        end;
-        let resp = handler ctx req in
-        (* Response payload transfer. *)
-        let in_bytes = Protocol.resp_payload_bytes resp in
-        Metrics.add t.m_bytes_from in_bytes;
-        Metrics.add km.km_from in_bytes;
-        if splice then begin
-          charge t.cost.Cost.splice_setup_ns;
-          Metrics.add t.m_spliced in_bytes
-        end
-        else begin
-          Metrics.add t.m_copied in_bytes;
-          charge (Cost.copy_cost t.cost in_bytes)
-        end;
+        let reply = Sched.ivar () in
+        let it = item t ~reply ~splice ctx req in
+        Metrics.incr t.m_round_trips;
+        enqueue t [ it ];
+        let resp = Sched.read t.sched reply in
+        (* switch back onto the submitter's CPU *)
+        Clock.consume_int t.clock t.cost.Cost.context_switch_ns;
+        Metrics.incr t.m_ctx_switches;
         let end_ns = Clock.now_ns t.clock in
-        (* Background requests consume no virtual time, so their zero
-           latencies would only distort the histograms. *)
-        if not t.background then begin
-          Metrics.observe_ns km.km_latency
-            (Int64.to_int (Int64.sub end_ns begin_ns));
-          Repro_obs.Trace.record
-            (Repro_obs.Obs.tracer t.obs)
-            ~name:("fuse.req." ^ kind) ~begin_ns ~end_ns ()
-        end;
+        Metrics.observe_ns it.it_km.km_latency (Int64.to_int (Int64.sub end_ns begin_ns));
+        Repro_obs.Trace.record
+          (Repro_obs.Obs.tracer t.obs)
+          ~name:("fuse.req." ^ it.it_kind)
+          ~begin_ns ~end_ns ();
         resp
       end
+
+(* Issue several requests as one submission (async reads, READDIRPLUS
+   prefetch): one round trip, one queue append, one herd wake, one resume —
+   and the members can be served by different workers in parallel. *)
+let call_group t ?(splice = false) ctx reqs =
+  match reqs with
+  | [] -> []
+  | [ req ] -> [ call t ~splice ctx req ]
+  | reqs -> (
+      match t.handler with
+      | None -> List.map (fun _ -> Protocol.R_err Errno.ENOTCONN) reqs
+      | Some _ ->
+          if not t.serving then List.map (fun _ -> Protocol.R_err Errno.ENOTCONN) reqs
+          else if t.background then List.map (call_background t ~splice ctx) reqs
+          else begin
+            ensure_workers t;
+            let begin_ns = Clock.now_ns t.clock in
+            let items =
+              List.map
+                (fun req ->
+                  let reply = Sched.ivar () in
+                  (item t ~reply ~splice ctx req, reply))
+                reqs
+            in
+            Metrics.incr t.m_round_trips;
+            enqueue t (List.map fst items);
+            let resps = List.map (fun (_, reply) -> Sched.read t.sched reply) items in
+            Clock.consume_int t.clock t.cost.Cost.context_switch_ns;
+            Metrics.incr t.m_ctx_switches;
+            let end_ns = Clock.now_ns t.clock in
+            List.iter
+              (fun (it, _) ->
+                Metrics.observe_ns it.it_km.km_latency
+                  (Int64.to_int (Int64.sub end_ns begin_ns));
+                Repro_obs.Trace.record
+                  (Repro_obs.Obs.tracer t.obs)
+                  ~name:("fuse.req." ^ it.it_kind)
+                  ~begin_ns ~end_ns ())
+              items;
+            resps
+          end)
+
+(* One-way message (FORGET, RELEASE): queued and answered by nobody.  The
+   submitter does not wait for service, but the background class is bounded
+   by [max_background] — at the threshold the submitter blocks until the
+   pool drains (congestion backpressure). *)
+let post t ?(splice = false) ctx req =
+  match t.handler with
+  | None -> ()
+  | Some _ ->
+      if not t.serving then ()
+      else if t.background then ignore (call_background t ~splice ctx req)
+      else begin
+        ensure_workers t;
+        let rec throttle () =
+          if t.bg_inflight >= t.max_background then
+            if Sched.in_task () then begin
+              Sched.lock t.sched t.qlock;
+              if t.bg_inflight >= t.max_background then Sched.wait t.sched t.bg_cond t.qlock;
+              Sched.unlock t.sched t.qlock;
+              throttle ()
+            end
+            else Sched.drive_main t.sched (fun () -> t.bg_inflight < t.max_background)
+        in
+        throttle ();
+        t.bg_inflight <- t.bg_inflight + 1;
+        let it = item t ~splice ctx req in
+        Metrics.incr t.m_round_trips;
+        enqueue t [ it ]
+      end
+
+(* Block until every queued and in-service request has completed (unmount /
+   teardown barrier). *)
+let quiesce t =
+  if t.inflight > 0 then begin
+    ensure_workers t;
+    if Sched.in_task () then
+      while t.inflight > 0 do
+        Sched.lock t.sched t.qlock;
+        if t.inflight > 0 then Sched.wait t.sched t.bg_cond t.qlock;
+        Sched.unlock t.sched t.qlock
+      done
+    else Sched.drive_main t.sched (fun () -> t.inflight = 0)
+  end

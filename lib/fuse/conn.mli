@@ -1,15 +1,24 @@
 (** A FUSE connection (/dev/fuse): the transport between the kernel driver
-    and the userspace server, where the FUSE tax is charged — two context
-    switches per round trip, payload copies (or splice), and the server's
-    multi-thread coordination.  Batched requests amortize the context
-    switches (§3.3).
+    and the userspace server, modeled as a discrete-event request queue
+    (the kernel's fuse_conn).  Submitters append typed in-flight requests
+    and wake the server's worker pool; N worker fibers contend for the
+    queue lock and serve requests on their own virtual timelines, so
+    concurrency costs (the Figure 4 thread penalty, context-switch
+    amortization under load, multi-client overlap) are emergent from queue
+    state rather than closed-form.
+
+    One-way messages (FORGET, RELEASE) form the background request class,
+    bounded by [max_background]: at the threshold submitters block until
+    the pool drains (congestion backpressure).
 
     Accounting lands in the connection's {!Repro_obs.Obs.t}: aggregate
     counters ([fuse.req.count], [fuse.round_trips], [fuse.bytes.*]),
-    per-opcode counters and latency histograms
-    ([fuse.req.<kind>.count|bytes_to_server|bytes_from_server|latency_us]),
-    context switches ([os.context_switches]) and one trace span per
-    foreground request. *)
+    queue-depth gauges ([fuse.queue.depth.max], derived
+    [fuse.queue.depth.mean]), in-flight gauges ([fuse.inflight],
+    [fuse.inflight.max]), spurious wakeups ([fuse.wakeups.spurious]),
+    queue-wait and per-opcode latency histograms, per-worker busy time
+    ([cntrfs.worker.<i>.busy_ns]), context switches
+    ([os.context_switches]) and one trace span per request. *)
 
 open Repro_util
 
@@ -27,20 +36,33 @@ type stats = {
 (** Per-opcode counter handles cached on the connection. *)
 type kind_metrics
 
+(** An in-flight request parked on the pending queue. *)
+type item
+
+type worker
+
 type t = {
   clock : Clock.t;
   cost : Cost.t;
   obs : Repro_obs.Obs.t;
+  sched : Repro_sched.Sched.t;
   mutable handler : (Protocol.ctx -> Protocol.req -> Protocol.resp) option;
   mutable threads : int;  (** server worker threads (Figure 4) *)
-  mutable thread_coord_ns : int;
+  mutable max_background : int;
+      (** congestion threshold for the one-way background class *)
   mutable serving : bool;
   mutable background : bool;
       (** while true, calls charge no virtual time (background writeback) *)
-  mutable rt_carry : float;
-      (** fractional round trips accumulated by batched calls, so
-          [fuse.round_trips] / [os.context_switches] report what was
-          actually charged *)
+  pending : item Queue.t;
+  qlock : Repro_sched.Sched.mutex;
+  qcond : Repro_sched.Sched.cond;
+  bg_cond : Repro_sched.Sched.cond;
+  mutable bg_inflight : int;
+  mutable inflight : int;
+  mutable inflight_max : int;
+  mutable qdepth_max : int;
+  mutable workers : worker list;
+  mutable worker_exn : exn option;
   m_requests : Repro_obs.Metrics.counter;
   m_round_trips : Repro_obs.Metrics.counter;
   m_bytes_to : Repro_obs.Metrics.counter;
@@ -48,14 +70,30 @@ type t = {
   m_spliced : Repro_obs.Metrics.counter;
   m_copied : Repro_obs.Metrics.counter;
   m_ctx_switches : Repro_obs.Metrics.counter;
+  m_qdepth_max : Repro_obs.Metrics.gauge;
+  m_qdepth_sum : Repro_obs.Metrics.counter;
+  m_qdepth_samples : Repro_obs.Metrics.counter;
+  m_inflight : Repro_obs.Metrics.gauge;
+  m_inflight_max : Repro_obs.Metrics.gauge;
+  m_spurious : Repro_obs.Metrics.counter;
+  m_qwait : Repro_obs.Metrics.histogram;
   by_kind : (string, kind_metrics) Hashtbl.t;
 }
 
 (** [obs] defaults to a private handle; pass the kernel's to aggregate
-    FUSE traffic with the rest of the world's metrics. *)
-val create : ?obs:Repro_obs.Obs.t -> clock:Clock.t -> cost:Cost.t -> unit -> t
+    FUSE traffic with the rest of the world's metrics.  [sched] defaults
+    to a private scheduler over [clock]; pass the world's to let requests
+    overlap with other tasks. *)
+val create :
+  ?obs:Repro_obs.Obs.t ->
+  ?sched:Repro_sched.Sched.t ->
+  clock:Clock.t ->
+  cost:Cost.t ->
+  unit ->
+  t
 
 val obs : t -> Repro_obs.Obs.t
+val sched : t -> Repro_sched.Sched.t
 
 (** Fresh snapshot of the registry counters. *)
 val stats : t -> stats
@@ -65,10 +103,23 @@ val set_handler : t -> (Protocol.ctx -> Protocol.req -> Protocol.resp) -> unit
 
 (** The CNTR handshake: the child signals once CntrFS is mounted inside the
     nested namespace; only then does the server read /dev/fuse (§3.2.2).
-    Calls before this return [ENOTCONN]. *)
+    Calls before this return [ENOTCONN].  Spawns the worker pool. *)
 val start_serving : t -> unit
 
-(** Issue one request.  [batch] divides the context-switch cost (async
-    reads, coalesced forgets); [splice] moves payloads by page remapping
-    instead of copying. *)
-val call : t -> ?batch:int -> ?splice:bool -> Protocol.ctx -> Protocol.req -> Protocol.resp
+(** Issue one request and wait for the reply: exactly one round trip.
+    [splice] moves payloads by page remapping instead of copying. *)
+val call : t -> ?splice:bool -> Protocol.ctx -> Protocol.req -> Protocol.resp
+
+(** Issue several requests as one submission (async reads): one round trip,
+    one wake, one resume; members may be served by different workers in
+    parallel.  Replies are returned in request order. *)
+val call_group :
+  t -> ?splice:bool -> Protocol.ctx -> Protocol.req list -> Protocol.resp list
+
+(** One-way message (FORGET, RELEASE): queued without waiting for service.
+    Counts toward [max_background]; at the threshold the submitter blocks
+    until the background class drains. *)
+val post : t -> ?splice:bool -> Protocol.ctx -> Protocol.req -> unit
+
+(** Block until every queued and in-service request has completed. *)
+val quiesce : t -> unit

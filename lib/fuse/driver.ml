@@ -48,9 +48,12 @@ type t = {
   mutable next_fh : int;
   mutable forget_q : (Types.ino * int) list;
   mutable last_wb_flush_ns : int64;
-  (* Number of concurrently-operating client threads; drives the
-     serialized-dirops contention model when parallel_dirops is off. *)
-  mutable client_concurrency : int;
+  (* Without FUSE_PARALLEL_DIROPS the kernel serializes directory
+     operations under the directory's i_mutex: one lock per directory
+     inode, held across the operation's round trips, so concurrent
+     walkers queue behind each other (the Figure 3(c) ablation). *)
+  sched : Repro_sched.Sched.t;
+  dirlocks : (Types.ino, Repro_sched.Sched.mutex) Hashtbl.t;
   (* dentry-cache accounting on the connection's registry *)
   m_dentry_hits : Repro_obs.Metrics.counter;
   m_dentry_misses : Repro_obs.Metrics.counter;
@@ -68,21 +71,40 @@ let ctx_of (cred : Types.cred) =
 
 (* One request round trip.  Splice write mode costs an extra context switch
    on *every* request (the header must be examined in a pipe first). *)
-let rt t ?(batch = 1) ?(splice = false) ctx req =
+let rt t ?(splice = false) ctx req =
   if t.opts.Opts.splice_write then begin
     Repro_obs.Metrics.incr t.conn.Conn.m_ctx_switches;
     Clock.consume_int t.clock t.cost.Cost.context_switch_ns
   end;
-  Protocol.err_of_resp (Conn.call t.conn ~batch ~splice ctx req)
+  Protocol.err_of_resp (Conn.call t.conn ~splice ctx req)
 
-(* Serialized directory operations: without FUSE_PARALLEL_DIROPS concurrent
-   lookups queue behind a per-directory lock; each client thread waits for
-   the others' round trips. *)
-let dirop_penalty t =
-  if (not t.opts.Opts.parallel_dirops) && t.client_concurrency > 1 then begin
-    Repro_obs.Metrics.add t.conn.Conn.m_ctx_switches (t.client_concurrency - 1);
-    Clock.consume_int t.clock
-      ((t.client_concurrency - 1) * (t.cost.Cost.context_switch_ns + 600))
+(* Serialized directory operations: without FUSE_PARALLEL_DIROPS the
+   kernel holds the directory's i_mutex across the operation, round trips
+   included, so concurrent walkers genuinely queue.  The locks are
+   reentrant (unlink looks the child up under the lock it already holds)
+   and per-directory; with FUSE_PARALLEL_DIROPS negotiated they are not
+   taken at all. *)
+let dirlock t ino =
+  match Hashtbl.find_opt t.dirlocks ino with
+  | Some m -> m
+  | None ->
+      let m = Repro_sched.Sched.mutex () in
+      Hashtbl.replace t.dirlocks ino m;
+      m
+
+let with_dirop t ino f =
+  if t.opts.Opts.parallel_dirops then f ()
+  else Repro_sched.Sched.with_lock t.sched (dirlock t ino) f
+
+(* Rename spans two directories: take both locks in ino order (once when
+   they coincide) to stay deadlock-free. *)
+let with_dirop2 t ino_a ino_b f =
+  if t.opts.Opts.parallel_dirops then f ()
+  else if ino_a = ino_b then Repro_sched.Sched.with_lock t.sched (dirlock t ino_a) f
+  else begin
+    let lo = min ino_a ino_b and hi = max ino_a ino_b in
+    Repro_sched.Sched.with_lock t.sched (dirlock t lo) (fun () ->
+        Repro_sched.Sched.with_lock t.sched (dirlock t hi) f)
   end
 
 (* Expiry stamp for a validity window: 0 = forever (stored as 0L). *)
@@ -201,9 +223,11 @@ let queue_forget t ino =
       Hashtbl.remove t.nlookup ino;
       t.forget_q <- (ino, n) :: t.forget_q;
       if List.length t.forget_q >= t.opts.Opts.forget_batch then begin
-        let batch = List.length t.forget_q in
-        ignore (rt t ~batch Protocol.root_ctx (Protocol.Forget t.forget_q));
-        t.forget_q <- []
+        (* FORGET is one-way: coalesced entries leave as a single
+           background message nobody waits for (congestion permitting) *)
+        let q = t.forget_q in
+        t.forget_q <- [];
+        Conn.post t.conn Protocol.root_ctx (Protocol.Forget q)
       end
 
 (* --- page data helpers --------------------------------------------------- *)
@@ -217,43 +241,74 @@ let get_page_bytes t ino page =
       b
 
 (* Fetch pages [first..last] of [ino] from the server via READ requests
-   (splice / async batching applied) and install them in the cache. *)
+   and install them in the cache.  With async_read the chunks are submitted
+   [read_batch] at a time as one queued group — one round trip, and a
+   multi-threaded server serves the members in parallel. *)
 let fetch_pages t ctx ~server_fh ~ino ~first ~last =
   let ps = page_size t in
   let pages_per_req = max 1 (t.opts.Opts.max_read / ps) in
-  let rec fetch_chunk page remaining_reqs =
-    if page > last then Ok ()
-    else begin
-      let chunk_pages = min pages_per_req (last - page + 1) in
-      let off = page * ps in
-      let len = chunk_pages * ps in
-      let batch =
-        if t.opts.Opts.async_read then min t.opts.Opts.read_batch remaining_reqs else 1
-      in
-      let* resp =
-        rt t ~batch ~splice:t.opts.Opts.splice_read ctx
-          (Protocol.Read { fh = server_fh; off; len })
-      in
-      let* data = match resp with Protocol.R_data d -> Ok d | _ -> Error Errno.EIO in
-      (* install page data — but never clobber pages already cached (they
-         may hold dirty data newer than the server's copy) *)
-      for p = 0 to chunk_pages - 1 do
-        if not (Page_cache.mem t.pcache ~ino ~page:(page + p)) then begin
-          let b = Bytes.make ps '\000' in
-          let src_off = p * ps in
-          if src_off < String.length data then begin
-            let n = min ps (String.length data - src_off) in
-            Bytes.blit_string data src_off b 0 n
-          end;
-          Hashtbl.replace t.pdata (ino, page + p) b;
-          ignore (Page_cache.touch t.pcache ~ino ~page:(page + p) ~dirty:false)
-        end
-      done;
-      fetch_chunk (page + chunk_pages) (max 1 (remaining_reqs - 1))
-    end
+  (* install one chunk's page data — but never clobber pages already cached
+     (they may hold dirty data newer than the server's copy) *)
+  let install page chunk_pages data =
+    for p = 0 to chunk_pages - 1 do
+      if not (Page_cache.mem t.pcache ~ino ~page:(page + p)) then begin
+        let b = Bytes.make ps '\000' in
+        let src_off = p * ps in
+        if src_off < String.length data then begin
+          let n = min ps (String.length data - src_off) in
+          Bytes.blit_string data src_off b 0 n
+        end;
+        Hashtbl.replace t.pdata (ino, page + p) b;
+        ignore (Page_cache.touch t.pcache ~ino ~page:(page + p) ~dirty:false)
+      end
+    done
   in
-  let total_reqs = ((last - first) / pages_per_req) + 1 in
-  fetch_chunk first total_reqs
+  let rec chunks page acc =
+    if page > last then List.rev acc
+    else
+      let chunk_pages = min pages_per_req (last - page + 1) in
+      chunks (page + chunk_pages) ((page, chunk_pages) :: acc)
+  in
+  let chunks = chunks first [] in
+  let group_size = if t.opts.Opts.async_read then max 1 t.opts.Opts.read_batch else 1 in
+  let rec take n = function
+    | x :: tl when n > 0 ->
+        let hd, rest = take (n - 1) tl in
+        (x :: hd, rest)
+    | l -> ([], l)
+  in
+  let splice = t.opts.Opts.splice_read in
+  let rec fetch_groups = function
+    | [] -> Ok ()
+    | pending ->
+        let group, rest = take group_size pending in
+        if t.opts.Opts.splice_write then begin
+          Repro_obs.Metrics.add t.conn.Conn.m_ctx_switches (List.length group);
+          Clock.consume_int t.clock
+            (List.length group * t.cost.Cost.context_switch_ns)
+        end;
+        let reqs =
+          List.map
+            (fun (page, chunk_pages) ->
+              Protocol.Read { fh = server_fh; off = page * ps; len = chunk_pages * ps })
+            group
+        in
+        let resps = Conn.call_group t.conn ~splice ctx reqs in
+        let* () =
+          List.fold_left2
+            (fun acc (page, chunk_pages) resp ->
+              let* () = acc in
+              match Protocol.err_of_resp resp with
+              | Ok (Protocol.R_data d) ->
+                  install page chunk_pages d;
+                  Ok ()
+              | Ok _ -> Error Errno.EIO
+              | Error e -> Error e)
+            (Ok ()) group resps
+        in
+        fetch_groups rest
+  in
+  fetch_groups chunks
 
 (* --- writeback ----------------------------------------------------------- *)
 
@@ -331,7 +386,8 @@ let create ~conn ~opts ~budget =
       next_fh = 1;
       forget_q = [];
       last_wb_flush_ns = 0L;
-      client_concurrency = 1;
+      sched = Conn.sched conn;
+      dirlocks = Hashtbl.create 64;
       m_dentry_hits = Repro_obs.Metrics.counter metrics "fuse.dentry.hits";
       m_dentry_misses = Repro_obs.Metrics.counter metrics "fuse.dentry.misses";
       m_neg_hits = Repro_obs.Metrics.counter metrics "fuse.dentry.negative_hits";
@@ -341,8 +397,6 @@ let create ~conn ~opts ~budget =
   in
   install_flush_hook t;
   t
-
-let set_client_concurrency t n = t.client_concurrency <- max 1 n
 
 let conn t = t.conn
 let obs t = Conn.obs t.conn
@@ -356,7 +410,7 @@ let cache_stats t = Page_cache.stats t.pcache
 (* --- Fsops implementation ------------------------------------------------- *)
 
 let lookup t cred parent name =
-  dirop_penalty t;
+  with_dirop t parent @@ fun () ->
   let* () = check_perm t cred parent Types.x_ok in
   match cached_entry t parent name with
   | Some ino ->
@@ -489,7 +543,7 @@ let entry_req t cred req =
   | _ -> Error Errno.EIO
 
 let mknod t cred parent name ~kind ~mode =
-  dirop_penalty t;
+  with_dirop t parent @@ fun () ->
   let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
   let* st = entry_req t cred (Protocol.Mknod { parent; name; kind; mode }) in
   put_entry t parent name st.Types.st_ino;
@@ -498,7 +552,7 @@ let mknod t cred parent name ~kind ~mode =
   Ok st
 
 let mkdir t cred parent name ~mode =
-  dirop_penalty t;
+  with_dirop t parent @@ fun () ->
   let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
   let* st = entry_req t cred (Protocol.Mkdir { parent; name; mode }) in
   put_entry t parent name st.Types.st_ino;
@@ -507,7 +561,7 @@ let mkdir t cred parent name ~mode =
   Ok st
 
 let symlink t cred parent name ~target =
-  dirop_penalty t;
+  with_dirop t parent @@ fun () ->
   let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
   let* st = entry_req t cred (Protocol.Symlink { parent; name; target }) in
   put_entry t parent name st.Types.st_ino;
@@ -523,7 +577,7 @@ let child_ino t cred parent name =
       Ok ino
 
 let unlink t cred parent name =
-  dirop_penalty t;
+  with_dirop t parent @@ fun () ->
   let* ino = child_ino t cred parent name in
   let* () = check_delete t cred parent ino in
   let* resp = rt t (ctx_of cred) (Protocol.Unlink { parent; name }) in
@@ -542,7 +596,7 @@ let unlink t cred parent name =
   | _ -> Error Errno.EIO
 
 let rmdir t cred parent name =
-  dirop_penalty t;
+  with_dirop t parent @@ fun () ->
   let* ino = child_ino t cred parent name in
   let* () = check_delete t cred parent ino in
   let* resp = rt t (ctx_of cred) (Protocol.Rmdir { parent; name }) in
@@ -557,7 +611,7 @@ let rmdir t cred parent name =
   | _ -> Error Errno.EIO
 
 let rename t cred src_parent src_name dst_parent dst_name =
-  dirop_penalty t;
+  with_dirop2 t src_parent dst_parent @@ fun () ->
   let* src_ino = child_ino t cred src_parent src_name in
   let* () = check_delete t cred src_parent src_ino in
   let* () = check_perm t cred dst_parent (Types.w_ok lor Types.x_ok) in
@@ -587,7 +641,7 @@ let rename t cred src_parent src_name dst_parent dst_name =
   | _ -> Error Errno.EIO
 
 let link t cred ~src ~dir ~name =
-  dirop_penalty t;
+  with_dirop t dir @@ fun () ->
   let* () = check_perm t cred dir (Types.w_ok lor Types.x_ok) in
   let* st = entry_req t cred (Protocol.Link { src; parent = dir; name }) in
   put_entry t dir name st.Types.st_ino;
@@ -638,7 +692,7 @@ let open_ t cred ino flags =
 let create_file t cred parent name ~mode flags =
   if List.mem Types.O_DIRECT flags then Error Errno.EINVAL
   else begin
-  dirop_penalty t;
+  with_dirop t parent @@ fun () ->
   let* () = check_perm t cred parent (Types.w_ok lor Types.x_ok) in
   let* resp = rt t (ctx_of cred) (Protocol.Create { parent; name; mode; flags }) in
   match resp with
@@ -927,8 +981,8 @@ let release t fh =
           in
           if not still_writable then Hashtbl.remove t.wb_fhs h.dh_ino
         end;
-        (* RELEASE is asynchronous in FUSE: batched round trip *)
-        ignore (rt t ~batch:4 Protocol.root_ctx (Protocol.Release h.dh_server_fh))
+        (* RELEASE is asynchronous in FUSE: a one-way background message *)
+        Conn.post t.conn Protocol.root_ctx (Protocol.Release h.dh_server_fh)
       end
 
 let fsync t fh =
@@ -949,7 +1003,7 @@ let fallocate t fh ~off ~len =
   | _ -> Error Errno.EIO
 
 let readdir t cred ino =
-  dirop_penalty t;
+  with_dirop t ino @@ fun () ->
   let* () = check_perm t cred ino Types.r_ok in
   if t.opts.Opts.readdirplus then
     (* READDIRPLUS: one batched round trip returns every entry *with* its

@@ -21,10 +21,6 @@ val create : conn:Conn.t -> opts:Opts.t -> budget:Mem_budget.t -> t
 (** The filesystem interface to hand to {!Repro_os.Kernel.mount_at}. *)
 val ops : t -> Fsops.t
 
-(** Number of concurrently-operating client threads; drives the
-    serialized-dirops contention model when [parallel_dirops] is off. *)
-val set_client_concurrency : t -> int -> unit
-
 val conn : t -> Conn.t
 
 (** The connection's observability handle; the driver's page cache and

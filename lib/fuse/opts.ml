@@ -15,6 +15,7 @@ type t = {
   max_write : int;          (* bytes per WRITE request *)
   max_read : int;           (* bytes per READ request *)
   read_batch : int;         (* concurrent READs batched by async_read *)
+  max_background : int;     (* one-way (FORGET/RELEASE) congestion threshold *)
   writeback_limit_pages : int; (* driver dirty threshold before flushing *)
   (* FUSE's writeback holds dirty data much longer than the native
      dirty_expire — this is what absorbs rewrites (FIO/PGBench, §5.2.2) *)
@@ -44,6 +45,7 @@ let cntr_default = {
   max_write = 128 * 1024;
   max_read = 128 * 1024;
   read_batch = 8;
+  max_background = 12;
   writeback_limit_pages = 4096; (* 16 MiB of dirty data *)
   wb_flush_interval_ns = 5_000_000; (* 5 ms virtual: 10x the native expiry *)
   readdirplus = false;
@@ -61,11 +63,14 @@ let unoptimized = {
   splice_read = false;
   splice_write = false;
   forget_batch = 1;
-  entry_cache = true;
-  attr_cache = true;
+  (* plain FUSE ships entry/attr validity 0 — no dcache caching; TTL'd
+     caching is on CNTR's optimization list, so the baseline lacks it *)
+  entry_cache = false;
+  attr_cache = false;
   max_write = 128 * 1024;
   max_read = 128 * 1024;
   read_batch = 1;
+  max_background = 12;
   writeback_limit_pages = 0;
   wb_flush_interval_ns = 0;
   readdirplus = false;

@@ -1,0 +1,299 @@
+(* Deterministic discrete-event task scheduler.
+
+   The simulation multiplexes cooperative tasks (effect-handler fibers) onto
+   the single virtual clock.  Each task carries its own timeline: when a task
+   runs, the clock holds *that task's* current time, and advancing the clock
+   with [Clock.consume] charges work to the running task only.  Tasks
+   interleave exclusively at explicit wait points (ivar reads, mutex/condvar
+   waits, sleeps), so two tasks whose wait-free segments overlap in virtual
+   time genuinely overlap: total elapsed time is the max of their timelines,
+   not the sum.
+
+   Events are keyed by (time, sequence-number); the sequence number breaks
+   ties in submission order, making every run deterministic regardless of
+   how task timelines interleave. *)
+
+open Repro_util
+
+module Key = struct
+  type t = int64 * int
+
+  let compare (a1, s1) (a2, s2) =
+    match Int64.compare a1 a2 with 0 -> compare (s1 : int) s2 | c -> c
+end
+
+module Pq = Map.Make (Key)
+
+(* A suspended fiber: the continuation plus the fiber-local time at which it
+   parked.  Resuming never rewinds the fiber below [pk_at]. *)
+type parked = { pk_at : int64; pk_k : (unit, unit) Effect.Deep.continuation }
+
+type t = {
+  clock : Clock.t;
+  mutable seq : int;
+  mutable events : (unit -> unit) Pq.t;
+  mutable next_id : int;
+}
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | Suspend : (parked -> unit) -> unit Effect.t
+  | Current : int Effect.t
+
+let create ~clock = { clock; seq = 0; events = Pq.empty; next_id = 0 }
+let clock t = t.clock
+
+(* Fiber id of the caller; 0 when running at top level (the "main thread"),
+   where no effect handler is installed. *)
+let current_id () = try Effect.perform Current with Effect.Unhandled _ -> 0
+let in_task () = current_id () > 0
+
+let schedule t ~at fn =
+  t.seq <- t.seq + 1;
+  t.events <- Pq.add (at, t.seq) fn t.events
+
+(* Make a parked fiber runnable.  It resumes no earlier than both its own
+   park time and the waker's current time: a reply cannot be seen before it
+   was produced, and a fiber cannot travel back below its own timeline. *)
+let resume t p =
+  let now = Clock.now_ns t.clock in
+  let at = if Int64.compare now p.pk_at > 0 then now else p.pk_at in
+  schedule t ~at (fun () -> Effect.Deep.continue p.pk_k ())
+
+let suspend register = Effect.perform (Suspend register)
+
+let run_fiber t (id : int) f =
+  let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
+    function
+    | Suspend register ->
+        Some (fun k -> register { pk_at = Clock.now_ns t.clock; pk_k = k })
+    | Current -> Some (fun k -> Effect.Deep.continue k id)
+    | _ -> None
+  in
+  Effect.Deep.match_with f ()
+    { Effect.Deep.retc = (fun () -> ()); exnc = raise; effc }
+
+let pending_events t = Pq.cardinal t.events
+
+(* Pop-and-run events until [stop] holds.  The clock warps to each event's
+   timestamp before the owning fiber's segment runs. *)
+let drive_until t stop =
+  while not (stop ()) do
+    match Pq.min_binding_opt t.events with
+    | None -> raise (Deadlock "Sched: waiting with no runnable task")
+    | Some (((at, _) as key), fn) ->
+        t.events <- Pq.remove key t.events;
+        Clock.set_ns t.clock at;
+        fn ()
+  done
+
+(* {1 Ivars} *)
+
+type 'a ivar = {
+  mutable iv_st : ('a, exn) result option;
+  mutable iv_at : int64; (* fill time *)
+  mutable iv_waiters : parked list; (* FIFO *)
+}
+
+type 'a task = 'a ivar
+
+let ivar () = { iv_st = None; iv_at = 0L; iv_waiters = [] }
+let is_filled iv = iv.iv_st <> None
+
+let fill_result t iv r =
+  if iv.iv_st <> None then invalid_arg "Sched.fill: already filled";
+  iv.iv_st <- Some r;
+  iv.iv_at <- Clock.now_ns t.clock;
+  let ws = iv.iv_waiters in
+  iv.iv_waiters <- [];
+  List.iter (resume t) ws
+
+let fill t iv v = fill_result t iv (Ok v)
+
+let read t iv =
+  let finish () =
+    (* The value cannot be observed before it was produced. *)
+    if Int64.compare (Clock.now_ns t.clock) iv.iv_at < 0 then
+      Clock.set_ns t.clock iv.iv_at;
+    match iv.iv_st with
+    | Some (Ok v) -> v
+    | Some (Error e) -> raise e
+    | None -> assert false
+  in
+  match iv.iv_st with
+  | Some _ -> finish ()
+  | None ->
+      if in_task () then begin
+        suspend (fun p -> iv.iv_waiters <- iv.iv_waiters @ [ p ]);
+        finish ()
+      end
+      else begin
+        (* Top-level code cannot park; it drives the event loop instead and
+           lands at max(its entry time, the fill time). *)
+        let entry = Clock.now_ns t.clock in
+        drive_until t (fun () -> iv.iv_st <> None);
+        if Int64.compare (Clock.now_ns t.clock) entry < 0 then
+          Clock.set_ns t.clock entry;
+        finish ()
+      end
+
+(* {1 Tasks} *)
+
+let spawn t f =
+  let iv = ivar () in
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  schedule t ~at:(Clock.now_ns t.clock) (fun () ->
+      run_fiber t id (fun () ->
+          let r = try Ok (f ()) with e -> Error e in
+          fill_result t iv r));
+  iv
+
+let await = read
+let run t f = await t (spawn t f)
+
+(* Drive until [pred] holds; only for top-level callers (backpressure waits
+   that originate outside any task). *)
+let drive_main t pred =
+  let entry = Clock.now_ns t.clock in
+  drive_until t pred;
+  if Int64.compare (Clock.now_ns t.clock) entry < 0 then Clock.set_ns t.clock entry
+
+(* {1 Mutex}
+
+   Mesa-style barging lock, reentrant per fiber.  Owner token is the fiber
+   id (-1 for main, which spins the event loop instead of parking).  Unlock
+   wakes the head waiter but does not hand the lock over — the waiter
+   re-attempts, so a lock released and re-taken within one segment never
+   deadlocks the wakee.
+
+   The lock also has a *virtual-time* footprint: event order and timeline
+   order differ, so a fiber whose whole critical section ran in one event
+   segment may release the lock (in event order) while its section still
+   covers a later fiber's acquisition time.  Completed sections are kept as
+   committed hold intervals; acquisition settles the taker forward to the
+   earliest instant not inside any committed hold — critical sections never
+   overlap in virtual time, yet a fiber arriving in a gap *before* an
+   already-committed hold acquires at its own time instead of being warped
+   past releases that, on the virtual timeline, haven't happened yet. *)
+
+type mutex = {
+  mutable mu_owner : int; (* 0 = free *)
+  mutable mu_depth : int;
+  mutable mu_hold_start : int64; (* acquisition time of the current hold *)
+  mutable mu_holds : (int64 * int64) list; (* committed holds, newest first *)
+  mutable mu_waiters : parked list;
+}
+
+(* Holds retained per mutex; older ones are forgotten (their fibers are far
+   ahead, so overlap with an ancient hold cannot arise in practice). *)
+let max_holds = 32
+
+let mutex () =
+  { mu_owner = 0; mu_depth = 0; mu_hold_start = 0L; mu_holds = []; mu_waiters = [] }
+
+let owner_token () = match current_id () with 0 -> -1 | id -> id
+
+let acquired t m me =
+  m.mu_owner <- me;
+  m.mu_depth <- 1;
+  let rec settle s =
+    match
+      List.find_opt
+        (fun (b, e) -> Int64.compare b s <= 0 && Int64.compare s e < 0)
+        m.mu_holds
+    with
+    | Some (_, e) -> settle e
+    | None -> s
+  in
+  let now = Clock.now_ns t.clock in
+  let s = settle now in
+  if Int64.compare s now > 0 then Clock.set_ns t.clock s;
+  m.mu_hold_start <- s
+
+let rec lock t m =
+  let me = owner_token () in
+  if m.mu_owner = 0 then acquired t m me
+  else if m.mu_owner = me then m.mu_depth <- m.mu_depth + 1
+  else if me = -1 then begin
+    drive_main t (fun () -> m.mu_owner = 0);
+    acquired t m me
+  end
+  else begin
+    suspend (fun p -> m.mu_waiters <- m.mu_waiters @ [ p ]);
+    lock t m
+  end
+
+let unlock t m =
+  if m.mu_owner <> owner_token () then invalid_arg "Sched.unlock: not the owner";
+  m.mu_depth <- m.mu_depth - 1;
+  if m.mu_depth = 0 then begin
+    m.mu_owner <- 0;
+    m.mu_holds <-
+      List.filteri
+        (fun i _ -> i < max_holds)
+        ((m.mu_hold_start, Clock.now_ns t.clock) :: m.mu_holds);
+    match m.mu_waiters with
+    | [] -> ()
+    | p :: rest ->
+        m.mu_waiters <- rest;
+        resume t p
+  end
+
+let with_lock t m f =
+  lock t m;
+  Fun.protect ~finally:(fun () -> unlock t m) f
+
+(* {1 Condition variables} *)
+
+type cond = { mutable cv_waiters : parked list }
+
+let cond () = { cv_waiters = [] }
+let waiters cv = List.length cv.cv_waiters
+
+(* Park on [cv] without holding any lock; tasks only switch at effects, so
+   an unlock immediately followed by [park] cannot miss a wakeup. *)
+let park _t cv =
+  if not (in_task ()) then invalid_arg "Sched.park: only tasks can park";
+  suspend (fun p -> cv.cv_waiters <- cv.cv_waiters @ [ p ])
+
+(* Unlock + park is atomic here because tasks only switch at effects. *)
+let wait t cv m =
+  if m.mu_depth <> 1 then invalid_arg "Sched.wait: mutex depth must be 1";
+  unlock t m;
+  park t cv;
+  lock t m
+
+let signal t cv =
+  match cv.cv_waiters with
+  | [] -> 0
+  | p :: rest ->
+      cv.cv_waiters <- rest;
+      resume t p;
+      1
+
+(* Wake every waiter; returns how many were woken so the caller can charge
+   the walk over the wait list. *)
+let broadcast t cv =
+  let ws = cv.cv_waiters in
+  cv.cv_waiters <- [];
+  List.iter (resume t) ws;
+  List.length ws
+
+(* Reschedule the caller at its own current time, behind every event already
+   queued at or before it.  Long-running loops yield at natural preemption
+   points so event order tracks virtual-time order — otherwise one fiber can
+   commit a long stretch of lock holds before same-time peers get to run. *)
+let yield t =
+  if in_task () then
+    suspend (fun p ->
+        schedule t ~at:p.pk_at (fun () -> Effect.Deep.continue p.pk_k ()))
+
+let sleep_ns t ns =
+  if in_task () then
+    suspend (fun p ->
+        schedule t
+          ~at:(Int64.add p.pk_at (Int64.of_int ns))
+          (fun () -> Effect.Deep.continue p.pk_k ()))
+  else Clock.consume_int t.clock ns

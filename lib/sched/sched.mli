@@ -1,0 +1,106 @@
+(** Deterministic discrete-event task scheduler.
+
+    Cooperative tasks (OCaml effect-handler fibers) multiplex onto the one
+    virtual clock.  Each task has its own timeline: while a task runs, the
+    clock holds that task's current time, so [Clock.consume] charges work to
+    the running task.  Tasks interleave only at explicit wait points (ivar
+    reads, mutex/condvar waits, sleeps); wait-free segments of different
+    tasks overlap in virtual time, so concurrency is expressed as
+    max-of-timelines rather than sum-of-costs.
+
+    Determinism: events are ordered by (virtual time, submission sequence),
+    so identical inputs replay identical interleavings. *)
+
+type t
+
+exception Deadlock of string
+(** Raised when a wait can never be satisfied (empty event queue). *)
+
+val create : clock:Repro_util.Clock.t -> t
+val clock : t -> Repro_util.Clock.t
+
+val current_id : unit -> int
+(** Fiber id of the caller; [0] at top level (outside any task). *)
+
+val in_task : unit -> bool
+
+val pending_events : t -> int
+
+(** {1 Ivars} *)
+
+type 'a ivar
+
+val ivar : unit -> 'a ivar
+val is_filled : 'a ivar -> bool
+
+val fill : t -> 'a ivar -> 'a -> unit
+(** Fill at the caller's current time; wakes all readers.  Raises
+    [Invalid_argument] when already filled. *)
+
+val read : t -> 'a ivar -> 'a
+(** Block until filled.  A task parks; top-level code drives the event loop.
+    The caller's clock lands no earlier than the fill time. *)
+
+(** {1 Tasks} *)
+
+type 'a task
+
+val spawn : t -> (unit -> 'a) -> 'a task
+(** Start a task at the caller's current time, on its own timeline. *)
+
+val await : t -> 'a task -> 'a
+(** Join a task; re-raises the task's exception, if any. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [spawn] + [await]. *)
+
+val drive_main : t -> (unit -> bool) -> unit
+(** Drive the event loop until the predicate holds; top-level callers only.
+    Raises {!Deadlock} when the queue drains first. *)
+
+(** {1 Mutex}
+
+    Mesa-style barging lock, reentrant per fiber.  Top-level code drives the
+    event loop instead of parking.  Critical sections never overlap in
+    virtual time: completed sections are committed as hold intervals, and
+    acquisition settles the taker to the earliest instant not inside any
+    committed hold — a taker arriving in a gap before an already-committed
+    hold acquires at its own time. *)
+
+type mutex
+
+val mutex : unit -> mutex
+val lock : t -> mutex -> unit
+val unlock : t -> mutex -> unit
+val with_lock : t -> mutex -> (unit -> 'a) -> 'a
+
+(** {1 Condition variables} *)
+
+type cond
+
+val cond : unit -> cond
+
+val waiters : cond -> int
+(** Number of fibers currently parked on [cv]. *)
+
+val park : t -> cond -> unit
+(** Park on [cv] without a mutex; an unlock immediately followed by [park]
+    cannot miss a wakeup (tasks switch only at effects).  Tasks only. *)
+
+val wait : t -> cond -> mutex -> unit
+(** Atomically release the mutex and park; relocks before returning.  The
+    lock must be held at depth 1.  Tasks only. *)
+
+val signal : t -> cond -> int
+(** Wake the head waiter; returns the number woken (0 or 1). *)
+
+val broadcast : t -> cond -> int
+(** Wake every waiter; returns the number woken so callers can charge the
+    wait-list walk. *)
+
+val yield : t -> unit
+(** Reschedule the caller at its current time, behind already-queued events.
+    Long-running task loops yield at natural preemption points so event
+    order tracks virtual-time order.  No-op at top level. *)
+
+val sleep_ns : t -> int -> unit

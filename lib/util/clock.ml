@@ -17,6 +17,12 @@ let consume t ns =
 
 let consume_int t ns = consume t (Int64.of_int ns)
 
+(* Warp to an absolute time.  Only the discrete-event scheduler uses this:
+   each task keeps its own timeline, and the scheduler sets the clock to an
+   event's timestamp before running the owning task's next segment.  Unlike
+   [consume] this may move the clock backwards (to a task that is behind). *)
+let set_ns t ns = t.now_ns <- ns
+
 (* Measure the virtual time consumed by [f]. *)
 let time t f =
   let start = t.now_ns in

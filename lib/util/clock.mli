@@ -17,6 +17,11 @@ val consume : t -> int64 -> unit
 
 val consume_int : t -> int -> unit
 
+(** Warp to an absolute time — may move backwards.  Reserved for the
+    discrete-event scheduler, which multiplexes per-task timelines onto the
+    one clock; everything else should [consume]. *)
+val set_ns : t -> int64 -> unit
+
 (** Virtual time consumed by running [f]. *)
 val time : t -> (unit -> 'a) -> 'a * int64
 

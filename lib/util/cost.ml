@@ -20,7 +20,8 @@ type t = {
   splice_setup_ns : int;     (* per splice(2) call: pipe page remapping *)
   dentry_ns : int;           (* in-kernel dcache lookup step *)
   backing_lookup_ns : int;   (* CntrFS server-side open()+stat() per lookup *)
-  thread_coord_ns : int;     (* per-request multi-thread coordination cost *)
+  queue_lock_ns : int;       (* fuse_conn pending-queue spinlock critical section *)
+  wakeup_ns : int;           (* waking one extra thread off the /dev/fuse waitq *)
   cpu_ns_per_kib : int;      (* generic compute (gzip, SQL parsing) unit *)
   journal_ns : int;          (* amortized jbd2 cost per metadata mutation *)
   write_path_ns : int;       (* ext4 per-write block reservation + journal handle *)
@@ -45,7 +46,8 @@ let default = {
   splice_setup_ns = 350;
   dentry_ns = 150;
   backing_lookup_ns = 2_600;
-  thread_coord_ns = 45;
+  queue_lock_ns = 30;
+  wakeup_ns = 110;
   cpu_ns_per_kib = 2_000;
   journal_ns = 3_000;
   write_path_ns = 2_500;

@@ -19,7 +19,8 @@ type t = {
   splice_setup_ns : int;
   dentry_ns : int;
   backing_lookup_ns : int;
-  thread_coord_ns : int;
+  queue_lock_ns : int;
+  wakeup_ns : int;
   cpu_ns_per_kib : int;
   journal_ns : int;
   write_path_ns : int;

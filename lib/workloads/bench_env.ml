@@ -25,6 +25,7 @@ type env = {
   dir : string; (* measured directory *)
   backing_dir : string; (* same directory via the native path *)
   session : Session.t option;
+  sched : Repro_sched.Sched.t; (* the world's discrete-event scheduler *)
   rng : Rng.t;
   data_fs : Nativefs.t;
 }
@@ -32,7 +33,7 @@ type env = {
 type workload = {
   w_name : string;
   w_paper : float; (* Figure 2 reference overhead (cntr/native) *)
-  w_concurrency : int; (* client-thread hint for the FUSE driver *)
+  w_concurrency : int; (* number of concurrent client tasks the body spawns *)
   w_budget_mb : int; (* page-cache budget for this workload's world *)
   w_setup : env -> unit;
   w_run : env -> unit;
@@ -47,6 +48,7 @@ let make_env ?obs ~backend ~budget_mb ?(threads = 4) () =
   let metrics = Repro_obs.Obs.metrics obs in
   let budget = Mem_budget.create ~limit_bytes:(budget_mb * 1024 * 1024) in
   let rootfs = Nativefs.create ~name:"host-root" ~clock ~cost Store.Ram () in
+  let sched = Repro_sched.Sched.create ~clock in
   let kernel = Kernel.create ~obs ~clock ~cost ~root_fs:(Nativefs.ops rootfs) () in
   let init = Kernel.init_proc kernel in
   List.iter (fun d -> ok (Kernel.mkdir kernel init d ~mode:0o755)) [ "/data"; "/cntr" ];
@@ -66,7 +68,9 @@ let make_env ?obs ~backend ~budget_mb ?(threads = 4) () =
     | Cntrfs opts ->
         let server_proc = Kernel.fork kernel init in
         server_proc.Proc.comm <- "cntrfs";
-        let session = Session.create ~kernel ~server_proc ~root_path:"/" ~opts ~threads ~budget () in
+        let session =
+          Session.create ~kernel ~server_proc ~root_path:"/" ~opts ~threads ~sched ~budget ()
+        in
         ignore (ok (Kernel.mount_at kernel init ~fs:(Session.fs session) "/cntr"));
         (Some session, "/cntr/data/bench")
   in
@@ -76,6 +80,7 @@ let make_env ?obs ~backend ~budget_mb ?(threads = 4) () =
     dir;
     backing_dir = "/data/bench";
     session;
+    sched;
     rng = Rng.create ~seed:0xbe7c4;
     data_fs;
   }
@@ -89,16 +94,15 @@ let settle env =
 
 (* Run [w] on [backend]; returns virtual nanoseconds of the measured
    phase.  [obs] collects the run's metrics (a fresh private handle when
-   omitted, since each run builds a fresh env). *)
+   omitted, since each run builds a fresh env).  The body runs as the root
+   task of the world's scheduler, so it may spawn concurrent client tasks
+   whose round trips overlap; the measured time is the root task's span. *)
 let run_workload ?obs ~backend w =
   let env = make_env ?obs ~backend ~budget_mb:w.w_budget_mb () in
-  (match env.session with
-  | Some session -> Session.set_client_concurrency session w.w_concurrency
-  | None -> ());
   w.w_setup env;
   settle env;
   let t0 = Clock.now_ns env.kernel.Kernel.clock in
-  w.w_run env;
+  Repro_sched.Sched.run env.sched (fun () -> w.w_run env);
   let t1 = Clock.now_ns env.kernel.Kernel.clock in
   Int64.to_int (Int64.sub t1 t0)
 
@@ -107,6 +111,12 @@ let overhead ?(opts = Opts.cntr_default) w =
   let native = run_workload ~backend:Native w in
   let cntr = run_workload ~backend:(Cntrfs opts) w in
   float_of_int cntr /. float_of_int (max 1 native)
+
+(* Run [thunks] as concurrent client tasks (dbench clients, I/O threads)
+   and join them all; total elapsed is the slowest task's timeline. *)
+let concurrently env thunks =
+  let tasks = List.map (Repro_sched.Sched.spawn env.sched) thunks in
+  List.iter (Repro_sched.Sched.await env.sched) tasks
 
 (* --- tiny syscall helpers for workload bodies ----------------------------- *)
 

@@ -21,6 +21,9 @@ type env = {
   dir : string;  (** measured directory *)
   backing_dir : string;  (** the same directory via the native path *)
   session : Session.t option;
+  sched : Repro_sched.Sched.t;
+      (** the world's discrete-event scheduler: FUSE worker fibers and
+          client tasks all run on it *)
   rng : Rng.t;
   data_fs : Nativefs.t;
 }
@@ -28,10 +31,10 @@ type env = {
 type workload = {
   w_name : string;
   w_paper : float;  (** Figure 2 reference overhead *)
-  w_concurrency : int;  (** client-thread hint for the FUSE driver *)
+  w_concurrency : int;  (** number of concurrent client tasks the body spawns *)
   w_budget_mb : int;  (** page-cache budget for this workload's world *)
   w_setup : env -> unit;  (** unmeasured; runs via [backing_dir] *)
-  w_run : env -> unit;  (** measured; runs via [dir] *)
+  w_run : env -> unit;  (** measured; runs via [dir] as the root task *)
 }
 
 (** [obs] is shared by the env's kernel, page caches and FUSE session, so
@@ -43,11 +46,17 @@ val make_env :
 val settle : env -> unit
 
 (** Run the workload; returns measured virtual nanoseconds.  [obs]
-    collects the run's counters for inspection after the run. *)
+    collects the run's counters for inspection after the run.  The body
+    runs as the scheduler's root task, so concurrent client tasks it
+    spawns genuinely overlap; measured time is the root task's span. *)
 val run_workload : ?obs:Repro_obs.Obs.t -> backend:backend -> workload -> int
 
 (** Figure 2's metric: time(CntrFS) / time(native); >1 = CntrFS slower. *)
 val overhead : ?opts:Opts.t -> workload -> float
+
+(** Run the thunks as concurrent client tasks and join them all; elapsed
+    time is the slowest task's timeline, not the sum. *)
+val concurrently : env -> (unit -> unit) list -> unit
 
 (** {1 Syscall shorthands for workload bodies} *)
 

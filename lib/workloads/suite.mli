@@ -13,6 +13,10 @@ val tree_dirs : int
 val tree_files_per_dir : int
 val tree_file_bytes : int
 
+(** Recursive readdir + read of every file under a directory (the
+    compilebench read stage); reused by the Figure 3(c) parallel walkers. *)
+val walk_tree : env -> string -> unit
+
 val compilebench_read : workload
 val compilebench_create : workload
 val compilebench_compile : workload

@@ -17,7 +17,7 @@ let ok = Errno.ok_exn
 
 type sys = { k : Kernel.t; proc : Proc.t; base : string }
 
-let boot_pair ~opts =
+let boot_pair ?(threads = 4) ~opts () =
   let clock = Clock.create () in
   let cost = Cost.default in
   let rootfs = Nativefs.create ~name:"rootfs" ~clock ~cost Store.Ram () in
@@ -27,7 +27,9 @@ let boot_pair ~opts =
   ok (Kernel.mkdir k init "/mnt" ~mode:0o755);
   let server = Kernel.fork k init in
   let budget = Mem_budget.create ~limit_bytes:(32 * 1024 * 1024) in
-  let session = Session.create ~kernel:k ~server_proc:server ~root_path:"/back" ~opts ~budget () in
+  let session =
+    Session.create ~kernel:k ~server_proc:server ~root_path:"/back" ~opts ~threads ~budget ()
+  in
   ignore (ok (Kernel.mount_at k init ~fs:(Session.fs session) "/mnt"));
   ({ k; proc = init; base = "/mnt" }, { k; proc = init; base = "/native" })
 
@@ -190,8 +192,8 @@ let fingerprint sys =
              end));
   Buffer.contents buf
 
-let run_trace ~opts ops =
-  let fuse_sys, native_sys = boot_pair ~opts in
+let run_trace ?threads ~opts ops =
+  let fuse_sys, native_sys = boot_pair ?threads ~opts () in
   let rec go i = function
     | [] -> None
     | op :: rest ->
@@ -207,12 +209,12 @@ let run_trace ~opts ops =
       if fa <> fb then Some (Printf.sprintf "final state diverged:\n  cntrfs=%s\n  native=%s" fa fb)
       else None
 
-let prop_differential ?(count = 60) ~name ~opts () =
+let prop_differential ?(count = 60) ?threads ~name ~opts () =
   QCheck.Test.make ~name ~count
     (QCheck.make ~print:(fun ops -> Printf.sprintf "<%d ops>" (List.length ops))
        QCheck.Gen.(list_size (int_range 10 80) gen_op))
     (fun ops ->
-      match run_trace ~opts ops with
+      match run_trace ?threads ~opts ops with
       | None -> true
       | Some msg -> QCheck.Test.fail_report msg)
 
@@ -250,7 +252,7 @@ let search () =
             Printf.printf "MINIMAL TRACE (%d ops): %s\n" !len msg;
             List.iteri (fun i op -> Printf.printf "  %d: %s\n" i (pp_op op)) ops;
             (* replay and dump the first byte-level difference per file *)
-            let fuse_sys, native_sys = boot_pair ~opts:Opts.cntr_default in
+            let fuse_sys, native_sys = boot_pair ~opts:Opts.cntr_default () in
             List.iter (fun op -> ignore (execute fuse_sys op); ignore (execute native_sys op)) ops;
             (* replay with a request logger *)
             (let clock = Clock.create () in
@@ -350,6 +352,15 @@ let () =
           QCheck_alcotest.to_alcotest
             (prop_differential ~name:"tiny request sizes"
                ~opts:{ Opts.cntr_default with Opts.max_read = 4096; max_write = 4096; read_batch = 1 } ());
+          (* pin the worker pool explicitly: the same traces must stay
+             observationally identical when four CntrFS worker fibers
+             contend for the request queue (and when one serves alone) *)
+          QCheck_alcotest.to_alcotest
+            (prop_differential ~name:"scheduler at 4 server threads" ~threads:4
+               ~opts:Opts.cntr_default ());
+          QCheck_alcotest.to_alcotest
+            (prop_differential ~name:"single server thread" ~threads:1 ~count:30
+               ~opts:Opts.cntr_default ());
         ] );
       ( "metadata-fast-path",
         [

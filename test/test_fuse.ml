@@ -68,21 +68,26 @@ let test_not_serving_before_handshake () =
   | _ -> Alcotest.fail "expected R_ok after start_serving"
 
 let test_batching_amortizes_context_switches () =
+  (* a group of 8 requests submitted at once crosses /dev/fuse once: the
+     worker pipelines through the queue without re-parking, so the group
+     costs far fewer context switches than 8 separate round trips *)
   let clock = Clock.create () in
   let cost = Cost.default in
   let conn = Conn.create ~clock ~cost () in
   Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
-  Conn.start_serving conn;
   conn.Conn.threads <- 1;
+  Conn.start_serving conn;
   let t0 = Clock.now_ns clock in
-  ignore (Conn.call conn Protocol.root_ctx Protocol.Statfs);
-  let single = Int64.to_int (Int64.sub (Clock.now_ns clock) t0) in
+  for _ = 1 to 8 do
+    ignore (Conn.call conn Protocol.root_ctx Protocol.Statfs)
+  done;
+  let singles = Int64.to_int (Int64.sub (Clock.now_ns clock) t0) in
   let t1 = Clock.now_ns clock in
-  ignore (Conn.call conn ~batch:8 Protocol.root_ctx Protocol.Statfs);
-  let batched = Int64.to_int (Int64.sub (Clock.now_ns clock) t1) in
-  check_b "batched call cheaper" true (batched < single);
+  ignore (Conn.call_group conn Protocol.root_ctx (List.init 8 (fun _ -> Protocol.Statfs)));
+  let grouped = Int64.to_int (Int64.sub (Clock.now_ns clock) t1) in
+  check_b "grouped submission cheaper" true (grouped < singles);
   check_b "saves most of the context switches" true
-    (single - batched > cost.Cost.context_switch_ns)
+    (singles - grouped > cost.Cost.context_switch_ns)
 
 let test_background_mode_free () =
   let clock = Clock.create () in
@@ -178,24 +183,23 @@ let test_write_through_no_coalescing () =
   ok (Kernel.close w.k w.init fd);
   check_b "one WRITE per call" true (kind_count w "write" >= 16)
 
-(* --- connection counter amortization (regression) ----------------------------- *)
+(* --- connection counter accounting (regression) ------------------------------- *)
 (* fuse.round_trips / os.context_switches must report what was *charged*:
-   a call with [batch:n] pays 1/n of a round trip, so n batched calls
-   account exactly one round trip and two context switches — previously
-   every batched call counted a full round trip. *)
+   a group of n requests crosses /dev/fuse once (one round trip), the
+   worker wakes once and the submitter resumes once (two context
+   switches), however many members the group has. *)
 
 let test_batched_counters_amortized () =
   let clock = Clock.create () in
   let conn = Conn.create ~clock ~cost:Cost.default () in
   Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
+  conn.Conn.threads <- 1;
   Conn.start_serving conn;
   let m = Repro_obs.Obs.metrics (Conn.obs conn) in
   let rt0 = (Conn.stats conn).Conn.round_trips in
   let cs0 = Repro_obs.Metrics.counter_value m "os.context_switches" in
-  for _ = 1 to 8 do
-    ignore (Conn.call conn ~batch:8 Protocol.root_ctx Protocol.Statfs)
-  done;
-  check_i "8 calls at batch:8 = one round trip" (rt0 + 1) (Conn.stats conn).Conn.round_trips;
+  ignore (Conn.call_group conn Protocol.root_ctx (List.init 8 (fun _ -> Protocol.Statfs)));
+  check_i "8 grouped requests = one round trip" (rt0 + 1) (Conn.stats conn).Conn.round_trips;
   check_i "and two context switches" (cs0 + 2)
     (Repro_obs.Metrics.counter_value m "os.context_switches")
 
@@ -203,12 +207,15 @@ let test_unbatched_counters_exact () =
   let clock = Clock.create () in
   let conn = Conn.create ~clock ~cost:Cost.default () in
   Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
+  (* one worker: no herd, so the accounting is exact — each call wakes the
+     worker once and resumes the submitter once *)
+  conn.Conn.threads <- 1;
   Conn.start_serving conn;
   let m = Repro_obs.Obs.metrics (Conn.obs conn) in
   for _ = 1 to 5 do
     ignore (Conn.call conn Protocol.root_ctx Protocol.Statfs)
   done;
-  check_i "one round trip per unbatched call" 5 (Conn.stats conn).Conn.round_trips;
+  check_i "one round trip per call" 5 (Conn.stats conn).Conn.round_trips;
   check_i "two context switches each" 10
     (Repro_obs.Metrics.counter_value m "os.context_switches")
 
@@ -342,6 +349,73 @@ let test_server_lookup_tax_counted () =
   check_b "server-side open()+stat() per cold lookup" true
     (Server.lookups_performed w.session.Session.server - before >= 10)
 
+(* --- request queue ----------------------------------------------------------- *)
+
+let test_queue_fifo_ordering () =
+  (* a single worker drains the pending queue in submission order — the
+     queue is the kernel's FIFO fuse_conn list, not a priority structure *)
+  let clock = Clock.create () in
+  let conn = Conn.create ~clock ~cost:Cost.default () in
+  let served = ref [] in
+  Conn.set_handler conn (fun _ req ->
+      (match req with
+      | Protocol.Getattr ino -> served := ino :: !served
+      | _ -> ());
+      Protocol.R_err Errno.ENOSYS);
+  conn.Conn.threads <- 1;
+  Conn.start_serving conn;
+  let inos = List.init 16 (fun i -> i + 100) in
+  ignore
+    (Conn.call_group conn Protocol.root_ctx
+       (List.map (fun i -> Protocol.Getattr i) inos));
+  check_b "served in submission order" true (List.rev !served = inos)
+
+let test_background_backpressure () =
+  (* one-way messages are the background class: at [max_background] the
+     submitter blocks until workers drain below the threshold, so the
+     in-flight count can touch but never exceed it *)
+  let clock = Clock.create () in
+  let conn = Conn.create ~clock ~cost:Cost.default () in
+  Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
+  conn.Conn.threads <- 2;
+  conn.Conn.max_background <- 3;
+  Conn.start_serving conn;
+  let max_seen = ref 0 in
+  for fh = 1 to 32 do
+    Conn.post conn Protocol.root_ctx (Protocol.Release fh);
+    if conn.Conn.bg_inflight > !max_seen then max_seen := conn.Conn.bg_inflight
+  done;
+  check_i "submitter held at the congestion threshold" 3 !max_seen;
+  Conn.quiesce conn;
+  check_i "background class drains to zero" 0 conn.Conn.bg_inflight
+
+let test_worker_fairness () =
+  (* grouped submissions keep the queue deep enough that the whole pool
+     engages: every worker accumulates busy time, and no single worker
+     pipelines the queue dry while its peers starve (the yield between
+     requests models re-entering read(2) on /dev/fuse) *)
+  let clock = Clock.create () in
+  let conn = Conn.create ~clock ~cost:Cost.default () in
+  Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
+  conn.Conn.threads <- 4;
+  Conn.start_serving conn;
+  for _ = 1 to 8 do
+    ignore
+      (Conn.call_group conn Protocol.root_ctx
+         (List.init 16 (fun _ -> Protocol.Statfs)))
+  done;
+  let m = Repro_obs.Obs.metrics (Conn.obs conn) in
+  let busy = Repro_obs.Metrics.counters_with_prefix m ~prefix:"cntrfs.worker." in
+  check_i "one busy counter per worker" 4 (List.length busy);
+  let vals = List.map snd busy in
+  let mn = List.fold_left min max_int vals in
+  let mx = List.fold_left max 0 vals in
+  check_b "every worker served requests" true (mn > 0);
+  check_b
+    (Printf.sprintf "no worker monopolizes the pool (min %dns, max %dns)" mn mx)
+    true
+    (mx <= 4 * mn)
+
 let () =
   Alcotest.run "fuse"
     [
@@ -366,6 +440,12 @@ let () =
           Alcotest.test_case "handle cache hits" `Quick test_handle_cache_hits;
           Alcotest.test_case "handle cache coherent" `Quick test_handle_cache_coherent_after_write;
           Alcotest.test_case "fast path off is inert" `Quick test_fastpath_off_is_inert;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "FIFO ordering" `Quick test_queue_fifo_ordering;
+          Alcotest.test_case "congestion backpressure" `Quick test_background_backpressure;
+          Alcotest.test_case "worker fairness" `Quick test_worker_fairness;
         ] );
       ( "forgets",
         [

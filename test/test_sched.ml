@@ -1,0 +1,237 @@
+(* Unit tests for the discrete-event scheduler: per-task timelines, overlap
+   semantics (max-of-timelines), ivar ordering, Mesa mutexes, condition
+   variables, and the sequential-identity property the FUSE request queue
+   relies on (1 worker + 1 client == inline execution). *)
+
+open Repro_util
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+let check_ns name expect clock =
+  Alcotest.(check int64) name (Int64.of_int expect) (Clock.now_ns clock)
+
+let mk () =
+  let clock = Clock.create () in
+  let sched = Repro_sched.Sched.create ~clock in
+  (clock, sched)
+
+module Sched = Repro_sched.Sched
+
+(* --- tasks & timelines ------------------------------------------------------ *)
+
+let test_run_charges_task_time () =
+  let clock, s = mk () in
+  let v = Sched.run s (fun () -> Clock.consume_int clock 1_000; 42) in
+  check_i "value" 42 v;
+  check_ns "task time charged" 1_000 clock
+
+let test_parallel_tasks_overlap () =
+  (* two tasks spawned at t0 run on their own timelines: the join lands at
+     the max, not the sum *)
+  let clock, s = mk () in
+  let t1 = Sched.spawn s (fun () -> Clock.consume_int clock 1_000) in
+  let t2 = Sched.spawn s (fun () -> Clock.consume_int clock 5_000) in
+  Sched.await s t1;
+  Sched.await s t2;
+  check_ns "elapsed = max, not sum" 5_000 clock
+
+let test_spawn_inherits_current_time () =
+  let clock, s = mk () in
+  Clock.consume_int clock 700;
+  let t1 = Sched.spawn s (fun () -> Clock.consume_int clock 300) in
+  Sched.await s t1;
+  check_ns "start offset + task work" 1_000 clock
+
+let test_nested_spawn () =
+  let clock, s = mk () in
+  let outer =
+    Sched.spawn s (fun () ->
+        Clock.consume_int clock 100;
+        let inner = Sched.spawn s (fun () -> Clock.consume_int clock 1_000) in
+        Clock.consume_int clock 50;
+        Sched.await s inner)
+  in
+  Sched.await s outer;
+  check_ns "inner joined from a task" 1_100 clock
+
+let test_task_exception_propagates () =
+  let _, s = mk () in
+  let t = Sched.spawn s (fun () -> failwith "boom") in
+  match Sched.await s t with
+  | exception Failure m -> Alcotest.(check string) "exn carried" "boom" m
+  | () -> Alcotest.fail "expected exception"
+
+let test_deadlock_detected () =
+  let _, s = mk () in
+  let (iv : unit Sched.ivar) = Sched.ivar () in
+  match Sched.read s iv with
+  | exception Sched.Deadlock _ -> ()
+  | () -> Alcotest.fail "expected Deadlock"
+
+(* --- ivars ------------------------------------------------------------------ *)
+
+let test_ivar_read_waits_for_fill_time () =
+  (* the reader cannot observe a value before it was produced *)
+  let clock, s = mk () in
+  let iv = Sched.ivar () in
+  let producer =
+    Sched.spawn s (fun () ->
+        Clock.consume_int clock 2_000;
+        Sched.fill s iv 7)
+  in
+  let v = Sched.read s iv in
+  check_i "value" 7 v;
+  check_ns "reader warped to fill time" 2_000 clock;
+  Sched.await s producer
+
+let test_ivar_read_after_fill_keeps_reader_time () =
+  let clock, s = mk () in
+  let iv = Sched.ivar () in
+  let producer = Sched.spawn s (fun () -> Sched.fill s iv 7) in
+  Clock.consume_int clock 9_000;
+  let v = Sched.read s iv in
+  Sched.await s producer;
+  check_i "value" 7 v;
+  check_ns "late reader keeps its own time" 9_000 clock
+
+(* --- mutex ------------------------------------------------------------------ *)
+
+let test_mutex_serializes_tasks () =
+  (* two tasks each hold the lock for 1000ns: the second's critical section
+     starts only after the first releases *)
+  let clock, s = mk () in
+  let m = Sched.mutex () in
+  let sections = ref [] in
+  let worker () =
+    Sched.with_lock s m (fun () ->
+        let t0 = Clock.now_ns clock in
+        Clock.consume_int clock 1_000;
+        sections := (t0, Clock.now_ns clock) :: !sections)
+  in
+  let t1 = Sched.spawn s worker in
+  let t2 = Sched.spawn s worker in
+  Sched.await s t1;
+  Sched.await s t2;
+  match List.rev !sections with
+  | [ (a0, a1); (b0, _) ] ->
+      check_b "no overlap" true (Int64.compare b0 a1 >= 0);
+      check_ns "total serialized" 2_000 clock;
+      check_b "first started at 0" true (Int64.equal a0 0L)
+  | _ -> Alcotest.fail "expected two sections"
+
+let test_mutex_reentrant () =
+  let clock, s = mk () in
+  let m = Sched.mutex () in
+  Sched.run s (fun () ->
+      Sched.with_lock s m (fun () ->
+          Sched.with_lock s m (fun () -> Clock.consume_int clock 10)));
+  check_ns "reentrant lock ran" 10 clock
+
+(* --- condition variables ---------------------------------------------------- *)
+
+let test_cond_broadcast_counts_waiters () =
+  let clock, s = mk () in
+  let m = Sched.mutex () in
+  let cv = Sched.cond () in
+  let ready = ref 0 in
+  let go = ref false in
+  let waiter () =
+    Sched.lock s m;
+    incr ready;
+    while not !go do
+      Sched.wait s cv m
+    done;
+    Sched.unlock s m
+  in
+  let ws = List.init 3 (fun _ -> Sched.spawn s waiter) in
+  (* drive until all three are parked on the condvar *)
+  Sched.drive_main s (fun () -> !ready = 3 && Sched.pending_events s = 0);
+  Clock.consume_int clock 500;
+  go := true;
+  let woken = Sched.broadcast s cv in
+  check_i "broadcast counted the herd" 3 woken;
+  List.iter (Sched.await s) ws;
+  check_b "no waiters left" true (Sched.signal s cv = 0)
+
+(* --- sequential identity ----------------------------------------------------
+
+   The property the Conn refactor leans on: a producer/consumer pair over a
+   queue, with ONE consumer and ONE top-level producer, yields exactly the
+   timeline of inline execution.  Randomized over work sizes (qcheck). *)
+
+let sequential_identity_prop (works : int list) =
+  let works = List.map (fun w -> 1 + (abs w mod 10_000)) works in
+  (* inline model: each item costs submit(30) + service(w) in one thread *)
+  let expect =
+    List.fold_left (fun acc w -> acc + 30 + w) 0 works
+  in
+  let clock, s = mk () in
+  let q = Queue.create () in
+  let m = Sched.mutex () in
+  let cv = Sched.cond () in
+  let consumer_done : unit Sched.ivar = Sched.ivar () in
+  let n = List.length works in
+  let served = ref 0 in
+  let _consumer =
+    Sched.spawn s (fun () ->
+        while !served < n do
+          Sched.lock s m;
+          while Queue.is_empty q do
+            Sched.wait s cv m
+          done;
+          let w, reply = Queue.pop q in
+          Sched.unlock s m;
+          Clock.consume_int clock w;
+          incr served;
+          Sched.fill s reply ()
+        done;
+        Sched.fill s consumer_done ())
+  in
+  List.iter
+    (fun w ->
+      let reply : unit Sched.ivar = Sched.ivar () in
+      Sched.lock s m;
+      Clock.consume_int clock 30;
+      Queue.push (w, reply) q;
+      ignore (Sched.broadcast s cv);
+      Sched.unlock s m;
+      Sched.read s reply)
+    works;
+  Sched.read s consumer_done;
+  Int64.equal (Clock.now_ns clock) (Int64.of_int expect)
+
+let qcheck_sequential_identity =
+  QCheck.Test.make ~count:200 ~name:"1 consumer + 1 producer == inline timeline"
+    QCheck.(list_of_size Gen.(1 -- 40) int)
+    sequential_identity_prop
+
+(* --- suite ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "sched"
+    [
+      ( "tasks",
+        [
+          tc "run charges task time" `Quick test_run_charges_task_time;
+          tc "parallel tasks overlap" `Quick test_parallel_tasks_overlap;
+          tc "spawn inherits current time" `Quick test_spawn_inherits_current_time;
+          tc "nested spawn" `Quick test_nested_spawn;
+          tc "task exception propagates" `Quick test_task_exception_propagates;
+          tc "deadlock detected" `Quick test_deadlock_detected;
+        ] );
+      ( "ivars",
+        [
+          tc "read waits for fill time" `Quick test_ivar_read_waits_for_fill_time;
+          tc "late read keeps reader time" `Quick test_ivar_read_after_fill_keeps_reader_time;
+        ] );
+      ( "mutex",
+        [
+          tc "serializes tasks" `Quick test_mutex_serializes_tasks;
+          tc "reentrant" `Quick test_mutex_reentrant;
+        ] );
+      ("cond", [ tc "broadcast counts waiters" `Quick test_cond_broadcast_counts_waiters ]);
+      ( "sequential-identity",
+        [ QCheck_alcotest.to_alcotest qcheck_sequential_identity ] );
+    ]

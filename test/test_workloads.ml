@@ -69,6 +69,21 @@ let test_figure4_shape () =
   check_b (Printf.sprintf "drop at 16 threads %.1f%% in [2%%, 12%%]" (drop *. 100.)) true
     (drop >= 0.02 && drop <= 0.12)
 
+let test_figure4_deterministic () =
+  (* the sweep derives entirely from the virtual clock and the fixed
+     workload, so two runs render identical points — this is what makes
+     `bench/main.exe e4 --json` write a byte-identical BENCH_e4.json *)
+  let render pts =
+    String.concat "\n"
+      (List.map
+         (fun p ->
+           Printf.sprintf "%d %.6f" p.Experiments.tp_threads p.Experiments.tp_mbps)
+         pts)
+  in
+  let a = render (Experiments.figure4 ()) in
+  let b = render (Experiments.figure4 ()) in
+  Alcotest.(check string) "identical timeline on re-run" a b
+
 let test_unoptimized_much_worse () =
   (* the whole point of §3.3: default opts beat the unoptimized config *)
   let w = find "Compileb.: Read" in
@@ -112,7 +127,10 @@ let () =
       ( "figure3",
         [ Alcotest.test_case "ablation directions & magnitudes" `Slow test_figure3_directions ] );
       ( "figure4",
-        [ Alcotest.test_case "thread sweep shape" `Slow test_figure4_shape ] );
+        [
+          Alcotest.test_case "thread sweep shape" `Slow test_figure4_shape;
+          Alcotest.test_case "deterministic sweep" `Slow test_figure4_deterministic;
+        ] );
       ( "optimizations",
         [ Alcotest.test_case "unoptimized much worse" `Slow test_unoptimized_much_worse ] );
     ]
