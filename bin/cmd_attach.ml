@@ -6,7 +6,7 @@ open Repro_runtime
 open Repro_cntr
 open Cmdliner
 
-let run common name fat command =
+let run common name fat fault_plan command =
   let world = Cmd_common.demo_world () in
   match Cmd_common.resolve world common name with
   | Error e ->
@@ -16,7 +16,21 @@ let run common name fat command =
       let tools =
         match fat with None -> Attach.From_host | Some f -> Attach.From_container f
       in
-      match Testbed.attach world ~tools container.Container.ct_name with
+      let plan =
+        match fault_plan with
+        | None -> Ok (None, None)
+        | Some file -> (
+            match Repro_fault.Fault.of_file file with
+            | Ok (plan, retry) -> Ok (Some plan, retry)
+            | Error msg -> Error msg)
+      in
+      match plan with
+      | Error msg ->
+          Printf.eprintf "cntr: bad fault plan: %s\n" msg;
+          1
+      | Ok (fault, retry) -> (
+      let config = { Attach.Config.default with Attach.Config.tools; fault; retry } in
+      match Testbed.attach world ~config container.Container.ct_name with
       | Error e ->
           Printf.eprintf "cntr: cannot attach to %s: %s\n" name (Errno.message e);
           1
@@ -50,7 +64,7 @@ let run common name fat command =
           Printf.printf "%s" (Attach.report session);
           Attach.detach session;
           Printf.printf "[cntr] detached; container left running\n";
-          code)
+          code))
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CONTAINER" ~doc:"Container name or id prefix.")
@@ -59,6 +73,10 @@ let fat_arg =
   Arg.(value & opt (some string) None & info [ "fat-container"; "f" ] ~docv:"NAME"
          ~doc:"Serve the tools from this fat container instead of the host.")
 
+let fault_plan_arg =
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"FILE"
+         ~doc:"Arm a deterministic fault plan over the session (see DESIGN.md for the plan-file grammar).")
+
 let command_arg =
   Arg.(value & opt (some string) None & info [ "command"; "c" ] ~docv:"CMD"
          ~doc:"Run a single command instead of the scripted shell.")
@@ -66,4 +84,4 @@ let command_arg =
 let cmd =
   Cmd.v
     (Cmd.info "attach" ~doc:"Attach to a container: nested namespace, tools, shell.")
-    Term.(const run $ Cmd_common.common_term $ name_arg $ fat_arg $ command_arg)
+    Term.(const run $ Cmd_common.common_term $ name_arg $ fat_arg $ fault_plan_arg $ command_arg)

@@ -9,7 +9,16 @@ let ok = Errno.ok_exn
 
 let run () =
   let world = Cmd_common.demo_world () in
-  let session = ok (Testbed.attach world ~tools:(Attach.From_container "debug") "web") in
+  let session =
+    ok
+      (Testbed.attach world
+         ~config:
+           {
+             Attach.Config.default with
+             Attach.Config.tools = Attach.From_container "debug";
+           }
+         "web")
+  in
   Printf.printf "attach web with tools from the 'debug' container:\n";
   List.iter
     (fun cmd ->

@@ -17,7 +17,11 @@ let run common name fat command =
       let tools =
         match fat with None -> Attach.From_host | Some f -> Attach.From_container f
       in
-      match Testbed.attach world ~tools container.Container.ct_name with
+      match
+        Testbed.attach world
+          ~config:{ Attach.Config.default with Attach.Config.tools }
+          container.Container.ct_name
+      with
       | Error e ->
           Printf.eprintf "cntr: cannot attach to %s: %s\n" name (Errno.message e);
           1

@@ -78,7 +78,16 @@ let () =
   in
 
   step "incident: attach the fat image's tools to the slim service";
-  let session = ok (Testbed.attach world ~tools:(Attach.From_container "payments-debug") "payments") in
+  let session =
+    ok
+      (Testbed.attach world
+         ~config:
+           {
+             Attach.Config.default with
+             Attach.Config.tools = Attach.From_container "payments-debug";
+           }
+         "payments")
+  in
   show (Attach.run session "cat /workspace/README");
   show (Attach.run session "cat /var/lib/cntr/var/log/payments.log");
   show (Attach.run session "cat /var/lib/cntr/etc/paymentd.conf | grep currency");

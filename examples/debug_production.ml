@@ -41,7 +41,16 @@ let () =
   List.iter
     (fun app ->
       let name = app.Container.ct_name in
-      let session = ok (Testbed.attach world ~tools:(Attach.From_container "debug") name) in
+      let session =
+        ok
+          (Testbed.attach world
+             ~config:
+               {
+                 Attach.Config.default with
+                 Attach.Config.tools = Attach.From_container "debug";
+               }
+             name)
+      in
       let _code, out = Attach.run session "which gdb" in
       let _code2, ps = Attach.run session "ps" in
       Printf.printf "  [%s] gdb from the debug image: %s" name out;

@@ -168,8 +168,16 @@ let hc_evict_if_full t =
     | None -> ()
   end
 
+(* Hardlinked files are uncacheable: their link count can drop through a
+   sibling path (unlink of another name) that arrives with no prior LOOKUP
+   — the driver's dentry cache satisfies the name — so no [hc_paths]
+   binding exists to invalidate the slot through.  Directories are exempt
+   (no aliases; nlink moves only via mkdir/rmdir, which do invalidate). *)
+let hc_cacheable (st : Types.stat) =
+  st.Types.st_kind = Types.Dir || st.Types.st_nlink <= 1
+
 let hc_insert t ~path ~(st : Types.stat) ~ino =
-  if t.hc_cap > 0 then begin
+  if t.hc_cap > 0 && hc_cacheable st then begin
     let slot = { hc_ino = ino; hc_stat = st; hc_tick = 0 } in
     Hashtbl.replace t.hc st.Types.st_ino slot;
     hc_touch t slot;
@@ -286,6 +294,43 @@ let intern t ~path ~(st : Types.stat) =
         { e_path = path; e_backing_ino = st.Types.st_ino; e_handle = handle; e_nlookup = 1 };
       Hashtbl.replace t.by_backing st.Types.st_ino ino;
       ino
+
+(* Recovery: teach a freshly created server the driver's existing ino
+   space.  [pairs] comes from [Driver.ino_paths] — (driver ino, path
+   relative to the server root, nlookup).  Every path is revalidated
+   against the backing store (the lstat and handle recapture are charged,
+   like the original lookups were); names that vanished while the server
+   was down are skipped, so the driver's stale dentries for them fail on
+   first use exactly as an expired cache entry would. *)
+let restore t pairs =
+  let root = (Hashtbl.find t.inos root_ino).e_path in
+  List.iter
+    (fun (ino, rel, nlookup) ->
+      let path = if String.equal rel "" then root else Pathx.concat root rel in
+      match Kernel.lstat t.kernel t.proc path with
+      | Error _ -> ()
+      | Ok st ->
+          Metrics.incr t.m_backing_ops;
+          let handle =
+            match st.Types.st_kind with
+            | Types.Reg | Types.Symlink | Types.Fifo | Types.Sock ->
+                Metrics.incr t.m_backing_ops;
+                Result.to_option
+                  (Kernel.name_to_handle_at t.kernel t.proc ~follow:false path)
+            | _ -> None
+          in
+          Hashtbl.replace t.inos ino
+            {
+              e_path = path;
+              e_backing_ino = st.Types.st_ino;
+              e_handle = handle;
+              e_nlookup = max 1 nlookup;
+            };
+          (match st.Types.st_kind with
+          | Types.Dir -> ()
+          | _ -> Hashtbl.replace t.by_backing st.Types.st_ino ino);
+          if ino >= t.next_ino then t.next_ino <- ino + 1)
+    pairs
 
 let handle_lookup t ctx ~parent ~name =
   let* dir = path_of t parent in
@@ -434,6 +479,13 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         let* sdir = path_of t src_parent in
         let* ddir = path_of t dst_parent in
         let src = Pathx.concat sdir src_name and dst = Pathx.concat ddir dst_name in
+        (* whichever of our inos sat at [dst] is displaced by this rename;
+           found before [remap_paths] moves the src subtree onto that path *)
+        let replaced =
+          Hashtbl.fold
+            (fun ino e acc -> if String.equal e.e_path dst then Some ino else acc)
+            t.inos None
+        in
         let* () = with_fsuid t ctx (fun () -> Kernel.rename k p ~src ~dst) in
         remap_paths t ~src ~dst;
         (* the moved subtree's cached paths are all stale, the replaced
@@ -442,7 +494,7 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         hc_invalidate_subtree t dst;
         hc_invalidate_path t sdir;
         hc_invalidate_path t ddir;
-        Ok Protocol.R_ok
+        Ok (Protocol.R_renamed replaced)
     | Protocol.Link { src; parent; name } ->
         let* dir = path_of t parent in
         let path = Pathx.concat dir name in

@@ -37,6 +37,13 @@ val create :
 (** The request handler to install with {!Conn.set_handler}. *)
 val handle : t -> Protocol.ctx -> Protocol.req -> Protocol.resp
 
+(** Recovery: teach a freshly created server an existing driver ino space —
+    [(ino, path relative to the server root, nlookup)] triples from
+    [Repro_fuse.Driver.ino_paths].  Paths are revalidated against the
+    backing store (charged like the original lookups); names that vanished
+    while the server was down are skipped. *)
+val restore : t -> (int * string * int) list -> unit
+
 (** Server-side lookups performed so far (the open()+stat() tax).
 
     Deprecated: thin wrapper over the kernel registry's

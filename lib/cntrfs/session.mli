@@ -8,15 +8,28 @@ open Repro_vfs
 open Repro_fuse
 
 type t = {
+  kernel : Kernel.t;
+  root_path : string;
+  opts : Opts.t;
   conn : Conn.t;
   driver : Driver.t;
-  server : Server.t;
+  mutable server : Server.t;  (** swapped by {!recover} *)
+  mutable server_proc : Proc.t;
   fs : Fsops.t;  (** mount this with {!Kernel.mount_at} *)
+  fault : Repro_fault.Fault.t option;  (** the armed plane, when any *)
+  mutable m_recoveries : Repro_obs.Metrics.counter option;
 }
 
 (** Create a serving session: [server_proc] serves [root_path] out of its
     own mount namespace.  [budget] is the page-cache budget the driver
-    shares with the backing filesystems (double-buffering pressure). *)
+    shares with the backing filesystems (double-buffering pressure).
+
+    [fault] arms a fault plan: the connection consults it while serving,
+    and the kernel's backing syscalls consult it for the server's process
+    (tracked across {!recover}).  [retry] arms per-request deadlines with
+    idempotent-opcode retry.  With neither, the plane is off and the
+    session behaves byte-identically to one built before the plane
+    existed. *)
 val create :
   kernel:Kernel.t ->
   server_proc:Proc.t ->
@@ -24,6 +37,8 @@ val create :
   ?opts:Opts.t ->
   ?threads:int ->
   ?sched:Repro_sched.Sched.t ->
+  ?fault:Repro_fault.Fault.plan ->
+  ?retry:Repro_fault.Fault.retry ->
   budget:Mem_budget.t ->
   unit ->
   t
@@ -39,6 +54,15 @@ val obs : t -> Repro_obs.Obs.t
 (** Protocol statistics: request counts by kind, bytes, splice usage.
     A snapshot view over the registry on {!obs}. *)
 val stats : t -> Conn.stats
+
+(** The armed fault plane, when the session was created with one. *)
+val fault : t -> Repro_fault.Fault.t option
+
+(** Relaunch the CntrFS server after a crash: fork a replacement process,
+    replay the driver's inode map into it ({!Server.restore}), swap the
+    handler, revive the connection and reopen the driver's file handles.
+    Counts under [session.recoveries]. *)
+val recover : t -> unit
 
 (** Teardown barrier: wait until every queued request (including one-way
     forgets/releases) has been served. *)

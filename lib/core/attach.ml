@@ -17,22 +17,50 @@ open Repro_os
 open Repro_fuse
 open Repro_cntrfs
 open Repro_runtime
+module Fault = Repro_fault.Fault
 
 type tools_location =
   | From_host
   | From_container of string (* the fat container's name *)
 
+(* Everything that shapes an attach, in one value.  Call sites build it
+   with record update over [default] so adding a knob never breaks them. *)
+module Config = struct
+  type t = {
+    from : Proc.t option;
+    tools : tools_location;
+    opts : Opts.t;
+    threads : int;
+    fault : Fault.plan option;
+    retry : Fault.retry option;
+  }
+
+  let default =
+    {
+      from = None;
+      tools = From_host;
+      opts = Opts.cntr_default;
+      threads = 4;
+      fault = None;
+      retry = None;
+    }
+end
+
 type session = {
   sn_kernel : Kernel.t;
   sn_shell_proc : Proc.t; (* lives in the nested namespace *)
-  sn_server_proc : Proc.t;
+  mutable sn_server_proc : Proc.t; (* swapped by [recover] *)
   sn_cntr_proc : Proc.t;
   sn_tty : Tty.t;
   sn_conn : Conn.t;
   sn_driver : Driver.t;
-  sn_server : Server.t;
+  mutable sn_server : Server.t; (* swapped by [recover] *)
   sn_ctx : Context.t;
   sn_app_pid : int;
+  sn_config : Config.t;
+  sn_fault : Fault.t option; (* the armed plane, when any *)
+  mutable sn_detached : bool;
+  mutable sn_recoveries : Repro_obs.Metrics.counter option;
 }
 
 let ( let* ) = Result.bind
@@ -54,14 +82,16 @@ let rec mkdir_p kernel proc path =
    over the tools filesystem (§3.2.3). *)
 let config_files = [ "/etc/passwd"; "/etc/group"; "/etc/hostname"; "/etc/resolv.conf"; "/etc/hosts" ]
 
-(* [from] is the process launching cntr — by default the host's init (the
-   admin's shell).  Passing a process that lives inside a (privileged)
+(* [config.from] is the process launching cntr — by default the host's init
+   (the admin's shell).  Passing a process that lives inside a (privileged)
    container gives the paper's §7 "nested container" design: cntr runs in
    one container and attaches to another, with the launching container's
    filesystem serving as the tools side. *)
-let attach ~kernel ~engines ~budget ?from ?(tools = From_host) ?(opts = Opts.cntr_default)
-    ?(threads = 4) name =
-  let init = match from with Some p -> p | None -> Kernel.init_proc kernel in
+let attach ~kernel ~engines ~budget ?(config = Config.default) name =
+  let opts = config.Config.opts in
+  let init =
+    match config.Config.from with Some p -> p | None -> Kernel.init_proc kernel
+  in
 
   (* ----- step #1: resolve the container, gather its context ----- *)
   let* _engine, container = Engine.resolve_any engines name in
@@ -72,13 +102,22 @@ let attach ~kernel ~engines ~budget ?from ?(tools = From_host) ?(opts = Opts.cnt
   (* open /dev/fuse before entering the container; the fd survives setns *)
   let* fuse_fd = Kernel.open_ kernel cntr_proc "/dev/fuse" [ Types.O_RDWR ] ~mode:0 in
   let* conn = Dev_fuse.conn_of_fd cntr_proc fuse_fd in
-  conn.Conn.threads <- threads;
+  conn.Conn.threads <- config.Config.threads;
+  (* arm the fault plane before any request can flow *)
+  let plane =
+    Option.map
+      (Fault.arm ~obs:kernel.Kernel.obs ~clock:kernel.Kernel.clock)
+      config.Config.fault
+  in
+  (match plane, config.Config.retry with
+  | None, None -> ()
+  | _ -> Conn.supervise conn ?fault:plane ?retry:config.Config.retry ());
 
   (* ----- step #2: launch the CntrFS server ----- *)
   let server_proc = Kernel.fork kernel cntr_proc in
   server_proc.Proc.comm <- "cntrfs";
   let* () =
-    match tools with
+    match config.Config.tools with
     | From_host -> Ok ()
     | From_container fat_name ->
         let* _e, fat = Engine.resolve_any engines fat_name in
@@ -165,7 +204,7 @@ let attach ~kernel ~engines ~budget ?from ?(tools = From_host) ?(opts = Opts.cnt
 
   (* ----- step #4: interactive shell on a pseudo-TTY ----- *)
   let tty = Tty.attach kernel child in
-  Ok
+  let session =
     {
       sn_kernel = kernel;
       sn_shell_proc = child;
@@ -177,7 +216,32 @@ let attach ~kernel ~engines ~budget ?from ?(tools = From_host) ?(opts = Opts.cnt
       sn_server = server;
       sn_ctx = ctx;
       sn_app_pid = app_pid;
+      sn_config = config;
+      sn_fault = plane;
+      sn_detached = false;
+      sn_recoveries = None;
     }
+  in
+  (match plane with
+  | Some f ->
+      (* Backing-store faults hit the server's syscalls only — whichever
+         process currently serves, so recovery's relaunch stays covered
+         while the shell's own syscalls never are. *)
+      Kernel.set_fault kernel
+        (Some
+           (fun ~op proc ->
+             if proc == session.sn_server_proc then Fault.backing_errno f ~op
+             else None))
+  | None -> ());
+  Ok session
+
+(* Pre-Config signature, kept for one release so external callers keep
+   compiling.  No in-tree caller remains. *)
+let attach_legacy ~kernel ~engines ~budget ?from ?(tools = From_host)
+    ?(opts = Opts.cntr_default) ?(threads = 4) name =
+  attach ~kernel ~engines ~budget
+    ~config:{ Config.default with Config.from; tools; opts; threads }
+    name
 
 (* Run one shell command inside the session; returns (exit code, output). *)
 let run session cmd =
@@ -191,12 +255,75 @@ let run session cmd =
   (code, Tty.read_output session.sn_tty)
 
 (* Tear the session down: shell and server exit; the nested namespace dies
-   with its last process, leaving the application container untouched. *)
+   with its last process, leaving the application container untouched.
+   Idempotent — a second detach (say, from a bracket's finalizer after the
+   caller already detached) is a no-op. *)
 let detach session =
-  ignore (Server.handle session.sn_server Protocol.root_ctx Protocol.Destroy);
-  Kernel.exit session.sn_kernel session.sn_shell_proc 0;
-  Kernel.exit session.sn_kernel session.sn_server_proc 0;
-  Kernel.exit session.sn_kernel session.sn_cntr_proc 0
+  if not session.sn_detached then begin
+    session.sn_detached <- true;
+    ignore (Server.handle session.sn_server Protocol.root_ctx Protocol.Destroy);
+    let exit_if_alive proc =
+      if proc.Proc.alive then Kernel.exit session.sn_kernel proc 0
+    in
+    exit_if_alive session.sn_shell_proc;
+    exit_if_alive session.sn_server_proc;
+    exit_if_alive session.sn_cntr_proc
+  end
+
+(* Bracket: attach, hand the session to [f], always detach — even when [f]
+   raises.  [detach] being idempotent, [f] may detach early itself. *)
+let with_session ~kernel ~engines ~budget ?config name f =
+  let* session = attach ~kernel ~engines ~budget ?config name in
+  Fun.protect ~finally:(fun () -> detach session) (fun () -> Ok (f session))
+
+(* ----- fault plane: test hooks and recovery ----- *)
+
+let fault session = session.sn_fault
+
+(* Kill the CntrFS server out from under the session: every queued and
+   future request resolves to ENOTCONN until [recover]. *)
+let crash_server session = Conn.inject_crash session.sn_conn
+
+(* Make the server sit on the next request for [ns] virtual nanoseconds —
+   long enough to trip an armed deadline. *)
+let hang_server session ~ns = Conn.inject session.sn_conn (Fault.Hang ns)
+
+(* Relaunch the CntrFS server: fork a replacement from the dead server (the
+   fork inherits its namespace view, so a fat-container server stays inside
+   the fat container), replay the driver's inode map into it, swap the
+   handler, revive the connection and reopen the driver's file handles.
+   The mount, the shell, the driver caches and dirty pages all survive. *)
+let recover session =
+  let pairs = Driver.ino_paths session.sn_driver in
+  let old = session.sn_server_proc in
+  let np = Kernel.fork session.sn_kernel old in
+  np.Proc.comm <- old.Proc.comm;
+  let opts = session.sn_config.Config.opts in
+  let server =
+    Server.create ~kernel:session.sn_kernel ~proc:np ~root_path:"/"
+      ~handle_cache:opts.Opts.handle_cache
+      ~valid_ns:(opts.Opts.entry_timeout_ns, opts.Opts.attr_timeout_ns) ()
+  in
+  Server.restore server pairs;
+  session.sn_server <- server;
+  session.sn_server_proc <- np;
+  if old.Proc.alive then Kernel.exit session.sn_kernel old 0;
+  Conn.set_handler session.sn_conn (Server.handle server);
+  Conn.revive session.sn_conn;
+  Driver.on_server_restart session.sn_driver;
+  let c =
+    match session.sn_recoveries with
+    | Some c -> c
+    | None ->
+        let c =
+          Repro_obs.Metrics.counter
+            (Repro_obs.Obs.metrics (Conn.obs session.sn_conn))
+            "session.recoveries"
+        in
+        session.sn_recoveries <- Some c;
+        c
+  in
+  Repro_obs.Metrics.incr c
 
 let context session = session.sn_ctx
 
@@ -231,6 +358,16 @@ let report session =
     |> List.map (fun (i, v) -> Printf.sprintf "w%d=%dns" i v)
     |> String.concat " "
   in
+  let fault_lines =
+    let retries = c "fuse.retries" in
+    let timeouts = c "fuse.timeouts" in
+    let recoveries = c "session.recoveries" in
+    let injected = match session.sn_fault with Some f -> Fault.injected f | None -> 0 in
+    if injected = 0 && retries = 0 && timeouts = 0 && recoveries = 0 then ""
+    else
+      Printf.sprintf "faults: %d injected, %d retries, %d timeouts, %d recoveries\n"
+        injected retries timeouts recoveries
+  in
   Printf.sprintf
     "cntrfs session: %d requests (%s)\n\
      transfer: %s to server, %s from server, %s spliced\n\
@@ -238,7 +375,7 @@ let report session =
      server: %d lookups (open+stat each), %.1fx backing amplification\n\
      queue: depth max %.0f mean %.2f, inflight %.0f (max %.0f), %d spurious wakeups\n\
      workers: %s\n\
-     kernel: %d syscalls, %d context switches\n"
+     %skernel: %d syscalls, %d context switches\n"
     stats.Conn.requests by_kind
     (Size.to_string stats.Conn.bytes_to_server)
     (Size.to_string stats.Conn.bytes_from_server)
@@ -255,5 +392,6 @@ let report session =
     (g "fuse.inflight.max")
     (c "fuse.wakeups.spurious")
     (if busy = "" then "(none spawned)" else busy)
+    fault_lines
     (c "os.syscall.count")
     (c "os.context_switches")

@@ -16,18 +16,46 @@ type tools_location =
   | From_host  (** serve the launching namespace's filesystem (usually the host) *)
   | From_container of string  (** serve a named "fat" container's filesystem *)
 
+(** Attach configuration.  Build one with record update over {!Config.default}
+    ([{ Config.default with tools = From_container "debug" }]) so call sites
+    survive new fields. *)
+module Config : sig
+  type t = {
+    from : Proc.t option;
+        (** the process launching cntr; [None] = the host's init.  A process
+            inside a privileged container yields the paper's §7
+            nested-container design. *)
+    tools : tools_location;  (** where the tool filesystem comes from *)
+    opts : Repro_fuse.Opts.t;  (** FUSE mount options *)
+    threads : int;  (** CntrFS server threads *)
+    fault : Repro_fault.Fault.plan option;
+        (** arm a deterministic fault plan over the session *)
+    retry : Repro_fault.Fault.retry option;
+        (** per-request deadlines + idempotent-opcode retry *)
+  }
+
+  (** [From_host], {!Repro_fuse.Opts.cntr_default}, 4 threads, no faults,
+      no retry. *)
+  val default : t
+end
+
 (** A live attach session. *)
 type session = {
   sn_kernel : Kernel.t;
   sn_shell_proc : Proc.t;  (** the shell process, inside the nested namespace *)
-  sn_server_proc : Proc.t;  (** the CntrFS server process *)
+  mutable sn_server_proc : Proc.t;
+      (** the CntrFS server process; swapped by {!recover} *)
   sn_cntr_proc : Proc.t;  (** the cntr frontend process *)
   sn_tty : Tty.t;  (** pseudo-TTY master side *)
   sn_conn : Repro_fuse.Conn.t;  (** the FUSE connection (statistics live here) *)
   sn_driver : Repro_fuse.Driver.t;
-  sn_server : Repro_cntrfs.Server.t;
+  mutable sn_server : Repro_cntrfs.Server.t;  (** swapped by {!recover} *)
   sn_ctx : Context.t;  (** the container context captured in step #1 *)
   sn_app_pid : int;  (** pid of the application container's main process *)
+  sn_config : Config.t;  (** the configuration the session was built with *)
+  sn_fault : Repro_fault.Fault.t option;  (** the armed fault plane, when any *)
+  mutable sn_detached : bool;  (** set by the first {!detach} *)
+  mutable sn_recoveries : Repro_obs.Metrics.counter option;
 }
 
 (** The mountpoint of the nested root inside the application container's
@@ -37,16 +65,22 @@ val tmp_mountpoint : string
 (** The application files bind-mounted over the tools filesystem. *)
 val config_files : string list
 
-(** [attach ~kernel ~engines ~budget name] performs steps #1–#4 against the
-    container named (or id-prefixed) [name].
-
-    @param from the process launching cntr; defaults to the host's init.
-      Passing a process inside a privileged container yields the paper's §7
-      nested-container design.
-    @param tools where the tool filesystem comes from (default {!From_host}).
-    @param opts FUSE mount options (default {!Repro_fuse.Opts.cntr_default}).
-    @param threads CntrFS server threads (default 4). *)
+(** [attach ~kernel ~engines ~budget ~config name] performs steps #1–#4
+    against the container named (or id-prefixed) [name].  [config] defaults
+    to {!Config.default}; a config with a [fault] plan or [retry] policy
+    arms the deterministic fault plane over the session's FUSE connection
+    and the server's backing syscalls. *)
 val attach :
+  kernel:Kernel.t ->
+  engines:Repro_runtime.Engine.engines ->
+  budget:Mem_budget.t ->
+  ?config:Config.t ->
+  string ->
+  (session, Repro_util.Errno.t) result
+
+(** Pre-{!Config} signature, kept for one release for external callers.
+    @deprecated Use {!attach} with a {!Config.t}. *)
+val attach_legacy :
   kernel:Kernel.t ->
   engines:Repro_runtime.Engine.engines ->
   budget:Mem_budget.t ->
@@ -56,14 +90,49 @@ val attach :
   ?threads:int ->
   string ->
   (session, Repro_util.Errno.t) result
+[@@ocaml.deprecated "Use Attach.attach with ~config (Attach.Config.t)."]
 
 (** Run one shell command line inside the session; returns the exit code and
     everything written to the pseudo-TTY. *)
 val run : session -> string -> int * string
 
 (** Tear the session down: the shell and server exit and the nested
-    namespace disappears; the application container is untouched. *)
+    namespace disappears; the application container is untouched.
+    Idempotent: a second call is a no-op. *)
 val detach : session -> unit
+
+(** [with_session ~kernel ~engines ~budget ~config name f] — bracket:
+    attach, apply [f], always detach (even when [f] raises).  [f] may
+    detach early itself; the finalizer's detach is then a no-op. *)
+val with_session :
+  kernel:Kernel.t ->
+  engines:Repro_runtime.Engine.engines ->
+  budget:Mem_budget.t ->
+  ?config:Config.t ->
+  string ->
+  (session -> 'a) ->
+  ('a, Repro_util.Errno.t) result
+
+(** {2 Fault plane: test hooks and recovery} *)
+
+(** The armed fault plane, when the session was configured with one. *)
+val fault : session -> Repro_fault.Fault.t option
+
+(** Test hook: kill the CntrFS server out from under the session.  Queued
+    and future requests resolve to [ENOTCONN] (in bounded virtual time)
+    until {!recover}. *)
+val crash_server : session -> unit
+
+(** Test hook: the server sits on the next request for [ns] virtual
+    nanoseconds — long enough to trip an armed deadline. *)
+val hang_server : session -> ns:int -> unit
+
+(** Relaunch the CntrFS server after a crash: fork a replacement (inheriting
+    the dead server's namespace view), replay the driver's inode map into it
+    ({!Repro_cntrfs.Server.restore}), swap the handler, revive the
+    connection and reopen the driver's file handles.  The mount, the shell
+    and the driver caches survive.  Counts under [session.recoveries]. *)
+val recover : session -> unit
 
 (** The container context captured during step #1. *)
 val context : session -> Context.t
@@ -74,6 +143,7 @@ val obs : session -> Repro_obs.Obs.t
 
 (** Human-readable FUSE traffic summary of the session: request counts by
     kind, transfer volumes, page-cache hit rate, server-side lookups,
-    lookup amplification, syscall and context-switch totals — all views
-    over the registry on {!obs}. *)
+    lookup amplification, syscall and context-switch totals — plus a
+    faults line (injections, retries, timeouts, recoveries) when the fault
+    plane saw any action.  All views over the registry on {!obs}. *)
 val report : session -> string

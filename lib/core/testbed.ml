@@ -55,6 +55,11 @@ let create ?memory_mb ?disk () =
   world
 
 (* Convenience: attach by name using the world's engines and budget. *)
-let attach world ?from ?tools ?opts ?threads name =
+let attach world ?config name =
   Attach.attach ~kernel:world.World.kernel ~engines:world.World.engines
-    ~budget:world.World.budget ?from ?tools ?opts ?threads name
+    ~budget:world.World.budget ?config name
+
+(* Bracketed variant: attach, run [f], always detach. *)
+let with_session world ?config name f =
+  Attach.with_session ~kernel:world.World.kernel ~engines:world.World.engines
+    ~budget:world.World.budget ?config name f

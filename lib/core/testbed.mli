@@ -16,12 +16,19 @@ val debug_image : unit -> Repro_image.Image.t
 val create : ?memory_mb:int -> ?disk:bool -> unit -> t
 
 (** [attach world name] — {!Attach.attach} wired to the world's kernel,
-    engines and memory budget. *)
+    engines and memory budget.  [config] defaults to
+    {!Attach.Config.default}. *)
 val attach :
   t ->
-  ?from:Repro_os.Proc.t ->
-  ?tools:Attach.tools_location ->
-  ?opts:Repro_fuse.Opts.t ->
-  ?threads:int ->
+  ?config:Attach.Config.t ->
   string ->
   (Attach.session, Repro_util.Errno.t) result
+
+(** [with_session world name f] — {!Attach.with_session} wired to the
+    world's kernel, engines and memory budget. *)
+val with_session :
+  t ->
+  ?config:Attach.Config.t ->
+  string ->
+  (Attach.session -> 'a) ->
+  ('a, Repro_util.Errno.t) result

@@ -27,6 +27,7 @@
 open Repro_util
 module Metrics = Repro_obs.Metrics
 module Sched = Repro_sched.Sched
+module Fault = Repro_fault.Fault
 
 type stats = {
   requests : int;
@@ -72,8 +73,20 @@ type t = {
      small); one-way submitters block while at or above it. *)
   mutable max_background : int;
   mutable serving : bool;
+  (* the server crashed (fault plane or test hook): calls fail ENOTCONN
+     immediately until [revive] *)
+  mutable dead : bool;
   (* while true, calls charge no virtual time (background writeback) *)
   mutable background : bool;
+  (* armed fault plane; None = plane off, every consult short-circuits *)
+  mutable fault : Fault.t option;
+  (* per-request supervision (deadline + retry); Fault.no_retry = off *)
+  mutable retry : Fault.retry;
+  (* one-shot actions pushed by test hooks (crash_server / hang_server),
+     served before the plan so hooks work without arming one *)
+  forced : Fault.action Queue.t;
+  mutable m_retries : Metrics.counter option;
+  mutable m_timeouts : Metrics.counter option;
   pending : item Queue.t;
   qlock : Sched.mutex;
   qcond : Sched.cond; (* workers park here; submit broadcasts (herd wake) *)
@@ -119,7 +132,13 @@ let create ?obs ?sched ~clock ~cost () =
     threads = 4;
     max_background = 12;
     serving = false;
+    dead = false;
     background = false;
+    fault = None;
+    retry = Fault.no_retry;
+    forced = Queue.create ();
+    m_retries = None;
+    m_timeouts = None;
     pending = Queue.create ();
     qlock = Sched.mutex ();
     qcond = Sched.cond ();
@@ -207,35 +226,102 @@ let transfer t km ~splice ~to_server bytes =
     Clock.consume_int t.clock (Cost.copy_cost t.cost bytes)
   end
 
+(* Resolve an item's reply with ENOTCONN (if anyone still waits for it) and
+   drop its in-flight accounting — the crash path for queued requests. *)
+let fail_item t item =
+  (match item.it_reply with
+  | Some iv ->
+      if not (Sched.is_filled iv) then
+        Sched.fill t.sched iv (Protocol.R_err Errno.ENOTCONN)
+  | None -> t.bg_inflight <- t.bg_inflight - 1);
+  t.inflight <- t.inflight - 1
+
+(* The server process died: stop serving, resolve every queued request with
+   ENOTCONN (bounded virtual time — callers are unblocked now, not parked
+   forever), and leave the worker fibers to park.  Requests already being
+   served by other workers complete normally, like writes that had reached
+   the kernel before the crash. *)
+let crash t =
+  t.serving <- false;
+  t.dead <- true;
+  Queue.iter (fun it -> fail_item t it) t.pending;
+  Queue.clear t.pending;
+  Metrics.set t.m_inflight (float_of_int t.inflight);
+  ignore (Sched.broadcast t.sched t.bg_cond)
+
+(* Bring a crashed connection back after the server has been relaunched and
+   a fresh handler installed (see Attach.recover).  The parked worker pool
+   is reused. *)
+let revive t =
+  t.dead <- false;
+  t.serving <- true
+
+(* Next fault to inject while serving [item], if any: test-hook one-shots
+   first, then the armed plan.  None in the common case. *)
+let fault_action t item =
+  match Queue.take_opt t.forced with
+  | Some a -> Some a
+  | None -> (
+      match t.fault with
+      | Some f -> Fault.fuse_action f ~op:item.it_kind
+      | None -> None)
+
 (* Serve one dequeued request on the worker's timeline. *)
 let process t w item =
   let start = Clock.now_ns t.clock in
   Metrics.observe_ns t.m_qwait (Int64.to_int (Int64.sub start item.it_submit_ns));
-  (* the read(2) on /dev/fuse that returns this request to the server *)
-  Clock.consume_int t.clock t.cost.Cost.syscall_ns;
-  transfer t item.it_km ~splice:item.it_splice ~to_server:true
-    (Protocol.req_payload_bytes item.it_req);
-  let handler = Option.get t.handler in
-  let resp = handler item.it_ctx item.it_req in
-  transfer t item.it_km ~splice:item.it_splice ~to_server:false
-    (Protocol.resp_payload_bytes resp);
-  let fin = Clock.now_ns t.clock in
-  Metrics.add w.w_busy (Int64.to_int (Int64.sub fin start));
-  t.inflight <- t.inflight - 1;
-  Metrics.set t.m_inflight (float_of_int t.inflight);
-  (* completion may unblock a throttled one-way submitter or a quiesce *)
-  ignore (Sched.broadcast t.sched t.bg_cond);
-  match item.it_reply with
-  | Some iv -> Sched.fill t.sched iv resp
-  | None ->
-      (* the span is closed here since nobody awaits the reply *)
-      t.bg_inflight <- t.bg_inflight - 1;
-      Metrics.observe_ns item.it_km.km_latency
-        (Int64.to_int (Int64.sub fin item.it_submit_ns));
-      Repro_obs.Trace.record
-        (Repro_obs.Obs.tracer t.obs)
-        ~name:("fuse.req." ^ item.it_kind)
-        ~begin_ns:item.it_submit_ns ~end_ns:fin ()
+  match fault_action t item with
+  | Some Fault.Crash_server ->
+      (* died in the middle of dispatching this very request *)
+      fail_item t item;
+      crash t
+  | action ->
+      (match action with
+      | Some (Fault.Hang ns) -> Sched.sleep_ns t.sched ns
+      | Some (Fault.Delay ns) -> Clock.consume_int t.clock ns
+      | _ -> ());
+      (* the read(2) on /dev/fuse that returns this request to the server *)
+      Clock.consume_int t.clock t.cost.Cost.syscall_ns;
+      transfer t item.it_km ~splice:item.it_splice ~to_server:true
+        (Protocol.req_payload_bytes item.it_req);
+      let handler = Option.get t.handler in
+      let resp =
+        match action with
+        | Some (Fault.Fail e) -> Protocol.R_err e
+        | _ -> handler item.it_ctx item.it_req
+      in
+      transfer t item.it_km ~splice:item.it_splice ~to_server:false
+        (Protocol.resp_payload_bytes resp);
+      let fin = Clock.now_ns t.clock in
+      Metrics.add w.w_busy (Int64.to_int (Int64.sub fin start));
+      t.inflight <- t.inflight - 1;
+      Metrics.set t.m_inflight (float_of_int t.inflight);
+      (* completion may unblock a throttled one-way submitter or a quiesce *)
+      ignore (Sched.broadcast t.sched t.bg_cond);
+      (match item.it_reply with
+      | Some iv -> (
+          match action with
+          | Some Fault.Drop_reply ->
+              (* the work happened but the answer is lost; the caller's
+                 deadline timer surfaces ETIMEDOUT *)
+              ()
+          | Some Fault.Duplicate_reply ->
+              (* second copy of the reply crosses the wire and is discarded *)
+              if not (Sched.is_filled iv) then Sched.fill t.sched iv resp;
+              transfer t item.it_km ~splice:item.it_splice ~to_server:false
+                (Protocol.resp_payload_bytes resp)
+          | _ ->
+              (* guarded: a deadline timer may have resolved this call *)
+              if not (Sched.is_filled iv) then Sched.fill t.sched iv resp)
+      | None ->
+          (* the span is closed here since nobody awaits the reply *)
+          t.bg_inflight <- t.bg_inflight - 1;
+          Metrics.observe_ns item.it_km.km_latency
+            (Int64.to_int (Int64.sub fin item.it_submit_ns));
+          Repro_obs.Trace.record
+            (Repro_obs.Obs.tracer t.obs)
+            ~name:("fuse.req." ^ item.it_kind)
+            ~begin_ns:item.it_submit_ns ~end_ns:fin ())
 
 let rec worker_loop t w =
   Sched.lock t.sched t.qlock;
@@ -390,6 +476,77 @@ let call_background t ~splice ctx req =
   else Metrics.add t.m_copied (out_bytes + in_bytes);
   resp
 
+(* Arm supervision: a fault plane to consult while serving, and/or a
+   per-request deadline + retry policy.  The fuse.retries / fuse.timeouts
+   counters are only created here, so unarmed sessions leave the registry
+   untouched (the smoke baseline depends on this). *)
+let supervise t ?fault ?retry () =
+  (match fault with Some _ -> t.fault <- fault | None -> ());
+  (match retry with Some r -> t.retry <- r | None -> ());
+  if t.m_retries = None && (t.fault <> None || t.retry <> Fault.no_retry) then begin
+    let m = Repro_obs.Obs.metrics t.obs in
+    t.m_retries <- Some (Metrics.counter m "fuse.retries");
+    t.m_timeouts <- Some (Metrics.counter m "fuse.timeouts")
+  end
+
+let supervised t =
+  t.fault <> None
+  || t.retry.Fault.deadline_ns > 0
+  || t.retry.Fault.max_retries > 0
+  || not (Queue.is_empty t.forced)
+
+(* Test hooks: make the next served request hit [action], without arming a
+   plan ([Attach.hang_server]), or kill the server right now
+   ([Attach.crash_server]). *)
+let inject t action = Queue.push action t.forced
+let inject_crash t = crash t
+
+let incr_opt = function Some c -> Metrics.incr c | None -> ()
+
+(* One round trip under supervision: the reply ivar races a deadline timer
+   fiber (losing resolves it to ETIMEDOUT), and timed-out / transient
+   replies to idempotent opcodes are retried with exponential backoff.
+   Late replies from the worker find the ivar filled and are discarded. *)
+let supervised_call t ~splice ctx req =
+  let retry = t.retry in
+  let idem = Protocol.idempotent req in
+  let rec attempt n backoff =
+    if not t.serving then Protocol.R_err Errno.ENOTCONN
+    else begin
+      ensure_workers t;
+      let begin_ns = Clock.now_ns t.clock in
+      let reply = Sched.ivar () in
+      let it = item t ~reply ~splice ctx req in
+      Metrics.incr t.m_round_trips;
+      enqueue t [ it ];
+      if retry.Fault.deadline_ns > 0 then
+        ignore
+          (Sched.spawn t.sched (fun () ->
+               Sched.sleep_ns t.sched retry.Fault.deadline_ns;
+               if not (Sched.is_filled reply) then begin
+                 incr_opt t.m_timeouts;
+                 Sched.fill t.sched reply (Protocol.R_err Errno.ETIMEDOUT)
+               end));
+      let resp = Sched.read t.sched reply in
+      Clock.consume_int t.clock t.cost.Cost.context_switch_ns;
+      Metrics.incr t.m_ctx_switches;
+      let end_ns = Clock.now_ns t.clock in
+      Metrics.observe_ns it.it_km.km_latency (Int64.to_int (Int64.sub end_ns begin_ns));
+      Repro_obs.Trace.record
+        (Repro_obs.Obs.tracer t.obs)
+        ~name:("fuse.req." ^ it.it_kind)
+        ~begin_ns ~end_ns ();
+      match resp with
+      | Protocol.R_err (Errno.ETIMEDOUT | Errno.EINTR | Errno.ENOMEM)
+        when idem && n < retry.Fault.max_retries ->
+          incr_opt t.m_retries;
+          Sched.sleep_ns t.sched backoff;
+          attempt (n + 1) (backoff * retry.Fault.backoff_mult)
+      | resp -> resp
+    end
+  in
+  attempt 0 (max retry.Fault.backoff_ns 1)
+
 (* Issue one request and wait for the reply: one round trip.  The submitter
    pays the queue append and the herd wake; the worker pays dispatch,
    transfer and service on its own timeline; resuming the submitter costs
@@ -401,6 +558,7 @@ let call t ?(splice = false) ctx req =
   | Some _ ->
       if not t.serving then Protocol.R_err Errno.ENOTCONN
       else if t.background then call_background t ~splice ctx req
+      else if supervised t then supervised_call t ~splice ctx req
       else begin
         ensure_workers t;
         let begin_ns = Clock.now_ns t.clock in
@@ -434,6 +592,10 @@ let call_group t ?(splice = false) ctx reqs =
       | Some _ ->
           if not t.serving then List.map (fun _ -> Protocol.R_err Errno.ENOTCONN) reqs
           else if t.background then List.map (call_background t ~splice ctx) reqs
+          else if supervised t then
+            (* under supervision each member needs its own deadline/retry
+               bracket, so the batch degrades to sequential round trips *)
+            List.map (supervised_call t ~splice ctx) reqs
           else begin
             ensure_workers t;
             let begin_ns = Clock.now_ns t.clock in

@@ -51,8 +51,17 @@ type t = {
   mutable max_background : int;
       (** congestion threshold for the one-way background class *)
   mutable serving : bool;
+  mutable dead : bool;
+      (** the server crashed; calls fail [ENOTCONN] until {!revive} *)
   mutable background : bool;
       (** while true, calls charge no virtual time (background writeback) *)
+  mutable fault : Repro_fault.Fault.t option;
+      (** armed fault plane — [None] means every consult short-circuits *)
+  mutable retry : Repro_fault.Fault.retry;
+  forced : Repro_fault.Fault.action Queue.t;
+      (** one-shot test-hook actions, served before the plan *)
+  mutable m_retries : Repro_obs.Metrics.counter option;
+  mutable m_timeouts : Repro_obs.Metrics.counter option;
   pending : item Queue.t;
   qlock : Repro_sched.Sched.mutex;
   qcond : Repro_sched.Sched.cond;
@@ -106,8 +115,29 @@ val set_handler : t -> (Protocol.ctx -> Protocol.req -> Protocol.resp) -> unit
     Calls before this return [ENOTCONN].  Spawns the worker pool. *)
 val start_serving : t -> unit
 
+(** Arm supervision on a live connection: a fault plane consulted while
+    serving, and/or a per-request deadline + retry policy.  Creates the
+    [fuse.retries] / [fuse.timeouts] counters (only armed sessions touch
+    the registry — the plane is zero-cost when off). *)
+val supervise :
+  t -> ?fault:Repro_fault.Fault.t -> ?retry:Repro_fault.Fault.retry -> unit -> unit
+
+(** Push a one-shot fault for the next served request (test hook; works
+    without arming a plan). *)
+val inject : t -> Repro_fault.Fault.action -> unit
+
+(** Kill the server now: stop serving, resolve every queued request with
+    [ENOTCONN], mark the connection dead (test hook / plan [Crash_server]). *)
+val inject_crash : t -> unit
+
+(** Bring a crashed connection back once the server has been relaunched and
+    a fresh handler installed; the parked worker pool is reused. *)
+val revive : t -> unit
+
 (** Issue one request and wait for the reply: exactly one round trip.
-    [splice] moves payloads by page remapping instead of copying. *)
+    [splice] moves payloads by page remapping instead of copying.  Under
+    supervision the reply races the deadline timer and idempotent opcodes
+    are retried on [ETIMEDOUT]/[EINTR]/[ENOMEM]. *)
 val call : t -> ?splice:bool -> Protocol.ctx -> Protocol.req -> Protocol.resp
 
 (** Issue several requests as one submission (async reads): one round trip,

@@ -16,7 +16,7 @@ open Repro_vfs
 
 type handle = {
   dh_ino : Types.ino;
-  dh_server_fh : int;
+  mutable dh_server_fh : int; (* refreshed when a relaunched server reopens *)
   dh_readable : bool;
   dh_writable : bool;
   dh_append : bool;
@@ -204,8 +204,7 @@ let check_delete t cred dir_ino child_ino =
 
 let size_of t ino = Option.value ~default:0 (Hashtbl.find_opt t.sizes ino)
 
-let invalidate_attr t ino =
-  Hashtbl.remove t.attrs ino
+let invalidate_attr t ino = Hashtbl.remove t.attrs ino
 
 let drop_entry t parent name = Hashtbl.remove t.entries (parent, name)
 
@@ -615,13 +614,24 @@ let rename t cred src_parent src_name dst_parent dst_name =
   let* src_ino = child_ino t cred src_parent src_name in
   let* () = check_delete t cred src_parent src_ino in
   let* () = check_perm t cred dst_parent (Types.w_ok lor Types.x_ok) in
-  (* the rename may replace an existing target: its inode loses a link *)
-  let replaced = cached_entry t dst_parent dst_name in
   let* resp =
     rt t (ctx_of cred) (Protocol.Rename { src_parent; src_name; dst_parent; dst_name })
   in
   match resp with
-  | Protocol.R_ok ->
+  (* the server reports which inode (if any) the rename displaced; the
+     dentry cache alone cannot — the target's entry may have expired while
+     its attrs, cached under another hardlink's name, live on *)
+  | Protocol.R_renamed replaced ->
+      (* the displaced inode, from both vantage points: the server's path
+         map may know it under another hardlink's name, while our dentry
+         table (expired entries included) may remember who sat at dst.
+         Invalidating a wrong guess is harmless; missing the right one
+         leaves a stale nlink behind. *)
+      let dentry_hint =
+        match Hashtbl.find_opt t.entries (dst_parent, dst_name) with
+        | Some (ino, _) -> Some ino
+        | None -> None
+      in
       drop_entry t src_parent src_name;
       drop_entry t dst_parent dst_name;
       put_neg t src_parent src_name;
@@ -630,11 +640,16 @@ let rename t cred src_parent src_name dst_parent dst_name =
       invalidate_attr t dst_parent;
       (* ctime of the moved inode changes; nlink of the replaced one drops *)
       invalidate_attr t src_ino;
-      (match replaced with
-      | Some r_ino when r_ino <> src_ino ->
+      let doom r_ino =
+        if r_ino <> src_ino then begin
           invalidate_attr t r_ino;
           if not (Hashtbl.mem t.wb_fhs r_ino) then Page_cache.discard_inode t.pcache r_ino;
           if not (ino_referenced t r_ino) then queue_forget t r_ino
+        end
+      in
+      (match replaced with Some r -> doom r | None -> ());
+      (match dentry_hint with
+      | Some c when replaced <> Some c -> doom c
       | _ -> ());
       put_entry t dst_parent dst_name src_ino;
       Ok ()
@@ -1081,6 +1096,68 @@ let statfs t () =
   match rt t Protocol.root_ctx Protocol.Statfs with
   | Ok (Protocol.R_statfs s) -> s
   | _ -> { Types.f_fsname = "cntrfs"; f_bsize = 4096; f_blocks = 0; f_bfree = 0; f_files = 0 }
+
+(* --- supervised-session recovery --------------------------------------- *)
+
+(* The driver's live inode map: (ino, path relative to the server root,
+   nlookup) for every inode reachable through the dentry cache from the
+   root (ino 1).  After a server crash this is what survives — the mount,
+   the caches, the handles — and what a relaunched server must re-learn so
+   the driver's ino space stays valid (Attach.recover).  Depth-first,
+   children in name order, so the replay is deterministic. *)
+let ino_paths t =
+  let children = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (parent, name) (ino, _expiry) ->
+      Hashtbl.replace children parent
+        ((name, ino) :: Option.value ~default:[] (Hashtbl.find_opt children parent)))
+    t.entries;
+  let acc = ref [] in
+  let visited = Hashtbl.create 64 in
+  let rec walk ino path =
+    if not (Hashtbl.mem visited ino) then begin
+      Hashtbl.replace visited ino ();
+      if ino <> 1 then begin
+        let n = Option.value ~default:1 (Hashtbl.find_opt t.nlookup ino) in
+        acc := (ino, path, n) :: !acc
+      end;
+      match Hashtbl.find_opt children ino with
+      | None -> ()
+      | Some kids ->
+          List.iter
+            (fun (name, child) ->
+              walk child (if path = "" then name else path ^ "/" ^ name))
+            (List.sort compare kids)
+    end
+  in
+  walk 1 "";
+  List.rev !acc
+
+(* The CntrFS server was relaunched (same mount, fresh process): its file
+   handles died with the old process.  Reopen every open driver handle
+   against the new server and rebuild the writeback fh map; handles whose
+   inode did not survive (unlinked-but-open files) are marked dead and
+   fail with EBADF from now on. *)
+let on_server_restart t =
+  Hashtbl.reset t.wb_fhs;
+  let hs = Hashtbl.fold (fun fh h acc -> (fh, h) :: acc) t.handles [] in
+  List.iter
+    (fun (_, h) ->
+      if h.dh_open then begin
+        let flags =
+          (if h.dh_readable && h.dh_writable then [ Types.O_RDWR ]
+           else if h.dh_writable then [ Types.O_WRONLY ]
+           else [ Types.O_RDONLY ])
+          @ (if h.dh_append then [ Types.O_APPEND ] else [])
+          @ if h.dh_sync then [ Types.O_SYNC ] else []
+        in
+        match rt t Protocol.root_ctx (Protocol.Open { ino = h.dh_ino; flags }) with
+        | Ok (Protocol.R_open server_fh) ->
+            h.dh_server_fh <- server_fh;
+            if h.dh_writable then Hashtbl.replace t.wb_fhs h.dh_ino server_fh
+        | _ -> h.dh_open <- false
+      end)
+    (List.sort (fun (a, _) (b, _) -> compare a b) hs)
 
 let ops t : Fsops.t = {
   fs_name = "cntrfs";

@@ -28,6 +28,24 @@ val conn : t -> Conn.t
     here. *)
 val obs : t -> Repro_obs.Obs.t
 
+(** {1 Supervised-session recovery}
+
+    After the CntrFS server crashes, the mount and the driver's caches
+    survive; these two calls let {!Repro_core.Attach.recover}-style paths
+    relaunch the server without remounting. *)
+
+(** The driver's live inode map: [(ino, path relative to the server root,
+    nlookup)] for every inode reachable through the dentry cache, in
+    deterministic (DFS, name-ordered) order.  Feed to
+    [Repro_cntrfs.Server.restore] so the relaunched server speaks the same
+    ino space. *)
+val ino_paths : t -> (int * string * int) list
+
+(** Reopen every open driver handle against a relaunched server and rebuild
+    the writeback-fh map.  Handles whose inode did not survive are marked
+    dead (subsequent use fails [EBADF]). *)
+val on_server_restart : t -> unit
+
 (** Page-cache statistics (hits, misses, evictions, writeback).
 
     Deprecated: thin wrapper over the metrics registry (the

@@ -58,6 +58,10 @@ type resp =
   | R_xattr_names of string list
   | R_statfs of Types.statfs
   | R_ok
+  (* RENAME reply: the inode the rename displaced, if the target name
+     existed — the driver must drop its cached attrs (nlink fell), and its
+     dentry cache alone cannot tell (the target's entry may have expired) *)
+  | R_renamed of Types.ino option
   | R_err of Errno.t
 
 let req_kind = function
@@ -89,6 +93,16 @@ let req_kind = function
   | Removexattr _ -> "removexattr"
   | Statfs -> "statfs"
   | Destroy -> "destroy"
+
+(* Safe to re-send when a reply is lost or times out.  Read-only opcodes
+   plus Flush/Fsync; Open is excluded (a dropped reply would leak a server
+   file handle) and so is Write (a duplicate would double-apply for
+   O_APPEND files). *)
+let idempotent = function
+  | Lookup _ | Getattr _ | Readlink _ | Read _ | Readdir _ | Readdirplus _
+  | Getxattr _ | Listxattr _ | Statfs | Flush _ | Fsync _ ->
+      true
+  | _ -> false
 
 (* Approximate payload size carried *to* the server (for copy costs).  The
    fixed header is 80 bytes, like the real fuse_in_header + op body. *)

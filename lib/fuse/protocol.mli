@@ -65,8 +65,16 @@ type resp =
   | R_xattr_names of string list
   | R_statfs of Types.statfs
   | R_ok
+  | R_renamed of Types.ino option
+      (** RENAME reply: the inode the rename displaced, if any *)
   | R_err of Errno.t
 val req_kind : req -> string
+
+(** Safe to re-send when a reply is lost or times out: read-only opcodes
+    plus [Flush]/[Fsync].  [Open] is excluded (a dropped reply leaks a
+    server file handle), and so is [Write]. *)
+val idempotent : req -> bool
+
 val req_payload_bytes : req -> int
 val resp_payload_bytes : resp -> int
 val err_of_resp : resp -> (resp, Errno.t) result

@@ -35,6 +35,11 @@ and t = {
   hostnames : (int, string) Hashtbl.t; (* uts ns id -> hostname *)
   mutable next_tag : int;
   mutable init_pid : int;
+  (* Fault-injection hook consulted on file/metadata syscalls: given the
+     syscall name and the calling process, an [Errno.t] makes the call fail
+     before touching the filesystem.  Installed by the fault plane (filtered
+     there to the CntrFS server's processes); None costs one branch. *)
+  mutable k_fault : (op:string -> Proc.t -> Errno.t option) option;
 }
 
 let ( let* ) = Result.bind
@@ -42,6 +47,15 @@ let ( let* ) = Result.bind
 let charge t =
   Repro_obs.Metrics.incr t.k_syscalls;
   Clock.consume_int t.clock t.cost.Cost.syscall_ns
+
+let set_fault t hook = t.k_fault <- hook
+
+(* [Ok ()] in the common (unhooked) case; charge still applies — a faulted
+   syscall entered the kernel before failing. *)
+let fault_check t proc op =
+  match t.k_fault with
+  | None -> Ok ()
+  | Some hook -> ( match hook ~op proc with None -> Ok () | Some e -> Error e)
 
 (* Get-or-create a named counter on the kernel's registry — for cold
    paths where holding a handle isn't worth a record field. *)
@@ -76,6 +90,7 @@ let create ?obs ~clock ~cost ~root_fs () =
       hostnames = Hashtbl.create 4;
       next_tag = 0;
       init_pid = 1;
+      k_fault = None;
     }
   in
   let mnt_ns = Mount.create_ns ~fs:root_fs () in
@@ -228,6 +243,7 @@ let chardev_of t st =
 
 let open_ t proc path flags ~mode =
   charge t;
+  let* () = fault_check t proc "open" in
   let follow = not (List.mem Types.O_NOFOLLOW flags) in
   let resolved =
     match resolve_cwd ~follow t proc path with
@@ -341,6 +357,7 @@ let read_file t proc f ~len =
 
 let read t proc fdn ~len =
   charge t;
+  let* () = fault_check t proc "read" in
   let* entry = fd_entry proc fdn in
   match entry with
   | Proc.File f -> read_file t proc f ~len
@@ -352,6 +369,7 @@ let read t proc fdn ~len =
 
 and write t proc fdn data =
   charge t;
+  let* () = fault_check t proc "write" in
   let* entry = fd_entry proc fdn in
   match entry with
   | Proc.File f -> (
@@ -377,11 +395,13 @@ and write t proc fdn data =
 
 let pread t proc fdn ~off ~len =
   charge t;
+  let* () = fault_check t proc "pread" in
   let* f = file_of_fd proc fdn in
   f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.read f.Proc.of_fh ~off ~len
 
 let pwrite t proc fdn ~off data =
   charge t;
+  let* () = fault_check t proc "pwrite" in
   let* f = file_of_fd proc fdn in
   f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.write (Proc.vfs_cred proc) f.Proc.of_fh ~off data
 
@@ -438,6 +458,7 @@ let lseek t proc fdn cmd =
 
 let fsync t proc fdn =
   charge t;
+  let* () = fault_check t proc "fsync" in
   let* f = file_of_fd proc fdn in
   f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.fsync f.Proc.of_fh
 
@@ -458,11 +479,13 @@ let ftruncate t proc fdn size =
 
 let stat t proc path =
   charge t;
+  let* () = fault_check t proc "stat" in
   let* v = resolve_cwd t proc path in
   vnode_stat v
 
 let lstat t proc path =
   charge t;
+  let* () = fault_check t proc "lstat" in
   let* v = resolve_cwd ~follow:false t proc path in
   vnode_stat v
 
@@ -490,6 +513,7 @@ let with_parent t proc path f =
 
 let mkdir t proc path ~mode =
   charge t;
+  let* () = fault_check t proc "mkdir" in
   with_parent t proc path (fun fs dir name ->
       let mode = mode land lnot proc.Proc.umask in
       let* _st = fs.Fsops.mkdir (Proc.vfs_cred proc) dir name ~mode in
@@ -511,11 +535,13 @@ let mknod t proc path ~kind ~mode =
 
 let unlink t proc path =
   charge t;
+  let* () = fault_check t proc "unlink" in
   with_parent t proc path (fun fs dir name ->
       fs.Fsops.unlink (Proc.vfs_cred proc) dir name)
 
 let rmdir t proc path =
   charge t;
+  let* () = fault_check t proc "rmdir" in
   with_parent t proc path (fun fs dir name ->
       fs.Fsops.rmdir (Proc.vfs_cred proc) dir name)
 
@@ -532,6 +558,7 @@ let readlink t proc path =
 
 let rename t proc ~src ~dst =
   charge t;
+  let* () = fault_check t proc "rename" in
   let* sdir, sname = resolve_parent t proc src in
   let* ddir, dname = resolve_parent t proc dst in
   if sdir.Proc.v_mount.Mount.m_id <> ddir.Proc.v_mount.Mount.m_id then
@@ -592,6 +619,7 @@ let utimens t proc path ~atime ~mtime =
 
 let readdir t proc path =
   charge t;
+  let* () = fault_check t proc "readdir" in
   let* v = resolve_cwd t proc path in
   v.Proc.v_mount.Mount.m_fs.Fsops.readdir (Proc.vfs_cred proc) v.Proc.v_ino
 

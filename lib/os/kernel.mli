@@ -44,6 +44,8 @@ and t = {
   hostnames : (int, string) Hashtbl.t;  (** per UTS namespace *)
   mutable next_tag : int;
   mutable init_pid : int;
+  mutable k_fault : (op:string -> Proc.t -> Errno.t option) option;
+      (** fault-injection hook for file/metadata syscalls (see {!set_fault}) *)
 }
 
 (** Boot a kernel whose init process (pid 1) runs as root on [root_fs];
@@ -62,6 +64,16 @@ val procs_in_pidns : t -> Namespace.pid_ns -> Proc.t list
 
 (** Register a cloned/new mount namespace so propagation can reach it. *)
 val register_mnt_ns : t -> Mount.ns -> unit
+
+(** Install (or clear) the fault-injection hook.  It is consulted on entry
+    to the file/metadata syscalls ("open", "read", "write", "pread",
+    "pwrite", "stat", "lstat", "mkdir", "unlink", "rmdir", "rename",
+    "readdir", "fsync") with the calling process; returning an errno fails
+    the call before it reaches the filesystem.  The fault plane installs a
+    closure here filtered to the CntrFS server's processes, so transient
+    backing-store errors (EINTR/ENOMEM/EIO/ENOSPC) hit the server exactly
+    as if the host fs had returned them.  No hook costs one branch. *)
+val set_fault : t -> (op:string -> Proc.t -> Errno.t option) option -> unit
 
 (** {1 Files} *)
 

@@ -45,6 +45,10 @@ type t = {
   (* true while the periodic background writeback runs: the application
      does not wait for it, so no virtual time is charged *)
   mutable in_background : bool;
+  (* Fault-injection hook: extra device latency (ns) charged on entry to
+     read/write/fsync, keyed by the operation name.  Installed by the fault
+     plane's [Disk] rules; None costs one branch. *)
+  mutable fault_delay : (op:string -> int) option;
 }
 
 let create ?metrics ~clock ~cost profile =
@@ -60,6 +64,7 @@ let create ?metrics ~clock ~cost profile =
       m_write_bytes = Metrics.counter metrics "vfs.disk.write_bytes";
       last_flush_ns = 0L;
       in_background = false;
+      fault_delay = None;
     }
   in
   (match profile with
@@ -85,6 +90,15 @@ let stats t =
 
 let cache t = match t.profile with Ram -> None | Ssd { cache; _ } -> Some cache
 
+let set_fault_delay t hook = t.fault_delay <- hook
+
+let fault_delay t op =
+  match t.fault_delay with
+  | None -> ()
+  | Some hook ->
+      let ns = hook ~op in
+      if ns > 0 then Clock.consume_int t.clock ns
+
 let page_range t ~off ~len =
   let ps = t.cost.Cost.page_size in
   let first = off / ps in
@@ -100,6 +114,7 @@ let charge_disk_read t bytes =
    hits cost memory copies; a miss triggers a readahead window (one I/O
    covering up to [readahead_pages]), clamped to the file size. *)
 let read t ~ino ~off ~len ?(file_size = max_int) () =
+  fault_delay t "read";
   if len <= 0 then ()
   else
     match t.profile with
@@ -137,6 +152,7 @@ let read t ~ino ~off ~len ?(file_size = max_int) () =
    is crossed; [sync] forces the inode's dirty pages out before returning
    (O_SYNC / write-through). *)
 let write t ~ino ~off ~len ~sync =
+  fault_delay t "write";
   if len > 0 then begin
     Clock.consume_int t.clock (Cost.mem_cost t.cost len);
     match t.profile with
@@ -204,6 +220,7 @@ let read_direct t ~len ~async =
       Clock.consume_int t.clock cost
 
 let fsync t ~ino =
+  fault_delay t "fsync";
   match t.profile with
   | Ram -> ()
   | Ssd { cache; _ } ->

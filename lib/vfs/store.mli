@@ -31,6 +31,13 @@ val create : ?metrics:Repro_obs.Metrics.t -> clock:Clock.t -> cost:Cost.t -> pro
 val stats : t -> stats
 val cache : t -> Page_cache.t option
 
+(** Install (or clear) a fault-injection latency hook: extra device
+    nanoseconds charged on entry to {!read} / {!write} / {!fsync}, keyed by
+    the operation name ("read" / "write" / "fsync").  The fault plane's
+    [Disk] rules use this to model latency spikes; no hook costs one
+    branch. *)
+val set_fault_delay : t -> (op:string -> int) option -> unit
+
 (** Charge a read: page-cache hits cost memory copies; a miss triggers a
     readahead window (one I/O of up to 32 pages, clamped to [file_size]). *)
 val read : t -> ino:int -> off:int -> len:int -> ?file_size:int -> unit -> unit

@@ -184,7 +184,16 @@ let test_fat_container_tools () =
       (World.run_container world ~engine:(World.docker world) ~name:"debug"
          ~image_ref:"cntr/debug-tools:latest" ())
   in
-  let session = ok (Testbed.attach world ~tools:(Attach.From_container "debug") "web") in
+  let session =
+    ok
+      (Testbed.attach world
+         ~config:
+           {
+             Attach.Config.default with
+             Attach.Config.tools = Attach.From_container "debug";
+           }
+         "web")
+  in
   let code, out = Attach.run session "which gdb" in
   check_i "which ok" 0 code;
   check_s "fat gdb" "/usr/bin/gdb\n" out;

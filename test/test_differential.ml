@@ -17,7 +17,7 @@ let ok = Errno.ok_exn
 
 type sys = { k : Kernel.t; proc : Proc.t; base : string }
 
-let boot_pair ?(threads = 4) ~opts () =
+let boot_pair_full ?(threads = 4) ~opts () =
   let clock = Clock.create () in
   let cost = Cost.default in
   let rootfs = Nativefs.create ~name:"rootfs" ~clock ~cost Store.Ram () in
@@ -31,7 +31,11 @@ let boot_pair ?(threads = 4) ~opts () =
     Session.create ~kernel:k ~server_proc:server ~root_path:"/back" ~opts ~threads ~budget ()
   in
   ignore (ok (Kernel.mount_at k init ~fs:(Session.fs session) "/mnt"));
-  ({ k; proc = init; base = "/mnt" }, { k; proc = init; base = "/native" })
+  ({ k; proc = init; base = "/mnt" }, { k; proc = init; base = "/native" }, session)
+
+let boot_pair ?threads ~opts () =
+  let fuse_sys, native_sys, _session = boot_pair_full ?threads ~opts () in
+  (fuse_sys, native_sys)
 
 (* --- the operation language --------------------------------------------------- *)
 
@@ -209,14 +213,54 @@ let run_trace ?threads ~opts ops =
       if fa <> fb then Some (Printf.sprintf "final state diverged:\n  cntrfs=%s\n  native=%s" fa fb)
       else None
 
-let prop_differential ?(count = 60) ?threads ~name ~opts () =
-  QCheck.Test.make ~name ~count
-    (QCheck.make ~print:(fun ops -> Printf.sprintf "<%d ops>" (List.length ops))
-       QCheck.Gen.(list_size (int_range 10 80) gen_op))
-    (fun ops ->
-      match run_trace ?threads ~opts ops with
-      | None -> true
-      | Some msg -> QCheck.Test.fail_report msg)
+(* The fault-injected leg: run the first half of the trace on both systems,
+   murder the CntrFS server mid-session, observe bounded ENOTCONN failures
+   on throwaway idempotent reads, recover, and demand the second half (and
+   the final fingerprints) re-converge with the native leg.  A server crash
+   plus recovery must be observationally invisible to everything that comes
+   after it. *)
+let run_trace_faulted ?threads ~opts ops =
+  let fuse_sys, native_sys, session = boot_pair_full ?threads ~opts () in
+  let n = List.length ops in
+  let rec split i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | op :: rest -> split (i - 1) (op :: acc) rest
+  in
+  let first, second = split (n / 2) [] ops in
+  let rec go i = function
+    | [] -> None
+    | op :: rest ->
+        let a = execute fuse_sys op in
+        let b = execute native_sys op in
+        if a <> b then Some (Printf.sprintf "op %d diverged: cntrfs=%s native=%s" i a b)
+        else go (i + 1) rest
+  in
+  match go 0 first with
+  | Some msg -> Some msg
+  | None -> (
+      (* the server dies; idempotent probes fail with ENOTCONN, fast *)
+      Conn.inject_crash session.Session.conn;
+      let probes =
+        [ Op_stat 0; Op_read_whole 1; Op_readdir ]
+        |> List.filter_map (fun op ->
+               let obs = execute fuse_sys op in
+               (* every probe must resolve (no hang); cached answers may
+                  still succeed, uncached ones must say ENOTCONN *)
+               if String.length obs = 0 then Some "empty observation" else None)
+      in
+      match probes with
+      | msg :: _ -> Some msg
+      | [] -> (
+          Session.recover session;
+          match go (n / 2) second with
+          | Some msg -> Some ("after recovery: " ^ msg)
+          | None ->
+              let fa = fingerprint fuse_sys and fb = fingerprint native_sys in
+              if fa <> fb then
+                Some
+                  (Printf.sprintf "post-recovery state diverged:\n  cntrfs=%s\n  native=%s" fa fb)
+              else None))
 
 let pp_op = function
   | Op_write (a, b, c) -> Printf.sprintf "write f%d off=%d len=%d" a b c
@@ -236,6 +280,29 @@ let pp_op = function
   | Op_chmod (a, b) -> Printf.sprintf "chmod f%d %o" a b
   | Op_xattr_set (a, b) -> Printf.sprintf "xattr_set f%d k%d" a b
   | Op_xattr_get a -> Printf.sprintf "xattr_get f%d" a
+
+let prop_differential_faulted ?(count = 60) ?threads ~name ~opts () =
+  QCheck.Test.make ~name ~count
+    (QCheck.make ~print:(fun ops ->
+         Printf.sprintf "<%d ops>\n%s" (List.length ops)
+           (String.concat "\n" (List.mapi (Printf.sprintf "  %d: %s") (List.map pp_op ops))))
+       QCheck.Gen.(list_size (int_range 10 80) gen_op))
+    (fun ops ->
+      match run_trace_faulted ?threads ~opts ops with
+      | None -> true
+      | Some msg -> QCheck.Test.fail_report msg)
+
+let prop_differential ?(count = 60) ?threads ~name ~opts () =
+  QCheck.Test.make ~name ~count
+    (QCheck.make ~print:(fun ops ->
+         Printf.sprintf "<%d ops>\n%s" (List.length ops)
+           (String.concat "\n" (List.mapi (Printf.sprintf "  %d: %s") (List.map pp_op ops))))
+       QCheck.Gen.(list_size (int_range 10 80) gen_op))
+    (fun ops ->
+      match run_trace ?threads ~opts ops with
+      | None -> true
+      | Some msg -> QCheck.Test.fail_report msg)
+
 
 (* search mode: DIFF_SEARCH=1 dune exec test/test_differential.exe *)
 let search () =
@@ -361,6 +428,16 @@ let () =
           QCheck_alcotest.to_alcotest
             (prop_differential ~name:"single server thread" ~threads:1 ~count:30
                ~opts:Opts.cntr_default ());
+        ] );
+      ( "fault-injected",
+        [
+          (* crash + recovery mid-trace must be observationally invisible *)
+          QCheck_alcotest.to_alcotest
+            (prop_differential_faulted ~name:"crash + recover re-converges"
+               ~opts:Opts.cntr_default ());
+          QCheck_alcotest.to_alcotest
+            (prop_differential_faulted ~name:"crash + recover (fastpath)" ~count:40
+               ~opts:Opts.fastpath ());
         ] );
       ( "metadata-fast-path",
         [

@@ -39,14 +39,54 @@ let test_server_death_gives_enotconn () =
   let session = ok (Testbed.attach world "web") in
   let code, _ = Attach.run session "which gdb" in
   check_i "alive before" 0 code;
-  (* the CntrFS server crashes: stop serving *)
-  session.Attach.sn_conn.Conn.serving <- false;
+  (* the CntrFS server crashes *)
+  Attach.crash_server session;
   let code, out = Attach.run session "cat /etc/passwd" in
   check_b "command fails, not hangs" true (code <> 0);
   check_b "reports an error" true (String.length out > 0);
   (* the app container itself keeps working on its own fs *)
   let content = ok (Kernel.read_whole world.World.kernel _app.Container.ct_main "/etc/nginx.conf") in
   check_b "app unaffected" true (contains ~needle:"listen" content)
+
+let test_crash_then_recover_resumes () =
+  let world, _app = boot_with_app () in
+  let session = ok (Testbed.attach world "web") in
+  let code, _ = Attach.run session "cat /var/lib/cntr/etc/nginx.conf" in
+  check_i "alive before" 0 code;
+  Attach.crash_server session;
+  let code, _ = Attach.run session "cat /var/lib/cntr/etc/nginx.conf" in
+  check_b "fails while down" true (code <> 0);
+  Attach.recover session;
+  let code, out = Attach.run session "cat /var/lib/cntr/etc/nginx.conf" in
+  check_i "works after recover" 0 code;
+  check_b "content back" true (contains ~needle:"listen" out);
+  let m = Repro_obs.Obs.metrics (Attach.obs session) in
+  check_b "recovery counted" true
+    (Repro_obs.Metrics.counter_value m "session.recoveries" >= 1);
+  Attach.detach session
+
+let test_hang_server_bounded_by_deadline () =
+  let world, _app = boot_with_app () in
+  (* a deadline but no fault plan: the supervised path arms timeouts *)
+  let config =
+    {
+      Attach.Config.default with
+      Attach.Config.retry = Some Repro_fault.Fault.retry_default;
+    }
+  in
+  let session = ok (Testbed.attach world ~config "web") in
+  let code, _ = Attach.run session "which gdb" in
+  check_i "alive before" 0 code;
+  (* the next request sits far past the deadline; the session must not hang *)
+  Attach.hang_server session ~ns:10_000_000_000;
+  let before = Clock.now_ns world.World.clock in
+  ignore (Attach.run session "stat /etc/passwd");
+  let waited = Int64.sub (Clock.now_ns world.World.clock) before in
+  check_b "bounded wait" true (waited < 10_000_000_000L);
+  (* and afterwards the session still works *)
+  let code, _ = Attach.run session "which gdb" in
+  check_i "alive after" 0 code;
+  Attach.detach session
 
 let test_uninitialized_conn_refuses () =
   let clock = Clock.create () in
@@ -80,11 +120,31 @@ let test_double_detach_harmless () =
   let world, app = boot_with_app () in
   let session = ok (Testbed.attach world "web") in
   Attach.detach session;
+  check_b "marked detached" true session.Attach.sn_detached;
+  (* the second call is a no-op, not a crash on dead processes *)
+  Attach.detach session;
   Attach.detach session;
   (* still consistent *)
   check_b "app alive" true (Container.is_running app);
   check_b "shell dead" false session.Attach.sn_shell_proc.Proc.alive;
   ignore world
+
+let test_with_session_detaches_on_exception () =
+  let world, app = boot_with_app () in
+  let captured = ref None in
+  (match
+     Testbed.with_session world "web" (fun session ->
+         captured := Some session;
+         let code, _ = Attach.run session "which gdb" in
+         check_i "runs inside bracket" 0 code;
+         raise Exit)
+   with
+  | exception Exit -> ()
+  | _ -> Alcotest.fail "expected Exit to propagate");
+  (match !captured with
+  | Some session -> check_b "detached by bracket" true session.Attach.sn_detached
+  | None -> Alcotest.fail "bracket body never ran");
+  check_b "app alive" true (Container.is_running app)
 
 let test_detach_with_open_fds () =
   let world, _app = boot_with_app () in
@@ -161,6 +221,8 @@ let () =
       ( "server-death",
         [
           Alcotest.test_case "ENOTCONN after crash" `Quick test_server_death_gives_enotconn;
+          Alcotest.test_case "crash then recover" `Quick test_crash_then_recover_resumes;
+          Alcotest.test_case "hang bounded by deadline" `Quick test_hang_server_bounded_by_deadline;
           Alcotest.test_case "uninitialized conn" `Quick test_uninitialized_conn_refuses;
         ] );
       ( "container-lifecycle",
@@ -168,6 +230,8 @@ let () =
           Alcotest.test_case "attach to stopped" `Quick test_attach_to_stopped_container;
           Alcotest.test_case "session outlives app" `Quick test_exec_in_dead_process_namespace;
           Alcotest.test_case "double detach" `Quick test_double_detach_harmless;
+          Alcotest.test_case "with_session detaches on exception" `Quick
+            test_with_session_detaches_on_exception;
           Alcotest.test_case "detach with open fds" `Quick test_detach_with_open_fds;
         ] );
       ( "mounts",

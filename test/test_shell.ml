@@ -187,7 +187,12 @@ let test_nested_attach_from_container () =
   in
   (* a shell inside the privileged admin container launches cntr *)
   let launcher = Kernel.fork world.World.kernel admin.Container.ct_main in
-  let session = ok (Testbed.attach world ~from:launcher "web") in
+  let session =
+    ok
+      (Testbed.attach world
+         ~config:{ Attach.Config.default with Attach.Config.from = Some launcher }
+         "web")
+  in
   (* the tools side is the admin container's own filesystem *)
   let code, out = Attach.run session "which gdb" in
   check_i "gdb from admin container" 0 code;
@@ -210,7 +215,11 @@ let test_nested_attach_unprivileged_fails () =
   let launcher = Kernel.fork world.World.kernel plain.Container.ct_main in
   (* an unprivileged container cannot see the target's /proc, and lacks
      CAP_SYS_ADMIN for setns *)
-  check_b "attach denied" true (Result.is_error (Testbed.attach world ~from:launcher "web"))
+  check_b "attach denied" true
+    (Result.is_error
+       (Testbed.attach world
+          ~config:{ Attach.Config.default with Attach.Config.from = Some launcher }
+          "web"))
 
 let () =
   Alcotest.run "shell"
