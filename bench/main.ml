@@ -624,6 +624,227 @@ let e8 () =
     write_json_file "BENCH_e8.json" (Buffer.contents buf)
   end
 
+(* --- e9: forwarding-plane matrix -------------------------------------------------- *)
+
+(* Splice plane vs userspace copy relay (§3.2.4) across a connection-count x
+   traffic-shape matrix.  Everything runs on the virtual clock, so the table
+   is byte-deterministic: same costs, same schedules, same bytes. *)
+
+type e9_row = {
+  p_conns : int;
+  p_workload : string; (* "chatter" | "bulk" *)
+  p_mode : string; (* "splice" | "copy" *)
+  p_bytes : int; (* payload bytes delivered end to end *)
+  p_ns : int; (* virtual ns the plane's pump passes consumed *)
+  p_elapsed : int; (* end-to-end virtual ns (fibers overlap on the clock) *)
+  p_splices : int;
+  p_wakeups : int;
+}
+
+let e9_chatter_rounds = 32
+let e9_bulk_chunk = 64 * 1024
+let e9_bulk_rounds = 4
+
+let e9_boot () =
+  let open Repro_vfs in
+  let open Repro_os in
+  let clock = Clock.create () in
+  let cost = Cost.default in
+  let rootfs = Nativefs.create ~name:"root" ~clock ~cost Store.Ram () in
+  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) () in
+  let init = Kernel.init_proc k in
+  List.iter (fun d -> Errno.ok_exn (Kernel.mkdir k init d ~mode:0o755)) [ "/run"; "/tmp" ];
+  (k, init)
+
+let e9_cell ~mode ~conns ~workload =
+  let open Repro_os in
+  let module Proxy = Repro_proxy.Proxy in
+  let ok = Errno.ok_exn in
+  let k, init = e9_boot () in
+  let pd = Kernel.fork k init in
+  let plane = Proxy.create ~mode ~kernel:k ~proc:pd () in
+  let blfd = ok (Kernel.socket_listen ~backlog:conns k init "/run/backend.sock") in
+  let _fwd =
+    ok
+      (Proxy.forward plane ~front_proc:init ~back_proc:init
+         ~backend_path:"/run/backend.sock" "/tmp/front.sock")
+  in
+  let clients = Array.init conns (fun _ -> ok (Kernel.socket_connect k init "/tmp/front.sock")) in
+  Proxy.drain plane;
+  let servers = Array.init conns (fun _ -> ok (Kernel.socket_accept k init blfd)) in
+  let bytes = ref 0 in
+  let slurp fd =
+    let rec go () =
+      match Kernel.read k init fd ~len:(2 * e9_bulk_chunk) with
+      | Ok s when s <> "" ->
+          bytes := !bytes + String.length s;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let t0 = Repro_util.Clock.now_ns k.Kernel.clock in
+  (match workload with
+  | `Chatter ->
+      (* request/response ping-pong: 64-byte messages, both directions *)
+      let req = String.make 64 'q' and rsp = String.make 64 'r' in
+      for _round = 1 to e9_chatter_rounds do
+        Array.iter (fun cfd -> ignore (ok (Kernel.write k init cfd req))) clients;
+        Proxy.drain plane;
+        Array.iter
+          (fun sfd ->
+            slurp sfd;
+            ignore (ok (Kernel.write k init sfd rsp)))
+          servers;
+        Proxy.drain plane;
+        Array.iter slurp clients
+      done
+  | `Bulk ->
+      (* one-directional streaming: 8 x 32 KiB per connection *)
+      let chunk = String.make e9_bulk_chunk 'd' in
+      for _round = 1 to e9_bulk_rounds do
+        Array.iter (fun cfd -> ignore (ok (Kernel.write k init cfd chunk))) clients;
+        Proxy.drain plane;
+        Array.iter slurp servers
+      done;
+      Proxy.drain plane;
+      Array.iter slurp servers);
+  let elapsed = Int64.to_int (Int64.sub (Repro_util.Clock.now_ns k.Kernel.clock) t0) in
+  let metrics = Repro_obs.Obs.metrics k.Kernel.obs in
+  let c name = Repro_obs.Metrics.counter_value metrics name in
+  let row =
+    {
+      p_conns = conns;
+      p_workload = (match workload with `Chatter -> "chatter" | `Bulk -> "bulk");
+      p_mode = (match mode with Proxy.Splice -> "splice" | Proxy.Copy -> "copy");
+      p_bytes = !bytes;
+      p_ns = c "proxy.datapath.ns";
+      p_elapsed = elapsed;
+      p_splices = c "proxy.splice.calls";
+      p_wakeups = c "proxy.loop.wakeups";
+    }
+  in
+  Proxy.close plane;
+  row
+
+(* The constrained-buffer cell: a 4 KiB staging pipe and a backend that
+   only drains between bursts, forcing the pumps to park on a full sink. *)
+let e9_stalls () =
+  let open Repro_os in
+  let module Proxy = Repro_proxy.Proxy in
+  let ok = Errno.ok_exn in
+  let k, init = e9_boot () in
+  let pd = Kernel.fork k init in
+  let plane = Proxy.create ~buffer:4096 ~kernel:k ~proc:pd () in
+  let _blfd = ok (Kernel.socket_listen k init "/run/backend.sock") in
+  let _fwd =
+    ok
+      (Proxy.forward plane ~front_proc:init ~back_proc:init
+         ~backend_path:"/run/backend.sock" "/tmp/front.sock")
+  in
+  let cfd = ok (Kernel.socket_connect k init "/tmp/front.sock") in
+  let burst = String.make Pipe.default_capacity 'x' in
+  ignore (ok (Kernel.write k init cfd burst));
+  Proxy.drain plane;
+  ignore (ok (Kernel.write k init cfd burst));
+  Proxy.drain plane;
+  let stalls =
+    Repro_obs.Metrics.counter_value (Repro_obs.Obs.metrics k.Kernel.obs) "proxy.buffer.stalls"
+  in
+  Proxy.close plane;
+  stalls
+
+let e9 () =
+  section "E9 (extension) Forwarding plane: splice vs copy relay (S3.2.4)";
+  let module Proxy = Repro_proxy.Proxy in
+  let cells =
+    List.concat_map
+      (fun workload ->
+        List.concat_map
+          (fun conns ->
+            List.map
+              (fun mode -> e9_cell ~mode ~conns ~workload)
+              [ Proxy.Splice; Proxy.Copy ])
+          [ 1; 8; 64 ])
+      [ `Chatter; `Bulk ]
+  in
+  let stalls = e9_stalls () in
+  let find workload conns mode =
+    List.find
+      (fun r -> r.p_workload = workload && r.p_conns = conns && r.p_mode = mode)
+      cells
+  in
+  Printf.printf "%-9s %6s %7s %12s %13s %12s %10s %9s\n" "workload" "conns" "mode" "bytes"
+    "datapath-ns" "ns/KiB" "elapsed" "splices";
+  List.iter
+    (fun r ->
+      Printf.printf "%-9s %6d %7s %12d %13d %12.1f %10d %9d\n%!" r.p_workload r.p_conns
+        r.p_mode r.p_bytes r.p_ns
+        (float_of_int r.p_ns /. (float_of_int (max 1 r.p_bytes) /. 1024.))
+        r.p_elapsed r.p_splices)
+    cells;
+  Printf.printf
+    "\ndatapath-ns = virtual time the pump passes consume (fibers overlap on the\n\
+     clock, so end-to-end elapsed hides the relay's own cost at scale)\n";
+  Printf.printf "\nspeedup (copy-relay datapath-ns / splice datapath-ns; >1 = splice wins):\n";
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun conns ->
+          let s = find workload conns "splice" and c = find workload conns "copy" in
+          Printf.printf "  %-9s x%-3d  %.2fx\n" workload conns
+            (float_of_int c.p_ns /. float_of_int (max 1 s.p_ns)))
+        [ 1; 8; 64 ])
+    [ "chatter"; "bulk" ];
+  Printf.printf "constrained-buffer stalls (4 KiB staging): %d\n%!" stalls;
+  (* acceptance gates: identical bytes either mode; zero-copy wins bulk
+     streaming at scale; the constrained cell really exercises backpressure *)
+  let fail msg =
+    Printf.eprintf "e9: %s\n" msg;
+    exit 1
+  in
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun conns ->
+          let s = find workload conns "splice" and c = find workload conns "copy" in
+          if s.p_bytes <> c.p_bytes then
+            fail
+              (Printf.sprintf "%s x%d: splice moved %d bytes, copy %d" workload conns
+                 s.p_bytes c.p_bytes);
+          if s.p_splices = 0 then
+            fail (Printf.sprintf "%s x%d: splice mode made no splice calls" workload conns))
+        [ 1; 8; 64 ])
+    [ "chatter"; "bulk" ];
+  List.iter
+    (fun conns ->
+      let s = find "bulk" conns "splice" and c = find "bulk" conns "copy" in
+      if s.p_ns >= c.p_ns then
+        fail
+          (Printf.sprintf "bulk x%d: splice datapath (%d ns) did not beat copy (%d ns)" conns
+             s.p_ns c.p_ns))
+    [ 8; 64 ];
+  if stalls <= 0 then fail "constrained-buffer cell recorded no stalls";
+  if !json_mode then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      "{\n  \"experiment\": \"e9\",\n  \"metric\": \"forwarding plane: splice vs copy relay, virtual-ns per cell\",\n  \"cells\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"workload\": \"%s\", \"conns\": %d, \"mode\": \"%s\", \"bytes\": %d, \"datapath_ns\": %d, \"elapsed_ns\": %d, \"splices\": %d, \"wakeups\": %d}%s\n"
+             (Repro_obs.Metrics.json_escape r.p_workload)
+             r.p_conns
+             (Repro_obs.Metrics.json_escape r.p_mode)
+             r.p_bytes r.p_ns r.p_elapsed r.p_splices r.p_wakeups
+             (if i = List.length cells - 1 then "" else ",")))
+      cells;
+    Buffer.add_string buf
+      (Printf.sprintf "  ],\n  \"constrained_buffer_stalls\": %d\n}" stalls);
+    write_json_file "BENCH_e9.json" (Buffer.contents buf)
+  end
+
 (* --- bechamel micro-benchmarks -------------------------------------------------- *)
 
 let micro () =
@@ -673,7 +894,7 @@ let micro () =
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e3e", e3e); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("loc", e7); ("ablate", ablate); ("cache", cache_sweep);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("loc", e7); ("ablate", ablate); ("cache", cache_sweep);
     ("micro", micro) ]
 
 let () =
@@ -689,14 +910,14 @@ let () =
   end;
   let to_run =
     match args with
-    | [] -> [ e1; e2; e3; e3e; e4; e5; e6; e7; e8; ablate; cache_sweep; micro ]
+    | [] -> [ e1; e2; e3; e3e; e4; e5; e6; e7; e8; e9; ablate; cache_sweep; micro ]
     | names ->
         List.filter_map
           (fun n ->
             match List.assoc_opt (String.lowercase_ascii n) all with
             | Some f -> Some f
             | None ->
-                Printf.eprintf "unknown experiment %s (known: e1-e8, e3e, loc, ablate, micro)\n" n;
+                Printf.eprintf "unknown experiment %s (known: e1-e9, e3e, loc, ablate, micro)\n" n;
                 None)
           names
   in

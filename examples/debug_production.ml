@@ -11,6 +11,7 @@ open Repro_util
 open Repro_os
 open Repro_runtime
 open Repro_cntr
+module Proxy = Repro_proxy.Proxy
 
 let ok = Errno.ok_exn
 
@@ -68,22 +69,22 @@ let () =
   (match Kernel.socket_connect k session.Attach.sn_shell_proc "/var/run/dbus.sock" with
   | Error e -> Printf.printf "direct connect through CntrFS: %s (expected — §3.2.4)\n" (Errno.to_string e)
   | Ok _ -> print_endline "unexpectedly connected?!");
-  let proxy =
+  let plane = Attach.proxy session in
+  let _fwd =
     ok
-      (Socket_proxy.forward ~kernel:k ~front_proc:session.Attach.sn_shell_proc
+      (Proxy.forward plane ~front_proc:session.Attach.sn_shell_proc
          ~back_proc:session.Attach.sn_server_proc ~backend_path:"/var/run/dbus.sock"
          "/var/run/cntr-dbus.sock")
   in
   let cfd = ok (Kernel.socket_connect k session.Attach.sn_shell_proc "/var/run/cntr-dbus.sock") in
   ignore (ok (Kernel.write k session.Attach.sn_shell_proc cfd "Hello org.freedesktop.DBus"));
-  Socket_proxy.pump_until_quiet proxy;
+  Proxy.drain plane;
   let sfd = ok (Kernel.socket_accept k world.World.init dbus) in
   Printf.printf "host daemon received: %S\n" (ok (Kernel.read k world.World.init sfd ~len:128));
   ignore (ok (Kernel.write k world.World.init sfd "NameAcquired"));
-  Socket_proxy.pump_until_quiet proxy;
+  Proxy.drain plane;
   Printf.printf "client received reply: %S\n"
     (ok (Kernel.read k session.Attach.sn_shell_proc cfd ~len:128));
-  Socket_proxy.close proxy;
 
   step "isolation check: nothing leaked into the application containers";
   List.iter

@@ -18,6 +18,7 @@ open Repro_fuse
 open Repro_cntrfs
 open Repro_runtime
 module Fault = Repro_fault.Fault
+module Proxy = Repro_proxy.Proxy
 
 type tools_location =
   | From_host
@@ -52,6 +53,7 @@ type session = {
   mutable sn_server_proc : Proc.t; (* swapped by [recover] *)
   sn_cntr_proc : Proc.t;
   sn_tty : Tty.t;
+  sn_plane : Proxy.t; (* the forwarding plane the TTY and socket proxies ride *)
   sn_conn : Conn.t;
   sn_driver : Driver.t;
   mutable sn_server : Server.t; (* swapped by [recover] *)
@@ -202,8 +204,14 @@ let attach ~kernel ~engines ~budget ?(config = Config.default) name =
   child.Proc.cred.Proc.uid <- ctx.Context.cx_uid;
   child.Proc.cred.Proc.gid <- ctx.Context.cx_gid;
 
-  (* ----- step #4: interactive shell on a pseudo-TTY ----- *)
-  let tty = Tty.attach kernel child in
+  (* ----- step #4: interactive shell on a pseudo-TTY, over the plane ----- *)
+  (* The forwarding plane lives in the cntr process on the host: the TTY
+     stream and any socket forwarders share its reactor, staging buffers,
+     [proxy] fault site and metrics.  It runs its own scheduler on the
+     shared clock so its event ordering is independent of the FUSE
+     connection's. *)
+  let proxy_plane = Proxy.create ?fault:plane ~kernel ~proc:cntr_proc () in
+  let tty = Tty.attach_plane proxy_plane child in
   let session =
     {
       sn_kernel = kernel;
@@ -211,6 +219,7 @@ let attach ~kernel ~engines ~budget ?(config = Config.default) name =
       sn_server_proc = server_proc;
       sn_cntr_proc = cntr_proc;
       sn_tty = tty;
+      sn_plane = proxy_plane;
       sn_conn = conn;
       sn_driver = driver;
       sn_server = server;
@@ -262,6 +271,7 @@ let detach session =
   if not session.sn_detached then begin
     session.sn_detached <- true;
     ignore (Server.handle session.sn_server Protocol.root_ctx Protocol.Destroy);
+    Proxy.close session.sn_plane;
     let exit_if_alive proc =
       if proc.Proc.alive then Kernel.exit session.sn_kernel proc 0
     in
@@ -326,6 +336,10 @@ let recover session =
   Repro_obs.Metrics.incr c
 
 let context session = session.sn_ctx
+
+(* The session's forwarding plane: callers add socket forwarders to it
+   (`cntr attach` exposes this as dbus/ssh-agent forwarding, §3.2.4). *)
+let proxy session = session.sn_plane
 
 let obs session = Conn.obs session.sn_conn
 

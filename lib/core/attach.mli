@@ -47,6 +47,8 @@ type session = {
       (** the CntrFS server process; swapped by {!recover} *)
   sn_cntr_proc : Proc.t;  (** the cntr frontend process *)
   sn_tty : Tty.t;  (** pseudo-TTY master side *)
+  sn_plane : Repro_proxy.Proxy.t;
+      (** the forwarding plane carrying the TTY stream and socket proxies *)
   sn_conn : Repro_fuse.Conn.t;  (** the FUSE connection (statistics live here) *)
   sn_driver : Repro_fuse.Driver.t;
   mutable sn_server : Repro_cntrfs.Server.t;  (** swapped by {!recover} *)
@@ -136,6 +138,11 @@ val recover : session -> unit
 
 (** The container context captured during step #1. *)
 val context : session -> Context.t
+
+(** The session's forwarding plane: add socket forwarders to it with
+    {!Repro_proxy.Proxy.forward} (the dbus / ssh-agent forwarding of
+    §3.2.4).  {!detach} closes it. *)
+val proxy : session -> Repro_proxy.Proxy.t
 
 (** The session's observability handle (shared with the kernel): all
     [fuse.*], [cntrfs.*], [vfs.*] and [os.*] metrics of the attach. *)

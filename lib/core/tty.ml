@@ -1,14 +1,23 @@
 (* Pseudo-TTY plumbing (§3.2.4).  The shell inside the nested namespace
    must not hold the user's real terminal fds — a pseudo-TTY pair proxies
    its standard streams, and the master side is what `cntr` forwards to the
-   user's terminal. *)
+   user's terminal.
+
+   Two wirings exist.  [attach] is the direct pair: the master reads the
+   same pipes the shell's fds point at.  [attach_plane] routes the stream
+   over the forwarding plane: the shell gets its own slave pipes, the
+   master keeps its own, and a plane stream pumps between them — the TTY
+   becomes just another duplex connection on the event-driven data path,
+   sharing its backpressure, fault site and metrics. *)
 
 open Repro_os
+module Proxy = Repro_proxy.Proxy
 
 type t = {
   (* master side: what the cntr process on the host reads/writes *)
   m_out : Pipe.t; (* shell stdout/stderr -> user *)
   m_in : Pipe.t; (* user keystrokes -> shell stdin *)
+  t_plane : Proxy.t option;
 }
 
 (* Allocate the pair and install the slave ends as fds 0/1/2 of [proc]. *)
@@ -18,27 +27,65 @@ let attach _kernel proc =
   Hashtbl.replace proc.Proc.fds 0 (Proc.Pipe_r m_in);
   Hashtbl.replace proc.Proc.fds 1 (Proc.Pipe_w m_out);
   Hashtbl.replace proc.Proc.fds 2 (Proc.Pipe_w m_out);
-  { m_out; m_in }
+  { m_out; m_in; t_plane = None }
 
-(* Drain everything the shell has written. *)
+(* Slave pipes for the shell, master pipes for the user, and a plane
+   stream pumping between them.  The slave fds 1 and 2 share one pipe, so
+   its writer count is bumped to two — EOF reaches the plane exactly when
+   the shell's last stdout/stderr fd closes. *)
+let attach_plane plane proc =
+  let s_out = Pipe.create ~capacity:(1024 * 1024) () in
+  let s_in = Pipe.create ~capacity:(64 * 1024) () in
+  let m_out = Pipe.create ~capacity:(1024 * 1024) () in
+  let m_in = Pipe.create ~capacity:(64 * 1024) () in
+  Hashtbl.replace proc.Proc.fds 0 (Proc.Pipe_r s_in);
+  Hashtbl.replace proc.Proc.fds 1 (Proc.Pipe_w s_out);
+  Hashtbl.replace proc.Proc.fds 2 (Proc.Pipe_w s_out);
+  Pipe.add_writer s_out;
+  let pproc = Proxy.proc plane in
+  let a_rfd = Proc.alloc_fd pproc (Proc.Pipe_r s_out) in
+  let a_wfd = Proc.alloc_fd pproc (Proc.Pipe_w s_in) in
+  let b_rfd = Proc.alloc_fd pproc (Proc.Pipe_r m_in) in
+  let b_wfd = Proc.alloc_fd pproc (Proc.Pipe_w m_out) in
+  ignore (Proxy.add_stream plane ~label:"tty" ~a_rfd ~a_wfd ~b_rfd ~b_wfd ());
+  { m_out; m_in; t_plane = Some plane }
+
+(* Drain everything the shell has written.  Over the plane, alternate
+   between driving the plane and emptying the master pipe until no more
+   bytes arrive — the master pipe is smaller than what a session can
+   produce, so one drive may not flush everything. *)
 let read_output t =
   let buf = Buffer.create 256 in
-  let rec go () =
+  let rec drain_master () =
     match Pipe.read t.m_out ~len:65536 with
     | Ok "" -> ()
     | Ok s ->
         Buffer.add_string buf s;
-        go ()
+        drain_master ()
     | Error _ -> ()
   in
-  go ();
+  (match t.t_plane with
+  | None -> drain_master ()
+  | Some plane ->
+      let rec go () =
+        Proxy.drain plane;
+        let before = Buffer.length buf in
+        drain_master ();
+        if Buffer.length buf > before then go ()
+      in
+      go ());
   Buffer.contents buf
 
 let send_input t s =
-  match Pipe.write t.m_in s with Ok n -> n | Error _ -> 0
+  let n = match Pipe.write t.m_in s with Ok n -> n | Error _ -> 0 in
+  (* over the plane, deliver to the shell's stdin before the caller runs
+     the shell (evaluation is synchronous) *)
+  (match t.t_plane with Some plane -> Proxy.drain plane | None -> ());
+  n
 
 let input_line t =
-  (* read one line the user typed, if any *)
+  (* read one line the user typed, if any (direct-pair wiring only: over
+     the plane the stream consumes the master input pipe) *)
   match Pipe.read t.m_in ~len:4096 with
   | Ok s when s <> "" -> Some s
   | _ -> None

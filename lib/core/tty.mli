@@ -7,14 +7,23 @@ open Repro_os
 type t
 
 (** Allocate a pty pair and install the slave ends as fds 0/1/2 of [proc].
-    The returned value is the master side. *)
+    The returned value is the master side, wired directly (no plane). *)
 val attach : Kernel.t -> Proc.t -> t
 
-(** Drain everything the shell has written to stdout/stderr. *)
+(** Same, but the stream rides the forwarding plane: slave and master get
+    separate pipe pairs and a {!Repro_proxy.Proxy.add_stream} duplex pump
+    moves bytes between them, with the plane's backpressure, fault site
+    and metrics. *)
+val attach_plane : Repro_proxy.Proxy.t -> Proc.t -> t
+
+(** Drain everything the shell has written to stdout/stderr (driving the
+    plane to quiescence first, when one is attached). *)
 val read_output : t -> string
 
-(** Queue keyboard input for the shell's stdin; returns bytes accepted. *)
+(** Queue keyboard input for the shell's stdin; returns bytes accepted.
+    With a plane attached, the input is delivered to the shell side before
+    returning. *)
 val send_input : t -> string -> int
 
-(** Read one chunk of queued input (the shell side's view), if any. *)
+(** Read one chunk of queued input, if any (direct-pair wiring only). *)
 val input_line : t -> string option

@@ -13,7 +13,7 @@ type action =
   | Duplicate_reply
   | Fail of Errno.t
 
-type site = Fuse of string option | Backing of string option | Disk
+type site = Fuse of string option | Backing of string option | Disk | Proxy of string option
 type trigger = Nth of int | Every of int | After_ns of int | Prob of float
 type rule = { site : site; trigger : trigger; action : action }
 type plan = { seed : int; rules : rule list }
@@ -103,6 +103,21 @@ let fuse_action t ~op =
         | Fuse f when op_matches f op ->
             if fires t ar then begin
               record t (action_label ar.ar_rule.action);
+              Some ar.ar_rule.action
+            end
+            else go rest
+        | _ -> go rest)
+  in
+  go t.f_rules
+
+let proxy_action t ~op =
+  let rec go = function
+    | [] -> None
+    | ar :: rest -> (
+        match ar.ar_rule.site with
+        | Proxy f when op_matches f op ->
+            if fires t ar then begin
+              record t ("proxy." ^ action_label ar.ar_rule.action);
               Some ar.ar_rule.action
             end
             else go rest
@@ -200,6 +215,7 @@ let parse_site kind op =
   | "fuse" -> Some (Fuse filter)
   | "backing" -> Some (Backing filter)
   | "disk" -> Some Disk
+  | "proxy" -> Some (Proxy filter)
   | _ -> None
 
 let parse text =
@@ -287,6 +303,8 @@ let site_to_string = function
   | Backing None -> "backing *"
   | Backing (Some op) -> "backing " ^ op
   | Disk -> "disk *"
+  | Proxy None -> "proxy *"
+  | Proxy (Some op) -> "proxy " ^ op
 
 let to_string p =
   let b = Buffer.create 128 in

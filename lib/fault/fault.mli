@@ -34,8 +34,10 @@ type action =
     opcode kind ([None] matches all) as they are served; [Backing] matches
     the server's backing syscalls in the simulated kernel ([Fail] actions
     only — the server sees the errno as if the host fs returned it);
-    [Disk] adds [Delay] latency to the VFS disk model. *)
-type site = Fuse of string option | Backing of string option | Disk
+    [Disk] adds [Delay] latency to the VFS disk model; [Proxy] matches
+    forwarding-plane events ([Some "accept"] new connections, [Some "data"]
+    in-flight transfers, [None] both). *)
+type site = Fuse of string option | Backing of string option | Disk | Proxy of string option
 
 (** When to inject, evaluated per matching event: [Nth n] fires exactly on
     the n-th match; [Every n] on every n-th; [After_ns ns] on every match
@@ -80,6 +82,12 @@ val fuse_action : t -> op:string -> action option
 (** Consulted by the simulated kernel for the server's backing syscalls;
     [op] is the syscall name ("open", "stat", "pwrite", ...). *)
 val backing_errno : t -> op:string -> Errno.t option
+
+(** Consulted by the forwarding plane ({!Repro_proxy.Proxy}); [op] is
+    ["accept"] when a client connection arrives and ["data"] per transfer
+    pass.  [Delay]/[Hang] stall the event; [Crash_server]/[Drop_reply]/
+    [Fail _] refuse the connection or abort it (bounded [ECONNRESET]). *)
+val proxy_action : t -> op:string -> action option
 
 (** Extra virtual latency for a disk-model operation ("read", "write",
     "fsync"); sums every firing [Disk]-site [Delay] rule. *)

@@ -311,12 +311,21 @@ let release_file f =
   if f.Proc.of_refs = 0 then
     f.Proc.of_vnode.Proc.v_mount.Mount.m_fs.Fsops.release f.Proc.of_fh
 
+(* Closing a watched fd drops it from every epoll interest set of the same
+   process, as Linux does when the last reference to the file goes away. *)
+let epoll_forget proc fdn =
+  Hashtbl.iter
+    (fun _ entry ->
+      match entry with Proc.Epoll_fd e -> Epoll.remove e ~fd:fdn | _ -> ())
+    proc.Proc.fds
+
 let close t proc fdn =
   charge t;
   match Proc.fd proc fdn with
   | None -> Error Errno.EBADF
   | Some entry ->
       Hashtbl.remove proc.Proc.fds fdn;
+      epoll_forget proc fdn;
       (match entry with
       | Proc.File f -> release_file f
       | Proc.Pipe_r p -> Pipe.close_reader p
@@ -979,37 +988,88 @@ let pipe t proc =
   (rfd, wfd)
 
 (* splice(2): move bytes between two fds without copying through
-   userspace.  Only the splice setup cost is charged per call. *)
+   userspace.  Costs: the fixed setup per call, plus a per-page remap for
+   the bytes moved — no per-KiB copy, which is the point of splice.
+
+   The pull from the source is clamped to what the destination can accept
+   right now, so a partial sink can never strand bytes read out of the
+   source: either the whole chunk moves, or it stays queued at the source.
+   A full destination is EAGAIN before anything is consumed. *)
 let splice t proc ~fd_in ~fd_out ~len =
   charge t;
   Clock.consume_int t.clock t.cost.Cost.splice_setup_ns;
   let* inp = fd_entry proc fd_in in
   let* out = fd_entry proc fd_out in
-  let* data =
-    match inp with
-    | Proc.Pipe_r p -> Pipe.read p ~len
-    | Proc.Sock_conn ep -> Sock.recv ep ~len
-    | Proc.File f -> read_file t proc f ~len
-    | Proc.Custom c -> c.Proc.c_read ~len
+  let* cap =
+    match out with
+    | Proc.Pipe_w p ->
+        if not (Pipe.has_readers p) then Error Errno.EPIPE else Ok (Pipe.room p)
+    | Proc.Sock_conn ep -> Sock.send_capacity ep
+    | Proc.File _ | Proc.Custom _ -> Ok max_int
     | _ -> Error Errno.EINVAL
   in
-  if data = "" then Ok 0
+  let len = min len cap in
+  if len = 0 then Error Errno.EAGAIN
   else
-    let* n =
-      match out with
-      | Proc.Pipe_w p -> Pipe.write p data
-      | Proc.Sock_conn ep -> Sock.send ep data
-      | Proc.File f -> (
-          let fs = f.Proc.of_vnode.Proc.v_mount.Mount.m_fs in
-          let* n = fs.Fsops.write (Proc.vfs_cred proc) f.Proc.of_fh ~off:f.Proc.of_offset data in
-          f.Proc.of_offset <- f.Proc.of_offset + n;
-          Ok n)
-      | Proc.Custom c -> c.Proc.c_write data
+    let* data =
+      match inp with
+      | Proc.Pipe_r p -> Pipe.read p ~len
+      | Proc.Sock_conn ep -> Sock.recv ep ~len
+      | Proc.File f -> read_file t proc f ~len
+      | Proc.Custom c -> c.Proc.c_read ~len
       | _ -> Error Errno.EINVAL
     in
-    Ok n
+    if data = "" then Ok 0
+    else
+      let* n =
+        match out with
+        | Proc.Pipe_w p -> Pipe.write p data
+        | Proc.Sock_conn ep -> Sock.send ep data
+        | Proc.File f -> (
+            let fs = f.Proc.of_vnode.Proc.v_mount.Mount.m_fs in
+            let* n = fs.Fsops.write (Proc.vfs_cred proc) f.Proc.of_fh ~off:f.Proc.of_offset data in
+            f.Proc.of_offset <- f.Proc.of_offset + n;
+            Ok n)
+        | Proc.Custom c -> c.Proc.c_write data
+        | _ -> Error Errno.EINVAL
+      in
+      Clock.consume_int t.clock (t.cost.Cost.splice_page_ns * Cost.pages_of_bytes t.cost n);
+      Ok n
 
-let socket_listen t proc path =
+(* shutdown(fd, SHUT_WR): half-close the send direction; the peer drains
+   queued bytes then reads EOF.  Sockets only. *)
+let shutdown_write t proc fdn =
+  charge t;
+  let* entry = fd_entry proc fdn in
+  match entry with
+  | Proc.Sock_conn ep ->
+      Sock.shutdown_write ep;
+      Ok ()
+  | _ -> Error Errno.ENOTSOCK
+
+(* Abortive close (SO_LINGER 0 + close): the fd goes away and both ends of
+   the connection observe ECONNRESET, queued bytes discarded. *)
+let socket_abort t proc fdn =
+  charge t;
+  let* entry = fd_entry proc fdn in
+  match entry with
+  | Proc.Sock_conn ep ->
+      Hashtbl.remove proc.Proc.fds fdn;
+      epoll_forget proc fdn;
+      Sock.abort ep;
+      Ok ()
+  | _ -> Error Errno.ENOTSOCK
+
+(* SCM_RIGHTS-style fd passing: the open description moves from [src]'s
+   table into [dst]'s (ownership transfers, no refcount change).  Returns
+   the fd number in [dst]. *)
+let pass_fd t ~src ~dst fdn =
+  charge t;
+  let* entry = fd_entry src fdn in
+  Hashtbl.remove src.Proc.fds fdn;
+  Ok (Proc.alloc_fd dst entry)
+
+let socket_listen ?backlog t proc path =
   charge t;
   let* dir, name = resolve_parent t proc path in
   let fs = dir.Proc.v_mount.Mount.m_fs in
@@ -1021,7 +1081,7 @@ let socket_listen t proc path =
     | Error e -> Error e
   in
   let* st = fs.Fsops.mknod cred dir.Proc.v_ino name ~kind:Types.Sock ~mode:0o755 in
-  let listener = Sock.listen ~path in
+  let listener = Sock.listen ?backlog ~path () in
   Hashtbl.replace t.sock_bindings (fs.Fsops.fs_id, st.Types.st_ino) listener;
   Ok (Proc.alloc_fd proc (Proc.Sock_listen listener))
 
@@ -1075,11 +1135,32 @@ let epoll_of proc fdn =
   | Some _ -> Error Errno.EINVAL
   | None -> Error Errno.EBADF
 
+(* Wire the epoll's wakeup callback into the object's waitqueue so state
+   transitions fire {!Epoll.fire_notify}.  Wakers are append-only: adding
+   the same fd twice stacks a (harmless, spurious) second wakeup. *)
+let watch_entry entry notify =
+  match entry with
+  | Proc.Pipe_r p | Proc.Pipe_w p -> Pipe.add_waker p notify
+  | Proc.Sock_conn ep -> Sock.add_waker ep notify
+  | Proc.Sock_listen l -> Sock.add_listener_waker l notify
+  | Proc.File _ | Proc.Epoll_fd _ | Proc.Custom _ -> ()
+
 let epoll_add t proc ~epfd ~fd ~interest =
   charge t;
   let* ep = epoll_of proc epfd in
   let* entry = fd_entry proc fd in
   Epoll.add ep ~fd ~interest ~probes:(probes_of_entry entry);
+  watch_entry entry (fun () -> Epoll.fire_notify ep);
+  Ok ()
+
+(* EPOLL_CTL_MOD re-arm: reset the fd's edge state so the next
+   epoll_wait_edge reports current readiness afresh.  A consumer that
+   drained to EAGAIN re-arms before parking, closing the window where a
+   readiness flap between two edge waits would go unreported. *)
+let epoll_rearm t proc ~epfd ~fd =
+  charge t;
+  let* ep = epoll_of proc epfd in
+  Epoll.rearm ep ~fd;
   Ok ()
 
 let epoll_del t proc ~epfd ~fd =
@@ -1092,6 +1173,18 @@ let epoll_wait t proc epfd =
   charge t;
   let* ep = epoll_of proc epfd in
   Ok (Epoll.wait ep)
+
+let epoll_wait_edge t proc epfd =
+  charge t;
+  let* ep = epoll_of proc epfd in
+  Ok (Epoll.wait_edge ep)
+
+(* Simulation hook, not a syscall: install the callback the waitqueues of
+   watched fds fire.  A reactor parks on its scheduler and this wakes it. *)
+let epoll_set_notify _t proc ~epfd f =
+  let* ep = epoll_of proc epfd in
+  Epoll.set_notify ep f;
+  Ok ()
 
 (* --- programs and exec -------------------------------------------------- *)
 

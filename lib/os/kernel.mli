@@ -213,11 +213,29 @@ val apply_lsm_profile : t -> Proc.t -> string option -> unit
 
 val pipe : t -> Proc.t -> int * int
 
-(** splice(2): move bytes between fds without a userspace copy. *)
+(** splice(2): move bytes between fds without a userspace copy.  Charges
+    the per-call setup plus a per-page remap ({!Repro_util.Cost.splice_cost});
+    the pull is clamped to the destination's free room so a partial sink
+    never strands bytes ([EAGAIN] before anything is consumed when the
+    destination is full). *)
 val splice : t -> Proc.t -> fd_in:int -> fd_out:int -> len:int -> (int, Errno.t) result
 
-(** Bind + listen on a Unix socket at [path] (creates the socket file). *)
-val socket_listen : t -> Proc.t -> string -> (int, Errno.t) result
+(** shutdown(fd, SHUT_WR): half-close the send direction — the peer drains
+    what is queued, then reads EOF.  [ENOTSOCK] on non-sockets. *)
+val shutdown_write : t -> Proc.t -> int -> (unit, Errno.t) result
+
+(** Abortive close (SO_LINGER 0): the fd goes away, both connection ends
+    observe [ECONNRESET], queued bytes are discarded. *)
+val socket_abort : t -> Proc.t -> int -> (unit, Errno.t) result
+
+(** SCM_RIGHTS-style fd passing: move an open description from [src]'s fd
+    table to [dst]'s; returns the new fd number. *)
+val pass_fd : t -> src:Proc.t -> dst:Proc.t -> int -> (int, Errno.t) result
+
+(** Bind + listen on a Unix socket at [path] (creates the socket file).
+    [backlog] bounds connections awaiting accept; beyond it connects are
+    refused. *)
+val socket_listen : ?backlog:int -> t -> Proc.t -> string -> (int, Errno.t) result
 
 (** Connect to the socket file at [path].  The binding is keyed by the
     *presenting* filesystem's identity, so connecting through a FUSE view
@@ -227,8 +245,25 @@ val socket_connect : t -> Proc.t -> string -> (int, Errno.t) result
 val socket_accept : t -> Proc.t -> int -> (int, Errno.t) result
 val epoll_create : t -> Proc.t -> int
 val epoll_add : t -> Proc.t -> epfd:int -> fd:int -> interest:Epoll.interest -> (unit, Errno.t) result
+
+(** EPOLL_CTL_MOD re-arm: reset the fd's edge state so the next
+    {!epoll_wait_edge} reports current readiness as a fresh transition.
+    Consumers re-arm after draining to [EAGAIN], before parking. *)
+val epoll_rearm : t -> Proc.t -> epfd:int -> fd:int -> (unit, Errno.t) result
+
 val epoll_del : t -> Proc.t -> epfd:int -> fd:int -> (unit, Errno.t) result
 val epoll_wait : t -> Proc.t -> int -> (Epoll.event list, Errno.t) result
+
+(** Edge-triggered wait: only readiness transitions since the previous
+    [epoll_wait_edge] on this instance (see {!Repro_os.Epoll.wait_edge}). *)
+val epoll_wait_edge : t -> Proc.t -> int -> (Epoll.event list, Errno.t) result
+
+(** Simulation hook (not a syscall): the callback fired when a watched
+    fd's waitqueue wakes this epoll — how a reactor parked on its
+    scheduler learns that readiness may have changed.  {!epoll_add} wires
+    watched pipes/sockets/listeners to it. *)
+val epoll_set_notify :
+  t -> Proc.t -> epfd:int -> (unit -> unit) option -> (unit, Errno.t) result
 
 (** {1 Programs and devices} *)
 

@@ -1,6 +1,11 @@
 (* In-kernel pipes: a bounded byte queue with reader/writer reference
    counting.  Used for pipe(2), pseudo-TTY plumbing, and as the kernel
-   buffer for splice(2). *)
+   buffer for splice(2).
+
+   Wakers model the kernel's poll waitqueue: every registered callback
+   fires on any state transition (bytes queued, bytes drained, an end
+   closed), so an epoll instance watching the pipe can re-evaluate
+   readiness without polling. *)
 
 open Repro_util
 
@@ -10,15 +15,21 @@ type t = {
   mutable read_pos : int;
   mutable readers : int;
   mutable writers : int;
+  mutable wakers : (unit -> unit) list;
 }
 
 let default_capacity = 64 * 1024
 
 let create ?(capacity = default_capacity) () =
-  { capacity; buf = Buffer.create 256; read_pos = 0; readers = 1; writers = 1 }
+  { capacity; buf = Buffer.create 256; read_pos = 0; readers = 1; writers = 1; wakers = [] }
 
 let available t = Buffer.length t.buf - t.read_pos
 let room t = t.capacity - available t
+
+let add_waker t f = t.wakers <- f :: t.wakers
+
+(* Fire in registration order so two runs wake watchers identically. *)
+let wake t = List.iter (fun f -> f ()) (List.rev t.wakers)
 
 let compact t =
   if t.read_pos > 0 && t.read_pos = Buffer.length t.buf then begin
@@ -42,6 +53,7 @@ let write t data =
     if n = 0 && String.length data > 0 then Error Errno.EAGAIN
     else begin
       Buffer.add_substring t.buf data 0 n;
+      if n > 0 then wake t;
       Ok n
     end
 
@@ -56,13 +68,21 @@ let read t ~len =
     let s = Buffer.sub t.buf t.read_pos n in
     t.read_pos <- t.read_pos + n;
     compact t;
+    if n > 0 then wake t;
     Ok s
   end
 
-let close_reader t = t.readers <- max 0 (t.readers - 1)
-let close_writer t = t.writers <- max 0 (t.writers - 1)
+let close_reader t =
+  t.readers <- max 0 (t.readers - 1);
+  if t.readers = 0 then wake t
+
+let close_writer t =
+  t.writers <- max 0 (t.writers - 1);
+  if t.writers = 0 then wake t
+
 let add_reader t = t.readers <- t.readers + 1
 let add_writer t = t.writers <- t.writers + 1
+let has_readers t = t.readers > 0
 
 let readable t = available t > 0 || t.writers = 0
 let writable t = room t > 0 && t.readers > 0

@@ -28,6 +28,14 @@ val close_writer : t -> unit
 val add_reader : t -> unit
 val add_writer : t -> unit
 
+(** At least one read end is still open (writes won't [EPIPE]). *)
+val has_readers : t -> bool
+
+(** Register a waitqueue callback, fired on every state transition (bytes
+    queued or drained, last reader/writer closed).  Wakers are never
+    removed — register once per watcher. *)
+val add_waker : t -> (unit -> unit) -> unit
+
 (** Poll readiness (for epoll). *)
 val readable : t -> bool
 

@@ -17,6 +17,7 @@ type t = {
   copy_ns_per_kib : int;
   mem_ns_per_kib : int;
   splice_setup_ns : int;
+  splice_page_ns : int;
   dentry_ns : int;
   backing_lookup_ns : int;
   queue_lock_ns : int;
@@ -31,6 +32,12 @@ val gp2 : disk
 val default : t
 val kib_of_bytes : int -> int
 val copy_cost : t -> int -> int
+
+(** Whole pages covering [bytes] (for splice pricing). *)
+val pages_of_bytes : t -> int -> int
+
+(** One splice(2) call moving [bytes]: setup plus per-page remap. *)
+val splice_cost : t -> int -> int
 val mem_cost : t -> int -> int
 val disk_read_cost : t -> int -> int
 val disk_write_cost : t -> int -> int

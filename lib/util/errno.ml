@@ -38,7 +38,9 @@ type t =
   | ENOTSUP
   | ENOSYS
   | ECONNREFUSED
+  | ECONNRESET
   | ENOTCONN
+  | ENOTSOCK
   | EADDRINUSE
   | ETIMEDOUT
 
@@ -78,7 +80,9 @@ let to_string = function
   | ENOTSUP -> "ENOTSUP"
   | ENOSYS -> "ENOSYS"
   | ECONNREFUSED -> "ECONNREFUSED"
+  | ECONNRESET -> "ECONNRESET"
   | ENOTCONN -> "ENOTCONN"
+  | ENOTSOCK -> "ENOTSOCK"
   | EADDRINUSE -> "EADDRINUSE"
   | ETIMEDOUT -> "ETIMEDOUT"
 
@@ -119,7 +123,9 @@ let message = function
   | ENOTSUP -> "Operation not supported"
   | ENOSYS -> "Function not implemented"
   | ECONNREFUSED -> "Connection refused"
+  | ECONNRESET -> "Connection reset by peer"
   | ENOTCONN -> "Transport endpoint is not connected"
+  | ENOTSOCK -> "Socket operation on non-socket"
   | EADDRINUSE -> "Address already in use"
   | ETIMEDOUT -> "Connection timed out"
 

@@ -39,7 +39,9 @@ type t =
   | ENOTSUP
   | ENOSYS
   | ECONNREFUSED
+  | ECONNRESET
   | ENOTCONN
+  | ENOTSOCK
   | EADDRINUSE
   | ETIMEDOUT
 val to_string : t -> string

@@ -6,6 +6,7 @@ open Repro_util
 open Repro_os
 open Repro_runtime
 open Repro_cntr
+module Proxy = Repro_proxy.Proxy
 
 let check_i = Alcotest.(check int)
 let check_s = Alcotest.(check string)
@@ -254,25 +255,29 @@ let test_socket_proxy_roundtrip () =
   (* direct connection through CntrFS fails: wrong inode identity *)
   check_err Errno.ECONNREFUSED
     (Kernel.socket_connect k session.Attach.sn_shell_proc "/var/run/dbus.sock");
-  (* the proxy bridges it *)
-  let proxy =
+  (* the forwarding plane bridges it *)
+  let plane = Attach.proxy session in
+  let fwd =
     ok
-      (Socket_proxy.forward ~kernel:k ~front_proc:session.Attach.sn_shell_proc
+      (Proxy.forward plane ~front_proc:session.Attach.sn_shell_proc
          ~back_proc:session.Attach.sn_server_proc ~backend_path:"/var/run/dbus.sock"
          "/var/run/cntr-dbus.sock")
   in
   let cfd = ok (Kernel.socket_connect k session.Attach.sn_shell_proc "/var/run/cntr-dbus.sock") in
   ignore (ok (Kernel.write k session.Attach.sn_shell_proc cfd "hello-dbus"));
-  Socket_proxy.pump_until_quiet proxy;
+  Proxy.drain plane;
   (* the host daemon accepts and reads the forwarded bytes *)
   let sfd = ok (Kernel.socket_accept k host dbus_lfd) in
   check_s "payload forwarded" "hello-dbus" (ok (Kernel.read k host sfd ~len:100));
   (* reply flows back *)
   ignore (ok (Kernel.write k host sfd "ack"));
-  Socket_proxy.pump_until_quiet proxy;
+  Proxy.drain plane;
   check_s "reply forwarded" "ack" (ok (Kernel.read k session.Attach.sn_shell_proc cfd ~len:100));
-  check_i "one bridged connection" 1 (Socket_proxy.connection_count proxy);
-  Socket_proxy.close proxy;
+  check_i "one bridged connection" 1 (Proxy.connection_count fwd);
+  check_i "counted in the registry" 1
+    (Repro_obs.Metrics.counter_value
+       (Repro_obs.Obs.metrics (Attach.obs session))
+       "proxy.connections.total");
   Attach.detach session
 
 (* --- shell details ---------------------------------------------------------------- *)

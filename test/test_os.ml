@@ -359,6 +359,72 @@ let test_epoll () =
   ignore (ok (Kernel.read k init rfd ~len:10));
   check_i "drained" 0 (List.length (ok (Kernel.epoll_wait k init epfd)))
 
+let test_epoll_edge_rearm () =
+  let k, init = boot () in
+  let rfd, wfd = Kernel.pipe k init in
+  let epfd = Kernel.epoll_create k init in
+  ok (Kernel.epoll_add k init ~epfd ~fd:rfd ~interest:{ Epoll.want_in = true; want_out = false });
+  ignore (ok (Kernel.write k init wfd "ab"));
+  check_i "edge reported once" 1 (List.length (ok (Kernel.epoll_wait_edge k init epfd)));
+  (* still ready, but no new edge: not reported again *)
+  check_i "no repeat while level-high" 0 (List.length (ok (Kernel.epoll_wait_edge k init epfd)));
+  (* a partial drain leaves the fd readable — still no edge... *)
+  check_s "partial drain" "a" (ok (Kernel.read k init rfd ~len:1));
+  check_i "partial drain is not an edge" 0 (List.length (ok (Kernel.epoll_wait_edge k init epfd)));
+  (* ...unless the waiter re-arms (EPOLL_CTL_MOD idiom) *)
+  ok (Kernel.epoll_rearm k init ~epfd ~fd:rfd);
+  check_i "rearm re-reports pending data" 1 (List.length (ok (Kernel.epoll_wait_edge k init epfd)));
+  (* a full drain followed by a refill is a genuine new edge *)
+  check_s "full drain" "b" (ok (Kernel.read k init rfd ~len:4));
+  check_i "empty" 0 (List.length (ok (Kernel.epoll_wait_edge k init epfd)));
+  ignore (ok (Kernel.write k init wfd "c"));
+  check_i "refill is a new edge" 1 (List.length (ok (Kernel.epoll_wait_edge k init epfd)))
+
+let test_epoll_closed_fds () =
+  let k, init = boot () in
+  let rfd, wfd = Kernel.pipe k init in
+  let epfd = Kernel.epoll_create k init in
+  ok (Kernel.epoll_add k init ~epfd ~fd:rfd ~interest:{ Epoll.want_in = true; want_out = false });
+  ignore (ok (Kernel.write k init wfd "x"));
+  (* closing a watched fd silently drops it from the interest set *)
+  ok (Kernel.close k init rfd);
+  check_i "closed fd not reported" 0 (List.length (ok (Kernel.epoll_wait k init epfd)));
+  check_i "nor as an edge" 0 (List.length (ok (Kernel.epoll_wait_edge k init epfd)));
+  (* waiting on a closed epoll fd is an error, not a hang *)
+  ok (Kernel.close k init epfd);
+  check_err Errno.EBADF (Kernel.epoll_wait k init epfd);
+  check_err Errno.EBADF (Kernel.epoll_wait_edge k init epfd)
+
+let test_accept_backlog_exhaustion () =
+  let k, init = boot () in
+  let lfd = ok (Kernel.socket_listen ~backlog:1 k init "/tmp/busy.sock") in
+  let cfd1 = ok (Kernel.socket_connect k init "/tmp/busy.sock") in
+  (* the queue of not-yet-accepted connections is full *)
+  check_err Errno.ECONNREFUSED (Kernel.socket_connect k init "/tmp/busy.sock");
+  (* accepting frees a backlog slot *)
+  let _sfd1 = ok (Kernel.socket_accept k init lfd) in
+  let cfd2 = ok (Kernel.socket_connect k init "/tmp/busy.sock") in
+  let sfd2 = ok (Kernel.socket_accept k init lfd) in
+  ignore (ok (Kernel.write k init cfd2 "ok"));
+  check_s "post-backlog connection works" "ok" (ok (Kernel.read k init sfd2 ~len:8));
+  ok (Kernel.close k init cfd1)
+
+let test_write_peer_closed_socket () =
+  let k, init = boot () in
+  let lfd = ok (Kernel.socket_listen k init "/tmp/peer.sock") in
+  let cfd = ok (Kernel.socket_connect k init "/tmp/peer.sock") in
+  let sfd = ok (Kernel.socket_accept k init lfd) in
+  ok (Kernel.close k init sfd);
+  check_err Errno.EPIPE (Kernel.write k init cfd "too late");
+  (* half-close is gentler: reads still drain, but writes are refused *)
+  let cfd2 = ok (Kernel.socket_connect k init "/tmp/peer.sock") in
+  let sfd2 = ok (Kernel.socket_accept k init lfd) in
+  ignore (ok (Kernel.write k init sfd2 "parting"));
+  ok (Kernel.shutdown_write k init cfd2);
+  check_err Errno.EPIPE (Kernel.write k init cfd2 "no more");
+  check_s "inbound still drains" "parting" (ok (Kernel.read k init cfd2 ~len:16));
+  check_s "then EOF" "" (ok (Kernel.read k init sfd2 ~len:16))
+
 (* --- exec ------------------------------------------------------------------ *)
 
 let test_exec () =
@@ -482,6 +548,10 @@ let () =
           Alcotest.test_case "connect refused" `Quick test_socket_connect_refused;
           Alcotest.test_case "splice" `Quick test_splice_pipe_to_socket;
           Alcotest.test_case "epoll" `Quick test_epoll;
+          Alcotest.test_case "epoll edge rearm" `Quick test_epoll_edge_rearm;
+          Alcotest.test_case "epoll closed fds" `Quick test_epoll_closed_fds;
+          Alcotest.test_case "accept backlog exhaustion" `Quick test_accept_backlog_exhaustion;
+          Alcotest.test_case "write to peer-closed socket" `Quick test_write_peer_closed_socket;
         ] );
       ( "exec",
         [
