@@ -845,6 +845,246 @@ let e9 () =
     write_json_file "BENCH_e9.json" (Buffer.contents buf)
   end
 
+(* --- fleet: the cntrd control plane at 10k-session scale ------------------------- *)
+
+(* Four shards, each its own world + cntrd, 2 500 admitted sessions per
+   shard = exactly 10 000 sessions.  The churn mix exercises every edge
+   of the control plane: zipf-popular containers across all four engines,
+   four tenants (mallory never detaches voluntarily, pinning her quota
+   until creates bounce), admission queueing under a tight ceiling,
+   explicit $/cancel of in-flight execs, and a fault plan that crashes
+   attach servers under exec so cntrd's transparent recovery fires.
+   Everything derives from the virtual clock and the shard seeds, so the
+   JSON is byte-deterministic. *)
+
+let fleet_target = 2500
+let fleet_shards = 4
+
+let fleet_images =
+  [| "nginx:latest"; "redis:latest"; "postgres:latest"; "memcached:latest";
+     "mysql:latest"; "mongo:latest"; "rabbitmq:latest"; "elasticsearch:latest";
+     "haproxy:latest"; "influxdb:latest"; "grafana:latest"; "wordpress:latest" |]
+
+let fleet_engines = [| "docker"; "lxc"; "rkt"; "systemd-nspawn" |]
+let fleet_tenants = [| "alice"; "bob"; "carol"; "mallory" |]
+let fleet_cmds = [| "hostname"; "ps"; "ls /var/lib/cntr"; "cat /var/lib/cntr/etc/passwd" |]
+
+type fleet_row = {
+  f_shard : int;
+  f_seed : int;
+  f_sessions : int;
+  f_rejected : int;
+  f_recovered : int;
+  f_cancelled : int;
+  f_rpc_calls : int;
+  f_execs : int;
+  f_active_end : int;
+  f_wait : Repro_obs.Metrics.summary option;
+}
+
+let fleet_shard idx =
+  let open Repro_ctrl in
+  let module World = Repro_runtime.World in
+  let seed = 0xf1ee7 + (idx * 7919) in
+  let rng = Rng.create ~seed in
+  let world = Repro_cntr.Testbed.create () in
+  Array.iteri
+    (fun i image ->
+      let engine = World.engine world fleet_engines.(i mod Array.length fleet_engines) in
+      ignore
+        (Errno.ok_exn
+           (World.run_container world ~engine ~name:(Printf.sprintf "c%02d" i)
+              ~image_ref:image ())))
+    fleet_images;
+  let plan_text =
+    Printf.sprintf "seed %d\nctrl exec every=977 crash\nctrl create every=701 delay=20000" seed
+  in
+  let plan =
+    match Repro_fault.Fault.parse plan_text with
+    | Ok (p, _) -> p
+    | Error m -> failwith ("fleet: bad fault plan: " ^ m)
+  in
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.c_max_active = 24;
+      c_queue_depth = 12;
+      c_tenant = { Daemon.q_active = 10; q_queued = 6 };
+      c_fault = Some plan;
+    }
+  in
+  let daemon = Daemon.create ~config world in
+  let client = Client.in_process daemon in
+  (* zipf-ish container popularity: weight 1/rank *)
+  let weights = Array.init (Array.length fleet_images) (fun k -> 1200 / (k + 1)) in
+  let total_w = Array.fold_left ( + ) 0 weights in
+  let pick_container () =
+    let r = ref (Rng.int rng total_w) and i = ref 0 in
+    while !r >= weights.(!i) do
+      r := !r - weights.(!i);
+      incr i
+    done;
+    Printf.sprintf "c%02d" !i
+  in
+  let pending = ref [] (* submitted creates without a reply: parked or brand new *)
+  and active = ref [] (* (session id, tenant) *)
+  and admitted = ref 0
+  and execs = ref 0
+  and ops = ref 0 in
+  let step_pending () =
+    pending :=
+      List.filter
+        (fun tk ->
+          match Client.poll client tk with
+          | None -> true
+          | Some { Rpc.p_result = Ok v; _ } ->
+              incr admitted;
+              let sid = Option.value (Jsonx.field_int v "session") ~default:(-1) in
+              let tenant = Option.value (Jsonx.field_str v "tenant") ~default:"" in
+              active := !active @ [ (sid, tenant) ];
+              false
+          | Some _ -> false (* admission rejected; counted by the daemon *))
+        !pending
+  in
+  let submit_create () =
+    let tenant = Rng.choose rng fleet_tenants in
+    let params =
+      Jsonx.Obj [ ("container", Jsonx.Str (pick_container ())); ("tenant", Jsonx.Str tenant) ]
+    in
+    pending := !pending @ [ Client.submit client ~params "session.create" ]
+  in
+  let exec_random () =
+    match !active with
+    | [] -> ()
+    | l ->
+        let sid, _ = List.nth l (Rng.int rng (List.length l)) in
+        incr execs;
+        ignore (Client.session_exec client ~session:sid (Rng.choose rng fleet_cmds))
+  in
+  let detach_nth i =
+    let rec split k acc = function
+      | [] -> None
+      | x :: tl -> if k = 0 then Some (x, List.rev_append acc tl) else split (k - 1) (x :: acc) tl
+    in
+    match split i [] !active with
+    | None -> ()
+    | Some ((sid, _), rest) ->
+        active := rest;
+        ignore (Client.session_detach client ~session:sid)
+  in
+  let detach_random_peaceful () =
+    (* mallory never detaches voluntarily: her sessions pin her quota
+       until her creates start bouncing *)
+    let idxs =
+      List.filteri (fun _ (_, t) -> t <> "mallory") !active
+      |> List.map (fun (sid, _) -> sid)
+    in
+    match idxs with
+    | [] -> ()
+    | _ ->
+        let sid = List.nth idxs (Rng.int rng (List.length idxs)) in
+        let i = ref (-1) in
+        List.iteri (fun j (s, _) -> if s = sid && !i < 0 then i := j) !active;
+        if !i >= 0 then detach_nth !i
+  in
+  let cancel_exec () =
+    match !active with
+    | [] -> ()
+    | l ->
+        let sid, _ = List.nth l (Rng.int rng (List.length l)) in
+        let params = Jsonx.Obj [ ("session", Jsonx.Int sid); ("cmd", Jsonx.Str "ps") ] in
+        let tk = Client.submit client ~params "session.exec" in
+        Client.cancel client tk;
+        ignore (Client.await client tk)
+  in
+  (* churn until every admitted-or-parked create accounts for the target *)
+  while !admitted + List.length !pending < fleet_target do
+    incr ops;
+    if !ops mod 97 = 0 then cancel_exec ();
+    let r = Rng.int rng 100 in
+    if r < 35 then submit_create ()
+    else if r < 75 then exec_random ()
+    else detach_random_peaceful ();
+    step_pending ()
+  done;
+  (* drain: parked creates admit as slots free (FIFO), then empty the fleet *)
+  while !pending <> [] || !active <> [] do
+    (match !active with _ :: _ -> detach_nth 0 | [] -> Daemon.pump daemon);
+    step_pending ()
+  done;
+  let m = Repro_obs.Obs.metrics (Daemon.obs daemon) in
+  let c name = Repro_obs.Metrics.counter_value m name in
+  let row =
+    {
+      f_shard = idx;
+      f_seed = seed;
+      f_sessions = c "ctrl.sessions.total";
+      f_rejected = c "ctrl.sessions.rejected";
+      f_recovered = c "ctrl.sessions.recovered";
+      f_cancelled = c "ctrl.rpc.cancelled";
+      f_rpc_calls = c "ctrl.rpc.calls";
+      f_execs = !execs;
+      f_active_end = int_of_float (Repro_obs.Metrics.gauge_value m "ctrl.sessions.active");
+      f_wait = Repro_obs.Metrics.histogram_summary m "ctrl.queue.wait_us";
+    }
+  in
+  Printf.printf
+    "  shard %d (seed %#x): %d sessions, %d execs, %d rejected, %d cancelled, %d recovered\n%!"
+    idx seed row.f_sessions row.f_execs row.f_rejected row.f_cancelled row.f_recovered;
+  row
+
+let fleet () =
+  section
+    (Printf.sprintf "Fleet: cntrd control plane, %d shards x %d sessions = %d"
+       fleet_shards fleet_target (fleet_shards * fleet_target));
+  let rows = List.init fleet_shards fleet_shard in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let sessions = sum (fun r -> r.f_sessions)
+  and rejected = sum (fun r -> r.f_rejected)
+  and recovered = sum (fun r -> r.f_recovered)
+  and cancelled = sum (fun r -> r.f_cancelled)
+  and rpc_calls = sum (fun r -> r.f_rpc_calls)
+  and active_end = sum (fun r -> r.f_active_end) in
+  Printf.printf
+    "\ntotals: %d sessions (%d rpc calls), %d rejected, %d cancelled, %d recovered, %d still active\n%!"
+    sessions rpc_calls rejected cancelled recovered active_end;
+  let fail msg =
+    Printf.eprintf "fleet: %s\n" msg;
+    exit 1
+  in
+  if sessions <> fleet_shards * fleet_target then
+    fail (Printf.sprintf "expected exactly %d sessions, got %d" (fleet_shards * fleet_target) sessions);
+  if rejected = 0 then fail "no admission rejections — quotas never bit";
+  if cancelled = 0 then fail "no cancellations — $/cancel never fired";
+  if recovered < 1 then fail "no recoveries — the ctrl fault site never crashed a server";
+  if active_end <> 0 then fail (Printf.sprintf "%d sessions leaked past the drain" active_end);
+  if !json_mode then begin
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n  \"experiment\": \"fleet\",\n  \"shards\": [\n";
+    List.iteri
+      (fun i r ->
+        let wait =
+          match r.f_wait with
+          | None -> "null"
+          | Some s ->
+              Printf.sprintf "{\"count\": %d, \"mean\": %.2f, \"p95\": %.2f, \"max\": %.2f}"
+                s.Repro_obs.Metrics.s_count s.Repro_obs.Metrics.s_mean
+                s.Repro_obs.Metrics.s_p95 s.Repro_obs.Metrics.s_max
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"shard\": %d, \"seed\": %d, \"sessions\": %d, \"execs\": %d, \"rejected\": %d, \"cancelled\": %d, \"recovered\": %d, \"rpc_calls\": %d, \"queue_wait_us\": %s}%s\n"
+             r.f_shard r.f_seed r.f_sessions r.f_execs r.f_rejected r.f_cancelled
+             r.f_recovered r.f_rpc_calls wait
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  ],\n  \"totals\": {\"sessions\": %d, \"rejected\": %d, \"cancelled\": %d, \"recovered\": %d, \"rpc_calls\": %d, \"active_end\": %d}\n}"
+         sessions rejected cancelled recovered rpc_calls active_end);
+    write_json_file "BENCH_fleet.json" (Buffer.contents buf)
+  end
+
 (* --- bechamel micro-benchmarks -------------------------------------------------- *)
 
 let micro () =
@@ -894,8 +1134,8 @@ let micro () =
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e3e", e3e); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("loc", e7); ("ablate", ablate); ("cache", cache_sweep);
-    ("micro", micro) ]
+    ("e7", e7); ("e8", e8); ("e9", e9); ("fleet", fleet); ("loc", e7); ("ablate", ablate);
+    ("cache", cache_sweep); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -1,10 +1,17 @@
 (* `cntr attach <container>`: nested namespace, tools, scripted shell,
-   then the session's traffic summary. *)
+   then the session's traffic summary.  A thin client: the attach itself
+   runs in an in-process cntrd ([Repro_ctrl.Daemon]) and every verb goes
+   through the JSON-RPC session API ([Ctrl.Client]). *)
 
 open Repro_util
 open Repro_runtime
-open Repro_cntr
+open Repro_ctrl
 open Cmdliner
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Ok text
+  | exception Sys_error msg -> Error msg
 
 let run common name fat fault_plan command =
   let world = Cmd_common.demo_world () in
@@ -13,58 +20,63 @@ let run common name fat fault_plan command =
       Printf.eprintf "cntr: cannot resolve %s: %s\n" name (Errno.message e);
       1
   | Ok (_engine, container) -> (
-      let tools =
-        match fat with None -> Attach.From_host | Some f -> Attach.From_container f
-      in
-      let plan =
+      let plan_text =
         match fault_plan with
-        | None -> Ok (None, None)
-        | Some file -> (
-            match Repro_fault.Fault.of_file file with
-            | Ok (plan, retry) -> Ok (Some plan, retry)
-            | Error msg -> Error msg)
+        | None -> Ok None
+        | Some file -> Result.map Option.some (read_file file)
       in
-      match plan with
+      match plan_text with
       | Error msg ->
           Printf.eprintf "cntr: bad fault plan: %s\n" msg;
           1
-      | Ok (fault, retry) -> (
-      let config = { Attach.Config.default with Attach.Config.tools; fault; retry } in
-      match Testbed.attach world ~config container.Container.ct_name with
-      | Error e ->
-          Printf.eprintf "cntr: cannot attach to %s: %s\n" name (Errno.message e);
-          1
-      | Ok session ->
-          let ctx = Attach.context session in
-          Printf.printf "attached to %s (pid %d, cgroup %s)\n" name ctx.Context.cx_pid
-            ctx.Context.cx_cgroup;
-          let commands =
-            match command with
-            | Some c -> [ c ]
-            | None ->
-                (* scripted interactive session *)
-                [
-                  "hostname";
-                  "which gdb";
-                  "ls /var/lib/cntr";
-                  "ls /var/lib/cntr/etc";
-                  "ps";
-                  "mount";
-                ]
-          in
-          let code =
-            List.fold_left
-              (fun _ cmd ->
-                Printf.printf "[cntr] $ %s\n" cmd;
-                let code, out = Attach.run session cmd in
-                print_string out;
-                code)
-              0 commands
-          in
-          Printf.printf "%s" (Attach.report session);
-          Attach.detach session;
-          Printf.printf "[cntr] detached; container left running\n";
-          code))
+      | Ok fault_plan -> (
+          let daemon = Daemon.create world in
+          let client = Client.in_process daemon in
+          match
+            Client.session_create client ~tenant:"cli" ?tools:fat ?fault_plan
+              container.Container.ct_name
+          with
+          | Error err ->
+              Printf.eprintf "cntr: cannot attach to %s: %s\n" name err.Rpc.e_message;
+              1
+          | Ok created ->
+              let sid = created.Client.sc_session in
+              Printf.printf "attached to %s (pid %d, cgroup %s)\n" name
+                created.Client.sc_pid created.Client.sc_cgroup;
+              let commands =
+                match command with
+                | Some c -> [ c ]
+                | None ->
+                    (* scripted interactive session *)
+                    [
+                      "hostname";
+                      "which gdb";
+                      "ls /var/lib/cntr";
+                      "ls /var/lib/cntr/etc";
+                      "ps";
+                      "mount";
+                    ]
+              in
+              let code =
+                List.fold_left
+                  (fun _ cmd ->
+                    Printf.printf "[cntr] $ %s\n" cmd;
+                    match Client.session_exec client ~session:sid cmd with
+                    | Ok x ->
+                        print_string x.Client.sx_output;
+                        x.Client.sx_code
+                    | Error err ->
+                        Printf.eprintf "cntr: %s\n" err.Rpc.e_message;
+                        1)
+                  0 commands
+              in
+              (match Client.session_stat client ~session:sid with
+              | Ok stat ->
+                  print_string (Option.value (Jsonx.field_str stat "report") ~default:"")
+              | Error _ -> ());
+              ignore (Client.session_detach client ~session:sid);
+              Printf.printf "[cntr] detached; container left running\n";
+              code))
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CONTAINER" ~doc:"Container name or id prefix.")

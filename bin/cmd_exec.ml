@@ -1,10 +1,10 @@
 (* `cntr exec <container> <cmd>`: one-shot command in the attach
-   environment — attach, run, print, detach.  Exits with the command's
-   code. *)
+   environment — session.create, session.exec, session.detach through the
+   cntrd API.  Exits with the command's code. *)
 
 open Repro_util
 open Repro_runtime
-open Repro_cntr
+open Repro_ctrl
 open Cmdliner
 
 let run common name fat command =
@@ -14,22 +14,26 @@ let run common name fat command =
       Printf.eprintf "cntr: cannot resolve %s: %s\n" name (Errno.message e);
       1
   | Ok (_engine, container) -> (
-      let tools =
-        match fat with None -> Attach.From_host | Some f -> Attach.From_container f
-      in
+      let daemon = Daemon.create world in
+      let client = Client.in_process daemon in
       match
-        Testbed.attach world
-          ~config:{ Attach.Config.default with Attach.Config.tools }
+        Client.session_create client ~tenant:"cli" ?tools:fat
           container.Container.ct_name
       with
-      | Error e ->
-          Printf.eprintf "cntr: cannot attach to %s: %s\n" name (Errno.message e);
+      | Error err ->
+          Printf.eprintf "cntr: cannot attach to %s: %s\n" name err.Rpc.e_message;
           1
-      | Ok session ->
-          let code, out = Attach.run session command in
-          print_string out;
-          Attach.detach session;
-          code)
+      | Ok created -> (
+          let sid = created.Client.sc_session in
+          match Client.session_exec client ~session:sid command with
+          | Error err ->
+              Printf.eprintf "cntr: %s\n" err.Rpc.e_message;
+              ignore (Client.session_detach client ~session:sid);
+              1
+          | Ok x ->
+              print_string x.Client.sx_output;
+              ignore (Client.session_detach client ~session:sid);
+              x.Client.sx_code))
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CONTAINER" ~doc:"Container name or id prefix.")

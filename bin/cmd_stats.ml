@@ -1,32 +1,34 @@
 (* `cntr stats [CONTAINER] [--json] [--trace FILE]`: attach, drive a
    seeded deterministic workload through the CntrFS mount, and report the
-   unified metrics registry — every fuse.*, cntrfs.*, vfs.* and os.*
-   counter the session produced.  Identical seeds print byte-identical
-   JSON.  --trace writes the request spans as JSON-lines. *)
+   unified metrics registry — every fuse.*, cntrfs.*, vfs.*, os.* and
+   ctrl.* counter the session produced.  Identical seeds print
+   byte-identical JSON.  --trace writes the request spans as JSON-lines.
+   The workload rides the cntrd session API like every other subcommand. *)
 
 open Repro_util
 open Repro_runtime
-open Repro_cntr
+open Repro_ctrl
 open Cmdliner
 
 (* The seeded workload: a deterministic mix of metadata and data traffic
    over the attach mount, shaped by --seed. *)
-let drive session seed =
+let drive client sid seed =
   let rng = Rng.create ~seed in
+  let exec cmd = ignore (Client.session_exec client ~session:sid cmd) in
   let files =
     [| "/var/lib/cntr/etc/passwd"; "/var/lib/cntr/etc/group";
        "/var/lib/cntr/etc/hostname"; "/var/lib/cntr/etc/hosts" |]
   in
   let rounds = 4 + Rng.int rng 4 in
   for _ = 1 to rounds do
-    (match Rng.int rng 4 with
-    | 0 -> ignore (Attach.run session ("cat " ^ Rng.choose rng files))
-    | 1 -> ignore (Attach.run session ("stat " ^ Rng.choose rng files))
-    | 2 -> ignore (Attach.run session "ls /var/lib/cntr/etc")
-    | _ -> ignore (Attach.run session "du /var/lib/cntr/etc"))
+    match Rng.int rng 4 with
+    | 0 -> exec ("cat " ^ Rng.choose rng files)
+    | 1 -> exec ("stat " ^ Rng.choose rng files)
+    | 2 -> exec "ls /var/lib/cntr/etc"
+    | _ -> exec "du /var/lib/cntr/etc"
   done;
-  ignore (Attach.run session "ps");
-  ignore (Attach.run session "hostname")
+  exec "ps";
+  exec "hostname"
 
 let run common name json trace_file =
   let world = Cmd_common.demo_world () in
@@ -35,12 +37,15 @@ let run common name json trace_file =
       Printf.eprintf "cntr: cannot resolve %s: %s\n" name (Errno.message e);
       1
   | Ok (_engine, container) -> (
-      match Testbed.attach world container.Container.ct_name with
-      | Error e ->
-          Printf.eprintf "cntr: cannot attach to %s: %s\n" name (Errno.message e);
+      let daemon = Daemon.create world in
+      let client = Client.in_process daemon in
+      match Client.session_create client ~tenant:"cli" container.Container.ct_name with
+      | Error err ->
+          Printf.eprintf "cntr: cannot attach to %s: %s\n" name err.Rpc.e_message;
           1
-      | Ok session ->
-          let obs = Attach.obs session in
+      | Ok created ->
+          let sid = created.Client.sc_session in
+          let obs = Daemon.obs daemon in
           (* Capture every span, including ones the ring would overwrite. *)
           let buf = Buffer.create 4096 in
           (match trace_file with
@@ -48,8 +53,13 @@ let run common name json trace_file =
               Repro_obs.Trace.set_sink (Repro_obs.Obs.tracer obs)
                 (Some (Repro_obs.Trace.buffer_sink buf))
           | None -> ());
-          drive session common.Cmd_common.seed;
-          Attach.detach session;
+          drive client sid common.Cmd_common.seed;
+          let report =
+            match Client.session_stat client ~session:sid with
+            | Ok stat -> Option.value (Jsonx.field_str stat "report") ~default:""
+            | Error _ -> ""
+          in
+          ignore (Client.session_detach client ~session:sid);
           let trace_error = ref false in
           (match trace_file with
           | Some path -> (
@@ -67,7 +77,7 @@ let run common name json trace_file =
             Printf.printf "metrics for attach session on %s (seed %#x):\n"
               container.Container.ct_name common.Cmd_common.seed;
             Format.printf "%a@?" Repro_obs.Obs.pp obs;
-            print_string (Attach.report session)
+            print_string report
           end;
           if !trace_error then 1 else 0)
 

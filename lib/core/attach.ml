@@ -244,14 +244,6 @@ let attach ~kernel ~engines ~budget ?(config = Config.default) name =
   | None -> ());
   Ok session
 
-(* Pre-Config signature, kept for one release so external callers keep
-   compiling.  No in-tree caller remains. *)
-let attach_legacy ~kernel ~engines ~budget ?from ?(tools = From_host)
-    ?(opts = Opts.cntr_default) ?(threads = 4) name =
-  attach ~kernel ~engines ~budget
-    ~config:{ Config.default with Config.from; tools; opts; threads }
-    name
-
 (* Run one shell command inside the session; returns (exit code, output). *)
 let run session cmd =
   let code =

@@ -80,20 +80,6 @@ val attach :
   string ->
   (session, Repro_util.Errno.t) result
 
-(** Pre-{!Config} signature, kept for one release for external callers.
-    @deprecated Use {!attach} with a {!Config.t}. *)
-val attach_legacy :
-  kernel:Kernel.t ->
-  engines:Repro_runtime.Engine.engines ->
-  budget:Mem_budget.t ->
-  ?from:Proc.t ->
-  ?tools:tools_location ->
-  ?opts:Repro_fuse.Opts.t ->
-  ?threads:int ->
-  string ->
-  (session, Repro_util.Errno.t) result
-[@@ocaml.deprecated "Use Attach.attach with ~config (Attach.Config.t)."]
-
 (** Run one shell command line inside the session; returns the exit code and
     everything written to the pseudo-TTY. *)
 val run : session -> string -> int * string

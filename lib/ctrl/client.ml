@@ -1,0 +1,270 @@
+(* Ctrl.Client: the request path shared by the CLI subcommands and the
+   fleet bench.  The in-process transport hands decoded requests straight
+   to the daemon; the wire transport frames them over a kernel socket and
+   the forwarding plane, exercising the same bytes a remote client would
+   produce.  Both co-simulate: the client pumps the daemon it talks to. *)
+
+open Repro_os
+module Config = Repro_cntr.Attach.Config
+
+let default_attach = Config.default
+
+type wire_state = {
+  ws_wire : Daemon.wire;
+  mutable ws_fd : int;
+  ws_reader : Rpc.reader;
+  ws_resps : (Rpc.id, Rpc.response) Hashtbl.t;
+}
+
+type transport = In_process | Wire of wire_state
+
+type t = {
+  c_daemon : Daemon.t;
+  c_transport : transport;
+  mutable c_next_id : int;
+  mutable c_notifs : Jsonx.t list;
+  c_tickets : (Rpc.id, Daemon.ticket) Hashtbl.t; (* in-process only *)
+}
+
+type ticket = Rpc.id
+
+let daemon t = t.c_daemon
+
+let in_process d =
+  {
+    c_daemon = d;
+    c_transport = In_process;
+    c_next_id = 1;
+    c_notifs = [];
+    c_tickets = Hashtbl.create 16;
+  }
+
+let wire d w =
+  let ws = { ws_wire = w; ws_fd = -1; ws_reader = Rpc.reader (); ws_resps = Hashtbl.create 16 } in
+  {
+    c_daemon = d;
+    c_transport = Wire ws;
+    c_next_id = 1;
+    c_notifs = [];
+    c_tickets = Hashtbl.create 16;
+  }
+
+(* --- wire plumbing ------------------------------------------------- *)
+
+let kernel t = Daemon.kernel t.c_daemon
+let cli_proc ws = Daemon.wire_client_proc ws.ws_wire
+
+let wire_connect t ws =
+  if ws.ws_fd < 0 then begin
+    ws.ws_fd <-
+      Repro_util.Errno.ok_exn
+        (Kernel.socket_connect (kernel t) (cli_proc ws) (Daemon.wire_path ws.ws_wire));
+    (* let the plane accept and dial the daemon before the first write *)
+    Daemon.pump t.c_daemon
+  end
+
+(* Stash every complete frame the daemon sent us: responses by id,
+   notifications in arrival order. *)
+let wire_slurp t ws =
+  let rec read_loop () =
+    match Kernel.read (kernel t) (cli_proc ws) ws.ws_fd ~len:65536 with
+    | Ok s when String.length s > 0 ->
+        Rpc.feed ws.ws_reader s;
+        read_loop ()
+    | _ -> ()
+  in
+  read_loop ();
+  let rec frame_loop () =
+    match Rpc.next ws.ws_reader with
+    | `Frame payload ->
+        (match Rpc.decode payload with
+        | Ok (Rpc.Response r) -> (
+            match r.Rpc.p_id with
+            | Some id -> Hashtbl.replace ws.ws_resps id r
+            | None ->
+                (* id-less protocol error (e.g. we sent garbage): surface
+                   as a notification so callers can observe it *)
+                t.c_notifs <- t.c_notifs @ [ Rpc.response_json r ])
+        | Ok (Rpc.Request req) ->
+            if req.Rpc.r_id = None then t.c_notifs <- t.c_notifs @ [ Rpc.request_json req ]
+        | Error _ -> ());
+        frame_loop ()
+    | `Garbage _ -> frame_loop ()
+    | `More -> ()
+  in
+  frame_loop ()
+
+let wire_send t ws text =
+  wire_connect t ws;
+  let framed = Rpc.frame text in
+  let rec push s attempts =
+    if String.length s > 0 then
+      match Kernel.write (kernel t) (cli_proc ws) ws.ws_fd s with
+      | Ok n when n > 0 ->
+          Daemon.pump t.c_daemon;
+          push (String.sub s n (String.length s - n)) 0
+      | _ ->
+          if attempts > 64 then failwith "cntrd wire: send stalled";
+          Daemon.pump t.c_daemon;
+          wire_slurp t ws;
+          push s (attempts + 1)
+  in
+  push framed 0
+
+(* --- transport-independent request path ---------------------------- *)
+
+let fresh_id t =
+  let id = Rpc.I t.c_next_id in
+  t.c_next_id <- t.c_next_id + 1;
+  id
+
+let submit t ?(params = Jsonx.Null) meth =
+  let id = fresh_id t in
+  let req = { Rpc.r_id = Some id; r_method = meth; r_params = params } in
+  (match t.c_transport with
+  | In_process -> (
+      let sink j = t.c_notifs <- t.c_notifs @ [ j ] in
+      match Daemon.submit t.c_daemon ~sink req with
+      | Some tk -> Hashtbl.replace t.c_tickets id tk
+      | None -> ())
+  | Wire ws -> wire_send t ws (Rpc.encode_request req));
+  id
+
+let notify t meth params =
+  let req = { Rpc.r_id = None; r_method = meth; r_params = params } in
+  match t.c_transport with
+  | In_process -> ignore (Daemon.submit t.c_daemon req)
+  | Wire ws -> wire_send t ws (Rpc.encode_request req)
+
+let cancel t id = notify t "$/cancel" (Jsonx.Obj [ ("id", Rpc.id_json id) ])
+
+let poll t id =
+  Daemon.pump t.c_daemon;
+  match t.c_transport with
+  | In_process -> (
+      match Hashtbl.find_opt t.c_tickets id with
+      | None -> None
+      | Some tk -> (
+          match Daemon.peek t.c_daemon tk with
+          | Some r ->
+              Hashtbl.remove t.c_tickets id;
+              Some r
+          | None -> None))
+  | Wire ws -> (
+      wire_slurp t ws;
+      match Hashtbl.find_opt ws.ws_resps id with
+      | Some r ->
+          Hashtbl.remove ws.ws_resps id;
+          Some r
+      | None -> None)
+
+let await t id =
+  match t.c_transport with
+  | In_process -> (
+      match Hashtbl.find_opt t.c_tickets id with
+      | None -> Error (Rpc.error Rpc.internal_error "unknown or already-awaited ticket")
+      | Some tk ->
+          let r = Daemon.response t.c_daemon tk in
+          Hashtbl.remove t.c_tickets id;
+          r.Rpc.p_result)
+  | Wire _ ->
+      let rec go attempts =
+        match poll t id with
+        | Some r -> r.Rpc.p_result
+        | None ->
+            if attempts > 1024 then
+              raise (Daemon.Stalled "wire reply never arrived (request parked?)")
+            else go (attempts + 1)
+      in
+      go 0
+
+let call t ?params meth = await t (submit t ?params meth)
+
+let notifications t =
+  (match t.c_transport with Wire ws -> wire_slurp t ws | In_process -> ());
+  let ns = t.c_notifs in
+  t.c_notifs <- [];
+  ns
+
+(* --- typed wrappers ------------------------------------------------ *)
+
+type created = { sc_session : int; sc_pid : int; sc_cgroup : string; sc_queue_wait_us : int }
+
+let need_int v k =
+  match Jsonx.field_int v k with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "cntrd reply missing integer field %S" k)
+
+let need_str v k =
+  match Jsonx.field_str v k with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "cntrd reply missing string field %S" k)
+
+let session_create t ?tenant ?tools ?threads ?fault_plan container =
+  let fields =
+    [ ("container", Jsonx.Str container) ]
+    @ (match tenant with Some x -> [ ("tenant", Jsonx.Str x) ] | None -> [])
+    @ (match tools with Some x -> [ ("tools", Jsonx.Str x) ] | None -> [])
+    @ (match threads with Some x -> [ ("threads", Jsonx.Int x) ] | None -> [])
+    @ match fault_plan with Some x -> [ ("fault_plan", Jsonx.Str x) ] | None -> []
+  in
+  match call t ~params:(Jsonx.Obj fields) "session.create" with
+  | Error e -> Error e
+  | Ok v ->
+      Ok
+        {
+          sc_session = need_int v "session";
+          sc_pid = need_int v "pid";
+          sc_cgroup = need_str v "cgroup";
+          sc_queue_wait_us = need_int v "queue_wait_us";
+        }
+
+type execed = { sx_code : int; sx_output : string; sx_recovered : bool }
+
+let session_exec t ~session cmd =
+  let params = Jsonx.Obj [ ("session", Jsonx.Int session); ("cmd", Jsonx.Str cmd) ] in
+  match call t ~params "session.exec" with
+  | Error e -> Error e
+  | Ok v ->
+      Ok
+        {
+          sx_code = need_int v "code";
+          sx_output = need_str v "output";
+          sx_recovered = Jsonx.field_bool v "recovered" = Some true;
+        }
+
+let session_stat t ~session =
+  call t ~params:(Jsonx.Obj [ ("session", Jsonx.Int session) ]) "session.stat"
+
+let session_detach t ~session =
+  match call t ~params:(Jsonx.Obj [ ("session", Jsonx.Int session) ]) "session.detach" with
+  | Error e -> Error e
+  | Ok v -> Ok (Jsonx.field_bool v "already" = Some true)
+
+type row = {
+  sr_session : int;
+  sr_tenant : string;
+  sr_container : string;
+  sr_state : string;
+  sr_execs : int;
+}
+
+let session_list t =
+  match call t "session.list" with
+  | Error e -> Error e
+  | Ok v ->
+      let rows = Option.value (Option.bind (Jsonx.mem v "sessions") Jsonx.list_) ~default:[] in
+      Ok
+        (List.map
+           (fun r ->
+             {
+               sr_session = need_int r "session";
+               sr_tenant = need_str r "tenant";
+               sr_container = need_str r "container";
+               sr_state = need_str r "state";
+               sr_execs = need_int r "execs";
+             })
+           rows)
+
+let subscribe t =
+  match call t "stats.subscribe" with Error e -> Error e | Ok _ -> Ok ()

@@ -1,0 +1,80 @@
+(** The one client interface to cntrd, shared by every [cntr] subcommand
+    and the fleet bench.  Two transports behind the same calls:
+
+    - {!in_process}: requests go straight to {!Daemon.submit} as decoded
+      values — what the CLI uses when it hosts the daemon itself.
+    - {!wire}: requests are encoded, Content-Length framed and carried
+      over the forwarding plane to a {!Daemon.wire_serve} endpoint —
+      byte-for-byte what a remote client would send.
+
+    Both transports share one daemon pump, so either way the run is
+    deterministic on the virtual clock. *)
+
+(** Re-exported so callers spell attach defaults through the client API
+    ([Client.Config.default]) instead of reaching into [Attach]. *)
+module Config = Repro_cntr.Attach.Config
+
+val default_attach : Config.t
+
+type t
+
+val in_process : Daemon.t -> t
+
+(** Connect over a served wire endpoint. *)
+val wire : Daemon.t -> Daemon.wire -> t
+
+val daemon : t -> Daemon.t
+
+(** {1 Raw request plumbing} *)
+
+type ticket
+
+(** Fire one request (auto-assigned integer id); drive it later. *)
+val submit : t -> ?params:Jsonx.t -> string -> ticket
+
+(** Send [$/cancel] for an in-flight ticket (a notification — no reply). *)
+val cancel : t -> ticket -> unit
+
+(** Non-blocking: service the daemon once, return the reply if done. *)
+val poll : t -> ticket -> Rpc.response option
+
+(** Pump until the reply arrives.  Raises {!Daemon.Stalled} when the
+    request is parked and nothing left to run can unpark it. *)
+val await : t -> ticket -> (Jsonx.t, Rpc.rerror) result
+
+(** [submit] + [await]. *)
+val call : t -> ?params:Jsonx.t -> string -> (Jsonx.t, Rpc.rerror) result
+
+(** Drain [stats.event] notifications received so far (oldest first). *)
+val notifications : t -> Jsonx.t list
+
+(** {1 Typed wrappers} *)
+
+type created = { sc_session : int; sc_pid : int; sc_cgroup : string; sc_queue_wait_us : int }
+
+val session_create :
+  t ->
+  ?tenant:string ->
+  ?tools:string ->
+  ?threads:int ->
+  ?fault_plan:string ->
+  string ->
+  (created, Rpc.rerror) result
+
+type execed = { sx_code : int; sx_output : string; sx_recovered : bool }
+
+val session_exec : t -> session:int -> string -> (execed, Rpc.rerror) result
+
+(** Raw stat object (includes the human-readable ["report"] field). *)
+val session_stat : t -> session:int -> (Jsonx.t, Rpc.rerror) result
+
+(** [Ok already] — [already = true] when the session was gone (detach is
+    idempotent at the RPC layer). *)
+val session_detach : t -> session:int -> (bool, Rpc.rerror) result
+
+type row = { sr_session : int; sr_tenant : string; sr_container : string; sr_state : string; sr_execs : int }
+
+val session_list : t -> (row list, Rpc.rerror) result
+
+(** Subscribe this client's transport to [stats.event] notifications. *)
+val subscribe : t -> (unit, Rpc.rerror) result

@@ -1,0 +1,820 @@
+(* cntrd: the persistent attach control plane.
+
+   Split-brain by design: fibers on the daemon's scheduler own every piece
+   of control-plane state (session table, admission queue, quotas,
+   cancellation flags), while the data-plane verbs — attach, exec, detach,
+   recover, crash — are *actions* queued to the top level.  [pump]
+   alternates: drive fibers until they quiesce or request an action, then
+   commit the next action where the FUSE/TTY event loops can be driven
+   (those loops no-op inside foreign fibers).  Everything stays on the one
+   virtual clock, so identical submissions replay identically. *)
+
+open Repro_util
+open Repro_os
+open Repro_cntr
+module Sched = Repro_sched.Sched
+module Metrics = Repro_obs.Metrics
+module Fault = Repro_fault.Fault
+module Proxy = Repro_proxy.Proxy
+
+type quota = { q_active : int; q_queued : int }
+
+type config = {
+  c_max_active : int;
+  c_queue_depth : int;
+  c_tenant : quota;
+  c_attach : Attach.Config.t;
+  c_fault : Fault.plan option;
+  c_auto_recover : bool;
+}
+
+let default_config =
+  {
+    c_max_active = 64;
+    c_queue_depth = 32;
+    c_tenant = { q_active = 16; q_queued = 8 };
+    c_attach = Attach.Config.default;
+    c_fault = None;
+    c_auto_recover = true;
+  }
+
+(* One in-flight request. *)
+type ticket = {
+  p_rid : Rpc.id;
+  mutable p_cancelled : bool;
+  mutable p_resp : Rpc.response option;
+}
+
+type state = Queued | Active | Recovering | Detached
+
+let state_str = function
+  | Queued -> "queued"
+  | Active -> "active"
+  | Recovering -> "recovering"
+  | Detached -> "detached"
+
+type op = Op_exec of ticket * string | Op_detach of ticket
+
+type sess = {
+  s_id : int;
+  s_tenant : string;
+  s_container : string;
+  s_config : Attach.Config.t;
+  mutable s_state : state;
+  mutable s_attach : Attach.session option;
+  mutable s_execs : int;
+  mutable s_admitted : bool;
+  mutable s_crash_pending : bool; (* ctrl create fault: crash right after attach *)
+  s_ops : op Queue.t;
+  s_cond : Sched.cond;
+}
+
+(* Data-plane actions, executed by [pump] at top level. *)
+type action =
+  | A_attach of Attach.Config.t * string * (Attach.session, Errno.t) result Sched.ivar
+  | A_run of Attach.session * string * (int * string) Sched.ivar
+  | A_detach of Attach.session * unit Sched.ivar
+  | A_recover of Attach.session * unit Sched.ivar
+  | A_crash of Attach.session * unit Sched.ivar
+
+type wire_conn = {
+  wc_fd : int;
+  wc_reader : Rpc.reader;
+  mutable wc_out : string;
+  mutable wc_tickets : ticket list; (* awaiting replies *)
+  mutable wc_sink_installed : bool;
+}
+
+type wire = {
+  w_path : string;
+  w_proc : Proc.t; (* daemon-side endpoint: owns the backend listener *)
+  w_client_proc : Proc.t;
+  w_plane : Proxy.t;
+  w_lfd : int;
+  mutable w_conns : wire_conn list;
+}
+
+type t = {
+  d_world : Repro_runtime.World.t;
+  d_config : config;
+  d_sched : Sched.t;
+  d_fault : Fault.t option;
+  d_actions : action Queue.t;
+  d_sessions : (int, sess) Hashtbl.t;
+  mutable d_next_id : int;
+  mutable d_inflight : ticket list;
+  mutable d_subs : (Jsonx.t -> unit) list;
+  mutable d_wires : wire list;
+  (* admission *)
+  d_adm_cond : Sched.cond;
+  mutable d_active : int;
+  mutable d_queued : int;
+  d_t_active : (string, int) Hashtbl.t;
+  d_t_queued : (string, int) Hashtbl.t;
+  (* metrics *)
+  m_active : Metrics.gauge;
+  m_total : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_recovered : Metrics.counter;
+  m_calls : Metrics.counter;
+  m_cancelled : Metrics.counter;
+  m_wait : Metrics.histogram;
+}
+
+let protocol_version = "cntrd/1.0"
+
+let methods =
+  [
+    "daemon.info";
+    "session.create";
+    "session.exec";
+    "session.stat";
+    "session.detach";
+    "session.list";
+    "stats.subscribe";
+    "$/cancel";
+  ]
+
+let create ?(config = default_config) world =
+  let kernel = world.Repro_runtime.World.kernel in
+  let obs = kernel.Kernel.obs in
+  let metrics = Repro_obs.Obs.metrics obs in
+  let clock = kernel.Kernel.clock in
+  {
+    d_world = world;
+    d_config = config;
+    d_sched = Sched.create ~clock;
+    d_fault = Option.map (Fault.arm ~obs ~clock) config.c_fault;
+    d_actions = Queue.create ();
+    d_sessions = Hashtbl.create 64;
+    d_next_id = 1;
+    d_inflight = [];
+    d_subs = [];
+    d_wires = [];
+    d_adm_cond = Sched.cond ();
+    d_active = 0;
+    d_queued = 0;
+    d_t_active = Hashtbl.create 8;
+    d_t_queued = Hashtbl.create 8;
+    m_active = Metrics.gauge metrics "ctrl.sessions.active";
+    m_total = Metrics.counter metrics "ctrl.sessions.total";
+    m_rejected = Metrics.counter metrics "ctrl.sessions.rejected";
+    m_recovered = Metrics.counter metrics "ctrl.sessions.recovered";
+    m_calls = Metrics.counter metrics "ctrl.rpc.calls";
+    m_cancelled = Metrics.counter metrics "ctrl.rpc.cancelled";
+    m_wait = Metrics.histogram metrics "ctrl.queue.wait_us";
+  }
+
+let world t = t.d_world
+let config t = t.d_config
+let kernel t = t.d_world.Repro_runtime.World.kernel
+let obs t = (kernel t).Kernel.obs
+let clock t = (kernel t).Kernel.clock
+
+(* ------------------------------------------------------------------ *)
+(* Replies, events, cancellation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let reply t p result =
+  (match p.p_resp with
+  | Some _ -> () (* first reply wins; late paths are no-ops *)
+  | None -> p.p_resp <- Some { Rpc.p_id = Some p.p_rid; p_result = result });
+  t.d_inflight <- List.filter (fun q -> q != p) t.d_inflight
+
+let reply_cancelled t p =
+  Metrics.incr t.m_cancelled;
+  reply t p (Error (Rpc.error Rpc.cancelled "request cancelled"))
+
+let errno_data e = Jsonx.Obj [ ("errno", Jsonx.Str (Errno.to_string e)) ]
+
+let emit t event fields =
+  if t.d_subs <> [] then begin
+    let params =
+      Jsonx.Obj
+        (("event", Jsonx.Str event)
+        :: ("t_ns", Jsonx.Int (Int64.to_int (Clock.now_ns (clock t))))
+        :: fields)
+    in
+    let msg = Rpc.request_json { Rpc.r_id = None; r_method = "stats.event"; r_params = params } in
+    List.iter (fun sink -> sink msg) t.d_subs
+  end
+
+let cancel t id =
+  match List.find_opt (fun p -> p.p_rid = id && p.p_resp = None) t.d_inflight with
+  | None -> false
+  | Some p ->
+      p.p_cancelled <- true;
+      (* wake parked admissions so a cancelled create leaves the queue *)
+      ignore (Sched.broadcast t.d_sched t.d_adm_cond);
+      true
+
+(* ------------------------------------------------------------------ *)
+(* Admission bookkeeping                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tcount tbl tenant = Option.value (Hashtbl.find_opt tbl tenant) ~default:0
+
+let tbump tbl tenant delta =
+  let v = tcount tbl tenant + delta in
+  if v <= 0 then Hashtbl.remove tbl tenant else Hashtbl.replace tbl tenant v
+
+let can_admit t tenant =
+  t.d_active < t.d_config.c_max_active
+  && tcount t.d_t_active tenant < t.d_config.c_tenant.q_active
+
+let take_slot t sess =
+  t.d_active <- t.d_active + 1;
+  tbump t.d_t_active sess.s_tenant 1;
+  sess.s_admitted <- true;
+  Metrics.set t.m_active (float_of_int t.d_active)
+
+let release_slot t sess =
+  if sess.s_admitted then begin
+    sess.s_admitted <- false;
+    t.d_active <- t.d_active - 1;
+    tbump t.d_t_active sess.s_tenant (-1);
+    Metrics.set t.m_active (float_of_int t.d_active);
+    ignore (Sched.broadcast t.d_sched t.d_adm_cond)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Data-plane actions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let act t mk =
+  let iv = Sched.ivar () in
+  Queue.add (mk iv) t.d_actions;
+  Sched.read t.d_sched iv
+
+let act_attach t cfg name = act t (fun iv -> A_attach (cfg, name, iv))
+let act_run t a cmd = act t (fun iv -> A_run (a, cmd, iv))
+let act_detach t a = act t (fun iv -> A_detach (a, iv))
+let act_recover t a = act t (fun iv -> A_recover (a, iv))
+let act_crash t a = act t (fun iv -> A_crash (a, iv))
+
+let perform t = function
+  | A_attach (cfg, name, iv) ->
+      Sched.fill t.d_sched iv (Testbed.attach t.d_world ~config:cfg name)
+  | A_run (a, cmd, iv) -> Sched.fill t.d_sched iv (Attach.run a cmd)
+  | A_detach (a, iv) ->
+      Attach.detach a;
+      Sched.fill t.d_sched iv ()
+  | A_recover (a, iv) ->
+      Attach.recover a;
+      Sched.fill t.d_sched iv ()
+  | A_crash (a, iv) ->
+      Attach.crash_server a;
+      Sched.fill t.d_sched iv ()
+
+let ctrl_fault t op =
+  match t.d_fault with None -> None | Some f -> Fault.ctrl_action f ~op
+
+(* Map a fired ctrl-site action onto the request: [Some errno] fails it,
+   sleeps stall it, [Crash_server] marks the session for a post-attach
+   crash (create) or kills the live server (exec). *)
+let apply_ctrl_fault t op ~on_crash =
+  match ctrl_fault t op with
+  | None | Some Fault.Duplicate_reply -> None
+  | Some (Fault.Delay ns) | Some (Fault.Hang ns) ->
+      Sched.sleep_ns t.d_sched ns;
+      None
+  | Some (Fault.Fail e) -> Some e
+  | Some Fault.Drop_reply -> Some Errno.ETIMEDOUT
+  | Some Fault.Crash_server ->
+      on_crash ();
+      None
+
+(* ------------------------------------------------------------------ *)
+(* Session fiber                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let remove t sess = Hashtbl.remove t.d_sessions sess.s_id
+
+let conn_dead a = a.Attach.sn_conn.Repro_fuse.Conn.dead
+
+let handle_op t sess op =
+  match op with
+  | Op_exec (p, _) when sess.s_state = Detached || sess.s_attach = None ->
+      reply t p (Error (Rpc.error Rpc.no_session (Printf.sprintf "no session %d" sess.s_id)))
+  | Op_exec (p, _) when p.p_cancelled -> reply_cancelled t p
+  | Op_exec (p, cmd) -> (
+      let a = Option.get sess.s_attach in
+      let injected = apply_ctrl_fault t "exec" ~on_crash:(fun () -> act_crash t a) in
+      if p.p_cancelled then reply_cancelled t p
+      else
+        match injected with
+        | Some e ->
+            reply t p (Error (Rpc.error ~data:(errno_data e) Rpc.fault_injected "exec fault injected"))
+        | None ->
+            let recovered = ref false in
+            let dead = conn_dead a in
+            if dead && t.d_config.c_auto_recover then begin
+              sess.s_state <- Recovering;
+              emit t "session.recovering" [ ("session", Jsonx.Int sess.s_id) ];
+              (* deterministic race window: a detach submitted now lands
+                 behind this op and still detaches cleanly *)
+              Sched.yield t.d_sched;
+              act_recover t a;
+              Metrics.incr t.m_recovered;
+              sess.s_state <- Active;
+              recovered := true;
+              emit t "session.recovered" [ ("session", Jsonx.Int sess.s_id) ]
+            end;
+            if dead && not t.d_config.c_auto_recover then
+              reply t p
+                (Error
+                   (Rpc.error ~data:(errno_data Errno.ENOTCONN) Rpc.exec_failed
+                      "session server crashed (auto_recover off)"))
+            else begin
+              let code, output = act_run t a cmd in
+              sess.s_execs <- sess.s_execs + 1;
+              reply t p
+                (Ok
+                   (Jsonx.Obj
+                      [
+                        ("code", Jsonx.Int code);
+                        ("output", Jsonx.Str output);
+                        ("recovered", Jsonx.Bool !recovered);
+                      ]))
+            end)
+  | Op_detach p ->
+      if sess.s_state = Detached then
+        reply t p (Ok (Jsonx.Obj [ ("detached", Jsonx.Bool true); ("already", Jsonx.Bool true) ]))
+      else begin
+        (* clean even when the server is dead or mid-recovery *)
+        (match sess.s_attach with Some a -> act_detach t a | None -> ());
+        sess.s_state <- Detached;
+        release_slot t sess;
+        remove t sess;
+        emit t "session.detached"
+          [ ("session", Jsonx.Int sess.s_id); ("tenant", Jsonx.Str sess.s_tenant) ];
+        reply t p (Ok (Jsonx.Obj [ ("detached", Jsonx.Bool true); ("already", Jsonx.Bool false) ]))
+      end
+
+let rec serve t sess =
+  match Queue.take_opt sess.s_ops with
+  | Some op ->
+      handle_op t sess op;
+      serve t sess
+  | None ->
+      if sess.s_state = Detached then ()
+      else begin
+        Sched.park t.d_sched sess.s_cond;
+        serve t sess
+      end
+
+(* Failure exits before the mailbox loop still answer queued ops. *)
+let drain_ops t sess =
+  Queue.iter
+    (fun op ->
+      match op with
+      | Op_exec (p, _) ->
+          reply t p (Error (Rpc.error Rpc.no_session (Printf.sprintf "no session %d" sess.s_id)))
+      | Op_detach p ->
+          reply t p (Ok (Jsonx.Obj [ ("detached", Jsonx.Bool true); ("already", Jsonx.Bool true) ])))
+    sess.s_ops;
+  Queue.clear sess.s_ops
+
+let reject t sess p why =
+  Metrics.incr t.m_rejected;
+  emit t "session.rejected"
+    [
+      ("session", Jsonx.Int sess.s_id);
+      ("tenant", Jsonx.Str sess.s_tenant);
+      ("reason", Jsonx.Str why);
+    ];
+  sess.s_state <- Detached;
+  remove t sess;
+  reply t p (Error (Rpc.error Rpc.admission_rejected ("admission rejected: " ^ why)));
+  drain_ops t sess
+
+let create_fiber t sess p =
+  let cfg = t.d_config in
+  let injected = apply_ctrl_fault t "create" ~on_crash:(fun () -> sess.s_crash_pending <- true) in
+  match injected with
+  | Some e ->
+      sess.s_state <- Detached;
+      remove t sess;
+      reply t p (Error (Rpc.error ~data:(errno_data e) Rpc.fault_injected "create fault injected"));
+      drain_ops t sess
+  | None ->
+      let cancelled () =
+        sess.s_state <- Detached;
+        remove t sess;
+        reply_cancelled t p;
+        drain_ops t sess
+      in
+      if p.p_cancelled then cancelled ()
+      else begin
+        (* admission: immediate, queued, or rejected *)
+        let wait_ns = ref 0L in
+        let verdict =
+          if can_admit t sess.s_tenant then `Admit
+          else if t.d_queued >= cfg.c_queue_depth then `Reject "queue full"
+          else if tcount t.d_t_queued sess.s_tenant >= cfg.c_tenant.q_queued then
+            `Reject ("tenant queue full: " ^ sess.s_tenant)
+          else begin
+            t.d_queued <- t.d_queued + 1;
+            tbump t.d_t_queued sess.s_tenant 1;
+            let t0 = Clock.now_ns (clock t) in
+            while (not (can_admit t sess.s_tenant)) && not p.p_cancelled do
+              Sched.park t.d_sched t.d_adm_cond
+            done;
+            t.d_queued <- t.d_queued - 1;
+            tbump t.d_t_queued sess.s_tenant (-1);
+            wait_ns := Int64.sub (Clock.now_ns (clock t)) t0;
+            if p.p_cancelled then `Cancelled
+            else begin
+              Metrics.observe_ns t.m_wait (Int64.to_int !wait_ns);
+              `Admit
+            end
+          end
+        in
+        match verdict with
+        | `Cancelled -> cancelled ()
+        | `Reject why -> reject t sess p why
+        | `Admit -> (
+            take_slot t sess;
+            if p.p_cancelled then begin
+              release_slot t sess;
+              cancelled ()
+            end
+            else
+              match act_attach t sess.s_config sess.s_container with
+              | Error e ->
+                  release_slot t sess;
+                  sess.s_state <- Detached;
+                  remove t sess;
+                  reply t p
+                    (Error
+                       (Rpc.error ~data:(errno_data e) Rpc.attach_failed
+                          ("attach failed: " ^ Errno.to_string e)));
+                  drain_ops t sess
+              | Ok a ->
+                  sess.s_attach <- Some a;
+                  sess.s_state <- Active;
+                  Metrics.incr t.m_total;
+                  if sess.s_crash_pending then begin
+                    sess.s_crash_pending <- false;
+                    act_crash t a
+                  end;
+                  emit t "session.created"
+                    [
+                      ("session", Jsonx.Int sess.s_id);
+                      ("tenant", Jsonx.Str sess.s_tenant);
+                      ("container", Jsonx.Str sess.s_container);
+                    ];
+                  let ctx = Attach.context a in
+                  reply t p
+                    (Ok
+                       (Jsonx.Obj
+                          [
+                            ("session", Jsonx.Int sess.s_id);
+                            ("container", Jsonx.Str sess.s_container);
+                            ("tenant", Jsonx.Str sess.s_tenant);
+                            ("pid", Jsonx.Int ctx.Context.cx_pid);
+                            ("cgroup", Jsonx.Str ctx.Context.cx_cgroup);
+                            ( "queue_wait_us",
+                              Jsonx.Int (Int64.to_int (Int64.div !wait_ns 1000L)) );
+                          ]));
+                  serve t sess)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_attach_config t params =
+  let base = t.d_config.c_attach in
+  let base =
+    match Jsonx.field_int params "threads" with
+    | Some n when n > 0 -> { base with Attach.Config.threads = n }
+    | _ -> base
+  in
+  let base =
+    match Jsonx.field_str params "tools" with
+    | Some "host" -> { base with Attach.Config.tools = Attach.From_host }
+    | Some fat -> { base with Attach.Config.tools = Attach.From_container fat }
+    | None -> base
+  in
+  match Jsonx.field_str params "fault_plan" with
+  | None -> Ok base
+  | Some text -> (
+      match Fault.parse text with
+      | Ok (plan, retry) -> Ok { base with Attach.Config.fault = Some plan; retry }
+      | Error msg -> Error msg)
+
+let find_sess t params =
+  match Jsonx.field_int params "session" with
+  | None -> Error (Rpc.error Rpc.invalid_params "missing integer param: session")
+  | Some id -> (
+      match Hashtbl.find_opt t.d_sessions id with
+      | Some sess -> Ok sess
+      | None -> Error (Rpc.error Rpc.no_session (Printf.sprintf "no session %d" id)))
+
+let post_op t sess op =
+  Queue.add op sess.s_ops;
+  ignore (Sched.signal t.d_sched sess.s_cond)
+
+let sess_row sess =
+  Jsonx.Obj
+    [
+      ("session", Jsonx.Int sess.s_id);
+      ("tenant", Jsonx.Str sess.s_tenant);
+      ("container", Jsonx.Str sess.s_container);
+      ("state", Jsonx.Str (state_str sess.s_state));
+      ("execs", Jsonx.Int sess.s_execs);
+    ]
+
+let info_json =
+  Jsonx.Obj
+    [
+      ("server", Jsonx.Str "cntrd");
+      ("protocol", Jsonx.Str "2.0");
+      ("version", Jsonx.Str protocol_version);
+      ("methods", Jsonx.List (List.map (fun m -> Jsonx.Str m) methods));
+    ]
+
+let dispatch t ?sink p (req : Rpc.request) =
+  let params = req.Rpc.r_params in
+  match req.Rpc.r_method with
+  | "daemon.info" -> reply t p (Ok info_json)
+  | "session.create" -> (
+      match Jsonx.field_str params "container" with
+      | None -> reply t p (Error (Rpc.error Rpc.invalid_params "missing string param: container"))
+      | Some container -> (
+          match parse_attach_config t params with
+          | Error msg ->
+              reply t p (Error (Rpc.error Rpc.invalid_params ("bad fault_plan: " ^ msg)))
+          | Ok acfg ->
+              let tenant =
+                Option.value (Jsonx.field_str params "tenant") ~default:"default"
+              in
+              let sess =
+                {
+                  s_id = t.d_next_id;
+                  s_tenant = tenant;
+                  s_container = container;
+                  s_config = acfg;
+                  s_state = Queued;
+                  s_attach = None;
+                  s_execs = 0;
+                  s_admitted = false;
+                  s_crash_pending = false;
+                  s_ops = Queue.create ();
+                  s_cond = Sched.cond ();
+                }
+              in
+              t.d_next_id <- t.d_next_id + 1;
+              Hashtbl.replace t.d_sessions sess.s_id sess;
+              ignore (Sched.spawn t.d_sched (fun () -> create_fiber t sess p))))
+  | "session.exec" -> (
+      match (find_sess t params, Jsonx.field_str params "cmd") with
+      | Error e, _ -> reply t p (Error e)
+      | Ok _, None -> reply t p (Error (Rpc.error Rpc.invalid_params "missing string param: cmd"))
+      | Ok sess, Some cmd -> post_op t sess (Op_exec (p, cmd)))
+  | "session.stat" -> (
+      match find_sess t params with
+      | Error e -> reply t p (Error e)
+      | Ok sess ->
+          let report =
+            match sess.s_attach with Some a -> Attach.report a | None -> ""
+          in
+          let fields =
+            match sess_row sess with Jsonx.Obj f -> f | _ -> assert false
+          in
+          reply t p (Ok (Jsonx.Obj (fields @ [ ("report", Jsonx.Str report) ]))))
+  | "session.detach" -> (
+      (* idempotent at the RPC layer: unknown ids are already-detached *)
+      match Jsonx.field_int params "session" with
+      | None -> reply t p (Error (Rpc.error Rpc.invalid_params "missing integer param: session"))
+      | Some id -> (
+          match Hashtbl.find_opt t.d_sessions id with
+          | None ->
+              reply t p
+                (Ok (Jsonx.Obj [ ("detached", Jsonx.Bool true); ("already", Jsonx.Bool true) ]))
+          | Some sess -> post_op t sess (Op_detach p)))
+  | "session.list" ->
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.d_sessions [] in
+      let rows =
+        List.sort compare ids
+        |> List.map (fun id -> sess_row (Hashtbl.find t.d_sessions id))
+      in
+      reply t p (Ok (Jsonx.Obj [ ("sessions", Jsonx.List rows) ]))
+  | "stats.subscribe" -> (
+      match sink with
+      | None ->
+          reply t p
+            (Error (Rpc.error Rpc.internal_error "transport provides no notification sink"))
+      | Some sink ->
+          t.d_subs <- t.d_subs @ [ sink ];
+          reply t p (Ok (Jsonx.Obj [ ("subscribed", Jsonx.Bool true) ])))
+  | "$/cancel" -> (
+      match Option.bind (Jsonx.mem params "id") Rpc.id_of_json with
+      | None -> reply t p (Error (Rpc.error Rpc.invalid_params "missing param: id"))
+      | Some id ->
+          let found = cancel t id in
+          reply t p (Ok (Jsonx.Obj [ ("cancelled", Jsonx.Bool found) ])))
+  | m -> reply t p (Error (Rpc.error Rpc.method_not_found ("unknown method: " ^ m)))
+
+let submit t ?sink (req : Rpc.request) =
+  Metrics.incr t.m_calls;
+  match req.Rpc.r_id with
+  | None ->
+      (* notifications: only $/cancel is meaningful *)
+      (if req.Rpc.r_method = "$/cancel" then
+         match Option.bind (Jsonx.mem req.Rpc.r_params "id") Rpc.id_of_json with
+         | Some id -> ignore (cancel t id)
+         | None -> ());
+      None
+  | Some id ->
+      let p = { p_rid = id; p_cancelled = false; p_resp = None } in
+      t.d_inflight <- t.d_inflight @ [ p ];
+      dispatch t ?sink p req;
+      Some p
+
+(* ------------------------------------------------------------------ *)
+(* The pump                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let k t = kernel t
+
+(* One service pass over a wire endpoint: move plane bytes, accept new
+   clients, deframe + dispatch requests, flush finished replies. *)
+let wire_step t w =
+  let progress = ref false in
+  Proxy.drain w.w_plane;
+  let rec accept_loop () =
+    match Kernel.socket_accept (k t) w.w_proc w.w_lfd with
+    | Ok fd ->
+        progress := true;
+        w.w_conns <-
+          w.w_conns
+          @ [
+              {
+                wc_fd = fd;
+                wc_reader = Rpc.reader ();
+                wc_out = "";
+                wc_tickets = [];
+                wc_sink_installed = false;
+              };
+            ];
+        accept_loop ()
+    | Error _ -> ()
+  in
+  accept_loop ();
+  List.iter
+    (fun wc ->
+      (* read everything available *)
+      let rec read_loop () =
+        match Kernel.read (k t) w.w_proc wc.wc_fd ~len:65536 with
+        | Ok s when String.length s > 0 ->
+            Rpc.feed wc.wc_reader s;
+            progress := true;
+            read_loop ()
+        | _ -> ()
+      in
+      read_loop ();
+      (* deframe + dispatch *)
+      let rec frame_loop () =
+        match Rpc.next wc.wc_reader with
+        | `Frame payload ->
+            progress := true;
+            (match Rpc.decode payload with
+            | Ok (Rpc.Request req) ->
+                let sink j = wc.wc_out <- wc.wc_out ^ Rpc.frame (Jsonx.to_string j) in
+                (match submit t ~sink req with
+                | Some tk -> wc.wc_tickets <- wc.wc_tickets @ [ tk ]
+                | None -> ())
+            | Ok (Rpc.Response _) -> () (* clients don't call us back *)
+            | Error e ->
+                wc.wc_out <-
+                  wc.wc_out
+                  ^ Rpc.frame (Rpc.encode_response { Rpc.p_id = None; p_result = Error e }));
+            frame_loop ()
+        | `Garbage _ ->
+            progress := true;
+            wc.wc_out <-
+              wc.wc_out
+              ^ Rpc.frame
+                  (Rpc.encode_response
+                     {
+                       Rpc.p_id = None;
+                       p_result = Error (Rpc.error Rpc.parse_error "malformed framing header");
+                     });
+            frame_loop ()
+        | `More -> ()
+      in
+      frame_loop ();
+      (* flush finished replies, preserving completion order *)
+      let ready, waiting = List.partition (fun tk -> tk.p_resp <> None) wc.wc_tickets in
+      wc.wc_tickets <- waiting;
+      List.iter
+        (fun tk ->
+          match tk.p_resp with
+          | Some r ->
+              progress := true;
+              wc.wc_out <- wc.wc_out ^ Rpc.frame (Rpc.encode_response r)
+          | None -> ())
+        ready;
+      if String.length wc.wc_out > 0 then
+        match Kernel.write (k t) w.w_proc wc.wc_fd wc.wc_out with
+        | Ok n when n > 0 ->
+            progress := true;
+            wc.wc_out <- String.sub wc.wc_out n (String.length wc.wc_out - n)
+        | _ -> ())
+    w.w_conns;
+  Proxy.drain w.w_plane;
+  !progress
+
+let pump t =
+  let rec loop () =
+    Sched.drive_main t.d_sched (fun () ->
+        (not (Queue.is_empty t.d_actions)) || Sched.pending_events t.d_sched = 0);
+    match Queue.take_opt t.d_actions with
+    | Some a ->
+        perform t a;
+        loop ()
+    | None ->
+        let progressed =
+          List.fold_left (fun acc w -> wire_step t w || acc) false t.d_wires
+        in
+        if progressed then loop ()
+  in
+  loop ()
+
+let peek _t tk = tk.p_resp
+
+exception Stalled of string
+
+let response t tk =
+  let rec go () =
+    match tk.p_resp with
+    | Some r -> r
+    | None ->
+        pump t;
+        (match tk.p_resp with
+        | Some r -> r
+        | None ->
+            if Queue.is_empty t.d_actions && Sched.pending_events t.d_sched = 0 then
+              raise
+                (Stalled
+                   "request parked with no runnable work (admission queue with no detach coming?)")
+            else go ())
+  in
+  go ()
+
+let handle_text t ?sink text =
+  match Rpc.decode text with
+  | Error e -> Some (Rpc.encode_response { Rpc.p_id = None; p_result = Error e })
+  | Ok (Rpc.Response _) -> None
+  | Ok (Rpc.Request req) -> (
+      match submit t ?sink req with
+      | None ->
+          pump t;
+          None
+      | Some tk -> Some (Rpc.encode_response (response t tk)))
+
+(* ------------------------------------------------------------------ *)
+(* Wire serving                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let wire_serve t ?mode ~path () =
+  let kernel = k t in
+  let init = Kernel.init_proc kernel in
+  let dproc = Kernel.fork kernel init in
+  dproc.Proc.comm <- "cntrd";
+  let cproc = Kernel.fork kernel init in
+  cproc.Proc.comm <- "cntr-cli";
+  let pproc = Kernel.fork kernel init in
+  pproc.Proc.comm <- "cntrd-rpc";
+  let plane = Proxy.create ?mode ~kernel ~proc:pproc () in
+  (* best-effort parent dir (e.g. /run) so callers don't need setup *)
+  (match String.rindex_opt path '/' with
+  | Some i when i > 0 ->
+      ignore (Kernel.mkdir kernel init (String.sub path 0 i) ~mode:0o755)
+  | _ -> ());
+  let backend_path = path ^ ".d" in
+  match Kernel.socket_listen kernel dproc backend_path with
+  | Error e -> Error e
+  | Ok lfd -> (
+      match
+        Proxy.forward plane ~front_proc:init ~back_proc:dproc ~backend_path ~label:"rpc" path
+      with
+      | Error e -> Error e
+      | Ok _fwd ->
+          let w =
+            {
+              w_path = path;
+              w_proc = dproc;
+              w_client_proc = cproc;
+              w_plane = plane;
+              w_lfd = lfd;
+              w_conns = [];
+            }
+          in
+          t.d_wires <- t.d_wires @ [ w ];
+          Ok w)
+
+let wire_path w = w.w_path
+let wire_client_proc w = w.w_client_proc

@@ -1,0 +1,114 @@
+(** cntrd: the persistent attach control plane.
+
+    A daemon multiplexes many concurrent attach sessions over one world:
+    each session is a scheduler fiber wrapping an {!Repro_cntr.Attach}
+    session, admitted through a bounded FIFO queue with per-tenant quotas.
+    Clients speak JSON-RPC 2.0 ({!Rpc}) — over the in-process transport or
+    framed over a {!Repro_proxy.Proxy} forwarder ({!wire_serve}).
+
+    {2 Execution model}
+
+    Control-plane state (admission, quotas, cancellation, fault delays)
+    lives in fibers on the daemon's own scheduler; the data-plane verbs
+    (attach / exec / detach / recover) are emitted as actions that
+    {!pump} executes one at a time at top level, where the FUSE
+    connection's event loop can be driven.  [pump] alternates between
+    driving fibers to quiescence and committing the next pending action,
+    so virtual time stays deterministic: same submissions, same
+    interleaving, byte-identical metrics.
+
+    {2 Methods}
+
+    - [daemon.info] — protocol identity and method list
+    - [session.create {container; tenant?; tools?; threads?; fault_plan?}]
+    - [session.exec {session; cmd}]
+    - [session.stat {session}]
+    - [session.detach {session}] — idempotent: unknown or already-detached
+      sessions answer [{detached:true, already:true}], never an error
+    - [session.list]
+    - [stats.subscribe] — streams [stats.event] notifications
+    - [$/cancel {id}] — cancel the in-flight request with that id
+
+    The fault plane's [ctrl] site ({!Repro_fault.Fault.ctrl_action}) is
+    consulted on [create] and [exec]. *)
+
+open Repro_util
+open Repro_os
+
+(** Per-tenant admission quota. *)
+type quota = { q_active : int; q_queued : int }
+
+type config = {
+  c_max_active : int;  (** fleet-wide concurrent session ceiling *)
+  c_queue_depth : int;  (** fleet-wide admission queue bound *)
+  c_tenant : quota;
+  c_attach : Repro_cntr.Attach.Config.t;  (** base config for every session *)
+  c_fault : Repro_fault.Fault.plan option;  (** plan consulted at the ctrl site *)
+  c_auto_recover : bool;
+      (** recover crashed sessions transparently on the next exec
+          (otherwise the exec fails with [exec_failed]/ENOTCONN) *)
+}
+
+(** 64 active, 32 queued, 16/8 per tenant, {!Repro_cntr.Attach.Config.default},
+    no faults, auto-recovery on. *)
+val default_config : config
+
+type t
+
+(** The daemon drives sessions against [world]'s kernel and engines. *)
+val create : ?config:config -> Repro_runtime.World.t -> t
+
+val world : t -> Repro_runtime.World.t
+val config : t -> config
+val obs : t -> Repro_obs.Obs.t
+
+(** {1 Request path} *)
+
+(** Handle on one in-flight request. *)
+type ticket
+
+(** Dispatch one decoded message.  [None] for notifications.  [sink]
+    receives [stats.event] notification payloads once this connection has
+    subscribed via [stats.subscribe].  Dispatch only enqueues work — drive
+    it with {!pump} / {!response}. *)
+val submit : t -> ?sink:(Jsonx.t -> unit) -> Rpc.request -> ticket option
+
+(** Drive fibers, pending actions and wire connections until quiescent. *)
+val pump : t -> unit
+
+(** The reply, when already produced. *)
+val peek : t -> ticket -> Rpc.response option
+
+exception Stalled of string
+(** Raised by {!response} when a request is parked (e.g. in the admission
+    queue) and no runnable work remains to unpark it. *)
+
+(** [pump] until the reply exists. *)
+val response : t -> ticket -> Rpc.response
+
+(** Decode raw text, dispatch, pump to completion; the encoded reply
+    ([None] for notifications).  Malformed input yields an error reply
+    with a [null] id, exactly like the wire path. *)
+val handle_text : t -> ?sink:(Jsonx.t -> unit) -> string -> string option
+
+(** {1 Wire transport} *)
+
+(** A served wire endpoint: a proxy-plane forwarder carrying
+    Content-Length-framed JSON-RPC to the daemon's listener socket. *)
+type wire
+
+(** [wire_serve t ~path ()] — listen for framed RPC at [path] (clients
+    {!Repro_os.Kernel.socket_connect} there).  The bytes ride the
+    forwarding plane under the ["rpc"] label
+    ([proxy.fwd.rpc.bytes.{c2b,b2c}]).  {!pump} services accepted
+    connections. *)
+val wire_serve :
+  t -> ?mode:Repro_proxy.Proxy.mode -> path:string -> unit -> (wire, Errno.t) result
+
+val wire_path : wire -> string
+
+(** The client-side proc to [socket_connect] from (any proc works; this
+    one is convenient). *)
+val wire_client_proc : wire -> Proc.t
+
+val kernel : t -> Kernel.t

@@ -1,0 +1,40 @@
+(** Minimal JSON value type with a deterministic printer and a strict
+    recursive-descent parser.  The control plane speaks JSON-RPC 2.0 over
+    this representation; byte-determinism of the printer is what makes the
+    fleet bench baselines diffable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+
+(** Compact rendering: no insignificant whitespace, object fields in the
+    order given.  Integral floats print with a trailing [.0] so they
+    round-trip as [Float]; non-finite floats render as [null]. *)
+val to_string : t -> string
+
+(** Strict parse of one JSON document (trailing garbage is an error).
+    [Error msg] carries a byte offset for diagnostics. *)
+val parse : string -> (t, string) result
+
+(** {1 Accessors} — shallow, total helpers for picking apart params. *)
+
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+val mem : t -> string -> t option
+
+val str : t -> string option
+val int_ : t -> int option
+val bool_ : t -> bool option
+val list_ : t -> t list option
+
+(** [field_str v k] = [mem v k |> str], and friends. *)
+val field_str : t -> string -> string option
+
+val field_int : t -> string -> int option
+val field_bool : t -> string -> bool option

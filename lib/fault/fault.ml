@@ -13,7 +13,12 @@ type action =
   | Duplicate_reply
   | Fail of Errno.t
 
-type site = Fuse of string option | Backing of string option | Disk | Proxy of string option
+type site =
+  | Fuse of string option
+  | Backing of string option
+  | Disk
+  | Proxy of string option
+  | Ctrl of string option
 type trigger = Nth of int | Every of int | After_ns of int | Prob of float
 type rule = { site : site; trigger : trigger; action : action }
 type plan = { seed : int; rules : rule list }
@@ -125,6 +130,21 @@ let proxy_action t ~op =
   in
   go t.f_rules
 
+let ctrl_action t ~op =
+  let rec go = function
+    | [] -> None
+    | ar :: rest -> (
+        match ar.ar_rule.site with
+        | Ctrl f when op_matches f op ->
+            if fires t ar then begin
+              record t ("ctrl." ^ action_label ar.ar_rule.action);
+              Some ar.ar_rule.action
+            end
+            else go rest
+        | _ -> go rest)
+  in
+  go t.f_rules
+
 let backing_errno t ~op =
   let rec go = function
     | [] -> None
@@ -216,6 +236,7 @@ let parse_site kind op =
   | "backing" -> Some (Backing filter)
   | "disk" -> Some Disk
   | "proxy" -> Some (Proxy filter)
+  | "ctrl" -> Some (Ctrl filter)
   | _ -> None
 
 let parse text =
@@ -305,6 +326,8 @@ let site_to_string = function
   | Disk -> "disk *"
   | Proxy None -> "proxy *"
   | Proxy (Some op) -> "proxy " ^ op
+  | Ctrl None -> "ctrl *"
+  | Ctrl (Some op) -> "ctrl " ^ op
 
 let to_string p =
   let b = Buffer.create 128 in

@@ -36,8 +36,15 @@ type action =
     only — the server sees the errno as if the host fs returned it);
     [Disk] adds [Delay] latency to the VFS disk model; [Proxy] matches
     forwarding-plane events ([Some "accept"] new connections, [Some "data"]
-    in-flight transfers, [None] both). *)
-type site = Fuse of string option | Backing of string option | Disk | Proxy of string option
+    in-flight transfers, [None] both); [Ctrl] matches control-plane
+    requests in the cntrd daemon ([Some "create"] admissions,
+    [Some "exec"] command dispatch, [None] both). *)
+type site =
+  | Fuse of string option
+  | Backing of string option
+  | Disk
+  | Proxy of string option
+  | Ctrl of string option
 
 (** When to inject, evaluated per matching event: [Nth n] fires exactly on
     the n-th match; [Every n] on every n-th; [After_ns ns] on every match
@@ -88,6 +95,13 @@ val backing_errno : t -> op:string -> Errno.t option
     pass.  [Delay]/[Hang] stall the event; [Crash_server]/[Drop_reply]/
     [Fail _] refuse the connection or abort it (bounded [ECONNRESET]). *)
 val proxy_action : t -> op:string -> action option
+
+(** Consulted by the cntrd control plane ({!Repro_ctrl.Daemon}); [op] is
+    ["create"] at session admission and ["exec"] per dispatched command.
+    [Delay]/[Hang] stall the request on the daemon's timeline; [Fail _]
+    rejects it with a protocol error carrying the errno; [Crash_server]
+    kills the session's FUSE server so recovery is exercised. *)
+val ctrl_action : t -> op:string -> action option
 
 (** Extra virtual latency for a disk-model operation ("read", "write",
     "fsync"); sums every firing [Disk]-site [Delay] rule. *)

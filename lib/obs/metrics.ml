@@ -116,6 +116,9 @@ let histogram t name =
       Hashtbl.replace t.tbl name (M_histogram h);
       h
 
+let find_histogram t name =
+  match Hashtbl.find_opt t.tbl name with Some (M_histogram h) -> Some h | _ -> None
+
 let bucket_of v =
   let n = if v <= 0. then 0 else int_of_float v in
   let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
@@ -170,6 +173,8 @@ let summarize h =
       s_p99 = p 0.99;
     }
   end
+
+let histogram_summary t name = Option.map summarize (find_histogram t name)
 
 (* --- snapshots ----------------------------------------------------------- *)
 

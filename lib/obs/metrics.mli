@@ -70,6 +70,14 @@ type summary = {
     by {!Repro_util.Stats.percentile}. *)
 val summarize : histogram -> summary
 
+(** Look up an existing histogram without creating one. *)
+val find_histogram : t -> string -> histogram option
+
+(** [summarize] of an existing histogram; [None] when the name was never
+    observed.  Readers (benches, the daemon's [session.stat]) use this so a
+    probe never mutates the registry. *)
+val histogram_summary : t -> string -> summary option
+
 (** {1 Snapshots} *)
 
 type value = V_counter of int | V_gauge of float | V_histogram of summary

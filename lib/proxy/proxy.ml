@@ -45,6 +45,7 @@ type dir = {
   mutable d_buf_closed : bool; (* staging writer closed (EOF propagating) *)
   mutable d_done : bool;
   d_bytes : Metrics.counter;
+  d_extra : Metrics.counter option; (* per-forwarder byte accounting *)
 }
 
 type conn = {
@@ -63,6 +64,8 @@ type watch = { mutable w_interest : Epoll.interest; mutable w_kicks : kick list 
 
 type forwarder = {
   fw_path : string;
+  fw_label : string;
+  fw_bytes : (Metrics.counter * Metrics.counter) option; (* (c2b, b2c) *)
   fw_backend_path : string;
   fw_back_proc : Proc.t;
   fw_lfd : int; (* listener fd, moved into the plane's proc *)
@@ -336,6 +339,7 @@ let splice_pass t cn d =
       | Ok n ->
           Metrics.incr t.m_splice;
           Metrics.add d.d_bytes n;
+          (match d.d_extra with Some c -> Metrics.add c n | None -> ());
           progress := true;
           moved := true;
           push ()
@@ -368,6 +372,7 @@ let copy_pass t cn d =
       | Ok n when n > 0 ->
           Clock.consume_int clock (Cost.copy_cost cost n);
           Metrics.add d.d_bytes n;
+          (match d.d_extra with Some c -> Metrics.add c n | None -> ());
           d.d_carry <- String.sub d.d_carry n (String.length d.d_carry - n);
           progress := true;
           step ()
@@ -461,8 +466,8 @@ let rec pump_loop t cn d =
 
 (* --- wiring up a connection --------------------------------------------- *)
 
-let add_conn t ~label ~a_rfd ~a_wfd ~b_rfd ~b_wfd =
-  let mk d_label src dst counter =
+let add_conn t ?(extra = (None, None)) ~label ~a_rfd ~a_wfd ~b_rfd ~b_wfd () =
+  let mk d_label src dst counter extra =
     let buf = Pipe.create ~capacity:t.px_buffer () in
     let buf_r = Proc.alloc_fd t.px_proc (Proc.Pipe_r buf) in
     let buf_w = Proc.alloc_fd t.px_proc (Proc.Pipe_w buf) in
@@ -480,10 +485,12 @@ let add_conn t ~label ~a_rfd ~a_wfd ~b_rfd ~b_wfd =
       d_buf_closed = false;
       d_done = false;
       d_bytes = counter;
+      d_extra = extra;
     }
   in
-  let c2b = mk "c2b" a_rfd b_wfd t.m_c2b in
-  let b2c = mk "b2c" b_rfd a_wfd t.m_b2c in
+  let extra_c2b, extra_b2c = extra in
+  let c2b = mk "c2b" a_rfd b_wfd t.m_c2b extra_c2b in
+  let b2c = mk "b2c" b_rfd a_wfd t.m_b2c extra_b2c in
   let cn =
     {
       cn_label = label;
@@ -504,7 +511,7 @@ let add_conn t ~label ~a_rfd ~a_wfd ~b_rfd ~b_wfd =
   cn
 
 let add_stream t ?(label = "stream") ~a_rfd ~a_wfd ~b_rfd ~b_wfd () =
-  add_conn t ~label ~a_rfd ~a_wfd ~b_rfd ~b_wfd
+  add_conn t ~label ~a_rfd ~a_wfd ~b_rfd ~b_wfd ()
 
 (* --- forwarders --------------------------------------------------------- *)
 
@@ -546,8 +553,14 @@ let accept_one t fw client_fd =
         let bfd =
           Errno.ok_exn (Kernel.pass_fd t.px_kernel ~src:fw.fw_back_proc ~dst:t.px_proc backend_fd)
         in
+        let extra =
+          match fw.fw_bytes with
+          | Some (c2b, b2c) -> (Some c2b, Some b2c)
+          | None -> (None, None)
+        in
         ignore
-          (add_conn t ~label:fw.fw_path ~a_rfd:client_fd ~a_wfd:client_fd ~b_rfd:bfd ~b_wfd:bfd);
+          (add_conn t ~extra ~label:fw.fw_label ~a_rfd:client_fd ~a_wfd:client_fd ~b_rfd:bfd
+             ~b_wfd:bfd ());
         Metrics.incr t.m_total;
         fw.fw_proxied <- fw.fw_proxied + 1
 
@@ -576,15 +589,28 @@ let rec accept_loop t fw =
     accept_loop t fw
   end
 
-let forward t ~front_proc ~back_proc ?backend_path path =
+let forward t ~front_proc ~back_proc ?backend_path ?label path =
   let backend_path = Option.value backend_path ~default:path in
   match Kernel.socket_listen t.px_kernel front_proc path with
   | Error e -> Error e
   | Ok lfd_front ->
       let lfd = Errno.ok_exn (Kernel.pass_fd t.px_kernel ~src:front_proc ~dst:t.px_proc lfd_front) in
+      let fw_bytes =
+        (* labelled forwarders get their own byte accounting, e.g. the RPC
+           carriage under [proxy.fwd.rpc.bytes.*] *)
+        match label with
+        | None -> None
+        | Some l ->
+            let m = Repro_obs.Obs.metrics t.px_kernel.Kernel.obs in
+            Some
+              ( Metrics.counter m (Printf.sprintf "proxy.fwd.%s.bytes.c2b" l),
+                Metrics.counter m (Printf.sprintf "proxy.fwd.%s.bytes.b2c" l) )
+      in
       let fw =
         {
           fw_path = path;
+          fw_label = Option.value label ~default:path;
+          fw_bytes;
           fw_backend_path = backend_path;
           fw_back_proc = back_proc;
           fw_lfd = lfd;

@@ -69,12 +69,18 @@ type forwarder
     to [backend_path] (default [path]) as [back_proc] (the host view),
     then pumps both directions.  Backend connection failures refuse the
     client — counted under [proxy.connections.refused] and traced as
-    [proxy.refused] — rather than silently dropping it. *)
+    [proxy.refused] — rather than silently dropping it.
+
+    [label] names the forwarder in traces and gives it dedicated byte
+    counters [proxy.fwd.<label>.bytes.{c2b,b2c}] — the cntrd wire
+    transport uses [~label:"rpc"] so RPC-framing traffic on the plane is
+    visible separately from proxied application sockets. *)
 val forward :
   t ->
   front_proc:Proc.t ->
   back_proc:Proc.t ->
   ?backend_path:string ->
+  ?label:string ->
   string ->
   (forwarder, Errno.t) result
 

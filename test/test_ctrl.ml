@@ -1,0 +1,417 @@
+(* The cntrd control plane: JSON / JSON-RPC codec round-trips (qcheck),
+   malformed-input error replies, the session lifecycle over both
+   transports, $/cancel of in-flight requests, admission-queue rejection
+   and queueing under quota, the ctrl fault site with crash → recover,
+   and RPC-layer detach idempotency (detach racing a crash-triggered
+   recovery never sees ENOTCONN). *)
+
+open Repro_util
+open Repro_runtime
+open Repro_ctrl
+module Fault = Repro_fault.Fault
+module Metrics = Repro_obs.Metrics
+
+let ok = Errno.ok_exn
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let ok' = function
+  | Ok v -> v
+  | Error (e : Rpc.rerror) -> Alcotest.failf "rpc error %d: %s" e.Rpc.e_code e.Rpc.e_message
+
+let err_code = function
+  | Ok _ -> Alcotest.fail "expected an rpc error"
+  | Error (e : Rpc.rerror) -> e.Rpc.e_code
+
+let boot () =
+  let world = Repro_cntr.Testbed.create () in
+  List.iter
+    (fun (name, image) ->
+      ignore
+        (ok (World.run_container world ~engine:(World.docker world) ~name ~image_ref:image ())))
+    [ ("web", "nginx:latest"); ("cache", "redis:latest"); ("db", "postgres:latest") ];
+  world
+
+let counter world name =
+  Metrics.counter_value (Repro_obs.Obs.metrics world.World.kernel.Repro_os.Kernel.obs) name
+
+(* --- codec: qcheck round-trips --------------------------------------------- *)
+
+let gen_json =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let scalar =
+          oneof
+            [
+              return Jsonx.Null;
+              map (fun b -> Jsonx.Bool b) bool;
+              map (fun i -> Jsonx.Int i) (int_range (-1000000) 1000000);
+              map (fun f -> Jsonx.Float (float_of_int f /. 16.)) (int_range (-10000) 10000);
+              map (fun s -> Jsonx.Str s) (string_size ~gen:printable (int_range 0 12));
+            ]
+        in
+        if n <= 0 then scalar
+        else
+          frequency
+            [
+              (3, scalar);
+              (1, map (fun l -> Jsonx.List l) (list_size (int_range 0 4) (self (n / 2))));
+              ( 1,
+                map
+                  (fun l -> Jsonx.Obj l)
+                  (list_size (int_range 0 4)
+                     (pair (string_size ~gen:printable (int_range 1 8)) (self (n / 2)))) );
+            ]))
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"jsonx print/parse round-trip" ~count:500
+    (QCheck.make ~print:Jsonx.to_string gen_json)
+    (fun v ->
+      match Jsonx.parse (Jsonx.to_string v) with
+      | Ok v' -> Jsonx.equal v v'
+      | Error msg -> QCheck.Test.fail_reportf "parse failed: %s" msg)
+
+let gen_request =
+  QCheck.Gen.(
+    map3
+      (fun id meth params ->
+        { Rpc.r_id = id; r_method = meth; r_params = params })
+      (oneof
+         [
+           return None;
+           map (fun n -> Some (Rpc.I n)) (int_range 0 100000);
+           map (fun s -> Some (Rpc.S s)) (string_size ~gen:printable (int_range 1 10));
+         ])
+      (string_size ~gen:printable (int_range 1 16))
+      gen_json)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"rpc request encode/decode round-trip" ~count:500
+    (QCheck.make ~print:Rpc.encode_request gen_request)
+    (fun r ->
+      match Rpc.decode (Rpc.encode_request r) with
+      | Ok (Rpc.Request r') ->
+          r.Rpc.r_id = r'.Rpc.r_id
+          && String.equal r.Rpc.r_method r'.Rpc.r_method
+          && Jsonx.equal r.Rpc.r_params r'.Rpc.r_params
+      | Ok (Rpc.Response _) -> false
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e.Rpc.e_message)
+
+let gen_response =
+  QCheck.Gen.(
+    map2
+      (fun id result -> { Rpc.p_id = id; p_result = result })
+      (oneof [ return None; map (fun n -> Some (Rpc.I n)) (int_range 0 100000) ])
+      (oneof
+         [
+           map (fun v -> Ok v) gen_json;
+           map2
+             (fun code msg -> Error (Rpc.error code msg))
+             (int_range (-33000) (-32000))
+             (string_size ~gen:printable (int_range 0 20));
+         ]))
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"rpc response encode/decode round-trip" ~count:500
+    (QCheck.make ~print:Rpc.encode_response gen_response)
+    (fun p ->
+      match Rpc.decode (Rpc.encode_response p) with
+      | Ok (Rpc.Response p') -> (
+          p.Rpc.p_id = p'.Rpc.p_id
+          &&
+          match (p.Rpc.p_result, p'.Rpc.p_result) with
+          | Ok a, Ok b -> Jsonx.equal a b
+          | Error a, Error b ->
+              a.Rpc.e_code = b.Rpc.e_code && String.equal a.Rpc.e_message b.Rpc.e_message
+          | _ -> false)
+      | Ok (Rpc.Request _) -> false
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e.Rpc.e_message)
+
+let test_malformed_error_replies () =
+  let world = boot () in
+  let d = Daemon.create world in
+  let expect_code text code =
+    match Daemon.handle_text d text with
+    | None -> Alcotest.failf "no reply for %S" text
+    | Some reply -> (
+        match Rpc.decode reply with
+        | Ok (Rpc.Response { p_id = None; p_result = Error e }) ->
+            check_i ("code for " ^ text) code e.Rpc.e_code
+        | _ -> Alcotest.failf "unexpected reply %s" reply)
+  in
+  expect_code "{not json" Rpc.parse_error;
+  expect_code "[1,2,3]" Rpc.invalid_request;
+  expect_code "{\"id\":1,\"method\":\"x\"}" Rpc.invalid_request;
+  (* missing jsonrpc *)
+  expect_code "{\"jsonrpc\":\"2.0\",\"id\":{},\"method\":\"x\"}" Rpc.invalid_request;
+  expect_code "{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":7}" Rpc.invalid_request;
+  expect_code "{\"jsonrpc\":\"2.0\",\"id\":1}" Rpc.invalid_request;
+  (* unknown method is a real (id-carrying) error *)
+  match Daemon.handle_text d "{\"jsonrpc\":\"2.0\",\"id\":9,\"method\":\"nope\"}" with
+  | Some reply -> (
+      match Rpc.decode reply with
+      | Ok (Rpc.Response { p_id = Some (Rpc.I 9); p_result = Error e }) ->
+          check_i "method_not_found" Rpc.method_not_found e.Rpc.e_code
+      | _ -> Alcotest.failf "unexpected reply %s" reply)
+  | None -> Alcotest.fail "no reply"
+
+(* --- lifecycle over both transports ---------------------------------------- *)
+
+let lifecycle_roundtrip mk_client =
+  let world = boot () in
+  let d = Daemon.create world in
+  let c = mk_client d in
+  let created = ok' (Client.session_create c ~tenant:"ops" "web") in
+  check_b "session id assigned" true (created.Client.sc_session >= 1);
+  check_b "cgroup captured" true (contains ~needle:"docker" created.Client.sc_cgroup);
+  let x = ok' (Client.session_exec c ~session:created.Client.sc_session "echo hi") in
+  check_i "exec exit code" 0 x.Client.sx_code;
+  check_b "exec output" true (contains ~needle:"hi" x.Client.sx_output);
+  let rows = ok' (Client.session_list c) in
+  check_i "one live session" 1 (List.length rows);
+  let row = List.hd rows in
+  check_s "state" "active" row.Client.sr_state;
+  check_i "execs counted" 1 row.Client.sr_execs;
+  let stat = ok' (Client.session_stat c ~session:created.Client.sc_session) in
+  check_b "stat has report" true
+    (contains ~needle:"cntrfs session" (Option.value (Jsonx.field_str stat "report") ~default:""));
+  let already = ok' (Client.session_detach c ~session:created.Client.sc_session) in
+  check_b "first detach is fresh" false already;
+  let again = ok' (Client.session_detach c ~session:created.Client.sc_session) in
+  check_b "second detach reports already" true again;
+  check_i "table empty" 0 (List.length (ok' (Client.session_list c)));
+  check_i "ctrl.sessions.total" 1 (counter world "ctrl.sessions.total")
+
+let test_lifecycle_in_process () = lifecycle_roundtrip Client.in_process
+
+let test_lifecycle_wire () =
+  lifecycle_roundtrip (fun d ->
+      let w = ok (Daemon.wire_serve d ~path:"/run/cntrd.sock" ()) in
+      Client.wire d w)
+
+let test_daemon_info () =
+  let world = boot () in
+  let d = Daemon.create world in
+  let c = Client.in_process d in
+  let info = ok' (Client.call c "daemon.info") in
+  check_s "protocol version" "cntrd/1.0"
+    (Option.value (Jsonx.field_str info "version") ~default:"");
+  check_b "methods listed" true
+    (match Option.bind (Jsonx.mem info "methods") Jsonx.list_ with
+    | Some ms -> List.mem (Jsonx.Str "session.exec") ms
+    | None -> false)
+
+(* --- cancellation ----------------------------------------------------------- *)
+
+let test_cancel_inflight_exec () =
+  let world = boot () in
+  let d = Daemon.create world in
+  let c = Client.in_process d in
+  let created = ok' (Client.session_create c "web") in
+  let sid = created.Client.sc_session in
+  (* submit the exec but cancel before pumping: it is in flight (queued in
+     the session mailbox), and the cancel wins at the dispatch point *)
+  let tk =
+    Client.submit c
+      ~params:(Jsonx.Obj [ ("session", Jsonx.Int sid); ("cmd", Jsonx.Str "echo never") ])
+      "session.exec"
+  in
+  Client.cancel c tk;
+  check_i "cancelled code" Rpc.cancelled (err_code (Client.await c tk));
+  check_i "ctrl.rpc.cancelled" 1 (counter world "ctrl.rpc.cancelled");
+  (* the session is untouched and still serves *)
+  let x = ok' (Client.session_exec c ~session:sid "echo alive") in
+  check_b "session still serves" true (contains ~needle:"alive" x.Client.sx_output);
+  ignore (ok' (Client.session_detach c ~session:sid))
+
+let test_cancel_queued_create () =
+  let world = boot () in
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.c_max_active = 1;
+      c_queue_depth = 4;
+      c_tenant = { Daemon.q_active = 1; q_queued = 4 };
+    }
+  in
+  let d = Daemon.create ~config world in
+  let c = Client.in_process d in
+  let first = ok' (Client.session_create c "web") in
+  (* second create parks in the admission queue... *)
+  let tk = Client.submit c ~params:(Jsonx.Obj [ ("container", Jsonx.Str "cache") ]) "session.create" in
+  check_b "still queued" true (Client.poll c tk = None);
+  let rows = ok' (Client.session_list c) in
+  check_i "two table entries" 2 (List.length rows);
+  check_b "one queued" true (List.exists (fun r -> r.Client.sr_state = "queued") rows);
+  (* ...and $/cancel unparks it with a cancelled reply *)
+  Client.cancel c tk;
+  check_i "queued create cancelled" Rpc.cancelled (err_code (Client.await c tk));
+  check_i "ctrl.sessions.total" 1 (counter world "ctrl.sessions.total");
+  ignore (ok' (Client.session_detach c ~session:first.Client.sc_session))
+
+(* --- admission --------------------------------------------------------------- *)
+
+let test_admission_rejection_under_quota () =
+  let world = boot () in
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.c_max_active = 2;
+      c_queue_depth = 1;
+      c_tenant = { Daemon.q_active = 1; q_queued = 1 };
+    }
+  in
+  let d = Daemon.create ~config world in
+  let c = Client.in_process d in
+  let a = ok' (Client.session_create c ~tenant:"alice" "web") in
+  (* alice is at her active quota: her next create queues (1 allowed)... *)
+  let queued =
+    Client.submit c
+      ~params:(Jsonx.Obj [ ("container", Jsonx.Str "cache"); ("tenant", Jsonx.Str "alice") ])
+      "session.create"
+  in
+  check_b "parked, not rejected" true (Client.poll c queued = None);
+  (* ...and the one after that bursts her queue quota: rejected *)
+  let r = Client.session_create c ~tenant:"alice" "db" in
+  check_i "tenant queue full" Rpc.admission_rejected (err_code r);
+  (* bob still fits (global active 2) *)
+  let b = ok' (Client.session_create c ~tenant:"bob" "db") in
+  (* global queue depth is 1 and alice holds it: bob's second create is
+     rejected fleet-wide *)
+  let r2 = Client.session_create c ~tenant:"bob" "cache" in
+  check_i "global queue full" Rpc.admission_rejected (err_code r2);
+  check_i "ctrl.sessions.rejected" 2 (counter world "ctrl.sessions.rejected");
+  (* detaching alice's first admits her queued one (FIFO) *)
+  ignore (ok' (Client.session_detach c ~session:a.Client.sc_session));
+  let second = ok' (Client.await c queued) in
+  check_b "queued create admitted after detach" true
+    (Jsonx.field_int second "session" <> None);
+  check_b "waited a measurable time" true
+    (match Jsonx.field_int second "queue_wait_us" with Some _ -> true | None -> false);
+  ignore (ok' (Client.session_detach c ~session:b.Client.sc_session));
+  (match Jsonx.field_int second "session" with
+  | Some sid -> ignore (ok' (Client.session_detach c ~session:sid))
+  | None -> ());
+  check_i "all slots released" 0 (List.length (ok' (Client.session_list c)));
+  check_i "ctrl.sessions.total" 3 (counter world "ctrl.sessions.total")
+
+(* --- ctrl fault site: create/crash/recover ---------------------------------- *)
+
+let test_fault_create_crash_recover () =
+  let world = boot () in
+  let plan, _ =
+    Result.get_ok (Fault.parse "seed 7\nctrl create nth=2 crash\nctrl exec nth=2 delay=50000")
+  in
+  let config = { Daemon.default_config with Daemon.c_fault = Some plan } in
+  let d = Daemon.create ~config world in
+  let c = Client.in_process d in
+  let s1 = ok' (Client.session_create c "web") in
+  (* the 2nd create fires Crash_server: attach succeeds, then the session's
+     CntrFS server is killed — the first exec transparently recovers *)
+  let s2 = ok' (Client.session_create c "cache") in
+  let x = ok' (Client.session_exec c ~session:s2.Client.sc_session "echo back") in
+  check_b "exec recovered the session" true x.Client.sx_recovered;
+  check_b "output after recovery" true (contains ~needle:"back" x.Client.sx_output);
+  check_i "ctrl.sessions.recovered" 1 (counter world "ctrl.sessions.recovered");
+  (* the delayed 3rd exec still completes (virtual time absorbs it) *)
+  let y = ok' (Client.session_exec c ~session:s1.Client.sc_session "echo slow") in
+  check_b "delayed exec completes" true (contains ~needle:"slow" y.Client.sx_output);
+  check_b "fault plane counted injections" true (counter world "fault.injected.total" >= 2);
+  ignore (ok' (Client.session_detach c ~session:s1.Client.sc_session));
+  ignore (ok' (Client.session_detach c ~session:s2.Client.sc_session))
+
+(* Detach racing a crash-triggered recovery: the detach lands while the
+   session is recovering and must return a clean result — never ENOTCONN —
+   and a repeat detach reports already=true. *)
+let test_detach_races_recovery () =
+  let world = boot () in
+  let plan, _ = Result.get_ok (Fault.parse "seed 7\nctrl exec nth=1 crash") in
+  let config = { Daemon.default_config with Daemon.c_fault = Some plan } in
+  let d = Daemon.create ~config world in
+  let c = Client.in_process d in
+  let s = ok' (Client.session_create c "web") in
+  let sid = s.Client.sc_session in
+  (* exec will crash the server and recover; the detach is submitted before
+     any of that runs, so it races the recovery inside one pump *)
+  let xk =
+    Client.submit c
+      ~params:(Jsonx.Obj [ ("session", Jsonx.Int sid); ("cmd", Jsonx.Str "echo boom") ])
+      "session.exec"
+  in
+  let dk = Client.submit c ~params:(Jsonx.Obj [ ("session", Jsonx.Int sid) ]) "session.detach" in
+  let x = ok' (Client.await c xk) in
+  check_b "exec recovered" true (Jsonx.field_bool x "recovered" = Some true);
+  let det = ok' (Client.await c dk) in
+  check_b "racing detach is clean" true (Jsonx.field_bool det "detached" = Some true);
+  check_b "racing detach was fresh" true (Jsonx.field_bool det "already" = Some false);
+  let again = ok' (Client.session_detach c ~session:sid) in
+  check_b "repeat detach reports already" true again;
+  check_i "one recovery" 1 (counter world "ctrl.sessions.recovered")
+
+(* --- subscriptions ----------------------------------------------------------- *)
+
+let test_stats_subscribe () =
+  let world = boot () in
+  let d = Daemon.create world in
+  let c = Client.in_process d in
+  ok' (Client.subscribe c);
+  let s = ok' (Client.session_create c ~tenant:"ops" "web") in
+  ignore (ok' (Client.session_detach c ~session:s.Client.sc_session));
+  let events =
+    Client.notifications c
+    |> List.filter_map (fun j ->
+           match Jsonx.mem j "params" with
+           | Some p -> Jsonx.field_str p "event"
+           | None -> None)
+  in
+  check_b "created event" true (List.mem "session.created" events);
+  check_b "detached event" true (List.mem "session.detached" events)
+
+(* --- fault plan grammar: ctrl site round-trip -------------------------------- *)
+
+let test_ctrl_site_grammar () =
+  let text = "seed 11\nctrl create every=10 fail=EAGAIN\nctrl * prob=0.25 delay=1000" in
+  let plan, _ = Result.get_ok (Fault.parse text) in
+  check_i "two rules" 2 (List.length plan.Fault.rules);
+  let printed = Fault.to_string plan in
+  check_b "ctrl site prints" true (contains ~needle:"ctrl create" printed);
+  let plan2, _ = Result.get_ok (Fault.parse printed) in
+  check_b "grammar round-trips" true (Fault.to_string plan = Fault.to_string plan2)
+
+let () =
+  Alcotest.run "ctrl"
+    [
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_response_roundtrip;
+          Alcotest.test_case "malformed input replies" `Quick test_malformed_error_replies;
+          Alcotest.test_case "ctrl fault-plan grammar" `Quick test_ctrl_site_grammar;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "in-process transport" `Quick test_lifecycle_in_process;
+          Alcotest.test_case "wire transport" `Quick test_lifecycle_wire;
+          Alcotest.test_case "daemon.info" `Quick test_daemon_info;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "in-flight exec" `Quick test_cancel_inflight_exec;
+          Alcotest.test_case "queued create" `Quick test_cancel_queued_create;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "rejection under quota" `Quick test_admission_rejection_under_quota ] );
+      ( "faults",
+        [
+          Alcotest.test_case "create/crash/recover" `Quick test_fault_create_crash_recover;
+          Alcotest.test_case "detach races recovery" `Quick test_detach_races_recovery;
+        ] );
+      ("events", [ Alcotest.test_case "stats.subscribe" `Quick test_stats_subscribe ]);
+    ]
