@@ -45,6 +45,16 @@ module Metrics = Repro_obs.Metrics
 type t = {
   kernel : Kernel.t;
   proc : Proc.t;
+  (* Shard-locked table discipline: the inode map and the handle cache
+     are guarded by fixed-size lock tables hash-sharded on the backing
+     inode, mirroring the sharding of the FUSE dirop locks.  The guarded
+     segments are pure table manipulation (no effects, no virtual-time
+     consumption), so the holds are zero-width on the virtual timeline —
+     the locking is semantically real but timing-free.  [sched = None]
+     (standalone servers in unit tests) skips the brackets. *)
+  sched : Repro_sched.Sched.t option;
+  ino_locks : Repro_sched.Sched.mutex array;
+  hc_locks : Repro_sched.Sched.mutex array;
   inos : (int, entry) Hashtbl.t; (* driver ino -> entry *)
   by_backing : (int, int) Hashtbl.t; (* backing st_ino -> driver ino *)
   fhs : (int, server_handle) Hashtbl.t;
@@ -71,7 +81,12 @@ type t = {
 
 let root_ino = 1
 
-let create ~kernel ~proc ~root_path ?(handle_cache = 0) ?(valid_ns = (0, 0)) () =
+let shard_count = 64
+
+(* Golden-ratio multiplicative hash, same spread as the dirop shards. *)
+let shard key = key * 0x9E3779B9 land (shard_count - 1)
+
+let create ?sched ~kernel ~proc ~root_path ?(handle_cache = 0) ?(valid_ns = (0, 0)) () =
   let metrics = Repro_obs.Obs.metrics kernel.Kernel.obs in
   let m_lookups = Metrics.counter metrics "cntrfs.lookup.count" in
   let m_backing_ops = Metrics.counter metrics "cntrfs.lookup.backing_ops" in
@@ -91,6 +106,9 @@ let create ~kernel ~proc ~root_path ?(handle_cache = 0) ?(valid_ns = (0, 0)) () 
     {
       kernel;
       proc;
+      sched;
+      ino_locks = Array.init shard_count (fun _ -> Repro_sched.Sched.mutex ());
+      hc_locks = Array.init shard_count (fun _ -> Repro_sched.Sched.mutex ());
       inos = Hashtbl.create 256;
       by_backing = Hashtbl.create 256;
       fhs = Hashtbl.create 32;
@@ -116,6 +134,15 @@ let create ~kernel ~proc ~root_path ?(handle_cache = 0) ?(valid_ns = (0, 0)) () 
   t
 
 let ( let* ) = Result.bind
+
+(* Run a table segment under one shard of a lock table. *)
+let locked t locks i f =
+  match t.sched with
+  | None -> f ()
+  | Some s -> Repro_sched.Sched.with_lock s locks.(i) f
+
+let with_ino t bino f = locked t t.ino_locks (shard bino) f
+let with_hc t bino f = locked t t.hc_locks (shard bino) f
 
 let entry t ino =
   match Hashtbl.find_opt t.inos ino with
@@ -176,48 +203,63 @@ let hc_evict_if_full t =
 let hc_cacheable (st : Types.stat) =
   st.Types.st_kind = Types.Dir || st.Types.st_nlink <= 1
 
+(* Eviction scans the whole table while holding only the inserter's shard:
+   the LRU scan tolerates racing inserts (it only needs *a* cold victim,
+   not *the* coldest), so cross-shard exactness is not worth a global
+   lock. *)
 let hc_insert t ~path ~(st : Types.stat) ~ino =
-  if t.hc_cap > 0 && hc_cacheable st then begin
-    let slot = { hc_ino = ino; hc_stat = st; hc_tick = 0 } in
-    Hashtbl.replace t.hc st.Types.st_ino slot;
-    hc_touch t slot;
-    Hashtbl.replace t.hc_paths path st.Types.st_ino;
-    hc_evict_if_full t
-  end
+  if t.hc_cap > 0 && hc_cacheable st then
+    with_hc t st.Types.st_ino (fun () ->
+        let slot = { hc_ino = ino; hc_stat = st; hc_tick = 0 } in
+        Hashtbl.replace t.hc st.Types.st_ino slot;
+        hc_touch t slot;
+        Hashtbl.replace t.hc_paths path st.Types.st_ino;
+        hc_evict_if_full t)
 
 (* A known-valid slot for [path], or None.  Validity requires the slot to
    still be resident *and* its driver ino still interned (monotonic ino
    allocation makes a forgotten ino detectable). *)
+(* The path -> backing probe is an optimistic unguarded read; everything it
+   yields is revalidated under the backing ino's shard lock (slot residency,
+   st_ino match, driver ino still interned), so a stale routing entry can
+   only produce a miss, never a wrong hit. *)
 let hc_find t path =
   if t.hc_cap = 0 then None
   else
     match Hashtbl.find_opt t.hc_paths path with
     | None -> None
-    | Some bino -> (
-        match Hashtbl.find_opt t.hc bino with
-        | Some slot
-          when slot.hc_stat.Types.st_ino = bino && Hashtbl.mem t.inos slot.hc_ino
-          ->
-            Some slot
-        | _ -> None)
+    | Some bino ->
+        with_hc t bino (fun () ->
+            match Hashtbl.find_opt t.hc bino with
+            | Some slot
+              when slot.hc_stat.Types.st_ino = bino
+                   && Hashtbl.mem t.inos slot.hc_ino ->
+                Some slot
+            | _ -> None)
 
-let hc_invalidate_backing t bino = if t.hc_cap > 0 then Hashtbl.remove t.hc bino
+let hc_invalidate_backing t bino =
+  if t.hc_cap > 0 then with_hc t bino (fun () -> Hashtbl.remove t.hc bino)
 
 let hc_invalidate_ino t ino =
   if t.hc_cap > 0 then
     match Hashtbl.find_opt t.inos ino with
-    | Some e -> Hashtbl.remove t.hc e.e_backing_ino
+    | Some e ->
+        with_hc t e.e_backing_ino (fun () ->
+            Hashtbl.remove t.hc e.e_backing_ino)
     | None -> ()
 
 let hc_invalidate_path t path =
   if t.hc_cap > 0 then
     match Hashtbl.find_opt t.hc_paths path with
     | Some bino ->
-        Hashtbl.remove t.hc_paths path;
-        Hashtbl.remove t.hc bino
+        with_hc t bino (fun () ->
+            Hashtbl.remove t.hc_paths path;
+            Hashtbl.remove t.hc bino)
     | None -> ()
 
-(* Rename moves a whole subtree: drop everything at or under [dir]. *)
+(* Rename moves a whole subtree: drop everything at or under [dir].  The
+   collection pass is an unguarded scan; each removal re-takes its own
+   shard. *)
 let hc_invalidate_subtree t dir =
   if t.hc_cap > 0 then begin
     let doomed =
@@ -230,8 +272,9 @@ let hc_invalidate_subtree t dir =
     in
     List.iter
       (fun (p, bino) ->
-        Hashtbl.remove t.hc_paths p;
-        Hashtbl.remove t.hc bino)
+        with_hc t bino (fun () ->
+            Hashtbl.remove t.hc_paths p;
+            Hashtbl.remove t.hc bino))
       doomed
   end
 
@@ -266,34 +309,45 @@ let on_entry t ino ~via_path ~via_fd =
   | Some path -> via_path path
   | None -> with_handle_fd t e via_fd
 
-(* Allocate (or reuse, for hardlinks) a driver inode for [path]. *)
+(* Allocate (or reuse, for hardlinks) a driver inode for [path].  The
+   dedup check and the map insert sit under the backing ino's shard lock,
+   so a racing lookup of the same backing inode cannot double-intern;
+   [next_ino] itself is a relaxed monotonic counter (an atomic fetch-add
+   in a parallel implementation). *)
 let intern t ~path ~(st : Types.stat) =
-  let reuse =
-    match st.Types.st_kind with
-    | Types.Dir -> None (* directories are never hardlinked *)
-    | _ -> Hashtbl.find_opt t.by_backing st.Types.st_ino
-  in
-  match reuse with
-  | Some ino ->
-      let e = Hashtbl.find t.inos ino in
-      e.e_nlookup <- e.e_nlookup + 1;
-      ino
-  | None ->
-      let ino = t.next_ino in
-      t.next_ino <- ino + 1;
-      (* the open()-per-lookup also yields a persistent handle (files and
-         symlinks can be hardlinked away from their looked-up name) *)
-      let handle =
+  with_ino t st.Types.st_ino (fun () ->
+      let reuse =
         match st.Types.st_kind with
-        | Types.Reg | Types.Symlink | Types.Fifo | Types.Sock ->
-            Metrics.incr t.m_backing_ops;
-            Result.to_option (Kernel.name_to_handle_at t.kernel t.proc ~follow:false path)
-        | _ -> None
+        | Types.Dir -> None (* directories are never hardlinked *)
+        | _ -> Hashtbl.find_opt t.by_backing st.Types.st_ino
       in
-      Hashtbl.replace t.inos ino
-        { e_path = path; e_backing_ino = st.Types.st_ino; e_handle = handle; e_nlookup = 1 };
-      Hashtbl.replace t.by_backing st.Types.st_ino ino;
-      ino
+      match reuse with
+      | Some ino ->
+          let e = Hashtbl.find t.inos ino in
+          e.e_nlookup <- e.e_nlookup + 1;
+          ino
+      | None ->
+          let ino = t.next_ino in
+          t.next_ino <- ino + 1;
+          (* the open()-per-lookup also yields a persistent handle (files
+             and symlinks can be hardlinked away from their looked-up name) *)
+          let handle =
+            match st.Types.st_kind with
+            | Types.Reg | Types.Symlink | Types.Fifo | Types.Sock ->
+                Metrics.incr t.m_backing_ops;
+                Result.to_option
+                  (Kernel.name_to_handle_at t.kernel t.proc ~follow:false path)
+            | _ -> None
+          in
+          Hashtbl.replace t.inos ino
+            {
+              e_path = path;
+              e_backing_ino = st.Types.st_ino;
+              e_handle = handle;
+              e_nlookup = 1;
+            };
+          Hashtbl.replace t.by_backing st.Types.st_ino ino;
+          ino)
 
 (* Recovery: teach a freshly created server the driver's existing ino
    space.  [pairs] comes from [Driver.ino_paths] — (driver ino, path
@@ -365,12 +419,13 @@ let handle_forget t pairs =
     (fun (ino, n) ->
       match Hashtbl.find_opt t.inos ino with
       | Some e when ino <> root_ino ->
-          e.e_nlookup <- e.e_nlookup - n;
-          if e.e_nlookup <= 0 then begin
-            Hashtbl.remove t.inos ino;
-            Hashtbl.remove t.by_backing e.e_backing_ino;
-            hc_invalidate_backing t e.e_backing_ino
-          end
+          with_ino t e.e_backing_ino (fun () ->
+              e.e_nlookup <- e.e_nlookup - n;
+              if e.e_nlookup <= 0 then begin
+                Hashtbl.remove t.inos ino;
+                Hashtbl.remove t.by_backing e.e_backing_ino
+              end);
+          if e.e_nlookup <= 0 then hc_invalidate_backing t e.e_backing_ino
       | _ -> ())
     pairs;
   Protocol.R_ok

@@ -45,7 +45,7 @@ let create ~kernel ~server_proc ~root_path ?(opts = Opts.cntr_default) ?(threads
     (Repro_obs.Metrics.gauge metrics "cntrfs.server.threads")
     (float_of_int threads);
   let server =
-    Server.create ~kernel ~proc:server_proc ~root_path
+    Server.create ~sched:(Conn.sched conn) ~kernel ~proc:server_proc ~root_path
       ~handle_cache:opts.Opts.handle_cache
       ~valid_ns:(opts.Opts.entry_timeout_ns, opts.Opts.attr_timeout_ns) ()
   in
@@ -97,8 +97,8 @@ let recover t =
   let np = Kernel.fork t.kernel old in
   np.Proc.comm <- old.Proc.comm;
   let server =
-    Server.create ~kernel:t.kernel ~proc:np ~root_path:t.root_path
-      ~handle_cache:t.opts.Opts.handle_cache
+    Server.create ~sched:(Conn.sched t.conn) ~kernel:t.kernel ~proc:np
+      ~root_path:t.root_path ~handle_cache:t.opts.Opts.handle_cache
       ~valid_ns:(t.opts.Opts.entry_timeout_ns, t.opts.Opts.attr_timeout_ns) ()
   in
   Server.restore server pairs;

@@ -126,8 +126,8 @@ let attach ~kernel ~engines ~budget ?(config = Config.default) name =
         Kernel.setns kernel server_proc ~target_pid:(Container.pid fat) [ Namespace.Mnt ]
   in
   let server =
-    Server.create ~kernel ~proc:server_proc ~root_path:"/"
-      ~handle_cache:opts.Opts.handle_cache
+    Server.create ~sched:(Conn.sched conn) ~kernel ~proc:server_proc
+      ~root_path:"/" ~handle_cache:opts.Opts.handle_cache
       ~valid_ns:(opts.Opts.entry_timeout_ns, opts.Opts.attr_timeout_ns) ()
   in
   Conn.set_handler conn (Server.handle server);
@@ -302,8 +302,8 @@ let recover session =
   np.Proc.comm <- old.Proc.comm;
   let opts = session.sn_config.Config.opts in
   let server =
-    Server.create ~kernel:session.sn_kernel ~proc:np ~root_path:"/"
-      ~handle_cache:opts.Opts.handle_cache
+    Server.create ~sched:(Conn.sched session.sn_conn) ~kernel:session.sn_kernel
+      ~proc:np ~root_path:"/" ~handle_cache:opts.Opts.handle_cache
       ~valid_ns:(opts.Opts.entry_timeout_ns, opts.Opts.attr_timeout_ns) ()
   in
   Server.restore server pairs;

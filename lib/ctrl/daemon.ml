@@ -26,6 +26,7 @@ type config = {
   c_attach : Attach.Config.t;
   c_fault : Fault.plan option;
   c_auto_recover : bool;
+  c_sub_buffer : int;  (* undelivered events retained per subscriber *)
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     c_attach = Attach.Config.default;
     c_fault = None;
     c_auto_recover = true;
+    c_sub_buffer = 256;
   }
 
 (* One in-flight request. *)
@@ -77,6 +79,16 @@ type action =
   | A_recover of Attach.session * unit Sched.ivar
   | A_crash of Attach.session * unit Sched.ivar
 
+(* A subscriber: the sink plus a bounded ring of undelivered events.  A
+   slow transport stops draining instead of letting the daemon buffer its
+   entire event history; at capacity the *oldest* event is dropped and
+   counted (recent state beats stale history for a monitoring stream). *)
+type sub = {
+  sb_sink : Jsonx.t -> unit;
+  sb_buf : Jsonx.t Queue.t;
+  sb_ready : unit -> bool;  (* can the transport take another event now? *)
+}
+
 type wire_conn = {
   wc_fd : int;
   wc_reader : Rpc.reader;
@@ -103,7 +115,9 @@ type t = {
   d_sessions : (int, sess) Hashtbl.t;
   mutable d_next_id : int;
   mutable d_inflight : ticket list;
-  mutable d_subs : (Jsonx.t -> unit) list;
+  mutable d_subs : sub list;
+  mutable d_m_sub_dropped : Metrics.counter option;
+      (* lazily created: only daemons that ever drop touch the registry *)
   mutable d_wires : wire list;
   (* admission *)
   d_adm_cond : Sched.cond;
@@ -150,6 +164,7 @@ let create ?(config = default_config) world =
     d_next_id = 1;
     d_inflight = [];
     d_subs = [];
+    d_m_sub_dropped = None;
     d_wires = [];
     d_adm_cond = Sched.cond ();
     d_active = 0;
@@ -187,6 +202,19 @@ let reply_cancelled t p =
 
 let errno_data e = Jsonx.Obj [ ("errno", Jsonx.Str (Errno.to_string e)) ]
 
+let sub_dropped t =
+  match t.d_m_sub_dropped with
+  | Some c -> c
+  | None ->
+      let c =
+        Metrics.counter (Repro_obs.Obs.metrics (obs t)) "ctrl.subscribe.dropped"
+      in
+      t.d_m_sub_dropped <- Some c;
+      c
+
+(* Events are buffered per subscriber, never sunk inline: the emitter must
+   not block (or allocate unboundedly) on a slow client.  [flush_subs]
+   drains each ring as long as its transport reports ready. *)
 let emit t event fields =
   if t.d_subs <> [] then begin
     let params =
@@ -196,8 +224,23 @@ let emit t event fields =
         :: fields)
     in
     let msg = Rpc.request_json { Rpc.r_id = None; r_method = "stats.event"; r_params = params } in
-    List.iter (fun sink -> sink msg) t.d_subs
+    List.iter
+      (fun sb ->
+        if Queue.length sb.sb_buf >= t.d_config.c_sub_buffer then begin
+          ignore (Queue.pop sb.sb_buf);
+          Metrics.incr (sub_dropped t)
+        end;
+        Queue.push msg sb.sb_buf)
+      t.d_subs
   end
+
+let flush_subs t =
+  List.iter
+    (fun sb ->
+      while (not (Queue.is_empty sb.sb_buf)) && sb.sb_ready () do
+        sb.sb_sink (Queue.pop sb.sb_buf)
+      done)
+    t.d_subs
 
 let cancel t id =
   match List.find_opt (fun p -> p.p_rid = id && p.p_resp = None) t.d_inflight with
@@ -535,7 +578,7 @@ let info_json =
       ("methods", Jsonx.List (List.map (fun m -> Jsonx.Str m) methods));
     ]
 
-let dispatch t ?sink p (req : Rpc.request) =
+let dispatch t ?sink ?sink_ready p (req : Rpc.request) =
   let params = req.Rpc.r_params in
   match req.Rpc.r_method with
   | "daemon.info" -> reply t p (Ok info_json)
@@ -607,8 +650,16 @@ let dispatch t ?sink p (req : Rpc.request) =
           reply t p
             (Error (Rpc.error Rpc.internal_error "transport provides no notification sink"))
       | Some sink ->
-          t.d_subs <- t.d_subs @ [ sink ];
-          reply t p (Ok (Jsonx.Obj [ ("subscribed", Jsonx.Bool true) ])))
+          let ready = Option.value sink_ready ~default:(fun () -> true) in
+          t.d_subs <-
+            t.d_subs @ [ { sb_sink = sink; sb_buf = Queue.create (); sb_ready = ready } ];
+          reply t p
+            (Ok
+               (Jsonx.Obj
+                  [
+                    ("subscribed", Jsonx.Bool true);
+                    ("buffer", Jsonx.Int t.d_config.c_sub_buffer);
+                  ])))
   | "$/cancel" -> (
       match Option.bind (Jsonx.mem params "id") Rpc.id_of_json with
       | None -> reply t p (Error (Rpc.error Rpc.invalid_params "missing param: id"))
@@ -617,7 +668,7 @@ let dispatch t ?sink p (req : Rpc.request) =
           reply t p (Ok (Jsonx.Obj [ ("cancelled", Jsonx.Bool found) ])))
   | m -> reply t p (Error (Rpc.error Rpc.method_not_found ("unknown method: " ^ m)))
 
-let submit t ?sink (req : Rpc.request) =
+let submit t ?sink ?sink_ready (req : Rpc.request) =
   Metrics.incr t.m_calls;
   match req.Rpc.r_id with
   | None ->
@@ -630,7 +681,7 @@ let submit t ?sink (req : Rpc.request) =
   | Some id ->
       let p = { p_rid = id; p_cancelled = false; p_resp = None } in
       t.d_inflight <- t.d_inflight @ [ p ];
-      dispatch t ?sink p req;
+      dispatch t ?sink ?sink_ready p req;
       Some p
 
 (* ------------------------------------------------------------------ *)
@@ -638,6 +689,9 @@ let submit t ?sink (req : Rpc.request) =
 (* ------------------------------------------------------------------ *)
 
 let k t = kernel t
+
+(* Backlog bound above which a wire subscriber counts as not-ready. *)
+let sub_watermark = 65536
 
 (* One service pass over a wire endpoint: move plane bytes, accept new
    clients, deframe + dispatch requests, flush finished replies. *)
@@ -683,7 +737,11 @@ let wire_step t w =
             (match Rpc.decode payload with
             | Ok (Rpc.Request req) ->
                 let sink j = wc.wc_out <- wc.wc_out ^ Rpc.frame (Jsonx.to_string j) in
-                (match submit t ~sink req with
+                (* a wire subscriber is ready while its output backlog is
+                   below the watermark: a client that stops reading stops
+                   receiving, and its ring starts dropping instead *)
+                let sink_ready () = String.length wc.wc_out < sub_watermark in
+                (match submit t ~sink ~sink_ready req with
                 | Some tk -> wc.wc_tickets <- wc.wc_tickets @ [ tk ]
                 | None -> ())
             | Ok (Rpc.Response _) -> () (* clients don't call us back *)
@@ -717,6 +775,10 @@ let wire_step t w =
               wc.wc_out <- wc.wc_out ^ Rpc.frame (Rpc.encode_response r)
           | None -> ())
         ready;
+      (* deliver buffered events to whichever subscribers can take them
+         (this connection's sink appends to wc_out while under the
+         watermark) before pushing bytes out *)
+      flush_subs t;
       if String.length wc.wc_out > 0 then
         match Kernel.write (k t) w.w_proc wc.wc_fd wc.wc_out with
         | Ok n when n > 0 ->
@@ -736,6 +798,9 @@ let pump t =
         perform t a;
         loop ()
     | None ->
+        (* in-process subscribers (always ready) drain here even when no
+           wire exists *)
+        flush_subs t;
         let progressed =
           List.fold_left (fun acc w -> wire_step t w || acc) false t.d_wires
         in

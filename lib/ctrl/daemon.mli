@@ -47,10 +47,15 @@ type config = {
   c_auto_recover : bool;
       (** recover crashed sessions transparently on the next exec
           (otherwise the exec fails with [exec_failed]/ENOTCONN) *)
+  c_sub_buffer : int;
+      (** undelivered [stats.event]s retained per subscriber; at capacity
+          the oldest is dropped and counted under
+          [ctrl.subscribe.dropped] (drop-oldest: a monitoring stream
+          wants recent state, not stale history) *)
 }
 
 (** 64 active, 32 queued, 16/8 per tenant, {!Repro_cntr.Attach.Config.default},
-    no faults, auto-recovery on. *)
+    no faults, auto-recovery on, 256-event subscriber buffers. *)
 val default_config : config
 
 type t
@@ -69,9 +74,17 @@ type ticket
 
 (** Dispatch one decoded message.  [None] for notifications.  [sink]
     receives [stats.event] notification payloads once this connection has
-    subscribed via [stats.subscribe].  Dispatch only enqueues work — drive
-    it with {!pump} / {!response}. *)
-val submit : t -> ?sink:(Jsonx.t -> unit) -> Rpc.request -> ticket option
+    subscribed via [stats.subscribe]; events queue in a bounded
+    per-subscriber buffer ([config.c_sub_buffer], drop-oldest) and are
+    delivered by {!pump} whenever [sink_ready] (default: always) says the
+    transport can take them.  Dispatch only enqueues work — drive it with
+    {!pump} / {!response}. *)
+val submit :
+  t ->
+  ?sink:(Jsonx.t -> unit) ->
+  ?sink_ready:(unit -> bool) ->
+  Rpc.request ->
+  ticket option
 
 (** Drive fibers, pending actions and wire connections until quiescent. *)
 val pump : t -> unit

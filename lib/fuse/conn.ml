@@ -1,17 +1,21 @@
 (* A FUSE connection (/dev/fuse): the transport between the kernel driver
    and the userspace server, modeled as a discrete-event request queue
-   (mirroring the kernel's fuse_conn).  Submitters append typed in-flight
-   request objects to the pending queue and wake the server's worker pool;
-   N worker fibers contend for the queue lock, dequeue, charge the server
-   side of the FUSE tax (read(2) dispatch, payload copy or splice, handler
-   service time) on their own timelines, and fill the caller's reply ivar.
+   (mirroring the kernel's fuse_conn).  Each server worker owns a local
+   submission deque guarded by its own shard lock; submitters place typed
+   in-flight request objects on one worker's deque (preferring the most
+   recently parked worker, round-robin otherwise) and wake that worker
+   alone — a targeted try_to_wake_up, not a waitqueue herd.  A worker that
+   drains its own deque steals the oldest entry from a deterministically
+   chosen victim before parking, so imbalanced submissions still spread
+   across the pool.
 
-   Concurrency costs are emergent rather than formulaic: waking the worker
-   herd charges the submitter per extra thread woken (the Figure 4
-   coordination penalty), spuriously woken workers burn context switches on
-   their own timelines, and back-to-back queued requests let a worker
-   pipeline without re-parking — which is how batching and multi-client
-   overlap amortize context switches.
+   Concurrency costs are emergent rather than formulaic: the submitter
+   pays the shard lock and one wakeup when its target was parked, thieves
+   pay the steal walk (one shard lock probe per victim) on their own
+   timelines, workers woken into an already-stolen deque burn a context
+   switch and count a spurious wakeup, and back-to-back queued requests
+   let a worker pipeline without re-parking — which is how batching and
+   multi-client overlap amortize context switches.
 
    One-way messages (FORGET, RELEASE) form the background request class:
    they return to the submitter immediately but count toward
@@ -59,7 +63,16 @@ type item = {
   it_km : kind_metrics;
 }
 
-type worker = { w_busy : Metrics.counter }
+(* One server worker: its pool slot, its local-deque shard lock, the cond
+   it parks on (targeted wakeups go here), and its metric handles. *)
+type worker = {
+  w_id : int;
+  w_busy : Metrics.counter;
+  w_depth : Metrics.gauge; (* high-water mark of the local deque *)
+  mutable w_hiwat : int;
+  w_lock : Sched.mutex;
+  w_cond : Sched.cond;
+}
 
 type t = {
   clock : Clock.t;
@@ -87,15 +100,14 @@ type t = {
   forced : Fault.action Queue.t;
   mutable m_retries : Metrics.counter option;
   mutable m_timeouts : Metrics.counter option;
-  pending : item Queue.t;
-  qlock : Sched.mutex;
-  qcond : Sched.cond; (* workers park here; submit broadcasts (herd wake) *)
+  pool : item Sched.Ws.t; (* per-worker deques + steal/targeting state *)
+  bg_lock : Sched.mutex; (* guards the background-class throttle waits *)
   bg_cond : Sched.cond; (* throttled one-way submitters park here *)
   mutable bg_inflight : int;
   mutable inflight : int;
   mutable inflight_max : int;
   mutable qdepth_max : int;
-  mutable workers : worker list;
+  mutable workers : worker array;
   mutable worker_exn : exn option;
   m_requests : Metrics.counter;
   m_round_trips : Metrics.counter;
@@ -110,6 +122,9 @@ type t = {
   m_inflight : Metrics.gauge;
   m_inflight_max : Metrics.gauge;
   m_spurious : Metrics.counter;
+  m_steals : Metrics.counter;
+  m_steal_fails : Metrics.counter;
+  m_local_hits : Metrics.counter;
   m_qwait : Metrics.histogram;
   by_kind : (string, kind_metrics) Hashtbl.t;
 }
@@ -139,15 +154,14 @@ let create ?obs ?sched ~clock ~cost () =
     forced = Queue.create ();
     m_retries = None;
     m_timeouts = None;
-    pending = Queue.create ();
-    qlock = Sched.mutex ();
-    qcond = Sched.cond ();
+    pool = Sched.Ws.create ();
+    bg_lock = Sched.mutex ();
     bg_cond = Sched.cond ();
     bg_inflight = 0;
     inflight = 0;
     inflight_max = 0;
     qdepth_max = 0;
-    workers = [];
+    workers = [||];
     worker_exn = None;
     m_requests = Metrics.counter m "fuse.req.count";
     m_round_trips = Metrics.counter m "fuse.round_trips";
@@ -162,6 +176,9 @@ let create ?obs ?sched ~clock ~cost () =
     m_inflight = Metrics.gauge m "fuse.inflight";
     m_inflight_max = Metrics.gauge m "fuse.inflight.max";
     m_spurious = Metrics.counter m "fuse.wakeups.spurious";
+    m_steals = Metrics.counter m "sched.steals";
+    m_steal_fails = Metrics.counter m "sched.steal_fails";
+    m_local_hits = Metrics.counter m "sched.local_hits";
     m_qwait = Metrics.histogram m "fuse.queue.wait_us";
     by_kind = Hashtbl.create 16;
   }
@@ -244,8 +261,7 @@ let fail_item t item =
 let crash t =
   t.serving <- false;
   t.dead <- true;
-  Queue.iter (fun it -> fail_item t it) t.pending;
-  Queue.clear t.pending;
+  List.iter (fun it -> fail_item t it) (Sched.Ws.drain_all t.pool);
   Metrics.set t.m_inflight (float_of_int t.inflight);
   ignore (Sched.broadcast t.sched t.bg_cond)
 
@@ -324,18 +340,22 @@ let process t w item =
             ~begin_ns:item.it_submit_ns ~end_ns:fin ())
 
 let rec worker_loop t w =
-  Sched.lock t.sched t.qlock;
+  Sched.lock t.sched w.w_lock;
   Clock.consume_int t.clock t.cost.Cost.queue_lock_ns;
   worker_serve t w
 
-(* Holds the queue lock on entry. *)
+(* Holds the worker's own shard lock on entry. *)
 and worker_serve t w =
-  match Queue.peek_opt t.pending with
+  match Sched.Ws.peek t.pool w.w_id with
   | Some item
     when Int64.compare item.it_submit_ns (Clock.now_ns t.clock) <= 0 ->
-      ignore (Queue.take_opt t.pending);
-      Sched.unlock t.sched t.qlock;
+      ignore (Sched.Ws.pop t.pool w.w_id);
+      Metrics.incr t.m_local_hits;
+      Sched.unlock t.sched w.w_lock;
       process t w item;
+      (* this work segment ends here: submissions stamped before this
+         instant are absorbed with no wake (pipelined pickup) *)
+      Sched.Ws.set_avail t.pool w.w_id (Clock.now_ns t.clock);
       (* between requests the server re-enters read(2) on /dev/fuse — a
          real preemption point.  Yielding keeps event order aligned with
          virtual-time order, so same-time peers (woken workers, submitters)
@@ -348,27 +368,148 @@ and worker_serve t w =
          flight — sleep to the submit time and serve with the same wake
          accounting as a parked worker *)
       let dt = Int64.to_int (Int64.sub item.it_submit_ns (Clock.now_ns t.clock)) in
-      Sched.unlock t.sched t.qlock;
+      (* busy again from the head's submit time through its wake: let
+         placement treat this worker as absorbing until then *)
+      Sched.Ws.set_avail t.pool w.w_id
+        (Int64.add item.it_submit_ns (Int64.of_int t.cost.Cost.context_switch_ns));
+      Sched.unlock t.sched w.w_lock;
       Sched.sleep_ns t.sched dt;
       Clock.consume_int t.clock t.cost.Cost.context_switch_ns;
       Metrics.incr t.m_ctx_switches;
       worker_loop t w
   | None ->
-      (* park off the lock: the wake's context switch happens before the
-         worker re-contends for the queue lock, not while holding it *)
-      Sched.unlock t.sched t.qlock;
-      Sched.park t.sched t.qcond;
-      Clock.consume_int t.clock t.cost.Cost.context_switch_ns;
-      Metrics.incr t.m_ctx_switches;
-      Sched.lock t.sched t.qlock;
+      Sched.unlock t.sched w.w_lock;
+      worker_idle t w
+
+(* Own deque is empty (lock not held): steal, or park once nothing ready
+   exists anywhere. *)
+and worker_idle t w =
+  match try_steal t w with
+  | Some item ->
+      process t w item;
+      Sched.Ws.set_avail t.pool w.w_id (Clock.now_ns t.clock);
+      Sched.yield t.sched;
+      worker_loop t w
+  | None ->
+      (* Re-check the local deque under the shard lock, then park in the
+         same event segment as the empty check — tasks switch only at
+         effects, so a submission either lands before the check (served
+         now) or after the park (its targeted wakeup finds us). *)
+      Sched.lock t.sched w.w_lock;
       Clock.consume_int t.clock t.cost.Cost.queue_lock_ns;
-      if Queue.is_empty t.pending then Metrics.incr t.m_spurious;
-      worker_serve t w
+      if Sched.Ws.depth t.pool w.w_id > 0 then worker_serve t w
+      else if ready_elsewhere t w then begin
+        (* A ready request sits behind a busy peer (its submitter targeted
+           a worker that was still serving): steal it rather than sleep on
+           available work — this is what keeps the partitioned queues as
+           work-conserving as the old global FIFO.  The check-then-steal
+           pair runs in one event segment, so the walk cannot miss. *)
+        Sched.unlock t.sched w.w_lock;
+        worker_idle t w
+      end
+      else begin
+        (* Nothing anywhere: block in read(2) on /dev/fuse.  FUSE daemon
+           threads do not spin in userspace — the read blocks in the
+           kernel at once, so the next pickup is a cold wake. *)
+        let parked_at = Clock.now_ns t.clock in
+        Sched.Ws.set_parked t.pool w.w_id ~at:parked_at;
+        Sched.unlock t.sched w.w_lock;
+        Sched.park t.sched w.w_cond;
+        (* A head stamped at-or-before the park instant means the fiber
+           had merely run ahead of the virtual timeline in event order:
+           semantically the worker never slept, and the request is picked
+           up as pipelined work — no context switch.  Any later head is a
+           real wake and pays one.  The peek runs in the same event
+           segment as the resume, so it cannot race. *)
+        let overlap =
+          match Sched.Ws.peek t.pool w.w_id with
+          | Some item -> Int64.compare item.it_submit_ns parked_at <= 0
+          | None -> false
+        in
+        if not overlap then begin
+          Clock.consume_int t.clock t.cost.Cost.context_switch_ns;
+          Metrics.incr t.m_ctx_switches
+        end;
+        Sched.Ws.clear_parked t.pool w.w_id;
+        Sched.lock t.sched w.w_lock;
+        Clock.consume_int t.clock t.cost.Cost.queue_lock_ns;
+        (* woken but the deque is already empty again: a thief got
+           there first — the wake was spurious *)
+        if Sched.Ws.depth t.pool w.w_id = 0 then Metrics.incr t.m_spurious;
+        worker_serve t w
+      end
+
+(* Is any other worker's deque head ready to serve right now?  Items whose
+   submit time is still in the future are excluded: their owner is
+   guaranteed to drain them (a worker never parks on a nonempty deque), so
+   parking while only future work exists is safe. *)
+and ready_elsewhere t w =
+  let now = Clock.now_ns t.clock in
+  let n = Array.length t.workers in
+  let rec go i =
+    i < n
+    && ((i <> w.w_id
+        &&
+        match Sched.Ws.peek t.pool i with
+        | Some item -> Int64.compare item.it_submit_ns now <= 0
+        | None -> false)
+       || go (i + 1))
+  in
+  go 0
+
+(* Steal the oldest ready entry from the first victim in the thief's
+   deterministic rotation order whose head is serviceable.  Every probe
+   charges one queue-lock interval to the *stealer's* clock — the walk is
+   the thief's cost, not the submitter's.  Probes take no victim lock:
+   steals are CAS-shaped (Chase-Lev style — thieves never block the owner
+   or the submitter), and the probe-then-steal pair runs in one event
+   segment, so it cannot race.  Skipped outright when nothing is queued
+   anywhere (the idle-pool common case), so large pools pay no quadratic
+   park-time scan. *)
+and try_steal t w =
+  if Sched.Ws.queued t.pool = 0 then None
+  else begin
+    let order =
+      Sched.Ws.victim_order t.pool ~thief:w.w_id ~now:(Clock.now_ns t.clock)
+    in
+    let rec walk = function
+      | [] ->
+          Sched.Ws.steal_failed t.pool;
+          Metrics.incr t.m_steal_fails;
+          None
+      | v :: rest -> (
+          Clock.consume_int t.clock t.cost.Cost.queue_lock_ns;
+          let got =
+            match Sched.Ws.peek t.pool v with
+            | Some item
+              when Int64.compare item.it_submit_ns (Clock.now_ns t.clock) <= 0
+              ->
+                Sched.Ws.steal_from t.pool ~victim:v
+            | _ -> None
+          in
+          match got with
+          | Some _ ->
+              Metrics.incr t.m_steals;
+              got
+          | None -> walk rest)
+    in
+    walk order
+  end
 
 let spawn_worker t i =
   let m = Repro_obs.Obs.metrics t.obs in
-  let w = { w_busy = Metrics.counter m (Printf.sprintf "cntrfs.worker.%d.busy_ns" i) } in
-  t.workers <- t.workers @ [ w ];
+  let w =
+    {
+      w_id = i;
+      w_busy = Metrics.counter m (Printf.sprintf "cntrfs.worker.%d.busy_ns" i);
+      w_depth =
+        Metrics.gauge m (Printf.sprintf "fuse.queue.per_worker_depth.%d" i);
+      w_hiwat = 0;
+      w_lock = Sched.mutex ();
+      w_cond = Sched.cond ();
+    }
+  in
+  t.workers <- Array.append t.workers [| w |];
   ignore
     (Sched.spawn t.sched (fun () ->
          try worker_loop t w
@@ -378,10 +519,13 @@ let spawn_worker t i =
    benchmark runs on a live connection). *)
 let ensure_workers t =
   (match t.worker_exn with Some e -> raise e | None -> ());
-  let have = List.length t.workers in
-  for i = have to t.threads - 1 do
-    spawn_worker t i
-  done
+  let have = Array.length t.workers in
+  if have < t.threads then begin
+    Sched.Ws.ensure t.pool t.threads;
+    for i = have to t.threads - 1 do
+      spawn_worker t i
+    done
+  end
 
 (* The CNTR handshake: the child signals the server (over a Unix socket)
    once CntrFS is mounted inside the nested namespace; only then does the
@@ -397,21 +541,45 @@ let start_serving t =
 
 (* --- submission ------------------------------------------------------------- *)
 
-(* Append items to the pending queue and wake the worker herd.  The /dev/fuse
-   waitqueue wake is non-exclusive: every parked worker is woken, and the
-   submitter walks the wait list — each entry beyond the first is pure
-   coordination tax, which is where the Figure 4 penalty comes from.  Under
-   load fewer workers are parked, so the tax shrinks: it is a property of the
-   queue state, not of the thread count. *)
+(* Place each item on one worker's local deque and wake that worker alone.
+   Targeting prefers the most recently parked worker (its wake is the
+   cheapest — warmest state, shortest stack pop), falling back to a
+   round-robin spread once nobody is parked; imbalance left by round-robin
+   is repaired by the thieves.  The submitter pays one shard lock per item
+   and one try_to_wake_up when the target was actually parked — there is no
+   herd to walk, so the per-submission cost no longer grows with the number
+   of idle server threads (the old Figure 4 penalty). *)
 let enqueue t items =
-  Sched.lock t.sched t.qlock;
-  Clock.consume_int t.clock t.cost.Cost.queue_lock_ns;
   List.iter
     (fun item ->
-      Queue.push item t.pending;
-      t.inflight <- t.inflight + 1)
+      let wid, _was_parked =
+        (* expected-service estimate for the placement score: the wake is
+           one context switch; a served item costs about its two /dev/fuse
+           crossings plus dispatch *)
+        Sched.Ws.submit_target t.pool ~now:(Clock.now_ns t.clock)
+          ~wake_ns:t.cost.Cost.context_switch_ns
+          ~item_ns:(t.cost.Cost.context_switch_ns + (2 * t.cost.Cost.syscall_ns))
+      in
+      let w = t.workers.(wid) in
+      Sched.lock t.sched w.w_lock;
+      Clock.consume_int t.clock t.cost.Cost.queue_lock_ns;
+      Sched.Ws.push t.pool wid item;
+      t.inflight <- t.inflight + 1;
+      let d = Sched.Ws.depth t.pool wid in
+      if d > w.w_hiwat then begin
+        w.w_hiwat <- d;
+        Metrics.set w.w_depth (float_of_int d)
+      end;
+      (* The single targeted try_to_wake_up is the handoff itself — its
+         cost is the wakee's context switch, charged when the worker
+         resumes (the same convention the old wake-walk used for the first
+         waiter).  The herd's per-extra-waiter [wakeup_ns] tax is gone
+         because the herd is gone. *)
+      item.it_submit_ns <- Clock.now_ns t.clock;
+      ignore (Sched.signal t.sched w.w_cond);
+      Sched.unlock t.sched w.w_lock)
     items;
-  let depth = Queue.length t.pending in
+  let depth = Sched.Ws.queued t.pool in
   if depth > t.qdepth_max then begin
     t.qdepth_max <- depth;
     Metrics.set t.m_qdepth_max (float_of_int depth)
@@ -422,20 +590,7 @@ let enqueue t items =
     t.inflight_max <- t.inflight;
     Metrics.set t.m_inflight_max (float_of_int t.inflight)
   end;
-  Metrics.set t.m_inflight (float_of_int t.inflight);
-  (* The submitter walks the waitqueue serially (try_to_wake_up per entry)
-     *before* any wakee can run: every parked worker beyond the first delays
-     the handoff by one wakeup.  Charging ahead of the broadcast puts the
-     walk on the request's critical path — the wakees resume after it. *)
-  for _ = 2 to Sched.waiters t.qcond do
-    Clock.consume_int t.clock t.cost.Cost.wakeup_ns
-  done;
-  (* the request becomes visible to the server once queueing and the wake
-     walk are done — a worker blocked in read(2) sees it no earlier *)
-  let visible = Clock.now_ns t.clock in
-  List.iter (fun item -> item.it_submit_ns <- visible) items;
-  ignore (Sched.broadcast t.sched t.qcond);
-  Sched.unlock t.sched t.qlock
+  Metrics.set t.m_inflight (float_of_int t.inflight)
 
 let item t ?reply ~splice ctx req =
   let kind = Protocol.req_kind req in
@@ -639,9 +794,10 @@ let post t ?(splice = false) ctx req =
         let rec throttle () =
           if t.bg_inflight >= t.max_background then
             if Sched.in_task () then begin
-              Sched.lock t.sched t.qlock;
-              if t.bg_inflight >= t.max_background then Sched.wait t.sched t.bg_cond t.qlock;
-              Sched.unlock t.sched t.qlock;
+              Sched.lock t.sched t.bg_lock;
+              if t.bg_inflight >= t.max_background then
+                Sched.wait t.sched t.bg_cond t.bg_lock;
+              Sched.unlock t.sched t.bg_lock;
               throttle ()
             end
             else Sched.drive_main t.sched (fun () -> t.bg_inflight < t.max_background)
@@ -660,9 +816,9 @@ let quiesce t =
     ensure_workers t;
     if Sched.in_task () then
       while t.inflight > 0 do
-        Sched.lock t.sched t.qlock;
-        if t.inflight > 0 then Sched.wait t.sched t.bg_cond t.qlock;
-        Sched.unlock t.sched t.qlock
+        Sched.lock t.sched t.bg_lock;
+        if t.inflight > 0 then Sched.wait t.sched t.bg_cond t.bg_lock;
+        Sched.unlock t.sched t.bg_lock
       done
     else Sched.drive_main t.sched (fun () -> t.inflight = 0)
   end

@@ -1,10 +1,12 @@
 (** A FUSE connection (/dev/fuse): the transport between the kernel driver
     and the userspace server, modeled as a discrete-event request queue
-    (the kernel's fuse_conn).  Submitters append typed in-flight requests
-    and wake the server's worker pool; N worker fibers contend for the
-    queue lock and serve requests on their own virtual timelines, so
-    concurrency costs (the Figure 4 thread penalty, context-switch
-    amortization under load, multi-client overlap) are emergent from queue
+    (the kernel's fuse_conn).  Each worker fiber owns a local submission
+    deque behind its own shard lock; submitters place requests on one
+    worker's deque (most recently parked worker first, round-robin
+    otherwise) and wake that worker alone, and workers that drain their
+    deque steal the oldest ready entry from a deterministically chosen
+    victim before parking.  Concurrency costs (context-switch amortization
+    under load, steal walks, multi-client overlap) are emergent from queue
     state rather than closed-form.
 
     One-way messages (FORGET, RELEASE) form the background request class,
@@ -14,11 +16,14 @@
     Accounting lands in the connection's {!Repro_obs.Obs.t}: aggregate
     counters ([fuse.req.count], [fuse.round_trips], [fuse.bytes.*]),
     queue-depth gauges ([fuse.queue.depth.max], derived
-    [fuse.queue.depth.mean]), in-flight gauges ([fuse.inflight],
-    [fuse.inflight.max]), spurious wakeups ([fuse.wakeups.spurious]),
-    queue-wait and per-opcode latency histograms, per-worker busy time
-    ([cntrfs.worker.<i>.busy_ns]), context switches
-    ([os.context_switches]) and one trace span per request. *)
+    [fuse.queue.depth.mean]), per-worker deque high-water marks
+    ([fuse.queue.per_worker_depth.<i>]), in-flight gauges
+    ([fuse.inflight], [fuse.inflight.max]), spurious wakeups
+    ([fuse.wakeups.spurious]), work-stealing counters ([sched.steals],
+    [sched.steal_fails], [sched.local_hits]), queue-wait and per-opcode
+    latency histograms, per-worker busy time ([cntrfs.worker.<i>.busy_ns]),
+    context switches ([os.context_switches]) and one trace span per
+    request. *)
 
 open Repro_util
 
@@ -62,15 +67,14 @@ type t = {
       (** one-shot test-hook actions, served before the plan *)
   mutable m_retries : Repro_obs.Metrics.counter option;
   mutable m_timeouts : Repro_obs.Metrics.counter option;
-  pending : item Queue.t;
-  qlock : Repro_sched.Sched.mutex;
-  qcond : Repro_sched.Sched.cond;
+  pool : item Repro_sched.Sched.Ws.t;
+  bg_lock : Repro_sched.Sched.mutex;
   bg_cond : Repro_sched.Sched.cond;
   mutable bg_inflight : int;
   mutable inflight : int;
   mutable inflight_max : int;
   mutable qdepth_max : int;
-  mutable workers : worker list;
+  mutable workers : worker array;
   mutable worker_exn : exn option;
   m_requests : Repro_obs.Metrics.counter;
   m_round_trips : Repro_obs.Metrics.counter;
@@ -85,6 +89,9 @@ type t = {
   m_inflight : Repro_obs.Metrics.gauge;
   m_inflight_max : Repro_obs.Metrics.gauge;
   m_spurious : Repro_obs.Metrics.counter;
+  m_steals : Repro_obs.Metrics.counter;
+  m_steal_fails : Repro_obs.Metrics.counter;
+  m_local_hits : Repro_obs.Metrics.counter;
   m_qwait : Repro_obs.Metrics.histogram;
   by_kind : (string, kind_metrics) Hashtbl.t;
 }

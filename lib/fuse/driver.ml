@@ -49,11 +49,13 @@ type t = {
   mutable forget_q : (Types.ino * int) list;
   mutable last_wb_flush_ns : int64;
   (* Without FUSE_PARALLEL_DIROPS the kernel serializes directory
-     operations under the directory's i_mutex: one lock per directory
-     inode, held across the operation's round trips, so concurrent
-     walkers queue behind each other (the Figure 3(c) ablation). *)
+     operations under the directory's i_mutex, held across the operation's
+     round trips, so concurrent walkers queue behind each other (the
+     Figure 3(c) ablation).  The locks live in a fixed-size table sharded
+     by inode hash: bounded state however many directories exist, at the
+     price of false sharing between hash-colliding directories. *)
   sched : Repro_sched.Sched.t;
-  dirlocks : (Types.ino, Repro_sched.Sched.mutex) Hashtbl.t;
+  dirlocks : Repro_sched.Sched.mutex array;
   (* dentry-cache accounting on the connection's registry *)
   m_dentry_hits : Repro_obs.Metrics.counter;
   m_dentry_misses : Repro_obs.Metrics.counter;
@@ -82,29 +84,55 @@ let rt t ?(splice = false) ctx req =
    kernel holds the directory's i_mutex across the operation, round trips
    included, so concurrent walkers genuinely queue.  The locks are
    reentrant (unlink looks the child up under the lock it already holds)
-   and per-directory; with FUSE_PARALLEL_DIROPS negotiated they are not
-   taken at all. *)
-let dirlock t ino =
-  match Hashtbl.find_opt t.dirlocks ino with
-  | Some m -> m
-  | None ->
-      let m = Repro_sched.Sched.mutex () in
-      Hashtbl.replace t.dirlocks ino m;
-      m
+   and hash-sharded per directory inode; with FUSE_PARALLEL_DIROPS
+   negotiated they are not taken at all. *)
+let dir_shard_bits = 6
+let dir_shard_count = 1 lsl dir_shard_bits
+
+(* Golden-ratio multiplicative hash; sequentially allocated inos spread
+   over the shards instead of clustering. *)
+let dir_shard (ino : Types.ino) = ino * 0x9E3779B9 land (dir_shard_count - 1)
+let dirlock t ino = t.dirlocks.(dir_shard ino)
+
+(* i_rwsem is a sleeping lock: the uncontended acquisition is a fast-path
+   CAS (free), but a *contended* one schedules the waiter out and wakes it
+   when the holder unlocks — a context switch on top of the wait itself.
+   The scheduler mutex settles a blocked taker's clock through the hold
+   gap, so "we actually waited" is visible as the clock having moved. *)
+let dirop_lock t m =
+  let t0 = Clock.now_ns t.clock in
+  Repro_sched.Sched.lock t.sched m;
+  if Int64.compare (Clock.now_ns t.clock) t0 > 0 then begin
+    Repro_obs.Metrics.incr t.conn.Conn.m_ctx_switches;
+    Clock.consume_int t.clock t.cost.Cost.context_switch_ns
+  end
+
+let with_dirlock t m f =
+  dirop_lock t m;
+  match f () with
+  | v ->
+      Repro_sched.Sched.unlock t.sched m;
+      v
+  | exception e ->
+      Repro_sched.Sched.unlock t.sched m;
+      raise e
 
 let with_dirop t ino f =
-  if t.opts.Opts.parallel_dirops then f ()
-  else Repro_sched.Sched.with_lock t.sched (dirlock t ino) f
+  if t.opts.Opts.parallel_dirops then f () else with_dirlock t (dirlock t ino) f
 
-(* Rename spans two directories: take both locks in ino order (once when
-   they coincide) to stay deadlock-free. *)
+(* Rename spans two directories: take both locks in *shard* order (once
+   when the shards coincide — the mutexes are reentrant, so colliding
+   parents degrade to one hold) to stay deadlock-free. *)
 let with_dirop2 t ino_a ino_b f =
   if t.opts.Opts.parallel_dirops then f ()
-  else if ino_a = ino_b then Repro_sched.Sched.with_lock t.sched (dirlock t ino_a) f
   else begin
-    let lo = min ino_a ino_b and hi = max ino_a ino_b in
-    Repro_sched.Sched.with_lock t.sched (dirlock t lo) (fun () ->
-        Repro_sched.Sched.with_lock t.sched (dirlock t hi) f)
+    let sa = dir_shard ino_a and sb = dir_shard ino_b in
+    if sa = sb then with_dirlock t t.dirlocks.(sa) f
+    else begin
+      let lo = min sa sb and hi = max sa sb in
+      with_dirlock t t.dirlocks.(lo) (fun () ->
+          with_dirlock t t.dirlocks.(hi) f)
+    end
   end
 
 (* Expiry stamp for a validity window: 0 = forever (stored as 0L). *)
@@ -386,7 +414,7 @@ let create ~conn ~opts ~budget =
       forget_q = [];
       last_wb_flush_ns = 0L;
       sched = Conn.sched conn;
-      dirlocks = Hashtbl.create 64;
+      dirlocks = Array.init dir_shard_count (fun _ -> Repro_sched.Sched.mutex ());
       m_dentry_hits = Repro_obs.Metrics.counter metrics "fuse.dentry.hits";
       m_dentry_misses = Repro_obs.Metrics.counter metrics "fuse.dentry.misses";
       m_neg_hits = Repro_obs.Metrics.counter metrics "fuse.dentry.negative_hits";

@@ -35,6 +35,81 @@ type t = {
   mutable next_id : int;
 }
 
+(* {1 Two-list deque}
+
+   Every wait list in the scheduler (ivar readers, mutex waiters, condvar
+   parkers) and every per-worker run queue is one of these: a functional
+   deque with amortized O(1) push/pop at both ends.  The old waiter lists
+   were appended with [@ [p]], which made broadcast-heavy runs pay a
+   quadratic copy per parked fiber. *)
+module Dq = struct
+  type 'a t = {
+    mutable front : 'a list; (* oldest end, in order *)
+    mutable back : 'a list; (* youngest end, reversed *)
+    mutable len : int;
+  }
+
+  let create () = { front = []; back = []; len = 0 }
+  let length d = d.len
+  let is_empty d = d.len = 0
+
+  let push_back d x =
+    d.back <- x :: d.back;
+    d.len <- d.len + 1
+
+  let push_front d x =
+    d.front <- x :: d.front;
+    d.len <- d.len + 1
+
+  let norm_front d =
+    if d.front = [] then begin
+      d.front <- List.rev d.back;
+      d.back <- []
+    end
+
+  let peek_front d =
+    if d.len = 0 then None
+    else begin
+      norm_front d;
+      match d.front with x :: _ -> Some x | [] -> None
+    end
+
+  let pop_front d =
+    if d.len = 0 then None
+    else begin
+      norm_front d;
+      match d.front with
+      | x :: rest ->
+          d.front <- rest;
+          d.len <- d.len - 1;
+          Some x
+      | [] -> None
+    end
+
+  let pop_back d =
+    if d.len = 0 then None
+    else begin
+      if d.back = [] then begin
+        d.back <- List.rev d.front;
+        d.front <- []
+      end;
+      match d.back with
+      | x :: rest ->
+          d.back <- rest;
+          d.len <- d.len - 1;
+          Some x
+      | [] -> None
+    end
+
+  (* Oldest-first snapshot; empties the deque. *)
+  let drain d =
+    let xs = d.front @ List.rev d.back in
+    d.front <- [];
+    d.back <- [];
+    d.len <- 0;
+    xs
+end
+
 exception Deadlock of string
 
 type _ Effect.t +=
@@ -93,21 +168,19 @@ let drive_until t stop =
 type 'a ivar = {
   mutable iv_st : ('a, exn) result option;
   mutable iv_at : int64; (* fill time *)
-  mutable iv_waiters : parked list; (* FIFO *)
+  iv_waiters : parked Dq.t; (* FIFO *)
 }
 
 type 'a task = 'a ivar
 
-let ivar () = { iv_st = None; iv_at = 0L; iv_waiters = [] }
+let ivar () = { iv_st = None; iv_at = 0L; iv_waiters = Dq.create () }
 let is_filled iv = iv.iv_st <> None
 
 let fill_result t iv r =
   if iv.iv_st <> None then invalid_arg "Sched.fill: already filled";
   iv.iv_st <- Some r;
   iv.iv_at <- Clock.now_ns t.clock;
-  let ws = iv.iv_waiters in
-  iv.iv_waiters <- [];
-  List.iter (resume t) ws
+  List.iter (resume t) (Dq.drain iv.iv_waiters)
 
 let fill t iv v = fill_result t iv (Ok v)
 
@@ -125,7 +198,7 @@ let read t iv =
   | Some _ -> finish ()
   | None ->
       if in_task () then begin
-        suspend (fun p -> iv.iv_waiters <- iv.iv_waiters @ [ p ]);
+        suspend (fun p -> Dq.push_back iv.iv_waiters p);
         finish ()
       end
       else begin
@@ -183,7 +256,7 @@ type mutex = {
   mutable mu_depth : int;
   mutable mu_hold_start : int64; (* acquisition time of the current hold *)
   mutable mu_holds : (int64 * int64) list; (* committed holds, newest first *)
-  mutable mu_waiters : parked list;
+  mu_waiters : parked Dq.t;
 }
 
 (* Holds retained per mutex; older ones are forgotten (their fibers are far
@@ -191,7 +264,13 @@ type mutex = {
 let max_holds = 32
 
 let mutex () =
-  { mu_owner = 0; mu_depth = 0; mu_hold_start = 0L; mu_holds = []; mu_waiters = [] }
+  {
+    mu_owner = 0;
+    mu_depth = 0;
+    mu_hold_start = 0L;
+    mu_holds = [];
+    mu_waiters = Dq.create ();
+  }
 
 let owner_token () = match current_id () with 0 -> -1 | id -> id
 
@@ -221,7 +300,7 @@ let rec lock t m =
     acquired t m me
   end
   else begin
-    suspend (fun p -> m.mu_waiters <- m.mu_waiters @ [ p ]);
+    suspend (fun p -> Dq.push_back m.mu_waiters p);
     lock t m
   end
 
@@ -234,11 +313,9 @@ let unlock t m =
       List.filteri
         (fun i _ -> i < max_holds)
         ((m.mu_hold_start, Clock.now_ns t.clock) :: m.mu_holds);
-    match m.mu_waiters with
-    | [] -> ()
-    | p :: rest ->
-        m.mu_waiters <- rest;
-        resume t p
+    match Dq.pop_front m.mu_waiters with
+    | None -> ()
+    | Some p -> resume t p
   end
 
 let with_lock t m f =
@@ -247,16 +324,16 @@ let with_lock t m f =
 
 (* {1 Condition variables} *)
 
-type cond = { mutable cv_waiters : parked list }
+type cond = { cv_waiters : parked Dq.t }
 
-let cond () = { cv_waiters = [] }
-let waiters cv = List.length cv.cv_waiters
+let cond () = { cv_waiters = Dq.create () }
+let waiters cv = Dq.length cv.cv_waiters
 
 (* Park on [cv] without holding any lock; tasks only switch at effects, so
    an unlock immediately followed by [park] cannot miss a wakeup. *)
 let park _t cv =
   if not (in_task ()) then invalid_arg "Sched.park: only tasks can park";
-  suspend (fun p -> cv.cv_waiters <- cv.cv_waiters @ [ p ])
+  suspend (fun p -> Dq.push_back cv.cv_waiters p)
 
 (* Unlock + park is atomic here because tasks only switch at effects. *)
 let wait t cv m =
@@ -266,18 +343,16 @@ let wait t cv m =
   lock t m
 
 let signal t cv =
-  match cv.cv_waiters with
-  | [] -> 0
-  | p :: rest ->
-      cv.cv_waiters <- rest;
+  match Dq.pop_front cv.cv_waiters with
+  | None -> 0
+  | Some p ->
       resume t p;
       1
 
 (* Wake every waiter; returns how many were woken so the caller can charge
    the walk over the wait list. *)
 let broadcast t cv =
-  let ws = cv.cv_waiters in
-  cv.cv_waiters <- [];
+  let ws = Dq.drain cv.cv_waiters in
   List.iter (resume t) ws;
   List.length ws
 
@@ -297,3 +372,211 @@ let sleep_ns t ns =
           ~at:(Int64.add p.pk_at (Int64.of_int ns))
           (fun () -> Effect.Deep.continue p.pk_k ()))
   else Clock.consume_int t.clock ns
+
+(* {1 Work-stealing pool state}
+
+   Per-worker local deques in the Manticore style: owners push/pop at the
+   front (LIFO for locally-spawned work via [push_local], FIFO drain of
+   submissions via [pop]), thieves take the *oldest* entry from a victim's
+   front (FIFO steal), so stolen work is the work that has waited longest.
+
+   This module is pure bookkeeping — it owns no mutexes and charges no
+   virtual time.  The client (the FUSE connection) wraps each queue in its
+   own shard lock and charges lock/wake/steal-walk costs itself; that keeps
+   the accounting policy where the cost model lives.
+
+   Determinism: victim selection draws from a per-worker SplitMix64 stream
+   seeded from (pool seed, worker id), XOR-mixed with the caller's virtual
+   clock so the walk order depends only on (seed, worker, time) — never on
+   physical scheduling.  Parked-worker targeting is a LIFO stack: the most
+   recently parked worker is woken first (its state is warmest and its park
+   is cheapest to cancel), folded into a cost-scored placement that weighs
+   waking a sleeper against queueing behind a soon-free busy worker. *)
+
+module Ws = struct
+  type 'a t = {
+    ws_seed : int;
+    mutable ws_queues : 'a Dq.t array;
+    mutable ws_rngs : Rng.t array;
+    mutable ws_parked : int list; (* LIFO: head = most recently parked *)
+    mutable ws_avail : int64 array;
+        (* virtual time each worker's last known work segment ends: a
+           submission before it is picked up at [avail] for free (the
+           worker is semantically still busy and finds it on its next
+           queue check); one at or after it needs a wake *)
+    mutable ws_queued : int; (* total items across all queues *)
+    mutable ws_steals : int;
+    mutable ws_steal_fails : int;
+    mutable ws_local_hits : int;
+  }
+
+  let worker_rng seed i =
+    (* Distinct stream per worker: golden-ratio mix of the worker id. *)
+    Rng.create ~seed:(seed lxor ((i + 1) * 0x9E3779B9))
+
+  let create ?(seed = 0x5EED) () =
+    {
+      ws_seed = seed;
+      ws_queues = [||];
+      ws_rngs = [||];
+      ws_parked = [];
+      ws_avail = [||];
+      ws_queued = 0;
+      ws_steals = 0;
+      ws_steal_fails = 0;
+      ws_local_hits = 0;
+    }
+
+  let size p = Array.length p.ws_queues
+
+  let ensure p n =
+    let have = size p in
+    if n > have then begin
+      let queues = Array.init n (fun _ -> Dq.create ()) in
+      Array.blit p.ws_queues 0 queues 0 have;
+      let rngs = Array.init n (fun i -> worker_rng p.ws_seed i) in
+      Array.blit p.ws_rngs 0 rngs 0 have;
+      let avail = Array.make n 0L in
+      Array.blit p.ws_avail 0 avail 0 have;
+      p.ws_queues <- queues;
+      p.ws_rngs <- rngs;
+      p.ws_avail <- avail
+    end
+
+  let depth p i = Dq.length p.ws_queues.(i)
+  let queued p = p.ws_queued
+  let steals p = p.ws_steals
+  let steal_fails p = p.ws_steal_fails
+  let local_hits p = p.ws_local_hits
+
+  let is_parked p i = List.mem i p.ws_parked
+
+  (* Submission placement: minimize the request's expected pickup delay.
+
+     The one signal that matters is each worker's [avail] — the virtual
+     time its last known work segment ends (simulation fibers run ahead of
+     the virtual timeline, so a worker that has already yielded, slept or
+     parked in *event* order may still be mid-item at the submit instant).
+     A submission before [avail] is picked up at [avail] for free: the
+     worker is semantically still busy and finds the entry on its next
+     queue check — this is what lets partitioned deques keep the global
+     FIFO's pipelining, where whichever worker freed first absorbed a
+     request submitted during its service time for just the residual wait.
+     A submission at or after [avail] finds the worker idle (blocked in
+     read(2)) and pays a full wake [wake_ns]; every already-queued entry
+     adds one service time [item_ns].  Ties prefer the most recently
+     parked worker (LIFO — warmest state), then the lowest id.  Pure
+     function of pool state: placement stays deterministic.  Returns
+     (worker id, was-parked hint). *)
+  let submit_target p ~now ~wake_ns ~item_ns =
+    let n = size p in
+    let score i =
+      let q = depth p i * item_ns in
+      let avail = p.ws_avail.(i) in
+      if Int64.compare avail now > 0 then
+        (* still within its work segment or spin-grace window: a parked
+           worker here is spinning and picks the entry up instantly; an
+           unparked one absorbs it when its segment ends at [avail] *)
+        if is_parked p i then q else Int64.to_int (Int64.sub avail now) + q
+      else wake_ns + q
+    in
+    let best = ref 0 and best_score = ref max_int in
+    (* most recently parked first, so equal-score parked workers resolve
+       LIFO; the id loop below never displaces an equal score *)
+    List.iter
+      (fun i ->
+        if i < n then begin
+          let s = score i in
+          if s < !best_score then begin
+            best := i;
+            best_score := s
+          end
+        end)
+      p.ws_parked;
+    for i = 0 to n - 1 do
+      let s = score i in
+      if s < !best_score then begin
+        best := i;
+        best_score := s
+      end
+    done;
+    let id = !best in
+    if is_parked p id then begin
+      p.ws_parked <- List.filter (fun j -> j <> id) p.ws_parked;
+      (id, true)
+    end
+    else (id, false)
+
+  let set_avail p i at = p.ws_avail.(i) <- at
+
+  let avail p i = p.ws_avail.(i)
+
+  let set_parked p i ~at =
+    p.ws_avail.(i) <- at;
+    if not (List.mem i p.ws_parked) then p.ws_parked <- i :: p.ws_parked
+
+  let clear_parked p i =
+    p.ws_parked <- List.filter (fun j -> j <> i) p.ws_parked
+
+  (* Submissions enter at the back: the owner drains its queue oldest-first. *)
+  let push p i x =
+    Dq.push_back p.ws_queues.(i) x;
+    p.ws_queued <- p.ws_queued + 1
+
+  (* Locally-spawned work enters at the front (LIFO for the owner);
+     thieves still take from the oldest end. *)
+  let push_local p i x =
+    Dq.push_front p.ws_queues.(i) x;
+    p.ws_queued <- p.ws_queued + 1
+
+  let peek p i = Dq.peek_front p.ws_queues.(i)
+
+  let pop p i =
+    match Dq.pop_front p.ws_queues.(i) with
+    | Some x ->
+        p.ws_queued <- p.ws_queued - 1;
+        p.ws_local_hits <- p.ws_local_hits + 1;
+        Some x
+    | None -> None
+
+  (* FIFO steal: the oldest entry of the victim's queue. *)
+  let steal_from p ~victim =
+    match Dq.pop_front p.ws_queues.(victim) with
+    | Some x ->
+        p.ws_queued <- p.ws_queued - 1;
+        p.ws_steals <- p.ws_steals + 1;
+        Some x
+    | None -> None
+
+  let steal_failed p = p.ws_steal_fails <- p.ws_steal_fails + 1
+
+  (* Deterministic victim walk for [thief]: a cyclic rotation of the other
+     workers, whose starting point mixes the thief's private SplitMix64
+     stream with the virtual clock.  Same (seed, thief, now, draw count)
+     always yields the same order. *)
+  let victim_order p ~thief ~now =
+    let n = size p in
+    if n <= 1 then []
+    else begin
+      let others = ref [] in
+      for i = n - 1 downto 0 do
+        if i <> thief then others := i :: !others
+      done;
+      let others = Array.of_list !others in
+      let m = Array.length others in
+      let draw = Int64.logxor (Rng.next_int64 p.ws_rngs.(thief)) now in
+      let start =
+        Int64.to_int (Int64.rem (Int64.logand draw Int64.max_int) (Int64.of_int m))
+      in
+      List.init m (fun k -> others.((start + k) mod m))
+    end
+
+  (* Oldest-first snapshot of everything queued anywhere (used on crash
+     drains); empties all queues. *)
+  let drain_all p =
+    let xs =
+      Array.to_list p.ws_queues |> List.concat_map (fun q -> Dq.drain q)
+    in
+    p.ws_queued <- 0;
+    xs
+end

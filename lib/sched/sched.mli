@@ -104,3 +104,103 @@ val yield : t -> unit
     order tracks virtual-time order.  No-op at top level. *)
 
 val sleep_ns : t -> int -> unit
+
+(** {1 Two-list FIFO deque}
+
+    Amortized O(1) push/pop at both ends; backs every scheduler wait list
+    (replacing the old quadratic [xs @ [x]] appends) and the per-worker
+    run queues of {!Ws}. *)
+
+module Dq : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val push_back : 'a t -> 'a -> unit
+  val push_front : 'a t -> 'a -> unit
+  val peek_front : 'a t -> 'a option
+  val pop_front : 'a t -> 'a option
+  val pop_back : 'a t -> 'a option
+
+  val drain : 'a t -> 'a list
+  (** Oldest-first snapshot; empties the deque. *)
+end
+
+(** {1 Work-stealing pool state}
+
+    Per-worker local deques with LIFO local push and FIFO steal, plus
+    deterministic victim selection (per-worker SplitMix64 streams mixed
+    with the virtual clock) and cost-scored submission placement (expected
+    pickup delay, with a LIFO parked stack for the wake case).  Pure
+    bookkeeping: the client owns the locks and charges lock/wake/steal-walk
+    costs itself. *)
+
+module Ws : sig
+  type 'a t
+
+  val create : ?seed:int -> unit -> 'a t
+
+  val ensure : 'a t -> int -> unit
+  (** Grow the pool to at least [n] worker queues. *)
+
+  val size : 'a t -> int
+
+  val depth : 'a t -> int -> int
+  (** Queue length of one worker. *)
+
+  val queued : 'a t -> int
+  (** Total items across all queues. *)
+
+  val submit_target : 'a t -> now:int64 -> wake_ns:int -> item_ns:int -> int * bool
+  (** Choose the worker with the lowest expected pickup delay for a new
+      submission at virtual time [now].  A worker whose {!avail} is ahead
+      of [now] is semantically still mid-item (its fiber merely ran ahead
+      in event order) and picks the entry up at [avail] for free; one
+      whose [avail] has passed is idle and costs a wake ([wake_ns]); each
+      queued entry adds one expected service time ([item_ns]).  Ties go
+      to the most recently parked worker (LIFO), then the lowest id.  A
+      parked winner is popped off the parked stack (the caller is
+      expected to wake it); the boolean is the was-parked hint. *)
+
+  val set_avail : 'a t -> int -> int64 -> unit
+  (** Record the virtual time at which worker [i]'s current work segment
+      ends (it can absorb submissions stamped earlier with no wake). *)
+
+  val avail : 'a t -> int -> int64
+
+  val set_parked : 'a t -> int -> at:int64 -> unit
+  (** Push worker [i] onto the parked stack; [at] (the virtual park time)
+      also becomes its {!avail}. *)
+
+  val clear_parked : 'a t -> int -> unit
+
+  val push : 'a t -> int -> 'a -> unit
+  (** Submission entry: back of worker [i]'s queue (owner drains FIFO). *)
+
+  val push_local : 'a t -> int -> 'a -> unit
+  (** Locally-spawned work: front of worker [i]'s queue (owner LIFO). *)
+
+  val peek : 'a t -> int -> 'a option
+
+  val pop : 'a t -> int -> 'a option
+  (** Owner pop (front); counts a local hit on success. *)
+
+  val steal_from : 'a t -> victim:int -> 'a option
+  (** FIFO steal: the oldest entry of [victim]'s queue; counts a steal on
+      success. *)
+
+  val steal_failed : 'a t -> unit
+  (** Record one failed steal walk. *)
+
+  val victim_order : 'a t -> thief:int -> now:int64 -> int list
+  (** Deterministic cyclic walk over the other workers; the starting point
+      mixes [thief]'s private SplitMix64 stream with [now]. *)
+
+  val drain_all : 'a t -> 'a list
+  (** Oldest-first snapshot of everything queued; empties all queues. *)
+
+  val steals : 'a t -> int
+  val steal_fails : 'a t -> int
+  val local_hits : 'a t -> int
+end

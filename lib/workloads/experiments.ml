@@ -238,13 +238,18 @@ let fig3e () =
     [ Suite.compilebench_read; Suite.postmark ]
 
 (* --- Figure 4: multithreading -------------------------------------------------- *)
-(* IOzone sequential read, 500 MB / 4 KiB records (scaled), with 1-16
-   CntrFS server threads.  The reader is single-threaded, so extra workers
-   never help; every submission wakes the whole parked herd off the
-   /dev/fuse waitqueue, and the submitter pays the wait-list walk per extra
-   thread — the emergent coordination tax drops throughput by up to ~8% at
-   16 threads.  4 KiB files keep each request a single READ, so no
-   read-batch parallelism masks the tax. *)
+(* IOzone sequential read, 500 MB / 4 KiB records (scaled), sweeping the
+   CntrFS server thread count.  The reader is single-threaded, so extra
+   workers never help; the question is what they *cost*.  Under the old
+   global pending queue every submission broadcast-woke the whole parked
+   herd and paid a wait-list walk per extra thread, an emergent
+   coordination tax of up to ~8% at 16 threads.  With per-worker
+   submission deques the submitter targets one worker and wakes it alone,
+   so idle threads are never on the critical path and the sweep stays
+   flat — including the 64- and 256-thread legs far past the paper's
+   axis, where the herd tax would have been ruinous.  4 KiB records keep
+   each request a single READ, so no read-batch parallelism masks the
+   result. *)
 
 type thread_point = { tp_threads : int; tp_mbps : float }
 
@@ -272,12 +277,74 @@ let figure4 () =
       settle env;
       let t0 = Clock.now_ns env.kernel.Repro_os.Kernel.clock in
       (* run as the scheduler's root task (like run_workload): the event
-         loop then retires the spurious herd wakes in time order, so their
-         cost is real rather than left pending in the queue *)
+         loop then retires every wake in time order, so its cost is real
+         rather than left pending in the queue *)
       Repro_sched.Sched.run env.sched (fun () -> fig4_workload.w_run env);
       let ns = Int64.to_int (Int64.sub (Clock.now_ns env.kernel.Repro_os.Kernel.clock) t0) in
       { tp_threads = threads; tp_mbps = throughput ~bytes ~ns })
-    [ 1; 2; 4; 8; 16 ]
+    [ 1; 2; 4; 8; 16; 64; 256 ]
+
+(* Contended companion to Figure 4: 8 concurrent readers over disjoint
+   files, where extra workers *can* help and placement mistakes *can*
+   hurt.  The point of the sweep is the right-hand side: oversized pools
+   (64, 256 threads) must not collapse — submissions spread over mostly
+   idle deques and the stealers repair the imbalance, so the steal
+   counters are the interesting output alongside throughput. *)
+
+type contended_point = {
+  cp_threads : int;
+  cp_mbps : float;
+  cp_steals : int;
+  cp_steal_fails : int;
+  cp_local_hits : int;
+}
+
+let fig4c_readers = 8
+let fig4c_file_bytes = 128 * kib 4 (* ~512 KiB per reader *)
+
+let fig4_contended_workload =
+  {
+    w_name = "fig4c";
+    w_paper = 0.;
+    w_concurrency = fig4c_readers;
+    w_budget_mb = 64;
+    w_setup =
+      (fun env ->
+        let data = String.make fig4c_file_bytes 'r' in
+        for r = 0 to fig4c_readers - 1 do
+          write_file env (Printf.sprintf "%s/ioz%d" env.backing_dir r) data
+        done);
+    w_run =
+      (fun env ->
+        concurrently env
+          (List.init fig4c_readers (fun r () ->
+               let fd =
+                 openf env (Printf.sprintf "%s/ioz%d" env.dir r) [ Types.O_RDONLY ] 0
+               in
+               seq_read env fd ~total:fig4c_file_bytes ~record:(kib 4);
+               closef env fd)));
+  }
+
+let figure4_contended () =
+  let bytes = fig4c_readers * fig4c_file_bytes in
+  List.map
+    (fun threads ->
+      let obs = Repro_obs.Obs.create () in
+      let env = make_env ~obs ~backend:(Cntrfs Opts.cntr_default) ~budget_mb:64 ~threads () in
+      fig4_contended_workload.w_setup env;
+      settle env;
+      let t0 = Clock.now_ns env.kernel.Repro_os.Kernel.clock in
+      Repro_sched.Sched.run env.sched (fun () -> fig4_contended_workload.w_run env);
+      let ns = Int64.to_int (Int64.sub (Clock.now_ns env.kernel.Repro_os.Kernel.clock) t0) in
+      let m = Repro_obs.Obs.metrics obs in
+      {
+        cp_threads = threads;
+        cp_mbps = throughput ~bytes ~ns;
+        cp_steals = Repro_obs.Metrics.counter_value m "sched.steals";
+        cp_steal_fails = Repro_obs.Metrics.counter_value m "sched.steal_fails";
+        cp_local_hits = Repro_obs.Metrics.counter_value m "sched.local_hits";
+      })
+    [ 4; 16; 64; 256 ]
 
 (* --- ablation matrix: which optimization buys what ----------------------------- *)
 (* Beyond the paper's Figure 3: switch each optimization off *individually*

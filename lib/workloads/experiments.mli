@@ -42,8 +42,25 @@ val fig3e : unit -> e3e_row list
 
 type thread_point = { tp_threads : int; tp_mbps : float }
 
-(** Figure 4: sequential-read throughput at 1, 2, 4, 8, 16 server threads. *)
+(** Figure 4: single-reader sequential-read throughput at 1, 2, 4, 8, 16,
+    64 and 256 server threads.  With per-worker submission deques and
+    targeted wakeups, idle threads stay off the critical path and the
+    sweep is flat; the 64/256 legs probe far past the paper's axis. *)
 val figure4 : unit -> thread_point list
+
+type contended_point = {
+  cp_threads : int;
+  cp_mbps : float;
+  cp_steals : int;  (** [sched.steals] over the run *)
+  cp_steal_fails : int;  (** [sched.steal_fails] *)
+  cp_local_hits : int;  (** [sched.local_hits] *)
+}
+
+(** Contended companion to Figure 4: 8 concurrent readers over disjoint
+    files at 4, 16, 64 and 256 server threads.  Oversized pools must not
+    collapse — work stealing repairs placement imbalance, and the steal
+    counters are reported alongside throughput. *)
+val figure4_contended : unit -> contended_point list
 
 type matrix_row = { mr_config : string; mr_overhead : float }
 

@@ -373,6 +373,41 @@ let test_stats_subscribe () =
   check_b "created event" true (List.mem "session.created" events);
   check_b "detached event" true (List.mem "session.detached" events)
 
+let test_subscribe_bounded_buffer () =
+  (* A subscriber whose transport never becomes ready: events pile into
+     its ring, the ring never exceeds the configured bound, the overflow
+     is counted under ctrl.subscribe.dropped, and nothing is ever
+     delivered through the stuck sink. *)
+  let world = boot () in
+  let d =
+    Daemon.create ~config:{ Daemon.default_config with Daemon.c_sub_buffer = 4 } world
+  in
+  let delivered = ref 0 in
+  let req =
+    {
+      Rpc.r_id = Some (Rpc.I 1);
+      r_method = "stats.subscribe";
+      r_params = Jsonx.Obj [];
+    }
+  in
+  let tk =
+    Option.get
+      (Daemon.submit d
+         ~sink:(fun _ -> incr delivered)
+         ~sink_ready:(fun () -> false)
+         req)
+  in
+  ignore (Daemon.response d tk);
+  (* churn out more events than the ring holds *)
+  let c = Client.in_process d in
+  for _ = 1 to 6 do
+    let s = ok' (Client.session_create c ~tenant:"ops" "web") in
+    ignore (ok' (Client.session_detach c ~session:s.Client.sc_session))
+  done;
+  Daemon.pump d;
+  check_i "stuck sink received nothing" 0 !delivered;
+  check_b "overflow counted" true (counter world "ctrl.subscribe.dropped" > 0)
+
 (* --- fault plan grammar: ctrl site round-trip -------------------------------- *)
 
 let test_ctrl_site_grammar () =
@@ -413,5 +448,10 @@ let () =
           Alcotest.test_case "create/crash/recover" `Quick test_fault_create_crash_recover;
           Alcotest.test_case "detach races recovery" `Quick test_detach_races_recovery;
         ] );
-      ("events", [ Alcotest.test_case "stats.subscribe" `Quick test_stats_subscribe ]);
+      ( "events",
+        [
+          Alcotest.test_case "stats.subscribe" `Quick test_stats_subscribe;
+          Alcotest.test_case "bounded subscriber buffer" `Quick
+            test_subscribe_bounded_buffer;
+        ] );
     ]

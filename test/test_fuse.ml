@@ -416,6 +416,73 @@ let test_worker_fairness () =
     true
     (mx <= 4 * mn)
 
+let test_sixteen_worker_determinism () =
+  (* 16 workers, a grouped concurrent load: two fresh runs leave
+     byte-identical registries — counters, gauges AND latency histograms.
+     Placement scoring, steal walks and park order all derive from the
+     virtual clock and the pool's seeded rng streams, never from host
+     scheduling, so `cntr stats --json` is reproducible at any width. *)
+  let run () =
+    let clock = Clock.create () in
+    let conn = Conn.create ~clock ~cost:Cost.default () in
+    Conn.set_handler conn (fun _ _ -> Protocol.R_ok);
+    conn.Conn.threads <- 16;
+    Conn.start_serving conn;
+    for _ = 1 to 6 do
+      ignore
+        (Conn.call_group conn Protocol.root_ctx (List.init 24 (fun _ -> Protocol.Statfs)))
+    done;
+    Conn.quiesce conn;
+    Repro_obs.Metrics.to_json (Repro_obs.Obs.metrics (Conn.obs conn))
+  in
+  Alcotest.(check string) "byte-identical stats at 16 workers" (run ()) (run ())
+
+let test_rename_storm_no_deadlock () =
+  (* Serialized dirops shard the directory locks by inode hash, and rename
+     takes its two shards in table order.  A seeded storm of concurrent
+     cross-directory renames — enough parents that some must collide in
+     the 64-entry shard table, with tasks hopping in opposing directions —
+     must run to completion (a lock cycle would surface as
+     Sched.Deadlock) with every file still reachable where its task left
+     it. *)
+  let w = boot ~opts:{ Opts.cntr_default with Opts.parallel_dirops = false } () in
+  let ndirs = 66 (* > 64 shards: the pigeonhole guarantees collisions *) in
+  let ntasks = 8 and hops = 20 in
+  for d = 0 to ndirs - 1 do
+    ok (Kernel.mkdir w.k w.init (Printf.sprintf "/mnt/d%02d" d) ~mode:0o777)
+  done;
+  for t = 0 to ntasks - 1 do
+    write_file w (Printf.sprintf "/mnt/d%02d/f%d" t t) "payload"
+  done;
+  let sched = Conn.sched w.session.Session.conn in
+  let final = Array.make ntasks 0 in
+  Repro_sched.Sched.run sched (fun () ->
+      let tasks =
+        List.init ntasks (fun t ->
+            Repro_sched.Sched.spawn sched (fun () ->
+                (* distinct strides give opposing lock orders across the
+                   same directory pairs *)
+                let stride = (t * 13) + 7 in
+                let cur = ref t in
+                for _ = 1 to hops do
+                  let next = (!cur + stride) mod ndirs in
+                  ok
+                    (Kernel.rename w.k w.init
+                       ~src:(Printf.sprintf "/mnt/d%02d/f%d" !cur t)
+                       ~dst:(Printf.sprintf "/mnt/d%02d/f%d" next t));
+                  cur := next
+                done;
+                final.(t) <- !cur))
+      in
+      List.iter (fun task -> Repro_sched.Sched.await sched task) tasks);
+  for t = 0 to ntasks - 1 do
+    let st =
+      ok (Kernel.stat w.k w.init (Printf.sprintf "/mnt/d%02d/f%d" final.(t) t))
+    in
+    check_b (Printf.sprintf "file %d intact after the storm" t) true
+      (st.Types.st_size = String.length "payload")
+  done
+
 let () =
   Alcotest.run "fuse"
     [
@@ -446,6 +513,9 @@ let () =
           Alcotest.test_case "FIFO ordering" `Quick test_queue_fifo_ordering;
           Alcotest.test_case "congestion backpressure" `Quick test_background_backpressure;
           Alcotest.test_case "worker fairness" `Quick test_worker_fairness;
+          Alcotest.test_case "16-worker determinism" `Quick test_sixteen_worker_determinism;
+          Alcotest.test_case "rename storm is deadlock-free" `Quick
+            test_rename_storm_no_deadlock;
         ] );
       ( "forgets",
         [

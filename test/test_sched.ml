@@ -206,6 +206,147 @@ let qcheck_sequential_identity =
     QCheck.(list_of_size Gen.(1 -- 40) int)
     sequential_identity_prop
 
+(* --- Dq model check ---------------------------------------------------------
+
+   The two-list deque against the obvious list model: any interleaving of
+   pushes and pops at both ends matches list semantics.  Every scheduler
+   wait list and worker run queue now leans on this structure. *)
+
+let dq_model_prop (ops : (int * int) list) =
+  let dq : int Sched.Dq.t = Sched.Dq.create () in
+  let model = ref [] in
+  (* front of the deque = head of the list *)
+  let ok = ref true in
+  let expect a b = if a <> b then ok := false in
+  List.iter
+    (fun (op, v) ->
+      match abs op mod 4 with
+      | 0 ->
+          Sched.Dq.push_back dq v;
+          model := !model @ [ v ]
+      | 1 ->
+          Sched.Dq.push_front dq v;
+          model := v :: !model
+      | 2 -> (
+          let got = Sched.Dq.pop_front dq in
+          match !model with
+          | [] -> expect got None
+          | x :: rest ->
+              model := rest;
+              expect got (Some x))
+      | _ -> (
+          let got = Sched.Dq.pop_back dq in
+          match List.rev !model with
+          | [] -> expect got None
+          | x :: rest ->
+              model := List.rev rest;
+              expect got (Some x)))
+    ops;
+  !ok
+  && Sched.Dq.length dq = List.length !model
+  && Sched.Dq.is_empty dq = (!model = [])
+  && Sched.Dq.drain dq = !model
+
+let qcheck_dq_model =
+  QCheck.Test.make ~count:500 ~name:"Dq == list model"
+    QCheck.(list_of_size Gen.(0 -- 60) (pair small_int small_int))
+    dq_model_prop
+
+(* --- Ws: deterministic steal order ------------------------------------------ *)
+
+let test_ws_victim_order () =
+  let p1 : int Sched.Ws.t = Sched.Ws.create ~seed:42 () in
+  let p2 : int Sched.Ws.t = Sched.Ws.create ~seed:42 () in
+  Sched.Ws.ensure p1 8;
+  Sched.Ws.ensure p2 8;
+  (* same seed, same thief, same instant: byte-identical walks *)
+  let o1 = Sched.Ws.victim_order p1 ~thief:3 ~now:123456L in
+  let o2 = Sched.Ws.victim_order p2 ~thief:3 ~now:123456L in
+  Alcotest.(check (list int)) "same seed, same walk" o1 o2;
+  (* a walk visits every other worker exactly once, never the thief *)
+  check_i "walk covers the pool" 7 (List.length o1);
+  check_b "thief is not its own victim" true (not (List.mem 3 o1));
+  check_i "no duplicate victims" 7 (List.length (List.sort_uniq compare o1));
+  (* the starting point rotates with the clock (different instants give a
+     different rotation somewhere), and with the thief's private stream *)
+  check_b "rotation varies with the clock" true
+    (List.exists
+       (fun now -> Sched.Ws.victim_order p1 ~thief:3 ~now <> o1)
+       [ 1L; 2L; 3L; 4L; 5L; 6L; 7L; 8L ]);
+  check_b "rotation varies across thieves" true
+    (List.exists
+       (fun thief ->
+         List.filter (fun v -> v <> 3) (Sched.Ws.victim_order p1 ~thief ~now:123456L)
+         <> List.filter (fun v -> v <> thief) o1)
+       [ 0; 1; 2; 4 ])
+
+(* --- Ws: one worker degenerates to inline ------------------------------------
+
+   A pool of ONE worker running the full pop-steal-park loop serves
+   randomized submissions on exactly the inline timeline: the stealing
+   machinery (empty victim walks, placement scoring, park/wake
+   bookkeeping) adds no virtual time of its own. *)
+
+let ws_single_worker_prop (works : int list) =
+  let works = List.map (fun w -> 1 + (abs w mod 10_000)) works in
+  let expect = List.fold_left (fun acc w -> acc + 30 + w) 0 works in
+  let clock, s = mk () in
+  let pool : (int * unit Sched.ivar) Sched.Ws.t = Sched.Ws.create ~seed:7 () in
+  Sched.Ws.ensure pool 1;
+  let m = Sched.mutex () in
+  let cv = Sched.cond () in
+  let n = List.length works in
+  let served = ref 0 in
+  let worker_done : unit Sched.ivar = Sched.ivar () in
+  let _worker =
+    Sched.spawn s (fun () ->
+        while !served < n do
+          Sched.lock s m;
+          (match Sched.Ws.pop pool 0 with
+          | Some (w, reply) ->
+              Sched.unlock s m;
+              Clock.consume_int clock w;
+              incr served;
+              Sched.fill s reply ()
+          | None -> (
+              (* steal walk: no victims in a pool of one *)
+              match Sched.Ws.victim_order pool ~thief:0 ~now:(Clock.now_ns clock) with
+              | _ :: _ -> failwith "victim in a singleton pool"
+              | [] ->
+                  Sched.Ws.set_parked pool 0 ~at:(Clock.now_ns clock);
+                  Sched.unlock s m;
+                  Sched.park s cv;
+                  Sched.Ws.clear_parked pool 0))
+        done;
+        Sched.fill s worker_done ())
+  in
+  List.iter
+    (fun w ->
+      let reply : unit Sched.ivar = Sched.ivar () in
+      let wid, _ =
+        Sched.Ws.submit_target pool ~now:(Clock.now_ns clock) ~wake_ns:2500 ~item_ns:100
+      in
+      Sched.lock s m;
+      Clock.consume_int clock 30;
+      Sched.Ws.push pool wid (w, reply);
+      ignore (Sched.signal s cv);
+      Sched.unlock s m;
+      Sched.read s reply)
+    works;
+  Sched.read s worker_done;
+  (* every placement in a singleton pool lands on worker 0 (size stays 1),
+     the local-hit counter saw every pop, and no virtual time beyond the
+     inline submit+service sum ever passed *)
+  Sched.Ws.size pool = 1
+  && Sched.Ws.local_hits pool = List.length works
+  && Sched.Ws.steals pool = 0
+  && Int64.equal (Clock.now_ns clock) (Int64.of_int expect)
+
+let qcheck_ws_single_worker =
+  QCheck.Test.make ~count:200 ~name:"1-worker stealing pool == inline timeline"
+    QCheck.(list_of_size Gen.(1 -- 40) int)
+    ws_single_worker_prop
+
 (* --- suite ------------------------------------------------------------------ *)
 
 let () =
@@ -234,4 +375,10 @@ let () =
       ("cond", [ tc "broadcast counts waiters" `Quick test_cond_broadcast_counts_waiters ]);
       ( "sequential-identity",
         [ QCheck_alcotest.to_alcotest qcheck_sequential_identity ] );
+      ("dq", [ QCheck_alcotest.to_alcotest qcheck_dq_model ]);
+      ( "work-stealing",
+        [
+          tc "deterministic victim order" `Quick test_ws_victim_order;
+          QCheck_alcotest.to_alcotest qcheck_ws_single_worker;
+        ] );
     ]

@@ -58,16 +58,27 @@ let test_figure3_directions () =
 let test_figure4_shape () =
   let points = Experiments.figure4 () in
   let mbps = List.map (fun p -> p.Experiments.tp_mbps) points in
-  (* monotonically non-increasing *)
+  (* monotonically non-increasing: extra idle workers never *help* a
+     single reader, and with targeted wakeups they may no longer hurt *)
   let rec mono = function
     | a :: (b :: _ as rest) -> a >= b && mono rest
     | _ -> true
   in
-  check_b "throughput decreases with threads" true (mono mbps);
-  let first = List.hd mbps and last = List.nth mbps (List.length mbps - 1) in
-  let drop = 1. -. (last /. first) in
-  check_b (Printf.sprintf "drop at 16 threads %.1f%% in [2%%, 12%%]" (drop *. 100.)) true
-    (drop >= 0.02 && drop <= 0.12)
+  check_b "throughput never rises with threads" true (mono mbps);
+  let first = List.hd mbps in
+  let at n =
+    (List.find (fun p -> p.Experiments.tp_threads = n) points).Experiments.tp_mbps
+  in
+  (* Per-worker deques + targeted wakeups retired the herd tax: the old
+     gate demanded the paper's 2-12% penalty at 16 threads, the sharded
+     queues must keep it under 3%. *)
+  let drop = 1. -. (at 16 /. first) in
+  check_b (Printf.sprintf "drop at 16 threads %.1f%% in [0%%, 3%%]" (drop *. 100.)) true
+    (drop >= 0. && drop <= 0.03);
+  (* the extended tail probes far past the paper's axis: a 256-thread
+     pool may pay a little for its sparse placements but must not
+     collapse *)
+  check_b "256-thread leg holds >= 95% of single-thread" true (at 256 /. first >= 0.95)
 
 let test_figure4_deterministic () =
   (* the sweep derives entirely from the virtual clock and the fixed
