@@ -135,6 +135,82 @@ let e2_smoke () =
     exit 1
   end
 
+(* --- E2a: zero-copy data-path ablation --------------------------------------- *)
+
+(* Streaming-heavy rows of Figure 2 re-run under three data-path configs
+   sharing one cost model (lib/os Datapath): copy (both splice knobs off —
+   every payload pays the memcpy), splice (the default: bulk READ replies
+   move by page remapping, priced setup + per-page), and splice+passthrough
+   (granted opens bypass the FUSE round trip onto the backing file).
+
+   Self-gating: the ladder must hold on every streaming row — passthrough
+   must strictly cut overhead vs. the copy baseline, and must never
+   regress the splice-only leg.  A violated rung exits 1. *)
+let e2a () =
+  section "E2a (ablation) data path: copy vs splice vs splice+passthrough";
+  let open Repro_fuse in
+  let streaming =
+    [ "IOzone: Read"; "IOzone: Write"; "Gzip"; "Threaded I/O: Read"; "FIO" ]
+  in
+  let rows =
+    List.filter
+      (fun w -> List.mem w.Repro_workloads.Bench_env.w_name streaming)
+      Repro_workloads.Suite.figure2
+  in
+  let copy_opts =
+    { Opts.cntr_default with Opts.splice_read = false; splice_write = false; passthrough = 0 }
+  in
+  let splice_opts = Opts.cntr_default in
+  let pt_opts = { Opts.cntr_default with Opts.passthrough = 64 } in
+  Printf.printf "%-22s %10s %10s %12s\n" "workload" "copy" "splice" "splice+pt";
+  let measured =
+    List.map
+      (fun w ->
+        let m opts = Repro_workloads.Bench_env.overhead ~opts w in
+        let c = m copy_opts in
+        let s = m splice_opts in
+        let p = m pt_opts in
+        Printf.printf "%-22s %9.2fx %9.2fx %11.2fx\n%!"
+          w.Repro_workloads.Bench_env.w_name c s p;
+        (w.Repro_workloads.Bench_env.w_name, c, s, p))
+      rows
+  in
+  (* IOzone: Write is the writeback-mode control: its writes batch in the
+     page cache and flush in the background, the grant never bites, and
+     the three legs must price identically.  Every read-streaming row must
+     strictly improve down the ladder. *)
+  let fail = ref false in
+  List.iter
+    (fun (name, c, s, p) ->
+      let strict = not (String.equal name "IOzone: Write") in
+      if (strict && p >= c) || p > c +. 1e-9 then begin
+        Printf.eprintf "e2a: %s: passthrough (%.4fx) did not beat the copy baseline (%.4fx)\n"
+          name p c;
+        fail := true
+      end;
+      if p > s +. 1e-9 then begin
+        Printf.eprintf "e2a: %s: passthrough (%.4fx) regressed the splice leg (%.4fx)\n"
+          name p s;
+        fail := true
+      end)
+    measured;
+  if !fail then exit 1;
+  if !json_mode then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      "{\n  \"experiment\": \"e2a\",\n  \"metric\": \"relative overhead (cntrfs/native) per data-path config\",\n  \"workloads\": [\n";
+    List.iteri
+      (fun i (name, c, s, p) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"name\": \"%s\", \"copy\": %.4f, \"splice\": %.4f, \"splice_passthrough\": %.4f}%s\n"
+             (Repro_obs.Metrics.json_escape name) c s p
+             (if i = List.length measured - 1 then "" else ",")))
+      measured;
+    Buffer.add_string buf "  ]\n}";
+    write_json_file "BENCH_e2a.json" (Buffer.contents buf)
+  end
+
 (* --- E3: Figure 3 ------------------------------------------------------------ *)
 
 let e3 () =
@@ -431,7 +507,11 @@ type e8_row = {
   x_ns : int; (* virtual ns the workload consumed *)
 }
 
-let e8_scenario ~name ~recover ?fault ?retry () =
+(* [opts] selects the mount configuration (the passthrough scenario runs
+   with grants armed); [hold] keeps one fd on /mnt/alpha open across the
+   whole phase-A loop so a crash lands while its passthrough grant is
+   live; [expect_pt] additionally gates on the grant/revocation counters. *)
+let e8_scenario ~name ~recover ?opts ?(hold = false) ?(expect_pt = false) ?fault ?retry () =
   let open Repro_vfs in
   let open Repro_os in
   let open Repro_fuse in
@@ -455,7 +535,8 @@ let e8_scenario ~name ~recover ?fault ?retry () =
   let server = Kernel.fork k init in
   let budget = Mem_budget.create ~limit_bytes:(32 * 1024 * 1024) in
   let session =
-    Session.create ~kernel:k ~server_proc:server ~root_path:"/back" ?fault ?retry ~budget ()
+    Session.create ~kernel:k ~server_proc:server ~root_path:"/back" ?opts ?fault ?retry
+      ~budget ()
   in
   (match Session.fault session with
   | Some f ->
@@ -475,6 +556,14 @@ let e8_scenario ~name ~recover ?fault ?retry () =
     |> String.concat ";"
   in
   let fp_before = backing_fp () in
+  (* the held fd: opened before any fault fires, so its passthrough grant
+     (when [opts] arms the plane) is live when the crash lands *)
+  let held =
+    if hold then
+      Some
+        (Errno.ok_exn (Kernel.open_ k init "/mnt/alpha" [ Repro_vfs.Types.O_RDONLY ] ~mode:0))
+    else None
+  in
   let t0 = Clock.now_ns clock in
   (* an injected Fail errno surfacing to the caller is the plan working as
      written, not an unbounded failure; anything outside the plan's own
@@ -499,6 +588,11 @@ let e8_scenario ~name ~recover ?fault ?retry () =
         observe (Kernel.read_whole k init ("/mnt/" ^ fname));
         observe (Kernel.stat k init ("/mnt/" ^ fname)))
       e8_files;
+    (* the held fd reads through its grant while the server is up, falls
+       back to the round trip (ENOTCONN while dead) after revocation *)
+    (match held with
+    | Some fd -> observe (Kernel.pread k init fd ~off:0 ~len:512)
+    | None -> ());
     observe (Kernel.readdir k init "/mnt");
     (* one write per round, so write-site rules have something to bite on;
        it lands next to the seeded files without touching their bytes *)
@@ -541,6 +635,17 @@ let e8_scenario ~name ~recover ?fault ?retry () =
       e8_files
   in
   let ns = Int64.to_int (Int64.sub (Clock.now_ns clock) t0) in
+  (match held with Some fd -> ignore (Kernel.close k init fd) | None -> ());
+  if expect_pt then begin
+    if c "fuse.passthrough.grants" < 1 then begin
+      Printf.eprintf "e8: scenario %s: passthrough armed but no grant was issued\n" name;
+      exit 1
+    end;
+    if c "fuse.passthrough.revocations" < 1 then begin
+      Printf.eprintf "e8: scenario %s: crash with a live grant counted no revocation\n" name;
+      exit 1
+    end
+  end;
   Session.quiesce session;
   {
     x_name = name;
@@ -608,6 +713,19 @@ let e8 () =
     List.map
       (fun (name, recover, fault, retry) -> e8_scenario ~name ~recover ?fault ?retry ())
       scenarios
+  in
+  let rows =
+    rows
+    @ [
+        (* crash while a passthrough grant is live: the bypass plane must
+           revoke the grant, fall back to round-trip I/O and recover with
+           no data loss (gated inside the scenario via [expect_pt]) *)
+        e8_scenario ~name:"crash-pt-grant" ~recover:true
+          ~opts:{ Repro_fuse.Opts.cntr_default with Repro_fuse.Opts.passthrough = 4 }
+          ~hold:true ~expect_pt:true
+          ~fault:(Fault.plan [ r (Fault.Fuse None) (Fault.Nth 25) Fault.Crash_server ])
+          ~retry:Fault.retry_default ();
+      ]
   in
   let base_ns =
     match rows with { x_ns; _ } :: _ -> float_of_int (max 1 x_ns) | [] -> 1.
@@ -1175,9 +1293,9 @@ let micro () =
 (* --- driver ---------------------------------------------------------------------- *)
 
 let all =
-  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e3e", e3e); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("fleet", fleet); ("loc", e7); ("ablate", ablate);
-    ("cache", cache_sweep); ("micro", micro) ]
+  [ ("e1", e1); ("e2", e2); ("e2a", e2a); ("e3", e3); ("e3e", e3e); ("e4", e4); ("e5", e5);
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("fleet", fleet); ("loc", e7);
+    ("ablate", ablate); ("cache", cache_sweep); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1192,7 +1310,7 @@ let () =
   end;
   let to_run =
     match args with
-    | [] -> [ e1; e2; e3; e3e; e4; e5; e6; e7; e8; e9; ablate; cache_sweep; micro ]
+    | [] -> [ e1; e2; e2a; e3; e3e; e4; e5; e6; e7; e8; e9; ablate; cache_sweep; micro ]
     | names ->
         List.filter_map
           (fun n ->

@@ -40,6 +40,15 @@ type hc_slot = {
   mutable hc_tick : int; (* LRU stamp *)
 }
 
+(* One live passthrough grant, keyed by the server fh it was issued with.
+   The bounded LRU caps how many backing fds the server promises to keep
+   stable for driver-side bypass I/O; overflow revokes the coldest. *)
+type pt_slot = {
+  ps_grant : Protocol.grant;
+  ps_bino : int; (* backing ino, for mutation-driven revocation *)
+  mutable ps_tick : int; (* LRU stamp *)
+}
+
 module Metrics = Repro_obs.Metrics
 
 type t = {
@@ -66,6 +75,12 @@ type t = {
   hc : (int, hc_slot) Hashtbl.t; (* backing ino -> slot *)
   hc_paths : (string, int) Hashtbl.t; (* path -> backing ino *)
   mutable hc_tick : int;
+  (* passthrough plane: live grants (capacity 0 = disabled) and the
+     revocation counter, shared with the driver's registry entry *)
+  pt_cap : int;
+  pts : (int, pt_slot) Hashtbl.t; (* server fh -> slot *)
+  mutable pt_tick : int;
+  pt_m_revoked : Metrics.counter option;
   rdp_entry_valid_ns : int;
   rdp_attr_valid_ns : int;
   (* "cntrfs.*" counters on the kernel's registry: lookups, the backing
@@ -86,7 +101,8 @@ let shard_count = 64
 (* Golden-ratio multiplicative hash, same spread as the dirop shards. *)
 let shard key = key * 0x9E3779B9 land (shard_count - 1)
 
-let create ?sched ~kernel ~proc ~root_path ?(handle_cache = 0) ?(valid_ns = (0, 0)) () =
+let create ?sched ~kernel ~proc ~root_path ?(handle_cache = 0) ?(valid_ns = (0, 0))
+    ?(passthrough = 0) () =
   let metrics = Repro_obs.Obs.metrics kernel.Kernel.obs in
   let m_lookups = Metrics.counter metrics "cntrfs.lookup.count" in
   let m_backing_ops = Metrics.counter metrics "cntrfs.lookup.backing_ops" in
@@ -118,6 +134,13 @@ let create ?sched ~kernel ~proc ~root_path ?(handle_cache = 0) ?(valid_ns = (0, 
       hc = Hashtbl.create 256;
       hc_paths = Hashtbl.create 256;
       hc_tick = 0;
+      pt_cap = max 0 passthrough;
+      pts = Hashtbl.create 16;
+      pt_tick = 0;
+      pt_m_revoked =
+        (if passthrough > 0 then
+           Some (Metrics.counter metrics "fuse.passthrough.revocations")
+         else None);
       rdp_entry_valid_ns = fst valid_ns;
       rdp_attr_valid_ns = snd valid_ns;
       m_lookups;
@@ -277,6 +300,75 @@ let hc_invalidate_subtree t dir =
             Hashtbl.remove t.hc bino))
       doomed
   end
+
+(* --- passthrough grants --------------------------------------------------- *)
+
+(* Revoke the grant issued with server fh [sfh]: flip the capability dead
+   and count it — something was taken away from a live handle, and the
+   driver will fall back to round trips when it next checks. *)
+let pt_revoke t sfh =
+  match Hashtbl.find_opt t.pts sfh with
+  | None -> ()
+  | Some slot ->
+      Hashtbl.remove t.pts sfh;
+      if slot.ps_grant.Protocol.g_valid then begin
+        slot.ps_grant.Protocol.g_valid <- false;
+        match t.pt_m_revoked with Some c -> Metrics.incr c | None -> ()
+      end
+
+(* End of life (RELEASE/DESTROY): the grant dies with its handle — no
+   revocation counted, nothing was taken from a live handle. *)
+let pt_drop t sfh =
+  match Hashtbl.find_opt t.pts sfh with
+  | None -> ()
+  | Some slot ->
+      Hashtbl.remove t.pts sfh;
+      slot.ps_grant.Protocol.g_valid <- false
+
+(* A server-side mutation of the backing inode: every grant on it must go
+   — the driver has to observe the change through round trips, not
+   through a bypassed fd.  Revocations run in fh order so the counter's
+   trajectory is deterministic. *)
+let pt_revoke_backing t bino =
+  if t.pt_cap > 0 then
+    Hashtbl.fold
+      (fun sfh slot acc -> if slot.ps_bino = bino then sfh :: acc else acc)
+      t.pts []
+    |> List.sort compare
+    |> List.iter (pt_revoke t)
+
+let pt_touch t sfh =
+  match Hashtbl.find_opt t.pts sfh with
+  | None -> ()
+  | Some slot ->
+      t.pt_tick <- t.pt_tick + 1;
+      slot.ps_tick <- t.pt_tick
+
+(* Bounded grants: past the cap, the coldest grant is revoked.  Ticks are
+   unique, so the victim is unambiguous regardless of table order. *)
+let pt_evict_if_full t =
+  while Hashtbl.length t.pts > t.pt_cap do
+    let victim =
+      Hashtbl.fold
+        (fun sfh (slot : pt_slot) acc ->
+          match acc with
+          | Some (_, best_tick) when best_tick <= slot.ps_tick -> acc
+          | _ -> Some (sfh, slot.ps_tick))
+        t.pts None
+    in
+    match victim with Some (sfh, _) -> pt_revoke t sfh | None -> ()
+  done
+
+(* Invalidate both fast planes for a driver-visible inode: the lookup
+   handle cache (stale stat) and any passthrough grants (data-plane
+   coherence).  The hc half is gated on its own capacity inside; the pt
+   half must run even with the handle cache off. *)
+let invalidate_ino t ino =
+  hc_invalidate_ino t ino;
+  if t.pt_cap > 0 then
+    match Hashtbl.find_opt t.inos ino with
+    | Some e -> pt_revoke_backing t e.e_backing_ino
+    | None -> ()
 
 (* Does the interned path still name the same backing inode?  After
    "unlink + recreate under the same name" the path aliases a *different*
@@ -481,7 +573,7 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         in
         Ok (Protocol.R_attr (xlate_stat st ~ino))
     | Protocol.Setattr (ino, sa) ->
-        hc_invalidate_ino t ino;
+        invalidate_ino t ino;
         let* st =
           on_entry t ino
             ~via_path:(fun path ->
@@ -563,7 +655,7 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
             ~via_fd:(fun fd -> with_fsuid t ctx (fun () -> Kernel.link_fd k p fd ~linkpath:path))
         in
         handle_lookup t ctx ~parent ~name
-    | Protocol.Open { ino; flags } ->
+    | Protocol.Open { ino; flags; want_pt } ->
         let* e = entry t ino in
         let sflags = open_flags_for_server flags in
         let* fd =
@@ -577,7 +669,48 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
                   | Ok fd -> Ok fd
                   | Error _ -> Error Errno.ENOENT))
         in
-        Ok (Protocol.R_open (alloc_fh t ~fd ~ino))
+        let sfh = alloc_fh t ~fd ~ino in
+        (* Passthrough handshake: if the client asked and the plane is on,
+           vet the file (regular files only — the backing fd must support
+           plain positional I/O) and attach a grant to the reply.  The
+           grant's closures carry the backing fd: reads/writes through
+           them run on the server's proc with real backing costs, but no
+           FUSE request ever exists for them. *)
+        if want_pt && t.pt_cap > 0 then begin
+          match Kernel.fstat k p fd with
+          | Ok st when st.Types.st_kind = Types.Reg ->
+              let bino = st.Types.st_ino in
+              let grant =
+                {
+                  Protocol.g_ino = ino;
+                  g_valid = true;
+                  g_read =
+                    (fun ~off ~len ->
+                      pt_touch t sfh;
+                      let* data = Kernel.pread k p fd ~off ~len in
+                      Metrics.add t.m_read_bytes (String.length data);
+                      Ok data);
+                  g_write =
+                    (fun wctx ~off data ->
+                      pt_touch t sfh;
+                      (* a bypassed write still moves the backing mtime and
+                         size: the lookup fast path must not serve the old
+                         stat *)
+                      hc_invalidate_backing t bino;
+                      let* n =
+                        with_fsuid t wctx (fun () -> Kernel.pwrite k p fd ~off data)
+                      in
+                      Metrics.add t.m_write_bytes n;
+                      Ok n);
+                }
+              in
+              Hashtbl.replace t.pts sfh { ps_grant = grant; ps_bino = bino; ps_tick = 0 };
+              pt_touch t sfh;
+              pt_evict_if_full t;
+              Ok (Protocol.R_open_pt (sfh, grant))
+          | _ -> Ok (Protocol.R_open sfh)
+        end
+        else Ok (Protocol.R_open sfh)
     | Protocol.Create { parent; name; mode; flags } ->
         let* dir = path_of t parent in
         let path = Pathx.concat dir name in
@@ -598,12 +731,13 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         Ok (Protocol.R_data data)
     | Protocol.Write { fh = n; off; data } ->
         let* h = fh t n in
-        hc_invalidate_ino t h.sh_ino;
+        invalidate_ino t h.sh_ino;
         let* written = with_fsuid t ctx (fun () -> Kernel.pwrite k p h.sh_fd ~off data) in
         Metrics.add t.m_write_bytes written;
         Ok (Protocol.R_written written)
     | Protocol.Flush _ -> Ok Protocol.R_ok
     | Protocol.Release n ->
+        pt_drop t n;
         (match Hashtbl.find_opt t.fhs n with
         | Some h ->
             Hashtbl.remove t.fhs n;
@@ -616,7 +750,7 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         Ok Protocol.R_ok
     | Protocol.Fallocate { fh = n; off; len } ->
         let* h = fh t n in
-        hc_invalidate_ino t h.sh_ino;
+        invalidate_ino t h.sh_ino;
         let* () = Kernel.fallocate k p h.sh_fd ~off ~len in
         Ok Protocol.R_ok
     | Protocol.Readdir ino ->
@@ -660,7 +794,7 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         in
         Ok (Protocol.R_xattr v)
     | Protocol.Setxattr (ino, name, value) ->
-        hc_invalidate_ino t ino;
+        invalidate_ino t ino;
         let* () =
           on_entry t ino
             ~via_path:(fun path -> with_fsuid t ctx (fun () -> Kernel.setxattr k p path name value))
@@ -675,7 +809,7 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         in
         Ok (Protocol.R_xattr_names names)
     | Protocol.Removexattr (ino, name) ->
-        hc_invalidate_ino t ino;
+        invalidate_ino t ino;
         let* () =
           on_entry t ino
             ~via_path:(fun path -> with_fsuid t ctx (fun () -> Kernel.removexattr k p path name))
@@ -687,6 +821,9 @@ let handle t (ctx : Protocol.ctx) (req : Protocol.req) : Protocol.resp =
         let* s = Kernel.statfs k p path in
         Ok (Protocol.R_statfs s)
     | Protocol.Destroy ->
+        (* orderly teardown: grants die with their handles, uncounted *)
+        Hashtbl.iter (fun _ (slot : pt_slot) -> slot.ps_grant.Protocol.g_valid <- false) t.pts;
+        Hashtbl.reset t.pts;
         Hashtbl.iter (fun _ h -> ignore (Kernel.close k p h.sh_fd)) t.fhs;
         Hashtbl.reset t.fhs;
         Ok Protocol.R_ok)

@@ -39,8 +39,14 @@ val create :
   root_path:string ->
   ?handle_cache:int ->
   ?valid_ns:int * int ->
+  ?passthrough:int ->
   unit ->
   t
+(** [?passthrough] caps the LRU of passthrough grants the server will keep
+    live at once (0 = the plane is off and OPEN never grants).  A granted
+    OPEN replies [R_open_pt] with a capability onto the backing file;
+    grants are revoked on LRU overflow and on any server-side mutation of
+    the inode, and die uncounted with their handle on RELEASE/DESTROY. *)
 
 (** The request handler to install with {!Conn.set_handler}. *)
 val handle : t -> Protocol.ctx -> Protocol.req -> Protocol.resp

@@ -47,7 +47,8 @@ let create ~kernel ~server_proc ~root_path ?(opts = Opts.cntr_default) ?(threads
   let server =
     Server.create ~sched:(Conn.sched conn) ~kernel ~proc:server_proc ~root_path
       ~handle_cache:opts.Opts.handle_cache
-      ~valid_ns:(opts.Opts.entry_timeout_ns, opts.Opts.attr_timeout_ns) ()
+      ~valid_ns:(opts.Opts.entry_timeout_ns, opts.Opts.attr_timeout_ns)
+      ~passthrough:opts.Opts.passthrough ()
   in
   Conn.set_handler conn (Server.handle server);
   let driver = Driver.create ~conn ~opts ~budget in
@@ -99,7 +100,8 @@ let recover t =
   let server =
     Server.create ~sched:(Conn.sched t.conn) ~kernel:t.kernel ~proc:np
       ~root_path:t.root_path ~handle_cache:t.opts.Opts.handle_cache
-      ~valid_ns:(t.opts.Opts.entry_timeout_ns, t.opts.Opts.attr_timeout_ns) ()
+      ~valid_ns:(t.opts.Opts.entry_timeout_ns, t.opts.Opts.attr_timeout_ns)
+      ~passthrough:t.opts.Opts.passthrough ()
   in
   Server.restore server pairs;
   t.server <- server;

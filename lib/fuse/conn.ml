@@ -100,6 +100,10 @@ type t = {
   forced : Fault.action Queue.t;
   mutable m_retries : Metrics.counter option;
   mutable m_timeouts : Metrics.counter option;
+  (* fuse.splice.{calls,bytes}: created on the first spliced transfer, so
+     copy-mode sessions leave the registry untouched *)
+  mutable m_splice_calls : Metrics.counter option;
+  mutable m_splice_bytes : Metrics.counter option;
   pool : item Sched.Ws.t; (* per-worker deques + steal/targeting state *)
   bg_lock : Sched.mutex; (* guards the background-class throttle waits *)
   bg_cond : Sched.cond; (* throttled one-way submitters park here *)
@@ -154,6 +158,8 @@ let create ?obs ?sched ~clock ~cost () =
     forced = Queue.create ();
     m_retries = None;
     m_timeouts = None;
+    m_splice_calls = None;
+    m_splice_bytes = None;
     pool = Sched.Ws.create ();
     bg_lock = Sched.mutex ();
     bg_cond = Sched.cond ();
@@ -224,7 +230,21 @@ let set_handler t h = t.handler <- Some h
 
 (* --- server worker pool ----------------------------------------------------- *)
 
-(* Transfer one payload leg between kernel and server. *)
+(* Count one splice over the channel; creates the counters lazily. *)
+let splice_note t bytes =
+  (match t.m_splice_calls with
+  | Some _ -> ()
+  | None ->
+      let m = Repro_obs.Obs.metrics t.obs in
+      t.m_splice_calls <- Some (Metrics.counter m "fuse.splice.calls");
+      t.m_splice_bytes <- Some (Metrics.counter m "fuse.splice.bytes"));
+  (match t.m_splice_calls with Some c -> Metrics.incr c | None -> ());
+  (match t.m_splice_bytes with Some c -> Metrics.add c bytes | None -> ())
+
+(* Transfer one payload leg between kernel and server.  Both regimes
+   charge through the shared Datapath model: splice pays setup + per-page
+   remap (the same price Kernel.splice and the proxy pay for a page),
+   copy pays the per-KiB double-buffer baseline. *)
 let transfer t km ~splice ~to_server bytes =
   if to_server then begin
     Metrics.add t.m_bytes_to bytes;
@@ -235,12 +255,13 @@ let transfer t km ~splice ~to_server bytes =
     Metrics.add km.km_from bytes
   end;
   if splice then begin
-    Clock.consume_int t.clock t.cost.Cost.splice_setup_ns;
-    Metrics.add t.m_spliced bytes
+    Clock.consume_int t.clock (Repro_os.Datapath.splice_ns t.cost bytes);
+    Metrics.add t.m_spliced bytes;
+    splice_note t bytes
   end
   else begin
     Metrics.add t.m_copied bytes;
-    Clock.consume_int t.clock (Cost.copy_cost t.cost bytes)
+    Clock.consume_int t.clock (Repro_os.Datapath.copy_ns t.cost bytes)
   end
 
 (* Resolve an item's reply with ENOTCONN (if anyone still waits for it) and
@@ -627,7 +648,10 @@ let call_background t ~splice ctx req =
   in
   Metrics.add t.m_bytes_from in_bytes;
   Metrics.add km.km_from in_bytes;
-  if splice then Metrics.add t.m_spliced (out_bytes + in_bytes)
+  if splice then begin
+    Metrics.add t.m_spliced (out_bytes + in_bytes);
+    splice_note t (out_bytes + in_bytes)
+  end
   else Metrics.add t.m_copied (out_bytes + in_bytes);
   resp
 

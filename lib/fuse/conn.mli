@@ -67,6 +67,9 @@ type t = {
       (** one-shot test-hook actions, served before the plan *)
   mutable m_retries : Repro_obs.Metrics.counter option;
   mutable m_timeouts : Repro_obs.Metrics.counter option;
+  mutable m_splice_calls : Repro_obs.Metrics.counter option;
+      (** [fuse.splice.calls], created on the first spliced transfer *)
+  mutable m_splice_bytes : Repro_obs.Metrics.counter option;
   pool : item Repro_sched.Sched.Ws.t;
   bg_lock : Repro_sched.Sched.mutex;
   bg_cond : Repro_sched.Sched.cond;

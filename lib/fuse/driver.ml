@@ -22,6 +22,18 @@ type handle = {
   dh_append : bool;
   dh_sync : bool; (* O_SYNC: bypass the writeback cache *)
   mutable dh_open : bool;
+  (* passthrough grant: while present and valid, this handle's READ/WRITE
+     reach the backing VFS directly — zero FUSE round trips *)
+  mutable dh_grant : Protocol.grant option;
+}
+
+(* fuse.passthrough.* counters: only materialized when the knob is on, so
+   passthrough-off sessions leave the registry untouched. *)
+type pt_counters = {
+  ptm_grants : Repro_obs.Metrics.counter;
+  ptm_reads : Repro_obs.Metrics.counter;
+  ptm_writes : Repro_obs.Metrics.counter;
+  ptm_revocations : Repro_obs.Metrics.counter;
 }
 
 type t = {
@@ -62,6 +74,7 @@ type t = {
   m_neg_hits : Repro_obs.Metrics.counter;
   m_rdp_entries : Repro_obs.Metrics.counter;
   m_xattr_neg_hits : Repro_obs.Metrics.counter;
+  pt : pt_counters option; (* Some iff opts.passthrough > 0 *)
 }
 
 let ( let* ) = Result.bind
@@ -72,11 +85,12 @@ let ctx_of (cred : Types.cred) =
   { Protocol.c_uid = cred.Types.uid; c_gid = cred.Types.gid; c_pid = 0 }
 
 (* One request round trip.  Splice write mode costs an extra context switch
-   on *every* request (the header must be examined in a pipe first). *)
+   on *every* request (the header must be examined in a pipe first); the
+   price comes from the shared Datapath model. *)
 let rt t ?(splice = false) ctx req =
   if t.opts.Opts.splice_write then begin
     Repro_obs.Metrics.incr t.conn.Conn.m_ctx_switches;
-    Clock.consume_int t.clock t.cost.Cost.context_switch_ns
+    Clock.consume_int t.clock (Repro_os.Datapath.splice_write_switch_ns t.cost)
   end;
   Protocol.err_of_resp (Conn.call t.conn ~splice ctx req)
 
@@ -312,7 +326,7 @@ let fetch_pages t ctx ~server_fh ~ino ~first ~last =
         if t.opts.Opts.splice_write then begin
           Repro_obs.Metrics.add t.conn.Conn.m_ctx_switches (List.length group);
           Clock.consume_int t.clock
-            (List.length group * t.cost.Cost.context_switch_ns)
+            (List.length group * Repro_os.Datapath.splice_write_switch_ns t.cost)
         end;
         let reqs =
           List.map
@@ -351,7 +365,7 @@ let install_flush_hook t =
         | Some fh -> Some fh
         | None -> (
             (* Dirty data outliving its writable handle: open transiently. *)
-            match rt t Protocol.root_ctx (Protocol.Open { ino; flags = [ Types.O_WRONLY ] }) with
+            match rt t Protocol.root_ctx (Protocol.Open { ino; flags = [ Types.O_WRONLY ]; want_pt = false }) with
             | Ok (Protocol.R_open fh) ->
                 Hashtbl.replace t.wb_fhs ino fh;
                 Some fh
@@ -385,6 +399,42 @@ let install_flush_hook t =
   Page_cache.set_on_evict t.pcache (fun ~ino ~page -> Hashtbl.remove t.pdata (ino, page))
 
 let flush_dirty t ino = Page_cache.flush_inode t.pcache ino
+
+(* --- passthrough (the FUSE_PASSTHROUGH analogue) -------------------------- *)
+
+let pt_incr t f = match t.pt with Some c -> Repro_obs.Metrics.incr (f c) | None -> ()
+
+(* Revoke a handle's grant from the driver's side: the server is gone
+   (crash) or unreachable, so the driver is the one flipping the flag and
+   owns the revocation count.  A grant the server already flipped was
+   counted at that flip. *)
+let pt_revoke_local t h =
+  match h.dh_grant with
+  | None -> ()
+  | Some g ->
+      if g.Protocol.g_valid then begin
+        g.Protocol.g_valid <- false;
+        pt_incr t (fun c -> c.ptm_revocations)
+      end;
+      h.dh_grant <- None
+
+(* The grant to use for this I/O, if any.  A server-revoked grant is
+   dropped silently (counted at the flip); a dead connection revokes
+   driver-side — the caller then falls back to the round-trip path, where
+   the failure surfaces as ENOTCONN like any other request. *)
+let pt_live t h =
+  match h.dh_grant with
+  | None -> None
+  | Some g ->
+      if not g.Protocol.g_valid then begin
+        h.dh_grant <- None;
+        None
+      end
+      else if t.conn.Conn.dead then begin
+        pt_revoke_local t h;
+        None
+      end
+      else Some g
 
 (* --- construction --------------------------------------------------------- *)
 
@@ -420,6 +470,17 @@ let create ~conn ~opts ~budget =
       m_neg_hits = Repro_obs.Metrics.counter metrics "fuse.dentry.negative_hits";
       m_rdp_entries = Repro_obs.Metrics.counter metrics "fuse.readdirplus.entries";
       m_xattr_neg_hits = Repro_obs.Metrics.counter metrics "fuse.xattr.negative_hits";
+      pt =
+        (if opts.Opts.passthrough > 0 then
+           Some
+             {
+               ptm_grants = Repro_obs.Metrics.counter metrics "fuse.passthrough.grants";
+               ptm_reads = Repro_obs.Metrics.counter metrics "fuse.passthrough.reads";
+               ptm_writes = Repro_obs.Metrics.counter metrics "fuse.passthrough.writes";
+               ptm_revocations =
+                 Repro_obs.Metrics.counter metrics "fuse.passthrough.revocations";
+             }
+         else None);
     }
   in
   install_flush_hook t;
@@ -697,7 +758,7 @@ let alloc_handle t ~ino ~server_fh ~readable ~writable ~append ~sync =
   let fh = t.next_fh in
   t.next_fh <- fh + 1;
   Hashtbl.replace t.handles fh
-    { dh_ino = ino; dh_server_fh = server_fh; dh_readable = readable; dh_writable = writable; dh_append = append; dh_sync = sync; dh_open = true };
+    { dh_ino = ino; dh_server_fh = server_fh; dh_readable = readable; dh_writable = writable; dh_append = append; dh_sync = sync; dh_open = true; dh_grant = None };
   if writable then Hashtbl.replace t.wb_fhs ino server_fh;
   fh
 
@@ -711,25 +772,45 @@ let open_ t cred ino flags =
       lor if Types.flag_writable flags then Types.w_ok else 0
     in
     let* () = check_perm t cred ino want in
-    let* resp = rt t (ctx_of cred) (Protocol.Open { ino; flags }) in
+    let* resp =
+      rt t (ctx_of cred)
+        (Protocol.Open { ino; flags; want_pt = t.opts.Opts.passthrough > 0 })
+    in
+    let finish server_fh grant =
+      (* Without FOPEN_KEEP_CACHE every open invalidates the inode's
+         cached pages — the Figure 3(a) ablation. *)
+      if not t.opts.Opts.keep_cache then begin
+        flush_dirty t ino;
+        Page_cache.invalidate_inode t.pcache ino
+      end;
+      if List.mem Types.O_TRUNC flags && Types.flag_writable flags then begin
+        Hashtbl.replace t.sizes ino 0;
+        invalidate_attr t ino;
+        Page_cache.invalidate_inode t.pcache ino
+      end;
+      let fh =
+        alloc_handle t ~ino ~server_fh ~readable:(Types.flag_readable flags)
+          ~writable:(Types.flag_writable flags)
+          ~append:(List.mem Types.O_APPEND flags)
+          ~sync:(List.mem Types.O_SYNC flags)
+      in
+      (match grant with
+      | Some g ->
+          (* the grant coexists with the page cache: cached pages stay
+             authoritative for the ranges they hold (unflushed dirty data
+             only ever lives there), and the capability serves what the
+             cache doesn't — misses fill from the backing file with no
+             round trip, write-through writes land on it directly *)
+          (match Hashtbl.find_opt t.handles fh with
+          | Some h -> h.dh_grant <- Some g
+          | None -> ());
+          pt_incr t (fun c -> c.ptm_grants)
+      | None -> ());
+      Ok fh
+    in
     match resp with
-    | Protocol.R_open server_fh ->
-        (* Without FOPEN_KEEP_CACHE every open invalidates the inode's
-           cached pages — the Figure 3(a) ablation. *)
-        if not t.opts.Opts.keep_cache then begin
-          flush_dirty t ino;
-          Page_cache.invalidate_inode t.pcache ino
-        end;
-        if List.mem Types.O_TRUNC flags && Types.flag_writable flags then begin
-          Hashtbl.replace t.sizes ino 0;
-          invalidate_attr t ino;
-          Page_cache.invalidate_inode t.pcache ino
-        end;
-        Ok
-          (alloc_handle t ~ino ~server_fh ~readable:(Types.flag_readable flags)
-             ~writable:(Types.flag_writable flags)
-             ~append:(List.mem Types.O_APPEND flags)
-             ~sync:(List.mem Types.O_SYNC flags))
+    | Protocol.R_open server_fh -> finish server_fh None
+    | Protocol.R_open_pt (server_fh, g) -> finish server_fh (Some g)
     | _ -> Error Errno.EIO
 
 let create_file t cred parent name ~mode flags =
@@ -765,11 +846,61 @@ let handle t fh =
   | Some h when h.dh_open -> Ok h
   | _ -> Error Errno.EBADF
 
+(* Passthrough read, uncached mode (no FOPEN_KEEP_CACHE): straight into
+   the backing VFS through the grant's capability — no FUSE request.  The
+   backing file is authoritative, so any dirty pages another (ungranted)
+   handle left behind flush first; the only driver-side cost is the copy
+   out to userspace (the backing I/O itself is charged inside the grant,
+   on the server's proc). *)
+let pt_read t h g ~off ~len =
+  let ino = h.dh_ino in
+  if Page_cache.dirty_count t.pcache ino > 0 then flush_dirty t ino;
+  if len <= 0 then Ok ""
+  else
+    match g.Protocol.g_read ~off ~len with
+    | Ok data ->
+        pt_incr t (fun c -> c.ptm_reads);
+        Clock.consume_int t.clock (Repro_os.Datapath.copy_ns t.cost (String.length data));
+        Ok data
+    | Error e -> Error e
+
+(* Passthrough page fill: the grant reads the miss run straight out of the
+   backing VFS and installs the pages — no FUSE round trip, no server
+   worker wakeup.  The backing I/O is charged on the server's proc inside
+   the grant; installing into the cache is one memcpy.  Pages already
+   cached are never clobbered (they may hold dirty data newer than the
+   backing copy — same rule as [fetch_pages]). *)
+let pt_fetch_pages t g ~ino ~first ~last =
+  let ps = page_size t in
+  match g.Protocol.g_read ~off:(first * ps) ~len:((last - first + 1) * ps) with
+  | Error e -> Error e
+  | Ok data ->
+      pt_incr t (fun c -> c.ptm_reads);
+      Clock.consume_int t.clock (Cost.mem_cost t.cost (String.length data));
+      for p = 0 to last - first do
+        if not (Page_cache.mem t.pcache ~ino ~page:(first + p)) then begin
+          let b = Bytes.make ps '\000' in
+          let src_off = p * ps in
+          if src_off < String.length data then begin
+            let n = min ps (String.length data - src_off) in
+            Bytes.blit_string data src_off b 0 n
+          end;
+          Hashtbl.replace t.pdata (ino, first + p) b;
+          ignore (Page_cache.touch t.pcache ~ino ~page:(first + p) ~dirty:false)
+        end
+      done;
+      Ok ()
+
 let read t fh ~off ~len =
   let* h = handle t fh in
   if not h.dh_readable then Error Errno.EBADF
   else begin
   let ino = h.dh_ino in
+  let granted = pt_live t h in
+  match granted with
+  | Some g when not t.opts.Opts.keep_cache -> pt_read t h g ~off ~len
+  | _ ->
+  begin
   let* size =
     match Hashtbl.find_opt t.sizes ino with
     | Some s -> Ok s
@@ -819,9 +950,14 @@ let read t fh ~off ~len =
             min last_file_page (!miss_run_start + readahead_pages - 1)
           else upto
         in
-        result :=
-          fetch_pages t (ctx_of Types.root_cred) ~server_fh:h.dh_server_fh ~ino
-            ~first:!miss_run_start ~last:(max upto ra_end);
+        (result :=
+           (* with a live grant the miss run fills from the backing file
+              directly; otherwise it's READ round trips with readahead *)
+           match granted with
+           | Some g -> pt_fetch_pages t g ~ino ~first:!miss_run_start ~last:(max upto ra_end)
+           | None ->
+               fetch_pages t (ctx_of Types.root_cred) ~server_fh:h.dh_server_fh ~ino
+                 ~first:!miss_run_start ~last:(max upto ra_end));
         miss_run_start := -1
       end
       else miss_run_start := -1
@@ -857,6 +993,7 @@ let read t fh ~off ~len =
     Ok (Bytes.unsafe_to_string buf)
   end
   end
+  end
 
 let write t cred fh ~off data =
   let* h = handle t fh in
@@ -867,23 +1004,29 @@ let write t cred fh ~off data =
     let off = if h.dh_append then size_of t ino else off in
     (* copy in from userspace *)
     Clock.consume_int t.clock (Cost.copy_cost t.cost len);
+    let granted = pt_live t h in
     (* The kernel must check security.capability on every write; FUSE
        cannot cache the xattr, so each write() costs a GETXATTR round trip
        (the Apache/IOzone-write overhead of §5.2.2).  With the metadata
        fast path on, a known-absent capability is cached for the attr TTL
        (as the real kernel does with an inode flag), invalidated by any
-       SETXATTR/REMOVEXATTR on the inode. *)
-    (match Hashtbl.find_opt t.capneg ino with
-    | Some exp when not (expired t exp) ->
-        Repro_obs.Metrics.incr t.m_xattr_neg_hits
-    | _ -> (
-        Hashtbl.remove t.capneg ino;
-        match rt t (ctx_of cred) (Protocol.Getxattr (ino, "security.capability")) with
-        | Error e
-          when t.opts.Opts.attr_timeout_ns > 0
-               && (e = Errno.ENODATA || e = Errno.ENOTSUP) ->
-            Hashtbl.replace t.capneg ino (expiry_of t t.opts.Opts.attr_timeout_ns)
-        | _ -> ()));
+       SETXATTR/REMOVEXATTR on the inode.  A live grant skips the probe
+       entirely: the inode was vetted at open time and any xattr change
+       on it revokes the grant server-side. *)
+    (match granted with
+    | Some _ -> ()
+    | None -> (
+        match Hashtbl.find_opt t.capneg ino with
+        | Some exp when not (expired t exp) ->
+            Repro_obs.Metrics.incr t.m_xattr_neg_hits
+        | _ -> (
+            Hashtbl.remove t.capneg ino;
+            match rt t (ctx_of cred) (Protocol.Getxattr (ino, "security.capability")) with
+            | Error e
+              when t.opts.Opts.attr_timeout_ns > 0
+                   && (e = Errno.ENODATA || e = Errno.ENOTSUP) ->
+                Hashtbl.replace t.capneg ino (expiry_of t t.opts.Opts.attr_timeout_ns)
+            | _ -> ())));
     (* file_remove_privs: the kernel strips setuid/setgid via SETATTR *)
     let* () =
       if cred.Types.cap_fsetid then Ok ()
@@ -910,7 +1053,47 @@ let write t cred fh ~off data =
       | None -> ());
       if new_size > size_of t ino then Hashtbl.replace t.sizes ino new_size
     in
-    if t.opts.Opts.writeback && not h.dh_sync then begin
+    let writeback_mode = t.opts.Opts.writeback && not h.dh_sync in
+    (* The grant replaces the synchronous write-through round trip only.
+       In writeback mode dirty pages batch in the page cache and flush in
+       the background — cheaper than any synchronous backing write — and
+       routing some writes around the flusher would reorder them against
+       pending dirty data, so writeback-mode writes stay on the cache.
+       Re-check liveness: a remove-privs SETATTR above revokes the grant
+       on the server (inode mutation), in which case this write rides the
+       round-trip path like any other. *)
+    match
+      (match (writeback_mode, granted) with
+      | false, Some _ -> pt_live t h
+      | _ -> None)
+    with
+    | Some g -> (
+        (* passthrough write: the payload goes straight to the backing
+           file.  Dirty pages from an earlier ungranted writer flush
+           first (the backing copy must not go backwards); cached clean
+           pages are patched in place, as on the write-through path. *)
+        if Page_cache.dirty_count t.pcache ino > 0 then flush_dirty t ino;
+        match g.Protocol.g_write (ctx_of cred) ~off data with
+        | Ok n ->
+            pt_incr t (fun c -> c.ptm_writes);
+            if n > 0 then begin
+              let ps = page_size t in
+              let first = off / ps and last = (off + n - 1) / ps in
+              for page = first to last do
+                if Hashtbl.mem t.pdata (ino, page) then begin
+                  let b = get_page_bytes t ino page in
+                  let pstart = page * ps in
+                  let s = max off pstart in
+                  let e = min (off + n) (pstart + ps) in
+                  Bytes.blit_string data (s - off) b (s - pstart) (e - s)
+                end
+              done
+            end;
+            update_local_attr ~new_size:(off + n);
+            Ok n
+        | Error e -> Error e)
+    | None ->
+    if writeback_mode then begin
       let ps = page_size t in
       let size = size_of t ino in
       let first = off / ps and last = (off + len - 1) / ps in
@@ -1013,6 +1196,9 @@ let release t fh =
   | Some h ->
       if h.dh_open then begin
         h.dh_open <- false;
+        (* a grant dies with its handle; the server drops its slot when
+           the RELEASE lands (normal end of life, not a revocation) *)
+        h.dh_grant <- None;
         Hashtbl.remove t.handles fh;
         if h.dh_writable then begin
           flush_dirty t h.dh_ino;
@@ -1168,6 +1354,11 @@ let ino_paths t =
    fail with EBADF from now on. *)
 let on_server_restart t =
   Hashtbl.reset t.wb_fhs;
+  (* live grants died with the old server's backing fds: revoke them all
+     (driver-side — the crashed server never got to flip the flags) and
+     reopen without asking for new ones, so post-recovery I/O is plain
+     round trips; a fresh open may earn a grant again *)
+  Hashtbl.iter (fun _ h -> pt_revoke_local t h) t.handles;
   let hs = Hashtbl.fold (fun fh h acc -> (fh, h) :: acc) t.handles [] in
   List.iter
     (fun (_, h) ->
@@ -1179,7 +1370,7 @@ let on_server_restart t =
           @ (if h.dh_append then [ Types.O_APPEND ] else [])
           @ if h.dh_sync then [ Types.O_SYNC ] else []
         in
-        match rt t Protocol.root_ctx (Protocol.Open { ino = h.dh_ino; flags }) with
+        match rt t Protocol.root_ctx (Protocol.Open { ino = h.dh_ino; flags; want_pt = false }) with
         | Ok (Protocol.R_open server_fh) ->
             h.dh_server_fh <- server_fh;
             if h.dh_writable then Hashtbl.replace t.wb_fhs h.dh_ino server_fh

@@ -28,6 +28,7 @@ type t = {
   attr_timeout_ns : int;    (* attr-cache TTL; 0 = unbounded (paper) *)
   negative_timeout_ns : int;(* ENOENT results cached this long; 0 = never *)
   handle_cache : int;       (* server-side LRU of (dev,ino) handles; 0 = off *)
+  passthrough : int;        (* server-granted backing handles; LRU cap, 0 = off *)
 }
 
 let cntr_default = {
@@ -53,6 +54,7 @@ let cntr_default = {
   attr_timeout_ns = 0;
   negative_timeout_ns = 0;
   handle_cache = 0;
+  passthrough = 0;
 }
 
 let unoptimized = {
@@ -78,6 +80,7 @@ let unoptimized = {
   attr_timeout_ns = 0;
   negative_timeout_ns = 0;
   handle_cache = 0;
+  passthrough = 0;
 }
 
 (* The metadata fast path: everything CNTR ships plus READDIRPLUS, TTL'd

@@ -5,8 +5,14 @@ type t = {
   writeback : bool;  (** FUSE_WRITEBACK_CACHE: batch + delay writes *)
   parallel_dirops : bool;  (** FUSE_PARALLEL_DIROPS: concurrent lookups *)
   async_read : bool;  (** FUSE_ASYNC_READ: batch concurrent reads, readahead *)
-  splice_read : bool;  (** zero-copy read replies *)
-  splice_write : bool;  (** zero-copy writes; costs a context switch on every request *)
+  splice_read : bool;
+      (** zero-copy read replies: READ payload legs ride the shared splice
+          path (setup + per-page remap) instead of the per-KiB copy *)
+  splice_write : bool;
+      (** zero-copy writes: WRITE payloads splice through a kernel pipe,
+          which costs one extra context switch on every request — both the
+          switch and the splice legs are charged (§3.3 leaves it off by
+          default for exactly that trade) *)
   forget_batch : int;  (** forget intents coalesced per request *)
   entry_cache : bool;  (** dentry cache in the driver *)
   attr_cache : bool;  (** attribute cache in the driver *)
@@ -32,6 +38,13 @@ type t = {
       (** capacity of the server's LRU handle cache keyed by backing
           (dev, ino); a hit skips the per-LOOKUP open()+stat() pair.
           0 = disabled *)
+  passthrough : int;
+      (** capacity of the server's LRU of passthrough grants: at open time
+          the server may hand the driver a capability onto the backing
+          file, after which that handle's READ/WRITE hit the backing VFS
+          directly — zero FUSE round trips.  Grants are revoked on LRU
+          overflow, on server-side mutation of the inode, and on
+          crash/recovery.  0 = disabled (the paper's behaviour) *)
 }
 
 (** What CNTR ships: everything on except splice write (§3.3).  The

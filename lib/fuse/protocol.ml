@@ -10,6 +10,21 @@ type ctx = { c_uid : int; c_gid : int; c_pid : int }
 
 let root_ctx = { c_uid = 0; c_gid = 0; c_pid = 0 }
 
+(* A passthrough grant: the capability the server hands back from OPEN
+   when the client asked for one and the file qualifies.  The closures
+   reach the backing VFS directly on the server's proc — the model of
+   FUSE_PASSTHROUGH's backing-file fd, over which the kernel does I/O
+   without ever queueing a FUSE request.  [g_valid] is the revocation
+   flag: the server flips it (LRU overflow, inode mutation, crash) and
+   the driver checks it before every bypass; a revoked grant falls back
+   to round-trip I/O. *)
+type grant = {
+  g_ino : Types.ino;  (* driver-side ino the grant was issued for *)
+  mutable g_valid : bool;
+  g_read : off:int -> len:int -> (string, Errno.t) result;
+  g_write : ctx -> off:int -> string -> (int, Errno.t) result;
+}
+
 type req =
   | Lookup of { parent : Types.ino; name : string }
   | Forget of (Types.ino * int) list (* (ino, nlookup) pairs, batchable *)
@@ -23,7 +38,7 @@ type req =
   | Symlink of { parent : Types.ino; name : string; target : string }
   | Rename of { src_parent : Types.ino; src_name : string; dst_parent : Types.ino; dst_name : string }
   | Link of { src : Types.ino; parent : Types.ino; name : string }
-  | Open of { ino : Types.ino; flags : Types.open_flag list }
+  | Open of { ino : Types.ino; flags : Types.open_flag list; want_pt : bool }
   | Create of { parent : Types.ino; name : string; mode : int; flags : Types.open_flag list }
   | Read of { fh : int; off : int; len : int }
   | Write of { fh : int; off : int; data : string }
@@ -46,6 +61,7 @@ type resp =
   | R_data of string
   | R_written of int
   | R_open of int (* server-side fh *)
+  | R_open_pt of int * grant (* fh plus a passthrough grant on the backing file *)
   | R_create of Types.ino * Types.stat * int
   | R_dirents of Types.dirent list
   (* READDIRPLUS reply: each entry also carries the attr the driver would

@@ -10,6 +10,21 @@ open Repro_vfs
 
 type ctx = { c_uid : int; c_gid : int; c_pid : int; }
 val root_ctx : ctx
+
+(** A passthrough grant (the FUSE_PASSTHROUGH analogue): a capability onto
+    the backing file that the server may attach to an OPEN reply.  While
+    [g_valid], the driver services that handle's READ/WRITE through
+    [g_read]/[g_write] — straight into the backing VFS, zero FUSE round
+    trips.  The server revokes by flipping [g_valid] (LRU overflow,
+    server-side inode mutation, crash/teardown); the driver then falls
+    back to round-trip I/O. *)
+type grant = {
+  g_ino : Types.ino;
+  mutable g_valid : bool;
+  g_read : off:int -> len:int -> (string, Errno.t) result;
+  g_write : ctx -> off:int -> string -> (int, Errno.t) result;
+}
+
 type req =
     Lookup of { parent : Types.ino; name : string; }
   | Forget of (Types.ino * int) list
@@ -33,6 +48,7 @@ type req =
     }
   | Open of { ino : Types.ino;
       flags : Types.open_flag list;
+      want_pt : bool;  (** client asks for a passthrough grant *)
     }
   | Create of { parent : Types.ino; name : string; mode : int;
       flags : Types.open_flag list;
@@ -57,6 +73,8 @@ type resp =
   | R_data of string
   | R_written of int
   | R_open of int
+  | R_open_pt of int * grant
+      (** OPEN reply carrying a passthrough grant alongside the fh *)
   | R_create of Types.ino * Types.stat * int
   | R_dirents of Types.dirent list
   | R_direntplus of (Types.dirent * Types.stat option * int * int) list

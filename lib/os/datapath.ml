@@ -1,0 +1,15 @@
+(* The single source of truth for what moving bytes costs.  lib/proxy's
+   pumps, Kernel.splice and the FUSE transport all price their transfers
+   here; the constants live in Cost so experiments can still sweep them. *)
+
+open Repro_util
+
+(* 64 KiB: the default pipe capacity, hence the natural splice unit. *)
+let chunk = 64 * 1024
+let default_buffer = chunk
+let clamp ~room len = max 0 (min len room)
+let setup_ns cost = cost.Cost.splice_setup_ns
+let page_ns cost bytes = cost.Cost.splice_page_ns * Cost.pages_of_bytes cost bytes
+let splice_ns cost bytes = Cost.splice_cost cost bytes
+let copy_ns cost bytes = Cost.copy_cost cost bytes
+let splice_write_switch_ns cost = cost.Cost.context_switch_ns

@@ -1,0 +1,50 @@
+(** The shared byte-movement cost model (§3.2.4).
+
+    Every layer that moves bulk bytes — the kernel's splice(2), the FUSE
+    transport's READ/WRITE payload legs, and the proxy's forwarding pumps —
+    meters them through this one module, so the planes cannot drift apart:
+    a page spliced by the proxy costs exactly what a page spliced under a
+    FUSE reply costs.
+
+    Two pricing regimes:
+    - [copy_ns]: the double-buffer baseline — per-KiB memcpy through
+      userspace.
+    - [splice_ns]: zero-copy — a fixed per-call setup plus a per-page
+      remap, independent of byte count within a page.
+
+    The break-even point falls out of {!Repro_util.Cost.default}: splice
+    wins for any transfer past a few pages, which is the paper's E2/E9
+    story. *)
+
+(** Preferred transfer unit for streaming pumps: one splice(2) call's
+    worth.  Both the proxy relay and benchmarks chunk at this size. *)
+val chunk : int
+
+(** Default in-flight buffer for a forwarding pump (one [chunk]). *)
+val default_buffer : int
+
+(** [clamp ~room len] is the byte count a bounded sink can accept right
+    now: [min len room], never negative.  Kernel splice clamps its pull to
+    this before consuming from the source, so a partial sink can never
+    strand bytes. *)
+val clamp : room:int -> int -> int
+
+(** Fixed setup charged per splice(2) call, moved bytes or not. *)
+val setup_ns : Repro_util.Cost.t -> int
+
+(** Per-page remap charge for [bytes] actually moved. *)
+val page_ns : Repro_util.Cost.t -> int -> int
+
+(** Full splice price for one call moving [bytes]: setup plus pages.
+    Equals {!Repro_util.Cost.splice_cost}. *)
+val splice_ns : Repro_util.Cost.t -> int -> int
+
+(** The copy baseline those splice prices are measured against: per-KiB
+    memcpy ({!Repro_util.Cost.copy_cost}). *)
+val copy_ns : Repro_util.Cost.t -> int -> int
+
+(** The context switch a splice-write FUSE channel pays per request:
+    handing the payload to the kernel-side pipe forces an extra
+    transition (§3.2.4).  Charged by the driver when [Opts.splice_write]
+    is on. *)
+val splice_write_switch_ns : Repro_util.Cost.t -> int

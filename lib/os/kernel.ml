@@ -988,16 +988,18 @@ let pipe t proc =
   (rfd, wfd)
 
 (* splice(2): move bytes between two fds without copying through
-   userspace.  Costs: the fixed setup per call, plus a per-page remap for
-   the bytes moved — no per-KiB copy, which is the point of splice.
+   userspace.  Costs come from the shared Datapath model: the fixed setup
+   per call, plus a per-page remap for the bytes moved — no per-KiB copy,
+   which is the point of splice.
 
-   The pull from the source is clamped to what the destination can accept
-   right now, so a partial sink can never strand bytes read out of the
-   source: either the whole chunk moves, or it stays queued at the source.
-   A full destination is EAGAIN before anything is consumed. *)
+   The pull from the source is clamped (Datapath.clamp) to what the
+   destination can accept right now, so a partial sink can never strand
+   bytes read out of the source: either the whole chunk moves, or it
+   stays queued at the source.  A full destination is EAGAIN before
+   anything is consumed. *)
 let splice t proc ~fd_in ~fd_out ~len =
   charge t;
-  Clock.consume_int t.clock t.cost.Cost.splice_setup_ns;
+  Clock.consume_int t.clock (Datapath.setup_ns t.cost);
   let* inp = fd_entry proc fd_in in
   let* out = fd_entry proc fd_out in
   let* cap =
@@ -1008,7 +1010,7 @@ let splice t proc ~fd_in ~fd_out ~len =
     | Proc.File _ | Proc.Custom _ -> Ok max_int
     | _ -> Error Errno.EINVAL
   in
-  let len = min len cap in
+  let len = Datapath.clamp ~room:cap len in
   if len = 0 then Error Errno.EAGAIN
   else
     let* data =
@@ -1033,7 +1035,7 @@ let splice t proc ~fd_in ~fd_out ~len =
         | Proc.Custom c -> c.Proc.c_write data
         | _ -> Error Errno.EINVAL
       in
-      Clock.consume_int t.clock (t.cost.Cost.splice_page_ns * Cost.pages_of_bytes t.cost n);
+      Clock.consume_int t.clock (Datapath.page_ns t.cost n);
       Ok n
 
 (* shutdown(fd, SHUT_WR): half-close the send direction; the peer drains

@@ -25,10 +25,12 @@ module Fault = Repro_fault.Fault
 
 type mode = Splice | Copy
 
-(* How much one pump pass asks the kernel to move per call. *)
-let chunk = 64 * 1024
-
-let default_buffer = 64 * 1024
+(* How much one pump pass asks the kernel to move per call, and how many
+   in-flight bytes a pump stages by default: both come from the shared
+   Datapath model, so the proxy's notion of a transfer unit is the same
+   one the FUSE plane splices by. *)
+let chunk = Datapath.chunk
+let default_buffer = Datapath.default_buffer
 
 (* One direction of a connection: src fd -> staging pipe -> dst fd. *)
 type dir = {
@@ -370,7 +372,7 @@ let copy_pass t cn d =
     else if String.length d.d_carry > 0 then begin
       match Kernel.write t.px_kernel t.px_proc d.d_dst d.d_carry with
       | Ok n when n > 0 ->
-          Clock.consume_int clock (Cost.copy_cost cost n);
+          Clock.consume_int clock (Datapath.copy_ns cost n);
           Metrics.add d.d_bytes n;
           (match d.d_extra with Some c -> Metrics.add c n | None -> ());
           d.d_carry <- String.sub d.d_carry n (String.length d.d_carry - n);
@@ -396,7 +398,7 @@ let copy_pass t cn d =
           progress := true;
           step ()
       | Ok s ->
-          Clock.consume_int clock (Cost.copy_cost cost (String.length s));
+          Clock.consume_int clock (Datapath.copy_ns cost (String.length s));
           d.d_carry <- s;
           progress := true;
           step ()

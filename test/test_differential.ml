@@ -428,6 +428,13 @@ let () =
           QCheck_alcotest.to_alcotest
             (prop_differential ~name:"single server thread" ~threads:1 ~count:30
                ~opts:Opts.cntr_default ());
+          (* passthrough with a 4-grant LRU: opens churn the grant table,
+             so reads/writes keep flipping between the capability and the
+             round-trip path; eviction-driven revocation must never leak a
+             stale byte into either view *)
+          QCheck_alcotest.to_alcotest
+            (prop_differential ~name:"passthrough (tiny grant LRU)"
+               ~opts:{ Opts.cntr_default with Opts.passthrough = 4 } ());
         ] );
       ( "fault-injected",
         [
@@ -438,6 +445,12 @@ let () =
           QCheck_alcotest.to_alcotest
             (prop_differential_faulted ~name:"crash + recover (fastpath)" ~count:40
                ~opts:Opts.fastpath ());
+          (* the ISSUE's acceptance leg: crash with passthrough grants live
+             → driver-side revocation → recovery reopens without the
+             capability → state re-converges with the native twin *)
+          QCheck_alcotest.to_alcotest
+            (prop_differential_faulted ~name:"crash + recover (passthrough)"
+               ~opts:{ Opts.cntr_default with Opts.passthrough = 8 } ());
         ] );
       ( "metadata-fast-path",
         [

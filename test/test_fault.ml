@@ -31,7 +31,7 @@ let files = [ ("alpha", 3000); ("beta", 300); ("gamma", 12000) ]
 let payload name n =
   String.init n (fun i -> Char.chr (33 + ((Hashtbl.hash name + (i * 7)) mod 90)))
 
-let boot ?fault ?retry () =
+let boot ?opts ?fault ?retry () =
   let clock = Clock.create () in
   let cost = Cost.default in
   let rootfs = Nativefs.create ~name:"rootfs" ~clock ~cost Store.Ram () in
@@ -48,7 +48,7 @@ let boot ?fault ?retry () =
   let server = Kernel.fork k init in
   let budget = Mem_budget.create ~limit_bytes:(32 * 1024 * 1024) in
   let session =
-    Session.create ~kernel:k ~server_proc:server ~root_path:"/back" ?fault ?retry ~budget ()
+    Session.create ~kernel:k ~server_proc:server ~root_path:"/back" ?opts ?fault ?retry ~budget ()
   in
   (* disk-site rules throttle the backing store itself *)
   (match Session.fault session with
@@ -240,6 +240,35 @@ let test_crash_then_recover () =
     files;
   check_i "one recovery" 1 (counter sys "session.recoveries")
 
+(* Crash while a passthrough grant is live: the capability dies with the
+   server's backing fds, so the driver must revoke it locally (counted in
+   fuse.passthrough.revocations), and recovery reopens the handle WITHOUT
+   the stale grant — content stays intact through the mount. *)
+let test_crash_with_live_grant () =
+  let opts = { Opts.cntr_default with Opts.passthrough = 8 } in
+  let sys = boot ~opts () in
+  let fd = ok (Kernel.open_ sys.k sys.init "/mnt/alpha" [ Types.O_RDONLY ] ~mode:0) in
+  let head = ok (Kernel.pread sys.k sys.init fd ~off:0 ~len:512) in
+  check_s "granted read" (String.sub (payload "alpha" 3000) 0 512) head;
+  check_b "grant issued" true (counter sys "fuse.passthrough.grants" >= 1);
+  Conn.inject_crash sys.session.Session.conn;
+  (* the next I/O on the held fd notices the dead transport and drops the
+     grant; whether the bytes themselves come from cache or fail with
+     ENOTCONN is incidental — the revocation is the contract *)
+  (match Kernel.pread sys.k sys.init fd ~off:0 ~len:512 with
+  | Ok _ | Error Errno.ENOTCONN -> ()
+  | Error e -> Alcotest.failf "unexpected error while dead: %s" (Errno.to_string e));
+  check_b "grant revoked by crash" true
+    (counter sys "fuse.passthrough.revocations" >= 1);
+  Session.recover sys.session;
+  List.iter
+    (fun (name, n) ->
+      let data = ok (read_file sys ("/mnt/" ^ name)) in
+      check_s (name ^ " after pt recovery") (payload name n) data)
+    files;
+  ok (Kernel.close sys.k sys.init fd);
+  check_i "one recovery" 1 (counter sys "session.recoveries")
+
 (* --- the robustness property ------------------------------------------ *)
 
 (* Random plans: every rule is one-shot (Nth) so a plan can only inject a
@@ -358,6 +387,7 @@ let () =
         [
           Alcotest.test_case "crash is bounded, never a hang" `Quick test_crash_without_recovery_is_bounded;
           Alcotest.test_case "crash then recover" `Quick test_crash_then_recover;
+          Alcotest.test_case "crash with live passthrough grant" `Quick test_crash_with_live_grant;
         ] );
       ( "property",
         [ QCheck_alcotest.to_alcotest prop_faults_never_corrupt ] );

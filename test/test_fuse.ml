@@ -10,6 +10,7 @@ open Repro_cntrfs
 
 let check_i = Alcotest.(check int)
 let check_b = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
 let ok = Errno.ok_exn
 
 type world = {
@@ -39,6 +40,9 @@ let write_file w path data =
   let fd = ok (Kernel.open_ w.k w.init path [ Types.O_CREAT; Types.O_WRONLY; Types.O_TRUNC ] ~mode:0o644) in
   ignore (ok (Kernel.write w.k w.init fd data));
   ok (Kernel.close w.k w.init fd)
+
+let metric w name =
+  Repro_obs.Metrics.counter_value (Repro_obs.Obs.metrics (Session.obs w.session)) name
 
 (* --- connection accounting -------------------------------------------------- *)
 
@@ -115,6 +119,82 @@ let test_no_splice_when_disabled () =
   write_file w "/back/big" (String.make (256 * 1024) 'x');
   ignore (ok (Kernel.read_whole w.k w.init "/mnt/big"));
   check_i "no spliced bytes" 0 (Session.stats w.session).Conn.spliced_bytes
+
+(* --- the shared data-path model ----------------------------------------------- *)
+
+(* A bare kernel (no CntrFS session) for exercising Kernel.splice itself. *)
+let kboot () =
+  let clock = Clock.create () in
+  let cost = Cost.default in
+  let rootfs = Nativefs.create ~name:"rootfs" ~clock ~cost Store.Ram () in
+  let k = Kernel.create ~clock ~cost ~root_fs:(Nativefs.ops rootfs) () in
+  (k, Kernel.init_proc k, clock, cost)
+
+let test_splice_eagain_consumes_nothing () =
+  (* a full destination is EAGAIN before anything is pulled out of the
+     source — the clamp runs before the read, so no bytes are stranded *)
+  let k, init, _, _ = kboot () in
+  let src_r, src_w = Kernel.pipe k init in
+  let _dst_r, dst_w = Kernel.pipe k init in
+  ignore (ok (Kernel.write k init src_w "precious"));
+  ignore (ok (Kernel.write k init dst_w (String.make (64 * 1024) 'f')));
+  (match Kernel.splice k init ~fd_in:src_r ~fd_out:dst_w ~len:8 with
+  | Error Errno.EAGAIN -> ()
+  | Ok n -> Alcotest.failf "expected EAGAIN, spliced %d" n
+  | Error e -> Alcotest.failf "expected EAGAIN, got %s" (Errno.to_string e));
+  check_s "source intact" "precious" (ok (Kernel.read k init src_r ~len:64))
+
+let test_splice_clamps_to_sink_room () =
+  (* len larger than the sink's free room moves exactly the room; the
+     remainder stays queued at the source *)
+  let k, init, _, _ = kboot () in
+  let src_r, src_w = Kernel.pipe k init in
+  let _dst_r, dst_w = Kernel.pipe k init in
+  ignore (ok (Kernel.write k init src_w (String.make 4096 's')));
+  ignore (ok (Kernel.write k init dst_w (String.make ((64 * 1024) - 1000) 'f')));
+  check_i "moves exactly the sink's room" 1000
+    (ok (Kernel.splice k init ~fd_in:src_r ~fd_out:dst_w ~len:4096));
+  check_i "remainder still at the source" 3096
+    (String.length (ok (Kernel.read k init src_r ~len:8192)))
+
+let test_splice_priced_per_page () =
+  (* splice pricing is the Datapath model: fixed setup plus a per-page
+     remap — growing the chunk by N pages costs exactly N more remaps *)
+  let k, init, clock, cost = kboot () in
+  let measure pages =
+    let src_r, src_w = Kernel.pipe k init in
+    let dst_r, dst_w = Kernel.pipe k init in
+    let len = pages * cost.Cost.page_size in
+    ignore (ok (Kernel.write k init src_w (String.make len 'x')));
+    let t0 = Clock.now_ns clock in
+    check_i "full chunk moved" len
+      (ok (Kernel.splice k init ~fd_in:src_r ~fd_out:dst_w ~len));
+    let d = Int64.to_int (Int64.sub (Clock.now_ns clock) t0) in
+    List.iter (fun fd -> ok (Kernel.close k init fd)) [ src_r; src_w; dst_r; dst_w ];
+    d
+  in
+  let one = measure 1 in
+  let nine = measure 9 in
+  check_i "eight more pages cost eight more remaps" (8 * cost.Cost.splice_page_ns)
+    (nine - one)
+
+let test_splice_read_cost_bearing () =
+  (* the same cold streaming read is cheaper over the splice path than over
+     the copy path, and only the splice path touches fuse.splice.* *)
+  let run opts =
+    let w = boot ~opts () in
+    write_file w "/back/big" (String.make (512 * 1024) 'x');
+    let t0 = Clock.now_ns w.k.Kernel.clock in
+    ignore (ok (Kernel.read_whole w.k w.init "/mnt/big"));
+    let d = Int64.to_int (Int64.sub (Clock.now_ns w.k.Kernel.clock) t0) in
+    (d, metric w "fuse.splice.calls", metric w "fuse.splice.bytes")
+  in
+  let d_splice, calls, bytes = run Opts.cntr_default in
+  let d_copy, calls0, bytes0 = run { Opts.cntr_default with Opts.splice_read = false } in
+  check_b "spliced streaming read cheaper than copied" true (d_splice < d_copy);
+  check_b "splice calls counted" true (calls >= 1);
+  check_b "splice bytes cover the payload" true (bytes >= 512 * 1024);
+  check_i "copy path leaves the splice counters untouched" 0 (calls0 + bytes0)
 
 (* --- forget batching ---------------------------------------------------------- *)
 
@@ -221,8 +301,6 @@ let test_unbatched_counters_exact () =
 
 (* --- metadata fast path --------------------------------------------------------- *)
 
-let metric w name =
-  Repro_obs.Metrics.counter_value (Repro_obs.Obs.metrics (Session.obs w.session)) name
 
 let test_readdirplus_populates_caches () =
   let w = boot ~opts:Opts.fastpath () in
@@ -348,6 +426,80 @@ let test_server_lookup_tax_counted () =
   done;
   check_b "server-side open()+stat() per cold lookup" true
     (Server.lookups_performed w.session.Session.server - before >= 10)
+
+(* --- passthrough grants -------------------------------------------------------- *)
+
+let test_passthrough_reads_bypass_fuse () =
+  (* a granted open serves its reads out of the backing file: the payload
+     crosses zero FUSE READ round trips *)
+  let w = boot ~opts:{ Opts.cntr_default with Opts.passthrough = 8 } () in
+  let payload = String.make (256 * 1024) 'h' in
+  write_file w "/back/hot" payload;
+  let reads_before = kind_count w "read" in
+  let fd = ok (Kernel.open_ w.k w.init "/mnt/hot" [ Types.O_RDONLY ] ~mode:0) in
+  let data = ok (Kernel.pread w.k w.init fd ~off:0 ~len:(256 * 1024)) in
+  ok (Kernel.close w.k w.init fd);
+  check_b "payload intact" true (String.equal data payload);
+  check_b "grant issued" true (metric w "fuse.passthrough.grants" >= 1);
+  check_b "grant served the reads" true (metric w "fuse.passthrough.reads" >= 1);
+  check_i "zero READ round trips" reads_before (kind_count w "read")
+
+let test_passthrough_off_is_inert () =
+  (* the default profile must leave the grant plane untouched: not a
+     single fuse.passthrough.* counter may exist in the registry *)
+  let w = boot () in
+  write_file w "/mnt/f" "x";
+  ignore (ok (Kernel.read_whole w.k w.init "/mnt/f"));
+  check_i "no passthrough counters in the registry" 0
+    (List.length
+       (Repro_obs.Metrics.counters_with_prefix
+          (Repro_obs.Obs.metrics (Session.obs w.session))
+          ~prefix:"fuse.passthrough."))
+
+let test_passthrough_write_through () =
+  (* with the writeback cache off every write is a synchronous WRITE round
+     trip — unless a grant carries it straight to the backing file *)
+  let w =
+    boot ~opts:{ Opts.cntr_default with Opts.passthrough = 8; writeback = false } ()
+  in
+  write_file w "/back/f" "aaaaaaaa";
+  let writes_before = kind_count w "write" in
+  let fd = ok (Kernel.open_ w.k w.init "/mnt/f" [ Types.O_WRONLY ] ~mode:0) in
+  check_i "written" 4 (ok (Kernel.pwrite w.k w.init fd ~off:0 "ZZZZ"));
+  ok (Kernel.close w.k w.init fd);
+  check_i "zero WRITE round trips" writes_before (kind_count w "write");
+  check_b "grant carried the write" true (metric w "fuse.passthrough.writes" >= 1);
+  check_s "backing updated synchronously" "ZZZZaaaa"
+    (ok (Kernel.read_whole w.k w.init "/back/f"))
+
+let test_passthrough_revocation_races_writeback () =
+  (* LRU capacity 1: the second grant evicts the first (a server-side
+     revocation).  The revoked handle's writes ride the writeback cache;
+     a regrant over the same file must serve reads that see the pending
+     dirty data — the grant fill must never clobber dirty pages — and the
+     eventual flush must land it in the backing file. *)
+  let w = boot ~opts:{ Opts.cntr_default with Opts.passthrough = 1 } () in
+  write_file w "/back/f1" (String.make 8192 'a');
+  write_file w "/back/f2" "bbbb";
+  let fd1 = ok (Kernel.open_ w.k w.init "/mnt/f1" [ Types.O_RDWR ] ~mode:0) in
+  ignore (ok (Kernel.pread w.k w.init fd1 ~off:0 ~len:16));
+  let fd2 = ok (Kernel.open_ w.k w.init "/mnt/f2" [ Types.O_RDONLY ] ~mode:0) in
+  check_b "LRU overflow revoked the first grant" true
+    (metric w "fuse.passthrough.revocations" >= 1);
+  (* the revoked handle falls back to the writeback cache: dirty pages *)
+  check_i "fallback write accepted" 3 (ok (Kernel.pwrite w.k w.init fd1 ~off:0 "XYZ"));
+  ok (Kernel.close w.k w.init fd2);
+  (* a fresh open regrants f1 while those dirty pages are still pending *)
+  let fd3 = ok (Kernel.open_ w.k w.init "/mnt/f1" [ Types.O_RDONLY ] ~mode:0) in
+  check_s "regranted read sees the unflushed write" "XYZ"
+    (ok (Kernel.pread w.k w.init fd3 ~off:0 ~len:3));
+  ok (Kernel.fsync w.k w.init fd1);
+  ok (Kernel.close w.k w.init fd1);
+  ok (Kernel.close w.k w.init fd3);
+  Session.quiesce w.session;
+  let backing = ok (Kernel.read_whole w.k w.init "/back/f1") in
+  check_s "backing caught up after the flush" "XYZ" (String.sub backing 0 3);
+  check_b "every open earned a grant" true (metric w "fuse.passthrough.grants" >= 3)
 
 (* --- request queue ----------------------------------------------------------- *)
 
@@ -496,6 +648,22 @@ let () =
           Alcotest.test_case "splice disabled" `Quick test_no_splice_when_disabled;
           Alcotest.test_case "batched counters amortized" `Quick test_batched_counters_amortized;
           Alcotest.test_case "unbatched counters exact" `Quick test_unbatched_counters_exact;
+        ] );
+      ( "datapath",
+        [
+          Alcotest.test_case "splice EAGAIN consumes nothing" `Quick
+            test_splice_eagain_consumes_nothing;
+          Alcotest.test_case "splice clamps to sink room" `Quick test_splice_clamps_to_sink_room;
+          Alcotest.test_case "splice priced per page" `Quick test_splice_priced_per_page;
+          Alcotest.test_case "splice read cost-bearing" `Quick test_splice_read_cost_bearing;
+        ] );
+      ( "passthrough",
+        [
+          Alcotest.test_case "reads bypass FUSE" `Quick test_passthrough_reads_bypass_fuse;
+          Alcotest.test_case "off is inert" `Quick test_passthrough_off_is_inert;
+          Alcotest.test_case "write-through bypass" `Quick test_passthrough_write_through;
+          Alcotest.test_case "revocation races writeback" `Quick
+            test_passthrough_revocation_races_writeback;
         ] );
       ( "fastpath",
         [
