@@ -1193,6 +1193,168 @@ let fleet_shard idx =
     idx seed row.f_sessions row.f_execs row.f_rejected row.f_cancelled row.f_recovered;
   row
 
+(* --- fleet wire shard: the same control plane over framed connections ----------- *)
+
+(* One extra shard that pays for its bytes: every request Content-Length
+   framed over the forwarding plane.  Phase 1 drives sessions strictly
+   one-at-a-time; phase 2 drives the same per-session work pipelined in
+   16-call JSON-RPC array envelopes (one frame per batch).  Both phases
+   do identical per-session work on the virtual clock, so the measured
+   speedup is exactly the transport: fewer frames, fewer syscalls, fewer
+   plane wakeups.  The third leg is a slow reader — a client that fires a
+   storm of stats and claims nothing until the end: its connection must
+   stall at the high watermark (backlog peak <= high + one frame, never
+   unbounded) and the in-flight cap must refuse the overflow with -32005,
+   while every submitted id still gets exactly one reply. *)
+
+type fleet_wire = {
+  fw_sessions : int;
+  fw_seq_ns : int;
+  fw_pipe_ns : int;
+  fw_speedup : float;
+  fw_conns : int;
+  fw_batches : int;
+  fw_pipelined_max : int;
+  fw_stalls : int;
+  fw_overloaded : int;
+  fw_backlog_peak : int;
+  fw_frame_max : int;
+  fw_storm_ok : int;
+  fw_storm_refused : int;
+  fw_events : int;
+  fw_c2b : int;
+  fw_b2c : int;
+}
+
+let fleet_wire_seq = 400
+let fleet_wire_pipe = 800
+let fleet_wire_batch = 16
+let fleet_wire_high = 4096
+let fleet_wire_low = 1024
+let fleet_wire_inflight = 64
+let fleet_wire_storm = 1200
+
+let fleet_wire_shard () =
+  let open Repro_ctrl in
+  let module World = Repro_runtime.World in
+  let world = Repro_cntr.Testbed.create () in
+  Array.iteri
+    (fun i image ->
+      let engine = World.engine world fleet_engines.(i mod Array.length fleet_engines) in
+      ignore
+        (Errno.ok_exn
+           (World.run_container world ~engine ~name:(Printf.sprintf "c%02d" i)
+              ~image_ref:image ())))
+    fleet_images;
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.c_max_active = 32;
+      c_queue_depth = 16;
+      c_tenant = { Daemon.q_active = 16; q_queued = 8 };
+      c_wire_inflight = fleet_wire_inflight;
+      c_wire_high = fleet_wire_high;
+      c_wire_low = fleet_wire_low;
+    }
+  in
+  let daemon = Daemon.create ~config world in
+  let w = Errno.ok_exn (Daemon.wire_serve daemon ~path:"/run/cntrd.sock" ()) in
+  let clock = world.World.kernel.Repro_os.Kernel.clock in
+  let now () = Int64.to_int (Clock.now_ns clock) in
+  let okr = function
+    | Ok v -> v
+    | Error (e : Rpc.rerror) ->
+        failwith (Printf.sprintf "fleet wire: rpc error %d: %s" e.Rpc.e_code e.Rpc.e_message)
+  in
+  let pick i = Printf.sprintf "c%02d" (i mod Array.length fleet_images) in
+  (* phase 1: one request at a time, each awaited before the next *)
+  let seq_client = Client.connect w in
+  let t0 = now () in
+  for i = 0 to fleet_wire_seq - 1 do
+    let c = okr (Client.session_create seq_client ~tenant:fleet_tenants.(i mod 4) (pick i)) in
+    ignore (okr (Client.session_exec seq_client ~session:c.Client.sc_session "hostname"));
+    ignore (okr (Client.session_detach seq_client ~session:c.Client.sc_session))
+  done;
+  let seq_ns = now () - t0 in
+  (* phase 2: identical per-session work, [fleet_wire_batch] calls per
+     array envelope, replies claimed after each envelope *)
+  let pipe_client = Client.connect w in
+  let t1 = now () in
+  for b = 0 to (fleet_wire_pipe / fleet_wire_batch) - 1 do
+    let creates =
+      Client.batch pipe_client (fun () ->
+          List.init fleet_wire_batch (fun i ->
+              Client.start_create pipe_client ~tenant:fleet_tenants.(i mod 4)
+                (pick ((b * fleet_wire_batch) + i))))
+    in
+    let sids =
+      List.map (fun h -> (okr (Client.finish pipe_client h)).Client.sc_session) creates
+    in
+    let execs =
+      Client.batch pipe_client (fun () ->
+          List.map (fun sid -> Client.start_exec pipe_client ~session:sid "hostname") sids)
+    in
+    List.iter (fun h -> ignore (okr (Client.finish pipe_client h))) execs;
+    let dets =
+      Client.batch pipe_client (fun () ->
+          List.map (fun sid -> Client.start_detach pipe_client ~session:sid) sids)
+    in
+    List.iter (fun h -> ignore (okr (Client.finish pipe_client h))) dets
+  done;
+  let pipe_ns = now () - t1 in
+  (* slow-reader leg: subscribe, then a storm of stats claimed only at
+     the end; the first envelope deliberately bursts past the in-flight
+     cap so admission pushback fires alongside the watermark stall *)
+  let slow = Client.connect w in
+  ignore (okr (Client.subscribe slow));
+  let sc = okr (Client.session_create slow ~tenant:"mallory" (pick 0)) in
+  let sid = sc.Client.sc_session in
+  let burst =
+    Client.batch slow (fun () ->
+        List.init (fleet_wire_inflight + 32) (fun _ -> Client.start_stat slow ~session:sid))
+  in
+  let singles =
+    List.init
+      (fleet_wire_storm - (fleet_wire_inflight + 32))
+      (fun _ -> Client.start_stat slow ~session:sid)
+  in
+  let storm_ok = ref 0 and storm_refused = ref 0 in
+  List.iter
+    (fun h ->
+      match Client.finish slow h with
+      | Ok _ -> incr storm_ok
+      | Error e when e.Rpc.e_code = Rpc.overloaded -> incr storm_refused
+      | Error e ->
+          failwith
+            (Printf.sprintf "fleet wire: unexpected storm error %d: %s" e.Rpc.e_code
+               e.Rpc.e_message))
+    (burst @ singles);
+  ignore (okr (Client.session_detach slow ~session:sid));
+  let events = List.length (Client.notifications slow) in
+  let m = Repro_obs.Obs.metrics (Daemon.obs daemon) in
+  let c name = Repro_obs.Metrics.counter_value m name in
+  let g name = int_of_float (Repro_obs.Metrics.gauge_value m name) in
+  let per_seq = float_of_int seq_ns /. float_of_int fleet_wire_seq in
+  let per_pipe = float_of_int pipe_ns /. float_of_int fleet_wire_pipe in
+  {
+    fw_sessions = c "ctrl.sessions.total";
+    fw_seq_ns = seq_ns;
+    fw_pipe_ns = pipe_ns;
+    fw_speedup = per_seq /. per_pipe;
+    fw_conns = c "ctrl.wire.conns";
+    fw_batches = c "ctrl.wire.batches";
+    fw_pipelined_max = g "ctrl.wire.pipelined.max";
+    fw_stalls = c "ctrl.wire.stalls";
+    fw_overloaded = c "ctrl.wire.overloaded";
+    fw_backlog_peak = g "ctrl.wire.backlog.peak";
+    fw_frame_max = g "ctrl.wire.frame.max";
+    fw_storm_ok = !storm_ok;
+    fw_storm_refused = !storm_refused;
+    fw_events = events;
+    fw_c2b = c "proxy.fwd.rpc.bytes.c2b";
+    fw_b2c = c "proxy.fwd.rpc.bytes.b2c";
+  }
+
 let fleet () =
   section
     (Printf.sprintf "Fleet: cntrd control plane, %d shards x %d sessions = %d"
@@ -1218,6 +1380,37 @@ let fleet () =
   if cancelled = 0 then fail "no cancellations — $/cancel never fired";
   if recovered < 1 then fail "no recoveries — the ctrl fault site never crashed a server";
   if active_end <> 0 then fail (Printf.sprintf "%d sessions leaked past the drain" active_end);
+  let fw = fleet_wire_shard () in
+  Printf.printf "\nwire shard: %d sessions over framed connections (%d conns, %d envelopes)\n"
+    fw.fw_sessions fw.fw_conns fw.fw_batches;
+  Printf.printf "  sequential : %4d sessions  %9d virtual ns  (%.0f ns/session)\n"
+    fleet_wire_seq fw.fw_seq_ns
+    (float_of_int fw.fw_seq_ns /. float_of_int fleet_wire_seq);
+  Printf.printf "  pipelined  : %4d sessions  %9d virtual ns  (%.0f ns/session)  x%.2f vs sequential\n"
+    fleet_wire_pipe fw.fw_pipe_ns
+    (float_of_int fw.fw_pipe_ns /. float_of_int fleet_wire_pipe)
+    fw.fw_speedup;
+  Printf.printf
+    "  flow ctl   : stalls=%d overloaded=%d pipelined.max=%d backlog.peak=%d (high=%d, frame.max=%d)\n"
+    fw.fw_stalls fw.fw_overloaded fw.fw_pipelined_max fw.fw_backlog_peak fleet_wire_high
+    fw.fw_frame_max;
+  Printf.printf "  slow reader: %d stats answered (%d ok, %d refused -32005), %d events\n%!"
+    (fw.fw_storm_ok + fw.fw_storm_refused) fw.fw_storm_ok fw.fw_storm_refused fw.fw_events;
+  if fw.fw_sessions < 1000 then
+    fail (Printf.sprintf "wire shard: %d sessions, need >= 1000 over framed connections" fw.fw_sessions);
+  if fw.fw_speedup <= 1.0 then
+    fail (Printf.sprintf "wire shard: pipelining did not beat one-at-a-time (x%.3f)" fw.fw_speedup);
+  if fw.fw_pipelined_max <= 1 then fail "wire shard: no pipelining observed on any connection";
+  if fw.fw_stalls = 0 then fail "wire shard: slow reader never hit the high watermark";
+  if fw.fw_overloaded = 0 then fail "wire shard: the in-flight cap never refused a request";
+  if fw.fw_backlog_peak > fleet_wire_high + fw.fw_frame_max then
+    fail
+      (Printf.sprintf "wire shard: unbounded backlog — peak %d > high %d + frame %d"
+         fw.fw_backlog_peak fleet_wire_high fw.fw_frame_max);
+  if fw.fw_storm_ok + fw.fw_storm_refused <> fleet_wire_storm then
+    fail
+      (Printf.sprintf "wire shard: storm replies lost or duplicated (%d + %d <> %d)"
+         fw.fw_storm_ok fw.fw_storm_refused fleet_wire_storm);
   if !json_mode then begin
     let buf = Buffer.create 2048 in
     Buffer.add_string buf "{\n  \"experiment\": \"fleet\",\n  \"shards\": [\n";
@@ -1240,7 +1433,14 @@ let fleet () =
       rows;
     Buffer.add_string buf
       (Printf.sprintf
-         "  ],\n  \"totals\": {\"sessions\": %d, \"rejected\": %d, \"cancelled\": %d, \"recovered\": %d, \"rpc_calls\": %d, \"active_end\": %d}\n}"
+         "  ],\n  \"wire\": {\"sessions\": %d, \"seq_sessions\": %d, \"seq_ns\": %d, \"pipe_sessions\": %d, \"pipe_ns\": %d, \"speedup\": %.3f, \"batch\": %d, \"conns\": %d, \"batches\": %d, \"pipelined_max\": %d, \"stalls\": %d, \"overloaded\": %d, \"backlog_peak\": %d, \"frame_max\": %d, \"wire_high\": %d, \"storm_ok\": %d, \"storm_refused\": %d, \"events\": %d, \"fwd_bytes_c2b\": %d, \"fwd_bytes_b2c\": %d},\n"
+         fw.fw_sessions fleet_wire_seq fw.fw_seq_ns fleet_wire_pipe fw.fw_pipe_ns
+         fw.fw_speedup fleet_wire_batch fw.fw_conns fw.fw_batches fw.fw_pipelined_max
+         fw.fw_stalls fw.fw_overloaded fw.fw_backlog_peak fw.fw_frame_max fleet_wire_high
+         fw.fw_storm_ok fw.fw_storm_refused fw.fw_events fw.fw_c2b fw.fw_b2c);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"totals\": {\"sessions\": %d, \"rejected\": %d, \"cancelled\": %d, \"recovered\": %d, \"rpc_calls\": %d, \"active_end\": %d}\n}"
          sessions rejected cancelled recovered rpc_calls active_end);
     write_json_file "BENCH_fleet.json" (Buffer.contents buf)
   end

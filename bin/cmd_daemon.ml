@@ -42,7 +42,7 @@ let run common json wire =
   let client =
     if wire then
       match Daemon.wire_serve daemon ~path:wire_path () with
-      | Ok w -> Client.wire daemon w
+      | Ok w -> Client.connect w
       | Error e -> failwith ("cntr daemon: cannot serve wire: " ^ Errno.message e)
     else Client.in_process daemon
   in
@@ -104,6 +104,18 @@ let run common json wire =
   exec s1 "ps";
   exec s2 "hostname";
   exec s3 "hostname";
+  (* One batched round trip: three execs in a single JSON-RPC array
+     envelope (one frame over the wire), replies claimed out of order. *)
+  let batched =
+    Client.batch client (fun () ->
+        List.map (fun sid -> (sid, Client.start_exec client ~session:sid "ls /etc")) [ s1; s2; s3 ])
+  in
+  List.iter
+    (fun (sid, h) ->
+      match Client.finish client h with
+      | Ok x -> say "session %d: batched $ ls /etc -> %d\n" sid x.Client.sx_code
+      | Error err -> say "session %d: batched exec failed: %s\n" sid err.Rpc.e_message)
+    (List.rev batched);
   (* Detaching frees a slot: the parked create gets admitted (FIFO). *)
   ignore (Client.session_detach client ~session:s1);
   say "session %d: detached\n" s1;
@@ -195,6 +207,12 @@ let run common json wire =
       (c "ctrl.sessions.recovered") active;
     Printf.printf "ctrl.rpc: calls=%d cancelled=%d\n" (c "ctrl.rpc.calls")
       (c "ctrl.rpc.cancelled");
+    if wire then
+      Printf.printf
+        "ctrl.wire: conns=%d batches=%d pipelined.max=%.0f stalls=%d overloaded=%d\n"
+        (c "ctrl.wire.conns") (c "ctrl.wire.batches")
+        (Repro_obs.Metrics.gauge_value (Repro_obs.Obs.metrics obs) "ctrl.wire.pipelined.max")
+        (c "ctrl.wire.stalls") (c "ctrl.wire.overloaded");
     match wait with
     | Some s ->
         Printf.printf "ctrl.queue.wait_us: count=%d mean=%.1f p95=%.1f\n"

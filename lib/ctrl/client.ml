@@ -1,8 +1,15 @@
-(* Ctrl.Client: the request path shared by the CLI subcommands and the
-   fleet bench.  The in-process transport hands decoded requests straight
-   to the daemon; the wire transport frames them over a kernel socket and
-   the forwarding plane, exercising the same bytes a remote client would
-   produce.  Both co-simulate: the client pumps the daemon it talks to. *)
+(* Ctrl.Client: the one request path shared by the CLI subcommands and
+   the fleet bench.  The in-process transport hands decoded requests
+   straight to the daemon; the wire transport frames them over a kernel
+   socket and the forwarding plane, exercising the same bytes a remote
+   client would produce.  Both co-simulate: the client pumps the daemon
+   it talks to.
+
+   The surface is pipelined end to end: [submit] fires without awaiting,
+   replies are matched by id and may arrive out of submission order, and
+   [batch] coalesces a run of submits into one JSON-RPC 2.0 array
+   envelope (one frame on the wire).  Every typed verb is built on
+   [start_*]/[finish], so any of them can be pipelined or batched. *)
 
 open Repro_os
 module Config = Repro_cntr.Attach.Config
@@ -23,6 +30,7 @@ type t = {
   c_transport : transport;
   mutable c_next_id : int;
   mutable c_notifs : Jsonx.t list;
+  mutable c_batch : Rpc.request list option;  (* collecting when Some *)
   c_tickets : (Rpc.id, Daemon.ticket) Hashtbl.t; (* in-process only *)
 }
 
@@ -36,16 +44,20 @@ let in_process d =
     c_transport = In_process;
     c_next_id = 1;
     c_notifs = [];
+    c_batch = None;
     c_tickets = Hashtbl.create 16;
   }
 
-let wire d w =
-  let ws = { ws_wire = w; ws_fd = -1; ws_reader = Rpc.reader (); ws_resps = Hashtbl.create 16 } in
+let connect w =
+  let ws =
+    { ws_wire = w; ws_fd = -1; ws_reader = Rpc.reader (); ws_resps = Hashtbl.create 16 }
+  in
   {
-    c_daemon = d;
+    c_daemon = Daemon.wire_daemon w;
     c_transport = Wire ws;
     c_next_id = 1;
     c_notifs = [];
+    c_batch = None;
     c_tickets = Hashtbl.create 16;
   }
 
@@ -63,8 +75,8 @@ let wire_connect t ws =
     Daemon.pump t.c_daemon
   end
 
-(* Stash every complete frame the daemon sent us: responses by id,
-   notifications in arrival order. *)
+(* Stash every complete frame the daemon sent us: responses by id (batch
+   reply arrays element-wise), notifications in arrival order. *)
 let wire_slurp t ws =
   let rec read_loop () =
     match Kernel.read (kernel t) (cli_proc ws) ws.ws_fd ~len:65536 with
@@ -74,19 +86,24 @@ let wire_slurp t ws =
     | _ -> ()
   in
   read_loop ();
+  let element = function
+    | Ok (Rpc.Response r) -> (
+        match r.Rpc.p_id with
+        | Some id -> Hashtbl.replace ws.ws_resps id r
+        | None ->
+            (* id-less protocol error (e.g. we sent garbage): surface
+               as a notification so callers can observe it *)
+            t.c_notifs <- t.c_notifs @ [ Rpc.response_json r ])
+    | Ok (Rpc.Request req) ->
+        if req.Rpc.r_id = None then t.c_notifs <- t.c_notifs @ [ Rpc.request_json req ]
+    | Error _ -> ()
+  in
   let rec frame_loop () =
     match Rpc.next ws.ws_reader with
     | `Frame payload ->
-        (match Rpc.decode payload with
-        | Ok (Rpc.Response r) -> (
-            match r.Rpc.p_id with
-            | Some id -> Hashtbl.replace ws.ws_resps id r
-            | None ->
-                (* id-less protocol error (e.g. we sent garbage): surface
-                   as a notification so callers can observe it *)
-                t.c_notifs <- t.c_notifs @ [ Rpc.response_json r ])
-        | Ok (Rpc.Request req) ->
-            if req.Rpc.r_id = None then t.c_notifs <- t.c_notifs @ [ Rpc.request_json req ]
+        (match Rpc.decode_incoming payload with
+        | Ok (Rpc.Single m) -> element m
+        | Ok (Rpc.Batch ms) -> List.iter element ms
         | Error _ -> ());
         frame_loop ()
     | `Garbage _ -> frame_loop ()
@@ -118,27 +135,59 @@ let fresh_id t =
   t.c_next_id <- t.c_next_id + 1;
   id
 
+let send_request t (req : Rpc.request) =
+  match t.c_batch with
+  | Some acc -> t.c_batch <- Some (acc @ [ req ])
+  | None -> (
+      match t.c_transport with
+      | In_process -> (
+          let sink j = t.c_notifs <- t.c_notifs @ [ j ] in
+          match Daemon.submit t.c_daemon ~sink req with
+          | Some tk -> Hashtbl.replace t.c_tickets (Option.get req.Rpc.r_id) tk
+          | None -> ())
+      | Wire ws -> wire_send t ws (Rpc.encode_request req))
+
 let submit t ?(params = Jsonx.Null) meth =
   let id = fresh_id t in
-  let req = { Rpc.r_id = Some id; r_method = meth; r_params = params } in
-  (match t.c_transport with
-  | In_process -> (
-      let sink j = t.c_notifs <- t.c_notifs @ [ j ] in
-      match Daemon.submit t.c_daemon ~sink req with
-      | Some tk -> Hashtbl.replace t.c_tickets id tk
-      | None -> ())
-  | Wire ws -> wire_send t ws (Rpc.encode_request req));
+  send_request t { Rpc.r_id = Some id; r_method = meth; r_params = params };
   id
 
-let notify t meth params =
-  let req = { Rpc.r_id = None; r_method = meth; r_params = params } in
-  match t.c_transport with
-  | In_process -> ignore (Daemon.submit t.c_daemon req)
-  | Wire ws -> wire_send t ws (Rpc.encode_request req)
+let notify t meth params = send_request t { Rpc.r_id = None; r_method = meth; r_params = params }
+
+let flush_batch t =
+  match t.c_batch with
+  | None -> ()
+  | Some reqs -> (
+      t.c_batch <- None;
+      match (reqs, t.c_transport) with
+      | [], _ -> ()
+      | reqs, Wire ws -> wire_send t ws (Rpc.encode_requests reqs)
+      | reqs, In_process ->
+          (* same envelope semantics, minus the framing: dispatch in
+             order, replies claimable in any order *)
+          List.iter
+            (fun (req : Rpc.request) ->
+              let sink j = t.c_notifs <- t.c_notifs @ [ j ] in
+              match Daemon.submit t.c_daemon ~sink req with
+              | Some tk -> Hashtbl.replace t.c_tickets (Option.get req.Rpc.r_id) tk
+              | None -> ())
+            reqs)
+
+let batch t f =
+  if t.c_batch <> None then invalid_arg "Client.batch: already batching";
+  t.c_batch <- Some [];
+  match f () with
+  | v ->
+      flush_batch t;
+      v
+  | exception e ->
+      t.c_batch <- None;
+      raise e
 
 let cancel t id = notify t "$/cancel" (Jsonx.Obj [ ("id", Rpc.id_json id) ])
 
 let poll t id =
+  if t.c_batch <> None then invalid_arg "Client.poll: inside a batch (flush first)";
   Daemon.pump t.c_daemon;
   match t.c_transport with
   | In_process -> (
@@ -159,6 +208,7 @@ let poll t id =
       | None -> None)
 
 let await t id =
+  if t.c_batch <> None then invalid_arg "Client.await: inside a batch (flush first)";
   match t.c_transport with
   | In_process -> (
       match Hashtbl.find_opt t.c_tickets id with
@@ -186,7 +236,16 @@ let notifications t =
   t.c_notifs <- [];
   ns
 
-(* --- typed wrappers ------------------------------------------------ *)
+(* --- typed verbs: start_* submits, finish awaits -------------------- *)
+
+type 'a call = { cl_id : ticket; cl_decode : Jsonx.t -> 'a }
+
+let call_id c = c.cl_id
+
+let start t ?params decode meth = { cl_id = submit t ?params meth; cl_decode = decode }
+
+let finish t c =
+  match await t c.cl_id with Error e -> Error e | Ok v -> Ok (c.cl_decode v)
 
 type created = { sc_session : int; sc_pid : int; sc_cgroup : string; sc_queue_wait_us : int }
 
@@ -200,7 +259,15 @@ let need_str v k =
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "cntrd reply missing string field %S" k)
 
-let session_create t ?tenant ?tools ?threads ?fault_plan container =
+let decode_created v =
+  {
+    sc_session = need_int v "session";
+    sc_pid = need_int v "pid";
+    sc_cgroup = need_str v "cgroup";
+    sc_queue_wait_us = need_int v "queue_wait_us";
+  }
+
+let start_create t ?tenant ?tools ?threads ?fault_plan container =
   let fields =
     [ ("container", Jsonx.Str container) ]
     @ (match tenant with Some x -> [ ("tenant", Jsonx.Str x) ] | None -> [])
@@ -208,38 +275,38 @@ let session_create t ?tenant ?tools ?threads ?fault_plan container =
     @ (match threads with Some x -> [ ("threads", Jsonx.Int x) ] | None -> [])
     @ match fault_plan with Some x -> [ ("fault_plan", Jsonx.Str x) ] | None -> []
   in
-  match call t ~params:(Jsonx.Obj fields) "session.create" with
-  | Error e -> Error e
-  | Ok v ->
-      Ok
-        {
-          sc_session = need_int v "session";
-          sc_pid = need_int v "pid";
-          sc_cgroup = need_str v "cgroup";
-          sc_queue_wait_us = need_int v "queue_wait_us";
-        }
+  start t ~params:(Jsonx.Obj fields) decode_created "session.create"
+
+let session_create t ?tenant ?tools ?threads ?fault_plan container =
+  finish t (start_create t ?tenant ?tools ?threads ?fault_plan container)
 
 type execed = { sx_code : int; sx_output : string; sx_recovered : bool }
 
-let session_exec t ~session cmd =
+let decode_execed v =
+  {
+    sx_code = need_int v "code";
+    sx_output = need_str v "output";
+    sx_recovered = Jsonx.field_bool v "recovered" = Some true;
+  }
+
+let start_exec t ~session cmd =
   let params = Jsonx.Obj [ ("session", Jsonx.Int session); ("cmd", Jsonx.Str cmd) ] in
-  match call t ~params "session.exec" with
-  | Error e -> Error e
-  | Ok v ->
-      Ok
-        {
-          sx_code = need_int v "code";
-          sx_output = need_str v "output";
-          sx_recovered = Jsonx.field_bool v "recovered" = Some true;
-        }
+  start t ~params decode_execed "session.exec"
 
-let session_stat t ~session =
-  call t ~params:(Jsonx.Obj [ ("session", Jsonx.Int session) ]) "session.stat"
+let session_exec t ~session cmd = finish t (start_exec t ~session cmd)
 
-let session_detach t ~session =
-  match call t ~params:(Jsonx.Obj [ ("session", Jsonx.Int session) ]) "session.detach" with
-  | Error e -> Error e
-  | Ok v -> Ok (Jsonx.field_bool v "already" = Some true)
+let start_stat t ~session =
+  start t ~params:(Jsonx.Obj [ ("session", Jsonx.Int session) ]) (fun v -> v) "session.stat"
+
+let session_stat t ~session = finish t (start_stat t ~session)
+
+let start_detach t ~session =
+  start t
+    ~params:(Jsonx.Obj [ ("session", Jsonx.Int session) ])
+    (fun v -> Jsonx.field_bool v "already" = Some true)
+    "session.detach"
+
+let session_detach t ~session = finish t (start_detach t ~session)
 
 type row = {
   sr_session : int;
@@ -249,22 +316,20 @@ type row = {
   sr_execs : int;
 }
 
-let session_list t =
-  match call t "session.list" with
-  | Error e -> Error e
-  | Ok v ->
-      let rows = Option.value (Option.bind (Jsonx.mem v "sessions") Jsonx.list_) ~default:[] in
-      Ok
-        (List.map
-           (fun r ->
-             {
-               sr_session = need_int r "session";
-               sr_tenant = need_str r "tenant";
-               sr_container = need_str r "container";
-               sr_state = need_str r "state";
-               sr_execs = need_int r "execs";
-             })
-           rows)
+let decode_rows v =
+  let rows = Option.value (Option.bind (Jsonx.mem v "sessions") Jsonx.list_) ~default:[] in
+  List.map
+    (fun r ->
+      {
+        sr_session = need_int r "session";
+        sr_tenant = need_str r "tenant";
+        sr_container = need_str r "container";
+        sr_state = need_str r "state";
+        sr_execs = need_int r "execs";
+      })
+    rows
 
-let subscribe t =
-  match call t "stats.subscribe" with Error e -> Error e | Ok _ -> Ok ()
+let start_list t = start t decode_rows "session.list"
+let session_list t = finish t (start_list t)
+let start_subscribe t = start t (fun _ -> ()) "stats.subscribe"
+let subscribe t = finish t (start_subscribe t)

@@ -27,6 +27,10 @@ type config = {
   c_fault : Fault.plan option;
   c_auto_recover : bool;
   c_sub_buffer : int;  (* undelivered events retained per subscriber *)
+  (* wire plane: per-connection flow control *)
+  c_wire_inflight : int;  (* admitted-but-unflushed requests per connection *)
+  c_wire_high : int;  (* wc_out bytes at which a connection stalls *)
+  c_wire_low : int;  (* wc_out bytes at which a stalled connection resumes *)
 }
 
 let default_config =
@@ -38,6 +42,9 @@ let default_config =
     c_fault = None;
     c_auto_recover = true;
     c_sub_buffer = 256;
+    c_wire_inflight = 64;
+    c_wire_high = 65536;
+    c_wire_low = 16384;
   }
 
 (* One in-flight request. *)
@@ -89,12 +96,45 @@ type sub = {
   sb_ready : unit -> bool;  (* can the transport take another event now? *)
 }
 
+(* ctrl.wire.* instruments, created lazily by the first [wire_serve] so
+   in-process daemons never touch this registry namespace. *)
+type wire_metrics = {
+  wm_conns : Metrics.counter;
+  wm_batches : Metrics.counter;
+  wm_stalls : Metrics.counter;
+  wm_overloaded : Metrics.counter;
+  wm_pipelined_max : Metrics.gauge;
+  wm_backlog_peak : Metrics.gauge;
+  wm_frame_max : Metrics.gauge;
+  mutable wm_pmax : int;
+  mutable wm_bpeak : int;
+  mutable wm_fmax : int;
+}
+
+(* Per-connection write-side flow control: a connection whose framed
+   output backlog reaches the high watermark stops being read (requests
+   back up into the bounded kernel socket, then into the sender) and
+   stops taking buffered replies/events until the backlog drains to the
+   low watermark.  One stalled reader never wedges the others. *)
+type flow = Flowing | Stalled
+
+(* One admitted element of a batch envelope.  [Slot_done] holds replies
+   produced without dispatch (malformed elements, overload rejections);
+   [Slot_wait] resolves through its ticket.  The envelope flushes as one
+   order-preserving reply array when every slot has a response. *)
+type slot = Slot_wait of ticket | Slot_done of Rpc.response
+
 type wire_conn = {
   wc_fd : int;
   wc_reader : Rpc.reader;
-  mutable wc_out : string;
-  mutable wc_tickets : ticket list; (* awaiting replies *)
-  mutable wc_sink_installed : bool;
+  wc_outq : string Queue.t;  (* framed chunks awaiting the socket *)
+  mutable wc_out_off : int;  (* written prefix of the head chunk *)
+  mutable wc_out_len : int;  (* total unwritten backlog bytes *)
+  mutable wc_flow : flow;
+  wc_now : Rpc.response Queue.t;  (* immediate replies awaiting room *)
+  mutable wc_singles : ticket list;  (* pipelined calls: flushed as resolved *)
+  mutable wc_batches : slot array list;  (* envelopes: flushed when complete *)
+  mutable wc_inflight : int;  (* admitted, not yet flushed *)
 }
 
 type wire = {
@@ -103,10 +143,12 @@ type wire = {
   w_client_proc : Proc.t;
   w_plane : Proxy.t;
   w_lfd : int;
+  w_daemon : t;
   mutable w_conns : wire_conn list;
+  mutable w_rr : int; (* round-robin cursor over w_conns *)
 }
 
-type t = {
+and t = {
   d_world : Repro_runtime.World.t;
   d_config : config;
   d_sched : Sched.t;
@@ -118,7 +160,9 @@ type t = {
   mutable d_subs : sub list;
   mutable d_m_sub_dropped : Metrics.counter option;
       (* lazily created: only daemons that ever drop touch the registry *)
+  mutable d_wm : wire_metrics option;
   mutable d_wires : wire list;
+  mutable d_wire_rr : int; (* round-robin cursor over d_wires *)
   (* admission *)
   d_adm_cond : Sched.cond;
   mutable d_active : int;
@@ -165,7 +209,9 @@ let create ?(config = default_config) world =
     d_inflight = [];
     d_subs = [];
     d_m_sub_dropped = None;
+    d_wm = None;
     d_wires = [];
+    d_wire_rr = 0;
     d_adm_cond = Sched.cond ();
     d_active = 0;
     d_queued = 0;
@@ -690,11 +736,212 @@ let submit t ?sink ?sink_ready (req : Rpc.request) =
 
 let k t = kernel t
 
-(* Backlog bound above which a wire subscriber counts as not-ready. *)
-let sub_watermark = 65536
+(* ctrl.wire.* counters, created by the first wire_serve *)
+let wire_metrics t =
+  match t.d_wm with
+  | Some m -> m
+  | None ->
+      let mx = Repro_obs.Obs.metrics (obs t) in
+      let m =
+        {
+          wm_conns = Metrics.counter mx "ctrl.wire.conns";
+          wm_batches = Metrics.counter mx "ctrl.wire.batches";
+          wm_stalls = Metrics.counter mx "ctrl.wire.stalls";
+          wm_overloaded = Metrics.counter mx "ctrl.wire.overloaded";
+          wm_pipelined_max = Metrics.gauge mx "ctrl.wire.pipelined.max";
+          wm_backlog_peak = Metrics.gauge mx "ctrl.wire.backlog.peak";
+          wm_frame_max = Metrics.gauge mx "ctrl.wire.frame.max";
+          wm_pmax = 0;
+          wm_bpeak = 0;
+          wm_fmax = 0;
+        }
+      in
+      t.d_wm <- Some m;
+      m
+
+let wm t = Option.get t.d_wm (* wire paths only run after wire_serve *)
+
+(* [rotate l n]: l starting at index [n mod length], wrapping — the
+   round-robin order for one service pass. *)
+let rotate l n =
+  let len = List.length l in
+  if len <= 1 then l
+  else
+    let rec split i acc = function
+      | x :: tl when i > 0 -> split (i - 1) (x :: acc) tl
+      | rest -> rest @ List.rev acc
+    in
+    split (n mod len) [] l
+
+(* Append one framed payload to the connection's backlog, tracking the
+   peak backlog and largest single frame (the flow-control gate in the
+   fleet bench checks peak <= high watermark + one frame). *)
+let conn_push t wc payload =
+  let framed = Rpc.frame payload in
+  Queue.push framed wc.wc_outq;
+  wc.wc_out_len <- wc.wc_out_len + String.length framed;
+  let m = wm t in
+  if String.length framed > m.wm_fmax then begin
+    m.wm_fmax <- String.length framed;
+    Metrics.set m.wm_frame_max (float_of_int m.wm_fmax)
+  end;
+  if wc.wc_out_len > m.wm_bpeak then begin
+    m.wm_bpeak <- wc.wc_out_len;
+    Metrics.set m.wm_backlog_peak (float_of_int m.wm_bpeak)
+  end
+
+let conn_room t wc = wc.wc_out_len < t.d_config.c_wire_high
+
+(* Admit one id-carrying request from a connection, or refuse it with
+   -32005 when the connection's inbound queue (admitted requests whose
+   replies have not yet been flushed) is full.  Notifications are always
+   processed — dropping a $/cancel under load would be unkind. *)
+let wire_admit t wc ~sink ~sink_ready (req : Rpc.request) =
+  match req.Rpc.r_id with
+  | None ->
+      ignore (submit t ~sink ~sink_ready req);
+      `None
+  | Some id ->
+      if wc.wc_inflight >= t.d_config.c_wire_inflight then begin
+        Metrics.incr (wm t).wm_overloaded;
+        `Reply
+          {
+            Rpc.p_id = Some id;
+            p_result =
+              Error
+                (Rpc.error Rpc.overloaded
+                   (Printf.sprintf "connection inbound queue full (%d in flight)"
+                      wc.wc_inflight));
+          }
+      end
+      else
+        match submit t ~sink ~sink_ready req with
+        | Some tk ->
+            wc.wc_inflight <- wc.wc_inflight + 1;
+            let m = wm t in
+            if wc.wc_inflight > m.wm_pmax then begin
+              m.wm_pmax <- wc.wc_inflight;
+              Metrics.set m.wm_pipelined_max (float_of_int m.wm_pmax)
+            end;
+            `Ticket tk
+        | None -> `None
+
+let handle_frame t wc ~sink ~sink_ready payload =
+  let now r = Queue.push r wc.wc_now in
+  match Rpc.decode_incoming payload with
+  | Error e -> now { Rpc.p_id = None; p_result = Error e }
+  | Ok (Rpc.Single (Error e)) -> now { Rpc.p_id = None; p_result = Error e }
+  | Ok (Rpc.Single (Ok (Rpc.Response _))) -> () (* clients don't call us back *)
+  | Ok (Rpc.Single (Ok (Rpc.Request req))) -> (
+      match wire_admit t wc ~sink ~sink_ready req with
+      | `Reply r -> now r
+      | `Ticket tk -> wc.wc_singles <- wc.wc_singles @ [ tk ]
+      | `None -> ())
+  | Ok (Rpc.Batch elems) ->
+      Metrics.incr (wm t).wm_batches;
+      let slots =
+        List.filter_map
+          (function
+            | Error e -> Some (Slot_done { Rpc.p_id = None; p_result = Error e })
+            | Ok (Rpc.Response _) -> None
+            | Ok (Rpc.Request req) -> (
+                match wire_admit t wc ~sink ~sink_ready req with
+                | `Reply r -> Some (Slot_done r)
+                | `Ticket tk -> Some (Slot_wait tk)
+                | `None -> None))
+          elems
+      in
+      (* an all-notification (or all-ignored) batch gets no reply frame *)
+      if slots <> [] then wc.wc_batches <- wc.wc_batches @ [ Array.of_list slots ]
+
+let slot_response = function Slot_done r -> Some r | Slot_wait tk -> tk.p_resp
+
+(* Move finished replies into the framed backlog while the watermark
+   allows: immediate replies first, then resolved pipelined singles in
+   arrival order (unresolved ones are skipped — replies are deliverable
+   out of order), then complete batch envelopes as one array frame each.
+   Anything without room stays queued; flow control, not truncation. *)
+let conn_flush t wc =
+  let progress = ref false in
+  while conn_room t wc && not (Queue.is_empty wc.wc_now) do
+    conn_push t wc (Rpc.encode_response (Queue.pop wc.wc_now));
+    progress := true
+  done;
+  let rec sweep_singles = function
+    | [] -> []
+    | tk :: rest when conn_room t wc -> (
+        match tk.p_resp with
+        | Some r ->
+            conn_push t wc (Rpc.encode_response r);
+            wc.wc_inflight <- wc.wc_inflight - 1;
+            progress := true;
+            sweep_singles rest
+        | None -> tk :: sweep_singles rest)
+    | rest -> rest
+  in
+  wc.wc_singles <- sweep_singles wc.wc_singles;
+  let batch_complete slots = Array.for_all (fun s -> slot_response s <> None) slots in
+  let rec sweep_batches = function
+    | [] -> []
+    | slots :: rest when conn_room t wc && batch_complete slots ->
+        let rs =
+          Array.to_list (Array.map (fun s -> Option.get (slot_response s)) slots)
+        in
+        conn_push t wc (Rpc.encode_responses rs);
+        let admitted =
+          Array.fold_left
+            (fun a -> function Slot_wait _ -> a + 1 | Slot_done _ -> a)
+            0 slots
+        in
+        wc.wc_inflight <- wc.wc_inflight - admitted;
+        progress := true;
+        sweep_batches rest
+    | slots :: rest -> slots :: sweep_batches rest
+  in
+  wc.wc_batches <- sweep_batches wc.wc_batches;
+  !progress
+
+(* Push backlog bytes into the (bounded) kernel socket; partial writes
+   leave an offset into the head chunk. *)
+let conn_write t w wc =
+  let progress = ref false in
+  let blocked = ref false in
+  while (not !blocked) && not (Queue.is_empty wc.wc_outq) do
+    let chunk = Queue.peek wc.wc_outq in
+    let s =
+      if wc.wc_out_off = 0 then chunk
+      else String.sub chunk wc.wc_out_off (String.length chunk - wc.wc_out_off)
+    in
+    match Kernel.write (k t) w.w_proc wc.wc_fd s with
+    | Ok n when n > 0 ->
+        progress := true;
+        wc.wc_out_len <- wc.wc_out_len - n;
+        if n = String.length s then begin
+          ignore (Queue.pop wc.wc_outq);
+          wc.wc_out_off <- 0
+        end
+        else begin
+          wc.wc_out_off <- wc.wc_out_off + n;
+          blocked := true
+        end
+    | _ -> blocked := true
+  done;
+  !progress
+
+(* The flow-control state machine: FLOWING --(backlog >= high)--> STALLED
+   --(backlog <= low)--> FLOWING.  Stalled connections are not read and
+   take no buffered replies or events; stall entries are counted. *)
+let conn_update_flow t wc =
+  match wc.wc_flow with
+  | Flowing when wc.wc_out_len >= t.d_config.c_wire_high ->
+      wc.wc_flow <- Stalled;
+      Metrics.incr (wm t).wm_stalls
+  | Stalled when wc.wc_out_len <= t.d_config.c_wire_low -> wc.wc_flow <- Flowing
+  | _ -> ()
 
 (* One service pass over a wire endpoint: move plane bytes, accept new
-   clients, deframe + dispatch requests, flush finished replies. *)
+   clients, deframe + dispatch (pipelined; batches envelope-at-a-time),
+   flush finished replies and events under the watermark, write. *)
 let wire_step t w =
   let progress = ref false in
   Proxy.drain w.w_plane;
@@ -702,90 +949,76 @@ let wire_step t w =
     match Kernel.socket_accept (k t) w.w_proc w.w_lfd with
     | Ok fd ->
         progress := true;
+        Metrics.incr (wm t).wm_conns;
         w.w_conns <-
-          w.w_conns
-          @ [
-              {
-                wc_fd = fd;
-                wc_reader = Rpc.reader ();
-                wc_out = "";
-                wc_tickets = [];
-                wc_sink_installed = false;
-              };
-            ];
+          {
+            wc_fd = fd;
+            wc_reader = Rpc.reader ();
+            wc_outq = Queue.create ();
+            wc_out_off = 0;
+            wc_out_len = 0;
+            wc_flow = Flowing;
+            wc_now = Queue.create ();
+            wc_singles = [];
+            wc_batches = [];
+            wc_inflight = 0;
+          }
+          :: w.w_conns;
         accept_loop ()
     | Error _ -> ()
   in
   accept_loop ();
+  (* service connections round-robin so no socket is list-position-biased *)
+  let conns = rotate w.w_conns w.w_rr in
+  if conns <> [] then w.w_rr <- w.w_rr + 1;
   List.iter
     (fun wc ->
-      (* read everything available *)
-      let rec read_loop () =
-        match Kernel.read (k t) w.w_proc wc.wc_fd ~len:65536 with
-        | Ok s when String.length s > 0 ->
-            Rpc.feed wc.wc_reader s;
-            progress := true;
-            read_loop ()
-        | _ -> ()
-      in
-      read_loop ();
-      (* deframe + dispatch *)
-      let rec frame_loop () =
-        match Rpc.next wc.wc_reader with
-        | `Frame payload ->
-            progress := true;
-            (match Rpc.decode payload with
-            | Ok (Rpc.Request req) ->
-                let sink j = wc.wc_out <- wc.wc_out ^ Rpc.frame (Jsonx.to_string j) in
-                (* a wire subscriber is ready while its output backlog is
-                   below the watermark: a client that stops reading stops
-                   receiving, and its ring starts dropping instead *)
-                let sink_ready () = String.length wc.wc_out < sub_watermark in
-                (match submit t ~sink ~sink_ready req with
-                | Some tk -> wc.wc_tickets <- wc.wc_tickets @ [ tk ]
-                | None -> ())
-            | Ok (Rpc.Response _) -> () (* clients don't call us back *)
-            | Error e ->
-                wc.wc_out <-
-                  wc.wc_out
-                  ^ Rpc.frame (Rpc.encode_response { Rpc.p_id = None; p_result = Error e }));
-            frame_loop ()
-        | `Garbage _ ->
-            progress := true;
-            wc.wc_out <-
-              wc.wc_out
-              ^ Rpc.frame
-                  (Rpc.encode_response
-                     {
-                       Rpc.p_id = None;
-                       p_result = Error (Rpc.error Rpc.parse_error "malformed framing header");
-                     });
-            frame_loop ()
-        | `More -> ()
-      in
-      frame_loop ();
-      (* flush finished replies, preserving completion order *)
-      let ready, waiting = List.partition (fun tk -> tk.p_resp <> None) wc.wc_tickets in
-      wc.wc_tickets <- waiting;
-      List.iter
-        (fun tk ->
-          match tk.p_resp with
-          | Some r ->
+      (* read + dispatch only while flowing: a stalled reader's requests
+         back up into the bounded socket, then into the sender *)
+      if wc.wc_flow = Flowing then begin
+        let rec read_loop () =
+          match Kernel.read (k t) w.w_proc wc.wc_fd ~len:65536 with
+          | Ok s when String.length s > 0 ->
+              Rpc.feed wc.wc_reader s;
               progress := true;
-              wc.wc_out <- wc.wc_out ^ Rpc.frame (Rpc.encode_response r)
-          | None -> ())
-        ready;
-      (* deliver buffered events to whichever subscribers can take them
-         (this connection's sink appends to wc_out while under the
-         watermark) before pushing bytes out *)
-      flush_subs t;
-      if String.length wc.wc_out > 0 then
-        match Kernel.write (k t) w.w_proc wc.wc_fd wc.wc_out with
-        | Ok n when n > 0 ->
-            progress := true;
-            wc.wc_out <- String.sub wc.wc_out n (String.length wc.wc_out - n)
-        | _ -> ())
-    w.w_conns;
+              read_loop ()
+          | _ -> ()
+        in
+        read_loop ();
+        let sink j =
+          if conn_room t wc then conn_push t wc (Jsonx.to_string j)
+        in
+        let sink_ready () = wc.wc_flow = Flowing && conn_room t wc in
+        let rec frame_loop () =
+          match Rpc.next wc.wc_reader with
+          | `Frame payload ->
+              progress := true;
+              handle_frame t wc ~sink ~sink_ready payload;
+              frame_loop ()
+          | `Garbage _ ->
+              progress := true;
+              Queue.push
+                {
+                  Rpc.p_id = None;
+                  p_result = Error (Rpc.error Rpc.parse_error "malformed framing header");
+                }
+                wc.wc_now;
+              frame_loop ()
+          | `More -> ()
+        in
+        frame_loop ()
+      end)
+    conns;
+  (* buffered events drain into whichever subscriber sinks report ready
+     (a wire sink is ready while its connection flows under the
+     watermark) *)
+  flush_subs t;
+  List.iter
+    (fun wc ->
+      if conn_flush t wc then progress := true;
+      if conn_write t w wc then progress := true;
+      conn_update_flow t wc)
+    conns;
   Proxy.drain w.w_plane;
   !progress
 
@@ -801,9 +1034,11 @@ let pump t =
         (* in-process subscribers (always ready) drain here even when no
            wire exists *)
         flush_subs t;
-        let progressed =
-          List.fold_left (fun acc w -> wire_step t w || acc) false t.d_wires
-        in
+        (* wire endpoints are serviced round-robin, not list-position
+           first *)
+        let wires = rotate t.d_wires t.d_wire_rr in
+        if wires <> [] then t.d_wire_rr <- t.d_wire_rr + 1;
+        let progressed = List.fold_left (fun acc w -> wire_step t w || acc) false wires in
         if progressed then loop ()
   in
   loop ()
@@ -830,21 +1065,48 @@ let response t tk =
   go ()
 
 let handle_text t ?sink text =
-  match Rpc.decode text with
-  | Error e -> Some (Rpc.encode_response { Rpc.p_id = None; p_result = Error e })
-  | Ok (Rpc.Response _) -> None
-  | Ok (Rpc.Request req) -> (
+  let err e = Some (Rpc.encode_response { Rpc.p_id = None; p_result = Error e }) in
+  match Rpc.decode_incoming text with
+  | Error e -> err e
+  | Ok (Rpc.Single (Error e)) -> err e
+  | Ok (Rpc.Single (Ok (Rpc.Response _))) -> None
+  | Ok (Rpc.Single (Ok (Rpc.Request req))) -> (
       match submit t ?sink req with
       | None ->
           pump t;
           None
       | Some tk -> Some (Rpc.encode_response (response t tk)))
+  | Ok (Rpc.Batch elems) -> (
+      (* per-element validation: a malformed element answers in place,
+         well-formed neighbours still dispatch; notifications are elided
+         from the reply array (JSON-RPC 2.0 §6) *)
+      let slots =
+        List.filter_map
+          (function
+            | Error e -> Some (`Now { Rpc.p_id = None; p_result = Error e })
+            | Ok (Rpc.Response _) -> None
+            | Ok (Rpc.Request req) -> (
+                match submit t ?sink req with
+                | Some tk -> Some (`Wait tk)
+                | None -> None))
+          elems
+      in
+      match slots with
+      | [] ->
+          pump t;
+          None
+      | slots ->
+          let rs =
+            List.map (function `Now r -> r | `Wait tk -> response t tk) slots
+          in
+          Some (Rpc.encode_responses rs))
 
 (* ------------------------------------------------------------------ *)
 (* Wire serving                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let wire_serve t ?mode ~path () =
+  ignore (wire_metrics t);
   let kernel = k t in
   let init = Kernel.init_proc kernel in
   let dproc = Kernel.fork kernel init in
@@ -875,11 +1137,16 @@ let wire_serve t ?mode ~path () =
               w_client_proc = cproc;
               w_plane = plane;
               w_lfd = lfd;
+              w_daemon = t;
               w_conns = [];
+              w_rr = 0;
             }
           in
-          t.d_wires <- t.d_wires @ [ w ];
+          (* O(1) registration; service order is round-robin, so list
+             position carries no priority *)
+          t.d_wires <- w :: t.d_wires;
           Ok w)
 
 let wire_path w = w.w_path
 let wire_client_proc w = w.w_client_proc
+let wire_daemon w = w.w_daemon

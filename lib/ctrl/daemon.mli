@@ -52,10 +52,25 @@ type config = {
           the oldest is dropped and counted under
           [ctrl.subscribe.dropped] (drop-oldest: a monitoring stream
           wants recent state, not stale history) *)
+  c_wire_inflight : int;
+      (** wire flow control: admitted requests per connection whose
+          replies have not yet been flushed; the next call over the limit
+          is refused with [-32005] ({!Rpc.overloaded}) before dispatch.
+          Notifications are never refused. *)
+  c_wire_high : int;
+      (** wire flow control: framed-output backlog (bytes) at which a
+          connection stalls — it stops being read and stops taking
+          buffered replies/events until it drains.  One reply frame may
+          overshoot the watermark (appends are gated, not split). *)
+  c_wire_low : int;
+      (** wire flow control: backlog at which a stalled connection
+          resumes (hysteresis — must be < [c_wire_high]) *)
 }
 
 (** 64 active, 32 queued, 16/8 per tenant, {!Repro_cntr.Attach.Config.default},
-    no faults, auto-recovery on, 256-event subscriber buffers. *)
+    no faults, auto-recovery on, 256-event subscriber buffers; wire flow
+    control at 64 in-flight per connection with 64 KiB/16 KiB
+    high/low watermarks. *)
 val default_config : config
 
 type t
@@ -101,10 +116,33 @@ val response : t -> ticket -> Rpc.response
 
 (** Decode raw text, dispatch, pump to completion; the encoded reply
     ([None] for notifications).  Malformed input yields an error reply
-    with a [null] id, exactly like the wire path. *)
+    with a [null] id, exactly like the wire path.  A batch envelope
+    (top-level array) dispatches every element and answers with one
+    order-preserving reply array — per-element errors in place,
+    notifications elided, no reply at all when every element was a
+    notification. *)
 val handle_text : t -> ?sink:(Jsonx.t -> unit) -> string -> string option
 
-(** {1 Wire transport} *)
+(** {1 Wire transport}
+
+    Each accepted connection is pipelined: any number of id-carrying
+    requests may be in flight (bounded by [c_wire_inflight]; the
+    overflow is refused with [-32005]), and replies flush as they
+    resolve — out of submission order when a later request finishes
+    first.  Batch envelopes dispatch element-at-a-time and flush as one
+    order-preserving reply array.  Write-side flow control stalls a
+    connection whose framed backlog reaches [c_wire_high] (no reads, no
+    buffered replies or events) until it drains to [c_wire_low]; a
+    stalled client never wedges the other connections.
+
+    Registry namespace (created by the first {!wire_serve}):
+    [ctrl.wire.conns] (accepted connections), [ctrl.wire.batches]
+    (envelopes received), [ctrl.wire.stalls] (flow-control stall
+    entries), [ctrl.wire.overloaded] ([-32005] refusals), and the gauges
+    [ctrl.wire.pipelined.max] (peak in-flight on one connection),
+    [ctrl.wire.backlog.peak] / [ctrl.wire.frame.max] (peak framed
+    backlog and largest single frame — the fleet bench gates
+    [peak <= c_wire_high + frame.max]). *)
 
 (** A served wire endpoint: a proxy-plane forwarder carrying
     Content-Length-framed JSON-RPC to the daemon's listener socket. *)
@@ -114,11 +152,15 @@ type wire
     {!Repro_os.Kernel.socket_connect} there).  The bytes ride the
     forwarding plane under the ["rpc"] label
     ([proxy.fwd.rpc.bytes.{c2b,b2c}]).  {!pump} services accepted
-    connections. *)
+    connections round-robin. *)
 val wire_serve :
   t -> ?mode:Repro_proxy.Proxy.mode -> path:string -> unit -> (wire, Errno.t) result
 
 val wire_path : wire -> string
+
+(** The daemon this endpoint serves — a wire is a complete connect
+    handle ({!Client.connect} needs nothing else). *)
+val wire_daemon : wire -> t
 
 (** The client-side proc to [socket_connect] from (any proc works; this
     one is convenient). *)

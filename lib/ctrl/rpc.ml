@@ -27,6 +27,7 @@ let admission_rejected = -32001
 let no_session = -32002
 let exec_failed = -32003
 let fault_injected = -32004
+let overloaded = -32005
 
 let error ?data code msg = { e_code = code; e_message = msg; e_data = data }
 
@@ -111,6 +112,24 @@ let decode text =
   match Jsonx.parse text with
   | Error msg -> Error (error parse_error ("parse error: " ^ msg))
   | Ok v -> of_json v
+
+(* ------------------------------------------------------------------ *)
+(* Batch envelopes (JSON-RPC 2.0 §6)                                  *)
+(* ------------------------------------------------------------------ *)
+
+type incoming =
+  | Single of (message, rerror) result
+  | Batch of (message, rerror) result list
+
+let decode_incoming text =
+  match Jsonx.parse text with
+  | Error msg -> Error (error parse_error ("parse error: " ^ msg))
+  | Ok (Jsonx.List []) -> Error (error invalid_request "empty batch")
+  | Ok (Jsonx.List elems) -> Ok (Batch (List.map of_json elems))
+  | Ok v -> Ok (Single (of_json v))
+
+let encode_requests rs = Jsonx.to_string (Jsonx.List (List.map request_json rs))
+let encode_responses ps = Jsonx.to_string (Jsonx.List (List.map response_json ps))
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                            *)

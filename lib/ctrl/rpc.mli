@@ -51,6 +51,11 @@ val exec_failed : int  (** -32003, cntrd: exec on a dead, unrecovered session *)
 
 val fault_injected : int  (** -32004, cntrd: ctrl-site fault fired *)
 
+val overloaded : int
+(** -32005, cntrd: the connection's inbound queue is full — the request
+    was refused before dispatch.  Back off and resubmit once earlier
+    replies have been drained. *)
+
 val error : ?data:Jsonx.t -> int -> string -> rerror
 
 (** {1 Encoding} *)
@@ -69,6 +74,30 @@ val of_json : Jsonx.t -> (message, rerror) result
 
 (** Parse + classify raw text. *)
 val decode : string -> (message, rerror) result
+
+(** {1 Batch envelopes}
+
+    JSON-RPC 2.0 §6: a frame whose top-level document is an array is a
+    batch.  Each element is validated independently — one malformed
+    element yields a per-element error entry in the reply array without
+    poisoning its well-formed neighbours.  The reply array preserves
+    request order; notifications contribute no entry, and an all-
+    notification batch produces no reply frame at all. *)
+
+type incoming =
+  | Single of (message, rerror) result
+  | Batch of (message, rerror) result list  (** non-empty *)
+
+(** Classify one frame as a single message or a batch.  [Error] is a
+    text-level failure (parse error, or the empty-array batch the spec
+    rejects) answered with one id-null error response. *)
+val decode_incoming : string -> (incoming, rerror) result
+
+(** One array envelope holding [rs] in order. *)
+val encode_requests : request list -> string
+
+(** One array envelope holding [ps] in order (the batch reply). *)
+val encode_responses : response list -> string
 
 (** {1 Framing} *)
 

@@ -10,6 +10,7 @@ open Repro_runtime
 open Repro_ctrl
 module Fault = Repro_fault.Fault
 module Metrics = Repro_obs.Metrics
+module Kernel = Repro_os.Kernel
 
 let ok = Errno.ok_exn
 let check_i = Alcotest.(check int)
@@ -40,6 +41,9 @@ let boot () =
 
 let counter world name =
   Metrics.counter_value (Repro_obs.Obs.metrics world.World.kernel.Repro_os.Kernel.obs) name
+
+let gauge world name =
+  Metrics.gauge_value (Repro_obs.Obs.metrics world.World.kernel.Repro_os.Kernel.obs) name
 
 (* --- codec: qcheck round-trips --------------------------------------------- *)
 
@@ -146,7 +150,9 @@ let test_malformed_error_replies () =
         | _ -> Alcotest.failf "unexpected reply %s" reply)
   in
   expect_code "{not json" Rpc.parse_error;
-  expect_code "[1,2,3]" Rpc.invalid_request;
+  expect_code "[]" Rpc.invalid_request;
+  (* empty batch: one error, null id — a non-empty array is a batch and
+     answers per element (see the batch tests) *)
   expect_code "{\"id\":1,\"method\":\"x\"}" Rpc.invalid_request;
   (* missing jsonrpc *)
   expect_code "{\"jsonrpc\":\"2.0\",\"id\":{},\"method\":\"x\"}" Rpc.invalid_request;
@@ -160,6 +166,58 @@ let test_malformed_error_replies () =
           check_i "method_not_found" Rpc.method_not_found e.Rpc.e_code
       | _ -> Alcotest.failf "unexpected reply %s" reply)
   | None -> Alcotest.fail "no reply"
+
+(* --- batch envelopes (JSON-RPC 2.0 §6) -------------------------------------- *)
+
+let test_batch_handle_text () =
+  let world = boot () in
+  let d = Daemon.create world in
+  (* mixed batch: call, notification, malformed element, call — one
+     order-preserving reply array; the notification is elided, the
+     malformed element answers in place with a null id *)
+  let text =
+    "[{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"daemon.info\"},"
+    ^ "{\"jsonrpc\":\"2.0\",\"method\":\"$/cancel\",\"params\":{\"id\":99}},"
+    ^ "7,"
+    ^ "{\"jsonrpc\":\"2.0\",\"id\":2,\"method\":\"session.list\"}]"
+  in
+  (match Daemon.handle_text d text with
+  | None -> Alcotest.fail "expected a reply array"
+  | Some reply -> (
+      match Rpc.decode_incoming reply with
+      | Ok (Rpc.Batch [ a; b; c ]) ->
+          (match a with
+          | Ok (Rpc.Response { p_id = Some (Rpc.I 1); p_result = Ok info }) ->
+              check_s "first slot is daemon.info" "cntrd/1.0"
+                (Option.value (Jsonx.field_str info "version") ~default:"")
+          | _ -> Alcotest.fail "slot 1: expected the daemon.info result");
+          (match b with
+          | Ok (Rpc.Response { p_id = None; p_result = Error e }) ->
+              check_i "malformed element answers in place" Rpc.invalid_request e.Rpc.e_code
+          | _ -> Alcotest.fail "slot 2: expected a null-id invalid_request");
+          (match c with
+          | Ok (Rpc.Response { p_id = Some (Rpc.I 2); p_result = Ok _ }) -> ()
+          | _ -> Alcotest.fail "slot 3: expected the session.list result")
+      | _ -> Alcotest.failf "expected a 3-element reply array, got %s" reply));
+  (* an all-notification batch gets no reply frame at all *)
+  check_b "all-notification batch elided" true
+    (Daemon.handle_text d
+       "[{\"jsonrpc\":\"2.0\",\"method\":\"$/cancel\",\"params\":{\"id\":1}}]"
+    = None);
+  (* all-malformed batch: every element answers, order preserved *)
+  match Daemon.handle_text d "[1,2,3]" with
+  | None -> Alcotest.fail "expected per-element errors"
+  | Some reply -> (
+      match Rpc.decode_incoming reply with
+      | Ok (Rpc.Batch elems) ->
+          check_i "three error slots" 3 (List.length elems);
+          List.iter
+            (function
+              | Ok (Rpc.Response { p_id = None; p_result = Error e }) ->
+                  check_i "per-element invalid_request" Rpc.invalid_request e.Rpc.e_code
+              | _ -> Alcotest.fail "expected null-id errors")
+            elems
+      | _ -> Alcotest.failf "expected a reply array, got %s" reply)
 
 (* --- lifecycle over both transports ---------------------------------------- *)
 
@@ -193,7 +251,7 @@ let test_lifecycle_in_process () = lifecycle_roundtrip Client.in_process
 let test_lifecycle_wire () =
   lifecycle_roundtrip (fun d ->
       let w = ok (Daemon.wire_serve d ~path:"/run/cntrd.sock" ()) in
-      Client.wire d w)
+      Client.connect w)
 
 let test_daemon_info () =
   let world = boot () in
@@ -408,6 +466,189 @@ let test_subscribe_bounded_buffer () =
   check_i "stuck sink received nothing" 0 !delivered;
   check_b "overflow counted" true (counter world "ctrl.subscribe.dropped" > 0)
 
+(* --- wire plane: pipelining, batching, flow control --------------------------- *)
+
+let wire_boot ?config () =
+  let world = boot () in
+  let d = Daemon.create ?config world in
+  let w = ok (Daemon.wire_serve d ~path:"/run/cntrd.sock" ()) in
+  (world, d, w)
+
+let test_wire_batch_roundtrip () =
+  let world, _d, w = wire_boot () in
+  let c = Client.connect w in
+  let s = ok' (Client.session_create c "web") in
+  let sid = s.Client.sc_session in
+  (* three typed verbs in one array envelope — one frame on the wire —
+     then claim the replies in reverse submission order *)
+  let h1, h2, h3 =
+    Client.batch c (fun () ->
+        ( Client.start_exec c ~session:sid "echo one",
+          Client.start_stat c ~session:sid,
+          Client.start_list c ))
+  in
+  let rows = ok' (Client.finish c h3) in
+  check_i "list inside batch" 1 (List.length rows);
+  let stat = ok' (Client.finish c h2) in
+  check_b "stat inside batch" true (Jsonx.field_str stat "report" <> None);
+  let x = ok' (Client.finish c h1) in
+  check_b "exec inside batch" true (contains ~needle:"one" x.Client.sx_output);
+  check_b "envelope counted" true (counter world "ctrl.wire.batches" >= 1);
+  check_b "batch pipelined on the connection" true
+    (gauge world "ctrl.wire.pipelined.max" > 1.);
+  ignore (ok' (Client.session_detach c ~session:sid))
+
+let test_wire_out_of_order_replies () =
+  let world, _d, w =
+    wire_boot
+      ~config:
+        {
+          Daemon.default_config with
+          Daemon.c_max_active = 1;
+          c_queue_depth = 2;
+          c_tenant = { Daemon.q_active = 1; q_queued = 2 };
+        }
+      ()
+  in
+  let c = Client.connect w in
+  let s1 = ok' (Client.session_create c "web") in
+  (* capacity is full: this create parks in the admission queue... *)
+  let parked =
+    Client.submit c ~params:(Jsonx.Obj [ ("container", Jsonx.Str "cache") ]) "session.create"
+  in
+  check_b "create parked" true (Client.poll c parked = None);
+  (* ...so a request submitted later overtakes it on the same connection *)
+  let listed = Client.submit c "session.list" in
+  let rows = ok' (Client.await c listed) in
+  check_b "later list answered first" true (Jsonx.mem rows "sessions" <> None);
+  check_b "parked create still unanswered" true (Client.poll c parked = None);
+  check_b "two in flight at peak" true (gauge world "ctrl.wire.pipelined.max" >= 2.);
+  (* freeing the slot unparks it; the out-of-order reply still matches *)
+  ignore (ok' (Client.session_detach c ~session:s1.Client.sc_session));
+  let second = ok' (Client.await c parked) in
+  (match Jsonx.field_int second "session" with
+  | Some sid -> ignore (ok' (Client.session_detach c ~session:sid))
+  | None -> Alcotest.fail "unparked create carries its session id");
+  check_i "ctrl.sessions.total" 2 (counter world "ctrl.sessions.total")
+
+let test_wire_watermark_stall_resume () =
+  (* A reader that claims nothing while a storm of stat replies heads its
+     way: the client-bound pipes fill, then the connection's framed
+     backlog crosses the high watermark and the connection stalls.  The
+     late drain must deliver every reply exactly once, and the backlog
+     peak must stay under high + one frame. *)
+  let high = 4096 and low = 1024 in
+  let world, _d, w =
+    wire_boot
+      ~config:
+        {
+          Daemon.default_config with
+          Daemon.c_wire_inflight = 1_000_000;
+          c_wire_high = high;
+          c_wire_low = low;
+        }
+      ()
+  in
+  let c = Client.connect w in
+  let s = ok' (Client.session_create c "web") in
+  let sid = s.Client.sc_session in
+  let handles = List.init 1500 (fun _ -> Client.start_stat c ~session:sid) in
+  check_b "connection stalled under backlog" true (counter world "ctrl.wire.stalls" > 0);
+  List.iter
+    (fun h ->
+      match Client.finish c h with
+      | Ok v -> check_b "stat reply intact" true (Jsonx.field_str v "report" <> None)
+      | Error e -> Alcotest.failf "stat lost under flow control: %s" e.Rpc.e_message)
+    handles;
+  check_b "backlog peak bounded by high + one frame" true
+    (gauge world "ctrl.wire.backlog.peak"
+    <= float_of_int high +. gauge world "ctrl.wire.frame.max");
+  check_i "flow control never refuses" 0 (counter world "ctrl.wire.overloaded");
+  ignore (ok' (Client.session_detach c ~session:sid))
+
+(* Overload property, over raw frames so duplicate replies cannot be
+   masked by the client's reply table: burst n calls at a connection with
+   an in-flight cap, then drain — every submitted id must get exactly one
+   reply, a result or a -32005, never both and never twice. *)
+let prop_wire_overload_exactly_once =
+  QCheck.Test.make ~name:"wire overload: every id answered exactly once" ~count:15
+    QCheck.(pair (int_range 1 6) (int_range 1 40))
+    (fun (cap, n) ->
+      let world = boot () in
+      let config = { Daemon.default_config with Daemon.c_wire_inflight = cap } in
+      let d = Daemon.create ~config world in
+      let w = Result.get_ok (Daemon.wire_serve d ~path:"/run/cntrd.sock" ()) in
+      let kernel = Daemon.kernel d in
+      let proc = Daemon.wire_client_proc w in
+      let fd = Result.get_ok (Kernel.socket_connect kernel proc (Daemon.wire_path w)) in
+      Daemon.pump d;
+      (* queue the whole burst before the daemon sees any of it *)
+      let rec write_all s =
+        if String.length s > 0 then
+          match Kernel.write kernel proc fd s with
+          | Ok k when k > 0 -> write_all (String.sub s k (String.length s - k))
+          | _ ->
+              Daemon.pump d;
+              write_all s
+      in
+      for i = 1 to n do
+        write_all
+          (Rpc.frame
+             (Rpc.encode_request
+                { Rpc.r_id = Some (Rpc.I i); r_method = "daemon.info"; r_params = Jsonx.Null }))
+      done;
+      let seen = Hashtbl.create 64 in
+      (* id -> (results, refusals) *)
+      let record = function
+        | Ok (Rpc.Response { Rpc.p_id = Some (Rpc.I i); p_result }) -> (
+            let oks, refusals =
+              Option.value (Hashtbl.find_opt seen i) ~default:(0, 0)
+            in
+            match p_result with
+            | Ok _ -> Hashtbl.replace seen i (oks + 1, refusals)
+            | Error e when e.Rpc.e_code = Rpc.overloaded ->
+                Hashtbl.replace seen i (oks, refusals + 1)
+            | Error e -> QCheck.Test.fail_reportf "unexpected error %d" e.Rpc.e_code)
+        | _ -> QCheck.Test.fail_reportf "unexpected frame from the daemon"
+      in
+      let reader = Rpc.reader () in
+      let answered () = Hashtbl.fold (fun _ (a, b) acc -> acc + a + b) seen 0 in
+      let rec drain idle =
+        if idle <= 64 && answered () < n then begin
+          Daemon.pump d;
+          match Kernel.read kernel proc fd ~len:65536 with
+          | Ok s when String.length s > 0 ->
+              Rpc.feed reader s;
+              let rec frames () =
+                match Rpc.next reader with
+                | `Frame p ->
+                    (match Rpc.decode_incoming p with
+                    | Ok (Rpc.Single m) -> record m
+                    | Ok (Rpc.Batch ms) -> List.iter record ms
+                    | Error _ -> QCheck.Test.fail_reportf "undecodable reply frame");
+                    frames ()
+                | `Garbage _ -> QCheck.Test.fail_reportf "garbage framing from the daemon"
+                | `More -> ()
+              in
+              frames ();
+              drain 0
+          | _ -> drain (idle + 1)
+        end
+      in
+      drain 0;
+      let refused = Hashtbl.fold (fun _ (_, b) acc -> acc + b) seen 0 in
+      if n > cap && refused = 0 then
+        QCheck.Test.fail_reportf "burst of %d over cap %d was never refused" n cap;
+      List.for_all
+        (fun i ->
+          match Hashtbl.find_opt seen i with
+          | Some (1, 0) | Some (0, 1) -> true
+          | Some (a, b) ->
+              QCheck.Test.fail_reportf "id %d answered %d times (%d ok, %d refused)" i
+                (a + b) a b
+          | None -> QCheck.Test.fail_reportf "id %d never answered" i)
+        (List.init n (fun i -> i + 1)))
+
 (* --- fault plan grammar: ctrl site round-trip -------------------------------- *)
 
 let test_ctrl_site_grammar () =
@@ -453,5 +694,17 @@ let () =
           Alcotest.test_case "stats.subscribe" `Quick test_stats_subscribe;
           Alcotest.test_case "bounded subscriber buffer" `Quick
             test_subscribe_bounded_buffer;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "batch envelopes via handle_text" `Quick
+            test_batch_handle_text;
+          Alcotest.test_case "batched verbs over the wire" `Quick
+            test_wire_batch_roundtrip;
+          Alcotest.test_case "out-of-order pipelined replies" `Quick
+            test_wire_out_of_order_replies;
+          Alcotest.test_case "watermark stall and resume" `Quick
+            test_wire_watermark_stall_resume;
+          QCheck_alcotest.to_alcotest prop_wire_overload_exactly_once;
         ] );
     ]
