@@ -347,6 +347,145 @@ let e5 () =
     reports;
   Printf.printf "%!"
 
+(* --- E5R: registry-scale dedup + parallel slimming ----------------------------- *)
+
+(* E5 re-tabulated at registry scale: 5000 synthesized images across ~20
+   program families, pushed into the content-addressed chunk store, then
+   statically partitioned in parallel on the work-stealing fiber pool.
+   Self-gates (exit 1) at exactly N=5000: chunk-level dedup ratio must
+   beat 1.5x, the sweep must actually steal, the reduction distribution
+   must be non-degenerate, and the static-partition slim image of every
+   family must still run its entrypoint to exit 0. *)
+
+let e5r_n = 5000
+
+let e5r () =
+  section
+    (Printf.sprintf "E5R (§5.3 at scale) chunk-dedup store + parallel static slimming of %d images"
+       e5r_n);
+  let fail msg =
+    Printf.eprintf "E5R GATE FAILED: %s\n%!" msg;
+    exit 1
+  in
+  let open Repro_image in
+  let open Repro_slim in
+  let open Repro_store in
+  (* 1. the population: ~20 program families sharing bases and runtimes *)
+  let images = Family.synthesize ~n:e5r_n in
+  let n = List.length images in
+  Printf.printf "families: %d, images synthesized: %d\n%!" (List.length Family.specs) n;
+  if n <> e5r_n then fail (Printf.sprintf "synthesize returned %d images, want %d" n e5r_n);
+  (* 2. push everything into a content-addressed registry *)
+  let clock = Clock.create () in
+  let metrics = Repro_obs.Metrics.create () in
+  let reg = Registry.create ~metrics ~clock () in
+  List.iter (fun image -> Registry.push reg image) images;
+  let store = Registry.store reg in
+  let dedup = Store.dedup_ratio store in
+  Printf.printf "\nstore after full push:\n";
+  Printf.printf "  chunks: %d total, %d unique\n" (Store.total_chunks store)
+    (Store.unique_chunks store);
+  Printf.printf "  bytes:  %s logical, %s physical\n"
+    (Size.to_string (Store.logical_bytes store))
+    (Size.to_string (Store.physical_bytes store));
+  Printf.printf "  chunk-level dedup ratio: %.2fx (gate: > 1.5x)\n%!" dedup;
+  if dedup <= 1.5 then fail (Printf.sprintf "dedup ratio %.3f <= 1.5" dedup);
+  (* 3. parallel static partitioning on the work-stealing fiber pool *)
+  let sweep_clock = Clock.create () in
+  let cost_ns image =
+    150_000 + (Image.file_count image * 2_000) + (Image.effective_size image / 256)
+  in
+  let stats, reports =
+    Sweep.run ~workers:8 ~metrics ~clock:sweep_clock ~images ~cost_ns
+      ~f:(fun image -> fst (Partition.slim image))
+      ()
+  in
+  Printf.printf "\nparallel sweep (%d workers, virtual time):\n" stats.Sweep.sw_workers;
+  Printf.printf "  elapsed: %.1f ms, throughput: %.1f images/s\n"
+    (Int64.to_float stats.Sweep.sw_elapsed_ns /. 1e6)
+    stats.Sweep.sw_images_per_s;
+  Printf.printf "  steals: %d (fails %d), local hits: %d\n%!" stats.Sweep.sw_steals
+    stats.Sweep.sw_steal_fails stats.Sweep.sw_local_hits;
+  if stats.Sweep.sw_steals <= 0 then fail "work-stealing sweep recorded no steals";
+  if stats.Sweep.sw_images_per_s <= 0.0 then fail "non-positive slimming throughput";
+  if Repro_obs.Metrics.counter_value metrics "sched.steals" <> stats.Sweep.sw_steals then
+    fail "sched.steals metric does not mirror the pool counter";
+  (* 4. the reduction distribution *)
+  let reductions = List.map (fun r -> r.Partition.p_reduction *. 100.) reports in
+  let mean = Stats.mean reductions in
+  let counts = Stats.histogram ~lo:0. ~hi:100. ~buckets:10 reductions in
+  Printf.printf "\nstatic-partition reduction distribution (N=%d):\n" n;
+  Array.iteri
+    (fun i c ->
+      let bar = if c = 0 then 0 else max 1 (min 60 (c * 240 / n)) in
+      Printf.printf "  [%5.1f-%5.1f) %5d %s\n" (float_of_int i *. 10.)
+        (float_of_int (i + 1) *. 10.)
+        c (String.make bar '#'))
+    counts;
+  Printf.printf "mean static reduction: %.1f%%\n%!" mean;
+  let nonzero = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 counts in
+  if nonzero < 3 then
+    fail (Printf.sprintf "degenerate reduction distribution (%d nonzero buckets)" nonzero);
+  (* 5. dynamic (fanotify) vs static (dependency graph) on one
+        representative per family, with the static slim validated *)
+  let world = Repro_cntr.Testbed.create () in
+  Printf.printf "\ndynamic vs static, one representative per family:\n";
+  Printf.printf "  %-10s %10s %10s %7s\n" "family" "dynamic" "static" "valid";
+  let family_rows =
+    List.map
+      (fun (spec, image) ->
+        let static_report, static_image = Partition.slim image in
+        let valid =
+          match Slimmer.validate ~world static_image with Ok b -> b | Error _ -> false
+        in
+        let dynamic =
+          match Slimmer.analyze ~world image with
+          | Ok r -> r.Slimmer.r_reduction
+          | Error e ->
+              fail
+                (Printf.sprintf "dynamic analysis of %s failed: %s" (Image.ref_ image)
+                   (Errno.to_string e))
+        in
+        Printf.printf "  %-10s %9.1f%% %9.1f%% %7s\n" spec.Family.f_name (100. *. dynamic)
+          (100. *. static_report.Partition.p_reduction)
+          (if valid then "yes" else "NO");
+        if not valid then
+          fail (Printf.sprintf "static slim of family %s failed validation" spec.Family.f_name);
+        (spec.Family.f_name, dynamic, static_report.Partition.p_reduction, valid))
+      (Family.representatives ~n:e5r_n)
+  in
+  Printf.printf "%!";
+  if !json_mode then begin
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\n  \"experiment\": \"e5r\",\n  \"n\": %d,\n" n);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"store\": {\"chunks_total\": %d, \"chunks_unique\": %d, \"bytes_logical\": %d, \"bytes_physical\": %d, \"dedup_ratio\": %.4f},\n"
+         (Store.total_chunks store) (Store.unique_chunks store) (Store.logical_bytes store)
+         (Store.physical_bytes store) dedup);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"sweep\": {\"workers\": %d, \"images\": %d, \"elapsed_ns\": %Ld, \"images_per_s\": %.2f, \"steals\": %d, \"steal_fails\": %d, \"local_hits\": %d},\n"
+         stats.Sweep.sw_workers stats.Sweep.sw_images stats.Sweep.sw_elapsed_ns
+         stats.Sweep.sw_images_per_s stats.Sweep.sw_steals stats.Sweep.sw_steal_fails
+         stats.Sweep.sw_local_hits);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"static\": {\"mean_reduction\": %.2f, \"histogram\": [%s]},\n" mean
+         (String.concat ", " (Array.to_list (Array.map string_of_int counts))));
+    Buffer.add_string buf "  \"families\": [\n";
+    List.iteri
+      (fun i (name, dynamic, static, valid) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"family\": \"%s\", \"dynamic_reduction\": %.4f, \"static_reduction\": %.4f, \"static_valid\": %b}%s\n"
+             name dynamic static valid
+             (if i = List.length family_rows - 1 then "" else ",")))
+      family_rows;
+    Buffer.add_string buf "  ]\n}";
+    write_json_file "BENCH_e5r.json" (Buffer.contents buf)
+  end
+
 (* --- E6: deployment time ------------------------------------------------------ *)
 
 let e6 () =
@@ -1494,7 +1633,7 @@ let micro () =
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e2a", e2a); ("e3", e3); ("e3e", e3e); ("e4", e4); ("e5", e5);
-    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("fleet", fleet); ("loc", e7);
+    ("e5r", e5r); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("fleet", fleet); ("loc", e7);
     ("ablate", ablate); ("cache", cache_sweep); ("micro", micro) ]
 
 let () =

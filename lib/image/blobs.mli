@@ -1,0 +1,11 @@
+(** Content descriptors -> chunk manifests for the dedup store.  Results
+    are memoized process-wide (chunking is a pure function of the rendered
+    bytes); [Filler]/[Binary] descriptors take the analytic
+    prefix-plus-uniform path and are never rendered. *)
+
+(** Chunks of the rendered content. *)
+val content_chunks : Content.t -> Repro_store.Chunker.chunk list
+
+(** A layer's manifest: entry chunks in entry order (dirs and whiteouts
+    carry no bytes; symlinks carry their target). *)
+val layer_chunks : Layer.t -> Repro_store.Chunker.chunk list

@@ -19,6 +19,11 @@ val debian_base : Layer.t
 val alpine_base : Layer.t
 val scratch_base : Layer.t
 
+val base_layer : [ `Alpine | `Debian | `Scratch ] -> Layer.t
+
+(** Paths of a base the application actually touches at runtime. *)
+val base_paths_used : [ `Alpine | `Debian | `Scratch ] -> string list
+
 (** Synthesize the image for one spec. *)
 val build : spec -> Image.t
 

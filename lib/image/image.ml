@@ -52,6 +52,22 @@ let effective_paths t =
   Hashtbl.fold (fun p () acc -> p :: acc) present []
   |> List.sort compare
 
+(* Winning entry per path after union — the static view a partitioner
+   walks without materializing the image. *)
+let effective_entries t =
+  let entries = Hashtbl.create 256 in
+  List.iter
+    (fun layer ->
+      List.iter
+        (fun entry ->
+          match entry with
+          | Layer.Whiteout p -> Hashtbl.remove entries p
+          | Layer.Dir { path; _ } | Layer.File { path; _ } | Layer.Symlink { path; _ } ->
+              Hashtbl.replace entries path entry)
+        layer.Layer.entries)
+    t.layers;
+  entries
+
 (* Effective size per path after union. *)
 let effective_sizes t =
   let sizes = Hashtbl.create 256 in

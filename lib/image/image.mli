@@ -34,6 +34,10 @@ val file_count : t -> int
 (** Paths present after union (whiteouts applied), sorted. *)
 val effective_paths : t -> string list
 
+(** Winning entry per path after union — the static view a dependency
+    partitioner walks without materializing the image. *)
+val effective_entries : t -> (string, Layer.entry) Hashtbl.t
+
 (** Per-path sizes after union. *)
 val effective_sizes : t -> (string, int) Hashtbl.t
 

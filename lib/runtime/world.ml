@@ -89,7 +89,7 @@ let create ?(memory_mb = 1024) ?(disk = false) () =
   let procfs = Procfs.create ~kernel ~pidns:init.Proc.ns.Proc.pid_ns in
   ignore (ok (Kernel.mount_at kernel init ~fs:(Procfs.ops procfs) "/proc"));
   Programs.install kernel;
-  let registry = Registry.create ~clock () in
+  let registry = Registry.create ~metrics ~clock () in
   Catalog.publish registry;
   let engines = Engine.all ~kernel in
   { clock; cost; obs; kernel; init; rootfs; registry; engines; budget }

@@ -1,0 +1,129 @@
+(* Content-defined chunking (gear rolling hash, FastCDC-style min/avg/max
+   bounds).  Chunk boundaries depend only on the bytes, not on the
+   container, so identical runs of bytes inside different blobs always cut
+   into identical chunks — the property the dedup store is built on.
+
+   Two details matter for the rest of the system:
+
+   - The rolling hash is NOT reset at cut points, so the cut decision at
+     byte [p] depends only on the last [mask_bits] bytes (each byte's gear
+     value is shifted left once per subsequent byte, so it leaves the low
+     [mask_bits] bits after [mask_bits] steps).  A single-byte edit can
+     therefore only perturb cuts in a bounded window, and chunk streams
+     re-synchronize — the qcheck property tests pin this.
+
+   - Cut positions are prefix-stable: the cuts of [s] within [0, n) equal
+     the cuts of any extension of [s] within [0, n).  [chunks_prefixed_uniform]
+     exploits this to chunk descriptor-backed content (a short header
+     followed by megabytes of one repeated pad byte) without materializing
+     it: beyond the settling window the hash is constant, so cuts become
+     periodic and the tail is emitted analytically. *)
+
+open Repro_util
+
+type params = {
+  min_size : int; (* no cut before this many bytes into a chunk *)
+  mask_bits : int; (* cut when the low mask_bits bits of the hash are zero *)
+  max_size : int; (* forced cut at this size *)
+}
+
+let default_params = { min_size = 4096; mask_bits = 13; max_size = 65536 }
+
+let () =
+  assert (default_params.min_size < default_params.max_size)
+
+type chunk = { digest : string; size : int }
+
+(* Deterministic gear table: one SplitMix64 draw per byte value. *)
+let gear =
+  lazy
+    (let rng = Rng.create ~seed:0x6765_6172 in
+     Array.init 256 (fun _ -> Int64.to_int (Rng.next_int64 rng) land max_int))
+
+let validate p =
+  if p.min_size <= 0 || p.max_size <= p.min_size || p.mask_bits <= 0 then
+    invalid_arg "Chunker: need 0 < min_size < max_size and mask_bits > 0"
+
+(* Exclusive end offsets of every chunk of [s]; the final offset is
+   [String.length s].  Empty string -> []. *)
+let cut_points ?(params = default_params) s =
+  validate params;
+  let g = Lazy.force gear in
+  let cutmask = (1 lsl params.mask_bits) - 1 in
+  let n = String.length s in
+  let cuts = ref [] in
+  let start = ref 0 in
+  let h = ref 0 in
+  for i = 0 to n - 1 do
+    h := ((!h lsl 1) + g.(Char.code (String.unsafe_get s i))) land max_int;
+    let pos = i + 1 in
+    if
+      (pos - !start >= params.min_size && !h land cutmask = 0)
+      || pos - !start = params.max_size
+    then begin
+      cuts := pos :: !cuts;
+      start := pos
+    end
+  done;
+  if n > 0 && !start < n then cuts := n :: !cuts;
+  List.rev !cuts
+
+let split ?params s =
+  let cuts = cut_points ?params s in
+  let chunks, _ =
+    List.fold_left (fun (acc, prev) cut -> (String.sub s prev (cut - prev) :: acc, cut)) ([], 0) cuts
+  in
+  List.rev chunks
+
+let chunk_of_bytes b = { digest = Digest.string b; size = String.length b }
+
+let chunks_of_string ?params s = List.map chunk_of_bytes (split ?params s)
+
+(* [chunks_prefixed_uniform ~prefix ~fill ~total] == [chunks_of_string
+   (prefix ^ String.make (total - length prefix) fill)], in
+   O(prefix + max_size) instead of O(total).
+
+   After the rolling window (mask_bits bytes) has passed the prefix, the
+   hash is a constant H(fill): either H qualifies at every position (cuts
+   every min_size) or never (forced cuts every max_size).  We chunk a
+   sample long enough to reach that steady state, keep its cuts verbatim
+   (prefix stability), and extrapolate the periodic tail. *)
+let chunks_prefixed_uniform ?(params = default_params) ~prefix ~fill ~total () =
+  validate params;
+  let plen = String.length prefix in
+  if total < plen then invalid_arg "Chunker.chunks_prefixed_uniform: total < prefix";
+  let settle = (4 * params.max_size) + params.mask_bits in
+  if total <= plen + settle + params.max_size then
+    chunks_of_string ~params (prefix ^ String.make (total - plen) fill)
+  else begin
+    let sample = prefix ^ String.make settle fill in
+    let slen = String.length sample in
+    let cuts = List.filter (fun c -> c < slen) (cut_points ~params sample) in
+    (* last three cuts are deep in the uniform region: equal spacing *)
+    let rec last3 = function
+      | [ a; b; c ] -> (a, b, c)
+      | _ :: tl -> last3 tl
+      | [] -> assert false
+    in
+    let c0, c1, c2 = last3 cuts in
+    let period = c2 - c1 in
+    assert (c1 - c0 = period && c2 > plen + params.mask_bits);
+    (* head: the sample's chunks up to c2 are exact chunks of the full blob *)
+    let head, _ =
+      List.fold_left
+        (fun (acc, prev) cut -> (chunk_of_bytes (String.sub sample prev (cut - prev)) :: acc, cut))
+        ([], 0)
+        (List.filter (fun c -> c <= c2) cuts)
+    in
+    let head = List.rev head in
+    (* tail: identical uniform chunks of [period] bytes, then the remainder *)
+    let remaining = total - c2 in
+    let n_body = remaining / period in
+    let rem = remaining mod period in
+    let body_chunk = chunk_of_bytes (String.make period fill) in
+    let body = List.init n_body (fun _ -> body_chunk) in
+    let tail = if rem = 0 then body else body @ [ chunk_of_bytes (String.make rem fill) ] in
+    head @ tail
+  end
+
+let manifest_bytes chunks = List.fold_left (fun acc c -> acc + c.size) 0 chunks

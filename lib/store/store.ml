@@ -1,0 +1,157 @@
+(* A content-addressed blob store with chunk-level dedup.
+
+   Blobs (image layers, in practice) are registered under a key with a
+   chunk manifest from {!Chunker}; the store keeps one refcounted entry per
+   unique chunk digest.  "Logical" bytes count every reference — what the
+   registry would hold with no dedup; "physical" bytes count unique chunks
+   once — what it actually holds.  Refcounts reach zero when blobs are
+   released; [gc] sweeps the dead chunks.
+
+   Chunk payloads are never stored (the simulated world keeps content as
+   descriptors); the store is the index: digests, sizes, refcounts. *)
+
+open Repro_obs
+
+type chunk_info = { ci_size : int; mutable ci_refs : int }
+
+type blob = { b_manifest : Chunker.chunk list; b_bytes : int; mutable b_refs : int }
+
+type t = {
+  chunks : (string, chunk_info) Hashtbl.t; (* digest -> info *)
+  blobs : (string, blob) Hashtbl.t; (* key -> manifest *)
+  mutable logical : int; (* bytes across all references *)
+  mutable physical : int; (* bytes of unique live chunks *)
+  mutable total_refs : int; (* chunk references across all blob adds *)
+  mutable collected : int; (* chunks swept by gc, cumulative *)
+  (* metrics mirrors (no-ops when created without a registry) *)
+  m_total : Metrics.counter option;
+  m_unique : Metrics.counter option;
+  m_logical : Metrics.counter option;
+  m_physical : Metrics.counter option;
+  m_collected : Metrics.counter option;
+}
+
+let madd m n = match m with Some c -> Metrics.add c n | None -> ()
+
+let create ?metrics ?(prefix = "store") () =
+  let t =
+    {
+      chunks = Hashtbl.create 4096;
+      blobs = Hashtbl.create 256;
+      logical = 0;
+      physical = 0;
+      total_refs = 0;
+      collected = 0;
+      m_total = Option.map (fun m -> Metrics.counter m (prefix ^ ".chunks.total")) metrics;
+      m_unique = Option.map (fun m -> Metrics.counter m (prefix ^ ".chunks.unique")) metrics;
+      m_logical = Option.map (fun m -> Metrics.counter m (prefix ^ ".bytes.logical")) metrics;
+      m_physical = Option.map (fun m -> Metrics.counter m (prefix ^ ".bytes.physical")) metrics;
+      m_collected = Option.map (fun m -> Metrics.counter m (prefix ^ ".gc.collected")) metrics;
+    }
+  in
+  Option.iter
+    (fun m ->
+      Metrics.register_derived m (prefix ^ ".dedup_ratio") (fun () ->
+          if t.physical = 0 then 0. else float_of_int t.logical /. float_of_int t.physical))
+    metrics;
+  t
+
+let ref_chunk t (c : Chunker.chunk) =
+  (match Hashtbl.find_opt t.chunks c.Chunker.digest with
+  | Some info -> info.ci_refs <- info.ci_refs + 1
+  | None ->
+      Hashtbl.replace t.chunks c.Chunker.digest { ci_size = c.Chunker.size; ci_refs = 1 };
+      t.physical <- t.physical + c.Chunker.size;
+      madd t.m_unique 1;
+      madd t.m_physical c.Chunker.size);
+  t.total_refs <- t.total_refs + 1;
+  madd t.m_total 1
+
+let unref_chunk t (c : Chunker.chunk) =
+  (match Hashtbl.find_opt t.chunks c.Chunker.digest with
+  | Some info -> info.ci_refs <- info.ci_refs - 1
+  | None -> ());
+  t.total_refs <- t.total_refs - 1;
+  madd t.m_total (-1)
+
+(* Register one more reference to blob [key].  The first add records the
+   manifest and references every chunk; later adds of the same key bump
+   refcounts without re-walking content (push of an already-known layer). *)
+let add t ~key manifest =
+  let bytes = Chunker.manifest_bytes manifest in
+  (match Hashtbl.find_opt t.blobs key with
+  | Some blob -> blob.b_refs <- blob.b_refs + 1
+  | None -> Hashtbl.replace t.blobs key { b_manifest = manifest; b_bytes = bytes; b_refs = 1 });
+  List.iter (ref_chunk t) manifest;
+  t.logical <- t.logical + bytes;
+  madd t.m_logical bytes
+
+let mem t key = Hashtbl.mem t.blobs key
+
+let manifest t key = Option.map (fun b -> b.b_manifest) (Hashtbl.find_opt t.blobs key)
+
+let chunk_present t digest =
+  match Hashtbl.find_opt t.chunks digest with Some i -> i.ci_refs > 0 | None -> false
+
+(* Unique chunks of [manifest] missing from the store.  Duplicate digests
+   within the manifest count once — a transfer ships each chunk once. *)
+let missing t manifest =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (c : Chunker.chunk) ->
+      if chunk_present t c.Chunker.digest || Hashtbl.mem seen c.Chunker.digest then false
+      else begin
+        Hashtbl.replace seen c.Chunker.digest ();
+        true
+      end)
+    manifest
+
+let release t key =
+  match Hashtbl.find_opt t.blobs key with
+  | None -> ()
+  | Some blob ->
+      blob.b_refs <- blob.b_refs - 1;
+      List.iter (unref_chunk t) blob.b_manifest;
+      t.logical <- t.logical - blob.b_bytes;
+      madd t.m_logical (-blob.b_bytes);
+      if blob.b_refs <= 0 then Hashtbl.remove t.blobs key
+
+(* Sweep dead chunks (refcount <= 0); returns how many were collected. *)
+let gc t =
+  let dead =
+    Hashtbl.fold (fun d info acc -> if info.ci_refs <= 0 then (d, info) :: acc else acc) t.chunks []
+  in
+  List.iter
+    (fun (d, info) ->
+      Hashtbl.remove t.chunks d;
+      t.physical <- t.physical - info.ci_size;
+      madd t.m_unique (-1);
+      madd t.m_physical (-info.ci_size))
+    dead;
+  let n = List.length dead in
+  t.collected <- t.collected + n;
+  madd t.m_collected n;
+  n
+
+(* Drop everything (a host cache flush, not a gc: [gc.collected] does not
+   move).  Metric mirrors return to zero. *)
+let reset t =
+  madd t.m_total (-t.total_refs);
+  madd t.m_unique (-(Hashtbl.length t.chunks));
+  madd t.m_logical (-t.logical);
+  madd t.m_physical (-t.physical);
+  Hashtbl.reset t.chunks;
+  Hashtbl.reset t.blobs;
+  t.logical <- 0;
+  t.physical <- 0;
+  t.total_refs <- 0
+
+let logical_bytes t = t.logical
+let physical_bytes t = t.physical
+let total_chunks t = t.total_refs
+let unique_chunks t = Hashtbl.length t.chunks
+let blobs t = Hashtbl.length t.blobs
+let gc_collected t = t.collected
+
+let dedup_ratio t =
+  if t.physical = 0 then 0. else float_of_int t.logical /. float_of_int t.physical

@@ -1,0 +1,57 @@
+(** A content-addressed blob store with chunk-level dedup.
+
+    Blobs (image layers) register a {!Chunker} manifest under a key; the
+    store keeps one refcounted entry per unique chunk digest.  Logical
+    bytes count every reference (what a registry would hold with no
+    dedup); physical bytes count unique live chunks once.  Payloads are
+    never stored — the store is the index.
+
+    Metrics (when created with a registry): [<prefix>.chunks.total],
+    [<prefix>.chunks.unique], [<prefix>.bytes.logical],
+    [<prefix>.bytes.physical], [<prefix>.gc.collected] counters and the
+    derived [<prefix>.dedup_ratio] gauge; [prefix] defaults to ["store"]. *)
+
+type t
+
+val create : ?metrics:Repro_obs.Metrics.t -> ?prefix:string -> unit -> t
+
+(** Register one more reference to blob [key].  The first add records the
+    manifest and references every chunk; later adds bump refcounts without
+    re-walking content. *)
+val add : t -> key:string -> Chunker.chunk list -> unit
+
+(** Is blob [key] present? *)
+val mem : t -> string -> bool
+
+val manifest : t -> string -> Chunker.chunk list option
+
+(** Is a live chunk with this digest present? *)
+val chunk_present : t -> string -> bool
+
+(** Unique chunks of the manifest missing from the store — what a transfer
+    must ship.  Duplicate digests within the manifest count once. *)
+val missing : t -> Chunker.chunk list -> Chunker.chunk list
+
+(** Drop one reference to blob [key] (and to each of its chunks).  Chunks
+    whose refcount reaches zero stay until {!gc}. *)
+val release : t -> string -> unit
+
+(** Sweep dead chunks; returns how many were collected. *)
+val gc : t -> int
+
+(** Drop everything (a cache flush, not a gc — [gc.collected] is
+    unchanged). *)
+val reset : t -> unit
+
+val logical_bytes : t -> int
+val physical_bytes : t -> int
+
+(** Chunk references across all blob adds. *)
+val total_chunks : t -> int
+
+val unique_chunks : t -> int
+val blobs : t -> int
+val gc_collected : t -> int
+
+(** [logical / physical]; 0 when empty. *)
+val dedup_ratio : t -> float

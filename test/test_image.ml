@@ -57,10 +57,16 @@ let test_content_kinds () =
   check_b "binary parses" true
     (match Binfmt.parse (Content.render b) with Some (Binfmt.Bin "gdb") -> true | _ -> false)
 
+(* Incompressible content: every CDC chunk is unique, so a cold pull must
+   transfer the full byte count and the bandwidth model is visible. *)
+let incompressible ~seed n = Bytes.to_string (Rng.bytes (Rng.create ~seed) n)
+
 let test_registry_bandwidth_model () =
   let clock = Clock.create () in
   let reg = Registry.create ~clock ~bandwidth_mb_per_s:100.0 ~latency_ms_per_layer:10 () in
-  let image = Image.v ~name:"x" [ Layer.v ~id:"only" [ file "/f" (String.make (Size.mib 1) 'x') ] ] in
+  let image =
+    Image.v ~name:"x" [ Layer.v ~id:"only" [ file "/f" (incompressible ~seed:11 (Size.mib 1)) ] ]
+  in
   Registry.push reg image;
   let t0 = Clock.now_ns clock in
   let _i, bytes = Result.get_ok (Registry.pull reg "x:latest") in
@@ -68,6 +74,64 @@ let test_registry_bandwidth_model () =
   check_i "bytes" (Size.mib 1) bytes;
   (* 10ms latency + 1MiB at 100MB/s (~10.5ms) *)
   check_b "pull time plausible" true (ns > 15_000_000 && ns < 30_000_000)
+
+(* The per-layer latency is charged only for layers that actually move
+   bytes: cached layers — and layers whose chunks all dedup against
+   content already on the host — are completely free. *)
+let test_registry_cached_layers_free () =
+  let clock = Clock.create () in
+  let latency_ms = 10 in
+  let reg = Registry.create ~clock ~bandwidth_mb_per_s:100.0 ~latency_ms_per_layer:latency_ms () in
+  let base = Layer.v ~id:"shared-base" [ dir "/lib"; file "/lib/libc" (incompressible ~seed:1 (Size.kib 256)) ] in
+  let app_a = Layer.v ~id:"app-a" [ file "/bin/a" (incompressible ~seed:2 (Size.kib 64)) ] in
+  let app_b = Layer.v ~id:"app-b" [ file "/bin/b" (incompressible ~seed:3 (Size.kib 64)) ] in
+  Registry.push reg (Image.v ~name:"a" [ base; app_a ]);
+  Registry.push reg (Image.v ~name:"b" [ base; app_b ]);
+  (* same bytes as app-a under a different layer id *)
+  Registry.push reg
+    (Image.v ~name:"c" [ base; Layer.v ~id:"app-c" [ file "/bin/c" (incompressible ~seed:2 (Size.kib 64)) ] ]);
+  let elapsed f =
+    let t0 = Clock.now_ns clock in
+    f ();
+    Int64.to_int (Int64.sub (Clock.now_ns clock) t0)
+  in
+  let cold = elapsed (fun () -> ignore (Result.get_ok (Registry.pull reg "a:latest"))) in
+  check_b "cold pull charged both layers" true (cold > 2 * latency_ms * 1_000_000);
+  (* fully cached pull: zero bytes, zero time — cached layers are free *)
+  let warm_bytes = ref (-1) in
+  let warm = elapsed (fun () -> warm_bytes := snd (Result.get_ok (Registry.pull reg "a:latest"))) in
+  check_i "warm pull moves no bytes" 0 !warm_bytes;
+  check_i "warm pull is free (no per-layer latency)" 0 warm;
+  (* image b: base is cached, so only the app layer pays latency *)
+  let b_bytes = ref 0 in
+  let b_ns = elapsed (fun () -> b_bytes := snd (Result.get_ok (Registry.pull reg "b:latest"))) in
+  check_i "only b's own layer transfers" (Size.kib 64) !b_bytes;
+  check_b "one latency charge, not two" true
+    (b_ns >= latency_ms * 1_000_000 && b_ns < 2 * latency_ms * 1_000_000);
+  (* image c: new layer id, but every chunk dedups against app-a -> free *)
+  let c_bytes = ref (-1) in
+  let c_ns = elapsed (fun () -> c_bytes := snd (Result.get_ok (Registry.pull reg "c:latest"))) in
+  check_i "chunk-deduped layer moves no bytes" 0 !c_bytes;
+  check_i "chunk-deduped layer pays no latency" 0 c_ns
+
+let test_registry_store_accounting () =
+  let clock = Clock.create () in
+  let reg = Registry.create ~clock () in
+  let base = Layer.v ~id:"acct-base" [ file "/lib/l" (incompressible ~seed:4 (Size.kib 128)) ] in
+  let mk n id = Image.v ~name:n [ base; Layer.v ~id [ file "/etc/c" ("cfg-" ^ n) ] ] in
+  Registry.push reg (mk "p" "acct-p");
+  Registry.push reg (mk "q" "acct-q");
+  let st = Registry.store reg in
+  let module Store = Repro_store.Store in
+  (* both images count the shared base logically; physically it is stored once *)
+  check_b "dedup ratio > 1 with a shared base" true (Store.dedup_ratio st > 1.5);
+  check_i "logical counts both references" (2 * Size.kib 128 + 5 + 5) (Store.logical_bytes st);
+  (* a blob released to refcount zero is collected by gc *)
+  Store.release st "acct-q";
+  let collected = Store.gc st in
+  check_b "gc collected q's unique chunk" true (collected >= 1);
+  check_b "base survives (still referenced)" true (Store.chunk_present st
+    (List.hd (Option.get (Store.manifest st "acct-base"))).Repro_store.Chunker.digest)
 
 let test_catalog_invariants () =
   let images = Catalog.top50 () in
@@ -185,7 +249,11 @@ let () =
           Alcotest.test_case "content kinds" `Quick test_content_kinds;
         ] );
       ( "registry",
-        [ Alcotest.test_case "bandwidth model" `Quick test_registry_bandwidth_model ] );
+        [
+          Alcotest.test_case "bandwidth model" `Quick test_registry_bandwidth_model;
+          Alcotest.test_case "cached layers are free" `Quick test_registry_cached_layers_free;
+          Alcotest.test_case "store accounting" `Quick test_registry_store_accounting;
+        ] );
       ( "catalog",
         [
           Alcotest.test_case "invariants" `Quick test_catalog_invariants;

@@ -40,6 +40,54 @@ let test_closure_includes_parents () =
   check_b "grandparent" true (Hashtbl.mem keep "/usr/share");
   check_b "always-keep passwd" true (Hashtbl.mem keep "/etc/passwd")
 
+(* closure must be insensitive to duplicate inputs and shared ancestors *)
+let test_closure_duplicate_ancestors () =
+  let paths = [ "/a/b/c.txt"; "/a/b/sub/d.txt"; "/a/b/c.txt"; "/a/b/sub/d.txt" ] in
+  let keep = Slimmer.closure paths in
+  List.iter
+    (fun p -> check_b p true (Hashtbl.mem keep p))
+    [ "/a/b/c.txt"; "/a/b/sub/d.txt"; "/a/b/sub"; "/a/b"; "/a" ];
+  (* Hashtbl semantics: one binding per path even when ancestors are shared
+     and inputs repeat *)
+  let dedup = Slimmer.closure [ "/a/b/c.txt"; "/a/b/sub/d.txt" ] in
+  check_i "duplicate inputs add nothing" (Hashtbl.length dedup) (Hashtbl.length keep);
+  Hashtbl.iter (fun p () -> check_i ("single binding " ^ p) 1 (List.length (Hashtbl.find_all keep p))) keep
+
+(* a path that is already in always_keep must not double up or change the set *)
+let test_closure_always_keep_overlap () =
+  let base = Slimmer.closure [] in
+  List.iter
+    (fun p -> check_b ("identity file " ^ p) true (Hashtbl.mem base p))
+    Slimmer.always_keep;
+  let overlap = Slimmer.closure Slimmer.always_keep in
+  check_i "always_keep overlap is a no-op" (Hashtbl.length base) (Hashtbl.length overlap);
+  check_i "passwd kept once" 1 (List.length (Hashtbl.find_all overlap "/etc/passwd"))
+
+(* a path kept both as a file and as the directory prefix of another kept
+   file: the slim image must carry it once, with its original entry *)
+let test_closure_path_as_file_and_prefix () =
+  let keep = Slimmer.closure [ "/data/app"; "/data/app/cache.db" ] in
+  check_b "prefix path kept" true (Hashtbl.mem keep "/data/app");
+  check_b "child kept" true (Hashtbl.mem keep "/data/app/cache.db");
+  let image =
+    Image.v ~name:"prefix-test"
+      [
+        Layer.v ~id:"l0"
+          [
+            Layer.Dir { path = "/data"; mode = 0o755 };
+            Layer.Dir { path = "/data/app"; mode = 0o755 };
+            Layer.File { path = "/data/app/cache.db"; mode = 0o644; content = Content.Filler 512 };
+            Layer.File { path = "/data/other"; mode = 0o644; content = Content.Filler 256 };
+          ];
+      ]
+  in
+  let slim_image = Slimmer.build_slim_image image keep in
+  let paths = Image.effective_paths slim_image in
+  check_i "kept dir appears once" 1
+    (List.length (List.filter (( = ) "/data/app") paths));
+  check_b "child survives" true (List.mem "/data/app/cache.db" paths);
+  check_b "unrelated sibling dropped" false (List.mem "/data/other" paths)
+
 let test_slim_image_smaller_and_valid () =
   let world = Testbed.create () in
   let image = nginx world in
@@ -85,6 +133,75 @@ let test_figure5_dataset_shape () =
   let in_band = List.length (List.filter (fun r -> r >= 60. && r <= 97.) reductions) in
   check_b (Printf.sprintf "75%%+ in [60,97] (got %d/50)" in_band) true (in_band * 4 >= 50 * 3)
 
+(* --- static partitioning over synthesized families ------------------------- *)
+
+let webd_member () =
+  match Family.specs with
+  | spec :: _ -> Family.member spec ~members:16 3
+  | [] -> Alcotest.fail "no family specs"
+
+(* the static keep set must cover the dynamic working set (the manifest) *)
+let test_partition_superset_of_manifest () =
+  let image = webd_member () in
+  let keep = Partition.keep_set image in
+  let entries = Image.effective_entries image in
+  let manifest =
+    match Hashtbl.find_opt entries Programs.manifest_path with
+    | Some (Layer.File { content = Content.Literal text; _ }) ->
+        String.split_on_char '\n' text |> List.map String.trim
+        |> List.filter (( <> ) "")
+    | _ -> Alcotest.fail "member image has no manifest"
+  in
+  check_b "manifest non-trivial" true (List.length manifest > 3);
+  List.iter
+    (fun p -> check_b ("manifest path statically kept: " ^ p) true (Hashtbl.mem keep p))
+    manifest;
+  (* but not everything: ballast must be dropped *)
+  check_b "ballast dropped" false
+    (Hashtbl.fold (fun p () acc -> acc || Pathx.is_under ~dir:"/opt" p) keep false)
+
+(* static slim: valid (entrypoint exits 0) but keeps more than dynamic *)
+let test_partition_valid_but_coarser_than_dynamic () =
+  let world = Testbed.create () in
+  let image = webd_member () in
+  let static_report, static_image = Partition.slim image in
+  check_b "static reduction positive" true (static_report.Partition.p_reduction > 0.0);
+  check_b "static slim still works" true (ok' (Slimmer.validate ~world static_image));
+  let dynamic_report = ok' (Slimmer.analyze ~world image) in
+  (* the declared closure includes cold data the run never touches *)
+  check_b
+    (Printf.sprintf "static keeps more (static %.3f < dynamic %.3f)"
+       static_report.Partition.p_reduction dynamic_report.Slimmer.r_reduction)
+    true
+    (static_report.Partition.p_reduction < dynamic_report.Slimmer.r_reduction)
+
+(* images without a .deps graph degrade to keep-everything, never invalid *)
+let test_partition_no_entrypoint_keeps_all () =
+  let image =
+    Image.v ~name:"no-entry"
+      [ Layer.v ~id:"l0" [ Layer.File { path = "/x"; mode = 0o644; content = Content.Filler 64 } ] ]
+  in
+  let report, _slim = Partition.slim image in
+  check_b "nothing dropped" true (report.Partition.p_reduction < 0.001)
+
+(* the work-stealing sweep: heterogeneous per-image costs force steals *)
+let test_sweep_steals_and_order () =
+  let clock = Clock.create () in
+  let images = Family.synthesize ~n:64 in
+  check_i "synthesize count" 64 (List.length images);
+  let cost_ns image = 50_000 + (Image.file_count image * 1_000) + (Image.effective_size image / 4096) in
+  let stats, reports =
+    Sweep.run ~workers:4 ~clock ~images ~cost_ns ~f:(fun i -> fst (Partition.slim i)) ()
+  in
+  check_i "one report per image" 64 (List.length reports);
+  (* results come back in submission order *)
+  List.iter2
+    (fun image report ->
+      Alcotest.(check string) "order" (Image.ref_ image) report.Partition.p_image)
+    images reports;
+  check_b "steals happened" true (stats.Sweep.sw_steals > 0);
+  check_b "throughput positive" true (stats.Sweep.sw_images_per_s > 0.0)
+
 let test_registry_pull_dedup () =
   let world = Testbed.create () in
   let reg = world.World.registry in
@@ -122,6 +239,18 @@ let () =
         [
           Alcotest.test_case "tracks accesses" `Quick test_recorder_tracks_accesses;
           Alcotest.test_case "closure includes parents" `Quick test_closure_includes_parents;
+          Alcotest.test_case "closure duplicate ancestors" `Quick test_closure_duplicate_ancestors;
+          Alcotest.test_case "closure always_keep overlap" `Quick test_closure_always_keep_overlap;
+          Alcotest.test_case "closure path as file and prefix" `Quick
+            test_closure_path_as_file_and_prefix;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "superset of manifest" `Quick test_partition_superset_of_manifest;
+          Alcotest.test_case "valid but coarser than dynamic" `Quick
+            test_partition_valid_but_coarser_than_dynamic;
+          Alcotest.test_case "no entrypoint keeps all" `Quick test_partition_no_entrypoint_keeps_all;
+          Alcotest.test_case "sweep steals and order" `Quick test_sweep_steals_and_order;
         ] );
       ( "slimmer",
         [
